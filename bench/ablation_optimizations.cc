@@ -1,0 +1,52 @@
+// Ablation: each kernel-level optimization of §4 toggled off individually
+// (the cumulative view is Fig. 17 / bench/fig17_breakdown; this bench
+// isolates per-optimization contributions at the kernel level).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/samoyeds_kernel.h"
+
+namespace samoyeds {
+namespace {
+
+double Ms(const GemmShape& shape, int64_t selected, const SsmmConfig& cfg) {
+  return SimMs(SamoyedsKernel::Analyze(shape, selected, SamoyedsConfig{1, 2, 32}, cfg));
+}
+
+void Row(const char* label, const GemmShape& shape, int64_t selected) {
+  const SsmmConfig base;
+  const double full = Ms(shape, selected, base);
+  auto without = [&](auto mutate) {
+    SsmmConfig c = base;
+    mutate(c);
+    return Ms(shape, selected, c) / full;
+  };
+  std::printf("%-26s %9.3f %10.2fx %10.2fx %10.2fx %10.2fx %10.2fx\n", label, full,
+              without([](SsmmConfig& c) { c.input_selection = false; }),
+              without([](SsmmConfig& c) { c.data_stationary = false; }),
+              without([](SsmmConfig& c) { c.packed_metadata = false; }),
+              without([](SsmmConfig& c) { c.compressed_output = false; }),
+              without([](SsmmConfig& c) { c.permuted_smem = false; }));
+}
+
+}  // namespace
+}  // namespace samoyeds
+
+int main() {
+  using namespace samoyeds;
+  PrintHeader("Ablation — per-optimization slowdown when disabled (kernel level)");
+  std::printf("%-26s %9s %11s %11s %11s %11s %11s\n", "problem", "full(ms)", "-SEL(I)",
+              "-station(S)", "-packing", "-cmpr.out", "-perm.smem");
+  Row("Mixtral gate, 1/8 tokens", {14336, 4096, 4096}, 1024);
+  Row("Mixtral gate, all tokens", {14336, 4096, 4096}, 4096);
+  Row("Qwen2 gate, 1/15 tokens", {2048, 1408, 4096}, 273);
+  Row("square 4096^3, half sel", {4096, 4096, 4096}, 2048);
+  Row("small 512^3, half sel", {512, 512, 512}, 256);
+  std::printf(
+      "\nColumns are slowdown factors (>1 means the optimization matters for that\n"
+      "problem). SEL dominates when few tokens are selected; the compressed output\n"
+      "matters at high output sparsity; metadata packing and SMEM permutation are\n"
+      "steady few-percent effects, data stationary grows with k/V window count.\n");
+  return 0;
+}

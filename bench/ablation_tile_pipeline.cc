@@ -1,0 +1,86 @@
+// Ablation: tile-size and pipeline-depth trade-offs (§4.2's tiling
+// discussion and §6.6's adaptation rules), plus what the autotuner picks.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/autotune.h"
+#include "src/core/samoyeds_kernel.h"
+
+namespace samoyeds {
+namespace {
+
+void TileSweep(const GemmShape& shape, const DeviceSpec& device) {
+  const SamoyedsConfig fmt{1, 2, 32};
+  std::printf("\n%s, shape %lld x %lld x %lld — simulated ms per (mb x nb), stages = 3:\n",
+              device.name.c_str(), static_cast<long long>(shape.m),
+              static_cast<long long>(shape.k), static_cast<long long>(shape.n));
+  std::printf("%10s", "mb \\ nb");
+  for (int nb : {16, 32, 64, 128}) {
+    std::printf(" %9d", nb);
+  }
+  std::printf("\n");
+  for (int mb : {32, 64, 128, 256}) {
+    std::printf("%10d", mb);
+    for (int nb : {16, 32, 64, 128}) {
+      SsmmConfig cfg;
+      cfg.mb = mb;
+      cfg.nb = nb;
+      cfg.mw = mb >= 64 ? mb / 2 : mb;
+      cfg.nw = nb >= 16 ? nb / 2 : nb;
+      if (cfg.mw % 16 != 0 || cfg.nw % 8 != 0) {
+        std::printf(" %9s", "-");
+        continue;
+      }
+      std::printf(" %9.3f",
+                  TimingModel(device)
+                      .Estimate(SamoyedsKernel::Analyze(shape, shape.n, fmt, cfg, device).traffic)
+                      .total_ms);
+    }
+    std::printf("\n");
+  }
+  const AutotuneResult best = AutotuneSsmm(shape, shape.n, fmt, device);
+  std::printf("autotuner: (mb=%d, nb=%d, stages=%d) -> %.3f ms (%.2fx over default)\n",
+              best.config.mb, best.config.nb, best.config.stages, best.simulated_ms,
+              best.speedup_over_default());
+}
+
+void StageSweep(const GemmShape& shape) {
+  const SamoyedsConfig fmt{1, 2, 32};
+  std::printf("\nPipeline depth sweep, shape %lld x %lld x %lld:\n",
+              static_cast<long long>(shape.m), static_cast<long long>(shape.k),
+              static_cast<long long>(shape.n));
+  std::printf("%-28s", "device");
+  for (int stages = 1; stages <= 4; ++stages) {
+    std::printf("  stages=%d", stages);
+  }
+  std::printf("\n");
+  for (DeviceModel dm : {DeviceModel::kRtx4070Super, DeviceModel::kRtx3090,
+                         DeviceModel::kA100_40G}) {
+    const DeviceSpec& device = GetDevice(dm);
+    std::printf("%-28s", device.name.c_str());
+    for (int stages = 1; stages <= 4; ++stages) {
+      SsmmConfig cfg;
+      cfg.stages = stages;
+      std::printf(" %8.3f",
+                  TimingModel(device)
+                      .Estimate(SamoyedsKernel::Analyze(shape, shape.n, fmt, cfg, device).traffic)
+                      .total_ms);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace samoyeds
+
+int main() {
+  using namespace samoyeds;
+  PrintHeader("Ablation — tiling and pipeline-depth trade-offs");
+  TileSweep({4096, 4096, 4096}, DefaultDevice());
+  TileSweep({4096, 4096, 4096}, GetDevice(DeviceModel::kA100_40G));
+  TileSweep({2048, 1408, 512}, DefaultDevice());
+  StageSweep({4096, 4096, 4096});
+  StageSweep({1024, 256, 1024});  // short reduction: fill/drain bites
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Shared helpers for the benchmark harnesses: simulated-time wrappers and
+// console table formatting. Every bench prints the rows/series of the paper
+// artifact it regenerates (see DESIGN.md §4 for the experiment index).
+
+#ifndef SAMOYEDS_BENCH_BENCH_UTIL_H_
+#define SAMOYEDS_BENCH_BENCH_UTIL_H_
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/kernels/kernel_report.h"
+#include "src/simgpu/device_spec.h"
+#include "src/simgpu/timing_model.h"
+
+namespace samoyeds {
+
+inline double SimMs(const KernelProfile& profile, const DeviceSpec& device) {
+  return TimingModel(device).Estimate(profile.traffic).total_ms;
+}
+
+inline double SimMs(const KernelProfile& profile) { return SimMs(profile, DefaultDevice()); }
+
+inline double SimTflops(const KernelProfile& profile, const DeviceSpec& device) {
+  return TimingModel(device).ThroughputTflops(profile.useful_flops, profile.traffic);
+}
+
+inline double SimTflops(const KernelProfile& profile) {
+  return SimTflops(profile, DefaultDevice());
+}
+
+inline double GeoMean(const std::vector<double>& values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  double log_sum = 0.0;
+  for (double v : values) {
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+inline double MaxOf(const std::vector<double>& values) {
+  double best = 0.0;
+  for (double v : values) {
+    best = std::max(best, v);
+  }
+  return best;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void PrintRule() {
+  std::printf("----------------------------------------------------------------\n");
+}
+
+}  // namespace samoyeds
+
+#endif  // SAMOYEDS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,50 @@
+// Extension bench (beyond the paper's prefill evaluation): autoregressive
+// decode-step latency per framework. With one token per sequence the MoE
+// layer is weight-bandwidth-bound, so Samoyeds' ~3.5x smaller expert
+// weights translate into decode latency directly — the regime the paper's
+// memory-efficiency results (Table 3) imply but do not time.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/frameworks/layer_cost.h"
+#include "src/moe/model_configs.h"
+
+namespace samoyeds {
+namespace {
+
+void ModelSweep(const MoeModelConfig& model) {
+  std::printf("\n%s — decode step latency (ms), KV length 2048:\n", model.name.c_str());
+  std::printf("%7s %14s %14s %14s %14s\n", "batch", "Transformers", "MegaBlocks", "vLLM-DS",
+              "Samoyeds");
+  LayerCostOptions opts;
+  opts.shared_experts_override = 0;
+  for (int64_t batch : {1, 8, 32, 128}) {
+    std::printf("%7lld", static_cast<long long>(batch));
+    for (MoeFramework fw : {MoeFramework::kTransformers, MoeFramework::kMegaBlocks,
+                            MoeFramework::kVllmDs, MoeFramework::kSamoyeds}) {
+      if (!FrameworkSupportsModel(fw, model)) {
+        std::printf(" %14s", "NS");
+        continue;
+      }
+      std::printf(" %14.3f", EstimateDecodeStepCost(fw, model, batch, 2048, opts).total_ms);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace samoyeds
+
+int main() {
+  using namespace samoyeds;
+  PrintHeader("Extension — Decode-phase (autoregressive) step latency");
+  for (const auto& model : PaperModels()) {
+    ModelSweep(model);
+  }
+  std::printf(
+      "\nNo paper counterpart: this extends the evaluation to the decode phase,\n"
+      "where expert weights are streamed per step and the Samoyeds format's\n"
+      "footprint advantage becomes a latency advantage.\n");
+  return 0;
+}

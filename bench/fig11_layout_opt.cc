@@ -1,0 +1,49 @@
+// Figure 11(b): gain of the compressed output layout as the input (token)
+// sparsity grows. In an E-expert top-k model the per-expert intermediate is
+// row-sparse at ratio 1 - k/E; the compressed layout skips the zero
+// transfers. Paper reference: ~1.05x speedup for low-sparsity
+// configurations and up to 2.66x for high-sparsity (many-expert) ones.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/samoyeds_kernel.h"
+
+namespace samoyeds {
+namespace {
+
+void Row(int num_experts, int top_k) {
+  const int64_t tokens = 4096;
+  const int64_t selected = tokens * top_k / num_experts;  // tokens per expert
+  const GemmShape shape{14336, 4096, tokens};  // intermediate-sized output (gate/up proj)
+  const SamoyedsConfig fmt{1, 2, 32};
+  SsmmConfig compressed;
+  SsmmConfig padded = compressed;
+  padded.compressed_output = false;
+  const double t_compressed = SimMs(SamoyedsKernel::Analyze(shape, selected, fmt, compressed));
+  const double t_padded = SimMs(SamoyedsKernel::Analyze(shape, selected, fmt, padded));
+  std::printf("%8d %6d %10.1f%% %12.3fms %12.3fms %9.2fx\n", num_experts, top_k,
+              100.0 * (1.0 - static_cast<double>(top_k) / num_experts), t_padded, t_compressed,
+              t_padded / t_compressed);
+}
+
+}  // namespace
+}  // namespace samoyeds
+
+int main() {
+  using namespace samoyeds;
+  PrintHeader("Figure 11(b) — Kernel Gain from the Compressed Output Layout");
+  std::printf("%8s %6s %11s %14s %14s %10s\n", "experts", "top-k", "out sparsity",
+              "padded out", "compressed", "speedup");
+  Row(4, 2);
+  Row(8, 2);
+  Row(16, 2);
+  Row(32, 2);
+  Row(60, 4);
+  Row(64, 6);
+  Row(64, 2);
+  std::printf(
+      "\nPaper reference: ~1.05x average for low input sparsity, up to 2.66x for\n"
+      "high-sparsity (many-expert) configurations.\n");
+  return 0;
+}

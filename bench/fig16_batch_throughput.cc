@@ -1,0 +1,67 @@
+// Figure 16: decoder-layer throughput (tokens/s) under growing batch size.
+// Sequence length 4096 for the small-expert models (Qwen2-MoE,
+// DeepSeek-MoE), 1024 for the rest. Frameworks stop at their maximum batch
+// (memory model); OpenMoE is NS for MegaBlocks/vLLM-DS.
+//
+// Paper reference: Samoyeds' throughput climbs with batch size before
+// plateauing (parallelism ramp, §6.1.2) and beats the best baseline by up
+// to 1.31x / 2.23x / 1.58x / 1.09x / 1.04x / 1.11x per model.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/frameworks/layer_cost.h"
+#include "src/moe/memory_model.h"
+#include "src/moe/model_configs.h"
+
+namespace samoyeds {
+namespace {
+
+void ModelSweep(const MoeModelConfig& model) {
+  const int64_t seq = model.num_experts >= 32 && model.intermediate <= 4096 ? 4096 : 1024;
+  std::printf("\n%s (seq %lld per batch). Throughput in Ktokens/s:\n", model.name.c_str(),
+              static_cast<long long>(seq));
+  std::printf("%7s %14s %14s %14s %14s\n", "batch", "Transformers", "MegaBlocks", "vLLM-DS",
+              "Samoyeds");
+  LayerCostOptions opts;
+  opts.shared_experts_override = 0;
+  opts.seq_len = seq;
+  const MoeFramework fws[] = {MoeFramework::kTransformers, MoeFramework::kMegaBlocks,
+                              MoeFramework::kVllmDs, MoeFramework::kSamoyeds};
+  for (int64_t batch = 1; batch <= 64; batch *= 2) {
+    std::printf("%7lld", static_cast<long long>(batch));
+    const int64_t tokens = seq * batch;
+    const auto counts = UniformTokensPerExpert(model, tokens);
+    for (MoeFramework fw : fws) {
+      if (!FrameworkSupportsModel(fw, model)) {
+        std::printf(" %14s", "NS");
+        continue;
+      }
+      const auto fp = EstimateFootprint(model, fw, SamoyedsConfig{1, 2, 32}, DefaultDevice());
+      if (fp.MaxBatch(seq) < batch) {
+        std::printf(" %14s", "OOM");
+        continue;
+      }
+      const double ms = EstimateDecoderLayerCost(fw, model, counts, tokens, opts).total_ms;
+      std::printf(" %14.1f", static_cast<double>(tokens) / ms);  // tokens/ms = Ktokens/s
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace samoyeds
+
+int main() {
+  using namespace samoyeds;
+  PrintHeader("Figure 16 — Throughput under Different Batch Sizes");
+  for (const auto& model : PaperModels()) {
+    ModelSweep(model);
+  }
+  std::printf(
+      "\nPaper reference: Samoyeds' throughput grows with batch before a stable\n"
+      "peak; baselines fluctuate little; per-model peak advantage over the best\n"
+      "baseline: 1.31x, 2.23x, 1.58x, 1.09x, 1.04x, 1.11x.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Wall-clock micro-benchmarks (google-benchmark) of the functional CPU
+// substrate: the SpTC fragment op, format encoders, and the Samoyeds SSMM
+// execution path. These measure the *simulator's* own speed — useful for
+// keeping the test/bench suite fast — not GPU performance (which is the
+// domain of the fig*/table* harnesses).
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/samoyeds_kernel.h"
+#include "src/formats/nm24.h"
+#include "src/formats/samoyeds_format.h"
+#include "src/formats/venom.h"
+#include "src/sptc/mma_sp.h"
+#include "src/tensor/gemm_ref.h"
+#include "src/tensor/rng.h"
+
+namespace samoyeds {
+namespace {
+
+void BM_MmaSp(benchmark::State& state) {
+  Rng rng(1);
+  SparseAFragment a;
+  for (int i = 0; i < kMmaM * kMmaKCompressed; ++i) {
+    a.values[static_cast<size_t>(i)] = rng.NextGaussian();
+    a.meta[static_cast<size_t>(i)] = static_cast<uint8_t>(i % 2 == 0 ? 0 : 2);
+  }
+  DenseBFragment b;
+  for (auto& v : b.values) {
+    v = rng.NextGaussian();
+  }
+  Accumulator c;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MmaSp(a, b, c));
+  }
+  state.SetItemsProcessed(state.iterations() * kMmaM * kMmaN * kMmaK);
+}
+BENCHMARK(BM_MmaSp);
+
+void BM_SamoyedsEncode(benchmark::State& state) {
+  Rng rng(2);
+  const int64_t dim = state.range(0);
+  const MatrixF dense = rng.GaussianMatrix(dim, dim);
+  const SamoyedsConfig cfg{1, 2, 32};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SamoyedsMatrix::Encode(dense, cfg));
+  }
+  state.SetItemsProcessed(state.iterations() * dim * dim);
+}
+BENCHMARK(BM_SamoyedsEncode)->Arg(128)->Arg(512);
+
+void BM_TwoFourEncode(benchmark::State& state) {
+  Rng rng(3);
+  const int64_t dim = state.range(0);
+  const MatrixF dense = rng.GaussianMatrix(dim, dim);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TwoFourMatrix::Encode(dense));
+  }
+  state.SetItemsProcessed(state.iterations() * dim * dim);
+}
+BENCHMARK(BM_TwoFourEncode)->Arg(128)->Arg(512);
+
+void BM_VenomEncode(benchmark::State& state) {
+  Rng rng(4);
+  const int64_t dim = state.range(0);
+  const MatrixF dense = rng.GaussianMatrix(dim, dim);
+  const VenomConfig cfg{64, 2, 4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(VenomMatrix::Encode(dense, cfg));
+  }
+  state.SetItemsProcessed(state.iterations() * dim * dim);
+}
+BENCHMARK(BM_VenomEncode)->Arg(128)->Arg(512);
+
+void BM_SamoyedsKernelRun(benchmark::State& state) {
+  Rng rng(5);
+  const int64_t dim = state.range(0);
+  const MatrixF w = rng.GaussianMatrix(dim, dim);
+  const MatrixF b = rng.GaussianMatrix(dim, dim / 2);
+  const SamoyedsMatrix enc = SamoyedsMatrix::Encode(w, SamoyedsConfig{1, 2, 32});
+  const Selection sel = Selection::All(dim / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SamoyedsKernel::Run(enc, b, sel));
+  }
+  state.SetItemsProcessed(state.iterations() * dim * dim * (dim / 2));
+}
+BENCHMARK(BM_SamoyedsKernelRun)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmRef(benchmark::State& state) {
+  Rng rng(6);
+  const int64_t dim = state.range(0);
+  const MatrixF a = rng.GaussianMatrix(dim, dim);
+  const MatrixF b = rng.GaussianMatrix(dim, dim);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GemmRef(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * dim * dim * dim);
+}
+BENCHMARK(BM_GemmRef)->Arg(128)->Arg(256);
+
+}  // namespace
+}  // namespace samoyeds
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Table 4: model quality across Samoyeds sparse configurations (N,M,V) at a
+// uniform 75% sparsity. The paper prunes BERT-base/large with WoodFisher
+// and reports F1 on SQuAD 1.1; this reproduction trains a compact MLP
+// classifier on a synthetic task and reports accuracy retention after
+// one-shot pruning + mask-preserving fine-tuning (substitution documented
+// in DESIGN.md §1).
+//
+// Paper reference: all (N,M,V) configurations retain over 99.3% of the
+// dense F1 on average (88.83 / 88.48 / 88.57 / 88.60 vs 89.50 dense for
+// BERT-base).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/pruning/accuracy_eval.h"
+
+namespace samoyeds {
+namespace {
+
+void RunModel(const char* label, const std::vector<int>& dims, uint64_t seed) {
+  Rng rng(seed);
+  const ClassificationDataset train = ClassificationDataset::Make(rng, 1536, dims.front(), 32, 1.6f);
+  Rng test_rng(seed);  // identical clusters, fresh noise
+  const ClassificationDataset test = ClassificationDataset::Make(test_rng, 1024, dims.front(), 32, 1.6f);
+
+  std::vector<PruneSpec> specs;
+  specs.push_back(PruneSpec{});  // dense
+  for (const auto& cfg : {SamoyedsConfig{1, 2, 16}, SamoyedsConfig{1, 2, 32},
+                          SamoyedsConfig{4, 8, 32}, SamoyedsConfig{8, 16, 32}}) {
+    PruneSpec spec;
+    spec.method = PruneMethod::kSamoyeds;
+    spec.samoyeds_config = cfg;
+    specs.push_back(spec);
+  }
+  PruneExperimentOptions options;
+  options.pretrain_epochs = 30;
+  options.finetune_epochs = 10;
+  const auto results = RunAccuracyExperiment(rng, dims, train, test, specs, options);
+
+  const double dense_acc = results[0].metric_after_finetune;
+  std::printf("%-12s dense=%.2f%%  ", label, 100.0 * dense_acc);
+  const char* names[] = {"(1,2,16)", "(1,2,32)", "(4,8,32)", "(8,16,32)"};
+  for (size_t i = 1; i < results.size(); ++i) {
+    std::printf("%s=%.2f%% (ret %.1f%%)  ", names[i - 1],
+                100.0 * results[i].metric_after_finetune,
+                100.0 * results[i].metric_after_finetune / dense_acc);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace samoyeds
+
+int main() {
+  using namespace samoyeds;
+  PrintHeader("Table 4 — Quality across Samoyeds (N,M,V) configs at 75% sparsity");
+  std::printf("Proxy task: 32-way noisy Gaussian-cluster classification; metric = accuracy.\n\n");
+  RunModel("proxy-base", {64, 128, 128, 32}, 1234);
+  RunModel("proxy-large", {64, 256, 256, 32}, 5678);
+  std::printf(
+      "\nPaper reference (F1 on SQuAD 1.1): BERT-base 89.50 dense vs 88.83/88.48/\n"
+      "88.57/88.60 across configs — >99.3%% retention on average; the claim under\n"
+      "test is that retention is high and insensitive to the (N,M,V) choice.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Table 5: model quality per sparse format at 75% sparsity. The paper
+// prunes Tiny-LLaMA and Qwen2-1.5B and reports GSM8K perplexity; this
+// reproduction uses the perplexity proxy (exp of mean cross-entropy) of a
+// compact classifier on a synthetic task (substitution documented in
+// DESIGN.md §1).
+//
+// Paper reference (perplexity, lower is better):
+//   Tiny-LLaMA: dense 1.72, unstructured 1.94, VENOM 1.95, Samoyeds 1.82
+//   Qwen2:      dense 1.92, unstructured 1.96, VENOM 2.26, Samoyeds 2.01
+// i.e. Samoyeds lands between dense and the other formats and clearly
+// beats VENOM (56% / 73% smaller perplexity increase).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/pruning/accuracy_eval.h"
+
+namespace samoyeds {
+namespace {
+
+void RunModel(const char* label, uint64_t seed) {
+  Rng rng(seed);
+  const int features = 64;
+  const ClassificationDataset train = ClassificationDataset::Make(rng, 1536, features, 32, 1.6f);
+  Rng test_rng(seed);
+  const ClassificationDataset test = ClassificationDataset::Make(test_rng, 1024, features, 32, 1.6f);
+
+  std::vector<PruneSpec> specs(4);
+  specs[0].method = PruneMethod::kDense;
+  specs[1].method = PruneMethod::kUnstructured;
+  specs[1].sparsity = 0.75;
+  specs[2].method = PruneMethod::kVenom;
+  specs[2].venom_config = VenomConfig{64, 2, 4};
+  specs[3].method = PruneMethod::kSamoyeds;
+  specs[3].samoyeds_config = SamoyedsConfig{1, 2, 16};
+
+  PruneExperimentOptions options;
+  options.pretrain_epochs = 30;
+  options.finetune_epochs = 10;
+  const auto results = RunPerplexityExperiment(rng, {features, 256, 256, 32}, train, test, specs,
+                                               options);
+  std::printf("%-12s", label);
+  for (const auto& r : results) {
+    std::printf("  %s=%.3f", PruneMethodName(r.spec.method), r.metric_after_finetune);
+  }
+  std::printf("\n    perplexity increase over dense:");
+  for (size_t i = 1; i < results.size(); ++i) {
+    std::printf("  %s=+%.3f", PruneMethodName(results[i].spec.method),
+                results[i].metric_after_finetune - results[0].metric_after_finetune);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace samoyeds
+
+int main() {
+  using namespace samoyeds;
+  PrintHeader("Table 5 — Perplexity proxy per sparse format (75% sparsity)");
+  std::printf("Proxy task: 32-way noisy classification; metric = exp(mean cross-entropy).\n\n");
+  RunModel("proxy-llama", 24680);
+  RunModel("proxy-qwen2", 13579);
+  std::printf(
+      "\nPaper reference: Samoyeds' perplexity increase is far smaller than VENOM's\n"
+      "(+0.10 vs +0.23 on Tiny-LLaMA; +0.09 vs +0.34 on Qwen2) and close to\n"
+      "unstructured pruning. The claim under test: finer sub-row granularity\n"
+      "preserves quality better than VENOM's column-vector granularity.\n");
+  return 0;
+}

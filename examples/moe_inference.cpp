@@ -1,0 +1,67 @@
+// MoE inference walkthrough: build a (scaled-down) Mixtral-style MoE layer,
+// route a batch of tokens, execute it functionally along both the
+// Transformers-style reference path and the Samoyeds dual-side sparse path,
+// compare outputs, then project the performance of the full-size layer on
+// the simulated GPU for every framework the paper evaluates.
+
+#include <cstdio>
+
+#include "src/frameworks/layer_cost.h"
+#include "src/moe/model_configs.h"
+#include "src/moe/moe_layer.h"
+#include "src/tensor/bf16.h"
+#include "src/tensor/gemm_ref.h"
+#include "src/tensor/rng.h"
+
+int main() {
+  using namespace samoyeds;
+  Rng rng(7);
+
+  // --- Functional path on a scaled-down layer -----------------------------
+  MoeModelConfig small;
+  small.name = "mini-mixtral";
+  small.num_experts = 8;
+  small.hidden = 64;
+  small.intermediate = 128;
+  small.top_k = 2;
+
+  const SamoyedsConfig format{1, 2, 32};
+  MoeLayerWeights dense = MoeLayerWeights::Random(rng, small);
+  const SamoyedsMoeLayerWeights sparse = SamoyedsMoeLayerWeights::Encode(dense, format);
+  dense.ApplyMask(format);  // reference sees the same surviving weights
+
+  const int64_t tokens = 48;
+  MatrixF x = rng.GaussianMatrix(tokens, small.hidden, 0.5f);
+  RoundMatrixToBf16(x);
+  const RoutingPlan plan = Route(x, dense.router_gate, small.top_k);
+  std::printf("Routed %lld tokens to %d experts (top-%d); per-expert loads:",
+              static_cast<long long>(tokens), small.num_experts, small.top_k);
+  for (int e = 0; e < small.num_experts; ++e) {
+    std::printf(" %lld", static_cast<long long>(plan.TokensForExpert(e)));
+  }
+  std::printf("\n");
+
+  const MatrixF reference = MoeForwardReference(x, dense, plan, Activation::kSilu);
+  const MatrixF samoyeds_out = MoeForwardSamoyeds(x, sparse, plan, Activation::kSilu);
+  std::printf("Dual-side sparse vs reference: relative error %.2e\n\n",
+              RelativeError(samoyeds_out, reference));
+
+  // --- Performance projection for the real Mixtral-8x7B layer -------------
+  const auto& mixtral = ModelByName("Mixtral-8x7B");
+  const int64_t full_tokens = 4096;
+  const auto counts = UniformTokensPerExpert(mixtral, full_tokens);
+  LayerCostOptions opts;
+  opts.shared_experts_override = 0;
+  std::printf("Projected Mixtral-8x7B MoE layer, %lld tokens, on %s:\n",
+              static_cast<long long>(full_tokens), GetDevice(opts.device).name.c_str());
+  for (MoeFramework fw : {MoeFramework::kTransformers, MoeFramework::kMegaBlocks,
+                          MoeFramework::kVllmDs, MoeFramework::kPit, MoeFramework::kSamoyeds}) {
+    const MoeLayerCost cost = EstimateMoeLayerCost(fw, mixtral, counts, full_tokens, opts);
+    std::printf("  %-13s %8.2f ms  (", FrameworkName(fw), cost.total_ms);
+    for (size_t i = 0; i < cost.phases.size(); ++i) {
+      std::printf("%s%s %.2f", i ? ", " : "", cost.phases[i].name.c_str(), cost.phases[i].ms);
+    }
+    std::printf(")\n");
+  }
+  return 0;
+}

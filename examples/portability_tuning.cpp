@@ -1,0 +1,45 @@
+// Portability & tuning tour: run the same Samoyeds kernel configuration on
+// every modeled GPU, then let the autotuner search the configuration space
+// per device — the workflow a user follows when deploying on hardware other
+// than the paper's RTX 4070 Super (§6.6, Table 6).
+
+#include <cstdio>
+
+#include "src/core/autotune.h"
+#include "src/core/samoyeds_kernel.h"
+#include "src/simgpu/timing_model.h"
+
+namespace {
+
+void TuneShape(const samoyeds::GemmShape& shape) {
+  using namespace samoyeds;
+  const SamoyedsConfig format{1, 2, 32};
+  std::printf("\nShape %lld x %lld x %lld at 75%% weight sparsity:\n",
+              static_cast<long long>(shape.m), static_cast<long long>(shape.k),
+              static_cast<long long>(shape.n));
+  std::printf("%-28s %12s %12s %9s %22s\n", "device", "default", "autotuned", "gain",
+              "chosen (mb,nb,stages)");
+  for (DeviceModel dm : AllDeviceModels()) {
+    const DeviceSpec& device = GetDevice(dm);
+    const AutotuneResult r = AutotuneSsmm(shape, shape.n, format, device);
+    std::printf("%-28s %10.3fms %10.3fms %8.2fx %12d,%4d,%3d\n", device.name.c_str(),
+                r.default_ms, r.simulated_ms, r.speedup_over_default(), r.config.mb, r.config.nb,
+                r.config.stages);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace samoyeds;
+  std::printf("Samoyeds kernel autotuning across devices\n");
+  TuneShape({4096, 4096, 4096});    // square, compute-heavy
+  TuneShape({14336, 4096, 1024});   // expert projection, modest tokens
+  TuneShape({2048, 1408, 256});     // small many-expert slice
+  std::printf(
+      "\nRule of thumb (Table 6): more SMs + less L2 (A100) -> shrink the tile;\n"
+      "more bandwidth + slower tensor cores (RTX 3090) -> deepen the pipeline.\n"
+      "The autotuner discovers these adaptations automatically from the device\n"
+      "description.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Pruning workflow: train a small model, prune it into several structured
+// sparse formats at 75% sparsity, fine-tune under the mask, and compare
+// quality — the offline half of deploying a model with Samoyeds (§6.5).
+
+#include <cstdio>
+
+#include "src/pruning/accuracy_eval.h"
+#include "src/pruning/fisher.h"
+
+int main() {
+  using namespace samoyeds;
+  Rng rng(2024);
+
+  const int features = 64;
+  const int classes = 16;
+  const ClassificationDataset train =
+      ClassificationDataset::Make(rng, 1024, features, classes, 0.8f);
+  Rng test_rng(2024);
+  const ClassificationDataset test =
+      ClassificationDataset::Make(test_rng, 768, features, classes, 0.8f);
+
+  std::vector<PruneSpec> specs(4);
+  specs[0].method = PruneMethod::kDense;
+  specs[1].method = PruneMethod::kUnstructured;
+  specs[1].sparsity = 0.75;
+  specs[2].method = PruneMethod::kVenom;
+  specs[2].venom_config = VenomConfig{64, 2, 4};
+  specs[3].method = PruneMethod::kSamoyeds;
+  specs[3].samoyeds_config = SamoyedsConfig{1, 2, 16};
+
+  PruneExperimentOptions options;
+  options.pretrain_epochs = 40;
+  options.finetune_epochs = 15;
+
+  std::printf("Training a %d-%d-%d-%d MLP, then pruning the hidden layers to 75%%...\n\n",
+              features, 128, 128, classes);
+  const auto results =
+      RunAccuracyExperiment(rng, {features, 128, 128, classes}, train, test, specs, options);
+
+  std::printf("%-14s %10s %12s %12s %10s\n", "format", "sparsity", "one-shot", "fine-tuned",
+              "retention");
+  const double dense_acc = results[0].metric_after_finetune;
+  for (const auto& r : results) {
+    std::printf("%-14s %9.1f%% %11.2f%% %11.2f%% %9.1f%%\n", PruneMethodName(r.spec.method),
+                100.0 * r.measured_sparsity, 100.0 * r.metric_before_finetune,
+                100.0 * r.metric_after_finetune,
+                100.0 * r.metric_after_finetune / dense_acc);
+  }
+  std::printf(
+      "\nThe Samoyeds format's fine sub-row granularity keeps quality close to\n"
+      "unstructured pruning while remaining executable on Sparse Tensor Cores;\n"
+      "the encoded weights feed directly into SamoyedsMatrix::Encode (see\n"
+      "examples/quickstart.cpp).\n");
+
+  // Second-order variant: WoodFisher-style diagonal-Fisher saliency driving
+  // the same Samoyeds structural mask (the paper's pruning pipeline, §6.5).
+  Rng rng2(2024);
+  Mlp model(rng2, {features, 128, 128, classes});
+  for (int epoch = 0; epoch < 40; ++epoch) {
+    MatrixF xb = train.x;  // full-batch for brevity
+    model.TrainStepCrossEntropy(xb, train.labels, 0.05f);
+  }
+  const auto fisher = EstimateDiagonalFisher(model, train, 512);
+  PruneSpec spec;
+  spec.method = PruneMethod::kSamoyeds;
+  spec.samoyeds_config = SamoyedsConfig{1, 2, 16};
+  Mlp magnitude_model = model;
+  ApplyPruning(magnitude_model.weight(1), spec);
+  Mlp fisher_model = model;
+  const MatrixF saliency = FisherSaliency(model.weight(1), fisher[1]);
+  ApplyScoredPruning(fisher_model.weight(1), saliency, spec);
+  std::printf(
+      "\nOne-shot (no fine-tune) accuracy, Samoyeds (1,2,16) mask at 75%%:\n"
+      "  magnitude-scored: %.2f%%\n  Fisher-scored:    %.2f%%\n",
+      100.0 * EvaluateAccuracy(magnitude_model, test),
+      100.0 * EvaluateAccuracy(fisher_model, test));
+  return 0;
+}

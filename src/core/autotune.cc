@@ -1,0 +1,64 @@
+#include "src/core/autotune.h"
+
+#include <limits>
+
+#include "src/core/samoyeds_kernel.h"
+#include "src/simgpu/timing_model.h"
+
+namespace samoyeds {
+
+std::vector<SsmmConfig> EnumerateSsmmConfigs(const DeviceSpec& device,
+                                             const SamoyedsConfig& format) {
+  std::vector<SsmmConfig> configs;
+  const double row_frac = static_cast<double>(format.n) / format.m;
+  for (int mb : {32, 64, 128, 256}) {
+    for (int nb : {16, 32, 64, 128}) {
+      for (int stages : {2, 3, 4}) {
+        SsmmConfig c;
+        c.mb = mb;
+        c.nb = nb;
+        c.kb = 32;
+        c.mw = mb >= 64 ? mb / 2 : mb;
+        c.nw = nb >= 16 ? nb / 2 : nb;
+        c.stages = stages;
+        if (c.mw % 16 != 0 || c.nw % 8 != 0) {
+          continue;  // SpTC tile constraints (m16n8k32)
+        }
+        if (format.v % c.kb != 0) {
+          continue;  // kb must divide the sub-row window
+        }
+        const int64_t smem = static_cast<int64_t>(stages) *
+                             (static_cast<int64_t>(mb * row_frac) * c.kb + c.kb * nb) * 2;
+        if (smem > device.smem_per_sm_bytes) {
+          continue;
+        }
+        configs.push_back(c);
+      }
+    }
+  }
+  return configs;
+}
+
+AutotuneResult AutotuneSsmm(const GemmShape& shape, int64_t selected,
+                            const SamoyedsConfig& format, const DeviceSpec& device) {
+  const TimingModel model(device);
+  AutotuneResult result;
+  result.default_ms =
+      model
+          .Estimate(SamoyedsKernel::Analyze(shape, selected, format, SsmmConfig::Default(), device)
+                        .traffic)
+          .total_ms;
+  result.simulated_ms = std::numeric_limits<double>::infinity();
+  for (const SsmmConfig& candidate : EnumerateSsmmConfigs(device, format)) {
+    const double ms =
+        model.Estimate(SamoyedsKernel::Analyze(shape, selected, format, candidate, device).traffic)
+            .total_ms;
+    if (ms < result.simulated_ms) {
+      result.simulated_ms = ms;
+      result.config = candidate;
+    }
+  }
+  return result;
+}
+
+}  // namespace samoyeds

@@ -1,0 +1,44 @@
+// Tile-size / pipeline-depth autotuner for the Samoyeds kernel.
+//
+// §6.6 shows the kernel's optimal configuration shifts with the device
+// (smaller tiles for many-SM/small-L2 parts, deeper pipelines for
+// bandwidth-rich parts). This module enumerates the legal configuration
+// space and picks the fastest under the timing model — the programmatic
+// version of Table 6's "suggested adaptations".
+
+#ifndef SAMOYEDS_SRC_CORE_AUTOTUNE_H_
+#define SAMOYEDS_SRC_CORE_AUTOTUNE_H_
+
+#include <vector>
+
+#include "src/core/ssmm_config.h"
+#include "src/formats/samoyeds_format.h"
+#include "src/kernels/kernel_report.h"
+#include "src/simgpu/device_spec.h"
+
+namespace samoyeds {
+
+struct AutotuneResult {
+  SsmmConfig config;
+  double simulated_ms = 0.0;
+  // Simulated time of the default configuration, for speedup reporting.
+  double default_ms = 0.0;
+
+  double speedup_over_default() const {
+    return simulated_ms > 0.0 ? default_ms / simulated_ms : 0.0;
+  }
+};
+
+// Candidate configurations: every combination of block tile, warp tile and
+// pipeline depth that satisfies the SpTC tile constraints (mw % 16 == 0,
+// nw % 8 == 0) and fits the device's shared memory.
+std::vector<SsmmConfig> EnumerateSsmmConfigs(const DeviceSpec& device,
+                                             const SamoyedsConfig& format);
+
+// Exhaustive search over EnumerateSsmmConfigs under the timing model.
+AutotuneResult AutotuneSsmm(const GemmShape& shape, int64_t selected,
+                            const SamoyedsConfig& format, const DeviceSpec& device);
+
+}  // namespace samoyeds
+
+#endif  // SAMOYEDS_SRC_CORE_AUTOTUNE_H_

@@ -1,0 +1,54 @@
+// The Samoyeds dual-side sparse-sparse matrix multiplication kernel (§4).
+//
+// Computes C = A x B_sel where A is a weight matrix in the Samoyeds format
+// (sub-row vector sparsity + 2:4, §4.1) and B_sel is the subset of input
+// columns named by a SEL selection array (the token-routing sparsity of the
+// MoE layer). The functional path routes every inner product through the
+// SpTC model (mma.sp.m16n8k32 fragments) including the compressed-row
+// accumulation and the C_IR shuffle at sub-row window boundaries, so format
+// or metadata bugs produce wrong numbers exactly as they would on hardware.
+//
+// The analytic path (Analyze) produces the TrafficReport the timing model
+// consumes; each SsmmConfig toggle changes the traffic in the way §4.2-4.5
+// describe.
+
+#ifndef SAMOYEDS_SRC_CORE_SAMOYEDS_KERNEL_H_
+#define SAMOYEDS_SRC_CORE_SAMOYEDS_KERNEL_H_
+
+#include "src/core/ssmm_config.h"
+#include "src/formats/samoyeds_format.h"
+#include "src/formats/sel.h"
+#include "src/kernels/kernel_report.h"
+#include "src/simgpu/device_spec.h"
+#include "src/tensor/matrix.h"
+
+namespace samoyeds {
+
+class SamoyedsKernel {
+ public:
+  // Traffic profile for C(m x len_d) = A(m x k, Samoyeds fmt) * B(k x n)[SEL].
+  // `selected` is the SEL length (ignored when cfg.input_selection is off,
+  // in which case the kernel runs over all n columns).
+  static KernelProfile Analyze(const GemmShape& shape, int64_t selected,
+                               const SamoyedsConfig& format, const SsmmConfig& cfg,
+                               const DeviceSpec& target);
+  static KernelProfile Analyze(const GemmShape& shape, int64_t selected,
+                               const SamoyedsConfig& format, const SsmmConfig& cfg);
+
+  // Functional execution. Returns the compressed output (rows() x
+  // sel.selected()); use ScatterColumns for the full-width layout. Requires
+  // format.v % 32 == 0 (one mma.sp step never straddles a sub-row window).
+  static MatrixF Run(const SamoyedsMatrix& a, const MatrixF& b, const Selection& sel);
+
+  // Convenience: linear layer semantics y = x * W^T with x (tokens x k) and
+  // W (m x k) in Samoyeds format; rows of x are gathered by `sel` (token
+  // routing). Internally performs the (W^T x^T)^T restructuring of §4.5.
+  static MatrixF RunLinear(const MatrixF& x, const SamoyedsMatrix& w, const Selection& sel);
+
+  static constexpr double kEfficiency = 0.60;
+  static constexpr double kPortSensitivity = 0.35;
+};
+
+}  // namespace samoyeds
+
+#endif  // SAMOYEDS_SRC_CORE_SAMOYEDS_KERNEL_H_

@@ -1,0 +1,67 @@
+// Execution configuration for the Samoyeds sparse-sparse matmul kernel.
+//
+// Tile sizes map to the three-step tiling of §4.2; the boolean toggles
+// correspond one-to-one to the optimizations ablated in the breakdown
+// analysis of §6.4 (Fig. 17) and the layout study of §4.5 (Fig. 11).
+
+#ifndef SAMOYEDS_SRC_CORE_SSMM_CONFIG_H_
+#define SAMOYEDS_SRC_CORE_SSMM_CONFIG_H_
+
+namespace samoyeds {
+
+struct SsmmConfig {
+  // Thread-block tile (step 1). kb is the reduction step and must divide
+  // the format's sub-row length V.
+  int mb = 128;
+  int nb = 64;
+  int kb = 32;
+  // Warp tile (step 2); the SpTC tile (step 3) is fixed at 16x8x32.
+  int mw = 64;
+  int nw = 32;
+  // cp.async pipeline depth (Alg. 1's num_pipe).
+  int stages = 3;
+
+  // W — weight-side structured sparsity (always on for this kernel).
+  // I — input-side sparsity: honor the SEL array instead of a dense input.
+  bool input_selection = true;
+  // T — layout optimization: fuse the input/output transposes into the
+  // kernel's GMEM<->SMEM transfers instead of separate passes (§4.5).
+  bool fused_transpose = true;
+  // S — data stationary: keep C in registers and shuffle through C_IR at
+  // sub-row window shifts instead of spilling to global memory (§4.3).
+  bool data_stationary = true;
+  // Fig. 10 metadata packing; off = element-wise row-major metadata.
+  bool packed_metadata = true;
+  // Compressed output layout aligned with the input sparse pattern
+  // (Fig. 11); off = scatter into the full-width zero-padded output.
+  bool compressed_output = true;
+  // Permuted shared-memory layout avoiding bank conflicts (§4.4).
+  bool permuted_smem = true;
+
+  int warps_per_block() const { return (mb / mw) * (nb / nw); }
+
+  static SsmmConfig Default() { return SsmmConfig{}; }
+
+  // Smaller-tile variant suggested for porting to GPUs with more SMs and
+  // less L2 (Table 6, A100 row).
+  static SsmmConfig SmallTile() {
+    SsmmConfig c;
+    c.mb = 64;
+    c.nb = 32;
+    c.mw = 32;
+    c.nw = 16;
+    return c;
+  }
+
+  // Deeper pipeline for bandwidth-rich, compute-poor targets (Table 6,
+  // RTX 3090 row).
+  static SsmmConfig DeepPipeline() {
+    SsmmConfig c;
+    c.stages = 4;
+    return c;
+  }
+};
+
+}  // namespace samoyeds
+
+#endif  // SAMOYEDS_SRC_CORE_SSMM_CONFIG_H_

@@ -1,0 +1,174 @@
+#include "src/core/tiled_executor.h"
+
+#include <cassert>
+#include <vector>
+
+#include "src/formats/metadata_layout.h"
+#include "src/sptc/fragment.h"
+#include "src/sptc/mma_sp.h"
+
+namespace samoyeds {
+
+namespace {
+
+int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+// Element accessor into the bit-packed (optionally Fig. 10-reorganized)
+// metadata word stream produced by PackMetadata.
+uint8_t PackedMetaAt(const std::vector<uint32_t>& words, int64_t cols, int64_t r, int64_t c,
+                     bool reorganized) {
+  const int64_t padded_cols = CeilDiv(cols, kMetaTileDim) * kMetaTileDim;
+  int64_t dr = r;
+  int64_t dc = c;
+  if (reorganized) {
+    const auto [tr, tc] = MetadataDeviceLocation(static_cast<int>(r % kMetaTileDim),
+                                                 static_cast<int>(c % kMetaTileDim));
+    dr = r / kMetaTileDim * kMetaTileDim + tr;
+    dc = c / kMetaTileDim * kMetaTileDim + tc;
+  }
+  const int64_t linear = dr * padded_cols + dc;
+  const int shift = static_cast<int>(linear % 16) * 2;
+  return static_cast<uint8_t>((words[static_cast<size_t>(linear / 16)] >> shift) & 0x3u);
+}
+
+}  // namespace
+
+MatrixF TiledSsmmExecutor::Run(const SamoyedsMatrix& a, const MatrixF& b, const Selection& sel,
+                               const SsmmConfig& cfg, TileTrace* trace) {
+  assert(cfg.kb == kMmaK && "executor models the kb == mma-K configuration");
+  assert(a.config.v % cfg.kb == 0);
+  assert(sel.full_size == b.cols());
+  assert(a.cols == b.rows());
+  const int64_t c_rows = a.compressed_rows();
+  const int64_t n_out = sel.selected();
+  const double row_frac = static_cast<double>(a.config.n) / a.config.m;
+  const int64_t cr_per_block = static_cast<int64_t>(cfg.mb * row_frac);
+  const int64_t cr_per_warp = static_cast<int64_t>(cfg.mw * row_frac);
+  assert(cr_per_warp % kMmaM == 0 && "warp tile must cover whole mma tiles in compressed space");
+  assert(cfg.nw % kMmaN == 0);
+
+  // Device-format metadata: packed words, reorganized per Fig. 10 when the
+  // packing optimization is on.
+  const std::vector<uint32_t> packed_meta = PackMetadata(a.meta, cfg.packed_metadata);
+
+  MatrixF out(a.rows, n_out);
+  TileTrace local_trace;
+  TileTrace& t = trace != nullptr ? *trace : local_trace;
+
+  const int64_t mp = CeilDiv(a.rows, cfg.mb) * cfg.mb;
+  const int64_t np = CeilDiv(std::max<int64_t>(n_out, 1), cfg.nb) * cfg.nb;
+  const int64_t k_steps = a.cols / cfg.kb;
+  const int64_t windows_per_k = a.config.v / cfg.kb;
+
+  for (int64_t bm = 0; bm < mp / cfg.mb; ++bm) {
+    for (int64_t bn = 0; bn < np / cfg.nb; ++bn) {
+      ++t.thread_blocks;
+      const int64_t cr_base = bm * cr_per_block;
+      const int64_t nc_base = bn * cfg.nb;
+
+      // Register accumulators for this block, in compressed-row space.
+      MatrixF acc(cr_per_block, cfg.nb);
+      int64_t current_window = -1;
+
+      auto shuffle_out = [&](int64_t window) {
+        // The C_IR shuffle: route each compressed row's accumulator to its
+        // original row for the window that just finished, then clear.
+        for (int64_t i = 0; i < cr_per_block; ++i) {
+          const int64_t cr = cr_base + i;
+          if (cr >= c_rows) {
+            break;
+          }
+          const int64_t orig_row = cr / a.config.n * a.config.m + a.indices(cr, window);
+          for (int64_t j = 0; j < cfg.nb && nc_base + j < n_out; ++j) {
+            out(orig_row, nc_base + j) += acc(i, j);
+          }
+        }
+        acc.Fill(0.0f);
+        ++t.window_shuffles;
+      };
+
+      for (int64_t step = 0; step < k_steps; ++step) {
+        const int64_t k0 = step * cfg.kb;
+        const int64_t window = step / windows_per_k;
+        if (window != current_window) {
+          if (current_window >= 0) {
+            shuffle_out(current_window);
+          }
+          current_window = window;
+          t.index_bytes += static_cast<double>(cr_per_block);
+        }
+
+        // Stage the A, metadata and B tiles ("GMEM -> SMEM" of Alg. 1).
+        t.a_data_bytes += static_cast<double>(cr_per_block) * (cfg.kb / 2) * 2.0;
+        t.meta_bytes += static_cast<double>(cr_per_block) * (cfg.kb / 2) * 0.25;
+        t.b_bytes += static_cast<double>(cfg.kb) * cfg.nb * 2.0;
+
+        // Warp tiles, then SpTC tiles.
+        for (int64_t wm = 0; wm < cr_per_block; wm += cr_per_warp) {
+          for (int64_t wn = 0; wn < cfg.nb; wn += cfg.nw) {
+            for (int64_t tm = 0; tm < cr_per_warp; tm += kMmaM) {
+              for (int64_t tn = 0; tn < cfg.nw; tn += kMmaN) {
+                const int64_t cr0 = cr_base + wm + tm;
+                const int64_t nc0 = nc_base + wn + tn;
+                if (nc0 >= n_out) {
+                  continue;  // fully padded column tile
+                }
+                SparseAFragment afrag;
+                for (int i = 0; i < kMmaM; ++i) {
+                  const int64_t cr = cr0 + i;
+                  for (int j = 0; j < kMmaKCompressed; ++j) {
+                    if (cr < c_rows) {
+                      const int64_t cc = k0 / 2 + j;
+                      afrag.values[i * kMmaKCompressed + j] = a.data(cr, cc);
+                      afrag.meta[i * kMmaKCompressed + j] =
+                          PackedMetaAt(packed_meta, a.compressed_cols(), cr, cc,
+                                       cfg.packed_metadata);
+                    } else {
+                      afrag.values[i * kMmaKCompressed + j] = 0.0f;
+                      afrag.meta[i * kMmaKCompressed + j] =
+                          static_cast<uint8_t>(j % 2 == 0 ? 0 : 1);
+                    }
+                  }
+                }
+                DenseBFragment bfrag;
+                for (int r = 0; r < kMmaK; ++r) {
+                  for (int c = 0; c < kMmaN; ++c) {
+                    const int64_t col = nc0 + c;
+                    bfrag.values[r * kMmaN + c] =
+                        col < n_out ? b(k0 + r, sel.indices[static_cast<size_t>(col)]) : 0.0f;
+                  }
+                }
+                Accumulator frag_acc;
+                for (int i = 0; i < kMmaM; ++i) {
+                  for (int c = 0; c < kMmaN; ++c) {
+                    const int64_t ar = wm + tm + i;
+                    const int64_t an = wn + tn + c;
+                    frag_acc.at(i, c) = ar < cr_per_block ? acc(ar, an) : 0.0f;
+                  }
+                }
+                frag_acc = MmaSp(afrag, bfrag, frag_acc);
+                ++t.mma_calls;
+                for (int i = 0; i < kMmaM; ++i) {
+                  for (int c = 0; c < kMmaN; ++c) {
+                    const int64_t ar = wm + tm + i;
+                    const int64_t an = wn + tn + c;
+                    if (ar < cr_per_block) {
+                      acc(ar, an) = frag_acc.at(i, c);
+                    }
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+      if (current_window >= 0) {
+        shuffle_out(current_window);
+      }
+      t.c_write_bytes += static_cast<double>(cfg.mb) * cfg.nb * 2.0;
+    }
+  }
+  return out;
+}
+
+}  // namespace samoyeds

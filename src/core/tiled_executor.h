@@ -1,0 +1,52 @@
+// Instrumented tiled executor for the Samoyeds SSMM kernel.
+//
+// SamoyedsKernel::Run computes correct numerics with the simplest loop
+// structure; this executor instead walks the *exact* execution hierarchy of
+// §4.2 — thread-block tiles (mb x nb), kb reduction steps with staged
+// "shared memory" copies, warp tiles (mw x nw), and m16n8k32 SpTC tiles —
+// consuming the metadata from its bit-packed Fig. 10 device layout and
+// performing the C_IR accumulator shuffle at sub-row window boundaries.
+//
+// Two guarantees are enforced by tests:
+//   1. numerics identical to SamoyedsKernel::Run (same MmaSp results,
+//      different traversal order over exactly representable inputs);
+//   2. the byte counters it accumulates while staging tiles agree with the
+//      closed-form traffic of SamoyedsKernel::Analyze.
+
+#ifndef SAMOYEDS_SRC_CORE_TILED_EXECUTOR_H_
+#define SAMOYEDS_SRC_CORE_TILED_EXECUTOR_H_
+
+#include <cstdint>
+
+#include "src/core/ssmm_config.h"
+#include "src/formats/samoyeds_format.h"
+#include "src/formats/sel.h"
+#include "src/tensor/matrix.h"
+
+namespace samoyeds {
+
+// Bytes staged from "global memory" per operand, and execution-shape
+// counters, accumulated over the whole launch.
+struct TileTrace {
+  double a_data_bytes = 0.0;   // compressed weight values (bf16)
+  double b_bytes = 0.0;        // selected activation panel (bf16)
+  double meta_bytes = 0.0;     // packed 2-bit metadata words
+  double index_bytes = 0.0;    // sub-row indices (uint8)
+  double c_write_bytes = 0.0;  // compressed output (bf16)
+  int64_t thread_blocks = 0;
+  int64_t mma_calls = 0;
+  int64_t window_shuffles = 0;  // C_IR shuffles executed
+};
+
+class TiledSsmmExecutor {
+ public:
+  // Requirements beyond SamoyedsKernel::Run: cfg.kb == 32, the warp tile
+  // must cover whole mma tiles in compressed space ((mw * N/M) % 16 == 0,
+  // nw % 8 == 0), and V % kb == 0.
+  static MatrixF Run(const SamoyedsMatrix& a, const MatrixF& b, const Selection& sel,
+                     const SsmmConfig& cfg, TileTrace* trace);
+};
+
+}  // namespace samoyeds
+
+#endif  // SAMOYEDS_SRC_CORE_TILED_EXECUTOR_H_

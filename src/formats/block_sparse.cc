@@ -1,0 +1,95 @@
+#include "src/formats/block_sparse.h"
+
+#include <cassert>
+
+namespace samoyeds {
+
+BlockSparseMatrix BlockSparseMatrix::FromDense(const MatrixF& dense, int block_size) {
+  BlockSparseMatrix out;
+  out.rows = dense.rows();
+  out.cols = dense.cols();
+  out.block_size = block_size;
+  const int64_t gr = out.grid_rows();
+  const int64_t gc = out.grid_cols();
+  out.block_map.assign(static_cast<size_t>(gr * gc), false);
+
+  for (int64_t br = 0; br < gr; ++br) {
+    for (int64_t bc = 0; bc < gc; ++bc) {
+      const int64_t r0 = br * block_size;
+      const int64_t c0 = bc * block_size;
+      const int64_t r1 = std::min<int64_t>(r0 + block_size, dense.rows());
+      const int64_t c1 = std::min<int64_t>(c0 + block_size, dense.cols());
+      bool any = false;
+      for (int64_t r = r0; r < r1 && !any; ++r) {
+        for (int64_t c = c0; c < c1; ++c) {
+          if (dense(r, c) != 0.0f) {
+            any = true;
+            break;
+          }
+        }
+      }
+      if (any) {
+        out.block_map[static_cast<size_t>(br * gc + bc)] = true;
+        MatrixF block(block_size, block_size);
+        for (int64_t r = r0; r < r1; ++r) {
+          for (int64_t c = c0; c < c1; ++c) {
+            block(r - r0, c - c0) = dense(r, c);
+          }
+        }
+        out.blocks.push_back(std::move(block));
+      }
+    }
+  }
+  return out;
+}
+
+MatrixF BlockSparseMatrix::ToDense() const {
+  MatrixF dense(rows, cols);
+  size_t next = 0;
+  for (int64_t br = 0; br < grid_rows(); ++br) {
+    for (int64_t bc = 0; bc < grid_cols(); ++bc) {
+      if (!block_map[static_cast<size_t>(br * grid_cols() + bc)]) {
+        continue;
+      }
+      const MatrixF& block = blocks[next++];
+      const int64_t r0 = br * block_size;
+      const int64_t c0 = bc * block_size;
+      for (int64_t r = 0; r < block_size && r0 + r < rows; ++r) {
+        for (int64_t c = 0; c < block_size && c0 + c < cols; ++c) {
+          dense(r0 + r, c0 + c) = block(r, c);
+        }
+      }
+    }
+  }
+  return dense;
+}
+
+MatrixF BlockSparseMatrix::Multiply(const MatrixF& b) const {
+  assert(b.rows() == cols);
+  MatrixF c(rows, b.cols());
+  size_t next = 0;
+  for (int64_t br = 0; br < grid_rows(); ++br) {
+    for (int64_t bc = 0; bc < grid_cols(); ++bc) {
+      if (!block_map[static_cast<size_t>(br * grid_cols() + bc)]) {
+        continue;
+      }
+      const MatrixF& block = blocks[next++];
+      const int64_t r0 = br * block_size;
+      const int64_t c0 = bc * block_size;
+      for (int64_t r = 0; r < block_size && r0 + r < rows; ++r) {
+        for (int64_t k = 0; k < block_size && c0 + k < cols; ++k) {
+          const float av = block(r, k);
+          if (av == 0.0f) {
+            continue;
+          }
+          for (int64_t j = 0; j < b.cols(); ++j) {
+            c(r0 + r, j) += av * b(c0 + k, j);
+          }
+        }
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace samoyeds

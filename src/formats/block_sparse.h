@@ -1,0 +1,48 @@
+// Block-sparse format — the representation behind the MegaBlocks-like
+// baseline (§3.3). Non-zero blocks of a fixed size are stored densely with
+// a bitmap describing the block topology; in MoE execution the topology
+// encodes which (token-block, expert) pairs participate, letting variable
+// per-expert token counts run without padding.
+
+#ifndef SAMOYEDS_SRC_FORMATS_BLOCK_SPARSE_H_
+#define SAMOYEDS_SRC_FORMATS_BLOCK_SPARSE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/tensor/matrix.h"
+
+namespace samoyeds {
+
+struct BlockSparseMatrix {
+  int64_t rows = 0;
+  int64_t cols = 0;
+  int block_size = 128;
+  // Row-major over the block grid; true = block present.
+  std::vector<bool> block_map;
+  // Dense storage of present blocks, in block-map order.
+  std::vector<MatrixF> blocks;
+
+  int64_t grid_rows() const { return (rows + block_size - 1) / block_size; }
+  int64_t grid_cols() const { return (cols + block_size - 1) / block_size; }
+  int64_t present_blocks() const { return static_cast<int64_t>(blocks.size()); }
+  double block_density() const {
+    const int64_t total = grid_rows() * grid_cols();
+    return total == 0 ? 0.0 : static_cast<double>(present_blocks()) / static_cast<double>(total);
+  }
+
+  // Builds from dense, keeping blocks that contain any non-zero.
+  static BlockSparseMatrix FromDense(const MatrixF& dense, int block_size);
+  MatrixF ToDense() const;
+
+  // C = this * B.
+  MatrixF Multiply(const MatrixF& b) const;
+
+  int64_t StorageBytes() const {
+    return present_blocks() * block_size * block_size * 2 + grid_rows() * grid_cols() / 8;
+  }
+};
+
+}  // namespace samoyeds
+
+#endif  // SAMOYEDS_SRC_FORMATS_BLOCK_SPARSE_H_

@@ -1,0 +1,31 @@
+#include "src/formats/coo.h"
+
+namespace samoyeds {
+
+CooMatrix CooMatrix::FromDense(const MatrixF& dense) {
+  CooMatrix m;
+  m.rows = dense.rows();
+  m.cols = dense.cols();
+  for (int64_t r = 0; r < dense.rows(); ++r) {
+    for (int64_t c = 0; c < dense.cols(); ++c) {
+      const float v = dense(r, c);
+      if (v != 0.0f) {
+        m.row_idx.push_back(static_cast<int32_t>(r));
+        m.col_idx.push_back(static_cast<int32_t>(c));
+        m.values.push_back(v);
+      }
+    }
+  }
+  return m;
+}
+
+MatrixF CooMatrix::ToDense() const {
+  MatrixF dense(rows, cols);
+  for (int64_t i = 0; i < nnz(); ++i) {
+    dense(row_idx[static_cast<size_t>(i)], col_idx[static_cast<size_t>(i)]) =
+        values[static_cast<size_t>(i)];
+  }
+  return dense;
+}
+
+}  // namespace samoyeds

@@ -1,0 +1,33 @@
+// Coordinate-list (COO) unstructured sparse format (§2.2, Fig. 3).
+
+#ifndef SAMOYEDS_SRC_FORMATS_COO_H_
+#define SAMOYEDS_SRC_FORMATS_COO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/tensor/matrix.h"
+
+namespace samoyeds {
+
+struct CooMatrix {
+  int64_t rows = 0;
+  int64_t cols = 0;
+  std::vector<int32_t> row_idx;
+  std::vector<int32_t> col_idx;
+  std::vector<float> values;
+
+  int64_t nnz() const { return static_cast<int64_t>(values.size()); }
+  double density() const {
+    return rows * cols == 0 ? 0.0 : static_cast<double>(nnz()) / static_cast<double>(rows * cols);
+  }
+
+  static CooMatrix FromDense(const MatrixF& dense);
+  MatrixF ToDense() const;
+  // Storage footprint in bytes (fp32 value + two int32 coordinates).
+  int64_t StorageBytes() const { return nnz() * (4 + 4 + 4); }
+};
+
+}  // namespace samoyeds
+
+#endif  // SAMOYEDS_SRC_FORMATS_COO_H_

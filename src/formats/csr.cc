@@ -1,0 +1,52 @@
+#include "src/formats/csr.h"
+
+#include <cassert>
+
+namespace samoyeds {
+
+CsrMatrix CsrMatrix::FromDense(const MatrixF& dense) {
+  CsrMatrix m;
+  m.rows = dense.rows();
+  m.cols = dense.cols();
+  m.row_ptr.reserve(static_cast<size_t>(dense.rows()) + 1);
+  m.row_ptr.push_back(0);
+  for (int64_t r = 0; r < dense.rows(); ++r) {
+    for (int64_t c = 0; c < dense.cols(); ++c) {
+      const float v = dense(r, c);
+      if (v != 0.0f) {
+        m.col_idx.push_back(static_cast<int32_t>(c));
+        m.values.push_back(v);
+      }
+    }
+    m.row_ptr.push_back(static_cast<int64_t>(m.values.size()));
+  }
+  return m;
+}
+
+MatrixF CsrMatrix::ToDense() const {
+  MatrixF dense(rows, cols);
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t i = row_ptr[static_cast<size_t>(r)]; i < row_ptr[static_cast<size_t>(r) + 1]; ++i) {
+      dense(r, col_idx[static_cast<size_t>(i)]) = values[static_cast<size_t>(i)];
+    }
+  }
+  return dense;
+}
+
+MatrixF CsrMatrix::Multiply(const MatrixF& b) const {
+  assert(b.rows() == cols);
+  MatrixF c(rows, b.cols());
+  for (int64_t r = 0; r < rows; ++r) {
+    float* crow = &c(r, 0);
+    for (int64_t i = row_ptr[static_cast<size_t>(r)]; i < row_ptr[static_cast<size_t>(r) + 1]; ++i) {
+      const float av = values[static_cast<size_t>(i)];
+      const float* brow = &b(col_idx[static_cast<size_t>(i)], 0);
+      for (int64_t j = 0; j < b.cols(); ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace samoyeds

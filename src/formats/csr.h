@@ -1,0 +1,39 @@
+// Compressed Sparse Row (CSR) unstructured format (§2.2) — the
+// representation used by the Sputnik-like baseline kernel.
+
+#ifndef SAMOYEDS_SRC_FORMATS_CSR_H_
+#define SAMOYEDS_SRC_FORMATS_CSR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/tensor/matrix.h"
+
+namespace samoyeds {
+
+struct CsrMatrix {
+  int64_t rows = 0;
+  int64_t cols = 0;
+  std::vector<int64_t> row_ptr;  // size rows + 1
+  std::vector<int32_t> col_idx;
+  std::vector<float> values;
+
+  int64_t nnz() const { return static_cast<int64_t>(values.size()); }
+  double density() const {
+    return rows * cols == 0 ? 0.0 : static_cast<double>(nnz()) / static_cast<double>(rows * cols);
+  }
+
+  static CsrMatrix FromDense(const MatrixF& dense);
+  MatrixF ToDense() const;
+
+  // C = this * B, dense B. Reference semantics for the Sputnik baseline.
+  MatrixF Multiply(const MatrixF& b) const;
+
+  int64_t StorageBytes() const {
+    return static_cast<int64_t>(row_ptr.size()) * 8 + nnz() * (4 + 4);
+  }
+};
+
+}  // namespace samoyeds
+
+#endif  // SAMOYEDS_SRC_FORMATS_CSR_H_

@@ -1,0 +1,67 @@
+#include "src/formats/metadata_layout.h"
+
+#include <cassert>
+
+namespace samoyeds {
+
+namespace {
+
+int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+std::vector<uint32_t> PackMetadata(const Matrix<uint8_t>& meta, bool reorganized) {
+  const int64_t tile_rows = CeilDiv(meta.rows(), kMetaTileDim);
+  const int64_t tile_cols = CeilDiv(meta.cols(), kMetaTileDim);
+  const int64_t padded_rows = tile_rows * kMetaTileDim;
+  const int64_t padded_cols = tile_cols * kMetaTileDim;
+  const int64_t total_entries = padded_rows * padded_cols;
+  assert(total_entries % 16 == 0);
+  std::vector<uint32_t> words(static_cast<size_t>(total_entries / 16), 0);
+
+  for (int64_t r = 0; r < meta.rows(); ++r) {
+    for (int64_t c = 0; c < meta.cols(); ++c) {
+      const uint8_t value = meta(r, c);
+      assert(value < 4);
+      int64_t out_r = r;
+      int64_t out_c = c;
+      if (reorganized) {
+        const auto [dr, dc] = MetadataDeviceLocation(static_cast<int>(r % kMetaTileDim),
+                                                     static_cast<int>(c % kMetaTileDim));
+        out_r = r / kMetaTileDim * kMetaTileDim + dr;
+        out_c = c / kMetaTileDim * kMetaTileDim + dc;
+      }
+      const int64_t linear = out_r * padded_cols + out_c;
+      const int64_t word = linear / 16;
+      const int shift = static_cast<int>(linear % 16) * 2;
+      words[static_cast<size_t>(word)] |= static_cast<uint32_t>(value) << shift;
+    }
+  }
+  return words;
+}
+
+Matrix<uint8_t> UnpackMetadata(const std::vector<uint32_t>& words, int64_t rows, int64_t cols,
+                               bool reorganized) {
+  const int64_t tile_cols = CeilDiv(cols, kMetaTileDim);
+  const int64_t padded_cols = tile_cols * kMetaTileDim;
+  Matrix<uint8_t> meta(rows, cols);
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      int64_t in_r = r;
+      int64_t in_c = c;
+      if (reorganized) {
+        const auto [dr, dc] = MetadataDeviceLocation(static_cast<int>(r % kMetaTileDim),
+                                                     static_cast<int>(c % kMetaTileDim));
+        in_r = r / kMetaTileDim * kMetaTileDim + dr;
+        in_c = c / kMetaTileDim * kMetaTileDim + dc;
+      }
+      const int64_t linear = in_r * padded_cols + in_c;
+      const int64_t word = linear / 16;
+      const int shift = static_cast<int>(linear % 16) * 2;
+      meta(r, c) = static_cast<uint8_t>((words[static_cast<size_t>(word)] >> shift) & 0x3u);
+    }
+  }
+  return meta;
+}
+
+}  // namespace samoyeds

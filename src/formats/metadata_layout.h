@@ -1,0 +1,54 @@
+// Reorganized metadata packing (§4.4, Fig. 10).
+//
+// SpTC metadata is a 2-bit matrix. For the mma.sp.m16n8k32 instruction each
+// thread must assemble a 32-bit register holding 16 2-bit entries, but the
+// natural row-major layout makes those entries non-contiguous in device
+// memory. Samoyeds permutes each 16x16 2-bit tile so that every thread's
+// metadata becomes one aligned 32-bit word:
+//
+//   [row, col]  ->  [row % 8 * 2 + col / 8,  col % 8 + row / 8 * 8]
+//
+// This header provides the mapping, its inverse, and pack/unpack helpers
+// between the unpacked (one byte per 2-bit entry) representation used by the
+// functional model and the bit-packed device representation used for
+// traffic accounting.
+
+#ifndef SAMOYEDS_SRC_FORMATS_METADATA_LAYOUT_H_
+#define SAMOYEDS_SRC_FORMATS_METADATA_LAYOUT_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/tensor/matrix.h"
+
+namespace samoyeds {
+
+inline constexpr int kMetaTileDim = 16;  // the permutation operates on 16x16 tiles
+
+// Forward mapping within one 16x16 tile.
+inline std::pair<int, int> MetadataDeviceLocation(int row, int col) {
+  return {row % 8 * 2 + col / 8, col % 8 + row / 8 * 8};
+}
+
+// Inverse mapping (device -> logical).
+inline std::pair<int, int> MetadataLogicalLocation(int dev_row, int dev_col) {
+  const int row = dev_col / 8 * 8 + dev_row / 2;
+  const int col = dev_row % 2 * 8 + dev_col % 8;
+  return {row, col};
+}
+
+// Packs an unpacked 2-bit matrix (one uint8 per entry, values < 4) into
+// 32-bit words. With `reorganized` the Fig. 10 permutation is applied per
+// 16x16 tile first (tiles are padded conceptually with zeros if the matrix
+// is not a multiple of 16). Words are emitted row-major over the (possibly
+// permuted) layout, 16 entries per word, low bits first.
+std::vector<uint32_t> PackMetadata(const Matrix<uint8_t>& meta, bool reorganized);
+
+// Inverse of PackMetadata; `rows`/`cols` give the unpacked shape.
+Matrix<uint8_t> UnpackMetadata(const std::vector<uint32_t>& words, int64_t rows, int64_t cols,
+                               bool reorganized);
+
+}  // namespace samoyeds
+
+#endif  // SAMOYEDS_SRC_FORMATS_METADATA_LAYOUT_H_

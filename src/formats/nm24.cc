@@ -1,0 +1,88 @@
+#include "src/formats/nm24.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cmath>
+
+namespace samoyeds {
+
+namespace {
+
+// Returns the positions (ascending) of the 2 largest-magnitude elements of a
+// 4-element group; ties resolved toward lower index for determinism.
+std::array<int, 2> TopTwoPositions(const float* group) {
+  std::array<int, 4> order = {0, 1, 2, 3};
+  std::stable_sort(order.begin(), order.end(), [group](int a, int b) {
+    return std::fabs(group[a]) > std::fabs(group[b]);
+  });
+  std::array<int, 2> kept = {order[0], order[1]};
+  if (kept[0] > kept[1]) {
+    std::swap(kept[0], kept[1]);
+  }
+  return kept;
+}
+
+}  // namespace
+
+TwoFourMatrix TwoFourMatrix::Encode(const MatrixF& dense) {
+  assert(dense.cols() % 4 == 0);
+  TwoFourMatrix out;
+  out.rows = dense.rows();
+  out.cols = dense.cols();
+  out.data = MatrixF(dense.rows(), dense.cols() / 2);
+  out.meta = Matrix<uint8_t>(dense.rows(), dense.cols() / 2);
+  for (int64_t r = 0; r < dense.rows(); ++r) {
+    for (int64_t g = 0; g < dense.cols() / 4; ++g) {
+      const float* group = &dense(r, g * 4);
+      const auto kept = TopTwoPositions(group);
+      for (int t = 0; t < 2; ++t) {
+        out.data(r, g * 2 + t) = group[kept[static_cast<size_t>(t)]];
+        out.meta(r, g * 2 + t) = static_cast<uint8_t>(kept[static_cast<size_t>(t)]);
+      }
+    }
+  }
+  return out;
+}
+
+MatrixF TwoFourMatrix::ToDense() const {
+  MatrixF dense(rows, cols);
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t g = 0; g < cols / 4; ++g) {
+      for (int t = 0; t < 2; ++t) {
+        dense(r, g * 4 + meta(r, g * 2 + t)) = data(r, g * 2 + t);
+      }
+    }
+  }
+  return dense;
+}
+
+bool TwoFourMatrix::MetadataOrdered() const {
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t g = 0; g < cols / 4; ++g) {
+      const uint8_t p0 = meta(r, g * 2);
+      const uint8_t p1 = meta(r, g * 2 + 1);
+      if (p0 >= 4 || p1 >= 4 || p0 >= p1) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void ApplyTwoFourMask(MatrixF& dense) {
+  assert(dense.cols() % 4 == 0);
+  for (int64_t r = 0; r < dense.rows(); ++r) {
+    for (int64_t g = 0; g < dense.cols() / 4; ++g) {
+      float* group = &dense(r, g * 4);
+      const auto kept = TopTwoPositions(group);
+      for (int p = 0; p < 4; ++p) {
+        if (p != kept[0] && p != kept[1]) {
+          group[p] = 0.0f;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace samoyeds

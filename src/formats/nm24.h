@@ -1,0 +1,48 @@
+// 2:4 element-wise structured sparse format (§2.3, Fig. 4) — the encoding
+// consumed directly by the Sparse Tensor Core and by the cuSPARSELt-like
+// baseline.
+//
+// A dense m x k matrix is pruned so that every contiguous group of 4
+// elements along a row keeps at most 2 non-zeros, then compressed into a
+// m x k/2 value matrix plus a 2-bit-per-kept-element metadata matrix
+// recording each kept element's position inside its group.
+
+#ifndef SAMOYEDS_SRC_FORMATS_NM24_H_
+#define SAMOYEDS_SRC_FORMATS_NM24_H_
+
+#include <cstdint>
+
+#include "src/tensor/matrix.h"
+
+namespace samoyeds {
+
+struct TwoFourMatrix {
+  int64_t rows = 0;
+  int64_t cols = 0;                 // original (uncompressed) column count
+  MatrixF data;                     // rows x cols/2 kept values
+  Matrix<uint8_t> meta;             // rows x cols/2 positions in [0, 4)
+
+  int64_t compressed_cols() const { return cols / 2; }
+
+  // Prunes (magnitude, keep-2-largest-per-group) and encodes. `dense.cols()`
+  // must be a multiple of 4.
+  static TwoFourMatrix Encode(const MatrixF& dense);
+
+  MatrixF ToDense() const;
+
+  // True if metadata positions are strictly ascending within each group, as
+  // the hardware requires.
+  bool MetadataOrdered() const;
+
+  // Bytes of device storage: bf16 values + packed 2-bit metadata.
+  int64_t StorageBytes() const { return compressed_cols() * rows * 2 + compressed_cols() * rows / 4; }
+};
+
+// Applies the 2:4 magnitude mask in place without compressing (utility for
+// pruning studies): zeroes all but the 2 largest-|.| elements of each
+// 4-group along rows.
+void ApplyTwoFourMask(MatrixF& dense);
+
+}  // namespace samoyeds
+
+#endif  // SAMOYEDS_SRC_FORMATS_NM24_H_

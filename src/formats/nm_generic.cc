@@ -1,0 +1,96 @@
+#include "src/formats/nm_generic.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace samoyeds {
+
+namespace {
+
+// Ascending positions of the `n` largest-|.| elements of an m-wide group.
+std::vector<int> TopPositions(const float* group, int n, int m) {
+  std::vector<int> order(static_cast<size_t>(m));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [group](int a, int b) {
+    return std::fabs(group[a]) > std::fabs(group[b]);
+  });
+  order.resize(static_cast<size_t>(n));
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+}  // namespace
+
+NmMatrix NmMatrix::Encode(const MatrixF& dense, const NmConfig& config) {
+  assert(config.IsValid());
+  assert(dense.cols() % config.m == 0);
+  NmMatrix out;
+  out.config = config;
+  out.rows = dense.rows();
+  out.cols = dense.cols();
+  const int64_t kept_cols = dense.cols() / config.m * config.n;
+  out.data = MatrixF(dense.rows(), kept_cols);
+  out.offsets = Matrix<uint8_t>(dense.rows(), kept_cols);
+  for (int64_t r = 0; r < dense.rows(); ++r) {
+    for (int64_t g = 0; g < dense.cols() / config.m; ++g) {
+      const float* group = &dense(r, g * config.m);
+      const auto kept = TopPositions(group, config.n, config.m);
+      for (int t = 0; t < config.n; ++t) {
+        out.data(r, g * config.n + t) = group[kept[static_cast<size_t>(t)]];
+        out.offsets(r, g * config.n + t) = static_cast<uint8_t>(kept[static_cast<size_t>(t)]);
+      }
+    }
+  }
+  return out;
+}
+
+MatrixF NmMatrix::ToDense() const {
+  MatrixF dense(rows, cols);
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t g = 0; g < cols / config.m; ++g) {
+      for (int t = 0; t < config.n; ++t) {
+        dense(r, g * config.m + offsets(r, g * config.n + t)) = data(r, g * config.n + t);
+      }
+    }
+  }
+  return dense;
+}
+
+bool NmMatrix::OffsetsOrdered() const {
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t g = 0; g < cols / config.m; ++g) {
+      int prev = -1;
+      for (int t = 0; t < config.n; ++t) {
+        const int pos = offsets(r, g * config.n + t);
+        if (pos >= config.m || pos <= prev) {
+          return false;
+        }
+        prev = pos;
+      }
+    }
+  }
+  return true;
+}
+
+void ApplyNmMask(MatrixF& dense, const NmConfig& config) {
+  assert(dense.cols() % config.m == 0);
+  for (int64_t r = 0; r < dense.rows(); ++r) {
+    for (int64_t g = 0; g < dense.cols() / config.m; ++g) {
+      float* group = &dense(r, g * config.m);
+      const auto kept = TopPositions(group, config.n, config.m);
+      size_t next = 0;
+      for (int p = 0; p < config.m; ++p) {
+        if (next < kept.size() && kept[next] == p) {
+          ++next;
+        } else {
+          group[p] = 0.0f;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace samoyeds

@@ -1,0 +1,46 @@
+// Generic element-wise N:M structured sparsity (§2.2): keep N of every M
+// contiguous elements along rows. Generalizes the 2:4 format of nm24.h to
+// the flexible ratios used by nmSPARSE-style CUDA-core kernels (e.g. 1:4
+// for 75%, 2:8, ...).
+
+#ifndef SAMOYEDS_SRC_FORMATS_NM_GENERIC_H_
+#define SAMOYEDS_SRC_FORMATS_NM_GENERIC_H_
+
+#include <cstdint>
+
+#include "src/tensor/matrix.h"
+
+namespace samoyeds {
+
+struct NmConfig {
+  int n = 1;
+  int m = 4;
+
+  bool IsValid() const { return n >= 1 && n <= m && m >= 1; }
+  double density() const { return static_cast<double>(n) / m; }
+  double sparsity() const { return 1.0 - density(); }
+};
+
+struct NmMatrix {
+  NmConfig config;
+  int64_t rows = 0;
+  int64_t cols = 0;
+  MatrixF data;             // rows x cols*N/M kept values
+  Matrix<uint8_t> offsets;  // in-group positions, same shape as data
+
+  static NmMatrix Encode(const MatrixF& dense, const NmConfig& config);
+  MatrixF ToDense() const;
+  bool OffsetsOrdered() const;
+
+  int64_t StorageBytes() const {
+    // fp16 values + one byte offset per kept element (nmSPARSE-style).
+    return data.size() * 2 + offsets.size();
+  }
+};
+
+// Keeps the N largest-magnitude elements of every M-group, in place.
+void ApplyNmMask(MatrixF& dense, const NmConfig& config);
+
+}  // namespace samoyeds
+
+#endif  // SAMOYEDS_SRC_FORMATS_NM_GENERIC_H_

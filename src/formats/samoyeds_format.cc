@@ -1,0 +1,140 @@
+#include "src/formats/samoyeds_format.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "src/formats/nm24.h"
+
+namespace samoyeds {
+
+namespace {
+
+// Indices (ascending) of the `n` sub-rows with largest L2 norm within one
+// M x V block. `norms` has M entries.
+std::vector<int> TopSubRows(const std::vector<double>& norms, int n) {
+  std::vector<int> order(norms.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&norms](int a, int b) { return norms[static_cast<size_t>(a)] > norms[static_cast<size_t>(b)]; });
+  order.resize(static_cast<size_t>(n));
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+std::vector<double> BlockSubRowNorms(const MatrixF& dense, int64_t block_row, int64_t block_col,
+                                     const SamoyedsConfig& cfg) {
+  std::vector<double> norms(static_cast<size_t>(cfg.m), 0.0);
+  for (int sr = 0; sr < cfg.m; ++sr) {
+    double sum = 0.0;
+    const int64_t r = block_row * cfg.m + sr;
+    for (int c = 0; c < cfg.v; ++c) {
+      const double x = dense(r, block_col * cfg.v + c);
+      sum += x * x;
+    }
+    norms[static_cast<size_t>(sr)] = sum;
+  }
+  return norms;
+}
+
+}  // namespace
+
+SamoyedsMatrix SamoyedsMatrix::Encode(const MatrixF& dense, const SamoyedsConfig& config) {
+  assert(config.IsValid());
+  assert(dense.rows() % config.m == 0);
+  assert(dense.cols() % config.v == 0);
+
+  SamoyedsMatrix out;
+  out.config = config;
+  out.rows = dense.rows();
+  out.cols = dense.cols();
+  const int64_t c_rows = out.compressed_rows();
+  out.data = MatrixF(c_rows, out.compressed_cols());
+  out.indices = Matrix<uint8_t>(c_rows, out.block_cols());
+  out.meta = Matrix<uint8_t>(c_rows, out.compressed_cols());
+
+  const int64_t n_block_rows = dense.rows() / config.m;
+  const int64_t n_block_cols = out.block_cols();
+
+  // Scratch: one kept sub-row in dense form, then 2:4-encoded.
+  MatrixF subrow(1, config.v);
+  for (int64_t br = 0; br < n_block_rows; ++br) {
+    for (int64_t bc = 0; bc < n_block_cols; ++bc) {
+      const auto norms = BlockSubRowNorms(dense, br, bc, config);
+      const auto kept = TopSubRows(norms, config.n);
+      for (int t = 0; t < config.n; ++t) {
+        const int orig_sr = kept[static_cast<size_t>(t)];
+        const int64_t cr = br * config.n + t;  // compressed row
+        out.indices(cr, bc) = static_cast<uint8_t>(orig_sr);
+        for (int c = 0; c < config.v; ++c) {
+          subrow(0, c) = dense(br * config.m + orig_sr, bc * config.v + c);
+        }
+        const TwoFourMatrix enc = TwoFourMatrix::Encode(subrow);
+        for (int c = 0; c < config.v / 2; ++c) {
+          out.data(cr, bc * (config.v / 2) + c) = enc.data(0, c);
+          out.meta(cr, bc * (config.v / 2) + c) = enc.meta(0, c);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+MatrixF SamoyedsMatrix::ToDense() const {
+  MatrixF dense(rows, cols);
+  const int64_t n_block_rows = rows / config.m;
+  for (int64_t br = 0; br < n_block_rows; ++br) {
+    for (int64_t bc = 0; bc < block_cols(); ++bc) {
+      for (int t = 0; t < config.n; ++t) {
+        const int64_t cr = br * config.n + t;
+        const int orig_sr = indices(cr, bc);
+        for (int g = 0; g < config.v / 4; ++g) {
+          for (int e = 0; e < 2; ++e) {
+            const int64_t cc = bc * (config.v / 2) + g * 2 + e;
+            const int pos = meta(cr, cc);
+            dense(br * config.m + orig_sr, bc * config.v + g * 4 + pos) = data(cr, cc);
+          }
+        }
+      }
+    }
+  }
+  return dense;
+}
+
+bool SamoyedsMatrix::IsWellFormed() const {
+  if (!config.IsValid() || rows % config.m != 0 || cols % config.v != 0) {
+    return false;
+  }
+  const int64_t n_block_rows = rows / config.m;
+  for (int64_t br = 0; br < n_block_rows; ++br) {
+    for (int64_t bc = 0; bc < block_cols(); ++bc) {
+      int prev = -1;
+      for (int t = 0; t < config.n; ++t) {
+        const int idx = indices(br * config.n + t, bc);
+        if (idx >= config.m || idx <= prev) {
+          return false;  // out of range or not strictly ascending
+        }
+        prev = idx;
+      }
+    }
+  }
+  for (int64_t r = 0; r < compressed_rows(); ++r) {
+    for (int64_t g = 0; g < compressed_cols() / 2; ++g) {
+      const uint8_t p0 = meta(r, g * 2);
+      const uint8_t p1 = meta(r, g * 2 + 1);
+      if (p0 >= 4 || p1 >= 4 || p0 >= p1) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void ApplySamoyedsMask(MatrixF& dense, const SamoyedsConfig& config) {
+  const SamoyedsMatrix enc = SamoyedsMatrix::Encode(dense, config);
+  dense = enc.ToDense();
+}
+
+}  // namespace samoyeds

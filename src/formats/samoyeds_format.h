@@ -1,0 +1,79 @@
+// The Samoyeds dual-side sparse data format — weight side (§4.1, Fig. 7).
+//
+// A dense m x k weight matrix is segmented into structured sparse blocks of
+// M sub-rows x V columns. Within each block only N sub-rows (1 x V vectors)
+// are retained — *independently per block column* — and the retained
+// sub-rows are further pruned 2:4 element-wise to satisfy the SpTC ISA.
+//
+// The encoding produces three components:
+//   data    (m/M*N) x (k/2)  kept values, compressed along both axes
+//   indices (m/M*N) x (k/V)  original sub-row index of each compressed row,
+//                            per block column
+//   meta    (m/M*N) x (k/2)  2-bit in-group positions for the SpTC
+//
+// Overall sparsity = (1 - N/M) + (N/M) * 1/2. The paper's configurations
+// (N,M,V) = (1,2,16), (1,2,32), (4,8,32), (8,16,32) all give 75%.
+//
+// The input side of the dual-side format (the SEL selection array) lives in
+// src/formats/sel.h.
+
+#ifndef SAMOYEDS_SRC_FORMATS_SAMOYEDS_FORMAT_H_
+#define SAMOYEDS_SRC_FORMATS_SAMOYEDS_FORMAT_H_
+
+#include <cstdint>
+
+#include "src/tensor/matrix.h"
+
+namespace samoyeds {
+
+struct SamoyedsConfig {
+  int n = 1;   // sub-rows kept per block
+  int m = 2;   // sub-rows per block
+  int v = 32;  // sub-row (vector) length; multiple of 4
+
+  bool IsValid() const { return n >= 1 && n <= m && v >= 4 && v % 4 == 0; }
+
+  // Fraction of weights that survive pruning.
+  double density() const { return static_cast<double>(n) / m * 0.5; }
+  double sparsity() const { return 1.0 - density(); }
+};
+
+struct SamoyedsMatrix {
+  SamoyedsConfig config;
+  int64_t rows = 0;  // original m
+  int64_t cols = 0;  // original k
+
+  MatrixF data;             // (rows/M*N) x (cols/2)
+  Matrix<uint8_t> indices;  // (rows/M*N) x (cols/V), values in [0, M)
+  Matrix<uint8_t> meta;     // (rows/M*N) x (cols/2), values in [0, 4)
+
+  int64_t compressed_rows() const { return rows / config.m * config.n; }
+  int64_t compressed_cols() const { return cols / 2; }
+  int64_t block_cols() const { return cols / config.v; }
+
+  // Magnitude-based encode: per (block-row, block-column), keep the N
+  // sub-rows with the largest L2 norm (ascending original order), then 2:4
+  // keep-largest within each 4-group. Requires rows % M == 0, cols % V == 0.
+  static SamoyedsMatrix Encode(const MatrixF& dense, const SamoyedsConfig& config);
+
+  MatrixF ToDense() const;
+
+  // Internal consistency: index ranges, ascending kept sub-rows per block,
+  // ordered 2:4 metadata.
+  bool IsWellFormed() const;
+
+  // Device storage: bf16 data + packed 2-bit metadata + uint8 indices.
+  int64_t StorageBytes() const {
+    return compressed_rows() * compressed_cols() * 2 +  // bf16 data
+           compressed_rows() * compressed_cols() / 4 +  // 2-bit metadata
+           compressed_rows() * block_cols();            // uint8 indices
+  }
+};
+
+// Zeroes everything the Samoyeds encoding would drop, without compressing
+// (mask-application utility for the accuracy studies of §6.5).
+void ApplySamoyedsMask(MatrixF& dense, const SamoyedsConfig& config);
+
+}  // namespace samoyeds
+
+#endif  // SAMOYEDS_SRC_FORMATS_SAMOYEDS_FORMAT_H_

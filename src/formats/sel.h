@@ -1,0 +1,81 @@
+// Selection array (SEL) — the input-side half of the Samoyeds dual-side
+// format (§4.1, right of Fig. 7).
+//
+// In MoE execution, the tokens routed to one expert form a subset of the
+// activation matrix's columns (after the in-kernel transposition of §4.5).
+// A Selection records which columns participate, in the order the kernel
+// will produce them in the compressed output layout.
+
+#ifndef SAMOYEDS_SRC_FORMATS_SEL_H_
+#define SAMOYEDS_SRC_FORMATS_SEL_H_
+
+#include <cassert>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "src/tensor/matrix.h"
+
+namespace samoyeds {
+
+struct Selection {
+  // Column indices into the full activation matrix, strictly increasing.
+  std::vector<int32_t> indices;
+  // Number of columns in the full matrix.
+  int64_t full_size = 0;
+
+  int64_t selected() const { return static_cast<int64_t>(indices.size()); }
+
+  double density() const {
+    return full_size == 0 ? 0.0 : static_cast<double>(selected()) / static_cast<double>(full_size);
+  }
+
+  static Selection All(int64_t n) {
+    Selection s;
+    s.full_size = n;
+    s.indices.resize(static_cast<size_t>(n));
+    std::iota(s.indices.begin(), s.indices.end(), 0);
+    return s;
+  }
+
+  bool IsValid() const {
+    int32_t prev = -1;
+    for (int32_t i : indices) {
+      if (i <= prev || i >= full_size) {
+        return false;
+      }
+      prev = i;
+    }
+    return true;
+  }
+};
+
+// Gathers the selected columns of `b` into a dense (b.rows() x sel.selected())
+// matrix — the reference semantics of the kernel's SEL-driven loads.
+inline MatrixF GatherColumns(const MatrixF& b, const Selection& sel) {
+  assert(sel.full_size == b.cols());
+  MatrixF out(b.rows(), sel.selected());
+  for (int64_t r = 0; r < b.rows(); ++r) {
+    for (int64_t j = 0; j < sel.selected(); ++j) {
+      out(r, j) = b(r, sel.indices[static_cast<size_t>(j)]);
+    }
+  }
+  return out;
+}
+
+// Scatters compressed output columns back into full width (zero elsewhere) —
+// the reference semantics of the *uncompressed* output layout.
+inline MatrixF ScatterColumns(const MatrixF& compressed, const Selection& sel) {
+  assert(compressed.cols() == sel.selected());
+  MatrixF out(compressed.rows(), sel.full_size);
+  for (int64_t r = 0; r < compressed.rows(); ++r) {
+    for (int64_t j = 0; j < sel.selected(); ++j) {
+      out(r, sel.indices[static_cast<size_t>(j)]) = compressed(r, j);
+    }
+  }
+  return out;
+}
+
+}  // namespace samoyeds
+
+#endif  // SAMOYEDS_SRC_FORMATS_SEL_H_

@@ -1,0 +1,95 @@
+#include "src/formats/serialization.h"
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+
+namespace samoyeds {
+
+namespace {
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+template <typename T>
+void WriteMatrix(std::ostream& out, const Matrix<T>& m) {
+  WritePod(out, static_cast<int64_t>(m.rows()));
+  WritePod(out, static_cast<int64_t>(m.cols()));
+  out.write(reinterpret_cast<const char*>(m.data()),
+            static_cast<std::streamsize>(m.size() * sizeof(T)));
+}
+
+template <typename T>
+bool ReadMatrix(std::istream& in, Matrix<T>* m, int64_t expect_rows, int64_t expect_cols) {
+  int64_t rows = 0;
+  int64_t cols = 0;
+  if (!ReadPod(in, &rows) || !ReadPod(in, &cols)) {
+    return false;
+  }
+  if (rows != expect_rows || cols != expect_cols || rows < 0 || cols < 0) {
+    return false;
+  }
+  *m = Matrix<T>(rows, cols);
+  in.read(reinterpret_cast<char*>(m->data()),
+          static_cast<std::streamsize>(m->size() * sizeof(T)));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+bool SaveSamoyedsMatrix(const SamoyedsMatrix& m, std::ostream& out) {
+  WritePod(out, kSamoyedsMagic);
+  WritePod(out, kSamoyedsVersion);
+  WritePod(out, static_cast<int32_t>(m.config.n));
+  WritePod(out, static_cast<int32_t>(m.config.m));
+  WritePod(out, static_cast<int32_t>(m.config.v));
+  WritePod(out, m.rows);
+  WritePod(out, m.cols);
+  WriteMatrix(out, m.data);
+  WriteMatrix(out, m.indices);
+  WriteMatrix(out, m.meta);
+  return static_cast<bool>(out);
+}
+
+std::optional<SamoyedsMatrix> LoadSamoyedsMatrix(std::istream& in) {
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  if (!ReadPod(in, &magic) || magic != kSamoyedsMagic || !ReadPod(in, &version) ||
+      version != kSamoyedsVersion) {
+    return std::nullopt;
+  }
+  SamoyedsMatrix m;
+  int32_t n = 0;
+  int32_t mm = 0;
+  int32_t v = 0;
+  if (!ReadPod(in, &n) || !ReadPod(in, &mm) || !ReadPod(in, &v)) {
+    return std::nullopt;
+  }
+  m.config = SamoyedsConfig{n, mm, v};
+  if (!m.config.IsValid()) {
+    return std::nullopt;
+  }
+  if (!ReadPod(in, &m.rows) || !ReadPod(in, &m.cols) || m.rows < 0 || m.cols < 0 ||
+      m.rows % m.config.m != 0 || m.cols % m.config.v != 0) {
+    return std::nullopt;
+  }
+  if (!ReadMatrix(in, &m.data, m.compressed_rows(), m.compressed_cols()) ||
+      !ReadMatrix(in, &m.indices, m.compressed_rows(), m.block_cols()) ||
+      !ReadMatrix(in, &m.meta, m.compressed_rows(), m.compressed_cols())) {
+    return std::nullopt;
+  }
+  if (!m.IsWellFormed()) {
+    return std::nullopt;
+  }
+  return m;
+}
+
+}  // namespace samoyeds

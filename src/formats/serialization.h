@@ -1,0 +1,29 @@
+// Binary serialization of the Samoyeds sparse format — the deployment path
+// between the offline pruning stage (§6.5) and the inference runtime.
+//
+// Layout: magic, version, config, shape, then the three component matrices
+// in row-major order. All integers little-endian fixed width; values fp32.
+
+#ifndef SAMOYEDS_SRC_FORMATS_SERIALIZATION_H_
+#define SAMOYEDS_SRC_FORMATS_SERIALIZATION_H_
+
+#include <iosfwd>
+#include <optional>
+
+#include "src/formats/samoyeds_format.h"
+
+namespace samoyeds {
+
+inline constexpr uint32_t kSamoyedsMagic = 0x534d4f59;  // "SMOY"
+inline constexpr uint32_t kSamoyedsVersion = 1;
+
+// Writes the matrix; returns false on stream failure.
+bool SaveSamoyedsMatrix(const SamoyedsMatrix& m, std::ostream& out);
+
+// Reads a matrix; returns nullopt on malformed input (bad magic/version,
+// inconsistent shapes, truncated payload, out-of-range indices/metadata).
+std::optional<SamoyedsMatrix> LoadSamoyedsMatrix(std::istream& in);
+
+}  // namespace samoyeds
+
+#endif  // SAMOYEDS_SRC_FORMATS_SERIALIZATION_H_

@@ -1,0 +1,104 @@
+#include "src/formats/venom.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <vector>
+
+#include "src/formats/nm24.h"
+
+namespace samoyeds {
+
+namespace {
+
+// Ascending indices of the n columns with largest L2 norm inside one
+// V-row x M-column panel.
+std::vector<int> TopColumns(const MatrixF& dense, int64_t stripe, int64_t panel,
+                            const VenomConfig& cfg) {
+  std::vector<double> norms(static_cast<size_t>(cfg.m), 0.0);
+  for (int c = 0; c < cfg.m; ++c) {
+    double sum = 0.0;
+    for (int r = 0; r < cfg.v; ++r) {
+      const double x = dense(stripe * cfg.v + r, panel * cfg.m + c);
+      sum += x * x;
+    }
+    norms[static_cast<size_t>(c)] = sum;
+  }
+  std::vector<int> order(static_cast<size_t>(cfg.m));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&norms](int a, int b) { return norms[static_cast<size_t>(a)] > norms[static_cast<size_t>(b)]; });
+  order.resize(static_cast<size_t>(cfg.n));
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+}  // namespace
+
+VenomMatrix VenomMatrix::Encode(const MatrixF& dense, const VenomConfig& config) {
+  assert(config.IsValid());
+  assert(dense.rows() % config.v == 0);
+  assert(dense.cols() % config.m == 0);
+
+  VenomMatrix out;
+  out.config = config;
+  out.rows = dense.rows();
+  out.cols = dense.cols();
+  const int64_t kept = out.kept_cols();
+  assert(kept % 4 == 0);
+
+  out.col_indices = Matrix<uint8_t>(out.stripe_count(), kept);
+
+  // First level: gather kept columns per stripe into a compacted matrix.
+  MatrixF compacted(dense.rows(), kept);
+  for (int64_t s = 0; s < out.stripe_count(); ++s) {
+    for (int64_t p = 0; p < out.panels(); ++p) {
+      const auto cols_kept = TopColumns(dense, s, p, config);
+      for (int t = 0; t < config.n; ++t) {
+        const int64_t kc = p * config.n + t;
+        out.col_indices(s, kc) = static_cast<uint8_t>(cols_kept[static_cast<size_t>(t)]);
+        for (int r = 0; r < config.v; ++r) {
+          compacted(s * config.v + r, kc) =
+              dense(s * config.v + r, p * config.m + cols_kept[static_cast<size_t>(t)]);
+        }
+      }
+    }
+  }
+
+  // Second level: 2:4 along rows of the compacted matrix.
+  const TwoFourMatrix enc = TwoFourMatrix::Encode(compacted);
+  out.data = enc.data;
+  out.meta = enc.meta;
+  return out;
+}
+
+MatrixF VenomMatrix::ToDense() const {
+  // Undo the 2:4 level first.
+  TwoFourMatrix tf;
+  tf.rows = rows;
+  tf.cols = kept_cols();
+  tf.data = data;
+  tf.meta = meta;
+  const MatrixF compacted = tf.ToDense();
+
+  MatrixF dense(rows, cols);
+  for (int64_t s = 0; s < stripe_count(); ++s) {
+    for (int64_t p = 0; p < panels(); ++p) {
+      for (int t = 0; t < config.n; ++t) {
+        const int64_t kc = p * config.n + t;
+        const int orig_col = col_indices(s, kc);
+        for (int r = 0; r < config.v; ++r) {
+          dense(s * config.v + r, p * config.m + orig_col) = compacted(s * config.v + r, kc);
+        }
+      }
+    }
+  }
+  return dense;
+}
+
+void ApplyVenomMask(MatrixF& dense, const VenomConfig& config) {
+  const VenomMatrix enc = VenomMatrix::Encode(dense, config);
+  dense = enc.ToDense();
+}
+
+}  // namespace samoyeds

@@ -1,0 +1,66 @@
+// V:N:M format (VENOM, Castro et al., SC'23) — the strongest structured
+// sparse baseline in the paper's evaluation.
+//
+// The matrix is divided into stripes of V rows. Within each stripe, columns
+// are grouped into panels of M; N columns of every panel are kept (vector
+// granularity V along the row axis), and the kept columns are additionally
+// pruned 2:4 element-wise along rows so the result maps onto the SpTC.
+// Density = (N/M) * 1/2; the paper's accuracy comparison uses 75% total
+// sparsity, i.e. N:M = 2:4 with the default V = 64.
+//
+// Structural contrast with the Samoyeds format: VENOM selects *column*
+// vectors (input-channel granularity) while Samoyeds selects *sub-rows*
+// (output-neuron granularity per V-wide input slice) with a much shorter
+// vector length — the finer granularity is what preserves accuracy (§6.5).
+
+#ifndef SAMOYEDS_SRC_FORMATS_VENOM_H_
+#define SAMOYEDS_SRC_FORMATS_VENOM_H_
+
+#include <cstdint>
+
+#include "src/tensor/matrix.h"
+
+namespace samoyeds {
+
+struct VenomConfig {
+  int v = 64;  // stripe height (vector length)
+  int n = 2;   // columns kept per panel
+  int m = 4;   // columns per panel
+
+  bool IsValid() const { return v >= 1 && n >= 1 && n <= m; }
+  double density() const { return static_cast<double>(n) / m * 0.5; }
+  double sparsity() const { return 1.0 - density(); }
+};
+
+struct VenomMatrix {
+  VenomConfig config;
+  int64_t rows = 0;
+  int64_t cols = 0;
+
+  // Kept values after both pruning levels, compressed along columns:
+  // rows x (cols * N/M / 2).
+  MatrixF data;
+  // Kept-column index within each panel: (rows/V) x (cols/M * N).
+  Matrix<uint8_t> col_indices;
+  // 2-bit positions for the second-level 2:4: rows x (cols * N/M / 2).
+  Matrix<uint8_t> meta;
+
+  int64_t stripe_count() const { return rows / config.v; }
+  int64_t panels() const { return cols / config.m; }
+  int64_t kept_cols() const { return panels() * config.n; }
+
+  static VenomMatrix Encode(const MatrixF& dense, const VenomConfig& config);
+  MatrixF ToDense() const;
+
+  int64_t StorageBytes() const {
+    const int64_t data_elems = rows * kept_cols() / 2;
+    return data_elems * 2 + data_elems / 4 + stripe_count() * kept_cols();
+  }
+};
+
+// Mask-only application for pruning studies.
+void ApplyVenomMask(MatrixF& dense, const VenomConfig& config);
+
+}  // namespace samoyeds
+
+#endif  // SAMOYEDS_SRC_FORMATS_VENOM_H_

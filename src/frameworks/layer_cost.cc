@@ -1,0 +1,449 @@
+#include "src/frameworks/layer_cost.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/core/samoyeds_kernel.h"
+#include "src/kernels/dense_gemm.h"
+#include "src/kernels/kernel_report.h"
+#include "src/moe/attention.h"
+#include "src/simgpu/timing_model.h"
+
+namespace samoyeds {
+
+namespace {
+
+double Ms(const TrafficReport& report, const DeviceSpec& device) {
+  return TimingModel(device).Estimate(report).total_ms;
+}
+
+// One elementwise kernel pass (permute copies, activation, weighted sums).
+TrafficReport ElementwiseTraffic(double read_bytes, double write_bytes,
+                                 double uncoalesced_fraction = 0.0) {
+  TrafficReport t;
+  t.gmem_read_bytes = read_bytes;
+  t.gmem_write_bytes = write_bytes;
+  t.gmem_unique_bytes = read_bytes + write_bytes;
+  t.gmem_uncoalesced_bytes = uncoalesced_fraction * read_bytes;
+  t.simd_flops = (read_bytes + write_bytes) * 1.0;  // a few ops per element
+  t.thread_blocks = std::max<int64_t>(1, static_cast<int64_t>((read_bytes + write_bytes) / 8192));
+  t.warps_per_block = 4;
+  t.pipeline_stages = 1;
+  t.efficiency = 0.85;
+  t.fixed_overhead_us = 5.0;
+  return t;
+}
+
+// Traffic of a grouped (single-launch) dense GEMM over per-expert token
+// counts: weights (m x k) per expert, activations k x n_e, token counts
+// padded to `pad_to`.
+TrafficReport GroupedDenseTraffic(int64_t m, int64_t k, const std::vector<int64_t>& ns,
+                                  int64_t pad_to, int nb, double efficiency) {
+  constexpr int kMb = 128;
+  constexpr int kKb = 32;
+  TrafficReport t;
+  t.warps_per_block = 8;
+  t.pipeline_stages = 3;
+  t.smem_bytes_per_block = static_cast<int64_t>(3) * (kMb + nb) * kKb * 2;
+  t.regs_per_thread = 160;
+  t.efficiency = efficiency;
+  t.fixed_overhead_us = 6.0;
+
+  const int64_t mp = RoundUp(m, kMb);
+  const int64_t kp = RoundUp(k, kKb);
+  for (int64_t n : ns) {
+    if (n == 0) {
+      continue;
+    }
+    const int64_t np = RoundUp(RoundUp(n, pad_to), nb);
+    const int64_t blocks = (mp / kMb) * (np / nb);
+    t.thread_blocks += blocks;
+    t.gmem_read_bytes += static_cast<double>(blocks) * (kMb * kp + kp * nb) * 2.0;
+    t.gmem_write_bytes += static_cast<double>(mp) * np * 2.0;
+    t.gmem_unique_bytes += (static_cast<double>(m) * k + static_cast<double>(k + m) * n) * 2.0;
+    t.mma_flops += 2.0 * mp * kp * np;
+    t.simd_flops += static_cast<double>(mp) * np * 2.0;
+  }
+  t.smem_bytes = t.gmem_read_bytes * 3.0;
+  return t;
+}
+
+// Grouped Samoyeds SSMM over all experts for one projection; traffic is the
+// per-expert Analyze sum collapsed into a single launch.
+TrafficReport GroupedSamoyedsTraffic(int64_t m, int64_t k, const std::vector<int64_t>& ns,
+                                     int64_t total_tokens, const SamoyedsConfig& fmt,
+                                     const SsmmConfig& ssmm, const DeviceSpec& device) {
+  TrafficReport sum;
+  bool first = true;
+  for (int64_t n : ns) {
+    if (n == 0) {
+      continue;
+    }
+    const KernelProfile p =
+        SamoyedsKernel::Analyze({m, k, total_tokens}, n, fmt, ssmm, device);
+    if (first) {
+      sum = p.traffic;
+      first = false;
+    } else {
+      TrafficReport t = p.traffic;
+      t.fixed_overhead_us = 0.0;  // one launch for the whole group
+      sum += t;
+    }
+  }
+  return sum;
+}
+
+TrafficReport RouterTraffic(const MoeModelConfig& model, int64_t tokens) {
+  KernelProfile p = DenseGemmKernel::Analyze({model.num_experts, model.hidden, tokens});
+  // Softmax + top-k selection.
+  p.traffic.simd_flops += static_cast<double>(tokens) * model.num_experts * 12.0;
+  return p.traffic;
+}
+
+struct PhaseAccumulator {
+  std::vector<PhaseCost> phases;
+  double total_ms = 0.0;
+
+  void Add(const std::string& name, double ms) {
+    total_ms += ms;
+    for (auto& p : phases) {
+      if (p.name == name) {
+        p.ms += ms;
+        return;
+      }
+    }
+    phases.push_back({name, ms});
+  }
+};
+
+// Useful dense-equivalent FLOPs of the whole MoE layer (for reporting).
+double LayerUsefulFlops(const MoeModelConfig& model, const std::vector<int64_t>& counts,
+                        int shared, int64_t tokens) {
+  double assigned = 0.0;
+  for (int64_t n : counts) {
+    assigned += static_cast<double>(n);
+  }
+  assigned += static_cast<double>(shared) * tokens;
+  return assigned * 3.0 * 2.0 * model.hidden * model.intermediate;
+}
+
+void AddTransformersMoe(const MoeModelConfig& model, const std::vector<int64_t>& counts,
+                        int64_t tokens, int shared, const DeviceSpec& device,
+                        PhaseAccumulator& acc) {
+  const double h = model.hidden;
+  double routed = 0.0;
+  for (int64_t n : counts) {
+    routed += static_cast<double>(n);
+  }
+  const double routed_bytes = routed * h * 2.0;
+
+  acc.Add("router", Ms(RouterTraffic(model, tokens), device));
+  // Gather permutation: one duplicated row per routed assignment.
+  acc.Add("permute", Ms(ElementwiseTraffic(routed_bytes, routed_bytes, 0.5), device));
+
+  // Per-expert kernels, launched sequentially.
+  auto expert_ms = [&](int64_t n) {
+    if (n == 0) {
+      return 0.0;
+    }
+    double ms = 0.0;
+    ms += Ms(DenseGemmKernel::Analyze({model.intermediate, model.hidden, n}).traffic, device);
+    ms += Ms(DenseGemmKernel::Analyze({model.intermediate, model.hidden, n}).traffic, device);
+    const double inter_bytes = static_cast<double>(n) * model.intermediate * 2.0;
+    ms += Ms(ElementwiseTraffic(2.0 * inter_bytes, inter_bytes), device);  // act kernel
+    ms += Ms(DenseGemmKernel::Analyze({model.hidden, model.intermediate, n}).traffic, device);
+    return ms;
+  };
+  // Note: OpenMoE's hf_dense_expert_fallback affects *allocation* (it sizes
+  // buffers for all experts — see memory_model.cc) but the arithmetic is
+  // still masked, so the time model uses the routed counts for all models.
+  double experts_ms = 0.0;
+  for (int64_t n : counts) {
+    experts_ms += expert_ms(n);
+    if (n > 0) {
+      // Eager-mode dispatch: index_select / one-hot masking and Python-side
+      // launch latency per active expert.
+      experts_ms += 0.030;
+    }
+  }
+  acc.Add("experts", experts_ms);
+  double shared_ms = 0.0;
+  for (int s = 0; s < shared; ++s) {
+    shared_ms += expert_ms(tokens);
+  }
+  if (shared > 0) {
+    acc.Add("shared_experts", shared_ms);
+  }
+  // Weighted un-permutation: expert outputs round-trip through GMEM (§3.1).
+  acc.Add("unpermute",
+          Ms(ElementwiseTraffic(2.0 * routed_bytes, static_cast<double>(tokens) * h * 2.0, 0.3),
+             device));
+}
+
+void AddGroupedDenseMoe(const MoeModelConfig& model, const std::vector<int64_t>& counts,
+                        int64_t tokens, int shared, const DeviceSpec& device, int64_t pad_to,
+                        int nb, double efficiency, bool fused_epilogues, double permute_scale,
+                        PhaseAccumulator& acc) {
+  const double h = model.hidden;
+  double routed = 0.0;
+  for (int64_t n : counts) {
+    routed += static_cast<double>(n);
+  }
+  const double routed_bytes = routed * h * 2.0;
+
+  acc.Add("router", Ms(RouterTraffic(model, tokens), device));
+  if (permute_scale > 0.0) {
+    acc.Add("permute",
+            Ms(ElementwiseTraffic(routed_bytes * permute_scale, routed_bytes * permute_scale, 0.3),
+               device));
+  }
+
+  std::vector<int64_t> all_counts = counts;
+  for (int s = 0; s < shared; ++s) {
+    all_counts.push_back(tokens);
+  }
+  // gate + up as one grouped launch (the fused kernels compute both).
+  TrafficReport gate =
+      GroupedDenseTraffic(model.intermediate, model.hidden, all_counts, pad_to, nb, efficiency);
+  TrafficReport up = gate;
+  up.fixed_overhead_us = fused_epilogues ? 0.0 : 6.0;
+  acc.Add("gate_up", Ms(gate + up, device));
+
+  const double inter_bytes = routed * model.intermediate * 2.0;
+  if (!fused_epilogues) {
+    acc.Add("activation", Ms(ElementwiseTraffic(2.0 * inter_bytes, inter_bytes), device));
+  }
+  TrafficReport down =
+      GroupedDenseTraffic(model.hidden, model.intermediate, all_counts, pad_to, nb, efficiency);
+  acc.Add("down", Ms(down, device));
+  if (fused_epilogues) {
+    // Weighted accumulation fused into the down kernel: atomics only.
+    acc.Add("unpermute",
+            Ms(ElementwiseTraffic(routed_bytes * 0.2, static_cast<double>(tokens) * h * 2.0), device));
+  } else {
+    acc.Add("unpermute",
+            Ms(ElementwiseTraffic(2.0 * routed_bytes, static_cast<double>(tokens) * h * 2.0, 0.3),
+               device));
+  }
+}
+
+void AddSamoyedsMoe(const MoeModelConfig& model, const std::vector<int64_t>& counts,
+                    int64_t tokens, int shared, const LayerCostOptions& options,
+                    const DeviceSpec& device, PhaseAccumulator& acc) {
+  const double h = model.hidden;
+  double routed = 0.0;
+  for (int64_t n : counts) {
+    routed += static_cast<double>(n);
+  }
+  const double routed_bytes = routed * h * 2.0;
+
+  // The layer accounts for the (un)fused transposes itself, as whole-layer
+  // passes; the kernel-level fused_transpose flag stays on so the cost is
+  // not double-counted.
+  SsmmConfig ssmm = options.ssmm;
+  ssmm.fused_transpose = true;
+  bool permutation_flow = false;   // explicit permute/unpermute data flow
+  bool separate_transposes = false;  // T optimization disabled
+  bool fused_epilogues = false;    // activation + weighted-acc fused (S)
+  switch (options.variant) {
+    case SamoyedsVariant::kW:
+      ssmm.input_selection = false;
+      ssmm.data_stationary = false;
+      permutation_flow = true;
+      separate_transposes = true;
+      break;
+    case SamoyedsVariant::kWI:
+      ssmm.input_selection = true;
+      ssmm.data_stationary = false;
+      separate_transposes = true;
+      break;
+    case SamoyedsVariant::kWIT:
+      ssmm.input_selection = true;
+      ssmm.data_stationary = false;
+      break;
+    case SamoyedsVariant::kFull:
+      ssmm.input_selection = true;
+      ssmm.data_stationary = true;
+      fused_epilogues = true;
+      break;
+  }
+
+  acc.Add("router", Ms(RouterTraffic(model, tokens), device));
+  if (permutation_flow) {
+    acc.Add("permute", Ms(ElementwiseTraffic(routed_bytes, routed_bytes, 0.5), device));
+  }
+  if (separate_transposes) {
+    // (W^T x^T)^T restructuring done as standalone passes: transpose the
+    // activations on the way in and the outputs on the way back (§4.5).
+    acc.Add("transpose",
+            Ms(ElementwiseTraffic(routed_bytes, routed_bytes, 0.25), device) +
+                Ms(ElementwiseTraffic(routed_bytes, routed_bytes, 0.25), device));
+  }
+
+  std::vector<int64_t> all_counts = counts;
+  for (int s = 0; s < shared; ++s) {
+    all_counts.push_back(tokens);
+  }
+
+  if (permutation_flow) {
+    // +W: the sparse-dense kernel replaces cuBLAS inside the per-expert
+    // Transformers flow (each expert's permuted slice is a dense input).
+    double experts_ms = 0.0;
+    for (int64_t n : all_counts) {
+      if (n == 0) {
+        continue;
+      }
+      const KernelProfile gate =
+          SamoyedsKernel::Analyze({model.intermediate, model.hidden, n}, n,
+                                  options.sparse_format, ssmm, device);
+      const KernelProfile down = SamoyedsKernel::Analyze({model.hidden, model.intermediate, n}, n,
+                                                         options.sparse_format, ssmm, device);
+      const double inter_bytes = static_cast<double>(n) * model.intermediate * 2.0;
+      experts_ms += 2.0 * Ms(gate.traffic, device) + Ms(down.traffic, device) +
+                    Ms(ElementwiseTraffic(2.0 * inter_bytes, inter_bytes), device);
+    }
+    acc.Add("experts", experts_ms);
+    acc.Add("unpermute",
+            Ms(ElementwiseTraffic(2.0 * routed_bytes, static_cast<double>(tokens) * h * 2.0, 0.3),
+               device));
+    return;
+  }
+
+  // Dual-side path: grouped launches with SEL selection per expert.
+  TrafficReport gate = GroupedSamoyedsTraffic(model.intermediate, model.hidden, all_counts,
+                                              tokens, options.sparse_format, ssmm, device);
+  TrafficReport up = gate;
+  up.fixed_overhead_us = 0.0;
+  acc.Add("gate_up", Ms(gate + up, device));
+
+  const double inter_bytes = routed * model.intermediate * 2.0;
+  if (!fused_epilogues) {
+    acc.Add("activation", Ms(ElementwiseTraffic(2.0 * inter_bytes, inter_bytes), device));
+  }
+  TrafficReport down = GroupedSamoyedsTraffic(model.hidden, model.intermediate, all_counts,
+                                              tokens, options.sparse_format, ssmm, device);
+  acc.Add("down", Ms(down, device));
+  if (fused_epilogues) {
+    acc.Add("unpermute",
+            Ms(ElementwiseTraffic(routed_bytes * 0.2, static_cast<double>(tokens) * h * 2.0),
+               device));
+  } else {
+    acc.Add("unpermute",
+            Ms(ElementwiseTraffic(2.0 * routed_bytes, static_cast<double>(tokens) * h * 2.0, 0.3),
+               device));
+  }
+}
+
+}  // namespace
+
+double MoeLayerCost::PhaseMs(const std::string& name) const {
+  for (const auto& p : phases) {
+    if (p.name == name) {
+      return p.ms;
+    }
+  }
+  return 0.0;
+}
+
+std::vector<int64_t> UniformTokensPerExpert(const MoeModelConfig& model, int64_t total_tokens) {
+  std::vector<int64_t> counts(static_cast<size_t>(model.num_experts), 0);
+  const int64_t assignments = total_tokens * model.top_k;
+  for (int e = 0; e < model.num_experts; ++e) {
+    counts[static_cast<size_t>(e)] = assignments / model.num_experts +
+                                     (e < assignments % model.num_experts ? 1 : 0);
+  }
+  return counts;
+}
+
+MoeLayerCost EstimateMoeLayerCost(MoeFramework framework, const MoeModelConfig& model,
+                                  const std::vector<int64_t>& tokens_per_expert,
+                                  int64_t total_tokens, const LayerCostOptions& options) {
+  assert(static_cast<int>(tokens_per_expert.size()) == model.num_experts);
+  assert(FrameworkSupportsModel(framework, model));
+  const DeviceSpec& device = GetDevice(options.device);
+  const int shared = options.shared_experts_override >= 0 ? options.shared_experts_override
+                                                          : model.shared_experts;
+
+  PhaseAccumulator acc;
+  switch (framework) {
+    case MoeFramework::kTransformers:
+      AddTransformersMoe(model, tokens_per_expert, total_tokens, shared, device, acc);
+      break;
+    case MoeFramework::kMegaBlocks:
+      AddGroupedDenseMoe(model, tokens_per_expert, total_tokens, shared, device, /*pad_to=*/1,
+                         /*nb=*/128, /*efficiency=*/0.90, /*fused_epilogues=*/false,
+                         /*permute_scale=*/0.3, acc);
+      break;
+    case MoeFramework::kVllmDs:
+      AddGroupedDenseMoe(model, tokens_per_expert, total_tokens, shared, device, /*pad_to=*/16,
+                         /*nb=*/64, /*efficiency=*/0.92, /*fused_epilogues=*/true,
+                         /*permute_scale=*/0.0, acc);
+      break;
+    case MoeFramework::kPit:
+      // Permutation-invariant transformation: dense tiles assembled in-kernel
+      // from sparse micro-tiles; no SpTC use (§6.7).
+      AddGroupedDenseMoe(model, tokens_per_expert, total_tokens, shared, device, /*pad_to=*/1,
+                         /*nb=*/128, /*efficiency=*/0.86, /*fused_epilogues=*/true,
+                         /*permute_scale=*/0.1, acc);
+      break;
+    case MoeFramework::kSamoyeds:
+      AddSamoyedsMoe(model, tokens_per_expert, total_tokens, shared, options, device, acc);
+      break;
+  }
+
+  MoeLayerCost cost;
+  cost.total_ms = acc.total_ms;
+  cost.phases = std::move(acc.phases);
+  cost.useful_flops = LayerUsefulFlops(model, tokens_per_expert, shared, total_tokens);
+  return cost;
+}
+
+DecodeStepCost EstimateDecodeStepCost(MoeFramework framework, const MoeModelConfig& model,
+                                      int64_t batch, int64_t kv_len,
+                                      const LayerCostOptions& options) {
+  const DeviceSpec& device = GetDevice(options.device);
+  DecodeStepCost cost;
+
+  // Attention decode: four skinny projections plus the KV-cache stream.
+  TrafficReport attn;
+  const double h = model.hidden;
+  attn.mma_flops = 4.0 * 2.0 * h * h * batch +                   // Q/K/V/O projections
+                   2.0 * 2.0 * batch * kv_len * h;               // QK^T and PV
+  attn.simd_flops = static_cast<double>(batch) * kv_len * 8.0;   // softmax
+  attn.gmem_read_bytes = 4.0 * h * h * 2.0 +                                   // weights
+                         static_cast<double>(batch) * kv_len * 2.0 * h * 2.0;  // KV cache
+  attn.gmem_write_bytes = static_cast<double>(batch) * h * 2.0 * 3.0;
+  attn.gmem_unique_bytes = attn.gmem_read_bytes + attn.gmem_write_bytes;
+  attn.thread_blocks = std::max<int64_t>(1, batch * model.hidden / 1024);
+  attn.warps_per_block = 8;
+  attn.pipeline_stages = 2;
+  attn.efficiency = 0.80;
+  attn.fixed_overhead_us = 15.0;
+  cost.attention_ms = Ms(attn, device);
+
+  const auto counts = UniformTokensPerExpert(model, batch);
+  cost.moe_ms = EstimateMoeLayerCost(framework, model, counts, batch, options).total_ms;
+  cost.total_ms = cost.attention_ms + cost.moe_ms;
+  return cost;
+}
+
+DecoderLayerCost EstimateDecoderLayerCost(MoeFramework framework, const MoeModelConfig& model,
+                                          const std::vector<int64_t>& tokens_per_expert,
+                                          int64_t total_tokens, const LayerCostOptions& options) {
+  const DeviceSpec& device = GetDevice(options.device);
+  DecoderLayerCost cost;
+  cost.moe_detail =
+      EstimateMoeLayerCost(framework, model, tokens_per_expert, total_tokens, options);
+  cost.moe_ms = cost.moe_detail.total_ms;
+  const int64_t seq = options.seq_len > 0 ? options.seq_len : total_tokens;
+  cost.attention_ms = Ms(AttentionProfile(seq, std::max<int64_t>(1, total_tokens / seq),
+                                          model.hidden, options.attention_heads,
+                                          options.flash_attention)
+                             .traffic,
+                         device);
+  cost.norm_ms = Ms(NormResidualProfile(total_tokens, model.hidden).traffic, device);
+  cost.total_ms = cost.attention_ms + cost.norm_ms + cost.moe_ms;
+  return cost;
+}
+
+}  // namespace samoyeds

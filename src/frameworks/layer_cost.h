@@ -1,0 +1,114 @@
+// Per-framework MoE-layer and decoder-layer cost simulation.
+//
+// Each framework emulation assembles the kernel launches its real
+// counterpart would issue for one MoE layer — permutation copies, per-expert
+// or fused GEMMs, activation kernels, weighted un-permutation — computes
+// each launch's TrafficReport, and converts them to simulated time with the
+// device's TimingModel. Fusion differences therefore show up exactly where
+// the paper says they do: fewer launches, no intermediate GMEM round-trips,
+// better occupancy for small experts.
+//
+// Frameworks:
+//   Transformers  — explicit permute, per-expert cuBLAS GEMMs, separate
+//                   activation kernel, weighted scatter (Fig. 5 data flow).
+//   MegaBlocks    — block-sparse grouped GEMM, no token padding, dense
+//                   weights.
+//   vLLM-DS       — fused MoE kernel (gate+up+act fused; down+acc fused),
+//                   16-token alignment, dense weights.
+//   PIT           — permutation-invariant tile compaction, dense tensor
+//                   cores, dense weights (§6.7).
+//   Samoyeds      — dual-side SSMM: weight sparsity + SEL input sparsity,
+//                   fused transposes/epilogues, data stationary (§4).
+
+#ifndef SAMOYEDS_SRC_FRAMEWORKS_LAYER_COST_H_
+#define SAMOYEDS_SRC_FRAMEWORKS_LAYER_COST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/ssmm_config.h"
+#include "src/formats/samoyeds_format.h"
+#include "src/moe/memory_model.h"
+#include "src/moe/model_configs.h"
+#include "src/simgpu/device_spec.h"
+
+namespace samoyeds {
+
+// Cumulative optimization levels of the breakdown analysis (§6.4, Fig. 17).
+enum class SamoyedsVariant {
+  kW,     // weight sparsity only: sparse-dense kernel inside the
+          // Transformers data flow (permutation still present)
+  kWI,    // + input sparsity: dual-side kernel, no permutation
+  kWIT,   // + layout optimization: fused transposes
+  kFull,  // + data stationary (the shipping configuration, a.k.a. WITS)
+};
+
+struct LayerCostOptions {
+  DeviceModel device = DeviceModel::kRtx4070Super;
+  SamoyedsConfig sparse_format{1, 2, 32};
+  SsmmConfig ssmm = SsmmConfig::Default();
+  SamoyedsVariant variant = SamoyedsVariant::kFull;
+  bool flash_attention = true;
+  int attention_heads = 0;  // 0 = hidden/128
+  // Sequence length per batch element; 0 = treat all tokens as one sequence.
+  int64_t seq_len = 0;
+  // Overrides the model's shared-expert count when >= 0 (Fig. 14 runs every
+  // model both with 2 shared experts and with none).
+  int shared_experts_override = -1;
+};
+
+struct PhaseCost {
+  std::string name;
+  double ms = 0.0;
+};
+
+struct MoeLayerCost {
+  double total_ms = 0.0;
+  std::vector<PhaseCost> phases;
+  double useful_flops = 0.0;
+
+  double PhaseMs(const std::string& name) const;
+};
+
+// Cost of one MoE layer given the routing outcome (`tokens_per_expert`).
+MoeLayerCost EstimateMoeLayerCost(MoeFramework framework, const MoeModelConfig& model,
+                                  const std::vector<int64_t>& tokens_per_expert,
+                                  int64_t total_tokens, const LayerCostOptions& options);
+
+struct DecoderLayerCost {
+  double attention_ms = 0.0;
+  double norm_ms = 0.0;
+  double moe_ms = 0.0;
+  double total_ms = 0.0;
+  MoeLayerCost moe_detail;
+};
+
+// Full decoder layer: attention + norms/residuals + MoE.
+DecoderLayerCost EstimateDecoderLayerCost(MoeFramework framework, const MoeModelConfig& model,
+                                          const std::vector<int64_t>& tokens_per_expert,
+                                          int64_t total_tokens, const LayerCostOptions& options);
+
+// Uniform routing outcome: total_tokens * top_k assignments spread evenly.
+std::vector<int64_t> UniformTokensPerExpert(const MoeModelConfig& model, int64_t total_tokens);
+
+// --- Decode-phase extension (beyond the paper's prefill evaluation) -------
+//
+// One autoregressive decode step: each of `batch` sequences contributes a
+// single token; attention reads the KV cache of length `kv_len`. With so
+// few tokens per expert, padding and launch overheads dominate and the MoE
+// layer becomes memory-bound on expert weights — a regime where Samoyeds'
+// compressed weights pay off directly.
+struct DecodeStepCost {
+  double attention_ms = 0.0;
+  double moe_ms = 0.0;
+  double total_ms = 0.0;
+};
+
+DecodeStepCost EstimateDecodeStepCost(MoeFramework framework, const MoeModelConfig& model,
+                                      int64_t batch, int64_t kv_len,
+                                      const LayerCostOptions& options);
+
+}  // namespace samoyeds
+
+#endif  // SAMOYEDS_SRC_FRAMEWORKS_LAYER_COST_H_

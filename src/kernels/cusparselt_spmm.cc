@@ -1,0 +1,58 @@
+#include "src/kernels/cusparselt_spmm.h"
+
+#include <cassert>
+
+#include "src/tensor/bf16.h"
+#include "src/tensor/gemm_ref.h"
+
+namespace samoyeds {
+
+KernelProfile CusparseltSpmmKernel::Analyze(const GemmShape& shape) {
+  KernelProfile p;
+  p.kernel_name = "cuSPARSELt-like 2:4";
+  p.useful_flops = 2.0 * shape.m * shape.k * shape.n;
+
+  const int64_t mp = RoundUp(shape.m, kTileM);
+  const int64_t np = RoundUp(shape.n, kTileN);
+  const int64_t kp = RoundUp(shape.k, kTileK);
+  const int64_t blocks = (mp / kTileM) * (np / kTileN);
+
+  TrafficReport& t = p.traffic;
+  t.thread_blocks = blocks;
+  t.warps_per_block = 8;
+  t.pipeline_stages = kStages;
+  t.smem_bytes_per_block =
+      static_cast<int64_t>(kStages) * (kTileM * kTileK / 2 + kTileK * kTileN) * 2;
+  t.regs_per_thread = 168;
+  t.efficiency = kEfficiency;
+
+  // A is streamed compressed (k/2 values) plus 2-bit metadata; B in full.
+  const double a_bytes = static_cast<double>(kTileM) * (kp / 2) * 2.0;
+  const double meta_bytes = static_cast<double>(kTileM) * (kp / 2) * 0.25;
+  const double b_bytes = static_cast<double>(kp) * kTileN * 2.0;
+  t.gmem_read_bytes = static_cast<double>(blocks) * (a_bytes + meta_bytes + b_bytes);
+  t.gmem_write_bytes = static_cast<double>(mp) * np * 2.0;
+  t.gmem_unique_bytes = static_cast<double>(shape.m) * shape.k * (1.0 + 0.125) +  // bf16/2 + meta
+                        static_cast<double>(shape.k) * shape.n * 2.0 +
+                        static_cast<double>(shape.m) * shape.n * 2.0;
+  t.smem_bytes = t.gmem_read_bytes * 3.0;
+  t.bank_conflict_factor = 1.0;
+
+  // SpTC executes only the kept half of the MACs.
+  t.mma_flops = 2.0 * mp * (kp / 2) * np;
+  t.uses_sparse_alu = true;
+  t.simd_flops = static_cast<double>(mp) * np * 2.0;
+  t.fixed_overhead_us = 6.0;  // includes the library's descriptor handling
+  return p;
+}
+
+MatrixF CusparseltSpmmKernel::Run(const TwoFourMatrix& a24, const MatrixF& b) {
+  assert(a24.cols == b.rows());
+  MatrixF a = a24.ToDense();
+  MatrixF bb = b;
+  RoundMatrixToBf16(a);
+  RoundMatrixToBf16(bb);
+  return GemmRef(a, bb);
+}
+
+}  // namespace samoyeds

@@ -1,0 +1,37 @@
+// cuSPARSELt-like 2:4 sparse-dense SpMM baseline (§3.3).
+//
+// Uses the SpTC with the fixed 50% sparse ratio: executed tensor-core work
+// is half of the dense equivalent, A's data traffic is halved and 2-bit
+// metadata is added, but the dense-side B panel must still be streamed in
+// full. The library is a per-device-tuned vendor black box (no portability
+// penalty) whose sparse kernels are, at LLM shapes, noticeably further from
+// the roofline than cuBLAS's dense ones — the paper (Fig. 12) and VENOM
+// both measure cuSPARSELt slightly *slower* than cuBLAS on such shapes, and
+// the efficiency constant below is calibrated to that observation.
+
+#ifndef SAMOYEDS_SRC_KERNELS_CUSPARSELT_SPMM_H_
+#define SAMOYEDS_SRC_KERNELS_CUSPARSELT_SPMM_H_
+
+#include "src/formats/nm24.h"
+#include "src/kernels/kernel_report.h"
+#include "src/tensor/matrix.h"
+
+namespace samoyeds {
+
+class CusparseltSpmmKernel {
+ public:
+  static KernelProfile Analyze(const GemmShape& shape);
+
+  // C = A24 * B with bf16 rounding; A24 holds the 2:4-compressed weights.
+  static MatrixF Run(const TwoFourMatrix& a24, const MatrixF& b);
+
+  static constexpr int kTileM = 128;
+  static constexpr int kTileN = 128;
+  static constexpr int kTileK = 64;
+  static constexpr int kStages = 3;
+  static constexpr double kEfficiency = 0.42;
+};
+
+}  // namespace samoyeds
+
+#endif  // SAMOYEDS_SRC_KERNELS_CUSPARSELT_SPMM_H_

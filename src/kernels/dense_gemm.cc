@@ -1,0 +1,57 @@
+#include "src/kernels/dense_gemm.h"
+
+#include <cassert>
+
+#include "src/tensor/bf16.h"
+#include "src/tensor/gemm_ref.h"
+
+namespace samoyeds {
+
+KernelProfile DenseGemmKernel::Analyze(const GemmShape& shape) {
+  KernelProfile p;
+  p.kernel_name = "cuBLAS-like dense";
+  p.useful_flops = 2.0 * shape.m * shape.k * shape.n;
+
+  const int64_t mp = RoundUp(shape.m, kTileM);
+  const int64_t np = RoundUp(shape.n, kTileN);
+  const int64_t kp = RoundUp(shape.k, kTileK);
+  const int64_t blocks = (mp / kTileM) * (np / kTileN);
+
+  TrafficReport& t = p.traffic;
+  t.thread_blocks = blocks;
+  t.warps_per_block = 8;
+  t.pipeline_stages = kStages;
+  t.smem_bytes_per_block = static_cast<int64_t>(kStages) * (kTileM + kTileN) * kTileK * 2;
+  t.regs_per_thread = 160;
+  t.efficiency = kEfficiency;
+
+  // Each block streams an mb x k panel of A and a k x nb panel of B.
+  t.gmem_read_bytes = static_cast<double>(blocks) * (kTileM * kp + kp * kTileN) * 2.0;
+  t.gmem_write_bytes = static_cast<double>(mp) * np * 2.0;
+  t.gmem_unique_bytes = static_cast<double>(shape.m) * shape.k * 2.0 +
+                        static_cast<double>(shape.k) * shape.n * 2.0 +
+                        static_cast<double>(shape.m) * shape.n * 2.0;
+  t.gmem_uncoalesced_bytes = 0.0;
+
+  // Every loaded tile byte is written to SMEM once and read back by the
+  // consuming warps roughly twice (double-sided reuse inside the block).
+  t.smem_bytes = t.gmem_read_bytes * 3.0;
+  t.bank_conflict_factor = 1.0;
+
+  t.mma_flops = 2.0 * mp * kp * np;  // dense tensor cores, padded tiles
+  t.uses_sparse_alu = false;
+  t.simd_flops = static_cast<double>(mp) * np * 2.0;  // epilogue
+  t.fixed_overhead_us = 5.0;
+  return p;
+}
+
+MatrixF DenseGemmKernel::Run(const MatrixF& a, const MatrixF& b) {
+  assert(a.cols() == b.rows());
+  MatrixF ab = a;
+  MatrixF bb = b;
+  RoundMatrixToBf16(ab);
+  RoundMatrixToBf16(bb);
+  return GemmRef(ab, bb);
+}
+
+}  // namespace samoyeds

@@ -1,0 +1,32 @@
+// cuBLAS-like dense GEMM baseline.
+//
+// Models a highly tuned vendor dense kernel: 128x128 thread-block tiles,
+// multi-stage cp.async pipeline, near-roofline efficiency, re-tuned per
+// device (no portability penalty).
+
+#ifndef SAMOYEDS_SRC_KERNELS_DENSE_GEMM_H_
+#define SAMOYEDS_SRC_KERNELS_DENSE_GEMM_H_
+
+#include "src/kernels/kernel_report.h"
+#include "src/tensor/matrix.h"
+
+namespace samoyeds {
+
+class DenseGemmKernel {
+ public:
+  // Traffic/arithmetic profile of C(m x n) = A(m x k) * B(k x n) in bf16.
+  static KernelProfile Analyze(const GemmShape& shape);
+
+  // Functional execution with bf16 operand rounding (fp32 accumulate).
+  static MatrixF Run(const MatrixF& a, const MatrixF& b);
+
+  static constexpr int kTileM = 128;
+  static constexpr int kTileN = 128;
+  static constexpr int kTileK = 32;
+  static constexpr int kStages = 3;
+  static constexpr double kEfficiency = 0.92;
+};
+
+}  // namespace samoyeds
+
+#endif  // SAMOYEDS_SRC_KERNELS_DENSE_GEMM_H_

@@ -1,0 +1,36 @@
+// Common result types for kernel performance profiles.
+
+#ifndef SAMOYEDS_SRC_KERNELS_KERNEL_REPORT_H_
+#define SAMOYEDS_SRC_KERNELS_KERNEL_REPORT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/simgpu/traffic.h"
+
+namespace samoyeds {
+
+struct GemmShape {
+  int64_t m = 0;  // weight rows (output features)
+  int64_t k = 0;  // reduction dimension
+  int64_t n = 0;  // activation columns (tokens)
+};
+
+// What a kernel would do for a given problem: the traffic it generates plus
+// the dense-equivalent work it accomplishes. `useful_flops` is the
+// numerator of the throughput numbers in Fig. 12/13 — sparse kernels do
+// less raw arithmetic for the same useful work, which is exactly how they
+// can exceed the dense peak.
+struct KernelProfile {
+  std::string kernel_name;
+  TrafficReport traffic;
+  double useful_flops = 0.0;
+};
+
+inline int64_t RoundUp(int64_t value, int64_t multiple) {
+  return (value + multiple - 1) / multiple * multiple;
+}
+
+}  // namespace samoyeds
+
+#endif  // SAMOYEDS_SRC_KERNELS_KERNEL_REPORT_H_

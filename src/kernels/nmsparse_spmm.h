@@ -1,0 +1,30 @@
+// nmSPARSE-like N:M structured SpMM on CUDA cores (Lin et al., MLSys'23;
+// §3.3). Exploits the regular N:M pattern for aligned, bank-conflict-free
+// loads — far better than unstructured CSR — but, like BBS, it cannot use
+// the Sparse Tensor Cores, which is exactly the gap the paper positions
+// Samoyeds against.
+
+#ifndef SAMOYEDS_SRC_KERNELS_NMSPARSE_SPMM_H_
+#define SAMOYEDS_SRC_KERNELS_NMSPARSE_SPMM_H_
+
+#include "src/formats/nm_generic.h"
+#include "src/kernels/kernel_report.h"
+#include "src/tensor/matrix.h"
+
+namespace samoyeds {
+
+class NmSparseSpmmKernel {
+ public:
+  static KernelProfile Analyze(const GemmShape& shape, const NmConfig& config);
+
+  static MatrixF Run(const NmMatrix& a, const MatrixF& b);
+
+  static constexpr int kTileM = 64;
+  static constexpr int kTileN = 64;
+  static constexpr int kTileK = 32;
+  static constexpr double kEfficiency = 0.60;
+};
+
+}  // namespace samoyeds
+
+#endif  // SAMOYEDS_SRC_KERNELS_NMSPARSE_SPMM_H_

@@ -1,0 +1,53 @@
+#include "src/kernels/sputnik_spmm.h"
+
+#include <cassert>
+
+namespace samoyeds {
+
+KernelProfile SputnikSpmmKernel::Analyze(const GemmShape& shape, double density) {
+  KernelProfile p;
+  p.kernel_name = "Sputnik-like CSR";
+  p.useful_flops = 2.0 * shape.m * shape.k * shape.n;
+
+  const double nnz = static_cast<double>(shape.m) * shape.k * density;
+  const int64_t n_tiles = RoundUp(shape.n, kTileN) / kTileN;
+  const int64_t blocks = RoundUp(shape.m, kRowsPerBlock) / kRowsPerBlock * n_tiles;
+
+  TrafficReport& t = p.traffic;
+  t.thread_blocks = blocks;
+  t.warps_per_block = 4;
+  t.pipeline_stages = 1;  // no cp.async multi-buffering
+  t.smem_bytes_per_block = 16 << 10;
+  t.regs_per_thread = 96;
+  t.efficiency = kEfficiency;
+
+  // Sputnik stores fp32 values + int32 column indices; the CSR payload is
+  // re-read once per n-tile. Each non-zero triggers a gather of a kTileN-wide
+  // B row segment; segments from scattered rows are only partially
+  // coalescable.
+  const double csr_bytes = nnz * (4.0 + 4.0) * static_cast<double>(n_tiles);
+  // Every non-zero gathers a kTileN-wide B row segment in each of the n
+  // tiles: nnz * 4 bytes per output column in total.
+  const double b_total = nnz * kTileN * 4.0 * static_cast<double>(n_tiles);
+  t.gmem_read_bytes = csr_bytes + b_total;
+  t.gmem_uncoalesced_bytes = 0.5 * b_total;
+  t.gmem_write_bytes = static_cast<double>(shape.m) * shape.n * 4.0;
+  t.gmem_unique_bytes = nnz * 8.0 + static_cast<double>(shape.k) * shape.n * 4.0 +
+                        static_cast<double>(shape.m) * shape.n * 4.0;
+  t.smem_bytes = t.gmem_read_bytes;
+  t.bank_conflict_factor = 1.1;
+
+  t.mma_flops = 0.0;  // CUDA cores only
+  t.uses_sparse_alu = false;
+  t.simd_flops = 2.0 * nnz * shape.n + nnz * 4.0;  // FMA stream + index decode
+  t.fixed_overhead_us = 5.0;
+  return p;
+}
+
+MatrixF SputnikSpmmKernel::Run(const CsrMatrix& a, const MatrixF& b) {
+  assert(a.cols == b.rows());
+  // Sputnik computes in fp32; no bf16 rounding.
+  return a.Multiply(b);
+}
+
+}  // namespace samoyeds

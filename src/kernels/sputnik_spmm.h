@@ -1,0 +1,32 @@
+// Sputnik-like unstructured CSR SpMM baseline (Gale et al., SC'20).
+//
+// A well-engineered CUDA-core kernel for unstructured deep-learning
+// sparsity: fp32 values, 1-D tiled row decomposition, vectorized loads.
+// It cannot use tensor cores, and its gathers of B rows follow the
+// irregular column pattern — both properties the paper identifies as the
+// reason unstructured kernels lose at LLM sparsity ratios (§3.2).
+
+#ifndef SAMOYEDS_SRC_KERNELS_SPUTNIK_SPMM_H_
+#define SAMOYEDS_SRC_KERNELS_SPUTNIK_SPMM_H_
+
+#include "src/formats/csr.h"
+#include "src/kernels/kernel_report.h"
+#include "src/tensor/matrix.h"
+
+namespace samoyeds {
+
+class SputnikSpmmKernel {
+ public:
+  // `density` is the fraction of non-zeros in A (e.g. 0.25 at 75% sparsity).
+  static KernelProfile Analyze(const GemmShape& shape, double density);
+
+  static MatrixF Run(const CsrMatrix& a, const MatrixF& b);
+
+  static constexpr int kTileN = 64;
+  static constexpr int kRowsPerBlock = 4;
+  static constexpr double kEfficiency = 0.55;
+};
+
+}  // namespace samoyeds
+
+#endif  // SAMOYEDS_SRC_KERNELS_SPUTNIK_SPMM_H_

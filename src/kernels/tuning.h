@@ -1,0 +1,43 @@
+// Cross-device tuning-mismatch model (§6.6, Fig. 18, Table 6).
+//
+// Research kernels (VENOM, Samoyeds) ship one configuration tuned on their
+// native development GPU; vendor libraries re-tune per device. When a
+// kernel is ported, the balance between memory bandwidth and tensor-core
+// throughput shifts, and a kernel whose pipeline was tuned for the native
+// balance loses efficiency proportionally to (a) how far the balance moved
+// and (b) how sensitive its design is to that balance. The paper attributes
+// VENOM's collapse on the A100 to exactly this memory-compute imbalance,
+// and Samoyeds' robustness to its sparse-memory-access paradigm.
+
+#ifndef SAMOYEDS_SRC_KERNELS_TUNING_H_
+#define SAMOYEDS_SRC_KERNELS_TUNING_H_
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/simgpu/device_spec.h"
+
+namespace samoyeds {
+
+// Multiplicative efficiency retention in (0, 1] when running a kernel tuned
+// on `native` on `target`. sensitivity = 0 models per-device re-tuning
+// (vendor libraries); larger values model brittle hand-tuned pipelines.
+inline double PortabilityFactor(const DeviceSpec& native, const DeviceSpec& target,
+                                double sensitivity) {
+  if (&native == &target || sensitivity <= 0.0) {
+    return 1.0;
+  }
+  const double bw_ratio = target.dram_bandwidth_gbps / native.dram_bandwidth_gbps;
+  const double tc_ratio = target.tc_dense_tflops / native.tc_dense_tflops;
+  const double imbalance = std::fabs(std::log(bw_ratio / tc_ratio));
+  // Secondary term: L2-capacity shift changes the effective tile residency a
+  // fixed tiling was chosen for.
+  const double l2_shift = std::fabs(std::log(static_cast<double>(target.l2_bytes) /
+                                             static_cast<double>(native.l2_bytes)));
+  const double loss = sensitivity * (imbalance + 0.15 * l2_shift);
+  return std::clamp(1.0 / (1.0 + loss), 0.25, 1.0);
+}
+
+}  // namespace samoyeds
+
+#endif  // SAMOYEDS_SRC_KERNELS_TUNING_H_

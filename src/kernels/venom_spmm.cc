@@ -1,0 +1,73 @@
+#include "src/kernels/venom_spmm.h"
+
+#include <cassert>
+
+#include "src/kernels/tuning.h"
+#include "src/tensor/bf16.h"
+#include "src/tensor/gemm_ref.h"
+
+namespace samoyeds {
+
+KernelProfile VenomSpmmKernel::Analyze(const GemmShape& shape, const VenomConfig& config,
+                                       const DeviceSpec& target) {
+  KernelProfile p;
+  p.kernel_name = "VENOM-like V:N:M";
+  p.useful_flops = 2.0 * shape.m * shape.k * shape.n;
+
+  const double density = config.density();
+  const int64_t mp = RoundUp(shape.m, kTileM);
+  const int64_t np = RoundUp(shape.n, kTileN);
+  const int64_t kp = RoundUp(shape.k, kTileK);
+  const int64_t blocks = (mp / kTileM) * (np / kTileN);
+
+  TrafficReport& t = p.traffic;
+  t.thread_blocks = blocks;
+  t.warps_per_block = 8;
+  t.pipeline_stages = kStages;
+  t.smem_bytes_per_block =
+      static_cast<int64_t>(kStages) * (kTileM * kTileK + kTileK * kTileN) * 2;
+  t.regs_per_thread = 192;
+  t.efficiency = kEfficiency * PortabilityFactor(DefaultDevice(), target, kPortSensitivity);
+
+  // A data: kept values only. Metadata: element-wise 2-bit entries in
+  // row-major order — loads are 32-bit-per-thread scattered (no Fig. 10
+  // packing), modeled as uncoalesced with per-entry word granularity.
+  const double a_bytes = static_cast<double>(mp) * np / kTileN * kp * density * 2.0;
+  const double meta_bytes = static_cast<double>(mp) * np / kTileN * kp * density * 0.25 * 2.0;
+  // B rows for kept columns only, but the kept set changes every V-stripe
+  // inside the same block tile, fragmenting the loads; the union of rows a
+  // block touches approaches min(1, density * 2 * stripes) of k.
+  const int stripes_per_tile = kTileM / config.v > 0 ? kTileM / config.v : 1;
+  const double b_coverage = std::min(1.0, 2.0 * density * stripes_per_tile);
+  const double b_bytes = static_cast<double>(blocks) * kp * b_coverage * kTileN * 2.0;
+  t.gmem_read_bytes = a_bytes + meta_bytes + b_bytes;
+  t.gmem_uncoalesced_bytes = 0.5 * meta_bytes + 0.3 * b_bytes;
+  t.gmem_write_bytes = static_cast<double>(mp) * np * 2.0;
+  t.gmem_unique_bytes = static_cast<double>(shape.m) * shape.k * density * 2.25 +
+                        static_cast<double>(shape.k) * shape.n * 2.0 +
+                        static_cast<double>(shape.m) * shape.n * 2.0;
+  t.smem_bytes = t.gmem_read_bytes * 3.0;
+  t.bank_conflict_factor = 1.25;  // no permuted SMEM layout
+
+  t.mma_flops = 2.0 * mp * kp * density * np;
+  t.uses_sparse_alu = true;
+  t.simd_flops = static_cast<double>(mp) * np * 2.0 +
+                 meta_bytes * 2.0;  // software metadata unpack
+  t.fixed_overhead_us = 5.0;
+  return p;
+}
+
+KernelProfile VenomSpmmKernel::Analyze(const GemmShape& shape, const VenomConfig& config) {
+  return Analyze(shape, config, DefaultDevice());
+}
+
+MatrixF VenomSpmmKernel::Run(const VenomMatrix& a, const MatrixF& b) {
+  assert(a.cols == b.rows());
+  MatrixF ad = a.ToDense();
+  MatrixF bb = b;
+  RoundMatrixToBf16(ad);
+  RoundMatrixToBf16(bb);
+  return GemmRef(ad, bb);
+}
+
+}  // namespace samoyeds

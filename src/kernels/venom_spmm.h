@@ -1,0 +1,47 @@
+// VENOM-like V:N:M sparse-dense SpMM baseline (Castro et al., SC'23).
+//
+// Uses the SpTC with a flexible sparse ratio via the V:N:M format, but is
+// optimized for sparse-*dense* multiplication: there is no input-side
+// selection, the metadata layout is the element-wise row-major one (extra
+// decode traffic), and the hand-tuned pipeline is calibrated for the
+// kernel's native GPU — ported builds pay the imbalance penalty of
+// src/kernels/tuning.h (Fig. 18's 95% speedup loss on A100).
+//
+// Mechanistic handicaps relative to the Samoyeds kernel, following §3.3 and
+// §6.1: B-row skipping across V-stripes fragments the dense-side loads
+// (partial uncoalescing, Fig. 6 cases 2-4 when inputs are also sparse), a
+// shallower software pipeline, and unpacked metadata loads. The efficiency
+// constant is calibrated so that VENOM lands at its published ~1.38x over
+// cuSPARSELt on the native device.
+
+#ifndef SAMOYEDS_SRC_KERNELS_VENOM_SPMM_H_
+#define SAMOYEDS_SRC_KERNELS_VENOM_SPMM_H_
+
+#include "src/formats/venom.h"
+#include "src/kernels/kernel_report.h"
+#include "src/simgpu/device_spec.h"
+#include "src/tensor/matrix.h"
+
+namespace samoyeds {
+
+class VenomSpmmKernel {
+ public:
+  // `config` determines the sparse ratio. `target` is the device the kernel
+  // runs on; efficiency degrades away from the native RTX 4070 Super.
+  static KernelProfile Analyze(const GemmShape& shape, const VenomConfig& config,
+                               const DeviceSpec& target);
+  static KernelProfile Analyze(const GemmShape& shape, const VenomConfig& config);
+
+  static MatrixF Run(const VenomMatrix& a, const MatrixF& b);
+
+  static constexpr int kTileM = 128;
+  static constexpr int kTileN = 64;
+  static constexpr int kTileK = 32;
+  static constexpr int kStages = 2;
+  static constexpr double kEfficiency = 0.50;
+  static constexpr double kPortSensitivity = 4.0;
+};
+
+}  // namespace samoyeds
+
+#endif  // SAMOYEDS_SRC_KERNELS_VENOM_SPMM_H_

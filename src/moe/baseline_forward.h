@@ -1,0 +1,44 @@
+// Functional implementations of the baseline MoE execution strategies.
+//
+// MoeForwardReference (moe_layer.h) models the Transformers data flow.
+// This module adds the other baselines' *computational structures* so that
+// each one can be validated end-to-end against the reference:
+//
+//   * MegaBlocks: tokens of all experts concatenated (permuted) and
+//     processed by one block-diagonal block-sparse matmul per projection —
+//     the "dMoE" grouped GEMM, built here on BlockSparseMatrix.
+//   * vLLM-DS fused kernel: per 16-token-aligned tile, gate+up+activation
+//     produced in one pass without materializing separate gate/up tensors,
+//     then down-projection with fused weighted accumulation.
+//   * PIT: permutation-invariant transformation — tokens gathered into
+//     dense micro-tile groups in "shared memory", multiplied densely,
+//     scattered back.
+//
+// All three must reproduce MoeForwardReference exactly (same dense weights,
+// same routing): the baselines differ in *execution*, not in semantics.
+
+#ifndef SAMOYEDS_SRC_MOE_BASELINE_FORWARD_H_
+#define SAMOYEDS_SRC_MOE_BASELINE_FORWARD_H_
+
+#include "src/moe/moe_layer.h"
+
+namespace samoyeds {
+
+// Block-diagonal grouped execution (MegaBlocks-style). `block_size` is the
+// token-block granularity of the block-sparse topology.
+MatrixF MoeForwardMegaBlocks(const MatrixF& x, const MoeLayerWeights& w, const RoutingPlan& plan,
+                             Activation act, int block_size = 64);
+
+// Fused-kernel execution (vLLM-DS-style): token tiles aligned to `tile`
+// (padding slots compute on zeros and are discarded).
+MatrixF MoeForwardVllmFused(const MatrixF& x, const MoeLayerWeights& w, const RoutingPlan& plan,
+                            Activation act, int tile = 16);
+
+// Tile-compaction execution (PIT-style): micro-tiles of `micro` tokens are
+// compacted into dense tiles before the matmul.
+MatrixF MoeForwardPit(const MatrixF& x, const MoeLayerWeights& w, const RoutingPlan& plan,
+                      Activation act, int micro = 8);
+
+}  // namespace samoyeds
+
+#endif  // SAMOYEDS_SRC_MOE_BASELINE_FORWARD_H_

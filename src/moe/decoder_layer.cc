@@ -1,0 +1,112 @@
+#include "src/moe/decoder_layer.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "src/tensor/bf16.h"
+
+namespace samoyeds {
+
+MatrixF RmsNorm(const MatrixF& x, const std::vector<float>& gamma, float eps) {
+  assert(static_cast<int64_t>(gamma.size()) == x.cols());
+  MatrixF out(x.rows(), x.cols());
+  for (int64_t r = 0; r < x.rows(); ++r) {
+    double sum_sq = 0.0;
+    for (int64_t c = 0; c < x.cols(); ++c) {
+      sum_sq += static_cast<double>(x(r, c)) * x(r, c);
+    }
+    const float scale =
+        1.0f / std::sqrt(static_cast<float>(sum_sq / static_cast<double>(x.cols())) + eps);
+    for (int64_t c = 0; c < x.cols(); ++c) {
+      out(r, c) = x(r, c) * scale * gamma[static_cast<size_t>(c)];
+    }
+  }
+  return out;
+}
+
+DecoderLayerWeights DecoderLayerWeights::Random(Rng& rng, const MoeModelConfig& config) {
+  DecoderLayerWeights w;
+  w.attn_norm_gamma.assign(static_cast<size_t>(config.hidden), 1.0f);
+  w.attention = AttentionWeights::Random(rng, config.hidden);
+  w.moe_norm_gamma.assign(static_cast<size_t>(config.hidden), 1.0f);
+  w.moe = MoeLayerWeights::Random(rng, config);
+  return w;
+}
+
+SamoyedsDecoderLayerWeights SamoyedsDecoderLayerWeights::Encode(const DecoderLayerWeights& dense,
+                                                                const SamoyedsConfig& cfg) {
+  SamoyedsDecoderLayerWeights w;
+  w.attn_norm_gamma = dense.attn_norm_gamma;
+  w.attention = dense.attention;
+  w.moe_norm_gamma = dense.moe_norm_gamma;
+  w.moe = SamoyedsMoeLayerWeights::Encode(dense.moe, cfg);
+  return w;
+}
+
+namespace {
+
+void AddInPlace(MatrixF& acc, const MatrixF& delta) {
+  assert(acc.rows() == delta.rows() && acc.cols() == delta.cols());
+  for (int64_t i = 0; i < acc.size(); ++i) {
+    acc.flat()[static_cast<size_t>(i)] += delta.flat()[static_cast<size_t>(i)];
+  }
+}
+
+template <typename MoeFn>
+MatrixF LayerForward(const MatrixF& x, const std::vector<float>& attn_gamma,
+                     const AttentionWeights& attn, const std::vector<float>& moe_gamma,
+                     const MatrixF& router_gate, int heads, int top_k, MoeFn moe_fn) {
+  // Attention sub-block with pre-norm and residual.
+  MatrixF h = x;
+  const MatrixF attn_out = AttentionForward(RmsNorm(x, attn_gamma), attn, heads);
+  AddInPlace(h, attn_out);
+
+  // MoE sub-block with pre-norm and residual; the normalized activations
+  // are rounded to bf16 (the kernels' input format) before routing.
+  MatrixF normed = RmsNorm(h, moe_gamma);
+  RoundMatrixToBf16(normed);
+  const RoutingPlan plan = Route(normed, router_gate, top_k);
+  const MatrixF moe_out = moe_fn(normed, plan);
+  AddInPlace(h, moe_out);
+  return h;
+}
+
+}  // namespace
+
+MatrixF DecoderLayerForwardReference(const MatrixF& x, const DecoderLayerWeights& w, int heads,
+                                     int top_k, Activation act) {
+  return LayerForward(x, w.attn_norm_gamma, w.attention, w.moe_norm_gamma, w.moe.router_gate,
+                      heads, top_k, [&](const MatrixF& normed, const RoutingPlan& plan) {
+                        return MoeForwardReference(normed, w.moe, plan, act);
+                      });
+}
+
+MatrixF DecoderLayerForwardSamoyeds(const MatrixF& x, const SamoyedsDecoderLayerWeights& w,
+                                    int heads, int top_k, Activation act) {
+  return LayerForward(x, w.attn_norm_gamma, w.attention, w.moe_norm_gamma, w.moe.router_gate,
+                      heads, top_k, [&](const MatrixF& normed, const RoutingPlan& plan) {
+                        return MoeForwardSamoyeds(normed, w.moe, plan, act);
+                      });
+}
+
+MatrixF DecoderStackForwardReference(const MatrixF& x,
+                                     const std::vector<DecoderLayerWeights>& layers, int heads,
+                                     int top_k, Activation act) {
+  MatrixF h = x;
+  for (const auto& layer : layers) {
+    h = DecoderLayerForwardReference(h, layer, heads, top_k, act);
+  }
+  return h;
+}
+
+MatrixF DecoderStackForwardSamoyeds(const MatrixF& x,
+                                    const std::vector<SamoyedsDecoderLayerWeights>& layers,
+                                    int heads, int top_k, Activation act) {
+  MatrixF h = x;
+  for (const auto& layer : layers) {
+    h = DecoderLayerForwardSamoyeds(h, layer, heads, top_k, act);
+  }
+  return h;
+}
+
+}  // namespace samoyeds

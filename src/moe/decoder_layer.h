@@ -1,0 +1,59 @@
+// Functional decoder layer and decoder stack — the end-to-end unit the
+// paper measures (§6.3 evaluates a single decoder layer; decoder-only
+// models stack identical layers).
+//
+// Structure per layer (Fig. 1): RMSNorm -> causal self-attention ->
+// residual -> RMSNorm -> MoE -> residual. Two execution paths share the
+// weights: the dense reference and the Samoyeds dual-side sparse path.
+
+#ifndef SAMOYEDS_SRC_MOE_DECODER_LAYER_H_
+#define SAMOYEDS_SRC_MOE_DECODER_LAYER_H_
+
+#include <vector>
+
+#include "src/moe/attention.h"
+#include "src/moe/moe_layer.h"
+
+namespace samoyeds {
+
+// y = x * rsqrt(mean(x^2) + eps) * gamma, per row.
+MatrixF RmsNorm(const MatrixF& x, const std::vector<float>& gamma, float eps = 1e-5f);
+
+struct DecoderLayerWeights {
+  std::vector<float> attn_norm_gamma;
+  AttentionWeights attention;
+  std::vector<float> moe_norm_gamma;
+  MoeLayerWeights moe;
+
+  static DecoderLayerWeights Random(Rng& rng, const MoeModelConfig& config);
+};
+
+struct SamoyedsDecoderLayerWeights {
+  std::vector<float> attn_norm_gamma;
+  AttentionWeights attention;  // attention stays dense (§6.5 prunes MoE only)
+  std::vector<float> moe_norm_gamma;
+  SamoyedsMoeLayerWeights moe;
+
+  static SamoyedsDecoderLayerWeights Encode(const DecoderLayerWeights& dense,
+                                            const SamoyedsConfig& cfg);
+};
+
+// One decoder layer, reference path. `heads` divides the hidden size.
+MatrixF DecoderLayerForwardReference(const MatrixF& x, const DecoderLayerWeights& w, int heads,
+                                     int top_k, Activation act);
+
+// One decoder layer through the Samoyeds dual-side MoE path.
+MatrixF DecoderLayerForwardSamoyeds(const MatrixF& x, const SamoyedsDecoderLayerWeights& w,
+                                    int heads, int top_k, Activation act);
+
+// A stack of decoder layers (a miniature decoder-only model).
+MatrixF DecoderStackForwardReference(const MatrixF& x,
+                                     const std::vector<DecoderLayerWeights>& layers, int heads,
+                                     int top_k, Activation act);
+MatrixF DecoderStackForwardSamoyeds(const MatrixF& x,
+                                    const std::vector<SamoyedsDecoderLayerWeights>& layers,
+                                    int heads, int top_k, Activation act);
+
+}  // namespace samoyeds
+
+#endif  // SAMOYEDS_SRC_MOE_DECODER_LAYER_H_

@@ -1,0 +1,93 @@
+#include "src/moe/expert.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "src/tensor/bf16.h"
+#include "src/tensor/gemm_ref.h"
+
+namespace samoyeds {
+
+float ApplyActivation(Activation act, float x) {
+  switch (act) {
+    case Activation::kSilu:
+      return x / (1.0f + std::exp(-x));
+    case Activation::kGeluTanh: {
+      const float c = 0.7978845608028654f;  // sqrt(2/pi)
+      return 0.5f * x * (1.0f + std::tanh(c * (x + 0.044715f * x * x * x)));
+    }
+  }
+  return x;
+}
+
+ExpertWeights ExpertWeights::Random(Rng& rng, int hidden, int intermediate, float scale) {
+  ExpertWeights w;
+  w.gate = rng.GaussianMatrix(intermediate, hidden, scale);
+  w.up = rng.GaussianMatrix(intermediate, hidden, scale);
+  w.down = rng.GaussianMatrix(hidden, intermediate, scale);
+  RoundMatrixToBf16(w.gate);
+  RoundMatrixToBf16(w.up);
+  RoundMatrixToBf16(w.down);
+  return w;
+}
+
+void ExpertWeights::ApplyMask(const SamoyedsConfig& cfg) {
+  ApplySamoyedsMask(gate, cfg);
+  ApplySamoyedsMask(up, cfg);
+  ApplySamoyedsMask(down, cfg);
+}
+
+SamoyedsExpertWeights SamoyedsExpertWeights::Encode(const ExpertWeights& dense,
+                                                    const SamoyedsConfig& cfg) {
+  SamoyedsExpertWeights w;
+  w.gate = SamoyedsMatrix::Encode(dense.gate, cfg);
+  w.up = SamoyedsMatrix::Encode(dense.up, cfg);
+  w.down = SamoyedsMatrix::Encode(dense.down, cfg);
+  return w;
+}
+
+namespace {
+
+// act(gate) ⊙ up, rounded to bf16 (inter-kernel storage format).
+MatrixF GatedActivation(const MatrixF& gate_out, const MatrixF& up_out, Activation act) {
+  assert(gate_out.rows() == up_out.rows() && gate_out.cols() == up_out.cols());
+  MatrixF h(gate_out.rows(), gate_out.cols());
+  for (int64_t r = 0; r < h.rows(); ++r) {
+    for (int64_t c = 0; c < h.cols(); ++c) {
+      h(r, c) = RoundToBf16(ApplyActivation(act, gate_out(r, c)) * up_out(r, c));
+    }
+  }
+  return h;
+}
+
+MatrixF GatherRows(const MatrixF& x, const Selection& sel) {
+  MatrixF out(sel.selected(), x.cols());
+  for (int64_t i = 0; i < sel.selected(); ++i) {
+    const int64_t r = sel.indices[static_cast<size_t>(i)];
+    for (int64_t c = 0; c < x.cols(); ++c) {
+      out(i, c) = x(r, c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+MatrixF ExpertForwardDense(const MatrixF& x, const ExpertWeights& w, const Selection& sel,
+                           Activation act) {
+  const MatrixF xs = GatherRows(x, sel);
+  const MatrixF gate_out = GemmRef(xs, w.gate.Transposed());
+  const MatrixF up_out = GemmRef(xs, w.up.Transposed());
+  const MatrixF h = GatedActivation(gate_out, up_out, act);
+  return GemmRef(h, w.down.Transposed());
+}
+
+MatrixF ExpertForwardSamoyeds(const MatrixF& x, const SamoyedsExpertWeights& w,
+                              const Selection& sel, Activation act) {
+  const MatrixF gate_out = SamoyedsKernel::RunLinear(x, w.gate, sel);
+  const MatrixF up_out = SamoyedsKernel::RunLinear(x, w.up, sel);
+  const MatrixF h = GatedActivation(gate_out, up_out, act);
+  return SamoyedsKernel::RunLinear(h, w.down, Selection::All(h.rows()));
+}
+
+}  // namespace samoyeds

@@ -1,0 +1,52 @@
+// Expert MLP: the gate_proj / up_proj / down_proj trio of Fig. 11(a), in
+// dense form (reference / Transformers baseline) and Samoyeds-encoded form
+// (running through the SSMM kernel).
+
+#ifndef SAMOYEDS_SRC_MOE_EXPERT_H_
+#define SAMOYEDS_SRC_MOE_EXPERT_H_
+
+#include "src/core/samoyeds_kernel.h"
+#include "src/formats/samoyeds_format.h"
+#include "src/formats/sel.h"
+#include "src/moe/model_configs.h"
+#include "src/tensor/matrix.h"
+#include "src/tensor/rng.h"
+
+namespace samoyeds {
+
+float ApplyActivation(Activation act, float x);
+
+// Weight layout: gate/up are (intermediate x hidden), down is
+// (hidden x intermediate) — each row produces one output feature, matching
+// the y = x W^T convention of the kernels.
+struct ExpertWeights {
+  MatrixF gate;
+  MatrixF up;
+  MatrixF down;
+
+  static ExpertWeights Random(Rng& rng, int hidden, int intermediate, float scale = 0.3f);
+  // In-place Samoyeds mask on all three projections (for equivalence tests).
+  void ApplyMask(const SamoyedsConfig& cfg);
+};
+
+struct SamoyedsExpertWeights {
+  SamoyedsMatrix gate;
+  SamoyedsMatrix up;
+  SamoyedsMatrix down;
+
+  static SamoyedsExpertWeights Encode(const ExpertWeights& dense, const SamoyedsConfig& cfg);
+};
+
+// y = (act(x G^T) ⊙ (x U^T)) D^T over the *selected rows* of x.
+// The intermediate is rounded to bf16 between projections, mirroring the
+// on-device storage format. Output has sel.selected() rows.
+MatrixF ExpertForwardDense(const MatrixF& x, const ExpertWeights& w, const Selection& sel,
+                           Activation act);
+
+// Same computation through the Samoyeds SSMM kernel (dual-side sparse).
+MatrixF ExpertForwardSamoyeds(const MatrixF& x, const SamoyedsExpertWeights& w,
+                              const Selection& sel, Activation act);
+
+}  // namespace samoyeds
+
+#endif  // SAMOYEDS_SRC_MOE_EXPERT_H_

@@ -1,0 +1,108 @@
+#include "src/moe/memory_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace samoyeds {
+
+const char* FrameworkName(MoeFramework f) {
+  switch (f) {
+    case MoeFramework::kTransformers:
+      return "Transformers";
+    case MoeFramework::kMegaBlocks:
+      return "MegaBlocks";
+    case MoeFramework::kVllmDs:
+      return "vLLM-DS";
+    case MoeFramework::kSamoyeds:
+      return "Samoyeds";
+    case MoeFramework::kPit:
+      return "PIT";
+  }
+  return "?";
+}
+
+bool FrameworkSupportsModel(MoeFramework f, const MoeModelConfig& config) {
+  if (f == MoeFramework::kMegaBlocks || f == MoeFramework::kVllmDs) {
+    return config.activation == Activation::kSilu;
+  }
+  return true;
+}
+
+int64_t MemoryFootprint::MaxBatch(int64_t seq) const {
+  const double free_bytes = capacity_bytes - weight_bytes - fixed_bytes;
+  if (free_bytes <= 0.0) {
+    return 0;
+  }
+  return static_cast<int64_t>(free_bytes / (static_cast<double>(seq) * bytes_per_token));
+}
+
+double SamoyedsBytesPerParam(const SamoyedsConfig& cfg) {
+  const double row_frac = static_cast<double>(cfg.n) / cfg.m;
+  // data (bf16, half the columns) + 2-bit metadata + uint8 sub-row indices.
+  return row_frac * (0.5 * 2.0 + 0.5 * 0.25) + row_frac / cfg.v;
+}
+
+MemoryFootprint EstimateFootprint(const MoeModelConfig& model, MoeFramework framework,
+                                  const SamoyedsConfig& sparse_format, const DeviceSpec& device) {
+  MemoryFootprint fp;
+  fp.capacity_bytes = static_cast<double>(device.dram_capacity_bytes) * 0.95;
+
+  const double h = model.hidden;
+  const double inter = model.intermediate;
+  const double expert_params =
+      static_cast<double>(model.num_experts + model.shared_experts) * model.expert_params();
+  const double attn_params = 4.0 * h * h;
+  const double router_params = static_cast<double>(model.num_experts) * h;
+
+  double bytes_per_param = 2.0;  // bf16
+  double runtime_bytes = 0.7e9;  // CUDA context + framework runtime
+  switch (framework) {
+    case MoeFramework::kTransformers:
+      break;
+    case MoeFramework::kMegaBlocks:
+    case MoeFramework::kVllmDs:
+      // Reformatted weight copies for the custom kernels.
+      bytes_per_param = 2.4 * 2.0;
+      break;
+    case MoeFramework::kSamoyeds:
+      bytes_per_param = SamoyedsBytesPerParam(sparse_format);
+      break;
+    case MoeFramework::kPit:
+      bytes_per_param = 2.0;
+      runtime_bytes += 0.2e9;  // compiler runtime + tile tables
+      break;
+  }
+  // Attention and router stay dense bf16 in every framework.
+  fp.weight_bytes = expert_params * bytes_per_param + (attn_params + router_params) * 2.0;
+  fp.fixed_bytes = runtime_bytes;
+
+  const double k = model.top_k;
+  double act_bytes = 0.0;
+  switch (framework) {
+    case MoeFramework::kTransformers:
+      if (model.hf_dense_expert_fallback) {
+        // All experts over all tokens: the E x intermediate intermediate.
+        act_bytes = (static_cast<double>(model.num_experts) * inter + 2.5 * inter + 2.0 * h) * 2.0;
+      } else {
+        // Permuted copy + gate/up/activation intermediates per routed slot.
+        act_bytes = k * (2.5 * inter + 2.0 * h) * 2.0;
+      }
+      break;
+    case MoeFramework::kMegaBlocks:
+    case MoeFramework::kVllmDs:
+      act_bytes = k * (2.0 * inter + 2.0 * h) * 2.0;
+      break;
+    case MoeFramework::kPit:
+      act_bytes = k * (2.0 * inter + 1.5 * h) * 2.0;
+      break;
+    case MoeFramework::kSamoyeds:
+      // Fused gate/up activation, compressed intermediates, no permute dup.
+      act_bytes = k * (1.5 * inter + 2.0 * h) * 2.0;
+      break;
+  }
+  // KV cache (4h) plus resident activations (2h) per token.
+  fp.bytes_per_token = act_bytes + 6.0 * h;
+  return fp;
+}
+
+}  // namespace samoyeds

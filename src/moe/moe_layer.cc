@@ -1,0 +1,115 @@
+#include "src/moe/moe_layer.h"
+
+#include <cassert>
+
+namespace samoyeds {
+
+MoeLayerWeights MoeLayerWeights::Random(Rng& rng, const MoeModelConfig& config) {
+  MoeLayerWeights w;
+  w.router_gate = rng.GaussianMatrix(config.num_experts, config.hidden, 0.3f);
+  w.experts.reserve(static_cast<size_t>(config.num_experts));
+  for (int e = 0; e < config.num_experts; ++e) {
+    w.experts.push_back(ExpertWeights::Random(rng, config.hidden, config.intermediate));
+  }
+  for (int s = 0; s < config.shared_experts; ++s) {
+    w.shared_experts.push_back(ExpertWeights::Random(rng, config.hidden, config.intermediate));
+  }
+  return w;
+}
+
+void MoeLayerWeights::ApplyMask(const SamoyedsConfig& cfg) {
+  for (auto& e : experts) {
+    e.ApplyMask(cfg);
+  }
+  for (auto& e : shared_experts) {
+    e.ApplyMask(cfg);
+  }
+}
+
+SamoyedsMoeLayerWeights SamoyedsMoeLayerWeights::Encode(const MoeLayerWeights& dense,
+                                                        const SamoyedsConfig& cfg) {
+  SamoyedsMoeLayerWeights w;
+  w.router_gate = dense.router_gate;
+  for (const auto& e : dense.experts) {
+    w.experts.push_back(SamoyedsExpertWeights::Encode(e, cfg));
+  }
+  for (const auto& e : dense.shared_experts) {
+    w.shared_experts.push_back(SamoyedsExpertWeights::Encode(e, cfg));
+  }
+  return w;
+}
+
+namespace {
+
+// Scatter-accumulate expert output rows into the layer output with per-token
+// gate weights (the weighted un-permutation phase of Fig. 5).
+void ScatterAdd(const MatrixF& expert_out, const Selection& sel, const RoutingPlan& plan,
+                int expert_id, MatrixF& out) {
+  for (int64_t i = 0; i < sel.selected(); ++i) {
+    const int64_t token = sel.indices[static_cast<size_t>(i)];
+    float weight = 0.0f;
+    for (const auto& [e, gw] : plan.token_assignments[static_cast<size_t>(token)]) {
+      if (e == expert_id) {
+        weight = gw;
+        break;
+      }
+    }
+    for (int64_t c = 0; c < out.cols(); ++c) {
+      out(token, c) += weight * expert_out(i, c);
+    }
+  }
+}
+
+}  // namespace
+
+MatrixF MoeForwardReference(const MatrixF& x, const MoeLayerWeights& w, const RoutingPlan& plan,
+                            Activation act) {
+  assert(plan.tokens == x.rows());
+  MatrixF out(x.rows(), x.cols());
+  for (int e = 0; e < plan.num_experts; ++e) {
+    const Selection sel = plan.SelectionForExpert(e);
+    if (sel.selected() == 0) {
+      continue;
+    }
+    const MatrixF expert_out = ExpertForwardDense(x, w.experts[static_cast<size_t>(e)], sel, act);
+    ScatterAdd(expert_out, sel, plan, e, out);
+  }
+  // Shared experts process every token with unit weight.
+  const Selection all = Selection::All(x.rows());
+  for (const auto& shared : w.shared_experts) {
+    const MatrixF shared_out = ExpertForwardDense(x, shared, all, act);
+    for (int64_t r = 0; r < out.rows(); ++r) {
+      for (int64_t c = 0; c < out.cols(); ++c) {
+        out(r, c) += shared_out(r, c);
+      }
+    }
+  }
+  return out;
+}
+
+MatrixF MoeForwardSamoyeds(const MatrixF& x, const SamoyedsMoeLayerWeights& w,
+                           const RoutingPlan& plan, Activation act) {
+  assert(plan.tokens == x.rows());
+  MatrixF out(x.rows(), x.cols());
+  for (int e = 0; e < plan.num_experts; ++e) {
+    const Selection sel = plan.SelectionForExpert(e);
+    if (sel.selected() == 0) {
+      continue;
+    }
+    const MatrixF expert_out =
+        ExpertForwardSamoyeds(x, w.experts[static_cast<size_t>(e)], sel, act);
+    ScatterAdd(expert_out, sel, plan, e, out);
+  }
+  const Selection all = Selection::All(x.rows());
+  for (const auto& shared : w.shared_experts) {
+    const MatrixF shared_out = ExpertForwardSamoyeds(x, shared, all, act);
+    for (int64_t r = 0; r < out.rows(); ++r) {
+      for (int64_t c = 0; c < out.cols(); ++c) {
+        out(r, c) += shared_out(r, c);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace samoyeds

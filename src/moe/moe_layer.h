@@ -1,0 +1,56 @@
+// Functional MoE layer (§2.1, Fig. 5): routing, expert dispatch, weighted
+// un-permutation, optional shared experts. Two execution paths:
+//
+//   * MoeForwardReference — the Transformers-style data flow with explicit
+//     permutation (gather) and weighted scatter-accumulate over dense
+//     experts; the correctness oracle.
+//   * MoeForwardSamoyeds — experts in the Samoyeds format executed through
+//     the dual-side SSMM kernel with SEL arrays taken directly from the
+//     routing plan (no permutation copies).
+//
+// Both paths produce a (tokens x hidden) output; with identical (masked)
+// weights they agree to bf16 accumulation tolerance.
+
+#ifndef SAMOYEDS_SRC_MOE_MOE_LAYER_H_
+#define SAMOYEDS_SRC_MOE_MOE_LAYER_H_
+
+#include <vector>
+
+#include "src/moe/expert.h"
+#include "src/moe/model_configs.h"
+#include "src/moe/router.h"
+#include "src/tensor/matrix.h"
+#include "src/tensor/rng.h"
+
+namespace samoyeds {
+
+struct MoeLayerWeights {
+  MatrixF router_gate;  // num_experts x hidden
+  std::vector<ExpertWeights> experts;
+  std::vector<ExpertWeights> shared_experts;
+
+  static MoeLayerWeights Random(Rng& rng, const MoeModelConfig& config);
+  // Applies the Samoyeds mask to all routed and shared experts (router stays
+  // dense; it is negligible and kept at full precision in the paper too).
+  void ApplyMask(const SamoyedsConfig& cfg);
+};
+
+struct SamoyedsMoeLayerWeights {
+  MatrixF router_gate;
+  std::vector<SamoyedsExpertWeights> experts;
+  std::vector<SamoyedsExpertWeights> shared_experts;
+
+  static SamoyedsMoeLayerWeights Encode(const MoeLayerWeights& dense, const SamoyedsConfig& cfg);
+};
+
+// Reference data flow over dense experts, using the supplied routing plan.
+MatrixF MoeForwardReference(const MatrixF& x, const MoeLayerWeights& w, const RoutingPlan& plan,
+                            Activation act);
+
+// Dual-side sparse execution through the Samoyeds kernel.
+MatrixF MoeForwardSamoyeds(const MatrixF& x, const SamoyedsMoeLayerWeights& w,
+                           const RoutingPlan& plan, Activation act);
+
+}  // namespace samoyeds
+
+#endif  // SAMOYEDS_SRC_MOE_MOE_LAYER_H_

@@ -1,0 +1,238 @@
+#include "src/moe/router.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "src/tensor/gemm_ref.h"
+
+namespace samoyeds {
+
+Selection RoutingPlan::SelectionForExpert(int e) const {
+  Selection sel;
+  sel.full_size = tokens;
+  sel.indices = expert_tokens[static_cast<size_t>(e)];
+  return sel;
+}
+
+int64_t RoutingPlan::MaxTokensPerExpert() const {
+  int64_t max_tokens = 0;
+  for (const auto& v : expert_tokens) {
+    max_tokens = std::max<int64_t>(max_tokens, static_cast<int64_t>(v.size()));
+  }
+  return max_tokens;
+}
+
+bool RoutingPlan::IsConsistent() const {
+  if (static_cast<int>(expert_tokens.size()) != num_experts ||
+      static_cast<int64_t>(token_assignments.size()) != tokens) {
+    return false;
+  }
+  int64_t total = 0;
+  for (int e = 0; e < num_experts; ++e) {
+    int32_t prev = -1;
+    for (int32_t t : expert_tokens[static_cast<size_t>(e)]) {
+      if (t <= prev || t >= tokens) {
+        return false;
+      }
+      prev = t;
+    }
+    total += TokensForExpert(e);
+  }
+  if (total != tokens * top_k) {
+    return false;
+  }
+  for (const auto& assignment : token_assignments) {
+    if (static_cast<int>(assignment.size()) != top_k) {
+      return false;
+    }
+    float weight_sum = 0.0f;
+    for (const auto& [e, w] : assignment) {
+      if (e < 0 || e >= num_experts || w < 0.0f) {
+        return false;
+      }
+      weight_sum += w;
+    }
+    if (std::fabs(weight_sum - 1.0f) > 1e-4f) {
+      return false;
+    }
+  }
+  return true;
+}
+
+RoutingPlan Route(const MatrixF& x, const MatrixF& gate_weight, int top_k) {
+  assert(x.cols() == gate_weight.cols());
+  assert(top_k >= 1 && top_k <= gate_weight.rows());
+  const int64_t tokens = x.rows();
+  const int num_experts = static_cast<int>(gate_weight.rows());
+
+  RoutingPlan plan;
+  plan.num_experts = num_experts;
+  plan.top_k = top_k;
+  plan.tokens = tokens;
+  plan.expert_tokens.resize(static_cast<size_t>(num_experts));
+  plan.token_assignments.resize(static_cast<size_t>(tokens));
+
+  const MatrixF logits = GemmRef(x, gate_weight.Transposed());  // tokens x experts
+  std::vector<int> order(static_cast<size_t>(num_experts));
+  for (int64_t t = 0; t < tokens; ++t) {
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&logits, t](int a, int b) {
+      return logits(t, a) > logits(t, b);
+    });
+    // Softmax over the selected top-k logits.
+    float max_logit = logits(t, order[0]);
+    float denom = 0.0f;
+    for (int i = 0; i < top_k; ++i) {
+      denom += std::exp(logits(t, order[static_cast<size_t>(i)]) - max_logit);
+    }
+    auto& assignment = plan.token_assignments[static_cast<size_t>(t)];
+    for (int i = 0; i < top_k; ++i) {
+      const int e = order[static_cast<size_t>(i)];
+      const float w = std::exp(logits(t, e) - max_logit) / denom;
+      assignment.emplace_back(e, w);
+      plan.expert_tokens[static_cast<size_t>(e)].push_back(static_cast<int32_t>(t));
+    }
+  }
+  return plan;
+}
+
+RoutingPlan RouteExpertChoice(const MatrixF& x, const MatrixF& gate_weight, int top_k_equiv) {
+  assert(x.cols() == gate_weight.cols());
+  const int64_t tokens = x.rows();
+  const int num_experts = static_cast<int>(gate_weight.rows());
+  const int64_t capacity =
+      std::max<int64_t>(1, tokens * top_k_equiv / num_experts);
+
+  RoutingPlan plan;
+  plan.num_experts = num_experts;
+  plan.top_k = top_k_equiv;
+  plan.tokens = tokens;
+  plan.expert_tokens.resize(static_cast<size_t>(num_experts));
+  plan.token_assignments.resize(static_cast<size_t>(tokens));
+
+  const MatrixF logits = GemmRef(x, gate_weight.Transposed());  // tokens x experts
+  // Each expert takes its `capacity` highest-affinity tokens.
+  std::vector<int64_t> order(static_cast<size_t>(tokens));
+  for (int e = 0; e < num_experts; ++e) {
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&logits, e](int64_t a, int64_t b) {
+      return logits(a, e) > logits(b, e);
+    });
+    auto& chosen = plan.expert_tokens[static_cast<size_t>(e)];
+    for (int64_t i = 0; i < capacity; ++i) {
+      chosen.push_back(static_cast<int32_t>(order[static_cast<size_t>(i)]));
+    }
+    std::sort(chosen.begin(), chosen.end());
+    for (int32_t tok : chosen) {
+      plan.token_assignments[static_cast<size_t>(tok)].emplace_back(e, logits(tok, e));
+    }
+  }
+  // Softmax-normalize each token's weights over the experts that chose it.
+  for (auto& assignment : plan.token_assignments) {
+    if (assignment.empty()) {
+      continue;
+    }
+    float max_logit = assignment.front().second;
+    for (const auto& [e, l] : assignment) {
+      max_logit = std::max(max_logit, l);
+    }
+    float denom = 0.0f;
+    for (auto& [e, l] : assignment) {
+      l = std::exp(l - max_logit);
+      denom += l;
+    }
+    for (auto& [e, l] : assignment) {
+      l /= denom;
+    }
+  }
+  return plan;
+}
+
+bool IsBalancedConsistent(const RoutingPlan& plan) {
+  if (static_cast<int>(plan.expert_tokens.size()) != plan.num_experts) {
+    return false;
+  }
+  const int64_t capacity =
+      std::max<int64_t>(1, plan.tokens * plan.top_k / plan.num_experts);
+  for (int e = 0; e < plan.num_experts; ++e) {
+    if (plan.TokensForExpert(e) != capacity) {
+      return false;  // expert choice guarantees exact balance
+    }
+    int32_t prev = -1;
+    for (int32_t t : plan.expert_tokens[static_cast<size_t>(e)]) {
+      if (t <= prev || t >= plan.tokens) {
+        return false;
+      }
+      prev = t;
+    }
+  }
+  for (const auto& assignment : plan.token_assignments) {
+    if (assignment.empty()) {
+      continue;  // dropped token: legal under expert choice
+    }
+    float weight_sum = 0.0f;
+    for (const auto& [e, w] : assignment) {
+      if (e < 0 || e >= plan.num_experts || w < 0.0f) {
+        return false;
+      }
+      weight_sum += w;
+    }
+    if (std::fabs(weight_sum - 1.0f) > 1e-4f) {
+      return false;
+    }
+  }
+  return true;
+}
+
+RoutingPlan MakeSyntheticPlan(Rng& rng, int64_t tokens, int num_experts, int top_k,
+                              double skew) {
+  assert(top_k >= 1 && top_k <= num_experts);
+  RoutingPlan plan;
+  plan.num_experts = num_experts;
+  plan.top_k = top_k;
+  plan.tokens = tokens;
+  plan.expert_tokens.resize(static_cast<size_t>(num_experts));
+  plan.token_assignments.resize(static_cast<size_t>(tokens));
+
+  // Zipf-like popularity weights.
+  std::vector<double> popularity(static_cast<size_t>(num_experts));
+  double total = 0.0;
+  for (int e = 0; e < num_experts; ++e) {
+    popularity[static_cast<size_t>(e)] = 1.0 / std::pow(e + 1.0, skew);
+    total += popularity[static_cast<size_t>(e)];
+  }
+  for (auto& p : popularity) {
+    p /= total;
+  }
+
+  std::vector<int> picked;
+  picked.reserve(static_cast<size_t>(top_k));
+  for (int64_t t = 0; t < tokens; ++t) {
+    picked.clear();
+    while (static_cast<int>(picked.size()) < top_k) {
+      double u = rng.NextDouble();
+      int e = num_experts - 1;
+      double acc = 0.0;
+      for (int i = 0; i < num_experts; ++i) {
+        acc += popularity[static_cast<size_t>(i)];
+        if (u < acc) {
+          e = i;
+          break;
+        }
+      }
+      if (std::find(picked.begin(), picked.end(), e) == picked.end()) {
+        picked.push_back(e);
+      }
+    }
+    auto& assignment = plan.token_assignments[static_cast<size_t>(t)];
+    for (int e : picked) {
+      assignment.emplace_back(e, 1.0f / static_cast<float>(top_k));
+      plan.expert_tokens[static_cast<size_t>(e)].push_back(static_cast<int32_t>(t));
+    }
+  }
+  return plan;
+}
+
+}  // namespace samoyeds

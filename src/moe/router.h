@@ -1,0 +1,67 @@
+// Token routing for the MoE layer (§2.1).
+//
+// Two entry points:
+//   * Route(): the numeric top-k softmax gate used by the functional layer
+//     implementations and their tests.
+//   * MakeSyntheticPlan(): a shape-only routing plan generator (with an
+//     optional popularity skew) used by the analytic benchmarks, where only
+//     the per-expert token counts matter.
+
+#ifndef SAMOYEDS_SRC_MOE_ROUTER_H_
+#define SAMOYEDS_SRC_MOE_ROUTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/formats/sel.h"
+#include "src/tensor/matrix.h"
+#include "src/tensor/rng.h"
+
+namespace samoyeds {
+
+struct RoutingPlan {
+  int num_experts = 0;
+  int top_k = 0;
+  int64_t tokens = 0;
+  // For each expert: the (ascending) token indices routed to it.
+  std::vector<std::vector<int32_t>> expert_tokens;
+  // For each token: its top_k (expert, gate weight) pairs.
+  std::vector<std::vector<std::pair<int, float>>> token_assignments;
+
+  int64_t TokensForExpert(int e) const {
+    return static_cast<int64_t>(expert_tokens[static_cast<size_t>(e)].size());
+  }
+  // Selection array view of one expert's tokens — the input half of the
+  // Samoyeds dual-side format.
+  Selection SelectionForExpert(int e) const;
+  // Largest per-expert token count (drives padding overheads).
+  int64_t MaxTokensPerExpert() const;
+  bool IsConsistent() const;
+};
+
+// Numeric top-k routing: logits = x * gate_weight^T, softmax over the top-k
+// logits per token (the normalization used by Mixtral-style routers).
+// gate_weight is (num_experts x hidden).
+RoutingPlan Route(const MatrixF& x, const MatrixF& gate_weight, int top_k);
+
+// Synthetic plan with Zipf-like expert popularity controlled by `skew`
+// (0 = uniform). Token assignments get uniform gate weights (1/top_k).
+RoutingPlan MakeSyntheticPlan(Rng& rng, int64_t tokens, int num_experts, int top_k,
+                              double skew = 0.0);
+
+// Expert-choice routing (Zhou et al., NeurIPS'22 — the alternative routing
+// family §7 cites): instead of tokens picking experts, each expert picks
+// its top-capacity tokens by affinity, guaranteeing perfect load balance.
+// capacity = tokens * top_k_equiv / num_experts. Tokens may end up with
+// fewer (even zero) or more than top_k_equiv experts, so the resulting plan
+// satisfies IsBalancedConsistent() rather than IsConsistent(); per-token
+// gate weights are softmax-normalized over the experts that chose it.
+RoutingPlan RouteExpertChoice(const MatrixF& x, const MatrixF& gate_weight, int top_k_equiv);
+
+// Consistency for expert-choice plans: ascending valid token lists, exact
+// per-expert capacity, normalized weights for every assigned token.
+bool IsBalancedConsistent(const RoutingPlan& plan);
+
+}  // namespace samoyeds
+
+#endif  // SAMOYEDS_SRC_MOE_ROUTER_H_

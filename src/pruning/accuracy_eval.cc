@@ -1,0 +1,179 @@
+#include "src/pruning/accuracy_eval.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace samoyeds {
+
+namespace {
+
+// Mini-batch epoch over a classification dataset; returns mean loss.
+float TrainEpoch(Mlp& model, const ClassificationDataset& data, int batch, float lr, Rng& rng) {
+  std::vector<int64_t> order(static_cast<size_t>(data.x.rows()));
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+  float loss_sum = 0.0f;
+  int batches = 0;
+  for (int64_t start = 0; start + batch <= data.x.rows(); start += batch) {
+    MatrixF xb(batch, data.x.cols());
+    std::vector<int> yb(static_cast<size_t>(batch));
+    for (int i = 0; i < batch; ++i) {
+      const int64_t src = order[static_cast<size_t>(start + i)];
+      for (int64_t c = 0; c < data.x.cols(); ++c) {
+        xb(i, c) = data.x(src, c);
+      }
+      yb[static_cast<size_t>(i)] = data.labels[static_cast<size_t>(src)];
+    }
+    loss_sum += model.TrainStepCrossEntropy(xb, yb, lr);
+    ++batches;
+  }
+  return batches > 0 ? loss_sum / static_cast<float>(batches) : 0.0f;
+}
+
+// Prunes the middle layers of the model (first and last stay dense, as LLM
+// embedding / head layers do in the paper's pipeline).
+void PruneHiddenLayers(Mlp& model, const PruneSpec& spec) {
+  for (int l = 1; l + 1 < model.layer_count(); ++l) {
+    ApplyPruning(model.weight(l), spec);
+  }
+  model.SnapshotMasks();
+}
+
+double HiddenSparsity(const Mlp& model) {
+  double zeros = 0.0;
+  double total = 0.0;
+  for (int l = 1; l + 1 < model.layer_count(); ++l) {
+    const MatrixF& w = model.weight(l);
+    zeros += MeasuredSparsity(w) * static_cast<double>(w.size());
+    total += static_cast<double>(w.size());
+  }
+  return total > 0.0 ? zeros / total : 0.0;
+}
+
+template <typename MetricFn>
+std::vector<PruneExperimentResult> RunExperiment(Rng& rng, const std::vector<int>& dims,
+                                                 const ClassificationDataset& train,
+                                                 const ClassificationDataset& test,
+                                                 const std::vector<PruneSpec>& specs,
+                                                 const PruneExperimentOptions& options,
+                                                 MetricFn metric) {
+  Mlp dense(rng, dims);
+  for (int epoch = 0; epoch < options.pretrain_epochs; ++epoch) {
+    TrainEpoch(dense, train, options.batch, options.lr, rng);
+  }
+
+  std::vector<PruneExperimentResult> results;
+  for (const PruneSpec& spec : specs) {
+    Mlp pruned = dense;  // copy of the converged dense model
+    PruneExperimentResult r;
+    r.spec = spec;
+    if (spec.method != PruneMethod::kDense) {
+      PruneHiddenLayers(pruned, spec);
+    }
+    r.metric_before_finetune = metric(pruned, test);
+    for (int epoch = 0; epoch < options.finetune_epochs; ++epoch) {
+      TrainEpoch(pruned, train, options.batch, options.finetune_lr, rng);
+    }
+    r.metric_after_finetune = metric(pruned, test);
+    r.measured_sparsity = HiddenSparsity(pruned);
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+}  // namespace
+
+ClassificationDataset ClassificationDataset::Make(Rng& rng, int64_t samples, int features,
+                                                  int classes, float noise) {
+  ClassificationDataset d;
+  d.num_classes = classes;
+  d.x = MatrixF(samples, features);
+  d.labels.resize(static_cast<size_t>(samples));
+  MatrixF centers = rng.GaussianMatrix(classes, features, 1.0f);
+  for (int64_t i = 0; i < samples; ++i) {
+    const int label = static_cast<int>(rng.NextBounded(static_cast<uint64_t>(classes)));
+    d.labels[static_cast<size_t>(i)] = label;
+    for (int64_t c = 0; c < features; ++c) {
+      d.x(i, c) = centers(label, c) + noise * rng.NextGaussian();
+    }
+  }
+  return d;
+}
+
+RegressionDataset RegressionDataset::Make(Rng& rng, int64_t samples, int features, int outputs) {
+  RegressionDataset d;
+  d.x = rng.GaussianMatrix(samples, features);
+  Rng teacher_rng(rng.NextU64());
+  const Mlp teacher(teacher_rng, {features, 2 * features, outputs});
+  d.y = teacher.Forward(d.x);
+  return d;
+}
+
+double EvaluateAccuracy(const Mlp& model, const ClassificationDataset& data) {
+  const MatrixF out = model.Forward(data.x);
+  int64_t correct = 0;
+  for (int64_t r = 0; r < out.rows(); ++r) {
+    int64_t best = 0;
+    for (int64_t c = 1; c < out.cols(); ++c) {
+      if (out(r, c) > out(r, best)) {
+        best = c;
+      }
+    }
+    correct += best == data.labels[static_cast<size_t>(r)];
+  }
+  return static_cast<double>(correct) / static_cast<double>(out.rows());
+}
+
+double EvaluatePerplexity(const Mlp& model, const ClassificationDataset& data) {
+  const MatrixF out = model.Forward(data.x);
+  double ce = 0.0;
+  for (int64_t r = 0; r < out.rows(); ++r) {
+    double max_logit = out(r, 0);
+    for (int64_t c = 1; c < out.cols(); ++c) {
+      max_logit = std::max(max_logit, static_cast<double>(out(r, c)));
+    }
+    double denom = 0.0;
+    for (int64_t c = 0; c < out.cols(); ++c) {
+      denom += std::exp(out(r, c) - max_logit);
+    }
+    const int label = data.labels[static_cast<size_t>(r)];
+    ce -= out(r, label) - max_logit - std::log(denom);
+  }
+  return std::exp(ce / static_cast<double>(out.rows()));
+}
+
+double EvaluateMse(const Mlp& model, const RegressionDataset& data) {
+  const MatrixF out = model.Forward(data.x);
+  double mse = 0.0;
+  for (int64_t r = 0; r < out.rows(); ++r) {
+    for (int64_t c = 0; c < out.cols(); ++c) {
+      const double d = out(r, c) - data.y(r, c);
+      mse += d * d;
+    }
+  }
+  return mse / static_cast<double>(out.size());
+}
+
+std::vector<PruneExperimentResult> RunPerplexityExperiment(
+    Rng& rng, const std::vector<int>& dims, const ClassificationDataset& train,
+    const ClassificationDataset& test, const std::vector<PruneSpec>& specs,
+    const PruneExperimentOptions& options) {
+  return RunExperiment(rng, dims, train, test, specs, options,
+                       [](const Mlp& m, const ClassificationDataset& d) {
+                         return EvaluatePerplexity(m, d);
+                       });
+}
+
+std::vector<PruneExperimentResult> RunAccuracyExperiment(
+    Rng& rng, const std::vector<int>& dims, const ClassificationDataset& train,
+    const ClassificationDataset& test, const std::vector<PruneSpec>& specs,
+    const PruneExperimentOptions& options) {
+  return RunExperiment(rng, dims, train, test, specs, options,
+                       [](const Mlp& m, const ClassificationDataset& d) {
+                         return EvaluateAccuracy(m, d);
+                       });
+}
+
+}  // namespace samoyeds

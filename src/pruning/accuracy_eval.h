@@ -1,0 +1,74 @@
+// End-to-end accuracy-proxy experiments: train a model, one-shot prune it
+// with each format, fine-tune under the mask, evaluate (§6.5).
+
+#ifndef SAMOYEDS_SRC_PRUNING_ACCURACY_EVAL_H_
+#define SAMOYEDS_SRC_PRUNING_ACCURACY_EVAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/pruning/mlp.h"
+#include "src/pruning/pruners.h"
+#include "src/tensor/matrix.h"
+#include "src/tensor/rng.h"
+
+namespace samoyeds {
+
+struct ClassificationDataset {
+  MatrixF x;                // samples x features
+  std::vector<int> labels;  // class index per sample
+  int num_classes = 0;
+
+  // Gaussian-cluster classification task (deterministic given the seed).
+  static ClassificationDataset Make(Rng& rng, int64_t samples, int features, int classes,
+                                    float noise = 0.6f);
+};
+
+struct RegressionDataset {
+  MatrixF x;
+  MatrixF y;
+
+  // Teacher-network regression task: y = teacher(x) for a random frozen MLP.
+  static RegressionDataset Make(Rng& rng, int64_t samples, int features, int outputs);
+};
+
+// Classification accuracy in [0, 1].
+double EvaluateAccuracy(const Mlp& model, const ClassificationDataset& data);
+// Perplexity = exp(mean cross-entropy) — the proxy for Table 5.
+double EvaluatePerplexity(const Mlp& model, const ClassificationDataset& data);
+// Mean squared error.
+double EvaluateMse(const Mlp& model, const RegressionDataset& data);
+
+struct PruneExperimentResult {
+  PruneSpec spec;
+  double metric_before_finetune = 0.0;
+  double metric_after_finetune = 0.0;
+  double measured_sparsity = 0.0;  // over hidden-layer weights
+};
+
+struct PruneExperimentOptions {
+  int pretrain_epochs = 60;
+  int finetune_epochs = 20;
+  int batch = 128;
+  float lr = 0.05f;
+  float finetune_lr = 0.01f;
+};
+
+// Trains a dense model on `train`, then for each spec: copy, prune the
+// hidden layers (input/output layers stay dense, mirroring how LLM
+// embedding/head layers are kept dense), fine-tune, evaluate perplexity on
+// `test`. The dense baseline appears as a kDense entry.
+std::vector<PruneExperimentResult> RunPerplexityExperiment(
+    Rng& rng, const std::vector<int>& dims, const ClassificationDataset& train,
+    const ClassificationDataset& test, const std::vector<PruneSpec>& specs,
+    const PruneExperimentOptions& options);
+
+// Same pipeline but reporting classification accuracy (Table 4's F1 proxy).
+std::vector<PruneExperimentResult> RunAccuracyExperiment(
+    Rng& rng, const std::vector<int>& dims, const ClassificationDataset& train,
+    const ClassificationDataset& test, const std::vector<PruneSpec>& specs,
+    const PruneExperimentOptions& options);
+
+}  // namespace samoyeds
+
+#endif  // SAMOYEDS_SRC_PRUNING_ACCURACY_EVAL_H_

@@ -1,0 +1,67 @@
+#include "src/pruning/fisher.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace samoyeds {
+
+std::vector<MatrixF> EstimateDiagonalFisher(const Mlp& model, const ClassificationDataset& data,
+                                            int64_t max_samples) {
+  std::vector<MatrixF> fisher;
+  const int64_t samples = std::min<int64_t>(max_samples, data.x.rows());
+  constexpr int64_t kChunk = 64;
+  for (int64_t start = 0; start < samples; start += kChunk) {
+    const int64_t count = std::min<int64_t>(kChunk, samples - start);
+    MatrixF xb(count, data.x.cols());
+    std::vector<int> yb(static_cast<size_t>(count));
+    for (int64_t i = 0; i < count; ++i) {
+      for (int64_t c = 0; c < data.x.cols(); ++c) {
+        xb(i, c) = data.x(start + i, c);
+      }
+      yb[static_cast<size_t>(i)] = data.labels[static_cast<size_t>(start + i)];
+    }
+    model.AccumulateSquaredGradients(xb, yb, &fisher);
+  }
+  const float inv_batches = 1.0f / std::max<float>(1.0f, std::ceil(static_cast<float>(samples) /
+                                                                   kChunk));
+  for (auto& f : fisher) {
+    for (auto& v : f.flat()) {
+      v *= inv_batches;
+    }
+  }
+  return fisher;
+}
+
+MatrixF FisherSaliency(const MatrixF& weights, const MatrixF& fisher_diag) {
+  assert(weights.rows() == fisher_diag.rows() && weights.cols() == fisher_diag.cols());
+  MatrixF scores(weights.rows(), weights.cols());
+  for (int64_t r = 0; r < weights.rows(); ++r) {
+    for (int64_t c = 0; c < weights.cols(); ++c) {
+      scores(r, c) = weights(r, c) * weights(r, c) * fisher_diag(r, c);
+    }
+  }
+  return scores;
+}
+
+void ApplyScoredPruning(MatrixF& w, const MatrixF& scores, const PruneSpec& spec) {
+  assert(w.rows() == scores.rows() && w.cols() == scores.cols());
+  // Run the structural selector on a surrogate matrix whose magnitudes are
+  // the scores; its surviving positions become the mask for `w`. sqrt keeps
+  // the selector's squared-norm criteria ordered identically to the scores.
+  MatrixF surrogate(scores.rows(), scores.cols());
+  for (int64_t r = 0; r < scores.rows(); ++r) {
+    for (int64_t c = 0; c < scores.cols(); ++c) {
+      surrogate(r, c) = std::sqrt(std::max(0.0f, scores(r, c))) + 1e-30f;
+    }
+  }
+  ApplyPruning(surrogate, spec);
+  for (int64_t r = 0; r < w.rows(); ++r) {
+    for (int64_t c = 0; c < w.cols(); ++c) {
+      if (surrogate(r, c) == 0.0f) {
+        w(r, c) = 0.0f;
+      }
+    }
+  }
+}
+
+}  // namespace samoyeds

@@ -1,0 +1,35 @@
+// WoodFisher-style second-order pruning scores (§6.5 uses WoodFisher via
+// SparseML). The full WoodFisher inverts a blockwise Fisher; the standard
+// diagonal approximation scores each weight by w^2 * F_jj, where F_jj is
+// the empirical squared gradient. Structured masks (unstructured / VENOM /
+// Samoyeds) are then selected on the *scores* instead of magnitudes, while
+// the surviving values stay the original weights.
+
+#ifndef SAMOYEDS_SRC_PRUNING_FISHER_H_
+#define SAMOYEDS_SRC_PRUNING_FISHER_H_
+
+#include <vector>
+
+#include "src/pruning/accuracy_eval.h"
+#include "src/pruning/mlp.h"
+#include "src/pruning/pruners.h"
+
+namespace samoyeds {
+
+// Empirical diagonal Fisher of the model's weights on (a subset of) the
+// dataset: mean squared gradient per weight, one matrix per layer.
+std::vector<MatrixF> EstimateDiagonalFisher(const Mlp& model, const ClassificationDataset& data,
+                                            int64_t max_samples = 512);
+
+// WoodFisher-diagonal saliency: score_j = w_j^2 * F_jj (the loss increase
+// of zeroing w_j under a quadratic model with diagonal curvature).
+MatrixF FisherSaliency(const MatrixF& weights, const MatrixF& fisher_diag);
+
+// Prunes `w` in place using the structural pattern of `spec`, but selecting
+// survivors by `scores` instead of magnitude. Survivors keep their original
+// values.
+void ApplyScoredPruning(MatrixF& w, const MatrixF& scores, const PruneSpec& spec);
+
+}  // namespace samoyeds
+
+#endif  // SAMOYEDS_SRC_PRUNING_FISHER_H_

@@ -1,0 +1,227 @@
+#include "src/pruning/mlp.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "src/tensor/gemm_ref.h"
+
+namespace samoyeds {
+
+namespace {
+
+float Silu(float x) { return x / (1.0f + std::exp(-x)); }
+
+float SiluGrad(float x) {
+  const float s = 1.0f / (1.0f + std::exp(-x));
+  return s * (1.0f + x * (1.0f - s));
+}
+
+}  // namespace
+
+Mlp::Mlp(Rng& rng, const std::vector<int>& dims) : dims_(dims) {
+  assert(dims.size() >= 2);
+  for (size_t l = 0; l + 1 < dims.size(); ++l) {
+    const int fan_in = dims[l];
+    const int fan_out = dims[l + 1];
+    const float scale = std::sqrt(2.0f / static_cast<float>(fan_in));
+    weights_.push_back(rng.GaussianMatrix(fan_out, fan_in, scale));
+    biases_.emplace_back(static_cast<size_t>(fan_out), 0.0f);
+  }
+}
+
+MatrixF Mlp::ForwardCached(const MatrixF& x, ForwardCache& cache) const {
+  assert(x.cols() == input_dim());
+  cache.pre.clear();
+  cache.post.clear();
+  cache.post.push_back(x);
+  MatrixF h = x;
+  for (int l = 0; l < layer_count(); ++l) {
+    MatrixF z = GemmRef(h, weights_[static_cast<size_t>(l)].Transposed());
+    for (int64_t r = 0; r < z.rows(); ++r) {
+      for (int64_t c = 0; c < z.cols(); ++c) {
+        z(r, c) += biases_[static_cast<size_t>(l)][static_cast<size_t>(c)];
+      }
+    }
+    cache.pre.push_back(z);
+    if (l + 1 < layer_count()) {
+      for (auto& v : z.flat()) {
+        v = Silu(v);
+      }
+    }
+    cache.post.push_back(z);
+    h = std::move(z);
+  }
+  return h;
+}
+
+MatrixF Mlp::Forward(const MatrixF& x) const {
+  ForwardCache cache;
+  return ForwardCached(x, cache);
+}
+
+void Mlp::Backward(const ForwardCache& cache, const MatrixF& dloss_dout, float lr) {
+  MatrixF grad = dloss_dout;  // dL/d(pre-activation of last layer)
+  for (int l = layer_count() - 1; l >= 0; --l) {
+    const MatrixF& input = cache.post[static_cast<size_t>(l)];
+    // Weight gradient: grad^T * input; apply SGD immediately.
+    MatrixF& w = weights_[static_cast<size_t>(l)];
+    const MatrixF wg = GemmRef(grad.Transposed(), input);
+    for (int64_t r = 0; r < w.rows(); ++r) {
+      for (int64_t c = 0; c < w.cols(); ++c) {
+        w(r, c) -= lr * wg(r, c);
+      }
+    }
+    auto& bias = biases_[static_cast<size_t>(l)];
+    for (int64_t c = 0; c < grad.cols(); ++c) {
+      float g = 0.0f;
+      for (int64_t r = 0; r < grad.rows(); ++r) {
+        g += grad(r, c);
+      }
+      bias[static_cast<size_t>(c)] -= lr * g;
+    }
+    if (l > 0) {
+      // Propagate through the (pre-update would be more exact, but the
+      // shared-step approximation is standard for plain SGD) weights and the
+      // SiLU of the previous layer.
+      MatrixF prev = GemmRef(grad, w);
+      const MatrixF& pre = cache.pre[static_cast<size_t>(l - 1)];
+      for (int64_t r = 0; r < prev.rows(); ++r) {
+        for (int64_t c = 0; c < prev.cols(); ++c) {
+          prev(r, c) *= SiluGrad(pre(r, c));
+        }
+      }
+      grad = std::move(prev);
+    }
+  }
+  ReapplyMasks();
+}
+
+float Mlp::TrainStepMse(const MatrixF& x, const MatrixF& target, float lr) {
+  assert(target.rows() == x.rows() && target.cols() == output_dim());
+  ForwardCache cache;
+  const MatrixF out = ForwardCached(x, cache);
+  const float inv_n = 1.0f / static_cast<float>(out.rows());
+  MatrixF grad(out.rows(), out.cols());
+  float loss = 0.0f;
+  for (int64_t r = 0; r < out.rows(); ++r) {
+    for (int64_t c = 0; c < out.cols(); ++c) {
+      const float d = out(r, c) - target(r, c);
+      loss += d * d;
+      grad(r, c) = 2.0f * d * inv_n / static_cast<float>(out.cols());
+    }
+  }
+  loss *= inv_n / static_cast<float>(out.cols());
+  Backward(cache, grad, lr);
+  return loss;
+}
+
+float Mlp::TrainStepCrossEntropy(const MatrixF& x, const std::vector<int>& labels, float lr) {
+  assert(static_cast<int64_t>(labels.size()) == x.rows());
+  ForwardCache cache;
+  const MatrixF out = ForwardCached(x, cache);
+  const float inv_n = 1.0f / static_cast<float>(out.rows());
+  MatrixF grad(out.rows(), out.cols());
+  float loss = 0.0f;
+  for (int64_t r = 0; r < out.rows(); ++r) {
+    float max_logit = out(r, 0);
+    for (int64_t c = 1; c < out.cols(); ++c) {
+      max_logit = std::max(max_logit, out(r, c));
+    }
+    float denom = 0.0f;
+    for (int64_t c = 0; c < out.cols(); ++c) {
+      denom += std::exp(out(r, c) - max_logit);
+    }
+    const int label = labels[static_cast<size_t>(r)];
+    loss -= (out(r, label) - max_logit - std::log(denom));
+    for (int64_t c = 0; c < out.cols(); ++c) {
+      const float p = std::exp(out(r, c) - max_logit) / denom;
+      grad(r, c) = (p - (c == label ? 1.0f : 0.0f)) * inv_n;
+    }
+  }
+  loss *= inv_n;
+  Backward(cache, grad, lr);
+  return loss;
+}
+
+void Mlp::AccumulateSquaredGradients(const MatrixF& x, const std::vector<int>& labels,
+                                     std::vector<MatrixF>* accum) const {
+  assert(static_cast<int64_t>(labels.size()) == x.rows());
+  assert(accum != nullptr);
+  if (accum->empty()) {
+    for (const auto& w : weights_) {
+      accum->emplace_back(w.rows(), w.cols());
+    }
+  }
+  ForwardCache cache;
+  const MatrixF out = ForwardCached(x, cache);
+  const float inv_n = 1.0f / static_cast<float>(out.rows());
+  MatrixF grad(out.rows(), out.cols());
+  for (int64_t r = 0; r < out.rows(); ++r) {
+    float max_logit = out(r, 0);
+    for (int64_t c = 1; c < out.cols(); ++c) {
+      max_logit = std::max(max_logit, out(r, c));
+    }
+    float denom = 0.0f;
+    for (int64_t c = 0; c < out.cols(); ++c) {
+      denom += std::exp(out(r, c) - max_logit);
+    }
+    const int label = labels[static_cast<size_t>(r)];
+    for (int64_t c = 0; c < out.cols(); ++c) {
+      const float p = std::exp(out(r, c) - max_logit) / denom;
+      grad(r, c) = (p - (c == label ? 1.0f : 0.0f)) * inv_n;
+    }
+  }
+  // Backward pass accumulating squared weight gradients only.
+  for (int l = layer_count() - 1; l >= 0; --l) {
+    const MatrixF& input = cache.post[static_cast<size_t>(l)];
+    const MatrixF wg = GemmRef(grad.Transposed(), input);
+    MatrixF& acc = (*accum)[static_cast<size_t>(l)];
+    for (int64_t r = 0; r < wg.rows(); ++r) {
+      for (int64_t c = 0; c < wg.cols(); ++c) {
+        acc(r, c) += wg(r, c) * wg(r, c);
+      }
+    }
+    if (l > 0) {
+      MatrixF prev = GemmRef(grad, weights_[static_cast<size_t>(l)]);
+      const MatrixF& pre = cache.pre[static_cast<size_t>(l - 1)];
+      for (int64_t r = 0; r < prev.rows(); ++r) {
+        for (int64_t c = 0; c < prev.cols(); ++c) {
+          prev(r, c) *= SiluGrad(pre(r, c));
+        }
+      }
+      grad = std::move(prev);
+    }
+  }
+}
+
+void Mlp::SnapshotMasks() {
+  masks_.clear();
+  for (const auto& w : weights_) {
+    Matrix<uint8_t> mask(w.rows(), w.cols());
+    for (int64_t r = 0; r < w.rows(); ++r) {
+      for (int64_t c = 0; c < w.cols(); ++c) {
+        mask(r, c) = w(r, c) != 0.0f ? 1 : 0;
+      }
+    }
+    masks_.push_back(std::move(mask));
+  }
+}
+
+void Mlp::ReapplyMasks() {
+  if (masks_.empty()) {
+    return;
+  }
+  for (size_t l = 0; l < weights_.size(); ++l) {
+    MatrixF& w = weights_[l];
+    const auto& mask = masks_[l];
+    for (int64_t r = 0; r < w.rows(); ++r) {
+      for (int64_t c = 0; c < w.cols(); ++c) {
+        if (!mask(r, c)) {
+          w(r, c) = 0.0f;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace samoyeds

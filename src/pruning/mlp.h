@@ -1,0 +1,76 @@
+// A small trainable MLP — the proxy model for the accuracy assessment.
+//
+// The paper prunes BERT / Tiny-LLaMA / Qwen2-1.5B and measures F1 /
+// perplexity; without those checkpoints we train a compact MLP on synthetic
+// tasks and compare the *same pruning formats at the same sparsity*. The
+// ranking between formats is a property of each pattern's expressiveness at
+// matched sparsity, which this proxy preserves (see DESIGN.md §1).
+//
+// Supports masked training: after every SGD step the pruning mask is
+// re-applied, i.e. one-shot pruning followed by mask-preserving fine-tuning
+// (the standard recipe of WoodFisher/SparseGPT-style pipelines).
+
+#ifndef SAMOYEDS_SRC_PRUNING_MLP_H_
+#define SAMOYEDS_SRC_PRUNING_MLP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/tensor/matrix.h"
+#include "src/tensor/rng.h"
+
+namespace samoyeds {
+
+class Mlp {
+ public:
+  // dims = {in, h1, ..., out}. Hidden activations are SiLU; output linear.
+  Mlp(Rng& rng, const std::vector<int>& dims);
+
+  int input_dim() const { return dims_.front(); }
+  int output_dim() const { return dims_.back(); }
+  int layer_count() const { return static_cast<int>(weights_.size()); }
+
+  MatrixF& weight(int layer) { return weights_[static_cast<size_t>(layer)]; }
+  const MatrixF& weight(int layer) const { return weights_[static_cast<size_t>(layer)]; }
+
+  // Forward pass: x is (batch x in), result (batch x out).
+  MatrixF Forward(const MatrixF& x) const;
+
+  // One SGD step on the mean-squared-error loss against `target`
+  // (batch x out). Returns the pre-step loss.
+  float TrainStepMse(const MatrixF& x, const MatrixF& target, float lr);
+
+  // One SGD step on softmax cross-entropy against integer labels. Returns
+  // the pre-step mean cross-entropy (nats).
+  float TrainStepCrossEntropy(const MatrixF& x, const std::vector<int>& labels, float lr);
+
+  // Re-applies binary masks captured by SnapshotMasks (zero stays zero).
+  void SnapshotMasks();
+  void ReapplyMasks();
+  bool has_masks() const { return !masks_.empty(); }
+
+  // Accumulates per-weight squared gradients of the cross-entropy loss into
+  // `accum` (one matrix per layer, shaped like the weights) without
+  // updating any parameters — the empirical diagonal Fisher estimate used
+  // by WoodFisher-style pruning scores.
+  void AccumulateSquaredGradients(const MatrixF& x, const std::vector<int>& labels,
+                                  std::vector<MatrixF>* accum) const;
+
+ private:
+  struct ForwardCache {
+    std::vector<MatrixF> pre;   // pre-activation per layer
+    std::vector<MatrixF> post;  // post-activation per layer (post[0] = input)
+  };
+
+  MatrixF ForwardCached(const MatrixF& x, ForwardCache& cache) const;
+  void Backward(const ForwardCache& cache, const MatrixF& dloss_dout, float lr);
+
+  std::vector<int> dims_;
+  std::vector<MatrixF> weights_;           // layer l: (dims[l+1] x dims[l])
+  std::vector<std::vector<float>> biases_;
+  std::vector<Matrix<uint8_t>> masks_;
+};
+
+}  // namespace samoyeds
+
+#endif  // SAMOYEDS_SRC_PRUNING_MLP_H_

@@ -1,0 +1,79 @@
+#include "src/pruning/pruners.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/formats/nm24.h"
+
+namespace samoyeds {
+
+const char* PruneMethodName(PruneMethod m) {
+  switch (m) {
+    case PruneMethod::kDense:
+      return "Dense";
+    case PruneMethod::kUnstructured:
+      return "Unstructured";
+    case PruneMethod::kTwoFour:
+      return "2:4";
+    case PruneMethod::kVenom:
+      return "VENOM";
+    case PruneMethod::kSamoyeds:
+      return "Samoyeds";
+  }
+  return "?";
+}
+
+void ApplyMagnitudeMask(MatrixF& w, double sparsity) {
+  const int64_t total = w.size();
+  const int64_t to_prune = static_cast<int64_t>(static_cast<double>(total) * sparsity);
+  if (to_prune <= 0) {
+    return;
+  }
+  std::vector<float> mags;
+  mags.reserve(static_cast<size_t>(total));
+  for (float v : w.flat()) {
+    mags.push_back(std::fabs(v));
+  }
+  std::nth_element(mags.begin(), mags.begin() + (to_prune - 1), mags.end());
+  const float threshold = mags[static_cast<size_t>(to_prune - 1)];
+  int64_t pruned = 0;
+  for (auto& v : w.flat()) {
+    if (pruned < to_prune && std::fabs(v) <= threshold) {
+      v = 0.0f;
+      ++pruned;
+    }
+  }
+}
+
+void ApplyPruning(MatrixF& w, const PruneSpec& spec) {
+  switch (spec.method) {
+    case PruneMethod::kDense:
+      return;
+    case PruneMethod::kUnstructured:
+      ApplyMagnitudeMask(w, spec.sparsity);
+      return;
+    case PruneMethod::kTwoFour:
+      ApplyTwoFourMask(w);
+      return;
+    case PruneMethod::kVenom:
+      ApplyVenomMask(w, spec.venom_config);
+      return;
+    case PruneMethod::kSamoyeds:
+      ApplySamoyedsMask(w, spec.samoyeds_config);
+      return;
+  }
+}
+
+double MeasuredSparsity(const MatrixF& w) {
+  if (w.size() == 0) {
+    return 0.0;
+  }
+  int64_t zeros = 0;
+  for (float v : w.flat()) {
+    zeros += v == 0.0f;
+  }
+  return static_cast<double>(zeros) / static_cast<double>(w.size());
+}
+
+}  // namespace samoyeds

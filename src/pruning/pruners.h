@@ -1,0 +1,49 @@
+// Pruning front-ends for the accuracy assessment (§6.5, Tables 4 & 5).
+//
+// Each method zeroes weights in place according to its structural
+// constraint, at a common target sparsity (the paper uses a uniform 75%):
+//
+//   kUnstructured — global magnitude threshold (free pattern)
+//   kTwoFour      — element-wise 2:4 (fixed 50%; cuSPARSELt's limit)
+//   kVenom        — V:N:M column-vector + 2:4 (VENOM's format)
+//   kSamoyeds     — sub-row vector + 2:4 (the Samoyeds format)
+
+#ifndef SAMOYEDS_SRC_PRUNING_PRUNERS_H_
+#define SAMOYEDS_SRC_PRUNING_PRUNERS_H_
+
+#include "src/formats/samoyeds_format.h"
+#include "src/formats/venom.h"
+#include "src/tensor/matrix.h"
+
+namespace samoyeds {
+
+enum class PruneMethod {
+  kDense,         // no pruning (baseline)
+  kUnstructured,  // magnitude
+  kTwoFour,
+  kVenom,
+  kSamoyeds,
+};
+
+const char* PruneMethodName(PruneMethod m);
+
+struct PruneSpec {
+  PruneMethod method = PruneMethod::kDense;
+  double sparsity = 0.75;                 // for kUnstructured
+  SamoyedsConfig samoyeds_config{1, 2, 32};
+  VenomConfig venom_config{64, 2, 4};
+};
+
+// Zeroes pruned weights in place. The matrix keeps its dense shape so
+// training code is oblivious to the format.
+void ApplyPruning(MatrixF& w, const PruneSpec& spec);
+
+// Unstructured magnitude pruning to an exact target sparsity.
+void ApplyMagnitudeMask(MatrixF& w, double sparsity);
+
+// Fraction of zero entries.
+double MeasuredSparsity(const MatrixF& w);
+
+}  // namespace samoyeds
+
+#endif  // SAMOYEDS_SRC_PRUNING_PRUNERS_H_

@@ -1,0 +1,145 @@
+#include "src/simgpu/device_spec.h"
+
+namespace samoyeds {
+namespace {
+
+constexpr int64_t kKiB = 1024;
+constexpr int64_t kMiB = 1024 * kKiB;
+constexpr int64_t kGiB = 1024 * kMiB;
+
+DeviceSpec MakeRtx4070Super() {
+  DeviceSpec d;
+  d.name = "NVIDIA GeForce RTX 4070 Super";
+  d.sm_count = 56;
+  d.max_warps_per_sm = 48;
+  d.smem_per_sm_bytes = 100 * kKiB;
+  d.l1_per_sm_bytes = 128 * kKiB;
+  d.l2_bytes = 48 * kMiB;
+  d.dram_bandwidth_gbps = 504.0;
+  d.dram_capacity_bytes = 12 * kGiB;
+  d.tc_dense_tflops = 92.0;
+  d.sparse_alu_speedup = 2.0;
+  d.simd_tflops = 35.5;
+  d.smem_bandwidth_gbps = 17000.0;
+  return d;
+}
+
+DeviceSpec MakeRtx3090() {
+  DeviceSpec d;
+  d.name = "NVIDIA GeForce RTX 3090";
+  d.sm_count = 82;
+  d.max_warps_per_sm = 48;
+  d.smem_per_sm_bytes = 100 * kKiB;
+  d.l1_per_sm_bytes = 128 * kKiB;
+  d.l2_bytes = 6 * kMiB;
+  d.dram_bandwidth_gbps = 936.0;
+  d.dram_capacity_bytes = 24 * kGiB;
+  d.tc_dense_tflops = 71.0;  // slower tensor cores than Ada (§6.6)
+  d.sparse_alu_speedup = 2.0;
+  d.simd_tflops = 35.6;
+  d.smem_bandwidth_gbps = 19000.0;
+  return d;
+}
+
+DeviceSpec MakeRtx3070() {
+  DeviceSpec d;
+  d.name = "NVIDIA GeForce RTX 3070";
+  d.sm_count = 46;
+  d.max_warps_per_sm = 48;
+  d.smem_per_sm_bytes = 100 * kKiB;
+  d.l1_per_sm_bytes = 128 * kKiB;
+  d.l2_bytes = 4 * kMiB;
+  d.dram_bandwidth_gbps = 448.0;
+  d.dram_capacity_bytes = 8 * kGiB;
+  d.tc_dense_tflops = 40.0;
+  d.sparse_alu_speedup = 2.0;
+  d.simd_tflops = 20.3;
+  d.smem_bandwidth_gbps = 10500.0;
+  return d;
+}
+
+DeviceSpec MakeRtx4090() {
+  DeviceSpec d;
+  d.name = "NVIDIA GeForce RTX 4090";
+  d.sm_count = 128;
+  d.max_warps_per_sm = 48;
+  d.smem_per_sm_bytes = 100 * kKiB;
+  d.l1_per_sm_bytes = 128 * kKiB;
+  d.l2_bytes = 72 * kMiB;
+  d.dram_bandwidth_gbps = 1008.0;
+  d.dram_capacity_bytes = 24 * kGiB;
+  d.tc_dense_tflops = 165.0;
+  d.sparse_alu_speedup = 2.0;
+  d.simd_tflops = 82.6;
+  d.smem_bandwidth_gbps = 40000.0;
+  return d;
+}
+
+DeviceSpec MakeA100_40G() {
+  DeviceSpec d;
+  d.name = "NVIDIA A100 40GB";
+  d.sm_count = 108;
+  d.max_warps_per_sm = 64;
+  d.smem_per_sm_bytes = 164 * kKiB;
+  d.l1_per_sm_bytes = 192 * kKiB;
+  d.l2_bytes = 40 * kMiB;  // smaller L2 than the 4070S (Table 6)
+  d.dram_bandwidth_gbps = 1555.0;
+  d.dram_capacity_bytes = 40 * kGiB;
+  d.tc_dense_tflops = 312.0;
+  d.sparse_alu_speedup = 2.0;
+  d.simd_tflops = 19.5;
+  d.smem_bandwidth_gbps = 35000.0;
+  return d;
+}
+
+DeviceSpec MakeH100() {
+  DeviceSpec d;
+  d.name = "NVIDIA H100 SXM";
+  d.sm_count = 132;
+  d.max_warps_per_sm = 64;
+  d.smem_per_sm_bytes = 228 * kKiB;
+  d.l1_per_sm_bytes = 256 * kKiB;
+  d.l2_bytes = 50 * kMiB;
+  d.dram_bandwidth_gbps = 3350.0;
+  d.dram_capacity_bytes = 80 * kGiB;
+  d.tc_dense_tflops = 756.0;
+  d.sparse_alu_speedup = 2.0;
+  d.simd_tflops = 67.0;
+  d.smem_bandwidth_gbps = 55000.0;
+  return d;
+}
+
+}  // namespace
+
+const DeviceSpec& GetDevice(DeviceModel model) {
+  static const DeviceSpec rtx4070s = MakeRtx4070Super();
+  static const DeviceSpec rtx3090 = MakeRtx3090();
+  static const DeviceSpec rtx3070 = MakeRtx3070();
+  static const DeviceSpec rtx4090 = MakeRtx4090();
+  static const DeviceSpec a100 = MakeA100_40G();
+  static const DeviceSpec h100 = MakeH100();
+  switch (model) {
+    case DeviceModel::kRtx4070Super:
+      return rtx4070s;
+    case DeviceModel::kRtx3090:
+      return rtx3090;
+    case DeviceModel::kRtx3070:
+      return rtx3070;
+    case DeviceModel::kRtx4090:
+      return rtx4090;
+    case DeviceModel::kA100_40G:
+      return a100;
+    case DeviceModel::kH100_SXM:
+      return h100;
+  }
+  return rtx4070s;
+}
+
+const DeviceSpec& DefaultDevice() { return GetDevice(DeviceModel::kRtx4070Super); }
+
+std::vector<DeviceModel> AllDeviceModels() {
+  return {DeviceModel::kRtx4070Super, DeviceModel::kRtx3070, DeviceModel::kRtx3090,
+          DeviceModel::kRtx4090, DeviceModel::kA100_40G, DeviceModel::kH100_SXM};
+}
+
+}  // namespace samoyeds

@@ -1,0 +1,59 @@
+// Hardware descriptions for the GPU execution simulator.
+//
+// The reproduction substitutes real GPUs with an analytic model; a
+// DeviceSpec captures exactly the resources the paper's analysis reasons
+// about: SM count, SMEM/L2 capacities, DRAM bandwidth and capacity, tensor
+// core throughput, the 2x sparse-ALU speedup, and CUDA-core (SIMD)
+// throughput for kernels that cannot use tensor cores (e.g. Sputnik).
+//
+// Throughput numbers are public spec-sheet values (bf16 with fp32
+// accumulation for tensor cores). Absolute accuracy is not required — the
+// experiments compare kernels against each other on the *same* device.
+
+#ifndef SAMOYEDS_SRC_SIMGPU_DEVICE_SPEC_H_
+#define SAMOYEDS_SRC_SIMGPU_DEVICE_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace samoyeds {
+
+struct DeviceSpec {
+  std::string name;
+  int sm_count = 0;
+  int max_warps_per_sm = 48;
+  int max_blocks_per_sm = 16;
+  int64_t smem_per_sm_bytes = 0;
+  int64_t regs_per_sm = 65536;            // 32-bit registers
+  int64_t l1_per_sm_bytes = 128 << 10;
+  int64_t l2_bytes = 0;
+  double dram_bandwidth_gbps = 0.0;       // GB/s
+  int64_t dram_capacity_bytes = 0;
+  double tc_dense_tflops = 0.0;           // bf16 FMA on tensor cores, fp32 acc
+  double sparse_alu_speedup = 2.0;        // SpTC peak vs dense TC (1.0 = none)
+  double simd_tflops = 0.0;               // fp32 CUDA-core throughput
+  // Aggregate shared-memory bandwidth across the chip (GB/s). Roughly
+  // 128 bytes/clk/SM; precision does not matter, only cross-device ratios.
+  double smem_bandwidth_gbps = 0.0;
+
+  bool has_sparse_alu() const { return sparse_alu_speedup > 1.0; }
+};
+
+// Devices used in the paper's evaluation (§6, §6.6).
+enum class DeviceModel {
+  kRtx4070Super,  // primary evaluation platform
+  kRtx3070,       // artifact appendix E6 porting target
+  kRtx3090,
+  kRtx4090,
+  kA100_40G,
+  kH100_SXM,
+};
+
+const DeviceSpec& GetDevice(DeviceModel model);
+const DeviceSpec& DefaultDevice();  // RTX 4070 Super
+std::vector<DeviceModel> AllDeviceModels();
+
+}  // namespace samoyeds
+
+#endif  // SAMOYEDS_SRC_SIMGPU_DEVICE_SPEC_H_

@@ -1,0 +1,64 @@
+// Roofline + occupancy timing model.
+//
+// Converts a TrafficReport (what a kernel moves and computes) plus a
+// DeviceSpec (what the hardware can sustain) into a simulated execution
+// time. The model captures the performance mechanisms the paper's
+// evaluation discusses:
+//
+//   * compute vs memory rooflines with multi-stage pipeline overlap (§4.1),
+//   * uncoalesced-access amplification (§3.3, Fig. 6),
+//   * L2 capacity effects on repeated tile traffic (§6.6, Table 6),
+//   * occupancy ramp with warp count, giving the linear throughput growth
+//     in m/n and asymptotic growth in k of Fig. 13,
+//   * tail-wave quantization for large grids,
+//   * shared-memory bank-conflict penalties (§4.4).
+
+#ifndef SAMOYEDS_SRC_SIMGPU_TIMING_MODEL_H_
+#define SAMOYEDS_SRC_SIMGPU_TIMING_MODEL_H_
+
+#include "src/simgpu/device_spec.h"
+#include "src/simgpu/traffic.h"
+
+namespace samoyeds {
+
+struct TimingEstimate {
+  double compute_ms = 0.0;     // tensor-core + CUDA-core time, post-occupancy
+  double dram_ms = 0.0;        // DRAM/L2-bound time
+  double smem_ms = 0.0;        // shared-memory-bound time
+  double overlap_fraction = 0.0;
+  double parallel_efficiency = 1.0;  // occupancy ramp x tail-wave efficiency
+  double occupancy = 1.0;            // active warps / max warps per SM
+  double total_ms = 0.0;
+
+  bool memory_bound() const { return dram_ms > compute_ms; }
+};
+
+class TimingModel {
+ public:
+  explicit TimingModel(const DeviceSpec& device) : device_(device) {}
+
+  TimingEstimate Estimate(const TrafficReport& report) const;
+
+  // Simulated throughput in TFLOP/s given the *useful* (dense-equivalent)
+  // work of the operation; this is how the paper reports Fig. 12/13.
+  double ThroughputTflops(double useful_flops, const TrafficReport& report) const;
+
+  const DeviceSpec& device() const { return device_; }
+
+  // Warps per SM needed to reach peak issue rate; the ramp below this is
+  // what produces the low-parallelism regime at m = n = 256 (§6.1.2).
+  static constexpr double kWarpsForPeakPerSm = 12.0;
+  // Effective amplification of scattered 32-bit accesses relative to fully
+  // coalesced 128-byte transactions.
+  static constexpr double kUncoalescedAmplification = 4.0;
+  // L2 bandwidth relative to DRAM bandwidth (~10x on Ampere/Ada class
+  // chips).
+  static constexpr double kL2BandwidthRatio = 10.0;
+
+ private:
+  const DeviceSpec& device_;
+};
+
+}  // namespace samoyeds
+
+#endif  // SAMOYEDS_SRC_SIMGPU_TIMING_MODEL_H_

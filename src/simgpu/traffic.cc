@@ -1,0 +1,48 @@
+#include "src/simgpu/traffic.h"
+
+#include <algorithm>
+
+namespace samoyeds {
+
+TrafficReport& TrafficReport::operator+=(const TrafficReport& other) {
+  // Combining two kernel phases: bytes and flops add; launch-shape fields
+  // take a traffic-weighted compromise so the occupancy model still sees a
+  // representative configuration.
+  const double self_weight = gmem_read_bytes + gmem_write_bytes + mma_flops + simd_flops;
+  const double other_weight =
+      other.gmem_read_bytes + other.gmem_write_bytes + other.mma_flops + other.simd_flops;
+
+  gmem_read_bytes += other.gmem_read_bytes;
+  gmem_write_bytes += other.gmem_write_bytes;
+  gmem_unique_bytes += other.gmem_unique_bytes;
+  gmem_uncoalesced_bytes += other.gmem_uncoalesced_bytes;
+  smem_bytes += other.smem_bytes;
+  mma_flops += other.mma_flops;
+  simd_flops += other.simd_flops;
+  uses_sparse_alu = uses_sparse_alu || other.uses_sparse_alu;
+  thread_blocks += other.thread_blocks;
+  fixed_overhead_us += other.fixed_overhead_us;
+
+  const double total_weight = self_weight + other_weight;
+  if (total_weight > 0.0) {
+    const double w = other_weight / total_weight;
+    auto blend = [w](double a, double b) { return a * (1.0 - w) + b * w; };
+    bank_conflict_factor = blend(bank_conflict_factor, other.bank_conflict_factor);
+    efficiency = blend(efficiency, other.efficiency);
+    warps_per_block = static_cast<int>(
+        blend(static_cast<double>(warps_per_block), static_cast<double>(other.warps_per_block)) +
+        0.5);
+    smem_bytes_per_block = static_cast<int64_t>(blend(static_cast<double>(smem_bytes_per_block),
+                                                      static_cast<double>(other.smem_bytes_per_block)) +
+                                                0.5);
+    pipeline_stages = std::max(1, static_cast<int>(blend(pipeline_stages, other.pipeline_stages) + 0.5));
+  }
+  return *this;
+}
+
+TrafficReport operator+(TrafficReport lhs, const TrafficReport& rhs) {
+  lhs += rhs;
+  return lhs;
+}
+
+}  // namespace samoyeds

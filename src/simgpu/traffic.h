@@ -1,0 +1,66 @@
+// Traffic accounting shared by every kernel in the project.
+//
+// A kernel (real implementation or analytic profile) fills a TrafficReport
+// describing how many bytes it moves at each level of the memory hierarchy
+// and how much arithmetic it issues. The timing model converts a report
+// plus a DeviceSpec into a simulated execution time.
+
+#ifndef SAMOYEDS_SRC_SIMGPU_TRAFFIC_H_
+#define SAMOYEDS_SRC_SIMGPU_TRAFFIC_H_
+
+#include <cstdint>
+
+namespace samoyeds {
+
+struct TrafficReport {
+  // -- Global memory --------------------------------------------------------
+  // Total bytes requested from global memory across all thread blocks,
+  // including re-loads of data shared between blocks (the L2/DRAM split is
+  // derived from gmem_unique_bytes below).
+  double gmem_read_bytes = 0.0;
+  double gmem_write_bytes = 0.0;
+  // Compulsory footprint: bytes that must come from DRAM at least once.
+  double gmem_unique_bytes = 0.0;
+  // Subset of gmem_read_bytes issued as scattered (uncoalesced) accesses;
+  // these pay transaction-granularity amplification.
+  double gmem_uncoalesced_bytes = 0.0;
+
+  // -- Shared memory --------------------------------------------------------
+  double smem_bytes = 0.0;             // total SMEM read+write volume
+  double bank_conflict_factor = 1.0;   // >= 1, multiplies SMEM time
+
+  // -- Arithmetic -----------------------------------------------------------
+  // FLOPs actually executed on (sparse) tensor cores: multiply-adds x 2.
+  double mma_flops = 0.0;
+  bool uses_sparse_alu = false;        // mma_flops run at SpTC rate if true
+  // FLOPs executed on plain CUDA cores (decode, epilogue, scalar kernels).
+  double simd_flops = 0.0;
+
+  // -- Launch configuration -------------------------------------------------
+  int64_t thread_blocks = 0;
+  int warps_per_block = 0;
+  int64_t smem_bytes_per_block = 0;
+  int regs_per_thread = 128;
+  int pipeline_stages = 1;             // cp.async multi-buffering depth
+  // Main-loop (k-step) iterations per thread block; > 0 enables the
+  // pipeline fill/drain cost (deep pipelines waste bubbles on short loops).
+  int64_t mainloop_iterations = 0;
+
+  // Fixed host+launch overhead in microseconds (kernel launches, allocator
+  // traffic, stream synchronization). Framework-level emulations use this
+  // for per-expert launch storms and permutation bookkeeping.
+  double fixed_overhead_us = 0.0;
+
+  // Library efficiency factor in (0, 1]: how close the implementation gets
+  // to the roofline on its bound resource (black-box vendor libraries are
+  // highly tuned; research kernels less so).
+  double efficiency = 1.0;
+
+  TrafficReport& operator+=(const TrafficReport& other);
+};
+
+TrafficReport operator+(TrafficReport lhs, const TrafficReport& rhs);
+
+}  // namespace samoyeds
+
+#endif  // SAMOYEDS_SRC_SIMGPU_TRAFFIC_H_

@@ -1,0 +1,54 @@
+// Fragment types for the functional Sparse Tensor Core model.
+//
+// We model the bf16 variant of the PTX `mma.sp.m16n8k32` instruction: the
+// sparse operand A is a 16x32 tile compressed 2:4 into 16x16 values plus a
+// 2-bit-per-kept-element metadata tile; operand B is a dense 32x8 tile; the
+// accumulator C/D is a 16x8 fp32 tile. See NVIDIA PTX ISA §9.7.13 ("Warp
+// Level Matrix Multiply-Accumulate Instructions", sparse variants).
+
+#ifndef SAMOYEDS_SRC_SPTC_FRAGMENT_H_
+#define SAMOYEDS_SRC_SPTC_FRAGMENT_H_
+
+#include <array>
+#include <cstdint>
+
+namespace samoyeds {
+
+// Shape constants of the modeled SpTC instruction.
+inline constexpr int kMmaM = 16;
+inline constexpr int kMmaN = 8;
+inline constexpr int kMmaK = 32;
+// 2:4 sparsity halves the stored K extent of operand A.
+inline constexpr int kMmaKCompressed = kMmaK / 2;
+// Elements per 2:4 group.
+inline constexpr int kSparsityGroup = 4;
+inline constexpr int kKeptPerGroup = 2;
+
+// Compressed sparse A operand: 16 rows x 16 kept values, with a 2-bit
+// position (0..3, index inside the 4-wide group) per kept value. Metadata is
+// stored unpacked (one byte per 2-bit item) in the functional model; the
+// bit-packed device layout is handled by src/formats/metadata_layout.h.
+struct SparseAFragment {
+  std::array<float, kMmaM * kMmaKCompressed> values{};
+  std::array<uint8_t, kMmaM * kMmaKCompressed> meta{};
+
+  float value_at(int r, int c) const { return values[r * kMmaKCompressed + c]; }
+  uint8_t meta_at(int r, int c) const { return meta[r * kMmaKCompressed + c]; }
+};
+
+// Dense B operand, row-major 32x8.
+struct DenseBFragment {
+  std::array<float, kMmaK * kMmaN> values{};
+  float at(int r, int c) const { return values[r * kMmaN + c]; }
+};
+
+// fp32 accumulator, row-major 16x8.
+struct Accumulator {
+  std::array<float, kMmaM * kMmaN> values{};
+  float at(int r, int c) const { return values[r * kMmaN + c]; }
+  float& at(int r, int c) { return values[r * kMmaN + c]; }
+};
+
+}  // namespace samoyeds
+
+#endif  // SAMOYEDS_SRC_SPTC_FRAGMENT_H_

@@ -1,0 +1,54 @@
+#include "src/sptc/mma_sp.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "src/tensor/bf16.h"
+
+namespace samoyeds {
+
+void ExpandSparseRow(const SparseAFragment& a, int row, float out[kMmaK]) {
+  std::memset(out, 0, sizeof(float) * kMmaK);
+  for (int g = 0; g < kMmaK / kSparsityGroup; ++g) {
+    for (int t = 0; t < kKeptPerGroup; ++t) {
+      const int packed_col = g * kKeptPerGroup + t;
+      const uint8_t pos = a.meta_at(row, packed_col);
+      assert(pos < kSparsityGroup);
+      out[g * kSparsityGroup + pos] = a.value_at(row, packed_col);
+    }
+  }
+}
+
+bool MetadataIsValid(const SparseAFragment& a) {
+  for (int r = 0; r < kMmaM; ++r) {
+    for (int g = 0; g < kMmaK / kSparsityGroup; ++g) {
+      const uint8_t p0 = a.meta_at(r, g * kKeptPerGroup);
+      const uint8_t p1 = a.meta_at(r, g * kKeptPerGroup + 1);
+      if (p0 >= kSparsityGroup || p1 >= kSparsityGroup || p0 >= p1) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+Accumulator MmaSp(const SparseAFragment& a, const DenseBFragment& b, const Accumulator& c) {
+  assert(MetadataIsValid(a));
+  Accumulator d = c;
+  float dense_row[kMmaK];
+  for (int r = 0; r < kMmaM; ++r) {
+    ExpandSparseRow(a, r, dense_row);
+    for (int p = 0; p < kMmaK; ++p) {
+      const float av = RoundToBf16(dense_row[p]);
+      if (av == 0.0f) {
+        continue;
+      }
+      for (int n = 0; n < kMmaN; ++n) {
+        d.at(r, n) += av * RoundToBf16(b.at(p, n));
+      }
+    }
+  }
+  return d;
+}
+
+}  // namespace samoyeds

@@ -1,0 +1,31 @@
+// Functional model of the `mma.sp.m16n8k32` Sparse Tensor Core instruction.
+
+#ifndef SAMOYEDS_SRC_SPTC_MMA_SP_H_
+#define SAMOYEDS_SRC_SPTC_MMA_SP_H_
+
+#include "src/sptc/fragment.h"
+
+namespace samoyeds {
+
+// D = expand(A) * B + C.
+//
+// Inputs follow bf16 semantics: A values and B values are rounded to the
+// bf16 grid before multiplication; products accumulate in fp32. Metadata
+// entries select, for each pair of kept values in a 4-wide group, their
+// original column positions; positions inside a group must be strictly
+// increasing (the hardware requires ordered metadata). Violations trip an
+// assert in debug builds and are ignored in release builds, matching the
+// "undefined result" contract of the real instruction.
+Accumulator MmaSp(const SparseAFragment& a, const DenseBFragment& b, const Accumulator& c);
+
+// Expands a compressed fragment row into its dense 32-wide form (testing and
+// decoding utility).
+void ExpandSparseRow(const SparseAFragment& a, int row, float out[kMmaK]);
+
+// Validates metadata ordering: each 4-wide group's two kept positions are
+// distinct and ascending. Returns false on malformed metadata.
+bool MetadataIsValid(const SparseAFragment& a);
+
+}  // namespace samoyeds
+
+#endif  // SAMOYEDS_SRC_SPTC_MMA_SP_H_

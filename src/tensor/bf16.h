@@ -1,0 +1,39 @@
+// bfloat16 emulation.
+//
+// The paper's kernels operate on bf16 operands with fp32 accumulation
+// (the mma.sp.m16n8k32 bf16 variant). We keep values in float but provide
+// round-to-nearest-even truncation to the bf16 grid so that the functional
+// SpTC model (src/sptc/) matches hardware numerics.
+
+#ifndef SAMOYEDS_SRC_TENSOR_BF16_H_
+#define SAMOYEDS_SRC_TENSOR_BF16_H_
+
+#include <bit>
+#include <cstdint>
+
+#include "src/tensor/matrix.h"
+
+namespace samoyeds {
+
+// Rounds a float to the nearest bfloat16-representable value (ties to even).
+inline float RoundToBf16(float x) {
+  uint32_t bits = std::bit_cast<uint32_t>(x);
+  // NaN: keep a quiet NaN payload.
+  if ((bits & 0x7f800000u) == 0x7f800000u && (bits & 0x007fffffu) != 0) {
+    return std::bit_cast<float>((bits | 0x00400000u) & 0xffff0000u);
+  }
+  const uint32_t rounding_bias = 0x7fffu + ((bits >> 16) & 1u);
+  bits += rounding_bias;
+  bits &= 0xffff0000u;
+  return std::bit_cast<float>(bits);
+}
+
+inline void RoundMatrixToBf16(MatrixF& m) {
+  for (auto& v : m.flat()) {
+    v = RoundToBf16(v);
+  }
+}
+
+}  // namespace samoyeds
+
+#endif  // SAMOYEDS_SRC_TENSOR_BF16_H_

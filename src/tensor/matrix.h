@@ -1,0 +1,96 @@
+// Dense row-major matrix container used throughout the Samoyeds reproduction.
+//
+// The class is intentionally small: the interesting data structures in this
+// project are the *sparse* encodings built on top of it (see src/formats/),
+// so Matrix only provides storage, shape bookkeeping and a few convenience
+// constructors.
+
+#ifndef SAMOYEDS_SRC_TENSOR_MATRIX_H_
+#define SAMOYEDS_SRC_TENSOR_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace samoyeds {
+
+// Row-major dense matrix. Index with m(r, c); raw storage is contiguous with
+// stride == cols().
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int64_t rows, int64_t cols, T init = T{})
+      : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows * cols), init) {
+    assert(rows >= 0 && cols >= 0);
+  }
+
+  static Matrix FromRowMajor(int64_t rows, int64_t cols, std::vector<T> values) {
+    assert(static_cast<int64_t>(values.size()) == rows * cols);
+    Matrix m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.data_ = std::move(values);
+    return m;
+  }
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t size() const { return rows_ * cols_; }
+  bool empty() const { return data_.empty(); }
+
+  T& operator()(int64_t r, int64_t c) {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+  const T& operator()(int64_t r, int64_t c) const {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+
+  std::span<T> row(int64_t r) {
+    assert(r >= 0 && r < rows_);
+    return std::span<T>(data_.data() + r * cols_, static_cast<size_t>(cols_));
+  }
+  std::span<const T> row(int64_t r) const {
+    assert(r >= 0 && r < rows_);
+    return std::span<const T>(data_.data() + r * cols_, static_cast<size_t>(cols_));
+  }
+
+  std::span<T> flat() { return std::span<T>(data_); }
+  std::span<const T> flat() const { return std::span<const T>(data_); }
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  void Fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  // Returns the transpose as a new matrix (used when staging operands into
+  // the layouts the kernels expect).
+  Matrix Transposed() const {
+    Matrix t(cols_, rows_);
+    for (int64_t r = 0; r < rows_; ++r) {
+      for (int64_t c = 0; c < cols_; ++c) {
+        t(c, r) = (*this)(r, c);
+      }
+    }
+    return t;
+  }
+
+  bool operator==(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ && data_ == other.data_;
+  }
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using MatrixF = Matrix<float>;
+
+}  // namespace samoyeds
+
+#endif  // SAMOYEDS_SRC_TENSOR_MATRIX_H_

@@ -1,0 +1,111 @@
+// Deterministic random number generation for workload synthesis.
+//
+// All experiments in this reproduction are seeded so that tests and benches
+// are exactly repeatable across runs and machines. We use xoshiro256++ which
+// is fast, has a tiny state and well-studied statistical quality.
+
+#ifndef SAMOYEDS_SRC_TENSOR_RNG_H_
+#define SAMOYEDS_SRC_TENSOR_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+#include "src/tensor/matrix.h"
+
+namespace samoyeds {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5a3070edull) {
+    // SplitMix64 seeding, recommended initialization for xoshiro.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, 1).
+  double NextDouble() { return static_cast<double>(NextU64() >> 11) * 0x1.0p-53; }
+
+  float NextFloat() { return static_cast<float>(NextDouble()); }
+
+  // Uniform integer in [0, bound).
+  uint64_t NextBounded(uint64_t bound) {
+    // Lemire's nearly-divisionless method would be overkill here; modulo bias
+    // is negligible for the bounds used in this project (< 2^32).
+    return NextU64() % bound;
+  }
+
+  int64_t NextIndex(int64_t bound) { return static_cast<int64_t>(NextBounded(static_cast<uint64_t>(bound))); }
+
+  // Standard normal via Box-Muller.
+  float NextGaussian() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) {
+      u1 = 1e-300;
+    }
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    cached_ = static_cast<float>(r * std::sin(theta));
+    has_cached_ = true;
+    return static_cast<float>(r * std::cos(theta));
+  }
+
+  // In-place Fisher-Yates shuffle of [0, n) index vectors.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      const size_t j = NextBounded(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  MatrixF GaussianMatrix(int64_t rows, int64_t cols, float stddev = 1.0f) {
+    MatrixF m(rows, cols);
+    for (auto& v : m.flat()) {
+      v = NextGaussian() * stddev;
+    }
+    return m;
+  }
+
+  MatrixF UniformMatrix(int64_t rows, int64_t cols, float lo = -1.0f, float hi = 1.0f) {
+    MatrixF m(rows, cols);
+    for (auto& v : m.flat()) {
+      v = lo + (hi - lo) * NextFloat();
+    }
+    return m;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4] = {};
+  bool has_cached_ = false;
+  float cached_ = 0.0f;
+};
+
+}  // namespace samoyeds
+
+#endif  // SAMOYEDS_SRC_TENSOR_RNG_H_

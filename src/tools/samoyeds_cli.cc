@@ -1,0 +1,209 @@
+// samoyeds_cli — command-line front end to the library and the performance
+// simulator.
+//
+// Usage:
+//   samoyeds_cli devices
+//   samoyeds_cli analyze <m> <k> <n> [selected] [device-index]
+//   samoyeds_cli autotune <m> <k> <n> [device-index]
+//   samoyeds_cli maxbatch
+//   samoyeds_cli moe <model-name> <tokens>
+//   samoyeds_cli encode <rows> <cols> <N> <M> <V>   (random matrix demo)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/core/autotune.h"
+#include "src/core/samoyeds_kernel.h"
+#include "src/formats/samoyeds_format.h"
+#include "src/frameworks/layer_cost.h"
+#include "src/kernels/cusparselt_spmm.h"
+#include "src/kernels/dense_gemm.h"
+#include "src/kernels/nmsparse_spmm.h"
+#include "src/kernels/sputnik_spmm.h"
+#include "src/kernels/venom_spmm.h"
+#include "src/moe/memory_model.h"
+#include "src/moe/model_configs.h"
+#include "src/simgpu/timing_model.h"
+#include "src/tensor/rng.h"
+
+namespace samoyeds {
+namespace {
+
+const DeviceSpec& DeviceByIndex(int index) {
+  const auto models = AllDeviceModels();
+  if (index < 0 || index >= static_cast<int>(models.size())) {
+    std::fprintf(stderr, "device index out of range (see `devices`)\n");
+    std::exit(2);
+  }
+  return GetDevice(models[static_cast<size_t>(index)]);
+}
+
+int CmdDevices() {
+  const auto models = AllDeviceModels();
+  std::printf("%3s %-30s %5s %9s %9s %8s %8s\n", "idx", "name", "SMs", "TC TF/s", "BW GB/s",
+              "L2 MiB", "mem GiB");
+  for (size_t i = 0; i < models.size(); ++i) {
+    const DeviceSpec& d = GetDevice(models[i]);
+    std::printf("%3zu %-30s %5d %9.0f %9.0f %8lld %8lld\n", i, d.name.c_str(), d.sm_count,
+                d.tc_dense_tflops, d.dram_bandwidth_gbps,
+                static_cast<long long>(d.l2_bytes >> 20),
+                static_cast<long long>(d.dram_capacity_bytes >> 30));
+  }
+  return 0;
+}
+
+int CmdAnalyze(int argc, char** argv) {
+  if (argc < 5) {
+    std::fprintf(stderr, "usage: analyze <m> <k> <n> [selected] [device-index]\n");
+    return 2;
+  }
+  const GemmShape shape{std::atoll(argv[2]), std::atoll(argv[3]), std::atoll(argv[4])};
+  const int64_t selected = argc > 5 ? std::atoll(argv[5]) : shape.n;
+  const DeviceSpec& device = argc > 6 ? DeviceByIndex(std::atoi(argv[6])) : DefaultDevice();
+  const TimingModel model(device);
+  const SamoyedsConfig fmt{1, 2, 32};
+
+  std::printf("C[%lld x %lld] = A[%lld x %lld] * B, %lld of %lld columns selected, on %s\n\n",
+              static_cast<long long>(shape.m), static_cast<long long>(selected),
+              static_cast<long long>(shape.m), static_cast<long long>(shape.k),
+              static_cast<long long>(selected), static_cast<long long>(shape.n),
+              device.name.c_str());
+  auto row = [&](const KernelProfile& p) {
+    const TimingEstimate e = model.Estimate(p.traffic);
+    std::printf("%-24s %10.3fms %9.1f TF/s  %s\n", p.kernel_name.c_str(), e.total_ms,
+                p.useful_flops / (e.total_ms * 1e-3) / 1e12,
+                e.memory_bound() ? "memory-bound" : "compute-bound");
+  };
+  row(DenseGemmKernel::Analyze(shape));
+  row(CusparseltSpmmKernel::Analyze(shape));
+  row(SputnikSpmmKernel::Analyze(shape, 0.25));
+  row(NmSparseSpmmKernel::Analyze(shape, NmConfig{1, 4}));
+  row(VenomSpmmKernel::Analyze(shape, VenomConfig{64, 2, 4}, device));
+  row(SamoyedsKernel::Analyze(shape, selected, fmt, SsmmConfig::Default(), device));
+  return 0;
+}
+
+int CmdAutotune(int argc, char** argv) {
+  if (argc < 5) {
+    std::fprintf(stderr, "usage: autotune <m> <k> <n> [device-index]\n");
+    return 2;
+  }
+  const GemmShape shape{std::atoll(argv[2]), std::atoll(argv[3]), std::atoll(argv[4])};
+  const DeviceSpec& device = argc > 5 ? DeviceByIndex(std::atoi(argv[5])) : DefaultDevice();
+  const AutotuneResult r = AutotuneSsmm(shape, shape.n, SamoyedsConfig{1, 2, 32}, device);
+  std::printf("%s: default %.3f ms -> tuned %.3f ms (%.2fx)\n", device.name.c_str(), r.default_ms,
+              r.simulated_ms, r.speedup_over_default());
+  std::printf("chosen config: mb=%d nb=%d kb=%d mw=%d nw=%d stages=%d\n", r.config.mb,
+              r.config.nb, r.config.kb, r.config.mw, r.config.nw, r.config.stages);
+  return 0;
+}
+
+int CmdMaxBatch() {
+  const SamoyedsConfig fmt{1, 2, 32};
+  std::printf("%-14s %5s %13s %11s %8s %9s\n", "model", "seq", "Transformers", "MegaBlocks",
+              "vLLM-DS", "Samoyeds");
+  for (const auto& model : PaperModels()) {
+    const int64_t seq = model.name == "OpenMoE-34B" ? 2048
+                        : model.num_experts >= 32 && model.intermediate <= 4096 ? 4096
+                                                                                : 1024;
+    std::printf("%-14s %5lld", model.name.c_str(), static_cast<long long>(seq));
+    for (MoeFramework fw : {MoeFramework::kTransformers, MoeFramework::kMegaBlocks,
+                            MoeFramework::kVllmDs, MoeFramework::kSamoyeds}) {
+      if (!FrameworkSupportsModel(fw, model)) {
+        std::printf(" %*s", fw == MoeFramework::kTransformers ? 13 : 11, "-");
+        continue;
+      }
+      const auto fp = EstimateFootprint(model, fw, fmt, DefaultDevice());
+      const int width = fw == MoeFramework::kTransformers ? 13
+                        : fw == MoeFramework::kSamoyeds   ? 9
+                        : fw == MoeFramework::kVllmDs     ? 8
+                                                          : 11;
+      std::printf(" %*lld", width, static_cast<long long>(fp.MaxBatch(seq)));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int CmdMoe(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr, "usage: moe <model-name> <tokens>\n");
+    return 2;
+  }
+  const MoeModelConfig& model = ModelByName(argv[2]);
+  const int64_t tokens = std::atoll(argv[3]);
+  const auto counts = UniformTokensPerExpert(model, tokens);
+  LayerCostOptions opts;
+  opts.shared_experts_override = 0;
+  std::printf("%s MoE layer, %lld tokens:\n", model.name.c_str(),
+              static_cast<long long>(tokens));
+  for (MoeFramework fw : {MoeFramework::kTransformers, MoeFramework::kMegaBlocks,
+                          MoeFramework::kVllmDs, MoeFramework::kPit, MoeFramework::kSamoyeds}) {
+    if (!FrameworkSupportsModel(fw, model)) {
+      std::printf("  %-13s NS\n", FrameworkName(fw));
+      continue;
+    }
+    std::printf("  %-13s %9.3f ms\n", FrameworkName(fw),
+                EstimateMoeLayerCost(fw, model, counts, tokens, opts).total_ms);
+  }
+  return 0;
+}
+
+int CmdEncode(int argc, char** argv) {
+  if (argc < 7) {
+    std::fprintf(stderr, "usage: encode <rows> <cols> <N> <M> <V>\n");
+    return 2;
+  }
+  const int64_t rows = std::atoll(argv[2]);
+  const int64_t cols = std::atoll(argv[3]);
+  const SamoyedsConfig cfg{std::atoi(argv[4]), std::atoi(argv[5]), std::atoi(argv[6])};
+  if (!cfg.IsValid() || rows % cfg.m != 0 || cols % cfg.v != 0) {
+    std::fprintf(stderr, "invalid config or non-divisible shape\n");
+    return 2;
+  }
+  Rng rng(1);
+  const SamoyedsMatrix enc = SamoyedsMatrix::Encode(rng.GaussianMatrix(rows, cols), cfg);
+  std::printf("encoded %lld x %lld at (%d,%d,%d): sparsity %.1f%%, storage %lld KiB "
+              "(dense bf16 %lld KiB), well-formed: %s\n",
+              static_cast<long long>(rows), static_cast<long long>(cols), cfg.n, cfg.m, cfg.v,
+              100.0 * cfg.sparsity(), static_cast<long long>(enc.StorageBytes() >> 10),
+              static_cast<long long>(rows * cols * 2 >> 10),
+              enc.IsWellFormed() ? "yes" : "NO");
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: samoyeds_cli <devices|analyze|autotune|maxbatch|moe|encode> ...\n");
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "devices") {
+    return CmdDevices();
+  }
+  if (cmd == "analyze") {
+    return CmdAnalyze(argc, argv);
+  }
+  if (cmd == "autotune") {
+    return CmdAutotune(argc, argv);
+  }
+  if (cmd == "maxbatch") {
+    return CmdMaxBatch();
+  }
+  if (cmd == "moe") {
+    return CmdMoe(argc, argv);
+  }
+  if (cmd == "encode") {
+    return CmdEncode(argc, argv);
+  }
+  std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+  return 2;
+}
+
+}  // namespace
+}  // namespace samoyeds
+
+int main(int argc, char** argv) { return samoyeds::Main(argc, argv); }

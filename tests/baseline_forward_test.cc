@@ -1,0 +1,123 @@
+// The baseline execution strategies (MegaBlocks block-diagonal grouped
+// GEMM, vLLM fused tiles, PIT micro-tile compaction) differ in execution
+// structure but must be semantically identical to the Transformers-style
+// reference data flow.
+
+#include <gtest/gtest.h>
+
+#include "src/moe/baseline_forward.h"
+#include "src/tensor/gemm_ref.h"
+#include "tests/test_util.h"
+
+namespace samoyeds {
+namespace {
+
+struct LayerCase {
+  int experts, hidden, inter, top_k, shared;
+  Activation act;
+};
+
+class BaselineForwardTest : public ::testing::TestWithParam<LayerCase> {
+ protected:
+  void Build(uint64_t seed) {
+    const LayerCase c = GetParam();
+    cfg_.num_experts = c.experts;
+    cfg_.hidden = c.hidden;
+    cfg_.intermediate = c.inter;
+    cfg_.top_k = c.top_k;
+    cfg_.shared_experts = c.shared;
+    Rng rng(seed);
+    weights_ = MoeLayerWeights::Random(rng, cfg_);
+    x_ = RandomBf16Matrix(rng, 40, c.hidden, 0.5f);
+    plan_ = Route(x_, weights_.router_gate, c.top_k);
+    reference_ = MoeForwardReference(x_, weights_, plan_, c.act);
+  }
+
+  MoeModelConfig cfg_;
+  MoeLayerWeights weights_;
+  MatrixF x_;
+  RoutingPlan plan_;
+  MatrixF reference_;
+};
+
+TEST_P(BaselineForwardTest, MegaBlocksMatchesReference) {
+  Build(401);
+  const MatrixF got = MoeForwardMegaBlocks(x_, weights_, plan_, GetParam().act, 32);
+  EXPECT_LE(MaxAbsDiff(got, reference_), 1e-4f);
+}
+
+TEST_P(BaselineForwardTest, VllmFusedMatchesReference) {
+  Build(402);
+  const MatrixF got = MoeForwardVllmFused(x_, weights_, plan_, GetParam().act, 16);
+  EXPECT_LE(MaxAbsDiff(got, reference_), 1e-4f);
+}
+
+TEST_P(BaselineForwardTest, PitMatchesReference) {
+  Build(403);
+  const MatrixF got = MoeForwardPit(x_, weights_, plan_, GetParam().act, 8);
+  EXPECT_LE(MaxAbsDiff(got, reference_), 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Layers, BaselineForwardTest,
+    ::testing::Values(LayerCase{4, 32, 64, 2, 0, Activation::kSilu},
+                      LayerCase{8, 64, 32, 2, 0, Activation::kSilu},
+                      LayerCase{4, 32, 32, 1, 0, Activation::kGeluTanh},
+                      LayerCase{6, 32, 64, 3, 0, Activation::kSilu},
+                      LayerCase{4, 32, 64, 2, 2, Activation::kSilu}));
+
+TEST(BaselineForwardTest2, TileSizeDoesNotChangeVllmResult) {
+  MoeModelConfig cfg;
+  cfg.num_experts = 4;
+  cfg.hidden = 32;
+  cfg.intermediate = 32;
+  cfg.top_k = 2;
+  Rng rng(404);
+  const MoeLayerWeights w = MoeLayerWeights::Random(rng, cfg);
+  const MatrixF x = RandomBf16Matrix(rng, 30, cfg.hidden, 0.5f);
+  const RoutingPlan plan = Route(x, w.router_gate, cfg.top_k);
+  const MatrixF t4 = MoeForwardVllmFused(x, w, plan, Activation::kSilu, 4);
+  const MatrixF t16 = MoeForwardVllmFused(x, w, plan, Activation::kSilu, 16);
+  const MatrixF t64 = MoeForwardVllmFused(x, w, plan, Activation::kSilu, 64);
+  EXPECT_LE(MaxAbsDiff(t4, t16), 1e-5f);
+  EXPECT_LE(MaxAbsDiff(t16, t64), 1e-5f);
+}
+
+TEST(BaselineForwardTest2, PitMicroTileInvariance) {
+  // The permutation-invariant property: micro-tile granularity never
+  // changes the result.
+  MoeModelConfig cfg;
+  cfg.num_experts = 4;
+  cfg.hidden = 32;
+  cfg.intermediate = 32;
+  cfg.top_k = 2;
+  Rng rng(405);
+  const MoeLayerWeights w = MoeLayerWeights::Random(rng, cfg);
+  const MatrixF x = RandomBf16Matrix(rng, 24, cfg.hidden, 0.5f);
+  const RoutingPlan plan = Route(x, w.router_gate, cfg.top_k);
+  const MatrixF m2 = MoeForwardPit(x, w, plan, Activation::kSilu, 2);
+  const MatrixF m8 = MoeForwardPit(x, w, plan, Activation::kSilu, 8);
+  EXPECT_LE(MaxAbsDiff(m2, m8), 1e-5f);
+}
+
+TEST(BaselineForwardTest2, MegaBlocksTopologyIsBlockDiagonal) {
+  // The staged operand's block map must only populate each token-block's
+  // own expert stripe — the no-padding property MegaBlocks advertises.
+  MoeModelConfig cfg;
+  cfg.num_experts = 4;
+  cfg.hidden = 32;
+  cfg.intermediate = 32;
+  cfg.top_k = 1;
+  Rng rng(406);
+  const MoeLayerWeights w = MoeLayerWeights::Random(rng, cfg);
+  const MatrixF x = RandomBf16Matrix(rng, 32, cfg.hidden, 0.5f);
+  const RoutingPlan plan = Route(x, w.router_gate, cfg.top_k);
+  // Indirectly validated by numerics; here just confirm the forward runs
+  // with a block size equal to the hidden dim (one block per stripe).
+  const MatrixF got = MoeForwardMegaBlocks(x, w, plan, Activation::kSilu, 32);
+  const MatrixF ref = MoeForwardReference(x, w, plan, Activation::kSilu);
+  EXPECT_LE(MaxAbsDiff(got, ref), 1e-4f);
+}
+
+}  // namespace
+}  // namespace samoyeds

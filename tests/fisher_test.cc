@@ -1,0 +1,146 @@
+// Diagonal-Fisher (WoodFisher-style) pruning scores and scored structural
+// pruning, plus the decode-phase cost extension.
+
+#include <gtest/gtest.h>
+
+#include "src/frameworks/layer_cost.h"
+#include "src/moe/model_configs.h"
+#include "src/pruning/fisher.h"
+#include "tests/test_util.h"
+
+namespace samoyeds {
+namespace {
+
+TEST(FisherTest, EstimateShapesMatchWeights) {
+  Rng rng(801);
+  const Mlp mlp(rng, {8, 16, 4});
+  const ClassificationDataset data = ClassificationDataset::Make(rng, 128, 8, 4);
+  const auto fisher = EstimateDiagonalFisher(mlp, data, 128);
+  ASSERT_EQ(fisher.size(), 2u);
+  EXPECT_EQ(fisher[0].rows(), 16);
+  EXPECT_EQ(fisher[0].cols(), 8);
+  EXPECT_EQ(fisher[1].rows(), 4);
+  EXPECT_EQ(fisher[1].cols(), 16);
+  for (const auto& f : fisher) {
+    for (float v : f.flat()) {
+      EXPECT_GE(v, 0.0f);  // squared gradients
+    }
+  }
+}
+
+TEST(FisherTest, FisherIsNonTrivial) {
+  Rng rng(802);
+  const Mlp mlp(rng, {8, 32, 4});
+  const ClassificationDataset data = ClassificationDataset::Make(rng, 256, 8, 4, 0.4f);
+  const auto fisher = EstimateDiagonalFisher(mlp, data, 256);
+  double sum = 0.0;
+  double max_v = 0.0;
+  for (float v : fisher[0].flat()) {
+    sum += v;
+    max_v = std::max<double>(max_v, v);
+  }
+  EXPECT_GT(sum, 0.0);
+  // Curvature concentrates: the max must dominate the mean.
+  EXPECT_GT(max_v, sum / static_cast<double>(fisher[0].size()) * 4.0);
+}
+
+TEST(FisherTest, SaliencyCombinesWeightAndCurvature) {
+  MatrixF w(1, 4);
+  MatrixF f(1, 4);
+  w(0, 0) = 2.0f;  f(0, 0) = 1.0f;   // score 4
+  w(0, 1) = 10.0f; f(0, 1) = 0.0f;   // big weight, zero curvature -> 0
+  w(0, 2) = 0.5f;  f(0, 2) = 100.0f; // small weight, hot curvature -> 25
+  w(0, 3) = 0.0f;  f(0, 3) = 9.0f;   // zero weight -> 0
+  const MatrixF s = FisherSaliency(w, f);
+  EXPECT_FLOAT_EQ(s(0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(s(0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(s(0, 2), 25.0f);
+  EXPECT_FLOAT_EQ(s(0, 3), 0.0f);
+}
+
+TEST(FisherTest, ScoredPruningKeepsHighScoreSurvivors) {
+  Rng rng(803);
+  MatrixF w = rng.GaussianMatrix(32, 64);
+  // Scores favor the left half of every row.
+  MatrixF scores(32, 64);
+  for (int64_t r = 0; r < 32; ++r) {
+    for (int64_t c = 0; c < 64; ++c) {
+      scores(r, c) = c < 32 ? 10.0f : 0.1f;
+    }
+  }
+  PruneSpec spec;
+  spec.method = PruneMethod::kUnstructured;
+  spec.sparsity = 0.5;
+  ApplyScoredPruning(w, scores, spec);
+  int64_t right_survivors = 0;
+  for (int64_t r = 0; r < 32; ++r) {
+    for (int64_t c = 32; c < 64; ++c) {
+      right_survivors += w(r, c) != 0.0f;
+    }
+  }
+  EXPECT_EQ(right_survivors, 0);
+  EXPECT_NEAR(MeasuredSparsity(w), 0.5, 0.02);
+}
+
+TEST(FisherTest, ScoredStructuralPruningMatchesTargetSparsity) {
+  Rng rng(804);
+  for (PruneMethod method : {PruneMethod::kSamoyeds, PruneMethod::kVenom}) {
+    MatrixF w = rng.GaussianMatrix(128, 128);
+    const MatrixF scores = rng.UniformMatrix(128, 128, 0.0f, 1.0f);
+    PruneSpec spec;
+    spec.method = method;
+    spec.samoyeds_config = SamoyedsConfig{1, 2, 32};
+    spec.venom_config = VenomConfig{64, 2, 4};
+    ApplyScoredPruning(w, scores, spec);
+    EXPECT_NEAR(MeasuredSparsity(w), 0.75, 1e-3) << PruneMethodName(method);
+  }
+}
+
+TEST(FisherTest, ScoredEqualsMagnitudeWhenScoresAreSquares) {
+  // With scores = w^2 (uniform curvature), scored pruning must reproduce
+  // plain magnitude pruning exactly.
+  Rng rng(805);
+  MatrixF w = rng.GaussianMatrix(64, 64);
+  MatrixF magnitude_pruned = w;
+  PruneSpec spec;
+  spec.method = PruneMethod::kSamoyeds;
+  spec.samoyeds_config = SamoyedsConfig{1, 2, 32};
+  ApplyPruning(magnitude_pruned, spec);
+
+  MatrixF scores(64, 64);
+  for (int64_t i = 0; i < scores.size(); ++i) {
+    const float v = w.flat()[static_cast<size_t>(i)];
+    scores.flat()[static_cast<size_t>(i)] = v * v;
+  }
+  MatrixF scored = w;
+  ApplyScoredPruning(scored, scores, spec);
+  EXPECT_TRUE(scored == magnitude_pruned);
+}
+
+// --------------------------------------------------------- decode phase
+
+TEST(DecodePhaseTest, SamoyedsFastestAtSmallBatch) {
+  LayerCostOptions opts;
+  opts.shared_experts_override = 0;
+  const auto& model = ModelByName("Mixtral-8x7B");
+  const double t =
+      EstimateDecodeStepCost(MoeFramework::kTransformers, model, 8, 2048, opts).total_ms;
+  const double s =
+      EstimateDecodeStepCost(MoeFramework::kSamoyeds, model, 8, 2048, opts).total_ms;
+  EXPECT_LT(s, t);
+}
+
+TEST(DecodePhaseTest, CostGrowsWithBatchAndKv) {
+  LayerCostOptions opts;
+  opts.shared_experts_override = 0;
+  const auto& model = ModelByName("MiniCPM-MoE");
+  const double base =
+      EstimateDecodeStepCost(MoeFramework::kSamoyeds, model, 8, 1024, opts).total_ms;
+  EXPECT_GT(EstimateDecodeStepCost(MoeFramework::kSamoyeds, model, 64, 1024, opts).total_ms,
+            base);
+  EXPECT_GT(EstimateDecodeStepCost(MoeFramework::kSamoyeds, model, 8, 16384, opts).attention_ms,
+            EstimateDecodeStepCost(MoeFramework::kSamoyeds, model, 8, 1024, opts).attention_ms);
+}
+
+}  // namespace
+}  // namespace samoyeds

@@ -1,0 +1,149 @@
+// Baseline kernels: numeric equivalence against references and sanity of
+// the analytic profiles.
+
+#include <gtest/gtest.h>
+
+#include "src/formats/csr.h"
+#include "src/formats/nm24.h"
+#include "src/formats/venom.h"
+#include "src/kernels/cusparselt_spmm.h"
+#include "src/kernels/dense_gemm.h"
+#include "src/kernels/sputnik_spmm.h"
+#include "src/kernels/tuning.h"
+#include "src/kernels/venom_spmm.h"
+#include "src/simgpu/timing_model.h"
+#include "src/tensor/gemm_ref.h"
+#include "src/tensor/rng.h"
+#include "tests/test_util.h"
+
+namespace samoyeds {
+namespace {
+
+TEST(DenseGemmTest, RunMatchesReference) {
+  Rng rng(51);
+  const MatrixF a = RandomBf16Matrix(rng, 48, 64);
+  const MatrixF b = RandomBf16Matrix(rng, 64, 32);
+  EXPECT_LE(MaxAbsDiff(DenseGemmKernel::Run(a, b), GemmRef(a, b)), 1e-4f);
+}
+
+TEST(DenseGemmTest, AnalyzeCountsPaddedTiles) {
+  const KernelProfile p = DenseGemmKernel::Analyze({100, 200, 300});
+  // 100 -> 1 tile of 128, 300 -> 3 tiles of 128.
+  EXPECT_EQ(p.traffic.thread_blocks, 1 * 3);
+  EXPECT_DOUBLE_EQ(p.useful_flops, 2.0 * 100 * 200 * 300);
+  EXPECT_GT(p.traffic.mma_flops, p.useful_flops);  // padding overhead
+  EXPECT_FALSE(p.traffic.uses_sparse_alu);
+}
+
+TEST(CusparseltTest, RunMatchesMaskedReference) {
+  Rng rng(52);
+  const MatrixF w = RandomBf16Matrix(rng, 32, 64);
+  const MatrixF b = RandomBf16Matrix(rng, 64, 24);
+  const TwoFourMatrix w24 = TwoFourMatrix::Encode(w);
+  MatrixF masked = w;
+  ApplyTwoFourMask(masked);
+  EXPECT_LE(MaxAbsDiff(CusparseltSpmmKernel::Run(w24, b), GemmRef(masked, b)), 1e-4f);
+}
+
+TEST(CusparseltTest, ExecutesHalfTheDenseFlops) {
+  const GemmShape shape{1024, 1024, 1024};
+  const KernelProfile dense = DenseGemmKernel::Analyze(shape);
+  const KernelProfile sparse = CusparseltSpmmKernel::Analyze(shape);
+  EXPECT_NEAR(sparse.traffic.mma_flops / dense.traffic.mma_flops, 0.5, 1e-9);
+  EXPECT_TRUE(sparse.traffic.uses_sparse_alu);
+}
+
+TEST(SputnikTest, RunMatchesReference) {
+  Rng rng(53);
+  MatrixF w = rng.GaussianMatrix(40, 48);
+  for (auto& v : w.flat()) {
+    if (rng.NextFloat() < 0.75f) {
+      v = 0.0f;
+    }
+  }
+  const MatrixF b = rng.GaussianMatrix(48, 16);
+  const CsrMatrix csr = CsrMatrix::FromDense(w);
+  EXPECT_LE(MaxAbsDiff(SputnikSpmmKernel::Run(csr, b), GemmRef(w, b)), 1e-4f);
+}
+
+TEST(SputnikTest, NoTensorCoreUse) {
+  const KernelProfile p = SputnikSpmmKernel::Analyze({2048, 2048, 2048}, 0.25);
+  EXPECT_DOUBLE_EQ(p.traffic.mma_flops, 0.0);
+  EXPECT_GT(p.traffic.simd_flops, 0.0);
+  EXPECT_GT(p.traffic.gmem_uncoalesced_bytes, 0.0);
+}
+
+TEST(VenomKernelTest, RunMatchesMaskedReference) {
+  Rng rng(54);
+  const VenomConfig cfg{16, 2, 4};
+  const MatrixF w = RandomBf16Matrix(rng, 32, 32);
+  const MatrixF b = RandomBf16Matrix(rng, 32, 16);
+  const VenomMatrix enc = VenomMatrix::Encode(w, cfg);
+  MatrixF masked = w;
+  ApplyVenomMask(masked, cfg);
+  EXPECT_LE(MaxAbsDiff(VenomSpmmKernel::Run(enc, b), GemmRef(masked, b)), 1e-4f);
+}
+
+TEST(VenomKernelTest, FlopsScaleWithDensity) {
+  const GemmShape shape{2048, 2048, 2048};
+  const VenomConfig half{64, 2, 2};    // 50% column density -> 25% total
+  const VenomConfig quarter{64, 1, 2}; // 25% column density -> 12.5% total
+  const KernelProfile p1 = VenomSpmmKernel::Analyze(shape, half);
+  const KernelProfile p2 = VenomSpmmKernel::Analyze(shape, quarter);
+  EXPECT_NEAR(p2.traffic.mma_flops / p1.traffic.mma_flops, 0.5, 1e-9);
+}
+
+TEST(VenomKernelTest, PortingDegradesEfficiency) {
+  const GemmShape shape{4096, 4096, 4096};
+  const VenomConfig cfg{64, 2, 4};
+  const KernelProfile native = VenomSpmmKernel::Analyze(shape, cfg, DefaultDevice());
+  const KernelProfile ported =
+      VenomSpmmKernel::Analyze(shape, cfg, GetDevice(DeviceModel::kA100_40G));
+  EXPECT_LT(ported.traffic.efficiency, native.traffic.efficiency * 0.75);
+}
+
+TEST(TuningTest, NativeDeviceIsNeutral) {
+  EXPECT_DOUBLE_EQ(PortabilityFactor(DefaultDevice(), DefaultDevice(), 5.0), 1.0);
+}
+
+TEST(TuningTest, ZeroSensitivityIsNeutral) {
+  EXPECT_DOUBLE_EQ(
+      PortabilityFactor(DefaultDevice(), GetDevice(DeviceModel::kA100_40G), 0.0), 1.0);
+}
+
+TEST(TuningTest, HigherSensitivityLosesMore) {
+  const DeviceSpec& native = DefaultDevice();
+  const DeviceSpec& target = GetDevice(DeviceModel::kA100_40G);
+  EXPECT_LT(PortabilityFactor(native, target, 3.0), PortabilityFactor(native, target, 0.5));
+}
+
+TEST(TuningTest, FactorBounded) {
+  const DeviceSpec& native = DefaultDevice();
+  for (DeviceModel m : AllDeviceModels()) {
+    const double f = PortabilityFactor(native, GetDevice(m), 10.0);
+    EXPECT_GE(f, 0.25);
+    EXPECT_LE(f, 1.0);
+  }
+}
+
+// ---- Cross-kernel performance ordering on the native device --------------
+
+double SimulatedMs(const KernelProfile& p) {
+  return TimingModel(DefaultDevice()).Estimate(p.traffic).total_ms;
+}
+
+TEST(KernelOrderingTest, RealisticShapeOrdering) {
+  // CFG#4-like expert GEMM: intermediate x hidden x tokens.
+  const GemmShape shape{14336, 4096, 4096};
+  const double dense = SimulatedMs(DenseGemmKernel::Analyze(shape));
+  const double cusp = SimulatedMs(CusparseltSpmmKernel::Analyze(shape));
+  const double venom = SimulatedMs(VenomSpmmKernel::Analyze(shape, VenomConfig{64, 2, 4}));
+  const double sputnik = SimulatedMs(SputnikSpmmKernel::Analyze(shape, 0.25));
+  // The paper's measured ordering: VENOM < dense ~ cuSPARSELt << Sputnik.
+  EXPECT_LT(venom, dense);
+  EXPECT_LT(venom, cusp);
+  EXPECT_GT(sputnik, dense * 4.0);
+}
+
+}  // namespace
+}  // namespace samoyeds

@@ -1,0 +1,238 @@
+// Framework cost simulator: the comparative behaviours the paper reports
+// must emerge from the model (Samoyeds fastest, breakdown monotone, padding
+// sensitivity, OOM/NS handling).
+
+#include <gtest/gtest.h>
+
+#include "src/frameworks/layer_cost.h"
+#include "src/moe/memory_model.h"
+#include "src/moe/model_configs.h"
+
+namespace samoyeds {
+namespace {
+
+LayerCostOptions DefaultOptions() {
+  LayerCostOptions o;
+  o.shared_experts_override = 0;
+  return o;
+}
+
+TEST(LayerCostTest, UniformCountsSumToAssignments) {
+  const auto& model = ModelByName("Qwen2-MoE");
+  const auto counts = UniformTokensPerExpert(model, 4096);
+  int64_t total = 0;
+  for (int64_t c : counts) {
+    total += c;
+  }
+  EXPECT_EQ(total, 4096 * model.top_k);
+  EXPECT_EQ(static_cast<int>(counts.size()), model.num_experts);
+}
+
+TEST(LayerCostTest, SamoyedsBeatsAllBaselinesOnMoeLayer) {
+  for (const auto& model : PaperModels()) {
+    const auto counts = UniformTokensPerExpert(model, 4096);
+    const LayerCostOptions opts = DefaultOptions();
+    const double samoyeds =
+        EstimateMoeLayerCost(MoeFramework::kSamoyeds, model, counts, 4096, opts).total_ms;
+    const double transformers =
+        EstimateMoeLayerCost(MoeFramework::kTransformers, model, counts, 4096, opts).total_ms;
+    EXPECT_LT(samoyeds, transformers) << model.name;
+    if (FrameworkSupportsModel(MoeFramework::kVllmDs, model)) {
+      const double vllm =
+          EstimateMoeLayerCost(MoeFramework::kVllmDs, model, counts, 4096, opts).total_ms;
+      EXPECT_LT(samoyeds, vllm) << model.name;
+    }
+    if (FrameworkSupportsModel(MoeFramework::kMegaBlocks, model)) {
+      const double mb =
+          EstimateMoeLayerCost(MoeFramework::kMegaBlocks, model, counts, 4096, opts).total_ms;
+      EXPECT_LT(samoyeds, mb) << model.name;
+    }
+  }
+}
+
+TEST(LayerCostTest, BreakdownIsMonotone) {
+  // Fig. 17: each added optimization must not slow the layer down.
+  const auto& model = ModelByName("Mixtral-8x7B");
+  const auto counts = UniformTokensPerExpert(model, 4096);
+  LayerCostOptions opts = DefaultOptions();
+
+  auto cost_of = [&](SamoyedsVariant v) {
+    opts.variant = v;
+    return EstimateMoeLayerCost(MoeFramework::kSamoyeds, model, counts, 4096, opts).total_ms;
+  };
+  const double w = cost_of(SamoyedsVariant::kW);
+  const double wi = cost_of(SamoyedsVariant::kWI);
+  const double wit = cost_of(SamoyedsVariant::kWIT);
+  const double full = cost_of(SamoyedsVariant::kFull);
+  EXPECT_LT(wi, w);
+  EXPECT_LT(wit, wi);
+  EXPECT_LT(full, wit);
+
+  // And even W alone must beat vanilla Transformers (§6.4: 1.27x average).
+  const double vanilla =
+      EstimateMoeLayerCost(MoeFramework::kTransformers, model, counts, 4096,
+                           DefaultOptions())
+          .total_ms;
+  EXPECT_LT(w, vanilla);
+}
+
+TEST(LayerCostTest, SharedExpertsAddTime) {
+  const auto& model = ModelByName("Mixtral-8x7B");
+  const auto counts = UniformTokensPerExpert(model, 4096);
+  LayerCostOptions opts = DefaultOptions();
+  const double without =
+      EstimateMoeLayerCost(MoeFramework::kSamoyeds, model, counts, 4096, opts).total_ms;
+  opts.shared_experts_override = 2;
+  const double with_shared =
+      EstimateMoeLayerCost(MoeFramework::kSamoyeds, model, counts, 4096, opts).total_ms;
+  EXPECT_GT(with_shared, without * 1.3);
+}
+
+TEST(LayerCostTest, MoreTokensCostMore) {
+  const auto& model = ModelByName("MiniCPM-MoE");
+  const LayerCostOptions opts = DefaultOptions();
+  for (MoeFramework fw : {MoeFramework::kTransformers, MoeFramework::kVllmDs,
+                          MoeFramework::kMegaBlocks, MoeFramework::kSamoyeds}) {
+    const double small =
+        EstimateMoeLayerCost(fw, model, UniformTokensPerExpert(model, 1024), 1024, opts).total_ms;
+    const double large =
+        EstimateMoeLayerCost(fw, model, UniformTokensPerExpert(model, 8192), 8192, opts).total_ms;
+    EXPECT_GT(large, small * 2.0) << FrameworkName(fw);
+  }
+}
+
+TEST(LayerCostTest, PhasesArePopulated) {
+  const auto& model = ModelByName("Mixtral-8x7B");
+  const auto counts = UniformTokensPerExpert(model, 4096);
+  const MoeLayerCost cost = EstimateMoeLayerCost(MoeFramework::kTransformers, model, counts,
+                                                 4096, DefaultOptions());
+  EXPECT_GT(cost.PhaseMs("experts"), 0.0);
+  EXPECT_GT(cost.PhaseMs("permute"), 0.0);
+  EXPECT_GT(cost.PhaseMs("unpermute"), 0.0);
+  EXPECT_GT(cost.useful_flops, 0.0);
+  double phase_sum = 0.0;
+  for (const auto& p : cost.phases) {
+    phase_sum += p.ms;
+  }
+  EXPECT_NEAR(phase_sum, cost.total_ms, 1e-9);
+}
+
+TEST(LayerCostTest, SamoyedsFullSkipsPermutePhases) {
+  const auto& model = ModelByName("Mixtral-8x7B");
+  const auto counts = UniformTokensPerExpert(model, 4096);
+  const MoeLayerCost cost =
+      EstimateMoeLayerCost(MoeFramework::kSamoyeds, model, counts, 4096, DefaultOptions());
+  EXPECT_DOUBLE_EQ(cost.PhaseMs("permute"), 0.0);
+  EXPECT_GT(cost.PhaseMs("gate_up"), 0.0);
+  EXPECT_GT(cost.PhaseMs("down"), 0.0);
+}
+
+TEST(DecoderCostTest, MoeDominatesWithFlashAttention) {
+  // Fig. 2: with Flash-Attention the MoE layer accounts for most of the
+  // decoder time in the Transformers baseline.
+  for (const char* name : {"Mixtral-8x7B", "Qwen2-MoE"}) {
+    const auto& model = ModelByName(name);
+    const auto counts = UniformTokensPerExpert(model, 4096);
+    const DecoderLayerCost cost = EstimateDecoderLayerCost(
+        MoeFramework::kTransformers, model, counts, 4096, DefaultOptions());
+    EXPECT_GT(cost.moe_ms / cost.total_ms, 0.5) << name;
+  }
+}
+
+TEST(DecoderCostTest, FlashAttentionFasterThanNaive) {
+  const auto& model = ModelByName("Mixtral-8x7B");
+  const auto counts = UniformTokensPerExpert(model, 4096);
+  LayerCostOptions opts = DefaultOptions();
+  opts.flash_attention = false;
+  const double naive = EstimateDecoderLayerCost(MoeFramework::kTransformers, model, counts,
+                                                4096, opts)
+                           .attention_ms;
+  opts.flash_attention = true;
+  const double flash = EstimateDecoderLayerCost(MoeFramework::kTransformers, model, counts,
+                                                4096, opts)
+                           .attention_ms;
+  EXPECT_LT(flash, naive);
+}
+
+TEST(DecoderCostTest, EndToEndSamoyedsSpeedupInPaperRange) {
+  // Fig. 15: end-to-end speedup vs Transformers between roughly 1.1x and
+  // 2.6x across models.
+  for (const auto& model : PaperModels()) {
+    const int64_t tokens = model.default_seq * model.default_batch;
+    const auto counts = UniformTokensPerExpert(model, tokens);
+    const LayerCostOptions opts = DefaultOptions();
+    const double t = EstimateDecoderLayerCost(MoeFramework::kTransformers, model, counts, tokens,
+                                              opts)
+                         .total_ms;
+    const double s =
+        EstimateDecoderLayerCost(MoeFramework::kSamoyeds, model, counts, tokens, opts).total_ms;
+    const double speedup = t / s;
+    EXPECT_GT(speedup, 1.05) << model.name;
+    EXPECT_LT(speedup, 4.5) << model.name;
+  }
+}
+
+// ------------------------------------------------------------ memory model
+
+TEST(MemoryModelTest, FrameworkSupportMatrix) {
+  const auto& openmoe = ModelByName("OpenMoE-34B");
+  EXPECT_FALSE(FrameworkSupportsModel(MoeFramework::kMegaBlocks, openmoe));
+  EXPECT_FALSE(FrameworkSupportsModel(MoeFramework::kVllmDs, openmoe));
+  EXPECT_TRUE(FrameworkSupportsModel(MoeFramework::kTransformers, openmoe));
+  EXPECT_TRUE(FrameworkSupportsModel(MoeFramework::kSamoyeds, openmoe));
+  EXPECT_TRUE(FrameworkSupportsModel(MoeFramework::kVllmDs, ModelByName("Mixtral-8x7B")));
+}
+
+TEST(MemoryModelTest, SamoyedsBytesPerParam) {
+  // (1,2,32) at 75%: 0.5*(1 + 0.125) + 0.5/32 = 0.578 bytes/param.
+  EXPECT_NEAR(SamoyedsBytesPerParam(SamoyedsConfig{1, 2, 32}), 0.578, 1e-3);
+  // Denser config stores more.
+  EXPECT_GT(SamoyedsBytesPerParam(SamoyedsConfig{2, 2, 32}),
+            SamoyedsBytesPerParam(SamoyedsConfig{1, 2, 32}));
+}
+
+TEST(MemoryModelTest, SamoyedsSupportsLargerBatches) {
+  const SamoyedsConfig fmt{1, 2, 32};
+  const DeviceSpec& dev = DefaultDevice();
+  for (const auto& model : PaperModels()) {
+    const auto t = EstimateFootprint(model, MoeFramework::kTransformers, fmt, dev);
+    const auto s = EstimateFootprint(model, MoeFramework::kSamoyeds, fmt, dev);
+    EXPECT_GT(s.MaxBatch(model.default_seq), t.MaxBatch(model.default_seq)) << model.name;
+    EXPECT_LT(s.weight_bytes, t.weight_bytes) << model.name;
+  }
+}
+
+TEST(MemoryModelTest, Mixtral22BOomForFusedBaselines) {
+  // Table 3: MegaBlocks and vLLM-DS cannot run Mixtral-8x22B at batch 1.
+  const auto& model = ModelByName("Mixtral-8x22B");
+  const SamoyedsConfig fmt{1, 2, 32};
+  const DeviceSpec& dev = DefaultDevice();
+  EXPECT_EQ(EstimateFootprint(model, MoeFramework::kMegaBlocks, fmt, dev).MaxBatch(1024), 0);
+  EXPECT_EQ(EstimateFootprint(model, MoeFramework::kVllmDs, fmt, dev).MaxBatch(1024), 0);
+  EXPECT_GT(EstimateFootprint(model, MoeFramework::kSamoyeds, fmt, dev).MaxBatch(1024), 30);
+}
+
+TEST(MemoryModelTest, OpenMoeTransformersCollapses) {
+  // Table 3: OpenMoE's HF path supports only ~3 batches while Samoyeds
+  // reaches dozens (the 18.67x outlier).
+  const auto& model = ModelByName("OpenMoE-34B");
+  const SamoyedsConfig fmt{1, 2, 32};
+  const DeviceSpec& dev = DefaultDevice();
+  const int64_t t = EstimateFootprint(model, MoeFramework::kTransformers, fmt, dev).MaxBatch(2048);
+  const int64_t s = EstimateFootprint(model, MoeFramework::kSamoyeds, fmt, dev).MaxBatch(2048);
+  EXPECT_LE(t, 5);
+  EXPECT_GE(s, 20);
+  EXPECT_GT(static_cast<double>(s) / std::max<int64_t>(t, 1), 8.0);
+}
+
+TEST(MemoryModelTest, BiggerDeviceFitsMore) {
+  const auto& model = ModelByName("Mixtral-8x7B");
+  const SamoyedsConfig fmt{1, 2, 32};
+  const auto small = EstimateFootprint(model, MoeFramework::kTransformers, fmt, DefaultDevice());
+  const auto big = EstimateFootprint(model, MoeFramework::kTransformers, fmt,
+                                     GetDevice(DeviceModel::kA100_40G));
+  EXPECT_GT(big.MaxBatch(1024), small.MaxBatch(1024) * 2);
+}
+
+}  // namespace
+}  // namespace samoyeds

@@ -1,0 +1,258 @@
+// Cross-cutting property tests: algebraic invariants of the functional
+// kernel path and structural invariants of the analytic profiles, swept
+// over parameter grids.
+
+#include <gtest/gtest.h>
+
+#include "src/core/samoyeds_kernel.h"
+#include "src/kernels/cusparselt_spmm.h"
+#include "src/kernels/dense_gemm.h"
+#include "src/kernels/nmsparse_spmm.h"
+#include "src/kernels/sputnik_spmm.h"
+#include "src/kernels/venom_spmm.h"
+#include "src/simgpu/timing_model.h"
+#include "src/tensor/gemm_ref.h"
+#include "src/tensor/rng.h"
+#include "tests/test_util.h"
+
+namespace samoyeds {
+namespace {
+
+// Small-integer matrix: all arithmetic below stays exact in fp32 and on the
+// bf16 grid, so algebraic identities hold with zero tolerance.
+MatrixF SmallIntMatrix(Rng& rng, int64_t rows, int64_t cols) {
+  MatrixF m(rows, cols);
+  for (auto& v : m.flat()) {
+    v = static_cast<float>(static_cast<int64_t>(rng.NextBounded(5)) - 2);
+  }
+  return m;
+}
+
+// ---------------------------------------------------- functional identities
+
+TEST(KernelAlgebraTest, RunIsLinearInB) {
+  Rng rng(111);
+  const SamoyedsConfig fmt{1, 2, 32};
+  const SamoyedsMatrix a = SamoyedsMatrix::Encode(SmallIntMatrix(rng, 32, 64), fmt);
+  const MatrixF b1 = SmallIntMatrix(rng, 64, 16);
+  const MatrixF b2 = SmallIntMatrix(rng, 64, 16);
+  MatrixF sum(64, 16);
+  for (int64_t i = 0; i < sum.size(); ++i) {
+    sum.flat()[static_cast<size_t>(i)] =
+        b1.flat()[static_cast<size_t>(i)] + b2.flat()[static_cast<size_t>(i)];
+  }
+  const Selection sel = Selection::All(16);
+  const MatrixF y1 = SamoyedsKernel::Run(a, b1, sel);
+  const MatrixF y2 = SamoyedsKernel::Run(a, b2, sel);
+  const MatrixF ysum = SamoyedsKernel::Run(a, sum, sel);
+  for (int64_t i = 0; i < ysum.size(); ++i) {
+    EXPECT_FLOAT_EQ(ysum.flat()[static_cast<size_t>(i)],
+                    y1.flat()[static_cast<size_t>(i)] + y2.flat()[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(KernelAlgebraTest, RunScalesWithB) {
+  Rng rng(112);
+  const SamoyedsConfig fmt{2, 4, 32};
+  const SamoyedsMatrix a = SamoyedsMatrix::Encode(SmallIntMatrix(rng, 16, 64), fmt);
+  MatrixF b = SmallIntMatrix(rng, 64, 8);
+  const Selection sel = Selection::All(8);
+  const MatrixF y = SamoyedsKernel::Run(a, b, sel);
+  for (auto& v : b.flat()) {
+    v *= 4.0f;  // power of two: exact under bf16
+  }
+  const MatrixF y4 = SamoyedsKernel::Run(a, b, sel);
+  for (int64_t i = 0; i < y.size(); ++i) {
+    EXPECT_FLOAT_EQ(y4.flat()[static_cast<size_t>(i)], 4.0f * y.flat()[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(KernelAlgebraTest, OutputColumnsIndependent) {
+  // Column j of the compressed output must depend only on the j-th selected
+  // input column.
+  Rng rng(113);
+  const SamoyedsConfig fmt{1, 2, 32};
+  const SamoyedsMatrix a = SamoyedsMatrix::Encode(SmallIntMatrix(rng, 32, 64), fmt);
+  MatrixF b = SmallIntMatrix(rng, 64, 12);
+  Selection sel;
+  sel.full_size = 12;
+  sel.indices = {2, 5, 9};
+  const MatrixF y = SamoyedsKernel::Run(a, b, sel);
+  // Perturb a non-selected column: nothing changes.
+  b(0, 3) += 100.0f;
+  const MatrixF y2 = SamoyedsKernel::Run(a, b, sel);
+  EXPECT_LE(MaxAbsDiff(y, y2), 0.0f);
+  // Perturb selected column 5 (output column 1): only that column changes.
+  b(0, 5) += 64.0f;
+  const MatrixF y3 = SamoyedsKernel::Run(a, b, sel);
+  for (int64_t r = 0; r < y.rows(); ++r) {
+    EXPECT_FLOAT_EQ(y3(r, 0), y(r, 0));
+    EXPECT_FLOAT_EQ(y3(r, 2), y(r, 2));
+  }
+  EXPECT_GT(MaxAbsDiff(y3, y), 0.0f);
+}
+
+TEST(KernelAlgebraTest, SelectionOrderingPreserved) {
+  Rng rng(114);
+  const SamoyedsConfig fmt{1, 2, 32};
+  const SamoyedsMatrix a = SamoyedsMatrix::Encode(SmallIntMatrix(rng, 16, 32), fmt);
+  const MatrixF b = SmallIntMatrix(rng, 32, 10);
+  Selection sel;
+  sel.full_size = 10;
+  sel.indices = {1, 4, 7};
+  const MatrixF y = SamoyedsKernel::Run(a, b, sel);
+  // Each output column equals the single-column run of its source.
+  for (size_t j = 0; j < sel.indices.size(); ++j) {
+    Selection single;
+    single.full_size = 10;
+    single.indices = {sel.indices[j]};
+    const MatrixF yj = SamoyedsKernel::Run(a, b, single);
+    for (int64_t r = 0; r < y.rows(); ++r) {
+      EXPECT_FLOAT_EQ(y(r, static_cast<int64_t>(j)), yj(r, 0));
+    }
+  }
+}
+
+TEST(KernelAlgebraTest, DeterministicAcrossRuns) {
+  Rng rng(115);
+  const SamoyedsConfig fmt{4, 8, 32};
+  const SamoyedsMatrix a = SamoyedsMatrix::Encode(rng.GaussianMatrix(64, 96), fmt);
+  const MatrixF b = rng.GaussianMatrix(96, 24);
+  const Selection sel = RandomSelection(rng, 24, 11);
+  const MatrixF y1 = SamoyedsKernel::Run(a, b, sel);
+  const MatrixF y2 = SamoyedsKernel::Run(a, b, sel);
+  EXPECT_TRUE(y1 == y2);
+}
+
+// ----------------------------------------------------- profile invariants
+
+struct ShapeParam {
+  int64_t m, k, n;
+};
+
+class ProfileInvariantTest : public ::testing::TestWithParam<ShapeParam> {};
+
+TEST_P(ProfileInvariantTest, AllProfilesWellFormed) {
+  const auto [m, k, n] = GetParam();
+  const GemmShape shape{m, k, n};
+  const std::vector<KernelProfile> profiles = {
+      DenseGemmKernel::Analyze(shape),
+      CusparseltSpmmKernel::Analyze(shape),
+      SputnikSpmmKernel::Analyze(shape, 0.25),
+      VenomSpmmKernel::Analyze(shape, VenomConfig{64, 2, 4}),
+      NmSparseSpmmKernel::Analyze(shape, NmConfig{1, 4}),
+      SamoyedsKernel::Analyze(shape, n, SamoyedsConfig{1, 2, 32}, SsmmConfig::Default()),
+  };
+  const TimingModel model(DefaultDevice());
+  for (const auto& p : profiles) {
+    EXPECT_GT(p.useful_flops, 0.0) << p.kernel_name;
+    EXPECT_GT(p.traffic.thread_blocks, 0) << p.kernel_name;
+    EXPECT_GE(p.traffic.gmem_read_bytes, 0.0) << p.kernel_name;
+    EXPECT_GT(p.traffic.mma_flops + p.traffic.simd_flops, 0.0) << p.kernel_name;
+    EXPECT_LE(p.traffic.gmem_uncoalesced_bytes, p.traffic.gmem_read_bytes + 1.0)
+        << p.kernel_name;
+    EXPECT_GE(p.traffic.efficiency, 0.05) << p.kernel_name;
+    EXPECT_LE(p.traffic.efficiency, 1.0) << p.kernel_name;
+    const TimingEstimate e = model.Estimate(p.traffic);
+    EXPECT_GT(e.total_ms, 0.0) << p.kernel_name;
+    EXPECT_TRUE(std::isfinite(e.total_ms)) << p.kernel_name;
+  }
+}
+
+TEST_P(ProfileInvariantTest, TimeMonotoneInEachDimension) {
+  const auto [m, k, n] = GetParam();
+  const TimingModel model(DefaultDevice());
+  auto samoyeds_ms = [&](int64_t mm, int64_t kk, int64_t nn) {
+    return model
+        .Estimate(SamoyedsKernel::Analyze({mm, kk, nn}, nn, SamoyedsConfig{1, 2, 32},
+                                          SsmmConfig::Default())
+                      .traffic)
+        .total_ms;
+  };
+  const double base = samoyeds_ms(m, k, n);
+  EXPECT_GE(samoyeds_ms(m * 2, k, n), base * 0.99);
+  EXPECT_GE(samoyeds_ms(m, k * 2, n), base * 0.99);
+  EXPECT_GE(samoyeds_ms(m, k, n * 2), base * 0.99);
+}
+
+TEST_P(ProfileInvariantTest, SparsitySavesArithmetic) {
+  const auto [m, k, n] = GetParam();
+  const GemmShape shape{m, k, n};
+  const double dense = DenseGemmKernel::Analyze(shape).traffic.mma_flops;
+  const double half = CusparseltSpmmKernel::Analyze(shape).traffic.mma_flops;
+  const double quarter =
+      SamoyedsKernel::Analyze(shape, n, SamoyedsConfig{1, 2, 32}, SsmmConfig::Default())
+          .traffic.mma_flops;
+  EXPECT_LT(half, dense);
+  EXPECT_LT(quarter, half * 0.75);
+}
+
+INSTANTIATE_TEST_SUITE_P(ShapeGrid, ProfileInvariantTest,
+                         ::testing::Values(ShapeParam{256, 256, 256},
+                                           ShapeParam{512, 2048, 1024},
+                                           ShapeParam{2048, 512, 4096},
+                                           ShapeParam{4096, 4096, 4096},
+                                           ShapeParam{14336, 4096, 1024},
+                                           ShapeParam{1408, 2048, 8192}));
+
+// ----------------------------------------------- timing model fuzz checks
+
+TEST(TimingFuzzTest, EstimatesAlwaysFiniteAndPositive) {
+  Rng rng(116);
+  const TimingModel model(DefaultDevice());
+  for (int trial = 0; trial < 500; ++trial) {
+    TrafficReport t;
+    t.gmem_read_bytes = rng.NextDouble() * 1e10;
+    t.gmem_write_bytes = rng.NextDouble() * 1e9;
+    t.gmem_unique_bytes = rng.NextDouble() * (t.gmem_read_bytes + t.gmem_write_bytes);
+    t.gmem_uncoalesced_bytes = rng.NextDouble() * t.gmem_read_bytes;
+    t.smem_bytes = rng.NextDouble() * 1e10;
+    t.mma_flops = rng.NextDouble() * 1e13;
+    t.simd_flops = rng.NextDouble() * 1e11;
+    t.thread_blocks = 1 + static_cast<int64_t>(rng.NextBounded(1 << 20));
+    t.warps_per_block = 1 + static_cast<int>(rng.NextBounded(16));
+    t.smem_bytes_per_block = static_cast<int64_t>(rng.NextBounded(100 << 10));
+    t.pipeline_stages = 1 + static_cast<int>(rng.NextBounded(4));
+    t.mainloop_iterations = static_cast<int64_t>(rng.NextBounded(512));
+    t.bank_conflict_factor = 1.0 + rng.NextDouble();
+    t.efficiency = 0.1 + 0.9 * rng.NextDouble();
+    const TimingEstimate e = model.Estimate(t);
+    ASSERT_TRUE(std::isfinite(e.total_ms));
+    ASSERT_GT(e.total_ms, 0.0);
+    ASSERT_GE(e.parallel_efficiency, 0.0);
+    ASSERT_LE(e.parallel_efficiency, 1.0 + 1e-9);
+  }
+}
+
+TEST(TimingFuzzTest, DevicesPreserveOrderingOfDominatedReports) {
+  // If report B strictly dominates report A in every cost dimension, B must
+  // not be faster on any device.
+  Rng rng(117);
+  for (int trial = 0; trial < 100; ++trial) {
+    TrafficReport a;
+    a.gmem_read_bytes = rng.NextDouble() * 1e9;
+    a.gmem_write_bytes = rng.NextDouble() * 1e8;
+    a.gmem_unique_bytes = a.gmem_read_bytes * 0.5;
+    a.smem_bytes = rng.NextDouble() * 1e9;
+    a.mma_flops = rng.NextDouble() * 1e12;
+    a.simd_flops = rng.NextDouble() * 1e10;
+    a.thread_blocks = 4096;
+    a.warps_per_block = 8;
+    a.pipeline_stages = 3;
+    TrafficReport b = a;
+    const double factor = 1.1 + rng.NextDouble();
+    b.gmem_read_bytes *= factor;
+    b.gmem_write_bytes *= factor;
+    b.gmem_unique_bytes *= factor;
+    b.smem_bytes *= factor;
+    b.mma_flops *= factor;
+    b.simd_flops *= factor;
+    for (DeviceModel dm : AllDeviceModels()) {
+      const TimingModel model(GetDevice(dm));
+      ASSERT_GE(model.Estimate(b).total_ms, model.Estimate(a).total_ms * 0.999);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace samoyeds

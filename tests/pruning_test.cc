@@ -1,0 +1,147 @@
+// Pruning substrate: mask correctness, MLP training machinery, and the
+// accuracy-proxy experiment pipeline.
+
+#include <gtest/gtest.h>
+
+#include "src/pruning/accuracy_eval.h"
+#include "src/pruning/mlp.h"
+#include "src/pruning/pruners.h"
+#include "src/tensor/rng.h"
+
+namespace samoyeds {
+namespace {
+
+TEST(PrunersTest, MagnitudeHitsExactSparsity) {
+  Rng rng(91);
+  MatrixF w = rng.GaussianMatrix(64, 64);
+  ApplyMagnitudeMask(w, 0.75);
+  EXPECT_NEAR(MeasuredSparsity(w), 0.75, 1e-3);
+}
+
+TEST(PrunersTest, MagnitudeKeepsLargest) {
+  auto w = MatrixF::FromRowMajor(1, 4, {0.1f, -5.0f, 0.2f, 3.0f});
+  ApplyMagnitudeMask(w, 0.5);
+  EXPECT_FLOAT_EQ(w(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(w(0, 1), -5.0f);
+  EXPECT_FLOAT_EQ(w(0, 2), 0.0f);
+  EXPECT_FLOAT_EQ(w(0, 3), 3.0f);
+}
+
+TEST(PrunersTest, EverySpecLandsAtTargetSparsity) {
+  Rng rng(92);
+  for (PruneMethod m : {PruneMethod::kUnstructured, PruneMethod::kVenom, PruneMethod::kSamoyeds}) {
+    MatrixF w = rng.GaussianMatrix(128, 128);
+    PruneSpec spec;
+    spec.method = m;
+    spec.sparsity = 0.75;
+    spec.venom_config = VenomConfig{64, 2, 4};      // 75%
+    spec.samoyeds_config = SamoyedsConfig{1, 2, 32};  // 75%
+    ApplyPruning(w, spec);
+    EXPECT_NEAR(MeasuredSparsity(w), 0.75, 1e-3) << PruneMethodName(m);
+  }
+}
+
+TEST(PrunersTest, DenseIsNoOp) {
+  Rng rng(93);
+  MatrixF w = rng.GaussianMatrix(16, 16);
+  const MatrixF before = w;
+  ApplyPruning(w, PruneSpec{});
+  EXPECT_TRUE(w == before);
+}
+
+TEST(PrunersTest, TwoFourGivesHalfSparsity) {
+  Rng rng(94);
+  MatrixF w = rng.GaussianMatrix(32, 64);
+  PruneSpec spec;
+  spec.method = PruneMethod::kTwoFour;
+  ApplyPruning(w, spec);
+  EXPECT_NEAR(MeasuredSparsity(w), 0.5, 1e-6);
+}
+
+TEST(MlpTest, ForwardShape) {
+  Rng rng(95);
+  const Mlp mlp(rng, {8, 16, 4});
+  const MatrixF x = rng.GaussianMatrix(5, 8);
+  const MatrixF out = mlp.Forward(x);
+  EXPECT_EQ(out.rows(), 5);
+  EXPECT_EQ(out.cols(), 4);
+}
+
+TEST(MlpTest, MseTrainingReducesLoss) {
+  Rng rng(96);
+  Mlp mlp(rng, {4, 32, 2});
+  const RegressionDataset data = RegressionDataset::Make(rng, 128, 4, 2);
+  float first = 0.0f;
+  float last = 0.0f;
+  for (int step = 0; step < 300; ++step) {
+    const float loss = mlp.TrainStepMse(data.x, data.y, 0.02f);
+    if (step == 0) {
+      first = loss;
+    }
+    last = loss;
+  }
+  EXPECT_LT(last, first * 0.5f);
+}
+
+TEST(MlpTest, CrossEntropyTrainingLearnsClusters) {
+  Rng rng(97);
+  const ClassificationDataset data = ClassificationDataset::Make(rng, 256, 8, 4, 0.3f);
+  Mlp mlp(rng, {8, 32, 4});
+  for (int step = 0; step < 200; ++step) {
+    mlp.TrainStepCrossEntropy(data.x, data.labels, 0.05f);
+  }
+  EXPECT_GT(EvaluateAccuracy(mlp, data), 0.9);
+}
+
+TEST(MlpTest, MaskSurvivesTraining) {
+  Rng rng(98);
+  Mlp mlp(rng, {8, 32, 32, 4});
+  const ClassificationDataset data = ClassificationDataset::Make(rng, 128, 8, 4);
+  PruneSpec spec;
+  spec.method = PruneMethod::kSamoyeds;
+  spec.samoyeds_config = SamoyedsConfig{1, 2, 16};
+  ApplyPruning(mlp.weight(1), spec);
+  mlp.SnapshotMasks();
+  const double sparsity_before = MeasuredSparsity(mlp.weight(1));
+  EXPECT_NEAR(sparsity_before, 0.75, 1e-6);
+  for (int step = 0; step < 50; ++step) {
+    mlp.TrainStepCrossEntropy(data.x, data.labels, 0.05f);
+  }
+  EXPECT_NEAR(MeasuredSparsity(mlp.weight(1)), sparsity_before, 1e-6);
+}
+
+TEST(AccuracyEvalTest, PerplexityBoundedBelowByOne) {
+  Rng rng(99);
+  const ClassificationDataset data = ClassificationDataset::Make(rng, 64, 8, 4);
+  const Mlp mlp(rng, {8, 16, 4});
+  EXPECT_GE(EvaluatePerplexity(mlp, data), 1.0);
+}
+
+TEST(AccuracyEvalTest, FinetuneRecoversAccuracy) {
+  // The paper's central accuracy claim in miniature: after pruning at 75%
+  // with the Samoyeds format and fine-tuning, most accuracy returns.
+  Rng rng(100);
+  const ClassificationDataset train = ClassificationDataset::Make(rng, 512, 32, 8, 0.5f);
+  Rng test_rng(100);  // same clusters: regenerate with identical seed
+  const ClassificationDataset test = ClassificationDataset::Make(test_rng, 512, 32, 8, 0.5f);
+
+  PruneSpec samoyeds;
+  samoyeds.method = PruneMethod::kSamoyeds;
+  samoyeds.samoyeds_config = SamoyedsConfig{1, 2, 16};
+  PruneExperimentOptions options;
+  options.pretrain_epochs = 30;
+  options.finetune_epochs = 10;
+
+  const auto results =
+      RunAccuracyExperiment(rng, {32, 64, 64, 8}, train, test, {PruneSpec{}, samoyeds}, options);
+  ASSERT_EQ(results.size(), 2u);
+  const double dense_acc = results[0].metric_after_finetune;
+  const double pruned_acc = results[1].metric_after_finetune;
+  EXPECT_GT(dense_acc, 0.8);
+  EXPECT_GT(pruned_acc, dense_acc * 0.9);  // >= 90% retention
+  EXPECT_GE(results[1].metric_after_finetune, results[1].metric_before_finetune - 1e-9);
+  EXPECT_NEAR(results[1].measured_sparsity, 0.75, 0.02);
+}
+
+}  // namespace
+}  // namespace samoyeds

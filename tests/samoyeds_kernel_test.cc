@@ -1,0 +1,182 @@
+// The Samoyeds SSMM kernel: functional equivalence with the reference
+// product of the decoded weight and the SEL-gathered input, plus traffic
+// behaviour of every optimization toggle.
+
+#include <gtest/gtest.h>
+
+#include "src/core/samoyeds_kernel.h"
+#include "src/simgpu/timing_model.h"
+#include "src/tensor/gemm_ref.h"
+#include "src/tensor/rng.h"
+#include "tests/test_util.h"
+
+namespace samoyeds {
+namespace {
+
+struct RunCase {
+  int64_t m, k, n, selected;
+  int fn, fm, fv;  // format (N, M, V)
+};
+
+class SamoyedsKernelRunTest : public ::testing::TestWithParam<RunCase> {};
+
+TEST_P(SamoyedsKernelRunTest, MatchesGatheredReference) {
+  const RunCase c = GetParam();
+  Rng rng(61);
+  const MatrixF w = RandomBf16Matrix(rng, c.m, c.k);
+  const MatrixF b = RandomBf16Matrix(rng, c.k, c.n);
+  const Selection sel = RandomSelection(rng, c.n, c.selected);
+  const SamoyedsConfig fmt{c.fn, c.fm, c.fv};
+  const SamoyedsMatrix enc = SamoyedsMatrix::Encode(w, fmt);
+
+  const MatrixF got = SamoyedsKernel::Run(enc, b, sel);
+  const MatrixF expect = GemmRef(enc.ToDense(), GatherColumns(b, sel));
+  ASSERT_EQ(got.rows(), c.m);
+  ASSERT_EQ(got.cols(), c.selected);
+  EXPECT_LE(MaxAbsDiff(got, expect), 2e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SamoyedsKernelRunTest,
+    ::testing::Values(RunCase{32, 64, 16, 16, 1, 2, 32},   // full selection
+                      RunCase{32, 64, 24, 8, 1, 2, 32},    // partial selection
+                      RunCase{64, 128, 40, 17, 1, 2, 32},  // odd selection count
+                      RunCase{64, 128, 40, 17, 2, 4, 32},
+                      RunCase{128, 96, 33, 9, 4, 8, 32},
+                      RunCase{128, 256, 64, 32, 8, 16, 32},
+                      RunCase{48, 64, 20, 5, 1, 2, 64},    // V = 64: window spans 2 mma steps
+                      RunCase{16, 32, 8, 8, 1, 2, 32},     // single block
+                      RunCase{50, 64, 12, 6, 1, 2, 32}));  // m not multiple of 16
+
+TEST(SamoyedsKernelTest, EmptySelectionGivesEmptyOutput) {
+  Rng rng(62);
+  const MatrixF w = RandomBf16Matrix(rng, 16, 32);
+  const MatrixF b = RandomBf16Matrix(rng, 32, 8);
+  Selection sel;
+  sel.full_size = 8;
+  const SamoyedsMatrix enc = SamoyedsMatrix::Encode(w, SamoyedsConfig{1, 2, 32});
+  const MatrixF out = SamoyedsKernel::Run(enc, b, sel);
+  EXPECT_EQ(out.cols(), 0);
+  EXPECT_EQ(out.rows(), 16);
+}
+
+TEST(SamoyedsKernelTest, RunLinearMatchesXWt) {
+  Rng rng(63);
+  const int64_t tokens = 24;
+  const int64_t hidden = 64;
+  const int64_t out_f = 32;
+  const MatrixF x = RandomBf16Matrix(rng, tokens, hidden);
+  const MatrixF w = RandomBf16Matrix(rng, out_f, hidden);
+  const SamoyedsMatrix enc = SamoyedsMatrix::Encode(w, SamoyedsConfig{1, 2, 32});
+  const Selection sel = RandomSelection(rng, tokens, 10);
+
+  const MatrixF got = SamoyedsKernel::RunLinear(x, enc, sel);
+  // Reference: gather the selected token rows, multiply by decoded W^T.
+  const MatrixF xt = x.Transposed();
+  const MatrixF expect = GemmRef(enc.ToDense(), GatherColumns(xt, sel)).Transposed();
+  ASSERT_EQ(got.rows(), 10);
+  ASSERT_EQ(got.cols(), out_f);
+  EXPECT_LE(MaxAbsDiff(got, expect), 2e-3f);
+}
+
+// ---------------------------------------------------------------- Analyze
+
+GemmShape TestShape() { return GemmShape{2048, 2048, 4096}; }
+SamoyedsConfig TestFormat() { return SamoyedsConfig{1, 2, 32}; }
+
+TEST(SamoyedsAnalyzeTest, ExecutedFlopsMatchDensity) {
+  const SsmmConfig cfg;
+  const KernelProfile p = SamoyedsKernel::Analyze(TestShape(), 4096, TestFormat(), cfg);
+  // 75% sparsity: a quarter of the dense MACs execute.
+  EXPECT_NEAR(p.traffic.mma_flops / (2.0 * 2048 * 2048 * 4096), 0.25, 1e-9);
+  EXPECT_TRUE(p.traffic.uses_sparse_alu);
+}
+
+TEST(SamoyedsAnalyzeTest, InputSelectionShrinksProblem) {
+  const SsmmConfig cfg;
+  const KernelProfile full = SamoyedsKernel::Analyze(TestShape(), 4096, TestFormat(), cfg);
+  const KernelProfile quarter = SamoyedsKernel::Analyze(TestShape(), 1024, TestFormat(), cfg);
+  EXPECT_LT(quarter.traffic.mma_flops, full.traffic.mma_flops * 0.3);
+  EXPECT_LT(quarter.traffic.gmem_read_bytes, full.traffic.gmem_read_bytes * 0.5);
+}
+
+TEST(SamoyedsAnalyzeTest, SelectionIgnoredWhenToggleOff) {
+  SsmmConfig cfg;
+  cfg.input_selection = false;
+  const KernelProfile p1 = SamoyedsKernel::Analyze(TestShape(), 1024, TestFormat(), cfg);
+  const KernelProfile p2 = SamoyedsKernel::Analyze(TestShape(), 4096, TestFormat(), cfg);
+  EXPECT_DOUBLE_EQ(p1.traffic.mma_flops, p2.traffic.mma_flops);
+}
+
+TEST(SamoyedsAnalyzeTest, DataStationaryOffSpillsToLocalMemory) {
+  SsmmConfig on;
+  SsmmConfig off = on;
+  off.data_stationary = false;
+  const KernelProfile pon = SamoyedsKernel::Analyze(TestShape(), 4096, TestFormat(), on);
+  const KernelProfile poff = SamoyedsKernel::Analyze(TestShape(), 4096, TestFormat(), off);
+  // The fragment round-trips through L1-backed local memory and the
+  // pipeline loses issue efficiency.
+  EXPECT_GT(poff.traffic.smem_bytes, pon.traffic.smem_bytes);
+  EXPECT_LT(poff.traffic.efficiency, pon.traffic.efficiency);
+  const TimingModel model(DefaultDevice());
+  EXPECT_GT(model.Estimate(poff.traffic).total_ms, model.Estimate(pon.traffic).total_ms);
+}
+
+TEST(SamoyedsAnalyzeTest, UnpackedMetadataCostsMore) {
+  SsmmConfig on;
+  SsmmConfig off = on;
+  off.packed_metadata = false;
+  const KernelProfile pon = SamoyedsKernel::Analyze(TestShape(), 4096, TestFormat(), on);
+  const KernelProfile poff = SamoyedsKernel::Analyze(TestShape(), 4096, TestFormat(), off);
+  EXPECT_GT(poff.traffic.gmem_uncoalesced_bytes, pon.traffic.gmem_uncoalesced_bytes);
+  const TimingModel model(DefaultDevice());
+  EXPECT_GT(model.Estimate(poff.traffic).total_ms, model.Estimate(pon.traffic).total_ms);
+}
+
+TEST(SamoyedsAnalyzeTest, UnfusedTransposePaysRoundTrips) {
+  SsmmConfig on;
+  SsmmConfig off = on;
+  off.fused_transpose = false;
+  const KernelProfile pon = SamoyedsKernel::Analyze(TestShape(), 4096, TestFormat(), on);
+  const KernelProfile poff = SamoyedsKernel::Analyze(TestShape(), 4096, TestFormat(), off);
+  EXPECT_GT(poff.traffic.gmem_read_bytes, pon.traffic.gmem_read_bytes);
+  EXPECT_GT(poff.traffic.gmem_write_bytes, pon.traffic.gmem_write_bytes);
+}
+
+TEST(SamoyedsAnalyzeTest, UncompressedOutputWritesFullWidth) {
+  SsmmConfig on;
+  SsmmConfig off = on;
+  off.compressed_output = false;
+  const KernelProfile pon = SamoyedsKernel::Analyze(TestShape(), 512, TestFormat(), on);
+  const KernelProfile poff = SamoyedsKernel::Analyze(TestShape(), 512, TestFormat(), off);
+  EXPECT_GT(poff.traffic.gmem_write_bytes, pon.traffic.gmem_write_bytes * 4.0);
+}
+
+TEST(SamoyedsAnalyzeTest, BankConflictToggle) {
+  SsmmConfig on;
+  SsmmConfig off = on;
+  off.permuted_smem = false;
+  const KernelProfile pon = SamoyedsKernel::Analyze(TestShape(), 4096, TestFormat(), on);
+  const KernelProfile poff = SamoyedsKernel::Analyze(TestShape(), 4096, TestFormat(), off);
+  EXPECT_GT(poff.traffic.bank_conflict_factor, pon.traffic.bank_conflict_factor);
+}
+
+TEST(SamoyedsAnalyzeTest, SmallTileIncreasesParallelism) {
+  const KernelProfile big =
+      SamoyedsKernel::Analyze(TestShape(), 4096, TestFormat(), SsmmConfig::Default());
+  const KernelProfile small =
+      SamoyedsKernel::Analyze(TestShape(), 4096, TestFormat(), SsmmConfig::SmallTile());
+  EXPECT_GT(small.traffic.thread_blocks, big.traffic.thread_blocks * 3);
+}
+
+TEST(SamoyedsAnalyzeTest, PortingRetainsMostEfficiency) {
+  const SsmmConfig cfg;
+  const KernelProfile native = SamoyedsKernel::Analyze(TestShape(), 4096, TestFormat(), cfg);
+  const KernelProfile ported = SamoyedsKernel::Analyze(TestShape(), 4096, TestFormat(), cfg,
+                                                       GetDevice(DeviceModel::kA100_40G));
+  // Samoyeds' low tuning sensitivity: most of the efficiency survives.
+  EXPECT_GT(ported.traffic.efficiency, native.traffic.efficiency * 0.55);
+}
+
+}  // namespace
+}  // namespace samoyeds

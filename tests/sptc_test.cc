@@ -1,0 +1,150 @@
+// Tests for the functional Sparse Tensor Core model: the mma.sp fragment op
+// must agree exactly with a dense reference product of the expanded
+// operands under bf16 rounding.
+
+#include <gtest/gtest.h>
+
+#include "src/formats/nm24.h"
+#include "src/sptc/fragment.h"
+#include "src/sptc/mma_sp.h"
+#include "src/tensor/bf16.h"
+#include "src/tensor/gemm_ref.h"
+#include "src/tensor/rng.h"
+#include "tests/test_util.h"
+
+namespace samoyeds {
+namespace {
+
+// Builds a random, valid SparseAFragment plus its dense 16x32 expansion.
+void MakeRandomFragment(Rng& rng, SparseAFragment* frag, MatrixF* dense) {
+  *dense = MatrixF(kMmaM, kMmaK);
+  for (int r = 0; r < kMmaM; ++r) {
+    for (int g = 0; g < kMmaK / kSparsityGroup; ++g) {
+      // Random ascending pair of positions.
+      int p0 = static_cast<int>(rng.NextBounded(3));      // 0..2
+      int p1 = p0 + 1 + static_cast<int>(rng.NextBounded(static_cast<uint64_t>(3 - p0)));
+      for (int t = 0; t < kKeptPerGroup; ++t) {
+        const int pos = t == 0 ? p0 : p1;
+        const float v = RoundToBf16(rng.NextGaussian());
+        frag->values[r * kMmaKCompressed + g * kKeptPerGroup + t] = v;
+        frag->meta[r * kMmaKCompressed + g * kKeptPerGroup + t] = static_cast<uint8_t>(pos);
+        (*dense)(r, g * kSparsityGroup + pos) = v;
+      }
+    }
+  }
+}
+
+DenseBFragment MakeRandomB(Rng& rng, MatrixF* dense) {
+  DenseBFragment b;
+  *dense = MatrixF(kMmaK, kMmaN);
+  for (int r = 0; r < kMmaK; ++r) {
+    for (int c = 0; c < kMmaN; ++c) {
+      const float v = RoundToBf16(rng.NextGaussian());
+      b.values[r * kMmaN + c] = v;
+      (*dense)(r, c) = v;
+    }
+  }
+  return b;
+}
+
+TEST(MmaSpTest, ZeroInputsGiveZero) {
+  SparseAFragment a;
+  for (int i = 0; i < kMmaM * kMmaKCompressed; ++i) {
+    a.meta[static_cast<size_t>(i)] = static_cast<uint8_t>(i % 2 == 0 ? 0 : 1);
+  }
+  DenseBFragment b;
+  Accumulator c;
+  const Accumulator d = MmaSp(a, b, c);
+  for (float v : d.values) {
+    EXPECT_FLOAT_EQ(v, 0.0f);
+  }
+}
+
+TEST(MmaSpTest, AccumulatorPassesThrough) {
+  SparseAFragment a;
+  for (int i = 0; i < kMmaM * kMmaKCompressed; ++i) {
+    a.meta[static_cast<size_t>(i)] = static_cast<uint8_t>(i % 2 == 0 ? 1 : 3);
+  }
+  DenseBFragment b;
+  Accumulator c;
+  for (int i = 0; i < kMmaM * kMmaN; ++i) {
+    c.values[static_cast<size_t>(i)] = static_cast<float>(i);
+  }
+  const Accumulator d = MmaSp(a, b, c);
+  for (int i = 0; i < kMmaM * kMmaN; ++i) {
+    EXPECT_FLOAT_EQ(d.values[static_cast<size_t>(i)], static_cast<float>(i));
+  }
+}
+
+TEST(MmaSpTest, MatchesDenseReference) {
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    SparseAFragment afrag;
+    MatrixF a_dense;
+    MakeRandomFragment(rng, &afrag, &a_dense);
+    ASSERT_TRUE(MetadataIsValid(afrag));
+
+    MatrixF b_dense;
+    const DenseBFragment bfrag = MakeRandomB(rng, &b_dense);
+
+    const Accumulator d = MmaSp(afrag, bfrag, Accumulator{});
+    const MatrixF expect = GemmRef(a_dense, b_dense);
+    for (int r = 0; r < kMmaM; ++r) {
+      for (int c = 0; c < kMmaN; ++c) {
+        EXPECT_NEAR(d.at(r, c), expect(r, c), 1e-4f) << "trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(MmaSpTest, ExpandSparseRowPlacesValuesAtMetadataPositions) {
+  SparseAFragment a;
+  // Row 0: group 0 keeps positions 1 and 3 with values 5 and 7.
+  a.values[0] = 5.0f;
+  a.values[1] = 7.0f;
+  a.meta[0] = 1;
+  a.meta[1] = 3;
+  for (int j = 2; j < kMmaKCompressed; ++j) {
+    a.meta[static_cast<size_t>(j)] = static_cast<uint8_t>(j % 2 == 0 ? 0 : 1);
+  }
+  float row[kMmaK];
+  ExpandSparseRow(a, 0, row);
+  EXPECT_FLOAT_EQ(row[0], 0.0f);
+  EXPECT_FLOAT_EQ(row[1], 5.0f);
+  EXPECT_FLOAT_EQ(row[2], 0.0f);
+  EXPECT_FLOAT_EQ(row[3], 7.0f);
+}
+
+TEST(MmaSpTest, MetadataValidationRejectsDescendingPairs) {
+  SparseAFragment a;
+  for (int i = 0; i < kMmaM * kMmaKCompressed; ++i) {
+    a.meta[static_cast<size_t>(i)] = static_cast<uint8_t>(i % 2 == 0 ? 0 : 1);
+  }
+  EXPECT_TRUE(MetadataIsValid(a));
+  a.meta[0] = 2;
+  a.meta[1] = 1;  // descending
+  EXPECT_FALSE(MetadataIsValid(a));
+  a.meta[0] = 1;
+  a.meta[1] = 1;  // duplicate
+  EXPECT_FALSE(MetadataIsValid(a));
+  a.meta[0] = 0;
+  a.meta[1] = 4;  // out of range
+  EXPECT_FALSE(MetadataIsValid(a));
+}
+
+TEST(MmaSpTest, UsesBf16RoundedOperands) {
+  // A value with mantissa bits beyond bf16 must behave as its rounded form.
+  SparseAFragment a;
+  for (int i = 0; i < kMmaM * kMmaKCompressed; ++i) {
+    a.meta[static_cast<size_t>(i)] = static_cast<uint8_t>(i % 2 == 0 ? 0 : 1);
+  }
+  const float fine = 1.00390625f;  // 1 + 2^-8, not representable in bf16
+  a.values[0] = fine;
+  DenseBFragment b;
+  b.values[0] = 1.0f;  // B(0,0) pairs with meta position 0
+  const Accumulator d = MmaSp(a, b, Accumulator{});
+  EXPECT_FLOAT_EQ(d.at(0, 0), RoundToBf16(fine));
+}
+
+}  // namespace
+}  // namespace samoyeds

@@ -1,0 +1,41 @@
+// Shared helpers for the test suite.
+
+#ifndef SAMOYEDS_TESTS_TEST_UTIL_H_
+#define SAMOYEDS_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+
+#include "src/formats/samoyeds_format.h"
+#include "src/formats/sel.h"
+#include "src/tensor/bf16.h"
+#include "src/tensor/matrix.h"
+#include "src/tensor/rng.h"
+
+namespace samoyeds {
+
+// Gaussian matrix already rounded to the bf16 grid, so reference products
+// computed in fp32 match the SpTC's bf16-operand semantics bit-for-bit.
+inline MatrixF RandomBf16Matrix(Rng& rng, int64_t rows, int64_t cols, float stddev = 1.0f) {
+  MatrixF m = rng.GaussianMatrix(rows, cols, stddev);
+  RoundMatrixToBf16(m);
+  return m;
+}
+
+// Random strictly-increasing selection of `count` columns out of `full`.
+inline Selection RandomSelection(Rng& rng, int64_t full, int64_t count) {
+  Selection sel;
+  sel.full_size = full;
+  std::vector<int32_t> all(static_cast<size_t>(full));
+  for (int64_t i = 0; i < full; ++i) {
+    all[static_cast<size_t>(i)] = static_cast<int32_t>(i);
+  }
+  rng.Shuffle(all);
+  all.resize(static_cast<size_t>(count));
+  std::sort(all.begin(), all.end());
+  sel.indices = std::move(all);
+  return sel;
+}
+
+}  // namespace samoyeds
+
+#endif  // SAMOYEDS_TESTS_TEST_UTIL_H_

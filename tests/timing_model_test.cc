@@ -1,0 +1,204 @@
+// Behavioural tests for the GPU timing model: the qualitative mechanisms
+// the paper's evaluation relies on must hold.
+
+#include <gtest/gtest.h>
+
+#include "src/simgpu/device_spec.h"
+#include "src/simgpu/timing_model.h"
+
+namespace samoyeds {
+namespace {
+
+TrafficReport ComputeBoundReport() {
+  TrafficReport t;
+  t.mma_flops = 1e12;
+  t.gmem_read_bytes = 1e6;
+  t.gmem_write_bytes = 1e6;
+  t.gmem_unique_bytes = 2e6;
+  t.thread_blocks = 4096;
+  t.warps_per_block = 8;
+  t.smem_bytes_per_block = 32 << 10;
+  t.pipeline_stages = 3;
+  return t;
+}
+
+TrafficReport MemoryBoundReport() {
+  TrafficReport t;
+  t.mma_flops = 1e9;
+  t.gmem_read_bytes = 4e9;
+  t.gmem_write_bytes = 1e9;
+  t.gmem_unique_bytes = 5e9;
+  t.thread_blocks = 4096;
+  t.warps_per_block = 8;
+  t.smem_bytes_per_block = 32 << 10;
+  t.pipeline_stages = 3;
+  return t;
+}
+
+TEST(TimingModelTest, ComputeBoundClassification) {
+  const TimingModel model(DefaultDevice());
+  const TimingEstimate e = model.Estimate(ComputeBoundReport());
+  EXPECT_FALSE(e.memory_bound());
+  EXPECT_GT(e.total_ms, 0.0);
+}
+
+TEST(TimingModelTest, MemoryBoundClassification) {
+  const TimingModel model(DefaultDevice());
+  const TimingEstimate e = model.Estimate(MemoryBoundReport());
+  EXPECT_TRUE(e.memory_bound());
+}
+
+TEST(TimingModelTest, MoreFlopsTakesLonger) {
+  const TimingModel model(DefaultDevice());
+  TrafficReport t = ComputeBoundReport();
+  const double base = model.Estimate(t).total_ms;
+  t.mma_flops *= 2.0;
+  EXPECT_GT(model.Estimate(t).total_ms, base * 1.5);
+}
+
+TEST(TimingModelTest, MoreTrafficTakesLonger) {
+  const TimingModel model(DefaultDevice());
+  TrafficReport t = MemoryBoundReport();
+  const double base = model.Estimate(t).total_ms;
+  t.gmem_read_bytes *= 2.0;
+  t.gmem_unique_bytes *= 2.0;
+  EXPECT_GT(model.Estimate(t).total_ms, base * 1.5);
+}
+
+TEST(TimingModelTest, UncoalescedAccessesArePenalized) {
+  const TimingModel model(DefaultDevice());
+  TrafficReport t = MemoryBoundReport();
+  const double base = model.Estimate(t).total_ms;
+  t.gmem_uncoalesced_bytes = t.gmem_read_bytes;
+  EXPECT_GT(model.Estimate(t).total_ms, base * 1.5);
+}
+
+TEST(TimingModelTest, PipelineOverlapHelps) {
+  const TimingModel model(DefaultDevice());
+  TrafficReport t = MemoryBoundReport();
+  t.mma_flops = 2e11;  // comparable compute and memory time
+  t.pipeline_stages = 1;
+  const double serial = model.Estimate(t).total_ms;
+  t.pipeline_stages = 4;
+  const double overlapped = model.Estimate(t).total_ms;
+  EXPECT_LT(overlapped, serial);
+}
+
+TEST(TimingModelTest, LowParallelismHurtsThroughput) {
+  const TimingModel model(DefaultDevice());
+  TrafficReport t = ComputeBoundReport();
+  t.thread_blocks = 4;  // tiny grid: 32 warps on a 56-SM chip
+  const TimingEstimate small = model.Estimate(t);
+  EXPECT_LT(small.parallel_efficiency, 0.1);
+}
+
+TEST(TimingModelTest, LargeGridReachesFullEfficiency) {
+  const TimingModel model(DefaultDevice());
+  TrafficReport t = ComputeBoundReport();
+  t.thread_blocks = 1 << 16;
+  const TimingEstimate e = model.Estimate(t);
+  EXPECT_GT(e.parallel_efficiency, 0.9);
+}
+
+TEST(TimingModelTest, TailWaveQuantization) {
+  const TimingModel model(DefaultDevice());
+  TrafficReport t = ComputeBoundReport();
+  // Capacity: 2 blocks/SM (register-limited) x 56 SMs = 112 blocks.
+  t.thread_blocks = 113;  // one extra block forces a nearly-empty second wave
+  const TimingEstimate e = model.Estimate(t);
+  EXPECT_LT(e.parallel_efficiency, 0.6);
+}
+
+TEST(TimingModelTest, L2CapturesReuseTraffic) {
+  const TimingModel model(DefaultDevice());
+  TrafficReport t = MemoryBoundReport();
+  // Small working set: all reuse traffic should hit in L2.
+  t.gmem_unique_bytes = 1e6;
+  const double hot = model.Estimate(t).total_ms;
+  // Huge working set: reuse spills to DRAM.
+  t.gmem_unique_bytes = 4e9;
+  const double cold = model.Estimate(t).total_ms;
+  EXPECT_LT(hot, cold);
+}
+
+TEST(TimingModelTest, BiggerL2DeviceServesReuseFaster) {
+  // Two hypothetical devices identical except for L2 capacity.
+  DeviceSpec small_l2 = DefaultDevice();
+  small_l2.l2_bytes = 1 << 20;
+  DeviceSpec big_l2 = DefaultDevice();
+  big_l2.l2_bytes = 256 << 20;
+
+  TrafficReport t = MemoryBoundReport();
+  t.thread_blocks = 100;  // fits concurrently: active working set = footprint
+  t.gmem_read_bytes = 20e9;  // heavy reuse over a 100 MB footprint
+  t.gmem_unique_bytes = 100e6;
+  const double slow = TimingModel(small_l2).Estimate(t).total_ms;
+  const double fast = TimingModel(big_l2).Estimate(t).total_ms;
+  EXPECT_LT(fast, slow * 0.6);
+}
+
+TEST(TimingModelTest, EfficiencyScalesTotalTime) {
+  const TimingModel model(DefaultDevice());
+  TrafficReport t = ComputeBoundReport();
+  t.efficiency = 1.0;
+  const double fast = model.Estimate(t).total_ms;
+  t.efficiency = 0.5;
+  const double slow = model.Estimate(t).total_ms;
+  EXPECT_NEAR(slow / fast, 2.0, 0.05);
+}
+
+TEST(TimingModelTest, FixedOverheadAdds) {
+  const TimingModel model(DefaultDevice());
+  TrafficReport t = ComputeBoundReport();
+  const double base = model.Estimate(t).total_ms;
+  t.fixed_overhead_us = 1000.0;
+  EXPECT_NEAR(model.Estimate(t).total_ms, base + 1.0, 1e-6);
+}
+
+TEST(TimingModelTest, BankConflictsSlowSmemBoundKernels) {
+  const TimingModel model(DefaultDevice());
+  TrafficReport t;
+  t.smem_bytes = 1e12;
+  t.simd_flops = 1e9;
+  t.thread_blocks = 4096;
+  t.warps_per_block = 8;
+  t.pipeline_stages = 2;
+  const double base = model.Estimate(t).total_ms;
+  t.bank_conflict_factor = 2.0;
+  EXPECT_GT(model.Estimate(t).total_ms, base * 1.8);
+}
+
+TEST(TimingModelTest, ThroughputInverseOfTime) {
+  const TimingModel model(DefaultDevice());
+  const TrafficReport t = ComputeBoundReport();
+  const double tput = model.ThroughputTflops(2e12, t);
+  const TimingEstimate e = model.Estimate(t);
+  EXPECT_NEAR(tput, 2e12 / (e.total_ms * 1e-3) / 1e12, 1e-9);
+}
+
+TEST(DeviceSpecTest, AllDevicesWellFormed) {
+  for (DeviceModel m : AllDeviceModels()) {
+    const DeviceSpec& d = GetDevice(m);
+    EXPECT_FALSE(d.name.empty());
+    EXPECT_GT(d.sm_count, 0);
+    EXPECT_GT(d.tc_dense_tflops, 0.0);
+    EXPECT_GT(d.dram_bandwidth_gbps, 0.0);
+    EXPECT_GT(d.l2_bytes, 0);
+    EXPECT_TRUE(d.has_sparse_alu());
+  }
+}
+
+TEST(DeviceSpecTest, PaperDeviceContrasts) {
+  const DeviceSpec& s4070 = GetDevice(DeviceModel::kRtx4070Super);
+  const DeviceSpec& a100 = GetDevice(DeviceModel::kA100_40G);
+  const DeviceSpec& r3090 = GetDevice(DeviceModel::kRtx3090);
+  // Table 6: A100 has more SMs but less L2 than the 4070S.
+  EXPECT_GT(a100.sm_count, s4070.sm_count);
+  EXPECT_LT(a100.l2_bytes, s4070.l2_bytes);
+  // Table 6: 3090 has slower tensor cores but more bandwidth.
+  EXPECT_LT(r3090.tc_dense_tflops, s4070.tc_dense_tflops);
+  EXPECT_GT(r3090.dram_bandwidth_gbps, s4070.dram_bandwidth_gbps);
+}
+
+}  // namespace
+}  // namespace samoyeds

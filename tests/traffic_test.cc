@@ -1,0 +1,130 @@
+// Coverage for the TrafficReport combination semantics and remaining
+// simulator corners: phase addition, launch-shape blending, metadata word
+// counts, and profile composition used by the framework layer costs.
+
+#include <gtest/gtest.h>
+
+#include "src/formats/metadata_layout.h"
+#include "src/kernels/dense_gemm.h"
+#include "src/simgpu/timing_model.h"
+#include "src/simgpu/traffic.h"
+#include "src/tensor/rng.h"
+
+namespace samoyeds {
+namespace {
+
+TrafficReport SimpleReport(double bytes, double flops, int warps, int stages) {
+  TrafficReport t;
+  t.gmem_read_bytes = bytes;
+  t.gmem_unique_bytes = bytes;
+  t.mma_flops = flops;
+  t.thread_blocks = 1024;
+  t.warps_per_block = warps;
+  t.pipeline_stages = stages;
+  return t;
+}
+
+TEST(TrafficCombineTest, BytesAndFlopsAdd) {
+  TrafficReport a = SimpleReport(1e9, 1e12, 8, 3);
+  const TrafficReport b = SimpleReport(2e9, 3e12, 8, 3);
+  a += b;
+  EXPECT_DOUBLE_EQ(a.gmem_read_bytes, 3e9);
+  EXPECT_DOUBLE_EQ(a.mma_flops, 4e12);
+  EXPECT_EQ(a.thread_blocks, 2048);
+}
+
+TEST(TrafficCombineTest, LaunchShapeBlendsTowardHeavierPhase) {
+  TrafficReport light = SimpleReport(1e6, 1e9, 4, 1);
+  const TrafficReport heavy = SimpleReport(1e10, 1e13, 8, 3);
+  light += heavy;
+  // The combined launch shape must be dominated by the heavy phase.
+  EXPECT_EQ(light.warps_per_block, 8);
+  EXPECT_EQ(light.pipeline_stages, 3);
+}
+
+TEST(TrafficCombineTest, SparseAluFlagSticks) {
+  TrafficReport a = SimpleReport(1e6, 1e9, 4, 1);
+  TrafficReport b = SimpleReport(1e6, 1e9, 4, 1);
+  b.uses_sparse_alu = true;
+  a += b;
+  EXPECT_TRUE(a.uses_sparse_alu);
+}
+
+TEST(TrafficCombineTest, OverheadAccumulates) {
+  TrafficReport a = SimpleReport(1e6, 1e9, 4, 1);
+  a.fixed_overhead_us = 5.0;
+  TrafficReport b = a;
+  a += b;
+  EXPECT_DOUBLE_EQ(a.fixed_overhead_us, 10.0);
+}
+
+TEST(TrafficCombineTest, PlusOperatorEquivalent) {
+  const TrafficReport a = SimpleReport(1e9, 1e12, 8, 3);
+  const TrafficReport b = SimpleReport(5e8, 2e12, 8, 3);
+  TrafficReport c = a;
+  c += b;
+  const TrafficReport d = a + b;
+  EXPECT_DOUBLE_EQ(c.gmem_read_bytes, d.gmem_read_bytes);
+  EXPECT_DOUBLE_EQ(c.mma_flops, d.mma_flops);
+}
+
+TEST(TrafficCombineTest, CombinedEstimateBetweenSequentialAndParallel) {
+  // Estimating the sum of two phases must never be slower than estimating
+  // them sequentially (the combined launch exposes at least as much
+  // parallelism).
+  const TimingModel model(DefaultDevice());
+  const TrafficReport a = SimpleReport(4e9, 5e12, 8, 3);
+  const TrafficReport b = SimpleReport(1e9, 2e13, 8, 3);
+  const double separate = model.Estimate(a).total_ms + model.Estimate(b).total_ms;
+  const double combined = model.Estimate(a + b).total_ms;
+  EXPECT_LE(combined, separate * 1.01);
+}
+
+// ------------------------------------------------------- metadata words
+
+TEST(MetadataWordsTest, WordCountMatchesPaddedTiles) {
+  Rng rng(1001);
+  Matrix<uint8_t> meta(20, 40);  // pads to 32 x 48
+  for (auto& v : meta.flat()) {
+    v = static_cast<uint8_t>(rng.NextBounded(4));
+  }
+  const auto words = PackMetadata(meta, true);
+  EXPECT_EQ(words.size(), static_cast<size_t>(32 * 48 / 16));
+}
+
+TEST(MetadataWordsTest, ZeroMatrixPacksToZeroWords) {
+  const Matrix<uint8_t> meta(16, 16);
+  for (uint32_t w : PackMetadata(meta, true)) {
+    EXPECT_EQ(w, 0u);
+  }
+}
+
+TEST(MetadataWordsTest, SingleEntryLandsInPredictedWord) {
+  Matrix<uint8_t> meta(16, 16);
+  meta(3, 5) = 3;
+  const auto [dr, dc] = MetadataDeviceLocation(3, 5);
+  const auto words = PackMetadata(meta, true);
+  const int64_t linear = dr * 16 + dc;
+  EXPECT_EQ((words[static_cast<size_t>(linear / 16)] >> (linear % 16 * 2)) & 0x3u, 3u);
+}
+
+// ---------------------------------------------------- profile composition
+
+TEST(ProfileCompositionTest, FourProjectionsCostFourTimesOne) {
+  const GemmShape shape{2048, 2048, 2048};
+  KernelProfile one = DenseGemmKernel::Analyze(shape);
+  TrafficReport four = one.traffic;
+  for (int i = 0; i < 3; ++i) {
+    TrafficReport t = one.traffic;
+    t.fixed_overhead_us = 0.0;
+    four += t;
+  }
+  const TimingModel model(DefaultDevice());
+  const double t1 = model.Estimate(one.traffic).total_ms;
+  const double t4 = model.Estimate(four).total_ms;
+  // Large grids: 4x the work at the same shape is ~4x the time.
+  EXPECT_NEAR(t4 / t1, 4.0, 0.5);
+}
+
+}  // namespace
+}  // namespace samoyeds
