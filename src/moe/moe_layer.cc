@@ -39,12 +39,8 @@ SamoyedsMoeLayerWeights SamoyedsMoeLayerWeights::Encode(const MoeLayerWeights& d
   return w;
 }
 
-namespace {
-
-// Scatter-accumulate expert output rows into the layer output with per-token
-// gate weights (the weighted un-permutation phase of Fig. 5).
-void ScatterAdd(const MatrixF& expert_out, const Selection& sel, const RoutingPlan& plan,
-                int expert_id, MatrixF& out) {
+void MoeScatterAdd(const MatrixF& expert_out, const Selection& sel, const RoutingPlan& plan,
+                   int expert_id, MatrixF& out) {
   for (int64_t i = 0; i < sel.selected(); ++i) {
     const int64_t token = sel.indices[static_cast<size_t>(i)];
     float weight = 0.0f;
@@ -60,8 +56,6 @@ void ScatterAdd(const MatrixF& expert_out, const Selection& sel, const RoutingPl
   }
 }
 
-}  // namespace
-
 MatrixF MoeForwardReference(const MatrixF& x, const MoeLayerWeights& w, const RoutingPlan& plan,
                             Activation act) {
   assert(plan.tokens == x.rows());
@@ -72,7 +66,7 @@ MatrixF MoeForwardReference(const MatrixF& x, const MoeLayerWeights& w, const Ro
       continue;
     }
     const MatrixF expert_out = ExpertForwardDense(x, w.experts[static_cast<size_t>(e)], sel, act);
-    ScatterAdd(expert_out, sel, plan, e, out);
+    MoeScatterAdd(expert_out, sel, plan, e, out);
   }
   // Shared experts process every token with unit weight.
   const Selection all = Selection::All(x.rows());
@@ -98,7 +92,7 @@ MatrixF MoeForwardSamoyeds(const MatrixF& x, const SamoyedsMoeLayerWeights& w,
     }
     const MatrixF expert_out =
         ExpertForwardSamoyeds(x, w.experts[static_cast<size_t>(e)], sel, act);
-    ScatterAdd(expert_out, sel, plan, e, out);
+    MoeScatterAdd(expert_out, sel, plan, e, out);
   }
   const Selection all = Selection::All(x.rows());
   for (const auto& shared : w.shared_experts) {

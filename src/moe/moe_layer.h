@@ -43,6 +43,13 @@ struct SamoyedsMoeLayerWeights {
   static SamoyedsMoeLayerWeights Encode(const MoeLayerWeights& dense, const SamoyedsConfig& cfg);
 };
 
+// Scatter-accumulate one expert's output rows into the layer output with
+// per-token gate weights (the weighted un-permutation phase of Fig. 5).
+// Exposed so alternative executors (e.g. the serving engine's multi-threaded
+// expert pool) can reuse the exact reference accumulation.
+void MoeScatterAdd(const MatrixF& expert_out, const Selection& sel, const RoutingPlan& plan,
+                   int expert_id, MatrixF& out);
+
 // Reference data flow over dense experts, using the supplied routing plan.
 MatrixF MoeForwardReference(const MatrixF& x, const MoeLayerWeights& w, const RoutingPlan& plan,
                             Activation act);

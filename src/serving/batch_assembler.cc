@@ -1,0 +1,51 @@
+#include "src/serving/batch_assembler.h"
+
+#include <cassert>
+
+namespace samoyeds {
+namespace serving {
+
+AssembledBatch BatchAssembler::Assemble(const std::vector<Contribution>& parts, int64_t hidden) {
+  int64_t total = 0;
+  for (const auto& p : parts) {
+    assert(p.source != nullptr && p.row_count >= 1);
+    assert(p.source->cols() == hidden);
+    assert(p.row_begin >= 0 && p.row_begin + p.row_count <= p.source->rows());
+    total += p.row_count;
+  }
+
+  AssembledBatch batch;
+  batch.rows = MatrixF(total, hidden);
+  batch.slices.reserve(parts.size());
+  int64_t at = 0;
+  for (const auto& p : parts) {
+    for (int64_t r = 0; r < p.row_count; ++r) {
+      for (int64_t c = 0; c < hidden; ++c) {
+        batch.rows(at + r, c) = (*p.source)(p.row_begin + r, c);
+      }
+    }
+    batch.slices.push_back(BatchSlice{p.request_id, at, p.row_count, p.row_begin, p.is_prefill});
+    at += p.row_count;
+  }
+  return batch;
+}
+
+std::vector<MatrixF> BatchAssembler::Split(const MatrixF& batch,
+                                           const std::vector<BatchSlice>& slices) {
+  std::vector<MatrixF> out;
+  out.reserve(slices.size());
+  for (const auto& s : slices) {
+    assert(s.row_begin >= 0 && s.row_begin + s.row_count <= batch.rows());
+    MatrixF part(s.row_count, batch.cols());
+    for (int64_t r = 0; r < s.row_count; ++r) {
+      for (int64_t c = 0; c < batch.cols(); ++c) {
+        part(r, c) = batch(s.row_begin + r, c);
+      }
+    }
+    out.push_back(std::move(part));
+  }
+  return out;
+}
+
+}  // namespace serving
+}  // namespace samoyeds

@@ -1,0 +1,59 @@
+// Merges per-request token rows into the single matrix one engine iteration
+// forwards, and splits the forward's output back into per-request spans.
+//
+// The assembled batch is the serving-side analogue of the paper's routed MoE
+// input: the MoE sub-block routes and executes all sequences' tokens in one
+// pass, so each expert's SSMM call sees one SEL array covering the whole
+// iteration (no per-request kernel launches).
+
+#ifndef SAMOYEDS_SRC_SERVING_BATCH_ASSEMBLER_H_
+#define SAMOYEDS_SRC_SERVING_BATCH_ASSEMBLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/tensor/matrix.h"
+
+namespace samoyeds {
+namespace serving {
+
+// Where one request's rows landed in the assembled batch.
+struct BatchSlice {
+  int64_t request_id = 0;
+  int64_t row_begin = 0;       // first row in the batch matrix
+  int64_t row_count = 0;
+  int64_t position_begin = 0;  // sequence position of the first row
+  bool is_prefill = false;
+};
+
+struct AssembledBatch {
+  MatrixF rows;  // (sum of row_count) x hidden
+  std::vector<BatchSlice> slices;
+
+  int64_t total_rows() const { return rows.rows(); }
+};
+
+class BatchAssembler {
+ public:
+  // One request's contribution: rows [row_begin, row_begin + row_count) of
+  // `*source` (the request's input matrix), starting at sequence position
+  // row_begin.
+  struct Contribution {
+    int64_t request_id = 0;
+    const MatrixF* source = nullptr;
+    int64_t row_begin = 0;
+    int64_t row_count = 0;
+    bool is_prefill = false;
+  };
+
+  static AssembledBatch Assemble(const std::vector<Contribution>& parts, int64_t hidden);
+
+  // Splits a batch-shaped matrix (e.g. the iteration's output) back into one
+  // matrix per slice, in slice order.
+  static std::vector<MatrixF> Split(const MatrixF& batch, const std::vector<BatchSlice>& slices);
+};
+
+}  // namespace serving
+}  // namespace samoyeds
+
+#endif  // SAMOYEDS_SRC_SERVING_BATCH_ASSEMBLER_H_

@@ -1,0 +1,238 @@
+#include "src/serving/engine.h"
+
+#include <cassert>
+#include <chrono>
+#include <utility>
+
+#include "src/tensor/bf16.h"
+
+namespace samoyeds {
+namespace serving {
+
+const char* RequestStatusName(RequestStatus s) {
+  switch (s) {
+    case RequestStatus::kQueued:
+      return "queued";
+    case RequestStatus::kRunning:
+      return "running";
+    case RequestStatus::kFinished:
+      return "finished";
+    case RequestStatus::kRejected:
+      return "rejected";
+  }
+  return "?";
+}
+
+ServingEngine::ServingEngine(std::vector<SamoyedsDecoderLayerWeights> layers,
+                             const EngineConfig& config)
+    : layers_(std::move(layers)),
+      config_(config),
+      hidden_(static_cast<int64_t>(layers_.empty() ? 0 : layers_.front().attn_norm_gamma.size())),
+      scheduler_(config.scheduler),
+      pool_(config.threads) {
+  assert(!layers_.empty());
+  assert(hidden_ % config_.heads == 0);
+}
+
+bool ServingEngine::Submit(Request request) {
+  if (!known_ids_.insert(request.id).second) {
+    return false;  // duplicate id: leave the original request's state alone
+  }
+  if (!request.ShapeValid(hidden_)) {
+    results_[request.id].status = RequestStatus::kRejected;
+    metrics_.OnReject(request.id);
+    return false;
+  }
+  queue_.Push(std::move(request));
+  return true;
+}
+
+ResidentSnapshot ServingEngine::Resident() const {
+  ResidentSnapshot snap;
+  snap.sequences = static_cast<int64_t>(running_.size());
+  for (int64_t id : running_) {
+    snap.tokens += sequences_.at(id).request.total_tokens();
+  }
+  return snap;
+}
+
+MatrixF ServingEngine::ForwardBatch(const AssembledBatch& batch,
+                                    std::vector<Sequence*>& seq_of_slice) {
+  MatrixF h = batch.rows;
+  for (size_t layer = 0; layer < layers_.size(); ++layer) {
+    const SamoyedsDecoderLayerWeights& w = layers_[layer];
+
+    // Attention sub-block, per sequence: normed new rows extend the cached
+    // prefix; causal attention over the full prefix yields the new rows'
+    // outputs. Sequences are independent, so they fan out over the pool.
+    MatrixF h1 = h;  // residual base
+    for (size_t s = 0; s < batch.slices.size(); ++s) {
+      const BatchSlice& slice = batch.slices[s];
+      Sequence* seq = seq_of_slice[s];
+      pool_.Submit([this, &h, &h1, &w, slice, seq, layer] {
+        MatrixF x_new(slice.row_count, hidden_);
+        for (int64_t r = 0; r < slice.row_count; ++r) {
+          for (int64_t c = 0; c < hidden_; ++c) {
+            x_new(r, c) = h(slice.row_begin + r, c);
+          }
+        }
+        const MatrixF normed_new = RmsNorm(x_new, w.attn_norm_gamma);
+
+        std::vector<float>& cache = seq->attn_normed[layer];
+        const int64_t prefix = static_cast<int64_t>(cache.size()) / hidden_;
+        MatrixF full(prefix + slice.row_count, hidden_);
+        std::copy(cache.begin(), cache.end(), full.data());
+        std::copy(normed_new.data(), normed_new.data() + normed_new.size(),
+                  full.data() + prefix * hidden_);
+
+        const MatrixF attn = AttentionForward(full, w.attention, config_.heads);
+        for (int64_t r = 0; r < slice.row_count; ++r) {
+          for (int64_t c = 0; c < hidden_; ++c) {
+            h1(slice.row_begin + r, c) += attn(prefix + r, c);
+          }
+        }
+        cache.insert(cache.end(), normed_new.data(), normed_new.data() + normed_new.size());
+      });
+    }
+    pool_.WaitIdle();
+
+    // MoE sub-block, whole batch: one routing plan covers every sequence's
+    // tokens, so each expert runs once per iteration over its SEL slice.
+    MatrixF normed = RmsNorm(h1, w.moe_norm_gamma);
+    RoundMatrixToBf16(normed);
+    const RoutingPlan plan = Route(normed, w.moe.router_gate, config_.top_k);
+    metrics_.OnRoutingPlan(plan);
+    const MatrixF moe_out = ParallelMoeForwardSamoyeds(pool_, normed, w.moe, plan,
+                                                       config_.activation);
+    for (int64_t i = 0; i < h1.size(); ++i) {
+      h1.flat()[static_cast<size_t>(i)] += moe_out.flat()[static_cast<size_t>(i)];
+    }
+    h = std::move(h1);
+  }
+  return h;
+}
+
+bool ServingEngine::Step() {
+  // 1. Ingress: requests whose arrival step has come due join the scheduler.
+  for (Request& r : queue_.DrainArrived(step_)) {
+    metrics_.OnArrival(r.id, step_, r.prompt_len, r.max_new_tokens);
+    scheduler_.Enqueue(std::move(r));
+  }
+
+  // 2. Admission under the iteration token budget and resident-token cap.
+  const int64_t decode_rows = static_cast<int64_t>(running_.size());
+  AdmissionDecision decision = scheduler_.Admit(decode_rows, Resident());
+  for (Request& r : decision.rejected) {
+    results_[r.id].status = RequestStatus::kRejected;
+    metrics_.OnReject(r.id);
+  }
+  for (Request& r : decision.admitted) {
+    const int64_t id = r.id;
+    Sequence seq;
+    seq.request = std::move(r);
+    seq.attn_normed.resize(layers_.size());
+    sequences_.emplace(id, std::move(seq));
+    running_.push_back(id);
+    metrics_.OnAdmit(id, step_);
+  }
+
+  // 3. Assemble the iteration batch: decode rows first, then prefills.
+  std::vector<BatchAssembler::Contribution> parts;
+  std::vector<Sequence*> seq_of_slice;
+  for (int64_t id : running_) {
+    Sequence& seq = sequences_.at(id);
+    const bool is_prefill = seq.consumed == 0;
+    BatchAssembler::Contribution p;
+    p.request_id = id;
+    p.source = &seq.request.inputs;
+    p.row_begin = seq.consumed;
+    p.row_count = is_prefill ? seq.request.prompt_len : 1;
+    p.is_prefill = is_prefill;
+    parts.push_back(p);
+    seq_of_slice.push_back(&seq);
+  }
+
+  if (parts.empty()) {
+    // Idle: fast-forward to the next trace arrival, or report drained.
+    const int64_t next = queue_.NextArrivalStep();
+    if (next < 0) {
+      return false;
+    }
+    step_ = next;
+    return true;
+  }
+
+  const AssembledBatch batch = BatchAssembler::Assemble(parts, hidden_);
+
+  // 4. One forward over the whole batch.
+  const auto t0 = std::chrono::steady_clock::now();
+  const MatrixF out = ForwardBatch(batch, seq_of_slice);
+  const double forward_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+
+  // 5. Scatter outputs back, advance sequences, retire finished ones.
+  StepMetrics sm;
+  sm.step = step_;
+  sm.batch_rows = batch.total_rows();
+  sm.running_sequences = static_cast<int64_t>(running_.size());
+  sm.wall_ms = forward_ms;
+
+  std::vector<int64_t> still_running;
+  for (size_t s = 0; s < batch.slices.size(); ++s) {
+    const BatchSlice& slice = batch.slices[s];
+    Sequence& seq = *seq_of_slice[s];
+    (slice.is_prefill ? sm.prefill_rows : sm.decode_rows) += slice.row_count;
+    for (int64_t r = 0; r < slice.row_count; ++r) {
+      const auto row = out.row(slice.row_begin + r);
+      seq.out_rows.insert(seq.out_rows.end(), row.begin(), row.end());
+    }
+    seq.consumed += slice.row_count;
+    if (slice.is_prefill) {
+      metrics_.OnFirstOutput(slice.request_id, step_);
+    }
+    if (seq.consumed == seq.request.total_tokens()) {
+      RequestResult& result = results_[slice.request_id];
+      result.status = RequestStatus::kFinished;
+      result.outputs =
+          MatrixF::FromRowMajor(seq.consumed, hidden_, std::move(seq.out_rows));
+      metrics_.OnFinish(slice.request_id, step_);
+      sequences_.erase(slice.request_id);
+    } else {
+      still_running.push_back(slice.request_id);
+    }
+  }
+  running_ = std::move(still_running);
+
+  metrics_.OnStep(sm);
+  ++step_;
+  return true;
+}
+
+int64_t ServingEngine::RunUntilDrained(int64_t max_steps) {
+  int64_t iterations = 0;
+  while (Step()) {
+    ++iterations;
+    if (max_steps > 0 && iterations >= max_steps) {
+      break;
+    }
+  }
+  return iterations;
+}
+
+RequestStatus ServingEngine::Status(int64_t id) const {
+  if (auto it = results_.find(id); it != results_.end()) {
+    return it->second.status;
+  }
+  if (sequences_.count(id) != 0) {
+    return RequestStatus::kRunning;
+  }
+  return RequestStatus::kQueued;
+}
+
+const RequestResult* ServingEngine::Result(int64_t id) const {
+  const auto it = results_.find(id);
+  return it == results_.end() ? nullptr : &it->second;
+}
+
+}  // namespace serving
+}  // namespace samoyeds

@@ -1,0 +1,122 @@
+// Continuous-batching serving engine over the Samoyeds decoder path.
+//
+// One Step() is one iteration of Orca-style iteration-level scheduling:
+//
+//   1. Drain arrived requests from the ingress RequestQueue into the
+//      Scheduler, which admits new sequences under the token budget and the
+//      memory-model-driven resident-token cap.
+//   2. Assemble one batch: one decode row per resident sequence plus the
+//      full prompt of each newly admitted sequence (prefill).
+//   3. Forward the batch through the decoder stack. Attention runs
+//      per-sequence against a per-layer cache of that sequence's normed
+//      prefix rows (causal, so cached rows never change); the MoE sub-block
+//      routes the *whole* batch in one RoutingPlan and executes experts on
+//      the multi-threaded ExpertPool.
+//   4. Split outputs back per sequence, retire finished ones.
+//
+// The incremental path computes exactly the rows a full-sequence
+// DecoderStackForwardSamoyeds would: causality guarantees earlier positions'
+// hidden states never change, so caching them is lossless. Tests compare
+// against DecoderStackForwardReference at bf16 tolerance.
+
+#ifndef SAMOYEDS_SRC_SERVING_ENGINE_H_
+#define SAMOYEDS_SRC_SERVING_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/moe/decoder_layer.h"
+#include "src/serving/batch_assembler.h"
+#include "src/serving/expert_pool.h"
+#include "src/serving/metrics.h"
+#include "src/serving/request.h"
+#include "src/serving/request_queue.h"
+#include "src/serving/scheduler.h"
+
+namespace samoyeds {
+namespace serving {
+
+struct EngineConfig {
+  int heads = 4;
+  int top_k = 2;
+  Activation activation = Activation::kSilu;
+  int threads = 4;  // expert pool size; <= 1 runs experts inline
+  SchedulerConfig scheduler;
+};
+
+struct RequestResult {
+  RequestStatus status = RequestStatus::kQueued;
+  // One output row per consumed input position (total_tokens x hidden for a
+  // finished request). Row prompt_len - 1 is the "first token" hidden state;
+  // later rows are the decode outputs.
+  MatrixF outputs;
+};
+
+class ServingEngine {
+ public:
+  ServingEngine(std::vector<SamoyedsDecoderLayerWeights> layers, const EngineConfig& config);
+
+  int64_t hidden() const { return hidden_; }
+  const EngineConfig& config() const { return config_; }
+
+  // Validates and enqueues; returns false (and records a rejection) on a
+  // malformed request, or false with no state change on a duplicate id.
+  // Not thread-safe: call from the engine thread only.
+  bool Submit(Request request);
+
+  // Runs one iteration. Returns false when there was nothing to do and
+  // nothing is pending (engine fully drained).
+  bool Step();
+
+  // Steps until drained; returns the number of iterations run. `max_steps`
+  // bounds runaway loops (0 = no bound).
+  int64_t RunUntilDrained(int64_t max_steps = 0);
+
+  RequestStatus Status(int64_t id) const;
+  // Result for a finished or rejected request; nullptr otherwise.
+  const RequestResult* Result(int64_t id) const;
+
+  int64_t current_step() const { return step_; }
+  int64_t resident_sequences() const { return static_cast<int64_t>(running_.size()); }
+  int64_t queued() const { return queue_.size() + scheduler_.pending(); }
+
+  const EngineMetrics& metrics() const { return metrics_; }
+  ServingReport Report() const { return metrics_.Summarize(config_.scheduler.token_budget); }
+
+ private:
+  struct Sequence {
+    Request request;
+    int64_t consumed = 0;  // input rows consumed so far
+    // Per layer: this sequence's attention-normed input rows so far
+    // (row-major, consumed x hidden) — the functional stand-in for a KV
+    // cache (K/V are recomputed from the cached normed rows each step).
+    std::vector<std::vector<float>> attn_normed;
+    std::vector<float> out_rows;  // produced output rows, row-major
+  };
+
+  ResidentSnapshot Resident() const;
+  // Forwards the assembled batch through all layers; returns final hidden rows.
+  MatrixF ForwardBatch(const AssembledBatch& batch, std::vector<Sequence*>& seq_of_slice);
+
+  const std::vector<SamoyedsDecoderLayerWeights> layers_;
+  const EngineConfig config_;
+  const int64_t hidden_;
+
+  RequestQueue queue_;
+  Scheduler scheduler_;
+  ExpertPool pool_;
+  EngineMetrics metrics_;
+
+  int64_t step_ = 0;
+  std::set<int64_t> known_ids_;   // every id ever submitted (duplicate guard)
+  std::vector<int64_t> running_;  // resident sequence ids, admission order
+  std::map<int64_t, Sequence> sequences_;
+  std::map<int64_t, RequestResult> results_;
+};
+
+}  // namespace serving
+}  // namespace samoyeds
+
+#endif  // SAMOYEDS_SRC_SERVING_ENGINE_H_

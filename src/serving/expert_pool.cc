@@ -1,0 +1,125 @@
+#include "src/serving/expert_pool.h"
+
+#include <cassert>
+#include <utility>
+
+#include "src/moe/expert.h"
+
+namespace samoyeds {
+namespace serving {
+
+ExpertPool::ExpertPool(int threads) {
+  if (threads <= 1) {
+    return;  // inline mode
+  }
+  workers_.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ExpertPool::~ExpertPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+void ExpertPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_ready_.notify_one();
+}
+
+void ExpertPool::WaitIdle() {
+  if (workers_.empty()) {
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ExpertPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        return;  // stopping and drained
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) {
+        idle_.notify_all();
+      }
+    }
+  }
+}
+
+MatrixF ParallelMoeForwardSamoyeds(ExpertPool& pool, const MatrixF& x,
+                                   const SamoyedsMoeLayerWeights& w, const RoutingPlan& plan,
+                                   Activation act) {
+  assert(plan.tokens == x.rows());
+  const size_t num_experts = w.experts.size();
+  const size_t num_shared = w.shared_experts.size();
+
+  // Each task writes only its own slot; no synchronization beyond WaitIdle.
+  std::vector<MatrixF> expert_out(num_experts);
+  std::vector<Selection> expert_sel(num_experts);
+  std::vector<MatrixF> shared_out(num_shared);
+
+  for (size_t e = 0; e < num_experts; ++e) {
+    const Selection sel = plan.SelectionForExpert(static_cast<int>(e));
+    if (sel.selected() == 0) {
+      continue;
+    }
+    expert_sel[e] = sel;
+    pool.Submit([&x, &w, &expert_out, &expert_sel, act, e] {
+      expert_out[e] =
+          ExpertForwardSamoyeds(x, w.experts[e], expert_sel[e], act);
+    });
+  }
+  const Selection all = Selection::All(x.rows());
+  for (size_t s = 0; s < num_shared; ++s) {
+    pool.Submit([&x, &w, &shared_out, &all, act, s] {
+      shared_out[s] = ExpertForwardSamoyeds(x, w.shared_experts[s], all, act);
+    });
+  }
+  pool.WaitIdle();
+
+  // Fixed-order accumulation keeps the result independent of thread timing.
+  MatrixF out(x.rows(), x.cols());
+  for (size_t e = 0; e < num_experts; ++e) {
+    if (expert_out[e].empty()) {
+      continue;
+    }
+    MoeScatterAdd(expert_out[e], expert_sel[e], plan, static_cast<int>(e), out);
+  }
+  for (size_t s = 0; s < num_shared; ++s) {
+    for (int64_t r = 0; r < out.rows(); ++r) {
+      for (int64_t c = 0; c < out.cols(); ++c) {
+        out(r, c) += shared_out[s](r, c);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace serving
+}  // namespace samoyeds

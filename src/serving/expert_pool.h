@@ -1,0 +1,64 @@
+// Multi-threaded expert execution pool.
+//
+// Independent experts in one MoE layer share no state: each reads its own
+// Samoyeds-encoded weights and a disjoint SEL-selected slice of the
+// activation matrix. ParallelMoeForwardSamoyeds exploits that by fanning the
+// per-expert SamoyedsKernel::RunLinear pipelines out over a fixed worker
+// pool, then folding the per-expert outputs back in a fixed expert order —
+// so results are bit-identical regardless of thread count or completion
+// order (see ServingTest.ThreadPoolDeterminism).
+
+#ifndef SAMOYEDS_SRC_SERVING_EXPERT_POOL_H_
+#define SAMOYEDS_SRC_SERVING_EXPERT_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/moe/moe_layer.h"
+
+namespace samoyeds {
+namespace serving {
+
+class ExpertPool {
+ public:
+  // threads <= 1 runs every task inline on the caller (no workers spawned).
+  explicit ExpertPool(int threads);
+  ~ExpertPool();
+
+  ExpertPool(const ExpertPool&) = delete;
+  ExpertPool& operator=(const ExpertPool&) = delete;
+
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished. Tasks must not Submit.
+  void WaitIdle();
+
+  int threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> tasks_;
+  int64_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// MoeForwardSamoyeds with per-expert execution fanned out over `pool`.
+// Bit-identical to the sequential MoeForwardSamoyeds.
+MatrixF ParallelMoeForwardSamoyeds(ExpertPool& pool, const MatrixF& x,
+                                   const SamoyedsMoeLayerWeights& w, const RoutingPlan& plan,
+                                   Activation act);
+
+}  // namespace serving
+}  // namespace samoyeds
+
+#endif  // SAMOYEDS_SRC_SERVING_EXPERT_POOL_H_

@@ -1,0 +1,125 @@
+#include "src/serving/metrics.h"
+
+#include <algorithm>
+
+namespace samoyeds {
+namespace serving {
+
+void EngineMetrics::OnArrival(int64_t id, int64_t step, int64_t prompt_len, int64_t new_tokens) {
+  RequestMetrics& r = requests_[id];
+  r.prompt_len = prompt_len;
+  r.new_tokens = new_tokens;
+  r.arrival_step = step;
+  r.arrival_ms = NowMs();
+}
+
+void EngineMetrics::OnAdmit(int64_t id, int64_t step) { requests_[id].admit_step = step; }
+
+void EngineMetrics::OnReject(int64_t id) {
+  requests_.erase(id);
+  ++rejected_;
+}
+
+void EngineMetrics::OnFirstOutput(int64_t id, int64_t step) {
+  RequestMetrics& r = requests_[id];
+  r.first_output_step = step;
+  r.first_output_ms = NowMs();
+}
+
+void EngineMetrics::OnFinish(int64_t id, int64_t step) {
+  RequestMetrics& r = requests_[id];
+  r.finish_step = step;
+  r.finish_ms = NowMs();
+}
+
+void EngineMetrics::OnStep(const StepMetrics& step) { steps_.push_back(step); }
+
+void EngineMetrics::OnRoutingPlan(const RoutingPlan& plan) {
+  if (static_cast<int>(expert_tokens_.size()) < plan.num_experts) {
+    expert_tokens_.resize(static_cast<size_t>(plan.num_experts));
+  }
+  for (int e = 0; e < plan.num_experts; ++e) {
+    expert_tokens_[static_cast<size_t>(e)] += plan.TokensForExpert(e);
+  }
+}
+
+ServingReport EngineMetrics::Summarize(int64_t token_budget) const {
+  ServingReport rep;
+  rep.requests_rejected = rejected_;
+  rep.steps = static_cast<int64_t>(steps_.size());
+  rep.expert_tokens = expert_tokens_;
+
+  double ttft_steps = 0.0;
+  double ttft_ms = 0.0;
+  for (const auto& [id, r] : requests_) {
+    if (r.finish_step < 0) {
+      continue;  // still in flight (or never admitted)
+    }
+    ++rep.requests_finished;
+    ttft_steps += static_cast<double>(r.first_output_step - r.arrival_step + 1);
+    ttft_ms += r.first_output_ms - r.arrival_ms;
+  }
+  if (rep.requests_finished > 0) {
+    rep.mean_ttft_steps = ttft_steps / static_cast<double>(rep.requests_finished);
+    rep.mean_ttft_ms = ttft_ms / static_cast<double>(rep.requests_finished);
+  }
+
+  int64_t rows = 0;
+  for (const auto& s : steps_) {
+    rep.prefill_rows += s.prefill_rows;
+    rep.decode_rows += s.decode_rows;
+    rows += s.batch_rows;
+    rep.peak_batch_rows = std::max(rep.peak_batch_rows, s.batch_rows);
+    rep.peak_sequences = std::max(rep.peak_sequences, s.running_sequences);
+    rep.wall_ms += s.wall_ms;
+  }
+  if (rep.steps > 0) {
+    rep.mean_step_ms = rep.wall_ms / static_cast<double>(rep.steps);
+    rep.mean_batch_rows = static_cast<double>(rows) / static_cast<double>(rep.steps);
+    if (token_budget > 0) {
+      rep.mean_occupancy = rep.mean_batch_rows / static_cast<double>(token_budget);
+    }
+  }
+  if (rep.wall_ms > 0.0) {
+    rep.tokens_per_second = static_cast<double>(rows) / (rep.wall_ms * 1e-3);
+  }
+
+  int64_t expert_sum = 0;
+  int64_t expert_max = 0;
+  for (int64_t t : expert_tokens_) {
+    expert_sum += t;
+    expert_max = std::max(expert_max, t);
+  }
+  if (expert_sum > 0 && !expert_tokens_.empty()) {
+    const double mean =
+        static_cast<double>(expert_sum) / static_cast<double>(expert_tokens_.size());
+    rep.expert_imbalance = static_cast<double>(expert_max) / mean;
+  }
+  return rep;
+}
+
+void EngineMetrics::Print(const ServingReport& rep, std::FILE* out) {
+  std::fprintf(out, "requests: %lld finished, %lld rejected\n",
+               static_cast<long long>(rep.requests_finished),
+               static_cast<long long>(rep.requests_rejected));
+  std::fprintf(out, "steps: %lld (%lld prefill rows, %lld decode rows)\n",
+               static_cast<long long>(rep.steps), static_cast<long long>(rep.prefill_rows),
+               static_cast<long long>(rep.decode_rows));
+  std::fprintf(out, "latency: TTFT %.1f steps / %.2f ms, %.3f ms per step\n",
+               rep.mean_ttft_steps, rep.mean_ttft_ms, rep.mean_step_ms);
+  std::fprintf(out, "throughput: %.1f tokens/s over %.2f ms of forward time\n",
+               rep.tokens_per_second, rep.wall_ms);
+  std::fprintf(out, "batch: mean %.1f rows (%.0f%% of budget), peak %lld rows, "
+               "peak concurrency %lld sequences\n",
+               rep.mean_batch_rows, 100.0 * rep.mean_occupancy,
+               static_cast<long long>(rep.peak_batch_rows),
+               static_cast<long long>(rep.peak_sequences));
+  std::fprintf(out, "expert load (tokens/expert, imbalance %.2fx):", rep.expert_imbalance);
+  for (int64_t t : rep.expert_tokens) {
+    std::fprintf(out, " %lld", static_cast<long long>(t));
+  }
+  std::fprintf(out, "\n");
+}
+
+}  // namespace serving
+}  // namespace samoyeds

@@ -1,0 +1,97 @@
+// Serving metrics collector: request latency (TTFT, per-output-token),
+// throughput, batch occupancy, and per-expert routed-token load.
+//
+// Latencies are tracked both in engine steps (deterministic, what tests
+// assert on) and wall-clock milliseconds (what the CLI and bench report).
+
+#ifndef SAMOYEDS_SRC_SERVING_METRICS_H_
+#define SAMOYEDS_SRC_SERVING_METRICS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "src/moe/router.h"
+
+namespace samoyeds {
+namespace serving {
+
+struct RequestMetrics {
+  int64_t prompt_len = 0;
+  int64_t new_tokens = 0;
+  int64_t arrival_step = -1;
+  int64_t admit_step = -1;
+  int64_t first_output_step = -1;  // prefill completed: first token ready
+  int64_t finish_step = -1;
+  double arrival_ms = 0.0;
+  double first_output_ms = 0.0;
+  double finish_ms = 0.0;
+};
+
+struct StepMetrics {
+  int64_t step = 0;
+  int64_t batch_rows = 0;
+  int64_t prefill_rows = 0;
+  int64_t decode_rows = 0;
+  int64_t running_sequences = 0;
+  double wall_ms = 0.0;  // forward duration
+};
+
+// Aggregates over one engine run.
+struct ServingReport {
+  int64_t requests_finished = 0;
+  int64_t requests_rejected = 0;
+  int64_t steps = 0;
+  int64_t prefill_rows = 0;
+  int64_t decode_rows = 0;
+  double wall_ms = 0.0;
+  double mean_ttft_steps = 0.0;
+  double mean_ttft_ms = 0.0;
+  double mean_step_ms = 0.0;
+  double tokens_per_second = 0.0;       // (prefill + decode rows) / wall time
+  double mean_batch_rows = 0.0;
+  double mean_occupancy = 0.0;          // batch rows / token budget
+  int64_t peak_batch_rows = 0;
+  int64_t peak_sequences = 0;           // max concurrently resident sequences
+  std::vector<int64_t> expert_tokens;   // routed tokens per expert, all layers
+  double expert_imbalance = 0.0;        // max / mean of expert_tokens
+};
+
+class EngineMetrics {
+ public:
+  EngineMetrics() : start_(Clock::now()) {}
+
+  void OnArrival(int64_t id, int64_t step, int64_t prompt_len, int64_t new_tokens);
+  void OnAdmit(int64_t id, int64_t step);
+  void OnReject(int64_t id);
+  void OnFirstOutput(int64_t id, int64_t step);
+  void OnFinish(int64_t id, int64_t step);
+  void OnStep(const StepMetrics& step);
+  // Accumulates one routed layer's per-expert token counts.
+  void OnRoutingPlan(const RoutingPlan& plan);
+
+  const std::vector<StepMetrics>& steps() const { return steps_; }
+  const std::map<int64_t, RequestMetrics>& requests() const { return requests_; }
+
+  ServingReport Summarize(int64_t token_budget) const;
+  static void Print(const ServingReport& report, std::FILE* out);
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  double NowMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_).count();
+  }
+
+  Clock::time_point start_;
+  std::map<int64_t, RequestMetrics> requests_;
+  std::vector<StepMetrics> steps_;
+  std::vector<int64_t> expert_tokens_;
+  int64_t rejected_ = 0;
+};
+
+}  // namespace serving
+}  // namespace samoyeds
+
+#endif  // SAMOYEDS_SRC_SERVING_METRICS_H_

@@ -1,0 +1,48 @@
+// Inference request and sequence lifecycle types for the serving engine.
+//
+// The reproduction has no tokenizer/vocabulary: a request carries its input
+// token *embeddings* directly (prompt rows plus the rows consumed one per
+// decode step — a teacher-forced synthetic workload). This keeps generation
+// deterministic and lets tests compare the engine's incremental, batched
+// execution against a single full-sequence DecoderStackForward* call.
+
+#ifndef SAMOYEDS_SRC_SERVING_REQUEST_H_
+#define SAMOYEDS_SRC_SERVING_REQUEST_H_
+
+#include <cstdint>
+
+#include "src/tensor/matrix.h"
+
+namespace samoyeds {
+namespace serving {
+
+struct Request {
+  int64_t id = 0;
+  // Engine step at which the request becomes visible to the scheduler.
+  int64_t arrival_step = 0;
+  int64_t prompt_len = 0;
+  int64_t max_new_tokens = 0;
+  // (prompt_len + max_new_tokens) x hidden input rows; the prompt is consumed
+  // in one prefill iteration, then one row per decode iteration.
+  MatrixF inputs;
+
+  int64_t total_tokens() const { return prompt_len + max_new_tokens; }
+  bool ShapeValid(int64_t hidden) const {
+    return prompt_len >= 1 && max_new_tokens >= 0 && inputs.cols() == hidden &&
+           inputs.rows() == total_tokens();
+  }
+};
+
+enum class RequestStatus {
+  kQueued,    // accepted, waiting for scheduler admission
+  kRunning,   // resident in the batch
+  kFinished,  // all tokens produced
+  kRejected,  // can never fit (admission control)
+};
+
+const char* RequestStatusName(RequestStatus s);
+
+}  // namespace serving
+}  // namespace samoyeds
+
+#endif  // SAMOYEDS_SRC_SERVING_REQUEST_H_

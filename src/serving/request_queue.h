@@ -1,0 +1,48 @@
+// Ingress queue between request producers (trace replay, RPC front end in a
+// real deployment) and the engine's scheduling loop.
+//
+// The engine drains the queue at the start of each iteration with
+// DrainArrived(), which releases only the requests whose arrival_step has
+// come due — replaying a trace therefore needs no producer thread. The queue
+// itself is mutex-guarded for future multi-threaded front ends, but note
+// that ServingEngine::Submit (the validating entry point) is engine-thread
+// only; a concurrent producer would have to hand requests to the engine
+// thread first.
+
+#ifndef SAMOYEDS_SRC_SERVING_REQUEST_QUEUE_H_
+#define SAMOYEDS_SRC_SERVING_REQUEST_QUEUE_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "src/serving/request.h"
+
+namespace samoyeds {
+namespace serving {
+
+class RequestQueue {
+ public:
+  void Push(Request request);
+
+  // Removes and returns (in arrival order) every queued request with
+  // arrival_step <= step.
+  std::vector<Request> DrainArrived(int64_t step);
+
+  int64_t size() const;
+  bool empty() const { return size() == 0; }
+
+  // Earliest arrival_step still queued, or -1 when empty. Lets the engine
+  // fast-forward idle steps during trace replay.
+  int64_t NextArrivalStep() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<Request> queue_;
+};
+
+}  // namespace serving
+}  // namespace samoyeds
+
+#endif  // SAMOYEDS_SRC_SERVING_REQUEST_QUEUE_H_

@@ -1,0 +1,98 @@
+#include "src/serving/scheduler.h"
+
+#include <algorithm>
+
+namespace samoyeds {
+namespace serving {
+
+const char* SchedulerPolicyName(SchedulerPolicy p) {
+  switch (p) {
+    case SchedulerPolicy::kFcfs:
+      return "fcfs";
+    case SchedulerPolicy::kSmallestFirst:
+      return "smallest-first";
+    case SchedulerPolicy::kTokenBudget:
+      return "token-budget";
+  }
+  return "?";
+}
+
+int64_t TokenCapacity(const MoeModelConfig& model, MoeFramework framework,
+                      const SamoyedsConfig& sparse_format, const DeviceSpec& device) {
+  const MemoryFootprint fp = EstimateFootprint(model, framework, sparse_format, device);
+  const double free_bytes = fp.capacity_bytes - fp.weight_bytes - fp.fixed_bytes;
+  if (free_bytes <= 0.0 || fp.bytes_per_token <= 0.0) {
+    return 0;
+  }
+  return static_cast<int64_t>(free_bytes / fp.bytes_per_token);
+}
+
+void Scheduler::Enqueue(Request request) { pending_.push_back(std::move(request)); }
+
+bool Scheduler::Infeasible(const Request& r) const {
+  return r.total_tokens() > config_.max_resident_tokens ||
+         r.prompt_len > config_.token_budget;
+}
+
+AdmissionDecision Scheduler::Admit(int64_t decode_rows, const ResidentSnapshot& resident) {
+  AdmissionDecision decision;
+
+  // Infeasible requests are filtered first so they never block a queue scan.
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (Infeasible(*it)) {
+      decision.rejected.push_back(std::move(*it));
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Candidate scan order differs per policy; the fit test is shared.
+  std::vector<size_t> order(pending_.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  if (config_.policy == SchedulerPolicy::kSmallestFirst) {
+    std::stable_sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+      return pending_[a].total_tokens() < pending_[b].total_tokens();
+    });
+  }
+
+  int64_t batch_rows = decode_rows;
+  int64_t tokens = resident.tokens;
+  int64_t sequences = resident.sequences;
+  std::vector<bool> taken(pending_.size(), false);
+  for (size_t idx : order) {
+    const Request& r = pending_[idx];
+    const bool fits =
+        batch_rows + r.prompt_len <= config_.token_budget &&
+        tokens + r.total_tokens() <= config_.max_resident_tokens &&
+        (config_.max_resident_sequences == 0 ||
+         sequences + 1 <= config_.max_resident_sequences);
+    if (!fits) {
+      if (config_.policy == SchedulerPolicy::kFcfs) {
+        break;  // strict head-of-line: nobody overtakes the blocked head
+      }
+      continue;  // smallest-first / token-budget: try the next candidate
+    }
+    batch_rows += r.prompt_len;
+    tokens += r.total_tokens();
+    ++sequences;
+    taken[idx] = true;
+  }
+
+  // Preserve arrival order within the admitted set.
+  std::deque<Request> remaining;
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    if (taken[i]) {
+      decision.admitted.push_back(std::move(pending_[i]));
+    } else {
+      remaining.push_back(std::move(pending_[i]));
+    }
+  }
+  pending_ = std::move(remaining);
+  return decision;
+}
+
+}  // namespace serving
+}  // namespace samoyeds

@@ -1,0 +1,90 @@
+// Iteration-level scheduler and admission control for the serving engine.
+//
+// Every engine iteration runs one forward over a batch that mixes decode
+// rows (one per resident sequence) with the prompt rows of newly admitted
+// requests — Orca-style continuous batching. The scheduler decides which
+// queued requests join the batch this iteration, under two resources:
+//
+//   * token_budget — the maximum rows a single iteration may carry (the
+//     compute-side batch cap; decode rows are committed first).
+//   * max_resident_tokens — the memory-side cap on the total footprint of
+//     resident sequences (prompt + generated KV slots), derived from the
+//     Table-3 memory model via TokenCapacity().
+//
+// Requests that can never satisfy these caps are rejected outright rather
+// than queued forever.
+
+#ifndef SAMOYEDS_SRC_SERVING_SCHEDULER_H_
+#define SAMOYEDS_SRC_SERVING_SCHEDULER_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/moe/memory_model.h"
+#include "src/serving/request.h"
+
+namespace samoyeds {
+namespace serving {
+
+enum class SchedulerPolicy {
+  kFcfs,           // arrival order, strict head-of-line (no overtaking)
+  kSmallestFirst,  // shortest total length first (minimizes mean wait)
+  kTokenBudget,    // arrival order, but later requests may fill leftover budget
+};
+
+const char* SchedulerPolicyName(SchedulerPolicy p);
+
+struct SchedulerConfig {
+  SchedulerPolicy policy = SchedulerPolicy::kFcfs;
+  // Max rows per iteration (prefill + decode). Prompts longer than this are
+  // rejected (chunked prefill is follow-on work, see ROADMAP).
+  int64_t token_budget = 256;
+  // Max resident prompt+generation tokens across all running sequences.
+  int64_t max_resident_tokens = 1 << 20;
+  // 0 = unlimited.
+  int64_t max_resident_sequences = 0;
+};
+
+// Memory-model-driven admission cap: how many resident tokens fit on
+// `device` next to one decoder layer's weights under `framework` storage.
+// Returns 0 when even the weights do not fit.
+int64_t TokenCapacity(const MoeModelConfig& model, MoeFramework framework,
+                      const SamoyedsConfig& sparse_format, const DeviceSpec& device);
+
+// Current engine occupancy, input to the admission decision.
+struct ResidentSnapshot {
+  int64_t sequences = 0;
+  int64_t tokens = 0;  // sum of total_tokens() over resident sequences
+};
+
+struct AdmissionDecision {
+  std::vector<Request> admitted;  // join the batch this iteration
+  std::vector<Request> rejected;  // can never fit under the config
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(const SchedulerConfig& config) : config_(config) {}
+
+  void Enqueue(Request request);
+
+  // Decides admissions for the iteration whose resident sequences will
+  // contribute `decode_rows` rows. Admitted requests are removed from the
+  // pending list; infeasible ones are returned as rejected.
+  AdmissionDecision Admit(int64_t decode_rows, const ResidentSnapshot& resident);
+
+  int64_t pending() const { return static_cast<int64_t>(pending_.size()); }
+  const SchedulerConfig& config() const { return config_; }
+
+ private:
+  bool Infeasible(const Request& r) const;
+
+  SchedulerConfig config_;
+  std::deque<Request> pending_;  // arrival order
+};
+
+}  // namespace serving
+}  // namespace samoyeds
+
+#endif  // SAMOYEDS_SRC_SERVING_SCHEDULER_H_

@@ -1,0 +1,84 @@
+#include "src/serving/trace.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/tensor/bf16.h"
+
+namespace samoyeds {
+namespace serving {
+
+std::vector<TraceEntry> ParseTraceFile(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open trace file: " + path;
+    return {};
+  }
+  std::vector<TraceEntry> entries;
+  std::string line;
+  int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.resize(hash);
+    }
+    if (line.find_first_not_of(" \t\r") == std::string::npos) {
+      continue;  // blank / comment-only line
+    }
+    std::istringstream fields(line);
+    TraceEntry e;
+    std::string trailing;
+    if (!(fields >> e.arrival_step >> e.prompt_len >> e.max_new_tokens) || (fields >> trailing) ||
+        e.arrival_step < 0 || e.prompt_len < 1 || e.max_new_tokens < 0) {
+      *error = path + ":" + std::to_string(line_no) +
+               ": expected '<arrival_step> <prompt_len> <max_new_tokens>'";
+      return {};
+    }
+    entries.push_back(e);
+  }
+  if (entries.empty()) {
+    *error = "trace file has no requests: " + path;
+  }
+  return entries;
+}
+
+std::vector<TraceEntry> SyntheticTrace(Rng& rng, int count, double arrivals_per_step,
+                                       int64_t prompt_lo, int64_t prompt_hi, int64_t decode_lo,
+                                       int64_t decode_hi) {
+  assert(prompt_lo >= 1 && prompt_hi >= prompt_lo);
+  assert(decode_lo >= 0 && decode_hi >= decode_lo);
+  std::vector<TraceEntry> entries;
+  entries.reserve(static_cast<size_t>(count));
+  int64_t step = 0;
+  for (int i = 0; i < count; ++i) {
+    TraceEntry e;
+    e.arrival_step = step;
+    e.prompt_len = prompt_lo + rng.NextIndex(prompt_hi - prompt_lo + 1);
+    e.max_new_tokens = decode_lo + rng.NextIndex(decode_hi - decode_lo + 1);
+    entries.push_back(e);
+    if (arrivals_per_step > 0.0) {
+      // Geometric inter-arrival with mean 1/rate (discrete Poisson process).
+      const double u = std::max(rng.NextDouble(), 1e-12);
+      step += static_cast<int64_t>(std::floor(-std::log(u) / arrivals_per_step));
+    }
+  }
+  return entries;
+}
+
+Request MakeRequest(Rng& rng, int64_t id, const TraceEntry& entry, int64_t hidden) {
+  Request r;
+  r.id = id;
+  r.arrival_step = entry.arrival_step;
+  r.prompt_len = entry.prompt_len;
+  r.max_new_tokens = entry.max_new_tokens;
+  r.inputs = rng.GaussianMatrix(entry.prompt_len + entry.max_new_tokens, hidden, 0.5f);
+  RoundMatrixToBf16(r.inputs);
+  return r;
+}
+
+}  // namespace serving
+}  // namespace samoyeds

@@ -1,18 +1,13 @@
-// samoyeds_cli — command-line front end to the library and the performance
-// simulator.
-//
-// Usage:
-//   samoyeds_cli devices
-//   samoyeds_cli analyze <m> <k> <n> [selected] [device-index]
-//   samoyeds_cli autotune <m> <k> <n> [device-index]
-//   samoyeds_cli maxbatch
-//   samoyeds_cli moe <model-name> <tokens>
-//   samoyeds_cli encode <rows> <cols> <N> <M> <V>   (random matrix demo)
+// samoyeds_cli — command-line front end to the library, the performance
+// simulator, and the continuous-batching serving engine.
 
+#include <cerrno>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "src/core/autotune.h"
 #include "src/core/samoyeds_kernel.h"
@@ -25,11 +20,65 @@
 #include "src/kernels/venom_spmm.h"
 #include "src/moe/memory_model.h"
 #include "src/moe/model_configs.h"
+#include "src/serving/engine.h"
+#include "src/serving/trace.h"
 #include "src/simgpu/timing_model.h"
 #include "src/tensor/rng.h"
 
 namespace samoyeds {
 namespace {
+
+void PrintUsage(std::FILE* out) {
+  std::fputs(
+      "usage: samoyeds_cli <command> ...\n"
+      "\n"
+      "commands:\n"
+      "  devices                                    list simulated GPU targets\n"
+      "  analyze <m> <k> <n> [selected] [device]    per-kernel time/throughput estimate\n"
+      "  autotune <m> <k> <n> [device]              SSMM tile-config search\n"
+      "  maxbatch                                   Table 3 max-batch accounting\n"
+      "  moe <model-name> <tokens>                  per-framework MoE layer cost\n"
+      "  encode <rows> <cols> <N> <M> <V>           random-matrix encoding demo\n"
+      "  serve <model|tiny> <trace|synthetic:N>     continuous-batching serving engine\n"
+      "        [--policy=fcfs|smallest-first|token-budget] [--budget=N]\n"
+      "        [--max-resident=N] [--threads=N] [--layers=N] [--hidden=N]\n"
+      "        [--inter=N] [--experts=N] [--top-k=N] [--heads=N] [--rate=R]\n"
+      "        [--prompt-min=N] [--prompt-max=N] [--decode-min=N] [--decode-max=N]\n"
+      "        [--seed=N]\n",
+      out);
+}
+
+// Strict numeric parsing: the whole argument must be a number. atoll-style
+// silent zeros for garbage input hide operator typos.
+int64_t ParseI64(const char* s, const char* what) {
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "invalid %s: '%s' (expected an integer)\n", what, s);
+    std::exit(2);
+  }
+  return static_cast<int64_t>(v);
+}
+
+int ParseInt(const char* s, const char* what) {
+  const int64_t v = ParseI64(s, what);
+  if (v < INT_MIN || v > INT_MAX) {
+    std::fprintf(stderr, "invalid %s: '%s' (out of int range)\n", what, s);
+    std::exit(2);
+  }
+  return static_cast<int>(v);
+}
+
+double ParseDouble(const char* s, const char* what) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0') {
+    std::fprintf(stderr, "invalid %s: '%s' (expected a number)\n", what, s);
+    std::exit(2);
+  }
+  return v;
+}
 
 const DeviceSpec& DeviceByIndex(int index) {
   const auto models = AllDeviceModels();
@@ -59,9 +108,10 @@ int CmdAnalyze(int argc, char** argv) {
     std::fprintf(stderr, "usage: analyze <m> <k> <n> [selected] [device-index]\n");
     return 2;
   }
-  const GemmShape shape{std::atoll(argv[2]), std::atoll(argv[3]), std::atoll(argv[4])};
-  const int64_t selected = argc > 5 ? std::atoll(argv[5]) : shape.n;
-  const DeviceSpec& device = argc > 6 ? DeviceByIndex(std::atoi(argv[6])) : DefaultDevice();
+  const GemmShape shape{ParseI64(argv[2], "m"), ParseI64(argv[3], "k"), ParseI64(argv[4], "n")};
+  const int64_t selected = argc > 5 ? ParseI64(argv[5], "selected") : shape.n;
+  const DeviceSpec& device =
+      argc > 6 ? DeviceByIndex(ParseInt(argv[6], "device-index")) : DefaultDevice();
   const TimingModel model(device);
   const SamoyedsConfig fmt{1, 2, 32};
 
@@ -90,8 +140,9 @@ int CmdAutotune(int argc, char** argv) {
     std::fprintf(stderr, "usage: autotune <m> <k> <n> [device-index]\n");
     return 2;
   }
-  const GemmShape shape{std::atoll(argv[2]), std::atoll(argv[3]), std::atoll(argv[4])};
-  const DeviceSpec& device = argc > 5 ? DeviceByIndex(std::atoi(argv[5])) : DefaultDevice();
+  const GemmShape shape{ParseI64(argv[2], "m"), ParseI64(argv[3], "k"), ParseI64(argv[4], "n")};
+  const DeviceSpec& device =
+      argc > 5 ? DeviceByIndex(ParseInt(argv[5], "device-index")) : DefaultDevice();
   const AutotuneResult r = AutotuneSsmm(shape, shape.n, SamoyedsConfig{1, 2, 32}, device);
   std::printf("%s: default %.3f ms -> tuned %.3f ms (%.2fx)\n", device.name.c_str(), r.default_ms,
               r.simulated_ms, r.speedup_over_default());
@@ -133,7 +184,7 @@ int CmdMoe(int argc, char** argv) {
     return 2;
   }
   const MoeModelConfig& model = ModelByName(argv[2]);
-  const int64_t tokens = std::atoll(argv[3]);
+  const int64_t tokens = ParseI64(argv[3], "tokens");
   const auto counts = UniformTokensPerExpert(model, tokens);
   LayerCostOptions opts;
   opts.shared_experts_override = 0;
@@ -156,10 +207,10 @@ int CmdEncode(int argc, char** argv) {
     std::fprintf(stderr, "usage: encode <rows> <cols> <N> <M> <V>\n");
     return 2;
   }
-  const int64_t rows = std::atoll(argv[2]);
-  const int64_t cols = std::atoll(argv[3]);
-  const SamoyedsConfig cfg{std::atoi(argv[4]), std::atoi(argv[5]), std::atoi(argv[6])};
-  if (!cfg.IsValid() || rows % cfg.m != 0 || cols % cfg.v != 0) {
+  const int64_t rows = ParseI64(argv[2], "rows");
+  const int64_t cols = ParseI64(argv[3], "cols");
+  const SamoyedsConfig cfg{ParseInt(argv[4], "N"), ParseInt(argv[5], "M"), ParseInt(argv[6], "V")};
+  if (!cfg.IsValid() || rows <= 0 || cols <= 0 || rows % cfg.m != 0 || cols % cfg.v != 0) {
     std::fprintf(stderr, "invalid config or non-divisible shape\n");
     return 2;
   }
@@ -174,10 +225,225 @@ int CmdEncode(int argc, char** argv) {
   return 0;
 }
 
+// ---- serve ------------------------------------------------------------------
+
+struct ServeOptions {
+  std::string model = "tiny";
+  std::string trace;
+  serving::SchedulerPolicy policy = serving::SchedulerPolicy::kTokenBudget;
+  int64_t budget = 128;
+  int64_t max_resident = 4096;
+  int threads = 4;
+  int layers = 2;
+  int hidden = 64;
+  int inter = 96;
+  int experts = 8;
+  int top_k = 2;
+  int heads = 4;
+  int shared = 0;
+  Activation activation = Activation::kSilu;
+  double rate = 1.0;  // synthetic arrivals per step
+  int64_t prompt_min = 4, prompt_max = 16;
+  int64_t decode_min = 2, decode_max = 8;
+  uint64_t seed = 1234;
+};
+
+bool ParseServeFlag(const std::string& arg, ServeOptions& opt) {
+  const size_t eq = arg.find('=');
+  if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
+    return false;
+  }
+  const std::string key = arg.substr(0, eq);
+  const char* value = arg.c_str() + eq + 1;
+  if (key == "--policy") {
+    if (std::strcmp(value, "fcfs") == 0) {
+      opt.policy = serving::SchedulerPolicy::kFcfs;
+    } else if (std::strcmp(value, "smallest-first") == 0) {
+      opt.policy = serving::SchedulerPolicy::kSmallestFirst;
+    } else if (std::strcmp(value, "token-budget") == 0) {
+      opt.policy = serving::SchedulerPolicy::kTokenBudget;
+    } else {
+      std::fprintf(stderr, "unknown policy: %s\n", value);
+      std::exit(2);
+    }
+  } else if (key == "--budget") {
+    opt.budget = ParseI64(value, "budget");
+  } else if (key == "--max-resident") {
+    opt.max_resident = ParseI64(value, "max-resident");
+  } else if (key == "--threads") {
+    opt.threads = ParseInt(value, "threads");
+  } else if (key == "--layers") {
+    opt.layers = ParseInt(value, "layers");
+  } else if (key == "--hidden") {
+    opt.hidden = ParseInt(value, "hidden");
+  } else if (key == "--inter") {
+    opt.inter = ParseInt(value, "inter");
+  } else if (key == "--experts") {
+    opt.experts = ParseInt(value, "experts");
+  } else if (key == "--top-k") {
+    opt.top_k = ParseInt(value, "top-k");
+  } else if (key == "--heads") {
+    opt.heads = ParseInt(value, "heads");
+  } else if (key == "--rate") {
+    opt.rate = ParseDouble(value, "rate");
+  } else if (key == "--prompt-min") {
+    opt.prompt_min = ParseI64(value, "prompt-min");
+  } else if (key == "--prompt-max") {
+    opt.prompt_max = ParseI64(value, "prompt-max");
+  } else if (key == "--decode-min") {
+    opt.decode_min = ParseI64(value, "decode-min");
+  } else if (key == "--decode-max") {
+    opt.decode_max = ParseI64(value, "decode-max");
+  } else if (key == "--seed") {
+    opt.seed = static_cast<uint64_t>(ParseI64(value, "seed"));
+  } else {
+    std::fprintf(stderr, "unknown serve flag: %s\n", key.c_str());
+    std::exit(2);
+  }
+  return true;
+}
+
+int CmdServe(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: serve <model|tiny> <trace-file|synthetic:N> [--flags]\n"
+                 "(run with no arguments for the full flag list)\n");
+    return 2;
+  }
+  ServeOptions opt;
+  opt.model = argv[2];
+  opt.trace = argv[3];
+
+  // Named paper models contribute routing/activation structure as *defaults*
+  // (flags still override); hidden and intermediate stay miniature because
+  // the SpTC path is emulated functionally (override with --hidden/--inter).
+  if (opt.model != "tiny") {
+    const MoeModelConfig* paper = nullptr;
+    for (const auto& m : PaperModels()) {
+      if (m.name == opt.model) {
+        paper = &m;
+        break;
+      }
+    }
+    if (paper == nullptr) {
+      std::fprintf(stderr, "unknown model: %s (use 'tiny' or a Table 2 name", opt.model.c_str());
+      for (const auto& m : PaperModels()) {
+        std::fprintf(stderr, ", %s", m.name.c_str());
+      }
+      std::fprintf(stderr, ")\n");
+      return 2;
+    }
+    opt.experts = paper->num_experts;
+    opt.top_k = paper->top_k;
+    opt.shared = paper->shared_experts;
+    opt.activation = paper->activation;
+    std::printf("%s structure (%d experts, top-%d, %d shared), miniature dims by default\n",
+                paper->name.c_str(), opt.experts, opt.top_k, opt.shared);
+  }
+
+  for (int i = 4; i < argc; ++i) {
+    if (!ParseServeFlag(argv[i], opt)) {
+      std::fprintf(stderr, "unknown serve argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  if (opt.heads < 1 || opt.hidden < 32 || opt.inter < 32 || opt.hidden % 32 != 0 ||
+      opt.inter % 32 != 0 || opt.hidden % opt.heads != 0) {
+    std::fprintf(stderr,
+                 "hidden/inter must be multiples of 32 and hidden %% heads == 0 (heads >= 1)\n");
+    return 2;
+  }
+  if (opt.experts < 1 || opt.top_k < 1 || opt.top_k > opt.experts || opt.layers < 1 ||
+      opt.budget < 1 || opt.max_resident < 1 || opt.threads < 1) {
+    std::fprintf(stderr,
+                 "need experts >= 1, 1 <= top-k <= experts, layers >= 1, budget >= 1, "
+                 "max-resident >= 1, threads >= 1\n");
+    return 2;
+  }
+  if (opt.prompt_min < 1 || opt.prompt_max < opt.prompt_min || opt.decode_min < 0 ||
+      opt.decode_max < opt.decode_min) {
+    std::fprintf(stderr,
+                 "need 1 <= prompt-min <= prompt-max and 0 <= decode-min <= decode-max\n");
+    return 2;
+  }
+
+  MoeModelConfig cfg;
+  cfg.name = opt.model;
+  cfg.num_experts = opt.experts;
+  cfg.hidden = opt.hidden;
+  cfg.intermediate = opt.inter;
+  cfg.top_k = opt.top_k;
+  cfg.shared_experts = opt.shared;
+  cfg.activation = opt.activation;
+
+  // Trace: file path or synthetic:<count>.
+  Rng rng(opt.seed);
+  std::vector<serving::TraceEntry> entries;
+  if (opt.trace.rfind("synthetic:", 0) == 0) {
+    const int count = ParseInt(opt.trace.c_str() + std::strlen("synthetic:"), "synthetic count");
+    if (count < 1) {
+      std::fprintf(stderr, "synthetic count must be >= 1\n");
+      return 2;
+    }
+    entries = serving::SyntheticTrace(rng, count, opt.rate, opt.prompt_min, opt.prompt_max,
+                                      opt.decode_min, opt.decode_max);
+  } else {
+    std::string error;
+    entries = serving::ParseTraceFile(opt.trace, &error);
+    if (entries.empty()) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 2;
+    }
+  }
+
+  // Build the model and engine.
+  const SamoyedsConfig fmt{1, 2, 32};
+  std::vector<SamoyedsDecoderLayerWeights> layers;
+  for (int l = 0; l < opt.layers; ++l) {
+    const DecoderLayerWeights dense = DecoderLayerWeights::Random(rng, cfg);
+    layers.push_back(SamoyedsDecoderLayerWeights::Encode(dense, fmt));
+  }
+
+  serving::EngineConfig engine_cfg;
+  engine_cfg.heads = opt.heads;
+  engine_cfg.top_k = opt.top_k;
+  engine_cfg.activation = opt.activation;
+  engine_cfg.threads = opt.threads;
+  engine_cfg.scheduler.policy = opt.policy;
+  engine_cfg.scheduler.token_budget = opt.budget;
+  engine_cfg.scheduler.max_resident_tokens = opt.max_resident;
+  serving::ServingEngine engine(std::move(layers), engine_cfg);
+
+  std::printf("serving %s: %d layers, hidden %d, %d experts (top-%d), %s activation\n",
+              opt.model.c_str(), opt.layers, opt.hidden, opt.experts, opt.top_k,
+              opt.activation == Activation::kSilu ? "SiLU" : "GELU-tanh");
+  std::printf("scheduler: %s, token budget %lld, max resident tokens %lld, %d expert threads\n",
+              serving::SchedulerPolicyName(opt.policy), static_cast<long long>(opt.budget),
+              static_cast<long long>(opt.max_resident), opt.threads);
+  std::printf("trace: %zu requests\n\n", entries.size());
+
+  for (size_t i = 0; i < entries.size(); ++i) {
+    engine.Submit(
+        serving::MakeRequest(rng, static_cast<int64_t>(i), entries[i], opt.hidden));
+  }
+  const int64_t iterations = engine.RunUntilDrained(/*max_steps=*/1000000);
+
+  serving::EngineMetrics::Print(engine.Report(), stdout);
+  if (engine.queued() > 0 || engine.resident_sequences() > 0) {
+    std::fprintf(stderr,
+                 "warning: undrained after %lld iterations (%lld queued, %lld resident) — "
+                 "metrics above cover the completed portion only\n",
+                 static_cast<long long>(iterations), static_cast<long long>(engine.queued()),
+                 static_cast<long long>(engine.resident_sequences()));
+    return 1;
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: samoyeds_cli <devices|analyze|autotune|maxbatch|moe|encode> ...\n");
+    PrintUsage(stderr);
     return 2;
   }
   const std::string cmd = argv[1];
@@ -199,7 +465,15 @@ int Main(int argc, char** argv) {
   if (cmd == "encode") {
     return CmdEncode(argc, argv);
   }
+  if (cmd == "serve") {
+    return CmdServe(argc, argv);
+  }
+  if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+    PrintUsage(stdout);
+    return 0;
+  }
   std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+  PrintUsage(stderr);
   return 2;
 }
 

@@ -1,0 +1,491 @@
+// Serving engine: batching invariants, scheduler policies, admission
+// control, thread-pool determinism, and the end-to-end property that the
+// continuous-batching incremental execution matches a full-sequence
+// DecoderStackForwardReference call at bf16 tolerance.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/moe/decoder_layer.h"
+#include "src/serving/batch_assembler.h"
+#include "src/serving/engine.h"
+#include "src/serving/expert_pool.h"
+#include "src/serving/request_queue.h"
+#include "src/serving/scheduler.h"
+#include "src/serving/trace.h"
+#include "src/tensor/gemm_ref.h"
+#include "src/tensor/rng.h"
+#include "tests/test_util.h"
+
+namespace samoyeds {
+namespace serving {
+namespace {
+
+MoeModelConfig TinyConfig() {
+  MoeModelConfig cfg;
+  cfg.name = "tiny";
+  cfg.num_experts = 4;
+  cfg.hidden = 32;
+  cfg.intermediate = 64;
+  cfg.top_k = 2;
+  cfg.shared_experts = 0;
+  return cfg;
+}
+
+struct TinyModel {
+  std::vector<DecoderLayerWeights> dense;      // masked, the reference
+  std::vector<SamoyedsDecoderLayerWeights> sparse;
+};
+
+TinyModel BuildTinyModel(Rng& rng, int layers, const MoeModelConfig& cfg) {
+  const SamoyedsConfig fmt{1, 2, 32};
+  TinyModel model;
+  for (int l = 0; l < layers; ++l) {
+    DecoderLayerWeights w = DecoderLayerWeights::Random(rng, cfg);
+    model.sparse.push_back(SamoyedsDecoderLayerWeights::Encode(w, fmt));
+    for (auto& e : w.moe.experts) {
+      e.ApplyMask(fmt);
+    }
+    for (auto& e : w.moe.shared_experts) {
+      e.ApplyMask(fmt);
+    }
+    model.dense.push_back(std::move(w));
+  }
+  return model;
+}
+
+Request MakeTestRequest(Rng& rng, int64_t id, int64_t arrival, int64_t prompt, int64_t decode,
+                        int64_t hidden) {
+  TraceEntry e{arrival, prompt, decode};
+  return MakeRequest(rng, id, e, hidden);
+}
+
+// ---- RequestQueue -----------------------------------------------------------
+
+TEST(RequestQueueTest, DrainsByArrivalStep) {
+  RequestQueue q;
+  Request a;
+  a.id = 1;
+  a.arrival_step = 5;
+  Request b;
+  b.id = 2;
+  b.arrival_step = 0;
+  q.Push(a);
+  q.Push(b);  // pushed out of order
+
+  EXPECT_EQ(q.NextArrivalStep(), 0);
+  auto now = q.DrainArrived(0);
+  ASSERT_EQ(now.size(), 1u);
+  EXPECT_EQ(now[0].id, 2);
+  EXPECT_EQ(q.NextArrivalStep(), 5);
+  EXPECT_TRUE(q.DrainArrived(4).empty());
+  auto later = q.DrainArrived(5);
+  ASSERT_EQ(later.size(), 1u);
+  EXPECT_EQ(later[0].id, 1);
+  EXPECT_TRUE(q.empty());
+}
+
+// ---- BatchAssembler ---------------------------------------------------------
+
+TEST(BatchAssemblerTest, AssembleSplitRoundTrip) {
+  Rng rng(11);
+  const MatrixF a = rng.GaussianMatrix(6, 8);
+  const MatrixF b = rng.GaussianMatrix(4, 8);
+
+  std::vector<BatchAssembler::Contribution> parts;
+  parts.push_back({10, &a, 0, 3, true});   // a rows 0..2
+  parts.push_back({20, &b, 2, 1, false});  // b row 2
+  parts.push_back({10, &a, 3, 2, false});  // a rows 3..4
+
+  const AssembledBatch batch = BatchAssembler::Assemble(parts, 8);
+  ASSERT_EQ(batch.total_rows(), 6);
+  ASSERT_EQ(batch.slices.size(), 3u);
+  EXPECT_EQ(batch.slices[1].row_begin, 3);
+  EXPECT_EQ(batch.slices[1].request_id, 20);
+  EXPECT_TRUE(batch.slices[0].is_prefill);
+  EXPECT_EQ(batch.slices[2].position_begin, 3);
+
+  // Batch rows are exact copies of the source rows.
+  for (int64_t c = 0; c < 8; ++c) {
+    EXPECT_EQ(batch.rows(3, c), b(2, c));
+    EXPECT_EQ(batch.rows(5, c), a(4, c));
+  }
+
+  const auto split = BatchAssembler::Split(batch.rows, batch.slices);
+  ASSERT_EQ(split.size(), 3u);
+  EXPECT_EQ(split[0].rows(), 3);
+  for (int64_t c = 0; c < 8; ++c) {
+    EXPECT_EQ(split[1](0, c), b(2, c));
+    EXPECT_EQ(split[2](1, c), a(4, c));
+  }
+}
+
+// ---- Scheduler --------------------------------------------------------------
+
+Request Sized(int64_t id, int64_t prompt, int64_t decode) {
+  Request r;
+  r.id = id;
+  r.prompt_len = prompt;
+  r.max_new_tokens = decode;
+  return r;
+}
+
+TEST(SchedulerTest, FcfsAdmitsInArrivalOrderWithHeadOfLineBlocking) {
+  SchedulerConfig cfg;
+  cfg.policy = SchedulerPolicy::kFcfs;
+  cfg.token_budget = 16;
+  cfg.max_resident_tokens = 24;
+  Scheduler sched(cfg);
+  sched.Enqueue(Sized(1, 8, 8));   // total 16: blocked by resident cap below
+  sched.Enqueue(Sized(2, 2, 2));   // total 4: would fit, but FCFS must not overtake
+
+  ResidentSnapshot resident{1, 16};  // one 16-token sequence already running
+  const auto decision = sched.Admit(/*decode_rows=*/1, resident);
+  EXPECT_TRUE(decision.admitted.empty());
+  EXPECT_TRUE(decision.rejected.empty());
+  EXPECT_EQ(sched.pending(), 2);
+
+  // Once the resident sequence retires, both fit, in arrival order.
+  const auto next = sched.Admit(0, ResidentSnapshot{0, 0});
+  ASSERT_EQ(next.admitted.size(), 2u);
+  EXPECT_EQ(next.admitted[0].id, 1);
+  EXPECT_EQ(next.admitted[1].id, 2);
+}
+
+TEST(SchedulerTest, TokenBudgetPolicyFillsLeftoverBudget) {
+  SchedulerConfig cfg;
+  cfg.policy = SchedulerPolicy::kTokenBudget;
+  cfg.token_budget = 16;
+  cfg.max_resident_tokens = 24;
+  Scheduler sched(cfg);
+  sched.Enqueue(Sized(1, 8, 8));  // blocked by resident cap
+  sched.Enqueue(Sized(2, 2, 2));  // overtakes under token-budget packing
+
+  const auto decision = sched.Admit(1, ResidentSnapshot{1, 16});
+  ASSERT_EQ(decision.admitted.size(), 1u);
+  EXPECT_EQ(decision.admitted[0].id, 2);
+  EXPECT_EQ(sched.pending(), 1);
+}
+
+TEST(SchedulerTest, SmallestFirstPrefersShortRequests) {
+  SchedulerConfig cfg;
+  cfg.policy = SchedulerPolicy::kSmallestFirst;
+  cfg.token_budget = 8;
+  cfg.max_resident_tokens = 64;
+  Scheduler sched(cfg);
+  sched.Enqueue(Sized(1, 6, 10));  // longest, arrived first
+  sched.Enqueue(Sized(2, 4, 2));
+  sched.Enqueue(Sized(3, 2, 2));
+
+  // Budget 8 rows: smallest-first packs ids 3 (2 rows) and 2 (4 rows).
+  const auto decision = sched.Admit(0, ResidentSnapshot{0, 0});
+  ASSERT_EQ(decision.admitted.size(), 2u);
+  // Admitted set preserves arrival order internally.
+  EXPECT_EQ(decision.admitted[0].id, 2);
+  EXPECT_EQ(decision.admitted[1].id, 3);
+  EXPECT_EQ(sched.pending(), 1);
+}
+
+TEST(SchedulerTest, RejectsRequestsThatCanNeverFit) {
+  SchedulerConfig cfg;
+  cfg.token_budget = 16;
+  cfg.max_resident_tokens = 32;
+  Scheduler sched(cfg);
+  sched.Enqueue(Sized(1, 20, 0));  // prompt exceeds the per-iteration budget
+  sched.Enqueue(Sized(2, 8, 40));  // total exceeds resident capacity
+  sched.Enqueue(Sized(3, 4, 4));
+
+  const auto decision = sched.Admit(0, ResidentSnapshot{0, 0});
+  ASSERT_EQ(decision.rejected.size(), 2u);
+  EXPECT_EQ(decision.rejected[0].id, 1);
+  EXPECT_EQ(decision.rejected[1].id, 2);
+  ASSERT_EQ(decision.admitted.size(), 1u);
+  EXPECT_EQ(decision.admitted[0].id, 3);
+}
+
+TEST(SchedulerTest, MemoryModelCapacityIsPositiveAndFrameworkOrdered) {
+  const MoeModelConfig model = ModelByName("Mixtral-8x7B");
+  const SamoyedsConfig fmt{1, 2, 32};
+  const int64_t samoyeds_cap =
+      TokenCapacity(model, MoeFramework::kSamoyeds, fmt, DefaultDevice());
+  const int64_t dense_cap =
+      TokenCapacity(model, MoeFramework::kTransformers, fmt, DefaultDevice());
+  EXPECT_GT(samoyeds_cap, 0);
+  // The sparse format frees weight memory for serving capacity (Table 3).
+  EXPECT_GT(samoyeds_cap, dense_cap);
+}
+
+// ---- ExpertPool -------------------------------------------------------------
+
+TEST(ExpertPoolTest, ParallelMoeMatchesSequentialBitwise) {
+  Rng rng(21);
+  MoeModelConfig cfg = TinyConfig();
+  cfg.shared_experts = 1;
+  const SamoyedsConfig fmt{1, 2, 32};
+  MoeLayerWeights w = MoeLayerWeights::Random(rng, cfg);
+  const SamoyedsMoeLayerWeights sw = SamoyedsMoeLayerWeights::Encode(w, fmt);
+
+  const MatrixF x = RandomBf16Matrix(rng, 24, cfg.hidden);
+  const RoutingPlan plan = Route(x, w.router_gate, cfg.top_k);
+  const MatrixF sequential = MoeForwardSamoyeds(x, sw, plan, Activation::kSilu);
+
+  for (int threads : {1, 2, 4}) {
+    ExpertPool pool(threads);
+    const MatrixF parallel = ParallelMoeForwardSamoyeds(pool, x, sw, plan, Activation::kSilu);
+    EXPECT_TRUE(parallel == sequential) << "threads=" << threads;
+  }
+}
+
+TEST(ExpertPoolTest, RunsManyTasksToCompletion) {
+  ExpertPool pool(4);
+  std::vector<int> results(256, 0);
+  for (int round = 0; round < 4; ++round) {
+    for (size_t i = 0; i < results.size(); ++i) {
+      pool.Submit([&results, i] { results[i] += static_cast<int>(i); });
+    }
+    pool.WaitIdle();
+  }
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], 4 * static_cast<int>(i));
+  }
+}
+
+// ---- Engine -----------------------------------------------------------------
+
+EngineConfig TinyEngineConfig(int threads = 2) {
+  EngineConfig cfg;
+  cfg.heads = 4;
+  cfg.top_k = 2;
+  cfg.threads = threads;
+  cfg.scheduler.policy = SchedulerPolicy::kTokenBudget;
+  cfg.scheduler.token_budget = 24;
+  cfg.scheduler.max_resident_tokens = 64;
+  return cfg;
+}
+
+TEST(ServingEngineTest, BatchedIncrementalMatchesFullSequenceReference) {
+  Rng rng(31);
+  const MoeModelConfig cfg = TinyConfig();
+  const TinyModel model = BuildTinyModel(rng, /*layers=*/2, cfg);
+
+  ServingEngine engine(model.sparse, TinyEngineConfig());
+  std::vector<Request> requests;
+  const int64_t prompts[] = {6, 4, 10, 5, 8, 4};
+  const int64_t decodes[] = {3, 5, 2, 4, 2, 6};
+  const int64_t arrivals[] = {0, 0, 1, 2, 4, 6};
+  for (int64_t i = 0; i < 6; ++i) {
+    requests.push_back(
+        MakeTestRequest(rng, i, arrivals[i], prompts[i], decodes[i], cfg.hidden));
+    ASSERT_TRUE(engine.Submit(requests.back()));
+  }
+  engine.RunUntilDrained(/*max_steps=*/1000);
+
+  for (const Request& r : requests) {
+    ASSERT_EQ(engine.Status(r.id), RequestStatus::kFinished) << "request " << r.id;
+    const RequestResult* result = engine.Result(r.id);
+    ASSERT_NE(result, nullptr);
+    ASSERT_EQ(result->outputs.rows(), r.total_tokens());
+
+    const MatrixF ref = DecoderStackForwardReference(r.inputs, model.dense, /*heads=*/4,
+                                                     /*top_k=*/2, Activation::kSilu);
+    EXPECT_LT(RelativeError(result->outputs, ref), 2e-2) << "request " << r.id;
+  }
+
+  // Continuous batching really happened: some iteration mixed prefill rows
+  // of a late arrival with decode rows of resident sequences.
+  bool mixed = false;
+  for (const auto& s : engine.metrics().steps()) {
+    EXPECT_LE(s.batch_rows, engine.config().scheduler.token_budget);
+    mixed = mixed || (s.prefill_rows > 0 && s.decode_rows > 0);
+  }
+  EXPECT_TRUE(mixed);
+}
+
+TEST(ServingEngineTest, ThreadPoolCountDoesNotChangeOutputs) {
+  Rng seed_rng(41);
+  const MoeModelConfig cfg = TinyConfig();
+  const TinyModel model = BuildTinyModel(seed_rng, 2, cfg);
+
+  std::vector<MatrixF> outputs_by_threads;
+  for (int threads : {1, 4}) {
+    Rng rng(42);  // identical workload per run
+    ServingEngine engine(model.sparse, TinyEngineConfig(threads));
+    for (int64_t i = 0; i < 4; ++i) {
+      ASSERT_TRUE(engine.Submit(MakeTestRequest(rng, i, i / 2, 5 + i, 3, cfg.hidden)));
+    }
+    engine.RunUntilDrained(1000);
+    MatrixF all(0, 0);
+    for (int64_t i = 0; i < 4; ++i) {
+      const RequestResult* result = engine.Result(i);
+      ASSERT_NE(result, nullptr);
+      ASSERT_EQ(result->status, RequestStatus::kFinished);
+      if (all.empty()) {
+        all = result->outputs;
+      } else {
+        MatrixF merged(all.rows() + result->outputs.rows(), all.cols());
+        for (int64_t r = 0; r < all.rows(); ++r) {
+          for (int64_t c = 0; c < all.cols(); ++c) {
+            merged(r, c) = all(r, c);
+          }
+        }
+        for (int64_t r = 0; r < result->outputs.rows(); ++r) {
+          for (int64_t c = 0; c < all.cols(); ++c) {
+            merged(all.rows() + r, c) = result->outputs(r, c);
+          }
+        }
+        all = std::move(merged);
+      }
+    }
+    outputs_by_threads.push_back(std::move(all));
+  }
+  // Bit-identical across thread counts: fixed-order accumulation works.
+  EXPECT_TRUE(outputs_by_threads[0] == outputs_by_threads[1]);
+}
+
+TEST(ServingEngineTest, RejectsOversizedAndMalformedRequests) {
+  Rng rng(51);
+  const MoeModelConfig cfg = TinyConfig();
+  const TinyModel model = BuildTinyModel(rng, 1, cfg);
+  ServingEngine engine(model.sparse, TinyEngineConfig());
+
+  // Prompt larger than the iteration token budget: admission rejection.
+  Request oversized = MakeTestRequest(rng, 7, 0, 40, 2, cfg.hidden);
+  ASSERT_TRUE(engine.Submit(oversized));
+
+  // Wrong hidden size: rejected at submit.
+  Request malformed = MakeTestRequest(rng, 8, 0, 4, 2, cfg.hidden + 1);
+  EXPECT_FALSE(engine.Submit(malformed));
+  EXPECT_EQ(engine.Status(8), RequestStatus::kRejected);
+
+  // A well-formed request still completes alongside the rejections.
+  Request good = MakeTestRequest(rng, 9, 0, 4, 2, cfg.hidden);
+  ASSERT_TRUE(engine.Submit(good));
+
+  engine.RunUntilDrained(1000);
+  EXPECT_EQ(engine.Status(7), RequestStatus::kRejected);
+  EXPECT_EQ(engine.Status(9), RequestStatus::kFinished);
+
+  const ServingReport report = engine.Report();
+  EXPECT_EQ(report.requests_finished, 1);
+  EXPECT_EQ(report.requests_rejected, 2);
+}
+
+TEST(ServingEngineTest, DuplicateIdsAreRefusedWithoutClobberingTheOriginal) {
+  Rng rng(55);
+  const MoeModelConfig cfg = TinyConfig();
+  const TinyModel model = BuildTinyModel(rng, 1, cfg);
+  ServingEngine engine(model.sparse, TinyEngineConfig());
+
+  const Request original = MakeTestRequest(rng, 5, 0, 4, 2, cfg.hidden);
+  ASSERT_TRUE(engine.Submit(original));
+  // Duplicate while the original is still queued: refused, queue untouched.
+  EXPECT_FALSE(engine.Submit(MakeTestRequest(rng, 5, 0, 6, 1, cfg.hidden)));
+
+  engine.RunUntilDrained(1000);
+  ASSERT_EQ(engine.Status(5), RequestStatus::kFinished);
+  const RequestResult* result = engine.Result(5);
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->outputs.rows(), original.total_tokens());
+
+  // Duplicate after completion: refused, the finished result survives.
+  EXPECT_FALSE(engine.Submit(MakeTestRequest(rng, 5, 0, 4, 2, cfg.hidden)));
+  EXPECT_EQ(engine.Status(5), RequestStatus::kFinished);
+  EXPECT_EQ(engine.Report().requests_finished, 1);
+  EXPECT_EQ(engine.Report().requests_rejected, 0);
+}
+
+TEST(ServingEngineTest, MetricsTrackLoadAndLatency) {
+  Rng rng(61);
+  const MoeModelConfig cfg = TinyConfig();
+  const TinyModel model = BuildTinyModel(rng, 2, cfg);
+  ServingEngine engine(model.sparse, TinyEngineConfig());
+
+  int64_t total_rows = 0;
+  for (int64_t i = 0; i < 3; ++i) {
+    Request r = MakeTestRequest(rng, i, 0, 6, 4, cfg.hidden);
+    total_rows += r.total_tokens();
+    ASSERT_TRUE(engine.Submit(r));
+  }
+  engine.RunUntilDrained(1000);
+
+  const ServingReport report = engine.Report();
+  EXPECT_EQ(report.requests_finished, 3);
+  EXPECT_EQ(report.prefill_rows + report.decode_rows, total_rows);
+  EXPECT_GE(report.mean_ttft_steps, 1.0);
+  EXPECT_GT(report.tokens_per_second, 0.0);
+  EXPECT_GT(report.mean_occupancy, 0.0);
+
+  // Every routed token hits top_k experts in each of the 2 layers.
+  int64_t routed = 0;
+  for (int64_t t : report.expert_tokens) {
+    routed += t;
+  }
+  EXPECT_EQ(routed, total_rows * 2 /*top_k*/ * 2 /*layers*/);
+  EXPECT_GE(report.expert_imbalance, 1.0);
+}
+
+TEST(ServingEngineTest, IdleStepsFastForwardToNextArrival) {
+  Rng rng(71);
+  const MoeModelConfig cfg = TinyConfig();
+  const TinyModel model = BuildTinyModel(rng, 1, cfg);
+  ServingEngine engine(model.sparse, TinyEngineConfig());
+
+  ASSERT_TRUE(engine.Submit(MakeTestRequest(rng, 0, /*arrival=*/100, 4, 1, cfg.hidden)));
+  engine.RunUntilDrained(1000);
+  EXPECT_EQ(engine.Status(0), RequestStatus::kFinished);
+  // The engine skipped the empty steps instead of burning 100 iterations.
+  EXPECT_LE(engine.Report().steps, 3);
+  EXPECT_GE(engine.current_step(), 100);
+}
+
+// ---- Trace ------------------------------------------------------------------
+
+TEST(TraceTest, SyntheticTraceShapesAndArrivalMonotonicity) {
+  Rng rng(81);
+  const auto entries = SyntheticTrace(rng, 40, 0.5, 4, 16, 1, 8);
+  ASSERT_EQ(entries.size(), 40u);
+  int64_t prev = 0;
+  for (const auto& e : entries) {
+    EXPECT_GE(e.arrival_step, prev);
+    EXPECT_GE(e.prompt_len, 4);
+    EXPECT_LE(e.prompt_len, 16);
+    EXPECT_GE(e.max_new_tokens, 1);
+    EXPECT_LE(e.max_new_tokens, 8);
+    prev = e.arrival_step;
+  }
+}
+
+TEST(TraceTest, ParseTraceFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/serving_trace_test.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("# step prompt decode\n0 8 4\n2 16 8  # inline comment\n\n5 4 0\n", f);
+  std::fclose(f);
+
+  std::string error;
+  const auto entries = ParseTraceFile(path, &error);
+  EXPECT_TRUE(error.empty()) << error;
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[1].arrival_step, 2);
+  EXPECT_EQ(entries[1].prompt_len, 16);
+  EXPECT_EQ(entries[2].max_new_tokens, 0);
+
+  std::FILE* bad = std::fopen(path.c_str(), "w");
+  std::fputs("0 8\n", bad);  // missing field
+  std::fclose(bad);
+  EXPECT_TRUE(ParseTraceFile(path, &error).empty());
+  EXPECT_FALSE(error.empty());
+
+  // A garbage line must be an error, not silently skipped as a comment.
+  std::FILE* garbage = std::fopen(path.c_str(), "w");
+  std::fputs("0 8 4\nnot a line\n", garbage);
+  std::fclose(garbage);
+  error.clear();
+  EXPECT_TRUE(ParseTraceFile(path, &error).empty());
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace serving
+}  // namespace samoyeds
