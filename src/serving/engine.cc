@@ -1,5 +1,6 @@
 #include "src/serving/engine.h"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <utility>
@@ -29,9 +30,12 @@ ServingEngine::ServingEngine(std::vector<SamoyedsDecoderLayerWeights> layers,
       config_(config),
       hidden_(static_cast<int64_t>(layers_.empty() ? 0 : layers_.front().attn_norm_gamma.size())),
       scheduler_(config.scheduler),
+      cache_(KvCacheConfig{config.scheduler.page_tokens, config.scheduler.max_pages},
+             static_cast<int64_t>(layers_.size()), hidden_),
       pool_(config.threads) {
   assert(!layers_.empty());
   assert(hidden_ % config_.heads == 0);
+  assert(config_.scheduler.page_tokens >= 1);
 }
 
 bool ServingEngine::Submit(Request request) {
@@ -39,7 +43,9 @@ bool ServingEngine::Submit(Request request) {
     return false;  // duplicate id: leave the original request's state alone
   }
   if (!request.ShapeValid(hidden_)) {
-    results_[request.id].status = RequestStatus::kRejected;
+    RequestResult& result = results_[request.id];
+    result.status = RequestStatus::kRejected;
+    result.reason = "malformed request (bad prompt/decode/input shape)";
     metrics_.OnReject(request.id);
     return false;
   }
@@ -47,29 +53,52 @@ bool ServingEngine::Submit(Request request) {
   return true;
 }
 
-ResidentSnapshot ServingEngine::Resident() const {
+ResidentSnapshot ServingEngine::Resident(int64_t growth_pages) const {
   ResidentSnapshot snap;
   snap.sequences = static_cast<int64_t>(running_.size());
+  snap.used_pages = cache_.allocator().used_pages() + growth_pages;
   for (int64_t id : running_) {
-    snap.tokens += sequences_.at(id).request.total_tokens();
+    const int64_t total = sequences_.at(id).request.total_tokens();
+    snap.tokens += total;
+    snap.reserved_pages += PagesForTokens(total, config_.scheduler.page_tokens);
   }
   return snap;
 }
 
-MatrixF ServingEngine::ForwardBatch(const AssembledBatch& batch,
-                                    std::vector<Sequence*>& seq_of_slice) {
+int64_t ServingEngine::DecodeGrowthPages() const {
+  int64_t pages = 0;
+  for (int64_t id : running_) {
+    pages += cache_.allocator().PagesToExtend(id, 1);
+  }
+  return pages;
+}
+
+void ServingEngine::Preempt(int64_t id) {
+  Sequence& seq = sequences_.at(id);
+  cache_.Free(id);
+  Request request = std::move(seq.request);
+  sequences_.erase(id);
+  running_.erase(std::find(running_.begin(), running_.end(), id));
+  metrics_.OnPreempt(id, step_);
+  // Partial outputs are discarded with the Sequence: readmission recomputes
+  // the whole prefix, which reproduces the same rows (per-row compute is
+  // independent of batch composition).
+  scheduler_.Requeue(std::move(request));
+}
+
+MatrixF ServingEngine::ForwardBatch(const AssembledBatch& batch) {
   MatrixF h = batch.rows;
   for (size_t layer = 0; layer < layers_.size(); ++layer) {
     const SamoyedsDecoderLayerWeights& w = layers_[layer];
 
-    // Attention sub-block, per sequence: normed new rows extend the cached
-    // prefix; causal attention over the full prefix yields the new rows'
-    // outputs. Sequences are independent, so they fan out over the pool.
+    // Attention sub-block, per sequence: normed new rows extend the paged
+    // cached prefix (gathered through the page table); causal attention over
+    // the full prefix yields the new rows' outputs. Sequences are
+    // independent — and own disjoint pages — so they fan out over the pool.
     MatrixF h1 = h;  // residual base
     for (size_t s = 0; s < batch.slices.size(); ++s) {
       const BatchSlice& slice = batch.slices[s];
-      Sequence* seq = seq_of_slice[s];
-      pool_.Submit([this, &h, &h1, &w, slice, seq, layer] {
+      pool_.Submit([this, &h, &h1, &w, slice, layer] {
         MatrixF x_new(slice.row_count, hidden_);
         for (int64_t r = 0; r < slice.row_count; ++r) {
           for (int64_t c = 0; c < hidden_; ++c) {
@@ -78,10 +107,9 @@ MatrixF ServingEngine::ForwardBatch(const AssembledBatch& batch,
         }
         const MatrixF normed_new = RmsNorm(x_new, w.attn_norm_gamma);
 
-        std::vector<float>& cache = seq->attn_normed[layer];
-        const int64_t prefix = static_cast<int64_t>(cache.size()) / hidden_;
+        const int64_t prefix = slice.position_begin;
         MatrixF full(prefix + slice.row_count, hidden_);
-        std::copy(cache.begin(), cache.end(), full.data());
+        cache_.GatherRows(slice.request_id, static_cast<int64_t>(layer), prefix, full.data());
         std::copy(normed_new.data(), normed_new.data() + normed_new.size(),
                   full.data() + prefix * hidden_);
 
@@ -90,8 +118,9 @@ MatrixF ServingEngine::ForwardBatch(const AssembledBatch& batch,
           for (int64_t c = 0; c < hidden_; ++c) {
             h1(slice.row_begin + r, c) += attn(prefix + r, c);
           }
+          std::copy(normed_new.row(r).begin(), normed_new.row(r).end(),
+                    cache_.Row(slice.request_id, static_cast<int64_t>(layer), prefix + r));
         }
-        cache.insert(cache.end(), normed_new.data(), normed_new.data() + normed_new.size());
       });
     }
     pool_.WaitIdle();
@@ -113,30 +142,58 @@ MatrixF ServingEngine::ForwardBatch(const AssembledBatch& batch,
 }
 
 bool ServingEngine::Step() {
+  const SchedulerConfig& sched_cfg = config_.scheduler;
+
   // 1. Ingress: requests whose arrival step has come due join the scheduler.
   for (Request& r : queue_.DrainArrived(step_)) {
     metrics_.OnArrival(r.id, step_, r.prompt_len, r.max_new_tokens);
     scheduler_.Enqueue(std::move(r));
   }
 
-  // 2. Admission under the iteration token budget and resident-token cap.
+  // 2. Preemption: under a bounded page pool with eviction enabled, make sure
+  // every resident can append this iteration's decode row. Victims are
+  // lowest-priority, then youngest — and may be the grower itself, in which
+  // case it simply sits out this batch from the queue head. A lone resident
+  // always fits (admission rejects lifetimes beyond the pool), so this
+  // terminates with at least one survivor.
+  int64_t growth_pages = DecodeGrowthPages();
+  if (sched_cfg.max_pages > 0 && sched_cfg.preempt) {
+    while (!running_.empty() &&
+           cache_.allocator().used_pages() + growth_pages > sched_cfg.max_pages) {
+      std::vector<VictimCandidate> candidates;
+      candidates.reserve(running_.size());
+      for (int64_t id : running_) {
+        const Sequence& seq = sequences_.at(id);
+        candidates.push_back(VictimCandidate{id, seq.request.priority, seq.admit_seq});
+      }
+      Preempt(candidates[Scheduler::PickVictim(candidates)].id);
+      growth_pages = DecodeGrowthPages();
+    }
+  }
+
+  // 3. Admission under the iteration token budget and the resident-token or
+  // page-accounting cap.
   const int64_t decode_rows = static_cast<int64_t>(running_.size());
-  AdmissionDecision decision = scheduler_.Admit(decode_rows, Resident());
-  for (Request& r : decision.rejected) {
-    results_[r.id].status = RequestStatus::kRejected;
-    metrics_.OnReject(r.id);
+  AdmissionDecision decision = scheduler_.Admit(decode_rows, Resident(growth_pages));
+  for (Rejection& rejection : decision.rejected) {
+    RequestResult& result = results_[rejection.request.id];
+    result.status = RequestStatus::kRejected;
+    result.reason = rejection.reason;
+    metrics_.OnReject(rejection.request.id);
   }
   for (Request& r : decision.admitted) {
     const int64_t id = r.id;
     Sequence seq;
     seq.request = std::move(r);
-    seq.attn_normed.resize(layers_.size());
+    seq.admit_seq = admit_counter_++;
     sequences_.emplace(id, std::move(seq));
     running_.push_back(id);
     metrics_.OnAdmit(id, step_);
   }
 
-  // 3. Assemble the iteration batch: decode rows first, then prefills.
+  // 4. Assemble the iteration batch: decode rows first, then prefills; every
+  // sequence's page table is extended to cover its new rows up front so the
+  // forward's parallel tasks never mutate allocator state.
   std::vector<BatchAssembler::Contribution> parts;
   std::vector<Sequence*> seq_of_slice;
   for (int64_t id : running_) {
@@ -162,19 +219,29 @@ bool ServingEngine::Step() {
     return true;
   }
 
+  for (const BatchAssembler::Contribution& p : parts) {
+    // Cannot fail: decode growth was reserved by the preemption pass and
+    // admitted prompts were checked against the page budget.
+    const bool ok = cache_.Extend(p.request_id, p.row_count);
+    assert(ok);
+    (void)ok;
+  }
+
   const AssembledBatch batch = BatchAssembler::Assemble(parts, hidden_);
 
-  // 4. One forward over the whole batch.
+  // 5. One forward over the whole batch.
   const auto t0 = std::chrono::steady_clock::now();
-  const MatrixF out = ForwardBatch(batch, seq_of_slice);
+  const MatrixF out = ForwardBatch(batch);
   const double forward_ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
 
-  // 5. Scatter outputs back, advance sequences, retire finished ones.
+  // 6. Scatter outputs back, advance sequences, retire finished ones.
   StepMetrics sm;
   sm.step = step_;
   sm.batch_rows = batch.total_rows();
   sm.running_sequences = static_cast<int64_t>(running_.size());
+  sm.kv_used_pages = cache_.allocator().used_pages();
+  sm.kv_frag_tokens = cache_.allocator().FragmentationWaste();
   sm.wall_ms = forward_ms;
 
   std::vector<int64_t> still_running;
@@ -196,6 +263,7 @@ bool ServingEngine::Step() {
       result.outputs =
           MatrixF::FromRowMajor(seq.consumed, hidden_, std::move(seq.out_rows));
       metrics_.OnFinish(slice.request_id, step_);
+      cache_.Free(slice.request_id);
       sequences_.erase(slice.request_id);
     } else {
       still_running.push_back(slice.request_id);

@@ -3,21 +3,28 @@
 // One Step() is one iteration of Orca-style iteration-level scheduling:
 //
 //   1. Drain arrived requests from the ingress RequestQueue into the
-//      Scheduler, which admits new sequences under the token budget and the
-//      memory-model-driven resident-token cap.
-//   2. Assemble one batch: one decode row per resident sequence plus the
-//      full prompt of each newly admitted sequence (prefill).
-//   3. Forward the batch through the decoder stack. Attention runs
-//      per-sequence against a per-layer cache of that sequence's normed
-//      prefix rows (causal, so cached rows never change); the MoE sub-block
-//      routes the *whole* batch in one RoutingPlan and executes experts on
-//      the multi-threaded ExpertPool.
-//   4. Split outputs back per sequence, retire finished ones.
+//      Scheduler.
+//   2. Under page pressure (paged KV cache + preemption enabled), evict the
+//      lowest-priority / youngest resident sequences until this iteration's
+//      decode rows can get pages; evictees free their pages and are requeued
+//      for recompute on readmission.
+//   3. The Scheduler admits new sequences under the token budget and either
+//      resident-token or KV-page accounting.
+//   4. Assemble one batch: one decode row per resident sequence plus the
+//      full prompt of each newly admitted sequence (prefill), and extend each
+//      sequence's KV page table to cover the new rows.
+//   5. Forward the batch through the decoder stack. Attention runs
+//      per-sequence against the paged per-layer cache of that sequence's
+//      normed prefix rows (causal, so cached rows never change), gathered
+//      through its page table; the MoE sub-block routes the *whole* batch in
+//      one RoutingPlan and executes experts on the multi-threaded ExpertPool.
+//   6. Split outputs back per sequence, retire finished ones (freeing pages).
 //
 // The incremental path computes exactly the rows a full-sequence
 // DecoderStackForwardSamoyeds would: causality guarantees earlier positions'
-// hidden states never change, so caching them is lossless. Tests compare
-// against DecoderStackForwardReference at bf16 tolerance.
+// hidden states never change, so caching them is lossless — and a preempted
+// sequence recomputes from row 0, reproducing the same rows bit-for-bit.
+// Tests compare against DecoderStackForwardReference at bf16 tolerance.
 
 #ifndef SAMOYEDS_SRC_SERVING_ENGINE_H_
 #define SAMOYEDS_SRC_SERVING_ENGINE_H_
@@ -25,11 +32,13 @@
 #include <cstdint>
 #include <map>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "src/moe/decoder_layer.h"
 #include "src/serving/batch_assembler.h"
 #include "src/serving/expert_pool.h"
+#include "src/serving/kv_cache.h"
 #include "src/serving/metrics.h"
 #include "src/serving/request.h"
 #include "src/serving/request_queue.h"
@@ -48,6 +57,7 @@ struct EngineConfig {
 
 struct RequestResult {
   RequestStatus status = RequestStatus::kQueued;
+  std::string reason;  // why a request was rejected; empty otherwise
   // One output row per consumed input position (total_tokens x hidden for a
   // finished request). Row prompt_len - 1 is the "first token" hidden state;
   // later rows are the decode outputs.
@@ -82,23 +92,30 @@ class ServingEngine {
   int64_t resident_sequences() const { return static_cast<int64_t>(running_.size()); }
   int64_t queued() const { return queue_.size() + scheduler_.pending(); }
 
+  const PagedKvCache& kv_cache() const { return cache_; }
   const EngineMetrics& metrics() const { return metrics_; }
-  ServingReport Report() const { return metrics_.Summarize(config_.scheduler.token_budget); }
+  ServingReport Report() const {
+    return metrics_.Summarize(config_.scheduler.token_budget, config_.scheduler.max_pages);
+  }
 
  private:
   struct Sequence {
     Request request;
-    int64_t consumed = 0;  // input rows consumed so far
-    // Per layer: this sequence's attention-normed input rows so far
-    // (row-major, consumed x hidden) — the functional stand-in for a KV
-    // cache (K/V are recomputed from the cached normed rows each step).
-    std::vector<std::vector<float>> attn_normed;
+    int64_t consumed = 0;   // input rows consumed so far
+    int64_t admit_seq = 0;  // engine-wide admission counter; larger = younger
     std::vector<float> out_rows;  // produced output rows, row-major
   };
 
-  ResidentSnapshot Resident() const;
+  // Snapshot for admission; `growth_pages` is what this iteration's decode
+  // rows are about to claim (already guaranteed by the preemption pass).
+  ResidentSnapshot Resident(int64_t growth_pages) const;
+  // Pages needed for every resident to append one decode row this step.
+  int64_t DecodeGrowthPages() const;
+  // Evicts `id`: frees its pages, drops its partial outputs, and requeues the
+  // request at the head of the scheduler queue for full recompute.
+  void Preempt(int64_t id);
   // Forwards the assembled batch through all layers; returns final hidden rows.
-  MatrixF ForwardBatch(const AssembledBatch& batch, std::vector<Sequence*>& seq_of_slice);
+  MatrixF ForwardBatch(const AssembledBatch& batch);
 
   const std::vector<SamoyedsDecoderLayerWeights> layers_;
   const EngineConfig config_;
@@ -106,10 +123,12 @@ class ServingEngine {
 
   RequestQueue queue_;
   Scheduler scheduler_;
+  PagedKvCache cache_;
   ExpertPool pool_;
   EngineMetrics metrics_;
 
   int64_t step_ = 0;
+  int64_t admit_counter_ = 0;     // total admissions ever (eviction ordering)
   std::set<int64_t> known_ids_;   // every id ever submitted (duplicate guard)
   std::vector<int64_t> running_;  // resident sequence ids, admission order
   std::map<int64_t, Sequence> sequences_;

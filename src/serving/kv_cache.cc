@@ -1,0 +1,135 @@
+#include "src/serving/kv_cache.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace samoyeds {
+namespace serving {
+
+int64_t PagesForTokens(int64_t tokens, int64_t page_tokens) {
+  assert(page_tokens >= 1);
+  if (tokens <= 0) {
+    return 0;
+  }
+  return (tokens + page_tokens - 1) / page_tokens;
+}
+
+KvPageAllocator::KvPageAllocator(const KvCacheConfig& config) : config_(config) {
+  assert(config_.page_tokens >= 1);
+  assert(config_.total_pages >= 0);
+}
+
+int64_t KvPageAllocator::PagesToExtend(int64_t seq_id, int64_t tokens) const {
+  const auto it = seqs_.find(seq_id);
+  const int64_t have = it == seqs_.end() ? 0 : it->second.tokens;
+  return PagesForTokens(have + tokens, config_.page_tokens) -
+         PagesForTokens(have, config_.page_tokens);
+}
+
+int32_t KvPageAllocator::AcquirePage() {
+  if (!free_list_.empty()) {
+    const int32_t page = free_list_.back();
+    free_list_.pop_back();
+    return page;
+  }
+  assert(!bounded() || minted_ < config_.total_pages);
+  return static_cast<int32_t>(minted_++);
+}
+
+bool KvPageAllocator::Extend(int64_t seq_id, int64_t tokens) {
+  assert(tokens >= 0);
+  const int64_t need = PagesToExtend(seq_id, tokens);
+  if (bounded() && need > free_pages()) {
+    return false;  // all-or-nothing: no partial allocation
+  }
+  SequenceState& seq = seqs_[seq_id];
+  for (int64_t i = 0; i < need; ++i) {
+    seq.pages.push_back(AcquirePage());
+  }
+  seq.tokens += tokens;
+  used_pages_ += need;
+  cached_tokens_ += tokens;
+  return true;
+}
+
+void KvPageAllocator::Free(int64_t seq_id) {
+  const auto it = seqs_.find(seq_id);
+  if (it == seqs_.end()) {
+    return;
+  }
+  // Pages return in reverse acquisition order so a LIFO free list hands the
+  // same ids back to the next sequence — deterministic replay across runs.
+  free_list_.insert(free_list_.end(), it->second.pages.rbegin(), it->second.pages.rend());
+  used_pages_ -= static_cast<int64_t>(it->second.pages.size());
+  cached_tokens_ -= it->second.tokens;
+  seqs_.erase(it);
+}
+
+void KvPageAllocator::Reset() {
+  seqs_.clear();
+  free_list_.clear();
+  minted_ = 0;
+  used_pages_ = 0;
+  cached_tokens_ = 0;
+}
+
+int64_t KvPageAllocator::SequenceTokens(int64_t seq_id) const {
+  const auto it = seqs_.find(seq_id);
+  return it == seqs_.end() ? 0 : it->second.tokens;
+}
+
+const std::vector<int32_t>& KvPageAllocator::SequencePages(int64_t seq_id) const {
+  return seqs_.at(seq_id).pages;
+}
+
+int64_t KvPageAllocator::SlotOf(int64_t seq_id, int64_t token) const {
+  const SequenceState& seq = seqs_.at(seq_id);
+  assert(token >= 0 && token < seq.tokens);
+  const int64_t page = seq.pages[static_cast<size_t>(token / config_.page_tokens)];
+  return page * config_.page_tokens + token % config_.page_tokens;
+}
+
+PagedKvCache::PagedKvCache(const KvCacheConfig& config, int64_t layers, int64_t hidden)
+    : alloc_(config), layers_(layers), hidden_(hidden), arena_(static_cast<size_t>(layers)) {
+  assert(layers >= 1 && hidden >= 1);
+}
+
+bool PagedKvCache::Extend(int64_t seq_id, int64_t tokens) {
+  if (!alloc_.Extend(seq_id, tokens)) {
+    return false;
+  }
+  // Arenas track pages actually minted, not the configured bound — a large
+  // --max-pages budget must not preallocate gigabytes up front.
+  const size_t slots =
+      static_cast<size_t>(alloc_.minted_pages() * alloc_.page_tokens() * hidden_);
+  if (!arena_.empty() && arena_[0].size() < slots) {
+    for (auto& layer : arena_) {
+      layer.resize(slots);
+    }
+  }
+  return true;
+}
+
+float* PagedKvCache::Row(int64_t seq_id, int64_t layer, int64_t token) {
+  return arena_[static_cast<size_t>(layer)].data() + alloc_.SlotOf(seq_id, token) * hidden_;
+}
+
+const float* PagedKvCache::Row(int64_t seq_id, int64_t layer, int64_t token) const {
+  return arena_[static_cast<size_t>(layer)].data() + alloc_.SlotOf(seq_id, token) * hidden_;
+}
+
+void PagedKvCache::GatherRows(int64_t seq_id, int64_t layer, int64_t count, float* dst) const {
+  // Copy page-contiguous runs instead of row-at-a-time: rows of one page are
+  // adjacent in the arena, so the gather is page_tokens rows per memcpy.
+  const int64_t page_tokens = alloc_.page_tokens();
+  for (int64_t t = 0; t < count;) {
+    const int64_t run = std::min(count - t, page_tokens - t % page_tokens);
+    std::memcpy(dst + t * hidden_, Row(seq_id, layer, t),
+                static_cast<size_t>(run * hidden_) * sizeof(float));
+    t += run;
+  }
+}
+
+}  // namespace serving
+}  // namespace samoyeds

@@ -1,0 +1,133 @@
+// Paged KV-cache allocator for the serving engine (vLLM-style).
+//
+// The engine caches, per layer, each resident sequence's attention-normed
+// prefix rows (the functional stand-in for K/V). Instead of one monolithic
+// contiguous buffer per sequence, rows live in fixed-size pages of
+// `page_tokens` token slots drawn from a shared pool:
+//
+//   * KvPageAllocator — pure page accounting: a free list, per-sequence page
+//     tables, all-or-nothing Extend, and fragmentation stats. This is what
+//     admission control and the preemption policy reason about.
+//   * PagedKvCache — the allocator plus the backing storage: one float arena
+//     per layer, indexed by (page * page_tokens + offset) * hidden. A
+//     sequence's page table is shared across layers; each layer stores its
+//     rows at the same slots in its own arena.
+//
+// `total_pages == 0` runs the pool unbounded (pages are minted on demand) —
+// the monolithic-admission compatibility mode where the scheduler still
+// accounts in resident tokens. A bounded pool gives admission control and
+// eviction a hard budget to pack against.
+//
+// Thread-safety: Extend / Free / Reset mutate shared state (including arena
+// growth) and must run on the engine thread only. Row / GatherRows touch only
+// the target sequence's slots, so concurrent calls for *distinct* sequences
+// (the engine's per-sequence attention tasks) are safe.
+
+#ifndef SAMOYEDS_SRC_SERVING_KV_CACHE_H_
+#define SAMOYEDS_SRC_SERVING_KV_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace samoyeds {
+namespace serving {
+
+struct KvCacheConfig {
+  int64_t page_tokens = 16;  // token slots per page (>= 1)
+  int64_t total_pages = 0;   // pool size; 0 = unbounded (minted on demand)
+};
+
+// ceil(tokens / page_tokens); 0 tokens need 0 pages.
+int64_t PagesForTokens(int64_t tokens, int64_t page_tokens);
+
+class KvPageAllocator {
+ public:
+  explicit KvPageAllocator(const KvCacheConfig& config);
+
+  // Grows `seq_id` (created on first call) by `tokens` slots, acquiring pages
+  // from the free list as needed. All-or-nothing: on failure (bounded pool
+  // exhausted) no state changes and false is returned.
+  bool Extend(int64_t seq_id, int64_t tokens);
+
+  // Pages a hypothetical Extend(seq_id, tokens) would acquire.
+  int64_t PagesToExtend(int64_t seq_id, int64_t tokens) const;
+
+  // Returns the sequence's pages to the free list (LIFO, so page ids are
+  // reused deterministically). No-op for unknown ids.
+  void Free(int64_t seq_id);
+
+  // Drops every sequence and returns the allocator to its initial state.
+  void Reset();
+
+  bool Has(int64_t seq_id) const { return seqs_.count(seq_id) != 0; }
+  int64_t SequenceTokens(int64_t seq_id) const;
+  const std::vector<int32_t>& SequencePages(int64_t seq_id) const;
+  // Global slot index of a sequence's token: page * page_tokens + offset.
+  int64_t SlotOf(int64_t seq_id, int64_t token) const;
+
+  int64_t page_tokens() const { return config_.page_tokens; }
+  bool bounded() const { return config_.total_pages > 0; }
+  // Bounded: the configured pool size. Unbounded: pages minted so far, so the
+  // invariant used_pages() + free_pages() == total_pages() holds either way.
+  int64_t total_pages() const { return bounded() ? config_.total_pages : minted_; }
+  // Pages ever drawn from the pool (ids 0..minted-1): what backing storage
+  // actually has to cover, which can be far below a large configured bound.
+  int64_t minted_pages() const { return minted_; }
+  int64_t used_pages() const { return used_pages_; }
+  int64_t free_pages() const { return total_pages() - used_pages_; }
+  int64_t num_sequences() const { return static_cast<int64_t>(seqs_.size()); }
+  int64_t cached_tokens() const { return cached_tokens_; }
+  // Allocated-but-unused token slots (internal fragmentation across all
+  // resident sequences' tail pages).
+  int64_t FragmentationWaste() const { return used_pages_ * config_.page_tokens - cached_tokens_; }
+
+ private:
+  struct SequenceState {
+    std::vector<int32_t> pages;
+    int64_t tokens = 0;
+  };
+
+  int32_t AcquirePage();  // free list first, else mint (caller checked bounds)
+
+  KvCacheConfig config_;
+  std::vector<int32_t> free_list_;
+  int64_t minted_ = 0;  // pages ever drawn from the pool (ids 0..minted_-1)
+  int64_t used_pages_ = 0;
+  int64_t cached_tokens_ = 0;
+  std::map<int64_t, SequenceState> seqs_;
+};
+
+class PagedKvCache {
+ public:
+  PagedKvCache(const KvCacheConfig& config, int64_t layers, int64_t hidden);
+
+  // Accounting mutations; see KvPageAllocator. Extend also grows the per-layer
+  // arenas to cover newly minted pages (engine thread only).
+  bool Extend(int64_t seq_id, int64_t tokens);
+  void Free(int64_t seq_id) { alloc_.Free(seq_id); }
+  void Reset() { alloc_.Reset(); }
+
+  // Pointer to the hidden-sized row of `token` in `layer`'s arena.
+  float* Row(int64_t seq_id, int64_t layer, int64_t token);
+  const float* Row(int64_t seq_id, int64_t layer, int64_t token) const;
+
+  // Copies rows [0, count) of `layer` into `dst` (count x hidden, row-major) —
+  // the page-table gather that feeds attention.
+  void GatherRows(int64_t seq_id, int64_t layer, int64_t count, float* dst) const;
+
+  const KvPageAllocator& allocator() const { return alloc_; }
+  int64_t layers() const { return layers_; }
+  int64_t hidden() const { return hidden_; }
+
+ private:
+  KvPageAllocator alloc_;
+  int64_t layers_ = 0;
+  int64_t hidden_ = 0;
+  std::vector<std::vector<float>> arena_;  // per layer: slots * hidden floats
+};
+
+}  // namespace serving
+}  // namespace samoyeds
+
+#endif  // SAMOYEDS_SRC_SERVING_KV_CACHE_H_

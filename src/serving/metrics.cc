@@ -1,9 +1,24 @@
 #include "src/serving/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace samoyeds {
 namespace serving {
+namespace {
+
+// Nearest-rank p95 over an unsorted sample; 0 when empty.
+double Percentile95(std::vector<double> values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  std::sort(values.begin(), values.end());
+  const size_t rank = static_cast<size_t>(
+      std::ceil(0.95 * static_cast<double>(values.size())));
+  return values[rank - 1];
+}
+
+}  // namespace
 
 void EngineMetrics::OnArrival(int64_t id, int64_t step, int64_t prompt_len, int64_t new_tokens) {
   RequestMetrics& r = requests_[id];
@@ -22,6 +37,9 @@ void EngineMetrics::OnReject(int64_t id) {
 
 void EngineMetrics::OnFirstOutput(int64_t id, int64_t step) {
   RequestMetrics& r = requests_[id];
+  if (r.first_output_step >= 0) {
+    return;  // re-prefill after preemption: TTFT keeps the original emission
+  }
   r.first_output_step = step;
   r.first_output_ms = NowMs();
 }
@@ -30,6 +48,11 @@ void EngineMetrics::OnFinish(int64_t id, int64_t step) {
   RequestMetrics& r = requests_[id];
   r.finish_step = step;
   r.finish_ms = NowMs();
+}
+
+void EngineMetrics::OnPreempt(int64_t id, int64_t step) {
+  ++requests_[id].preemptions;
+  preemption_log_.emplace_back(id, step);
 }
 
 void EngineMetrics::OnStep(const StepMetrics& step) { steps_.push_back(step); }
@@ -43,41 +66,64 @@ void EngineMetrics::OnRoutingPlan(const RoutingPlan& plan) {
   }
 }
 
-ServingReport EngineMetrics::Summarize(int64_t token_budget) const {
+ServingReport EngineMetrics::Summarize(int64_t token_budget, int64_t max_pages) const {
   ServingReport rep;
   rep.requests_rejected = rejected_;
   rep.steps = static_cast<int64_t>(steps_.size());
+  rep.preemptions = static_cast<int64_t>(preemption_log_.size());
   rep.expert_tokens = expert_tokens_;
 
   double ttft_steps = 0.0;
   double ttft_ms = 0.0;
+  double turnaround_steps = 0.0;
+  std::vector<double> ttft_samples;
+  std::vector<double> turnaround_samples;
   for (const auto& [id, r] : requests_) {
     if (r.finish_step < 0) {
       continue;  // still in flight (or never admitted)
     }
     ++rep.requests_finished;
-    ttft_steps += static_cast<double>(r.first_output_step - r.arrival_step + 1);
+    const double ttft = static_cast<double>(r.first_output_step - r.arrival_step + 1);
+    const double turnaround = static_cast<double>(r.finish_step - r.arrival_step + 1);
+    ttft_steps += ttft;
+    turnaround_steps += turnaround;
     ttft_ms += r.first_output_ms - r.arrival_ms;
+    ttft_samples.push_back(ttft);
+    turnaround_samples.push_back(turnaround);
   }
   if (rep.requests_finished > 0) {
     rep.mean_ttft_steps = ttft_steps / static_cast<double>(rep.requests_finished);
     rep.mean_ttft_ms = ttft_ms / static_cast<double>(rep.requests_finished);
+    rep.mean_turnaround_steps = turnaround_steps / static_cast<double>(rep.requests_finished);
+    rep.p95_ttft_steps = Percentile95(std::move(ttft_samples));
+    rep.p95_turnaround_steps = Percentile95(std::move(turnaround_samples));
   }
 
   int64_t rows = 0;
+  int64_t frag_tokens = 0;
+  int64_t used_pages = 0;
   for (const auto& s : steps_) {
     rep.prefill_rows += s.prefill_rows;
     rep.decode_rows += s.decode_rows;
     rows += s.batch_rows;
     rep.peak_batch_rows = std::max(rep.peak_batch_rows, s.batch_rows);
     rep.peak_sequences = std::max(rep.peak_sequences, s.running_sequences);
+    rep.peak_used_pages = std::max(rep.peak_used_pages, s.kv_used_pages);
+    used_pages += s.kv_used_pages;
+    frag_tokens += s.kv_frag_tokens;
     rep.wall_ms += s.wall_ms;
   }
   if (rep.steps > 0) {
     rep.mean_step_ms = rep.wall_ms / static_cast<double>(rep.steps);
     rep.mean_batch_rows = static_cast<double>(rows) / static_cast<double>(rep.steps);
+    rep.mean_frag_tokens = static_cast<double>(frag_tokens) / static_cast<double>(rep.steps);
     if (token_budget > 0) {
       rep.mean_occupancy = rep.mean_batch_rows / static_cast<double>(token_budget);
+    }
+    if (max_pages > 0) {
+      rep.mean_page_utilization = static_cast<double>(used_pages) /
+                                  static_cast<double>(rep.steps) /
+                                  static_cast<double>(max_pages);
     }
   }
   if (rep.wall_ms > 0.0) {
@@ -105,8 +151,11 @@ void EngineMetrics::Print(const ServingReport& rep, std::FILE* out) {
   std::fprintf(out, "steps: %lld (%lld prefill rows, %lld decode rows)\n",
                static_cast<long long>(rep.steps), static_cast<long long>(rep.prefill_rows),
                static_cast<long long>(rep.decode_rows));
-  std::fprintf(out, "latency: TTFT %.1f steps / %.2f ms, %.3f ms per step\n",
-               rep.mean_ttft_steps, rep.mean_ttft_ms, rep.mean_step_ms);
+  std::fprintf(out,
+               "latency: TTFT %.1f steps (p95 %.1f) / %.2f ms, turnaround %.1f steps "
+               "(p95 %.1f), %.3f ms per step\n",
+               rep.mean_ttft_steps, rep.p95_ttft_steps, rep.mean_ttft_ms,
+               rep.mean_turnaround_steps, rep.p95_turnaround_steps, rep.mean_step_ms);
   std::fprintf(out, "throughput: %.1f tokens/s over %.2f ms of forward time\n",
                rep.tokens_per_second, rep.wall_ms);
   std::fprintf(out, "batch: mean %.1f rows (%.0f%% of budget), peak %lld rows, "
@@ -114,6 +163,12 @@ void EngineMetrics::Print(const ServingReport& rep, std::FILE* out) {
                rep.mean_batch_rows, 100.0 * rep.mean_occupancy,
                static_cast<long long>(rep.peak_batch_rows),
                static_cast<long long>(rep.peak_sequences));
+  std::fprintf(out,
+               "kv-cache: %lld preemptions, peak %lld pages, mean utilization %.0f%%, "
+               "mean fragmentation waste %.1f token slots\n",
+               static_cast<long long>(rep.preemptions),
+               static_cast<long long>(rep.peak_used_pages), 100.0 * rep.mean_page_utilization,
+               rep.mean_frag_tokens);
   std::fprintf(out, "expert load (tokens/expert, imbalance %.2fx):", rep.expert_imbalance);
   for (int64_t t : rep.expert_tokens) {
     std::fprintf(out, " %lld", static_cast<long long>(t));

@@ -1,5 +1,6 @@
 // Serving metrics collector: request latency (TTFT, per-output-token),
-// throughput, batch occupancy, and per-expert routed-token load.
+// throughput, batch occupancy, preemption activity, paged-KV-cache
+// utilization, and per-expert routed-token load.
 //
 // Latencies are tracked both in engine steps (deterministic, what tests
 // assert on) and wall-clock milliseconds (what the CLI and bench report).
@@ -11,6 +12,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "src/moe/router.h"
@@ -22,9 +24,10 @@ struct RequestMetrics {
   int64_t prompt_len = 0;
   int64_t new_tokens = 0;
   int64_t arrival_step = -1;
-  int64_t admit_step = -1;
+  int64_t admit_step = -1;         // latest admission (readmissions overwrite)
   int64_t first_output_step = -1;  // prefill completed: first token ready
   int64_t finish_step = -1;
+  int64_t preemptions = 0;         // times evicted and recomputed
   double arrival_ms = 0.0;
   double first_output_ms = 0.0;
   double finish_ms = 0.0;
@@ -36,7 +39,9 @@ struct StepMetrics {
   int64_t prefill_rows = 0;
   int64_t decode_rows = 0;
   int64_t running_sequences = 0;
-  double wall_ms = 0.0;  // forward duration
+  int64_t kv_used_pages = 0;   // pages held right after the forward
+  int64_t kv_frag_tokens = 0;  // allocated-but-unused token slots (tail pages)
+  double wall_ms = 0.0;        // forward duration
 };
 
 // Aggregates over one engine run.
@@ -48,6 +53,9 @@ struct ServingReport {
   int64_t decode_rows = 0;
   double wall_ms = 0.0;
   double mean_ttft_steps = 0.0;
+  double p95_ttft_steps = 0.0;
+  double mean_turnaround_steps = 0.0;  // arrival -> finish, inclusive
+  double p95_turnaround_steps = 0.0;
   double mean_ttft_ms = 0.0;
   double mean_step_ms = 0.0;
   double tokens_per_second = 0.0;       // (prefill + decode rows) / wall time
@@ -55,6 +63,10 @@ struct ServingReport {
   double mean_occupancy = 0.0;          // batch rows / token budget
   int64_t peak_batch_rows = 0;
   int64_t peak_sequences = 0;           // max concurrently resident sequences
+  int64_t preemptions = 0;              // evictions under page pressure
+  int64_t peak_used_pages = 0;
+  double mean_page_utilization = 0.0;   // used pages / page budget (paged only)
+  double mean_frag_tokens = 0.0;        // fragmentation waste per step
   std::vector<int64_t> expert_tokens;   // routed tokens per expert, all layers
   double expert_imbalance = 0.0;        // max / mean of expert_tokens
 };
@@ -68,14 +80,21 @@ class EngineMetrics {
   void OnReject(int64_t id);
   void OnFirstOutput(int64_t id, int64_t step);
   void OnFinish(int64_t id, int64_t step);
+  void OnPreempt(int64_t id, int64_t step);
   void OnStep(const StepMetrics& step);
   // Accumulates one routed layer's per-expert token counts.
   void OnRoutingPlan(const RoutingPlan& plan);
 
   const std::vector<StepMetrics>& steps() const { return steps_; }
   const std::map<int64_t, RequestMetrics>& requests() const { return requests_; }
+  // Every eviction as (request id, step), in order — the record tests replay
+  // to assert eviction-order determinism.
+  const std::vector<std::pair<int64_t, int64_t>>& preemption_log() const {
+    return preemption_log_;
+  }
 
-  ServingReport Summarize(int64_t token_budget) const;
+  // `max_pages` == 0 (monolithic accounting) leaves page utilization at 0.
+  ServingReport Summarize(int64_t token_budget, int64_t max_pages = 0) const;
   static void Print(const ServingReport& report, std::FILE* out);
 
  private:
@@ -87,6 +106,7 @@ class EngineMetrics {
   Clock::time_point start_;
   std::map<int64_t, RequestMetrics> requests_;
   std::vector<StepMetrics> steps_;
+  std::vector<std::pair<int64_t, int64_t>> preemption_log_;
   std::vector<int64_t> expert_tokens_;
   int64_t rejected_ = 0;
 };

@@ -22,6 +22,10 @@ struct Request {
   int64_t arrival_step = 0;
   int64_t prompt_len = 0;
   int64_t max_new_tokens = 0;
+  // Eviction priority under preemptive scheduling: when the paged KV cache
+  // runs out of pages, the lowest-priority (then youngest) resident is
+  // evicted first. Higher values survive longer; 0 is the default class.
+  int priority = 0;
   // (prompt_len + max_new_tokens) x hidden input rows; the prompt is consumed
   // in one prefill iteration, then one row per decode iteration.
   MatrixF inputs;
@@ -34,7 +38,8 @@ struct Request {
 };
 
 enum class RequestStatus {
-  kQueued,    // accepted, waiting for scheduler admission
+  kQueued,    // accepted, waiting for scheduler admission (also: preempted
+              // residents awaiting readmission + recompute)
   kRunning,   // resident in the batch
   kFinished,  // all tokens produced
   kRejected,  // can never fit (admission control)

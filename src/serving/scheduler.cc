@@ -1,6 +1,9 @@
 #include "src/serving/scheduler.h"
 
 #include <algorithm>
+#include <cassert>
+
+#include "src/serving/kv_cache.h"
 
 namespace samoyeds {
 namespace serving {
@@ -27,11 +30,32 @@ int64_t TokenCapacity(const MoeModelConfig& model, MoeFramework framework,
   return static_cast<int64_t>(free_bytes / fp.bytes_per_token);
 }
 
+int64_t PageCapacity(const MoeModelConfig& model, MoeFramework framework,
+                     const SamoyedsConfig& sparse_format, const DeviceSpec& device,
+                     int64_t page_tokens) {
+  assert(page_tokens >= 1);
+  return TokenCapacity(model, framework, sparse_format, device) / page_tokens;
+}
+
 void Scheduler::Enqueue(Request request) { pending_.push_back(std::move(request)); }
 
-bool Scheduler::Infeasible(const Request& r) const {
-  return r.total_tokens() > config_.max_resident_tokens ||
-         r.prompt_len > config_.token_budget;
+void Scheduler::Requeue(Request request) { pending_.push_front(std::move(request)); }
+
+const char* Scheduler::RejectReason(const Request& r) const {
+  if (r.prompt_len > config_.token_budget) {
+    return "prompt exceeds the iteration token budget";
+  }
+  if (r.total_tokens() > config_.max_resident_tokens) {
+    return "total tokens exceed resident capacity";
+  }
+  if (config_.max_pages > 0 &&
+      PagesForTokens(r.total_tokens(), config_.page_tokens) > config_.max_pages) {
+    // Even alone on an empty pool the sequence could never hold its full
+    // prompt+decode KV footprint, so with recompute-on-readmission preemption
+    // it would thrash forever.
+    return "total tokens exceed the KV page budget";
+  }
+  return nullptr;
 }
 
 AdmissionDecision Scheduler::Admit(int64_t decode_rows, const ResidentSnapshot& resident) {
@@ -39,8 +63,8 @@ AdmissionDecision Scheduler::Admit(int64_t decode_rows, const ResidentSnapshot& 
 
   // Infeasible requests are filtered first so they never block a queue scan.
   for (auto it = pending_.begin(); it != pending_.end();) {
-    if (Infeasible(*it)) {
-      decision.rejected.push_back(std::move(*it));
+    if (const char* reason = RejectReason(*it)) {
+      decision.rejected.push_back(Rejection{std::move(*it), reason});
       it = pending_.erase(it);
     } else {
       ++it;
@@ -61,12 +85,22 @@ AdmissionDecision Scheduler::Admit(int64_t decode_rows, const ResidentSnapshot& 
   int64_t batch_rows = decode_rows;
   int64_t tokens = resident.tokens;
   int64_t sequences = resident.sequences;
+  // Page accounting basis: with preemption the admitted prompt only has to
+  // fit next to what is in use right now (decode growth evicts later); without
+  // it the whole lifetime must be coverable so decode can never strand.
+  int64_t pages = config_.preempt ? resident.used_pages : resident.reserved_pages;
   std::vector<bool> taken(pending_.size(), false);
   for (size_t idx : order) {
     const Request& r = pending_[idx];
+    const int64_t need_pages =
+        config_.max_pages <= 0
+            ? 0
+            : PagesForTokens(config_.preempt ? r.prompt_len : r.total_tokens(),
+                             config_.page_tokens);
     const bool fits =
         batch_rows + r.prompt_len <= config_.token_budget &&
         tokens + r.total_tokens() <= config_.max_resident_tokens &&
+        (config_.max_pages <= 0 || pages + need_pages <= config_.max_pages) &&
         (config_.max_resident_sequences == 0 ||
          sequences + 1 <= config_.max_resident_sequences);
     if (!fits) {
@@ -77,6 +111,7 @@ AdmissionDecision Scheduler::Admit(int64_t decode_rows, const ResidentSnapshot& 
     }
     batch_rows += r.prompt_len;
     tokens += r.total_tokens();
+    pages += need_pages;
     ++sequences;
     taken[idx] = true;
   }
@@ -92,6 +127,21 @@ AdmissionDecision Scheduler::Admit(int64_t decode_rows, const ResidentSnapshot& 
   }
   pending_ = std::move(remaining);
   return decision;
+}
+
+size_t Scheduler::PickVictim(const std::vector<VictimCandidate>& residents) {
+  assert(!residents.empty());
+  size_t victim = 0;
+  for (size_t i = 1; i < residents.size(); ++i) {
+    const VictimCandidate& a = residents[i];
+    const VictimCandidate& b = residents[victim];
+    if (a.priority != b.priority ? a.priority < b.priority
+        : a.admit_seq != b.admit_seq ? a.admit_seq > b.admit_seq
+                                     : a.id > b.id) {
+      victim = i;
+    }
+  }
+  return victim;
 }
 
 }  // namespace serving

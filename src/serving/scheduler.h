@@ -1,18 +1,26 @@
-// Iteration-level scheduler and admission control for the serving engine.
+// Iteration-level scheduler, admission control and preemption policy for the
+// serving engine.
 //
 // Every engine iteration runs one forward over a batch that mixes decode
 // rows (one per resident sequence) with the prompt rows of newly admitted
 // requests — Orca-style continuous batching. The scheduler decides which
-// queued requests join the batch this iteration, under two resources:
+// queued requests join the batch this iteration, under these resources:
 //
 //   * token_budget — the maximum rows a single iteration may carry (the
 //     compute-side batch cap; decode rows are committed first).
-//   * max_resident_tokens — the memory-side cap on the total footprint of
-//     resident sequences (prompt + generated KV slots), derived from the
-//     Table-3 memory model via TokenCapacity().
+//   * max_resident_tokens — the legacy memory-side cap on the total footprint
+//     of resident sequences, derived from the Table-3 memory model via
+//     TokenCapacity().
+//   * max_pages — when > 0, admission switches from resident-token counts to
+//     paged KV-cache accounting (see src/serving/kv_cache.h): with preemption
+//     off a request is admitted only if its full prompt+decode lifetime fits
+//     next to the residents' reserved pages (conservative, never evicts);
+//     with preemption on only the prompt pages must fit right now
+//     (optimistic, vLLM-style), and the engine evicts the lowest-priority /
+//     youngest resident when decode growth later runs out of pages.
 //
-// Requests that can never satisfy these caps are rejected outright rather
-// than queued forever.
+// Requests that can never satisfy these caps are rejected outright — with a
+// reason — rather than queued forever.
 
 #ifndef SAMOYEDS_SRC_SERVING_SCHEDULER_H_
 #define SAMOYEDS_SRC_SERVING_SCHEDULER_H_
@@ -44,6 +52,13 @@ struct SchedulerConfig {
   int64_t max_resident_tokens = 1 << 20;
   // 0 = unlimited.
   int64_t max_resident_sequences = 0;
+  // Paged KV-cache accounting. page_tokens is the page size in token slots;
+  // max_pages > 0 bounds the page pool (0 keeps monolithic token accounting).
+  int64_t page_tokens = 16;
+  int64_t max_pages = 0;
+  // Evict residents under page pressure instead of only refusing admission.
+  // Requires max_pages > 0 to have any effect.
+  bool preempt = false;
 };
 
 // Memory-model-driven admission cap: how many resident tokens fit on
@@ -52,15 +67,38 @@ struct SchedulerConfig {
 int64_t TokenCapacity(const MoeModelConfig& model, MoeFramework framework,
                       const SamoyedsConfig& sparse_format, const DeviceSpec& device);
 
+// The same capacity expressed as whole KV pages of `page_tokens` slots — the
+// page budget admission control packs against when paging is enabled.
+int64_t PageCapacity(const MoeModelConfig& model, MoeFramework framework,
+                     const SamoyedsConfig& sparse_format, const DeviceSpec& device,
+                     int64_t page_tokens);
+
 // Current engine occupancy, input to the admission decision.
 struct ResidentSnapshot {
   int64_t sequences = 0;
   int64_t tokens = 0;  // sum of total_tokens() over resident sequences
+  // Pages in use right now, including the pages this iteration's decode rows
+  // are about to claim (the optimistic / preemptive accounting basis).
+  int64_t used_pages = 0;
+  // Sum of full-lifetime page needs of residents (the conservative basis).
+  int64_t reserved_pages = 0;
+};
+
+struct Rejection {
+  Request request;
+  const char* reason = nullptr;  // static string, why it can never fit
 };
 
 struct AdmissionDecision {
-  std::vector<Request> admitted;  // join the batch this iteration
-  std::vector<Request> rejected;  // can never fit under the config
+  std::vector<Request> admitted;   // join the batch this iteration
+  std::vector<Rejection> rejected; // can never fit under the config
+};
+
+// One resident sequence as seen by the eviction policy.
+struct VictimCandidate {
+  int64_t id = 0;
+  int priority = 0;       // Request::priority — higher survives longer
+  int64_t admit_seq = 0;  // monotone admission counter — larger is younger
 };
 
 class Scheduler {
@@ -68,20 +106,29 @@ class Scheduler {
   explicit Scheduler(const SchedulerConfig& config) : config_(config) {}
 
   void Enqueue(Request request);
+  // Puts a preempted request at the head of the queue so it is readmitted
+  // (and recomputed from scratch) as soon as pages free up.
+  void Requeue(Request request);
 
   // Decides admissions for the iteration whose resident sequences will
   // contribute `decode_rows` rows. Admitted requests are removed from the
   // pending list; infeasible ones are returned as rejected.
   AdmissionDecision Admit(int64_t decode_rows, const ResidentSnapshot& resident);
 
+  // Eviction policy: index of the resident to preempt — lowest priority
+  // first, then the youngest (largest admit_seq), then the largest id.
+  // Deterministic for a deterministic candidate list.
+  static size_t PickVictim(const std::vector<VictimCandidate>& residents);
+
   int64_t pending() const { return static_cast<int64_t>(pending_.size()); }
   const SchedulerConfig& config() const { return config_; }
 
  private:
-  bool Infeasible(const Request& r) const;
+  // nullptr when feasible, else a static human-readable rejection reason.
+  const char* RejectReason(const Request& r) const;
 
   SchedulerConfig config_;
-  std::deque<Request> pending_;  // arrival order
+  std::deque<Request> pending_;  // arrival order; requeued preemptees in front
 };
 
 }  // namespace serving

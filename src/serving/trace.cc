@@ -32,10 +32,14 @@ std::vector<TraceEntry> ParseTraceFile(const std::string& path, std::string* err
     std::istringstream fields(line);
     TraceEntry e;
     std::string trailing;
-    if (!(fields >> e.arrival_step >> e.prompt_len >> e.max_new_tokens) || (fields >> trailing) ||
-        e.arrival_step < 0 || e.prompt_len < 1 || e.max_new_tokens < 0) {
+    bool ok = static_cast<bool>(fields >> e.arrival_step >> e.prompt_len >> e.max_new_tokens);
+    if (ok && !(fields >> e.priority)) {
+      fields.clear();  // fourth column (priority) is optional
+    }
+    if (!ok || (fields >> trailing) || e.arrival_step < 0 || e.prompt_len < 1 ||
+        e.max_new_tokens < 0) {
       *error = path + ":" + std::to_string(line_no) +
-               ": expected '<arrival_step> <prompt_len> <max_new_tokens>'";
+               ": expected '<arrival_step> <prompt_len> <max_new_tokens> [priority]'";
       return {};
     }
     entries.push_back(e);
@@ -75,6 +79,7 @@ Request MakeRequest(Rng& rng, int64_t id, const TraceEntry& entry, int64_t hidde
   r.arrival_step = entry.arrival_step;
   r.prompt_len = entry.prompt_len;
   r.max_new_tokens = entry.max_new_tokens;
+  r.priority = entry.priority;
   r.inputs = rng.GaussianMatrix(entry.prompt_len + entry.max_new_tokens, hidden, 0.5f);
   RoundMatrixToBf16(r.inputs);
   return r;

@@ -2,7 +2,9 @@
 // generation (Poisson-ish arrivals, uniform prompt/decode lengths).
 //
 // Trace file format, one request per line, '#' comments:
-//   <arrival_step> <prompt_len> <max_new_tokens>
+//   <arrival_step> <prompt_len> <max_new_tokens> [priority]
+// The optional priority feeds the preemption policy (higher survives longer;
+// omitted = 0).
 
 #ifndef SAMOYEDS_SRC_SERVING_TRACE_H_
 #define SAMOYEDS_SRC_SERVING_TRACE_H_
@@ -21,6 +23,7 @@ struct TraceEntry {
   int64_t arrival_step = 0;
   int64_t prompt_len = 0;
   int64_t max_new_tokens = 0;
+  int priority = 0;
 };
 
 // Parses a trace file; on failure returns an empty vector and sets *error.

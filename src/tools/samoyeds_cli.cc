@@ -41,10 +41,14 @@ void PrintUsage(std::FILE* out) {
       "  encode <rows> <cols> <N> <M> <V>           random-matrix encoding demo\n"
       "  serve <model|tiny> <trace|synthetic:N>     continuous-batching serving engine\n"
       "        [--policy=fcfs|smallest-first|token-budget] [--budget=N]\n"
-      "        [--max-resident=N] [--threads=N] [--layers=N] [--hidden=N]\n"
+      "        [--max-resident=N] [--page-tokens=N] [--max-pages=N|auto]\n"
+      "        [--preempt=0|1] [--threads=N] [--layers=N] [--hidden=N]\n"
       "        [--inter=N] [--experts=N] [--top-k=N] [--heads=N] [--rate=R]\n"
       "        [--prompt-min=N] [--prompt-max=N] [--decode-min=N] [--decode-max=N]\n"
-      "        [--seed=N]\n",
+      "        [--seed=N]\n"
+      "        --max-pages bounds the paged KV cache (admission switches to page\n"
+      "        accounting; 'auto' derives the budget from the Table-3 memory model);\n"
+      "        --preempt=1 evicts lowest-priority/youngest residents under pressure\n",
       out);
 }
 
@@ -233,6 +237,10 @@ struct ServeOptions {
   serving::SchedulerPolicy policy = serving::SchedulerPolicy::kTokenBudget;
   int64_t budget = 128;
   int64_t max_resident = 4096;
+  int64_t page_tokens = 16;
+  int64_t max_pages = 0;      // 0 = monolithic token accounting
+  bool auto_pages = false;    // --max-pages=auto: derive from TokenCapacity()
+  bool preempt = false;
   int threads = 4;
   int layers = 2;
   int hidden = 64;
@@ -270,6 +278,21 @@ bool ParseServeFlag(const std::string& arg, ServeOptions& opt) {
     opt.budget = ParseI64(value, "budget");
   } else if (key == "--max-resident") {
     opt.max_resident = ParseI64(value, "max-resident");
+  } else if (key == "--page-tokens") {
+    opt.page_tokens = ParseI64(value, "page-tokens");
+  } else if (key == "--max-pages") {
+    if (std::strcmp(value, "auto") == 0) {
+      opt.auto_pages = true;
+    } else {
+      opt.max_pages = ParseI64(value, "max-pages");
+    }
+  } else if (key == "--preempt") {
+    const int64_t v = ParseI64(value, "preempt");
+    if (v != 0 && v != 1) {
+      std::fprintf(stderr, "invalid preempt: '%s' (expected 0 or 1)\n", value);
+      std::exit(2);
+    }
+    opt.preempt = v == 1;
   } else if (key == "--threads") {
     opt.threads = ParseInt(value, "threads");
   } else if (key == "--layers") {
@@ -361,6 +384,14 @@ int CmdServe(int argc, char** argv) {
                  "max-resident >= 1, threads >= 1\n");
     return 2;
   }
+  if (opt.page_tokens < 1 || opt.max_pages < 0) {
+    std::fprintf(stderr, "need page-tokens >= 1 and max-pages >= 0\n");
+    return 2;
+  }
+  if (opt.preempt && opt.max_pages == 0 && !opt.auto_pages) {
+    std::fprintf(stderr, "--preempt=1 requires a bounded page pool (--max-pages)\n");
+    return 2;
+  }
   if (opt.prompt_min < 1 || opt.prompt_max < opt.prompt_min || opt.decode_min < 0 ||
       opt.decode_max < opt.decode_min) {
     std::fprintf(stderr,
@@ -376,6 +407,19 @@ int CmdServe(int argc, char** argv) {
   cfg.top_k = opt.top_k;
   cfg.shared_experts = opt.shared;
   cfg.activation = opt.activation;
+
+  if (opt.auto_pages) {
+    // Page budget from the Table-3 memory model: resident-token capacity next
+    // to this model's weights under Samoyeds storage, in whole pages.
+    opt.max_pages = serving::PageCapacity(cfg, MoeFramework::kSamoyeds, SamoyedsConfig{1, 2, 32},
+                                          DefaultDevice(), opt.page_tokens);
+    if (opt.max_pages < 1) {
+      std::fprintf(stderr, "memory model leaves no KV page capacity for %s\n", cfg.name.c_str());
+      return 2;
+    }
+    std::printf("page budget from memory model: %lld pages of %lld tokens\n",
+                static_cast<long long>(opt.max_pages), static_cast<long long>(opt.page_tokens));
+  }
 
   // Trace: file path or synthetic:<count>.
   Rng rng(opt.seed);
@@ -413,6 +457,9 @@ int CmdServe(int argc, char** argv) {
   engine_cfg.scheduler.policy = opt.policy;
   engine_cfg.scheduler.token_budget = opt.budget;
   engine_cfg.scheduler.max_resident_tokens = opt.max_resident;
+  engine_cfg.scheduler.page_tokens = opt.page_tokens;
+  engine_cfg.scheduler.max_pages = opt.max_pages;
+  engine_cfg.scheduler.preempt = opt.preempt;
   serving::ServingEngine engine(std::move(layers), engine_cfg);
 
   std::printf("serving %s: %d layers, hidden %d, %d experts (top-%d), %s activation\n",
@@ -421,6 +468,14 @@ int CmdServe(int argc, char** argv) {
   std::printf("scheduler: %s, token budget %lld, max resident tokens %lld, %d expert threads\n",
               serving::SchedulerPolicyName(opt.policy), static_cast<long long>(opt.budget),
               static_cast<long long>(opt.max_resident), opt.threads);
+  if (opt.max_pages > 0) {
+    std::printf("kv-cache: %lld pages x %lld tokens (page-accounting admission), preemption %s\n",
+                static_cast<long long>(opt.max_pages), static_cast<long long>(opt.page_tokens),
+                opt.preempt ? "on" : "off");
+  } else {
+    std::printf("kv-cache: paged storage (%lld-token pages), monolithic token admission\n",
+                static_cast<long long>(opt.page_tokens));
+  }
   std::printf("trace: %zu requests\n\n", entries.size());
 
   for (size_t i = 0; i < entries.size(); ++i) {

@@ -247,14 +247,20 @@ TEST(VenomTest, RoundTripAndDensity) {
 }
 
 TEST(VenomTest, KeepsHighestNormColumns) {
-  const VenomConfig cfg{4, 1, 4};
-  MatrixF dense(4, 4);
+  // 4 of 8 columns kept: a multiple of 4 as the second-level 2:4 encode
+  // requires (the encoder asserts kept % 4 == 0 in debug builds).
+  const VenomConfig cfg{4, 4, 8};
+  MatrixF dense(4, 8);
   for (int r = 0; r < 4; ++r) {
     dense(r, 2) = 100.0f;  // column 2 dominates
-    dense(r, 0) = 0.5f;
+    for (int c = 5; c < 8; ++c) {
+      dense(r, c) = 0.5f + 0.1f * static_cast<float>(c);
+    }
   }
   const VenomMatrix enc = VenomMatrix::Encode(dense, cfg);
+  // Kept columns are {2, 5, 6, 7}, reported in ascending order.
   EXPECT_EQ(enc.col_indices(0, 0), 2);
+  EXPECT_EQ(enc.col_indices(0, 1), 5);
 }
 
 TEST(VenomTest, MaskMatchesEncodeDecode) {

@@ -1,0 +1,236 @@
+// Paged KV-cache allocator: unit coverage of the page math and storage
+// round-trips, plus a randomized property test driving thousands of
+// alloc/grow/free/reset operations against a shadow model and asserting the
+// allocator's core invariants after every operation:
+//
+//   * free + used == total pages (conservation),
+//   * per-sequence page counts match ceil(tokens / page_tokens),
+//   * no page is held by two sequences and no page id appears twice
+//     (double-free / double-acquire detection),
+//   * all-or-nothing Extend (a failed grow changes nothing),
+//   * Reset returns the allocator to a fully reusable initial state.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/serving/kv_cache.h"
+#include "src/tensor/rng.h"
+
+namespace samoyeds {
+namespace serving {
+namespace {
+
+TEST(PagesForTokensTest, CeilingDivisionEdgeCases) {
+  EXPECT_EQ(PagesForTokens(0, 4), 0);
+  EXPECT_EQ(PagesForTokens(1, 4), 1);
+  EXPECT_EQ(PagesForTokens(4, 4), 1);
+  EXPECT_EQ(PagesForTokens(5, 4), 2);
+  EXPECT_EQ(PagesForTokens(8, 4), 2);
+  EXPECT_EQ(PagesForTokens(7, 1), 7);
+}
+
+TEST(KvPageAllocatorTest, ExtendAcquiresPagesAtBoundariesOnly) {
+  KvPageAllocator alloc(KvCacheConfig{4, 8});
+  EXPECT_TRUE(alloc.Extend(1, 3));  // 3 tokens -> 1 page
+  EXPECT_EQ(alloc.used_pages(), 1);
+  EXPECT_EQ(alloc.PagesToExtend(1, 1), 0);  // 4th token fits the tail page
+  EXPECT_TRUE(alloc.Extend(1, 1));
+  EXPECT_EQ(alloc.used_pages(), 1);
+  EXPECT_EQ(alloc.PagesToExtend(1, 1), 1);  // 5th token opens a page
+  EXPECT_TRUE(alloc.Extend(1, 1));
+  EXPECT_EQ(alloc.used_pages(), 2);
+  EXPECT_EQ(alloc.SequenceTokens(1), 5);
+  EXPECT_EQ(alloc.SequencePages(1).size(), 2u);
+  EXPECT_EQ(alloc.FragmentationWaste(), 3);  // 8 slots held, 5 filled
+}
+
+TEST(KvPageAllocatorTest, FailedExtendIsAllOrNothing) {
+  KvPageAllocator alloc(KvCacheConfig{4, 3});
+  ASSERT_TRUE(alloc.Extend(1, 8));  // 2 pages
+  EXPECT_FALSE(alloc.Extend(2, 8));  // needs 2, only 1 left
+  EXPECT_EQ(alloc.used_pages(), 2);
+  EXPECT_EQ(alloc.free_pages(), 1);
+  EXPECT_EQ(alloc.SequenceTokens(2), 0);
+  EXPECT_FALSE(alloc.Has(2));  // the failed grow left no sequence behind...
+  EXPECT_TRUE(alloc.Extend(2, 4));  // ...and a fitting retry succeeds
+  EXPECT_EQ(alloc.free_pages(), 0);
+  // Growing an existing sequence past the pool also changes nothing.
+  const int64_t tokens_before = alloc.SequenceTokens(2);
+  EXPECT_FALSE(alloc.Extend(2, 1));
+  EXPECT_EQ(alloc.SequenceTokens(2), tokens_before);
+  EXPECT_EQ(alloc.used_pages(), 3);
+}
+
+TEST(KvPageAllocatorTest, FreeIsIdempotentAndReusesPagesDeterministically) {
+  KvPageAllocator alloc(KvCacheConfig{4, 4});
+  ASSERT_TRUE(alloc.Extend(1, 8));
+  const std::vector<int32_t> first_pages = alloc.SequencePages(1);
+  alloc.Free(1);
+  EXPECT_EQ(alloc.used_pages(), 0);
+  EXPECT_EQ(alloc.free_pages(), 4);
+  alloc.Free(1);  // double free: no-op, conservation holds
+  alloc.Free(99);  // unknown id: no-op
+  EXPECT_EQ(alloc.used_pages() + alloc.free_pages(), alloc.total_pages());
+
+  // LIFO free list: the next sequence gets the same page ids back in order.
+  ASSERT_TRUE(alloc.Extend(2, 8));
+  EXPECT_EQ(alloc.SequencePages(2), first_pages);
+}
+
+TEST(KvPageAllocatorTest, UnboundedPoolMintsOnDemandAndRecycles) {
+  KvPageAllocator alloc(KvCacheConfig{4, 0});
+  EXPECT_FALSE(alloc.bounded());
+  ASSERT_TRUE(alloc.Extend(1, 100));  // 25 pages minted
+  EXPECT_EQ(alloc.total_pages(), 25);
+  EXPECT_EQ(alloc.used_pages() + alloc.free_pages(), alloc.total_pages());
+  alloc.Free(1);
+  ASSERT_TRUE(alloc.Extend(2, 60));  // refilled from the free list, no minting
+  EXPECT_EQ(alloc.total_pages(), 25);
+  EXPECT_EQ(alloc.used_pages(), 15);
+}
+
+TEST(PagedKvCacheTest, RowsSurviveAcrossPageBoundariesPerLayer) {
+  const int64_t kHidden = 4;
+  PagedKvCache cache(KvCacheConfig{3, 0}, /*layers=*/2, kHidden);
+  ASSERT_TRUE(cache.Extend(7, 8));  // 8 tokens over 3-token pages -> 3 pages
+  for (int64_t layer = 0; layer < 2; ++layer) {
+    for (int64_t t = 0; t < 8; ++t) {
+      float* row = cache.Row(7, layer, t);
+      for (int64_t c = 0; c < kHidden; ++c) {
+        row[c] = static_cast<float>(100 * layer + 10 * t + c);
+      }
+    }
+  }
+  // A second sequence must not disturb the first (disjoint pages), even when
+  // its growth mints new pages and regrows the arenas.
+  ASSERT_TRUE(cache.Extend(8, 50));
+  for (int64_t t = 0; t < 50; ++t) {
+    cache.Row(8, 0, t)[0] = -1.0f;
+  }
+
+  std::vector<float> gathered(8 * kHidden);
+  for (int64_t layer = 0; layer < 2; ++layer) {
+    cache.GatherRows(7, layer, 8, gathered.data());
+    for (int64_t t = 0; t < 8; ++t) {
+      for (int64_t c = 0; c < kHidden; ++c) {
+        EXPECT_EQ(gathered[static_cast<size_t>(t * kHidden + c)],
+                  static_cast<float>(100 * layer + 10 * t + c))
+            << "layer " << layer << " token " << t;
+      }
+    }
+  }
+}
+
+TEST(PagedKvCacheTest, HugePageBudgetDoesNotPreallocateStorage) {
+  // A memory-model-derived budget can be hundreds of thousands of pages
+  // (--max-pages=auto); backing arenas must track pages actually minted, not
+  // the configured bound, or the first Extend allocates gigabytes.
+  PagedKvCache cache(KvCacheConfig{16, 1'000'000'000}, /*layers=*/2, /*hidden=*/64);
+  ASSERT_TRUE(cache.Extend(1, 40));
+  EXPECT_EQ(cache.allocator().minted_pages(), 3);
+  EXPECT_EQ(cache.allocator().free_pages(), 1'000'000'000 - 3);
+  cache.Row(1, 1, 39)[0] = 1.0f;  // last slot is addressable
+}
+
+// ---- Randomized property test ----------------------------------------------
+
+struct ShadowModel {
+  std::map<int64_t, int64_t> tokens;  // live sequence -> token count
+};
+
+void CheckInvariants(const KvPageAllocator& alloc, const ShadowModel& shadow,
+                     const KvCacheConfig& cfg) {
+  ASSERT_EQ(alloc.used_pages() + alloc.free_pages(), alloc.total_pages());
+  ASSERT_EQ(alloc.num_sequences(), static_cast<int64_t>(shadow.tokens.size()));
+
+  int64_t expect_used = 0;
+  int64_t expect_tokens = 0;
+  std::set<int32_t> seen_pages;
+  for (const auto& [id, tokens] : shadow.tokens) {
+    ASSERT_TRUE(alloc.Has(id));
+    ASSERT_EQ(alloc.SequenceTokens(id), tokens);
+    const std::vector<int32_t>& pages = alloc.SequencePages(id);
+    ASSERT_EQ(static_cast<int64_t>(pages.size()), PagesForTokens(tokens, cfg.page_tokens));
+    for (int32_t page : pages) {
+      ASSERT_GE(page, 0);
+      ASSERT_LT(page, alloc.total_pages());
+      // No page is owned by two sequences or listed twice.
+      ASSERT_TRUE(seen_pages.insert(page).second) << "page " << page << " double-owned";
+    }
+    expect_used += static_cast<int64_t>(pages.size());
+    expect_tokens += tokens;
+  }
+  ASSERT_EQ(alloc.used_pages(), expect_used);
+  ASSERT_EQ(alloc.cached_tokens(), expect_tokens);
+  ASSERT_EQ(alloc.FragmentationWaste(), expect_used * cfg.page_tokens - expect_tokens);
+}
+
+TEST(KvPageAllocatorTest, RandomizedLifecycleKeepsInvariants) {
+  const KvCacheConfig cfg{4, 13};
+  KvPageAllocator alloc(cfg);
+  ShadowModel shadow;
+  Rng rng(1234);
+  int64_t next_id = 0;
+  int64_t failed_extends = 0;
+  int64_t resets = 0;
+
+  for (int op = 0; op < 4000; ++op) {
+    const uint64_t dice = rng.NextBounded(100);
+    if (dice < 40) {  // grow an existing sequence (or create one)
+      int64_t id;
+      if (shadow.tokens.empty() || rng.NextBounded(4) == 0) {
+        id = next_id++;
+      } else {
+        auto it = shadow.tokens.begin();
+        std::advance(it, static_cast<int64_t>(rng.NextBounded(shadow.tokens.size())));
+        id = it->first;
+      }
+      const int64_t grow = static_cast<int64_t>(rng.NextBounded(9));  // 0..8 tokens
+      const int64_t need = alloc.PagesToExtend(id, grow);
+      const bool expect_ok = need <= alloc.free_pages();
+      ASSERT_EQ(alloc.Extend(id, grow), expect_ok);
+      if (expect_ok) {
+        shadow.tokens[id] += grow;
+      } else {
+        ++failed_extends;
+      }
+    } else if (dice < 70) {  // fresh sequence with a sized first allocation
+      const int64_t id = next_id++;
+      const int64_t tokens = static_cast<int64_t>(rng.NextBounded(20));
+      const bool expect_ok = PagesForTokens(tokens, cfg.page_tokens) <= alloc.free_pages();
+      ASSERT_EQ(alloc.Extend(id, tokens), expect_ok);
+      if (expect_ok) {
+        shadow.tokens[id] += tokens;
+      } else {
+        ++failed_extends;
+      }
+    } else if (dice < 97) {  // free a random live sequence (or a bogus id)
+      if (shadow.tokens.empty() || rng.NextBounded(8) == 0) {
+        alloc.Free(next_id + 1000);  // unknown id: must be a no-op
+      } else {
+        auto it = shadow.tokens.begin();
+        std::advance(it, static_cast<int64_t>(rng.NextBounded(shadow.tokens.size())));
+        alloc.Free(it->first);
+        shadow.tokens.erase(it);
+      }
+    } else {  // reset: allocator must come back fully reusable
+      alloc.Reset();
+      shadow.tokens.clear();
+      ++resets;
+      ASSERT_EQ(alloc.used_pages(), 0);
+      ASSERT_EQ(alloc.free_pages(), cfg.total_pages);
+    }
+    CheckInvariants(alloc, shadow, cfg);
+  }
+  // The schedule actually exercised contention and reuse.
+  EXPECT_GT(failed_extends, 0);
+  EXPECT_GT(resets, 0);
+  EXPECT_GT(next_id, 100);
+}
+
+}  // namespace
+}  // namespace serving
+}  // namespace samoyeds

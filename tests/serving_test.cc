@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstring>
 
 #include "src/moe/decoder_layer.h"
 #include "src/serving/batch_assembler.h"
@@ -198,10 +199,94 @@ TEST(SchedulerTest, RejectsRequestsThatCanNeverFit) {
 
   const auto decision = sched.Admit(0, ResidentSnapshot{0, 0});
   ASSERT_EQ(decision.rejected.size(), 2u);
-  EXPECT_EQ(decision.rejected[0].id, 1);
-  EXPECT_EQ(decision.rejected[1].id, 2);
+  EXPECT_EQ(decision.rejected[0].request.id, 1);
+  EXPECT_NE(std::strstr(decision.rejected[0].reason, "token budget"), nullptr);
+  EXPECT_EQ(decision.rejected[1].request.id, 2);
+  EXPECT_NE(std::strstr(decision.rejected[1].reason, "resident capacity"), nullptr);
   ASSERT_EQ(decision.admitted.size(), 1u);
   EXPECT_EQ(decision.admitted[0].id, 3);
+}
+
+// ---- Scheduler: paged admission ---------------------------------------------
+
+SchedulerConfig PagedConfig(int64_t page_tokens, int64_t max_pages, bool preempt) {
+  SchedulerConfig cfg;
+  cfg.policy = SchedulerPolicy::kFcfs;
+  cfg.token_budget = 64;
+  cfg.page_tokens = page_tokens;
+  cfg.max_pages = max_pages;
+  cfg.preempt = preempt;
+  return cfg;
+}
+
+TEST(SchedulerTest, PagedAdmissionPacksToExactlyFullCapacity) {
+  // Conservative accounting (preempt off): the full prompt+decode lifetime
+  // must fit next to the residents' reserved pages.
+  Scheduler sched(PagedConfig(/*page_tokens=*/4, /*max_pages=*/4, /*preempt=*/false));
+  sched.Enqueue(Sized(1, 4, 4));  // 8 tokens = 2 pages
+  sched.Enqueue(Sized(2, 5, 3));  // 8 tokens = 2 pages -> pool exactly full
+  sched.Enqueue(Sized(3, 1, 0));  // 1 token = 1 page: must wait, not reject
+
+  auto decision = sched.Admit(0, ResidentSnapshot{});
+  ASSERT_EQ(decision.admitted.size(), 2u);
+  EXPECT_TRUE(decision.rejected.empty());
+  EXPECT_EQ(sched.pending(), 1);
+
+  // With the pool exactly full nothing more fits...
+  ResidentSnapshot resident;
+  resident.sequences = 2;
+  resident.tokens = 16;
+  resident.reserved_pages = 4;
+  resident.used_pages = 4;
+  EXPECT_TRUE(sched.Admit(2, resident).admitted.empty());
+  // ...and after the residents retire, the waiter is admitted.
+  EXPECT_EQ(sched.Admit(0, ResidentSnapshot{}).admitted.size(), 1u);
+}
+
+TEST(SchedulerTest, RejectsLifetimesBeyondThePageBudgetUpFront) {
+  Scheduler sched(PagedConfig(4, 4, /*preempt=*/true));
+  sched.Enqueue(Sized(1, 10, 8));  // 18 tokens = 5 pages > 4-page pool
+  sched.Enqueue(Sized(2, 4, 4));
+
+  const auto decision = sched.Admit(0, ResidentSnapshot{});
+  ASSERT_EQ(decision.rejected.size(), 1u);
+  EXPECT_EQ(decision.rejected[0].request.id, 1);
+  EXPECT_NE(std::strstr(decision.rejected[0].reason, "page budget"), nullptr);
+  ASSERT_EQ(decision.admitted.size(), 1u);
+  EXPECT_EQ(decision.admitted[0].id, 2);
+}
+
+TEST(SchedulerTest, PreemptiveAdmissionOnlyChargesThePrompt) {
+  // Optimistic accounting (preempt on): a request whose prompt fits right now
+  // is admitted even though its full lifetime would not fit conservatively.
+  Scheduler sched(PagedConfig(4, 4, /*preempt=*/true));
+  sched.Enqueue(Sized(1, 4, 11));  // lifetime 15 tokens = 4 pages, prompt = 1 page
+
+  ResidentSnapshot resident;
+  resident.sequences = 1;
+  resident.tokens = 8;
+  resident.used_pages = 2;      // what is held right now
+  resident.reserved_pages = 4;  // what conservative accounting would charge
+  const auto decision = sched.Admit(1, resident);
+  ASSERT_EQ(decision.admitted.size(), 1u);
+
+  Scheduler conservative(PagedConfig(4, 4, /*preempt=*/false));
+  conservative.Enqueue(Sized(1, 4, 11));
+  EXPECT_TRUE(conservative.Admit(1, resident).admitted.empty());
+}
+
+TEST(SchedulerTest, PickVictimPrefersLowPriorityThenYoungest) {
+  const std::vector<VictimCandidate> residents = {
+      {10, /*priority=*/1, /*admit_seq=*/0},
+      {11, /*priority=*/0, /*admit_seq=*/1},
+      {12, /*priority=*/0, /*admit_seq=*/3},
+      {13, /*priority=*/2, /*admit_seq=*/4},
+  };
+  // Lowest priority class is {11, 12}; the youngest of those is 12.
+  EXPECT_EQ(residents[Scheduler::PickVictim(residents)].id, 12);
+  // Ties on priority and admit_seq fall back to the largest id.
+  const std::vector<VictimCandidate> tied = {{5, 0, 7}, {9, 0, 7}, {2, 0, 7}};
+  EXPECT_EQ(tied[Scheduler::PickVictim(tied)].id, 9);
 }
 
 TEST(SchedulerTest, MemoryModelCapacityIsPositiveAndFrameworkOrdered) {
@@ -214,6 +299,12 @@ TEST(SchedulerTest, MemoryModelCapacityIsPositiveAndFrameworkOrdered) {
   EXPECT_GT(samoyeds_cap, 0);
   // The sparse format frees weight memory for serving capacity (Table 3).
   EXPECT_GT(samoyeds_cap, dense_cap);
+
+  // The paged admission budget is the same capacity in whole pages.
+  const int64_t pages =
+      PageCapacity(model, MoeFramework::kSamoyeds, fmt, DefaultDevice(), /*page_tokens=*/16);
+  EXPECT_EQ(pages, samoyeds_cap / 16);
+  EXPECT_GT(pages, 0);
 }
 
 // ---- ExpertPool -------------------------------------------------------------
@@ -364,6 +455,10 @@ TEST(ServingEngineTest, RejectsOversizedAndMalformedRequests) {
 
   engine.RunUntilDrained(1000);
   EXPECT_EQ(engine.Status(7), RequestStatus::kRejected);
+  ASSERT_NE(engine.Result(7), nullptr);
+  EXPECT_NE(engine.Result(7)->reason.find("token budget"), std::string::npos);
+  ASSERT_NE(engine.Result(8), nullptr);
+  EXPECT_NE(engine.Result(8)->reason.find("malformed"), std::string::npos);
   EXPECT_EQ(engine.Status(9), RequestStatus::kFinished);
 
   const ServingReport report = engine.Report();
@@ -439,6 +534,147 @@ TEST(ServingEngineTest, IdleStepsFastForwardToNextArrival) {
   EXPECT_GE(engine.current_step(), 100);
 }
 
+// ---- Engine: paged KV cache + preemption ------------------------------------
+
+EngineConfig PagedEngineConfig(int64_t page_tokens, int64_t max_pages, bool preempt) {
+  EngineConfig cfg = TinyEngineConfig();
+  cfg.scheduler.page_tokens = page_tokens;
+  cfg.scheduler.max_pages = max_pages;
+  cfg.scheduler.preempt = preempt;
+  return cfg;
+}
+
+TEST(ServingEngineTest, ZeroDecodeRequestFinishesAfterPrefillUnderPaging) {
+  Rng rng(91);
+  const MoeModelConfig cfg = TinyConfig();
+  const TinyModel model = BuildTinyModel(rng, 1, cfg);
+  ServingEngine engine(model.sparse, PagedEngineConfig(4, 8, /*preempt=*/true));
+
+  const Request r = MakeTestRequest(rng, 0, 0, 6, 0, cfg.hidden);
+  ASSERT_TRUE(engine.Submit(r));
+  engine.RunUntilDrained(100);
+
+  ASSERT_EQ(engine.Status(0), RequestStatus::kFinished);
+  const RequestResult* result = engine.Result(0);
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->outputs.rows(), 6);
+  // The retired sequence released its pages.
+  EXPECT_EQ(engine.kv_cache().allocator().used_pages(), 0);
+  const MatrixF ref = DecoderStackForwardReference(r.inputs, model.dense, 4, 2,
+                                                   Activation::kSilu);
+  EXPECT_LT(RelativeError(result->outputs, ref), 2e-2);
+}
+
+TEST(ServingEngineTest, SchedulerRejectionReasonSurfacesInResult) {
+  Rng rng(93);
+  const MoeModelConfig cfg = TinyConfig();
+  const TinyModel model = BuildTinyModel(rng, 1, cfg);
+  ServingEngine engine(model.sparse, PagedEngineConfig(4, 4, /*preempt=*/true));
+
+  // 4 + 20 = 24 tokens = 6 pages > the 4-page pool: rejected up front.
+  ASSERT_TRUE(engine.Submit(MakeTestRequest(rng, 1, 0, 4, 20, cfg.hidden)));
+  engine.RunUntilDrained(100);
+  ASSERT_EQ(engine.Status(1), RequestStatus::kRejected);
+  const RequestResult* result = engine.Result(1);
+  ASSERT_NE(result, nullptr);
+  EXPECT_NE(result->reason.find("page budget"), std::string::npos) << result->reason;
+}
+
+// Shared workload for the preemption tests: four 8+8 requests against an
+// 8-page pool of 4-token pages (32 slots for 64 tokens of demand), so decode
+// growth must evict residents.
+std::vector<Request> SubmitPreemptionWorkload(Rng& rng, ServingEngine& engine,
+                                              int64_t hidden) {
+  std::vector<Request> requests;
+  for (int64_t i = 0; i < 4; ++i) {
+    requests.push_back(MakeTestRequest(rng, i, /*arrival=*/0, /*prompt=*/8, /*decode=*/8,
+                                       hidden));
+    EXPECT_TRUE(engine.Submit(requests.back()));
+  }
+  return requests;
+}
+
+TEST(ServingEngineTest, PreemptedRequestsFinishAndMatchTheReference) {
+  Rng rng(95);
+  const MoeModelConfig cfg = TinyConfig();
+  const TinyModel model = BuildTinyModel(rng, /*layers=*/2, cfg);
+  EngineConfig engine_cfg = PagedEngineConfig(/*page_tokens=*/4, /*max_pages=*/8,
+                                              /*preempt=*/true);
+  engine_cfg.scheduler.token_budget = 40;
+  ServingEngine engine(model.sparse, engine_cfg);
+
+  Rng req_rng(96);
+  const std::vector<Request> requests = SubmitPreemptionWorkload(req_rng, engine, cfg.hidden);
+  engine.RunUntilDrained(/*max_steps=*/10000);
+
+  // Capacity really was forced low enough to evict.
+  EXPECT_FALSE(engine.metrics().preemption_log().empty());
+  EXPECT_GT(engine.Report().preemptions, 0);
+
+  // Every request — including every preempted one — finished and reproduces
+  // the full-sequence reference at the usual bf16 tolerance.
+  for (const Request& r : requests) {
+    ASSERT_EQ(engine.Status(r.id), RequestStatus::kFinished) << "request " << r.id;
+    const RequestResult* result = engine.Result(r.id);
+    ASSERT_NE(result, nullptr);
+    ASSERT_EQ(result->outputs.rows(), r.total_tokens());
+    const MatrixF ref = DecoderStackForwardReference(r.inputs, model.dense, /*heads=*/4,
+                                                     /*top_k=*/2, Activation::kSilu);
+    EXPECT_LT(RelativeError(result->outputs, ref), 2e-2) << "request " << r.id;
+  }
+  EXPECT_EQ(engine.kv_cache().allocator().used_pages(), 0);
+  // A preempted request's recompute was charged to its metrics.
+  int64_t preempted_requests = 0;
+  for (const auto& [id, rm] : engine.metrics().requests()) {
+    preempted_requests += rm.preemptions > 0 ? 1 : 0;
+  }
+  EXPECT_GT(preempted_requests, 0);
+}
+
+TEST(ServingEngineTest, EvictionOrderIsDeterministicAcrossRuns) {
+  Rng seed_rng(97);
+  const MoeModelConfig cfg = TinyConfig();
+  const TinyModel model = BuildTinyModel(seed_rng, 2, cfg);
+
+  std::vector<std::vector<std::pair<int64_t, int64_t>>> logs;
+  for (int run = 0; run < 2; ++run) {
+    EngineConfig engine_cfg = PagedEngineConfig(4, 8, /*preempt=*/true);
+    engine_cfg.scheduler.token_budget = 40;
+    engine_cfg.threads = run == 0 ? 1 : 4;  // thread count must not matter
+    ServingEngine engine(model.sparse, engine_cfg);
+    Rng req_rng(98);  // identical workload per run
+    SubmitPreemptionWorkload(req_rng, engine, cfg.hidden);
+    engine.RunUntilDrained(10000);
+    logs.push_back(engine.metrics().preemption_log());
+  }
+  ASSERT_FALSE(logs[0].empty());
+  EXPECT_EQ(logs[0], logs[1]);
+}
+
+TEST(ServingEngineTest, EvictionRespectsRequestPriority) {
+  Rng rng(99);
+  const MoeModelConfig cfg = TinyConfig();
+  const TinyModel model = BuildTinyModel(rng, 1, cfg);
+  // 4-page pool of 4-token pages; two 4+8 sequences prefill into one page
+  // each, then decode growth forces an eviction at the 8-token boundary.
+  ServingEngine engine(model.sparse, PagedEngineConfig(4, 4, /*preempt=*/true));
+
+  Request important = MakeTestRequest(rng, 0, 0, 4, 8, cfg.hidden);
+  important.priority = 1;
+  Request best_effort = MakeTestRequest(rng, 1, 0, 4, 8, cfg.hidden);
+  ASSERT_TRUE(engine.Submit(important));
+  ASSERT_TRUE(engine.Submit(best_effort));
+  engine.RunUntilDrained(10000);
+
+  ASSERT_EQ(engine.Status(0), RequestStatus::kFinished);
+  ASSERT_EQ(engine.Status(1), RequestStatus::kFinished);
+  const auto& log = engine.metrics().preemption_log();
+  ASSERT_FALSE(log.empty());
+  for (const auto& [victim, step] : log) {
+    EXPECT_EQ(victim, 1) << "high-priority request evicted at step " << step;
+  }
+}
+
 // ---- Trace ------------------------------------------------------------------
 
 TEST(TraceTest, SyntheticTraceShapesAndArrivalMonotonicity) {
@@ -460,16 +696,20 @@ TEST(TraceTest, ParseTraceFileRoundTrip) {
   const std::string path = ::testing::TempDir() + "/serving_trace_test.txt";
   std::FILE* f = std::fopen(path.c_str(), "w");
   ASSERT_NE(f, nullptr);
-  std::fputs("# step prompt decode\n0 8 4\n2 16 8  # inline comment\n\n5 4 0\n", f);
+  std::fputs("# step prompt decode [priority]\n0 8 4\n2 16 8  # inline comment\n\n5 4 0\n"
+             "6 4 2 3\n",
+             f);
   std::fclose(f);
 
   std::string error;
   const auto entries = ParseTraceFile(path, &error);
   EXPECT_TRUE(error.empty()) << error;
-  ASSERT_EQ(entries.size(), 3u);
+  ASSERT_EQ(entries.size(), 4u);
   EXPECT_EQ(entries[1].arrival_step, 2);
   EXPECT_EQ(entries[1].prompt_len, 16);
   EXPECT_EQ(entries[2].max_new_tokens, 0);
+  EXPECT_EQ(entries[2].priority, 0);  // omitted priority defaults to 0
+  EXPECT_EQ(entries[3].priority, 3);  // optional fourth column
 
   std::FILE* bad = std::fopen(path.c_str(), "w");
   std::fputs("0 8\n", bad);  // missing field
@@ -481,6 +721,14 @@ TEST(TraceTest, ParseTraceFileRoundTrip) {
   std::FILE* garbage = std::fopen(path.c_str(), "w");
   std::fputs("0 8 4\nnot a line\n", garbage);
   std::fclose(garbage);
+  error.clear();
+  EXPECT_TRUE(ParseTraceFile(path, &error).empty());
+  EXPECT_FALSE(error.empty());
+
+  // Five fields (anything after the optional priority) is also an error.
+  std::FILE* extra = std::fopen(path.c_str(), "w");
+  std::fputs("0 8 4 1 9\n", extra);
+  std::fclose(extra);
   error.clear();
   EXPECT_TRUE(ParseTraceFile(path, &error).empty());
   EXPECT_FALSE(error.empty());
