@@ -1,103 +1,415 @@
-// Wall-clock micro-benchmarks (google-benchmark) of the functional CPU
-// substrate: the SpTC fragment op, format encoders, and the Samoyeds SSMM
-// execution path. These measure the *simulator's* own speed — useful for
-// keeping the test/bench suite fast — not GPU performance (which is the
-// domain of the fig*/table* harnesses).
+// Wall-clock micro-benchmarks of the functional CPU substrate: the SpTC
+// fragment op, the SSMM execution paths (fragment-model reference vs the
+// packed-panel optimized kernel), the workspace-driven expert/MoE forwards,
+// and a steady-state serving decode step. These measure the *simulator's*
+// own speed — not GPU performance (the domain of the fig*/table* harnesses).
+//
+// Self-contained harness (no google-benchmark) so it can also act as a CI
+// gate:
+//   * a global allocation counter (operator new override) reports
+//     allocations per iteration for every benchmark, and the run FAILS if
+//     the workspace-enabled MoE forward allocates in steady state;
+//   * the run FAILS if the optimized kernel is not bit-identical to the
+//     fragment-model reference;
+//   * --json=PATH emits machine-readable results (tokens/s, GFLOP/s, alloc
+//     counts) so the perf trajectory is tracked from PR 3 onward;
+//   * --smoke shrinks every measurement for fast CI sanity runs.
 
-#include <benchmark/benchmark.h>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "src/core/samoyeds_kernel.h"
-#include "src/formats/nm24.h"
-#include "src/formats/samoyeds_format.h"
-#include "src/formats/venom.h"
+#include "src/core/ssmm_workspace.h"
+#include "src/moe/decoder_layer.h"
+#include "src/moe/moe_layer.h"
+#include "src/moe/router.h"
+#include "src/serving/engine.h"
+#include "src/serving/expert_pool.h"
 #include "src/sptc/mma_sp.h"
-#include "src/tensor/gemm_ref.h"
 #include "src/tensor/rng.h"
+
+// ---- global allocation counter ---------------------------------------------
+// Every usual allocation form is replaced as a set (plain, nothrow, and
+// aligned new; all delete flavors) so no allocation can arrive from a
+// default operator new and be released into std::free — and none escapes
+// the counter. (libstdc++ reaches the nothrow form from std::stable_sort's
+// temporary-buffer acquisition, for example.)
+
+static std::atomic<int64_t> g_allocs{0};
+
+namespace {
+
+void* CountedAlloc(std::size_t size) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+
+void* CountedAlignedAlloc(std::size_t size, std::size_t align) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  // Extended-alignment news only fire for align > default new alignment, so
+  // align satisfies posix_memalign's power-of-two, >= sizeof(void*) rules.
+  void* p = nullptr;
+  if (posix_memalign(&p, align, size ? size : align) != 0) {
+    return nullptr;
+  }
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (void* p = CountedAlloc(size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  if (void* p = CountedAlloc(size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  if (void* p = CountedAlignedAlloc(size, static_cast<std::size_t>(align))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  if (void* p = CountedAlignedAlloc(size, static_cast<std::size_t>(align))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, std::align_val_t align, const std::nothrow_t&) noexcept {
+  return CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
 
 namespace samoyeds {
 namespace {
 
-void BM_MmaSp(benchmark::State& state) {
-  Rng rng(1);
-  SparseAFragment a;
-  for (int i = 0; i < kMmaM * kMmaKCompressed; ++i) {
-    a.values[static_cast<size_t>(i)] = rng.NextGaussian();
-    a.meta[static_cast<size_t>(i)] = static_cast<uint8_t>(i % 2 == 0 ? 0 : 2);
-  }
-  DenseBFragment b;
-  for (auto& v : b.values) {
-    v = rng.NextGaussian();
-  }
-  Accumulator c;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(MmaSp(a, b, c));
-  }
-  state.SetItemsProcessed(state.iterations() * kMmaM * kMmaN * kMmaK);
-}
-BENCHMARK(BM_MmaSp);
+using Clock = std::chrono::steady_clock;
 
-void BM_SamoyedsEncode(benchmark::State& state) {
-  Rng rng(2);
-  const int64_t dim = state.range(0);
-  const MatrixF dense = rng.GaussianMatrix(dim, dim);
-  const SamoyedsConfig cfg{1, 2, 32};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(SamoyedsMatrix::Encode(dense, cfg));
-  }
-  state.SetItemsProcessed(state.iterations() * dim * dim);
-}
-BENCHMARK(BM_SamoyedsEncode)->Arg(128)->Arg(512);
+struct BenchResult {
+  std::string name;
+  int64_t iters = 0;
+  double ms_per_iter = 0.0;
+  double tokens_per_s = 0.0;  // 0 when the benchmark has no token dimension
+  double gflops = 0.0;        // useful-FLOP rate; 0 when not meaningful
+  double allocs_per_iter = 0.0;
+};
 
-void BM_TwoFourEncode(benchmark::State& state) {
-  Rng rng(3);
-  const int64_t dim = state.range(0);
-  const MatrixF dense = rng.GaussianMatrix(dim, dim);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(TwoFourMatrix::Encode(dense));
-  }
-  state.SetItemsProcessed(state.iterations() * dim * dim);
-}
-BENCHMARK(BM_TwoFourEncode)->Arg(128)->Arg(512);
+// Runs fn() for ~min_seconds after two warm-up calls; `tokens` and `flops`
+// are per-iteration counts used for the derived rates.
+template <typename Fn>
+BenchResult Measure(const std::string& name, double min_seconds, int64_t tokens, double flops,
+                    Fn&& fn) {
+  fn();
+  fn();  // warm-up: buffers reach steady-state shape, caches warm
+  const int64_t allocs_before = g_allocs.load(std::memory_order_relaxed);
+  const auto t0 = Clock::now();
+  int64_t iters = 0;
+  double elapsed = 0.0;
+  do {
+    fn();
+    ++iters;
+    elapsed = std::chrono::duration<double>(Clock::now() - t0).count();
+  } while (elapsed < min_seconds);
+  const int64_t allocs = g_allocs.load(std::memory_order_relaxed) - allocs_before;
 
-void BM_VenomEncode(benchmark::State& state) {
-  Rng rng(4);
-  const int64_t dim = state.range(0);
-  const MatrixF dense = rng.GaussianMatrix(dim, dim);
-  const VenomConfig cfg{64, 2, 4};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(VenomMatrix::Encode(dense, cfg));
-  }
-  state.SetItemsProcessed(state.iterations() * dim * dim);
+  BenchResult r;
+  r.name = name;
+  r.iters = iters;
+  r.ms_per_iter = elapsed * 1e3 / static_cast<double>(iters);
+  r.tokens_per_s = tokens > 0 ? static_cast<double>(tokens * iters) / elapsed : 0.0;
+  r.gflops = flops > 0.0 ? flops * static_cast<double>(iters) / elapsed * 1e-9 : 0.0;
+  r.allocs_per_iter = static_cast<double>(allocs) / static_cast<double>(iters);
+  return r;
 }
-BENCHMARK(BM_VenomEncode)->Arg(128)->Arg(512);
 
-void BM_SamoyedsKernelRun(benchmark::State& state) {
-  Rng rng(5);
-  const int64_t dim = state.range(0);
-  const MatrixF w = rng.GaussianMatrix(dim, dim);
-  const MatrixF b = rng.GaussianMatrix(dim, dim / 2);
-  const SamoyedsMatrix enc = SamoyedsMatrix::Encode(w, SamoyedsConfig{1, 2, 32});
-  const Selection sel = Selection::All(dim / 2);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(SamoyedsKernel::Run(enc, b, sel));
-  }
-  state.SetItemsProcessed(state.iterations() * dim * dim * (dim / 2));
+void PrintResult(const BenchResult& r) {
+  std::printf("%-28s %10.4f ms/iter %12.0f tokens/s %8.3f GFLOP/s %10.1f allocs/iter\n",
+              r.name.c_str(), r.ms_per_iter, r.tokens_per_s, r.gflops, r.allocs_per_iter);
 }
-BENCHMARK(BM_SamoyedsKernelRun)->Arg(64)->Arg(128)->Arg(256);
 
-void BM_GemmRef(benchmark::State& state) {
-  Rng rng(6);
-  const int64_t dim = state.range(0);
-  const MatrixF a = rng.GaussianMatrix(dim, dim);
-  const MatrixF b = rng.GaussianMatrix(dim, dim);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(GemmRef(a, b));
+void AppendJson(std::string& out, const BenchResult& r) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "    {\"name\": \"%s\", \"iters\": %lld, \"ms_per_iter\": %.6f, "
+                "\"tokens_per_s\": %.1f, \"gflops\": %.4f, \"allocs_per_iter\": %.2f}",
+                r.name.c_str(), static_cast<long long>(r.iters), r.ms_per_iter, r.tokens_per_s,
+                r.gflops, r.allocs_per_iter);
+  if (!out.empty()) {
+    out += ",\n";
   }
-  state.SetItemsProcessed(state.iterations() * dim * dim * dim);
+  out += buf;
 }
-BENCHMARK(BM_GemmRef)->Arg(128)->Arg(256);
+
+int RunBench(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  double seconds = 0.15;
+  int threads = 2;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(std::strlen("--json="));
+    } else if (arg.rfind("--seconds=", 0) == 0) {
+      seconds = std::atof(arg.c_str() + std::strlen("--seconds="));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = std::atoi(arg.c_str() + std::strlen("--threads="));
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_micro_kernel_wallclock [--smoke] [--json=PATH] "
+                   "[--seconds=S] [--threads=N]\n");
+      return 2;
+    }
+  }
+  if (smoke) {
+    seconds = 0.01;
+  }
+
+  // The default MoE shape the acceptance numbers quote: a routed expert of
+  // the bench model (hidden 128, intermediate 256), batch of 64 tokens,
+  // top-2 of 8 experts => ~16 tokens per expert per projection.
+  const int64_t hidden = 128;
+  const int64_t inter = 256;
+  const int64_t tokens = 64;
+  const int num_experts = 8;
+  const int top_k = 2;
+  const SamoyedsConfig fmt{1, 2, 32};
+
+  Rng rng(7);
+  std::vector<BenchResult> results;
+  bool failed = false;
+
+  // --- SpTC fragment op ---------------------------------------------------
+  {
+    SparseAFragment a;
+    for (int i = 0; i < kMmaM * kMmaKCompressed; ++i) {
+      a.values[static_cast<size_t>(i)] = rng.NextGaussian();
+      a.meta[static_cast<size_t>(i)] = static_cast<uint8_t>(i % 2 == 0 ? 0 : 2);
+    }
+    DenseBFragment b;
+    for (auto& v : b.values) {
+      v = rng.NextGaussian();
+    }
+    Accumulator c;
+    results.push_back(Measure("mma_sp_fragment", seconds, 0,
+                              2.0 * kMmaM * kMmaN * kMmaK, [&] {
+                                c = MmaSp(a, b, c);
+                                // keep the accumulator live
+                                if (c.at(0, 0) > 1e30f) {
+                                  std::abort();
+                                }
+                              }));
+    PrintResult(results.back());
+  }
+
+  // --- SSMM kernel: fragment-model reference vs packed optimized path -----
+  const MatrixF w_gate = rng.GaussianMatrix(inter, hidden);
+  const SamoyedsMatrix enc = SamoyedsMatrix::Encode(w_gate, fmt);
+  const MatrixF b = rng.GaussianMatrix(hidden, tokens);
+  Selection sel;
+  sel.full_size = tokens;
+  for (int64_t t = 0; t < tokens; t += 4) {
+    sel.indices.push_back(static_cast<int32_t>(t));  // a quarter of the batch
+  }
+  const int64_t selected = sel.selected();
+  const double kernel_flops = 2.0 * inter * hidden * static_cast<double>(selected);
+
+  MatrixF ref_out;
+  results.push_back(Measure("kernel_reference", seconds, selected, kernel_flops,
+                            [&] { ref_out = SamoyedsKernel::RunReference(enc, b, sel); }));
+  PrintResult(results.back());
+  const double ref_tokens_per_s = results.back().tokens_per_s;
+
+  SsmmWorkspace kernel_ws;
+  MatrixF opt_out;
+  results.push_back(Measure("kernel_optimized", seconds, selected, kernel_flops,
+                            [&] { SamoyedsKernel::Run(enc, b, sel, kernel_ws, opt_out); }));
+  PrintResult(results.back());
+  const double opt_tokens_per_s = results.back().tokens_per_s;
+  const double kernel_speedup =
+      ref_tokens_per_s > 0.0 ? opt_tokens_per_s / ref_tokens_per_s : 0.0;
+
+  const bool bit_identical = ref_out == opt_out;
+  if (!bit_identical) {
+    std::fprintf(stderr, "FAIL: optimized kernel is not bit-identical to the reference\n");
+    failed = true;
+  }
+  std::printf("kernel speedup: %.2fx (optimized vs reference), bit-identical: %s\n",
+              kernel_speedup, bit_identical ? "yes" : "NO");
+
+  // --- MoE forward through the workspace API ------------------------------
+  MoeModelConfig cfg;
+  cfg.name = "bench";
+  cfg.hidden = static_cast<int>(hidden);
+  cfg.intermediate = static_cast<int>(inter);
+  cfg.num_experts = num_experts;
+  cfg.top_k = top_k;
+  cfg.shared_experts = 1;
+  const MoeLayerWeights dense = MoeLayerWeights::Random(rng, cfg);
+  const SamoyedsMoeLayerWeights sparse = SamoyedsMoeLayerWeights::Encode(dense, fmt);
+  const MatrixF x = rng.GaussianMatrix(tokens, hidden);
+  const RoutingPlan plan = Route(x, sparse.router_gate, top_k);
+
+  MoeWorkspace moe_ws;
+  MatrixF moe_out;
+  const double moe_flops =
+      2.0 * inter * hidden * 3.0 * static_cast<double>(tokens) * (top_k + 1);
+  BenchResult moe_result =
+      Measure("moe_forward_workspace", seconds, tokens, moe_flops,
+              [&] { MoeForwardSamoyeds(x, sparse, plan, Activation::kSilu, moe_ws, moe_out); });
+  results.push_back(moe_result);
+  PrintResult(moe_result);
+  const double moe_steady_allocs = moe_result.allocs_per_iter;
+  if (moe_steady_allocs != 0.0) {
+    std::fprintf(stderr,
+                 "FAIL: workspace MoE forward allocated %.2f times/iter in steady state "
+                 "(expected 0)\n",
+                 moe_steady_allocs);
+    failed = true;
+  }
+
+  // Tile-parallel executor (task submission allocates; the kernel path
+  // itself runs out of per-slot workspaces).
+  {
+    serving::ExpertPool pool(threads);
+    serving::ParallelMoeWorkspace par_ws;
+    MatrixF par_out;
+    results.push_back(Measure("moe_forward_parallel", seconds, tokens, moe_flops, [&] {
+      serving::ParallelMoeForwardSamoyeds(pool, x, sparse, plan, Activation::kSilu, par_ws,
+                                          par_out);
+    }));
+    PrintResult(results.back());
+    if (!(par_out == moe_out)) {
+      std::fprintf(stderr, "FAIL: tile-parallel MoE forward diverged from sequential\n");
+      failed = true;
+    }
+  }
+
+  // --- steady-state serving decode step -----------------------------------
+  {
+    Rng erng(11);
+    std::vector<SamoyedsDecoderLayerWeights> layers;
+    MoeModelConfig ecfg = cfg;
+    layers.push_back(
+        SamoyedsDecoderLayerWeights::Encode(DecoderLayerWeights::Random(erng, ecfg), fmt));
+    serving::EngineConfig engine_cfg;
+    engine_cfg.heads = 4;
+    engine_cfg.top_k = top_k;
+    engine_cfg.threads = 1;  // measure the single-thread workspace path
+    engine_cfg.scheduler.token_budget = 256;
+    const int64_t decode = smoke ? 512 : 8192;
+    std::vector<MatrixF> request_inputs;
+    for (int64_t id = 0; id < 4; ++id) {
+      request_inputs.push_back(erng.GaussianMatrix(8 + decode, hidden));
+    }
+    // The engine is rebuilt and refilled whenever the workload drains, so
+    // arbitrarily long --seconds runs keep measuring decode steps instead of
+    // aborting (the occasional rebuild + prefill iteration is noise).
+    std::unique_ptr<serving::ServingEngine> engine;
+    auto refill = [&] {
+      engine = std::make_unique<serving::ServingEngine>(layers, engine_cfg);
+      for (int64_t id = 0; id < 4; ++id) {
+        serving::Request r;
+        r.id = id;
+        r.arrival_step = 0;
+        r.prompt_len = 8;
+        r.max_new_tokens = decode;
+        r.inputs = request_inputs[static_cast<size_t>(id)];
+        engine->Submit(std::move(r));
+      }
+      engine->Step();  // prefill
+    };
+    refill();
+    BenchResult step_result = Measure("engine_decode_step", seconds, 4, 0.0, [&] {
+      if (!engine->Step()) {
+        refill();
+      }
+    });
+    results.push_back(step_result);
+    PrintResult(step_result);
+  }
+
+  // --- JSON ---------------------------------------------------------------
+  if (!json_path.empty()) {
+    std::string items;
+    for (const auto& r : results) {
+      AppendJson(items, r);
+    }
+    char head[512];
+    std::snprintf(head, sizeof(head),
+                  "{\n  \"bench\": \"micro_kernel_wallclock\",\n  \"mode\": \"%s\",\n"
+                  "  \"shape\": {\"hidden\": %lld, \"intermediate\": %lld, \"tokens\": %lld, "
+                  "\"experts\": %d, \"top_k\": %d, \"format\": [1, 2, 32]},\n"
+                  "  \"kernel_speedup\": %.3f,\n  \"bit_identical\": %s,\n"
+                  "  \"moe_workspace_steady_allocs\": %.2f,\n  \"results\": [\n",
+                  smoke ? "smoke" : "full", static_cast<long long>(hidden),
+                  static_cast<long long>(inter), static_cast<long long>(tokens), num_experts,
+                  top_k, kernel_speedup, bit_identical ? "true" : "false", moe_steady_allocs);
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    std::fputs(head, f);
+    std::fputs(items.c_str(), f);
+    std::fputs("\n  ]\n}\n", f);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  return failed ? 1 : 0;
+}
 
 }  // namespace
 }  // namespace samoyeds
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return samoyeds::RunBench(argc, argv); }

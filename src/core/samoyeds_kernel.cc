@@ -6,6 +6,7 @@
 #include "src/kernels/tuning.h"
 #include "src/sptc/fragment.h"
 #include "src/sptc/mma_sp.h"
+#include "src/tensor/bf16.h"
 
 namespace samoyeds {
 
@@ -138,7 +139,8 @@ KernelProfile SamoyedsKernel::Analyze(const GemmShape& shape, int64_t selected,
   return Analyze(shape, selected, format, cfg, DefaultDevice());
 }
 
-MatrixF SamoyedsKernel::Run(const SamoyedsMatrix& a, const MatrixF& b, const Selection& sel) {
+MatrixF SamoyedsKernel::RunReference(const SamoyedsMatrix& a, const MatrixF& b,
+                                     const Selection& sel) {
   assert(a.cols == b.rows());
   assert(sel.full_size == b.cols());
   assert(sel.IsValid());
@@ -204,15 +206,183 @@ MatrixF SamoyedsKernel::Run(const SamoyedsMatrix& a, const MatrixF& b, const Sel
   return out;
 }
 
+namespace {
+
+// Packs A's kept values per (window, compressed row) group: bf16-rounded
+// non-zero values with their absolute dense-k columns, ascending — exactly
+// the order (and the zero-skip) of the fragment path's expanded iteration.
+// Zero-valued entries are dropped at pack time: MmaSp skips them, and a
+// rounded zero can never flip the sign of an fp32 partial that starts at +0.
+void PackAInto(const SamoyedsMatrix& a, std::vector<float>& out_vals,
+               std::vector<int32_t>& out_cols, std::vector<int64_t>& out_off) {
+  const int64_t c_rows = a.compressed_rows();
+  const int64_t c_cols = a.compressed_cols();
+  const int64_t n_windows = a.cols / a.config.v;
+  const int64_t packed_per_window = a.config.v / 2;
+
+  out_off.resize(static_cast<size_t>(n_windows * c_rows + 1));
+  out_vals.resize(static_cast<size_t>(c_rows * c_cols));  // nnz upper bound
+  out_cols.resize(static_cast<size_t>(c_rows * c_cols));
+  float* const vals = out_vals.data();
+  int32_t* const cols = out_cols.data();
+
+  int64_t group = 0;
+  int64_t cursor = 0;
+  out_off[0] = 0;
+  for (int64_t w = 0; w < n_windows; ++w) {
+    const int64_t pc0 = w * packed_per_window;
+    for (int64_t cr = 0; cr < c_rows; ++cr) {
+      const float* arow = a.data.data() + cr * c_cols;
+      const uint8_t* mrow = a.meta.data() + cr * c_cols;
+      for (int64_t pc = pc0; pc < pc0 + packed_per_window; ++pc) {
+        const float v = RoundToBf16(arow[pc]);
+        if (v == 0.0f) {
+          continue;
+        }
+        // Packed column pc holds kept element meta(cr, pc) of 4-wide group
+        // pc / 2; ordered metadata makes this ascending within a group.
+        vals[cursor] = v;
+        cols[cursor] = static_cast<int32_t>((pc / 2) * 4 + mrow[pc]);
+        ++cursor;
+      }
+      out_off[static_cast<size_t>(++group)] = cursor;
+    }
+  }
+}
+
+// Window-major traversal, same as the fragment path: each (window, row)
+// group accumulates its fp32 partial over ascending columns, then folds
+// into the output row named by the per-window sub-row index — the C_IR
+// shuffle of §4.3, with identical floating-point association.
+void RunPanelImpl(const SamoyedsMatrix& a, const float* a_vals, const int32_t* a_cols,
+                  const int64_t* a_off, const MatrixF& panel, SsmmWorkspace& ws,
+                  MatrixF& out) {
+  const int64_t c_rows = a.compressed_rows();
+  const int64_t n_out = panel.cols();
+  const int64_t n_windows = a.cols / a.config.v;
+
+  ws.partial.resize(static_cast<size_t>(n_out));
+  float* const partial = ws.partial.data();
+  const float* const pdata = panel.data();
+
+  int64_t group = 0;
+  for (int64_t w = 0; w < n_windows; ++w) {
+    for (int64_t cr = 0; cr < c_rows; ++cr, ++group) {
+      const int64_t begin = a_off[group];
+      const int64_t end = a_off[group + 1];
+      if (begin == end) {
+        continue;  // all-zero group contributes an exact +0
+      }
+      std::fill_n(partial, n_out, 0.0f);
+      for (int64_t e = begin; e < end; ++e) {
+        const float av = a_vals[e];
+        const float* brow = pdata + static_cast<int64_t>(a_cols[e]) * n_out;
+        for (int64_t j = 0; j < n_out; ++j) {
+          partial[j] += av * brow[j];
+        }
+      }
+      const int64_t orig_row =
+          (cr / a.config.n) * a.config.m + a.indices(cr, w);
+      float* orow = out.data() + orig_row * n_out;
+      for (int64_t j = 0; j < n_out; ++j) {
+        orow[j] += partial[j];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void SamoyedsKernel::PackWeights(const SamoyedsMatrix& a, SsmmPackedA& packed) {
+  PackAInto(a, packed.vals, packed.cols, packed.off);
+}
+
+void SamoyedsKernel::RunPanel(const SamoyedsMatrix& a, const MatrixF& panel, SsmmWorkspace& ws,
+                              MatrixF& out) {
+  assert(a.cols == panel.rows());
+  assert(a.config.v % kMmaK == 0 && "one mma.sp step must not straddle a sub-row window");
+
+  out.Reshape(a.rows, panel.cols());
+  out.Fill(0.0f);
+  if (panel.cols() == 0 || a.compressed_rows() == 0) {
+    return;
+  }
+  PackAInto(a, ws.a_vals, ws.a_cols, ws.a_off);
+  RunPanelImpl(a, ws.a_vals.data(), ws.a_cols.data(), ws.a_off.data(), panel, ws, out);
+}
+
+void SamoyedsKernel::RunPanel(const SamoyedsMatrix& a, const SsmmPackedA& packed,
+                              const MatrixF& panel, SsmmWorkspace& ws, MatrixF& out) {
+  assert(a.cols == panel.rows());
+  assert(a.config.v % kMmaK == 0 && "one mma.sp step must not straddle a sub-row window");
+  assert(!packed.empty());
+  assert(static_cast<int64_t>(packed.off.size()) ==
+         (a.cols / a.config.v) * a.compressed_rows() + 1);
+
+  out.Reshape(a.rows, panel.cols());
+  out.Fill(0.0f);
+  if (panel.cols() == 0 || a.compressed_rows() == 0) {
+    return;
+  }
+  RunPanelImpl(a, packed.vals.data(), packed.cols.data(), packed.off.data(), panel, ws, out);
+}
+
+void SamoyedsKernel::PackSelectedColumns(const MatrixF& b, const Selection& sel,
+                                         MatrixF& panel) {
+  assert(sel.full_size == b.cols());
+  assert(sel.IsValid());
+  const int64_t n_out = sel.selected();
+  panel.Reshape(b.rows(), n_out);
+  for (int64_t k = 0; k < b.rows(); ++k) {
+    const float* brow = b.data() + k * b.cols();
+    float* prow = panel.data() + k * n_out;
+    for (int64_t j = 0; j < n_out; ++j) {
+      prow[j] = RoundToBf16(brow[sel.indices[static_cast<size_t>(j)]]);
+    }
+  }
+}
+
+void SamoyedsKernel::PackSelectedTokens(const MatrixF& x, const Selection& sel,
+                                        MatrixF& panel) {
+  assert(sel.full_size == x.rows());
+  assert(sel.IsValid());
+  const int64_t n_out = sel.selected();
+  const int64_t k = x.cols();
+  panel.Reshape(k, n_out);
+  for (int64_t j = 0; j < n_out; ++j) {
+    const float* xrow = x.data() + sel.indices[static_cast<size_t>(j)] * k;
+    float* pcol = panel.data() + j;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      pcol[kk * n_out] = RoundToBf16(xrow[kk]);
+    }
+  }
+}
+
+void SamoyedsKernel::Run(const SamoyedsMatrix& a, const MatrixF& b, const Selection& sel,
+                         SsmmWorkspace& ws, MatrixF& out) {
+  assert(a.cols == b.rows());
+  PackSelectedColumns(b, sel, ws.panel);
+  RunPanel(a, ws.panel, ws, out);
+}
+
+MatrixF SamoyedsKernel::Run(const SamoyedsMatrix& a, const MatrixF& b, const Selection& sel) {
+  SsmmWorkspace ws;
+  MatrixF out;
+  Run(a, b, sel, ws, out);
+  return out;
+}
+
 MatrixF SamoyedsKernel::RunLinear(const MatrixF& x, const SamoyedsMatrix& w,
                                   const Selection& sel) {
   assert(x.cols() == w.cols);
   // (W^T x^T)^T: the kernel consumes x^T (k x tokens) with SEL choosing
-  // token columns; on hardware this transpose is fused into the GMEM->SMEM
-  // path (§4.5).
-  const MatrixF xt = x.Transposed();
-  const MatrixF ct = Run(w, xt, sel);  // (m x selected)
-  return ct.Transposed();              // (selected x m)
+  // token columns; the transpose, gather and rounding fuse into one panel
+  // pack (§4.5) instead of materializing x^T.
+  SsmmWorkspace ws;
+  SamoyedsKernel::PackSelectedTokens(x, sel, ws.panel);
+  MatrixF ct;
+  RunPanel(w, ws.panel, ws, ct);  // (m x selected)
+  return ct.Transposed();         // (selected x m)
 }
 
 }  // namespace samoyeds

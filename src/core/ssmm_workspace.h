@@ -1,0 +1,51 @@
+// Reusable scratch arena for the packed SSMM execution path.
+//
+// Every hot-path entry point (SamoyedsKernel::Run / RunPanel, the expert
+// forward chain, the MoE layer executors) takes one of these by reference
+// instead of allocating fresh matrices per call. Buffers are cycled with
+// Matrix::Reshape / vector capacity reuse, so after a warm-up call at the
+// steady-state shape the whole SSMM pipeline performs zero heap allocations
+// (asserted by bench/micro_kernel_wallclock's allocation counter).
+
+#ifndef SAMOYEDS_SRC_CORE_SSMM_WORKSPACE_H_
+#define SAMOYEDS_SRC_CORE_SSMM_WORKSPACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/formats/sel.h"
+#include "src/tensor/matrix.h"
+
+namespace samoyeds {
+
+struct SsmmWorkspace {
+  // --- RunPanel internals ----------------------------------------------
+  // Packed A-side operand: for each (sub-row window, compressed row) group,
+  // the non-zero bf16-rounded values and their absolute dense-k columns, in
+  // ascending column order (the order the SpTC reference accumulates in).
+  std::vector<float> a_vals;
+  std::vector<int32_t> a_cols;
+  std::vector<int64_t> a_off;  // group start offsets, n_windows * c_rows + 1
+  // Per-window accumulator row (the register-resident C fragment analogue).
+  std::vector<float> partial;
+
+  // --- Caller-side staging buffers -------------------------------------
+  // SEL-selected, pre-rounded B panel (k x selected) for one Run call.
+  MatrixF panel;
+  // Expert-chain intermediates, feature-major (tokens are columns), so the
+  // three projections chain without any transpose copies (§4.5).
+  MatrixF gate_t;  // intermediate x tokens
+  MatrixF up_t;    // intermediate x tokens
+  MatrixF out_t;   // hidden x tokens
+};
+
+// Workspace for the sequential MoE layer executor.
+struct MoeWorkspace {
+  SsmmWorkspace ssmm;
+  MatrixF expert_out;  // one expert's (tokens_e x hidden) output, reused
+  Selection sel;       // reused selection buffer (indices capacity persists)
+};
+
+}  // namespace samoyeds
+
+#endif  // SAMOYEDS_SRC_CORE_SSMM_WORKSPACE_H_

@@ -43,6 +43,9 @@ SamoyedsExpertWeights SamoyedsExpertWeights::Encode(const ExpertWeights& dense,
   w.gate = SamoyedsMatrix::Encode(dense.gate, cfg);
   w.up = SamoyedsMatrix::Encode(dense.up, cfg);
   w.down = SamoyedsMatrix::Encode(dense.down, cfg);
+  SamoyedsKernel::PackWeights(w.gate, w.gate_packed);
+  SamoyedsKernel::PackWeights(w.up, w.up_packed);
+  SamoyedsKernel::PackWeights(w.down, w.down_packed);
   return w;
 }
 
@@ -58,6 +61,18 @@ MatrixF GatedActivation(const MatrixF& gate_out, const MatrixF& up_out, Activati
     }
   }
   return h;
+}
+
+// gate := bf16(act(gate) ⊙ up), element-wise in place — already in the
+// layout the down projection consumes (no intermediate materialized).
+void GatedActivationInPlace(MatrixF& gate, const MatrixF& up, Activation act) {
+  assert(gate.rows() == up.rows() && gate.cols() == up.cols());
+  float* g = gate.data();
+  const float* u = up.data();
+  const int64_t n = gate.size();
+  for (int64_t i = 0; i < n; ++i) {
+    g[i] = RoundToBf16(ApplyActivation(act, g[i]) * u[i]);
+  }
 }
 
 MatrixF GatherRows(const MatrixF& x, const Selection& sel) {
@@ -82,12 +97,52 @@ MatrixF ExpertForwardDense(const MatrixF& x, const ExpertWeights& w, const Selec
   return GemmRef(h, w.down.Transposed());
 }
 
+void ExpertForwardSamoyeds(const MatrixF& x, const SamoyedsExpertWeights& w,
+                           const Selection& sel, Activation act, SsmmWorkspace& ws,
+                           MatrixF& out, int64_t out_row_begin) {
+  const int64_t n_sel = sel.selected();
+  const int64_t hidden = w.down.rows;
+  assert(out.cols() == hidden);
+  assert(out_row_begin >= 0 && out_row_begin + n_sel <= out.rows());
+  if (n_sel == 0) {
+    return;
+  }
+
+  // One fused gather + transpose + bf16 rounding of the selected token rows
+  // feeds both projections (§4.5's staging done once per call). Encoded
+  // experts carry prebuilt weight packs; per-call packing is the fallback
+  // for hand-assembled weights.
+  SamoyedsKernel::PackSelectedTokens(x, sel, ws.panel);
+  if (!w.gate_packed.empty()) {
+    SamoyedsKernel::RunPanel(w.gate, w.gate_packed, ws.panel, ws, ws.gate_t);  // inter x n_sel
+    SamoyedsKernel::RunPanel(w.up, w.up_packed, ws.panel, ws, ws.up_t);        // inter x n_sel
+    GatedActivationInPlace(ws.gate_t, ws.up_t, act);
+    SamoyedsKernel::RunPanel(w.down, w.down_packed, ws.gate_t, ws, ws.out_t);  // hidden x n_sel
+  } else {
+    SamoyedsKernel::RunPanel(w.gate, ws.panel, ws, ws.gate_t);
+    SamoyedsKernel::RunPanel(w.up, ws.panel, ws, ws.up_t);
+    // gate_t becomes the bf16 intermediate, already feature-major — exactly
+    // the panel layout the down projection consumes.
+    GatedActivationInPlace(ws.gate_t, ws.up_t, act);
+    SamoyedsKernel::RunPanel(w.down, ws.gate_t, ws, ws.out_t);
+  }
+
+  // Single transpose back to token-major output rows.
+  const float* src = ws.out_t.data();
+  for (int64_t j = 0; j < n_sel; ++j) {
+    float* dst = out.data() + (out_row_begin + j) * hidden;
+    for (int64_t c = 0; c < hidden; ++c) {
+      dst[c] = src[c * n_sel + j];
+    }
+  }
+}
+
 MatrixF ExpertForwardSamoyeds(const MatrixF& x, const SamoyedsExpertWeights& w,
                               const Selection& sel, Activation act) {
-  const MatrixF gate_out = SamoyedsKernel::RunLinear(x, w.gate, sel);
-  const MatrixF up_out = SamoyedsKernel::RunLinear(x, w.up, sel);
-  const MatrixF h = GatedActivation(gate_out, up_out, act);
-  return SamoyedsKernel::RunLinear(h, w.down, Selection::All(h.rows()));
+  SsmmWorkspace ws;
+  MatrixF out(sel.selected(), w.down.rows);
+  ExpertForwardSamoyeds(x, w, sel, act, ws, out);
+  return out;
 }
 
 }  // namespace samoyeds

@@ -1,11 +1,18 @@
 // Expert MLP: the gate_proj / up_proj / down_proj trio of Fig. 11(a), in
 // dense form (reference / Transformers baseline) and Samoyeds-encoded form
 // (running through the SSMM kernel).
+//
+// The Samoyeds path stages everything feature-major (tokens are columns):
+// one fused pack of the selected token rows feeds both the gate and up
+// projections, the gated activation runs in place, and the down projection
+// consumes it directly — zero transpose copies between kernels, and with a
+// caller-provided SsmmWorkspace, zero steady-state heap allocations.
 
 #ifndef SAMOYEDS_SRC_MOE_EXPERT_H_
 #define SAMOYEDS_SRC_MOE_EXPERT_H_
 
 #include "src/core/samoyeds_kernel.h"
+#include "src/core/ssmm_workspace.h"
 #include "src/formats/samoyeds_format.h"
 #include "src/formats/sel.h"
 #include "src/moe/model_configs.h"
@@ -33,6 +40,12 @@ struct SamoyedsExpertWeights {
   SamoyedsMatrix gate;
   SamoyedsMatrix up;
   SamoyedsMatrix down;
+  // Kernel-ready packed forms (SsmmPackedA), built once by Encode — weights
+  // are immutable after encoding, so no Run ever re-derives them. Empty on
+  // hand-assembled weights; the forward falls back to per-call packing.
+  SsmmPackedA gate_packed;
+  SsmmPackedA up_packed;
+  SsmmPackedA down_packed;
 
   static SamoyedsExpertWeights Encode(const ExpertWeights& dense, const SamoyedsConfig& cfg);
 };
@@ -46,6 +59,15 @@ MatrixF ExpertForwardDense(const MatrixF& x, const ExpertWeights& w, const Selec
 // Same computation through the Samoyeds SSMM kernel (dual-side sparse).
 MatrixF ExpertForwardSamoyeds(const MatrixF& x, const SamoyedsExpertWeights& w,
                               const Selection& sel, Activation act);
+
+// Zero-allocation variant: writes rows [out_row_begin, out_row_begin +
+// sel.selected()) of `out` (which must already span them; columns ==
+// hidden). Per-token results are independent of how tokens are grouped into
+// calls, so callers may split one expert's token set across several calls
+// (tile-granular scheduling) and get bit-identical rows.
+void ExpertForwardSamoyeds(const MatrixF& x, const SamoyedsExpertWeights& w,
+                           const Selection& sel, Activation act, SsmmWorkspace& ws,
+                           MatrixF& out, int64_t out_row_begin = 0);
 
 }  // namespace samoyeds
 

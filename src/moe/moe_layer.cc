@@ -1,6 +1,7 @@
 #include "src/moe/moe_layer.h"
 
 #include <cassert>
+#include <numeric>
 
 namespace samoyeds {
 
@@ -39,20 +40,15 @@ SamoyedsMoeLayerWeights SamoyedsMoeLayerWeights::Encode(const MoeLayerWeights& d
   return w;
 }
 
-void MoeScatterAdd(const MatrixF& expert_out, const Selection& sel, const RoutingPlan& plan,
-                   int expert_id, MatrixF& out) {
-  for (int64_t i = 0; i < sel.selected(); ++i) {
-    const int64_t token = sel.indices[static_cast<size_t>(i)];
-    float weight = 0.0f;
-    for (const auto& [e, gw] : plan.token_assignments[static_cast<size_t>(token)]) {
-      if (e == expert_id) {
-        weight = gw;
-        break;
-      }
-    }
-    for (int64_t c = 0; c < out.cols(); ++c) {
-      out(token, c) += weight * expert_out(i, c);
-    }
+void MoeScatterAdd(const MatrixF& expert_out, const RoutingPlan& plan, int expert_id,
+                   MatrixF& out) {
+  const auto& tokens = plan.expert_tokens[static_cast<size_t>(expert_id)];
+  assert(expert_out.rows() >= static_cast<int64_t>(tokens.size()));
+  const int64_t cols = out.cols();
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    Axpy(plan.GateWeight(expert_id, static_cast<int64_t>(i)),
+         expert_out.data() + static_cast<int64_t>(i) * cols,
+         out.data() + static_cast<int64_t>(tokens[i]) * cols, cols);
   }
 }
 
@@ -66,43 +62,51 @@ MatrixF MoeForwardReference(const MatrixF& x, const MoeLayerWeights& w, const Ro
       continue;
     }
     const MatrixF expert_out = ExpertForwardDense(x, w.experts[static_cast<size_t>(e)], sel, act);
-    MoeScatterAdd(expert_out, sel, plan, e, out);
+    MoeScatterAdd(expert_out, plan, e, out);
   }
   // Shared experts process every token with unit weight.
   const Selection all = Selection::All(x.rows());
   for (const auto& shared : w.shared_experts) {
     const MatrixF shared_out = ExpertForwardDense(x, shared, all, act);
-    for (int64_t r = 0; r < out.rows(); ++r) {
-      for (int64_t c = 0; c < out.cols(); ++c) {
-        out(r, c) += shared_out(r, c);
-      }
-    }
+    MatrixAxpy(1.0f, shared_out, out);
   }
   return out;
 }
 
-MatrixF MoeForwardSamoyeds(const MatrixF& x, const SamoyedsMoeLayerWeights& w,
-                           const RoutingPlan& plan, Activation act) {
+void MoeForwardSamoyeds(const MatrixF& x, const SamoyedsMoeLayerWeights& w,
+                        const RoutingPlan& plan, Activation act, MoeWorkspace& ws,
+                        MatrixF& out) {
   assert(plan.tokens == x.rows());
-  MatrixF out(x.rows(), x.cols());
+  out.Reshape(x.rows(), x.cols());
+  out.Fill(0.0f);
+  ws.sel.full_size = x.rows();
   for (int e = 0; e < plan.num_experts; ++e) {
-    const Selection sel = plan.SelectionForExpert(e);
-    if (sel.selected() == 0) {
+    const auto& tokens = plan.expert_tokens[static_cast<size_t>(e)];
+    if (tokens.empty()) {
       continue;
     }
-    const MatrixF expert_out =
-        ExpertForwardSamoyeds(x, w.experts[static_cast<size_t>(e)], sel, act);
-    MoeScatterAdd(expert_out, sel, plan, e, out);
+    ws.sel.indices.assign(tokens.begin(), tokens.end());
+    ws.expert_out.Reshape(static_cast<int64_t>(tokens.size()), x.cols());
+    ExpertForwardSamoyeds(x, w.experts[static_cast<size_t>(e)], ws.sel, act, ws.ssmm,
+                          ws.expert_out);
+    MoeScatterAdd(ws.expert_out, plan, e, out);
   }
-  const Selection all = Selection::All(x.rows());
-  for (const auto& shared : w.shared_experts) {
-    const MatrixF shared_out = ExpertForwardSamoyeds(x, shared, all, act);
-    for (int64_t r = 0; r < out.rows(); ++r) {
-      for (int64_t c = 0; c < out.cols(); ++c) {
-        out(r, c) += shared_out(r, c);
-      }
+  if (!w.shared_experts.empty()) {
+    ws.sel.indices.resize(static_cast<size_t>(x.rows()));
+    std::iota(ws.sel.indices.begin(), ws.sel.indices.end(), 0);
+    ws.expert_out.Reshape(x.rows(), x.cols());
+    for (const auto& shared : w.shared_experts) {
+      ExpertForwardSamoyeds(x, shared, ws.sel, act, ws.ssmm, ws.expert_out);
+      MatrixAxpy(1.0f, ws.expert_out, out);
     }
   }
+}
+
+MatrixF MoeForwardSamoyeds(const MatrixF& x, const SamoyedsMoeLayerWeights& w,
+                           const RoutingPlan& plan, Activation act) {
+  MoeWorkspace ws;
+  MatrixF out;
+  MoeForwardSamoyeds(x, w, plan, act, ws, out);
   return out;
 }
 

@@ -16,6 +16,21 @@ Selection RoutingPlan::SelectionForExpert(int e) const {
   return sel;
 }
 
+float RoutingPlan::GateWeight(int e, int64_t i) const {
+  if (static_cast<int>(expert_gate.size()) == num_experts) {
+    return expert_gate[static_cast<size_t>(e)][static_cast<size_t>(i)];
+  }
+  // Fallback for hand-built plans: find this expert in the token's
+  // assignment list.
+  const int32_t token = expert_tokens[static_cast<size_t>(e)][static_cast<size_t>(i)];
+  for (const auto& [expert, weight] : token_assignments[static_cast<size_t>(token)]) {
+    if (expert == e) {
+      return weight;
+    }
+  }
+  return 0.0f;
+}
+
 int64_t RoutingPlan::MaxTokensPerExpert() const {
   int64_t max_tokens = 0;
   for (const auto& v : expert_tokens) {
@@ -42,6 +57,17 @@ bool RoutingPlan::IsConsistent() const {
   }
   if (total != tokens * top_k) {
     return false;
+  }
+  if (!expert_gate.empty()) {
+    if (static_cast<int>(expert_gate.size()) != num_experts) {
+      return false;
+    }
+    for (int e = 0; e < num_experts; ++e) {
+      if (expert_gate[static_cast<size_t>(e)].size() !=
+          expert_tokens[static_cast<size_t>(e)].size()) {
+        return false;
+      }
+    }
   }
   for (const auto& assignment : token_assignments) {
     if (static_cast<int>(assignment.size()) != top_k) {
@@ -73,6 +99,7 @@ RoutingPlan Route(const MatrixF& x, const MatrixF& gate_weight, int top_k) {
   plan.tokens = tokens;
   plan.expert_tokens.resize(static_cast<size_t>(num_experts));
   plan.token_assignments.resize(static_cast<size_t>(tokens));
+  plan.expert_gate.resize(static_cast<size_t>(num_experts));
 
   const MatrixF logits = GemmRef(x, gate_weight.Transposed());  // tokens x experts
   std::vector<int> order(static_cast<size_t>(num_experts));
@@ -93,6 +120,7 @@ RoutingPlan Route(const MatrixF& x, const MatrixF& gate_weight, int top_k) {
       const float w = std::exp(logits(t, e) - max_logit) / denom;
       assignment.emplace_back(e, w);
       plan.expert_tokens[static_cast<size_t>(e)].push_back(static_cast<int32_t>(t));
+      plan.expert_gate[static_cast<size_t>(e)].push_back(w);
     }
   }
   return plan;
@@ -147,6 +175,23 @@ RoutingPlan RouteExpertChoice(const MatrixF& x, const MatrixF& gate_weight, int 
       l /= denom;
     }
   }
+  // Normalized weights are only known now; build the per-expert vectors in a
+  // second pass.
+  plan.expert_gate.resize(static_cast<size_t>(num_experts));
+  for (int e = 0; e < num_experts; ++e) {
+    auto& gates = plan.expert_gate[static_cast<size_t>(e)];
+    gates.reserve(plan.expert_tokens[static_cast<size_t>(e)].size());
+    for (int32_t tok : plan.expert_tokens[static_cast<size_t>(e)]) {
+      float weight = 0.0f;
+      for (const auto& [expert, w] : plan.token_assignments[static_cast<size_t>(tok)]) {
+        if (expert == e) {
+          weight = w;
+          break;
+        }
+      }
+      gates.push_back(weight);
+    }
+  }
   return plan;
 }
 
@@ -195,6 +240,7 @@ RoutingPlan MakeSyntheticPlan(Rng& rng, int64_t tokens, int num_experts, int top
   plan.tokens = tokens;
   plan.expert_tokens.resize(static_cast<size_t>(num_experts));
   plan.token_assignments.resize(static_cast<size_t>(tokens));
+  plan.expert_gate.resize(static_cast<size_t>(num_experts));
 
   // Zipf-like popularity weights.
   std::vector<double> popularity(static_cast<size_t>(num_experts));
@@ -230,6 +276,7 @@ RoutingPlan MakeSyntheticPlan(Rng& rng, int64_t tokens, int num_experts, int top
     for (int e : picked) {
       assignment.emplace_back(e, 1.0f / static_cast<float>(top_k));
       plan.expert_tokens[static_cast<size_t>(e)].push_back(static_cast<int32_t>(t));
+      plan.expert_gate[static_cast<size_t>(e)].push_back(1.0f / static_cast<float>(top_k));
     }
   }
   return plan;

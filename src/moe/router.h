@@ -27,6 +27,12 @@ struct RoutingPlan {
   std::vector<std::vector<int32_t>> expert_tokens;
   // For each token: its top_k (expert, gate weight) pairs.
   std::vector<std::vector<std::pair<int, float>>> token_assignments;
+  // For each expert: the gate weight of each routed token, parallel to
+  // expert_tokens — precomputed by the routing constructors so the weighted
+  // scatter-accumulate (MoeScatterAdd) is a straight per-row axpy instead of
+  // an O(top_k) assignment lookup per scattered element. May be empty for
+  // hand-built plans; consumers fall back to token_assignments.
+  std::vector<std::vector<float>> expert_gate;
 
   int64_t TokensForExpert(int e) const {
     return static_cast<int64_t>(expert_tokens[static_cast<size_t>(e)].size());
@@ -34,6 +40,9 @@ struct RoutingPlan {
   // Selection array view of one expert's tokens — the input half of the
   // Samoyeds dual-side format.
   Selection SelectionForExpert(int e) const;
+  // Gate weight of `expert_tokens[e][i]` for expert e: the precomputed
+  // vector when present, otherwise the token_assignments lookup.
+  float GateWeight(int e, int64_t i) const;
   // Largest per-expert token count (drives padding overheads).
   int64_t MaxTokensPerExpert() const;
   bool IsConsistent() const;

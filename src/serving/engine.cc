@@ -126,19 +126,41 @@ MatrixF ServingEngine::ForwardBatch(const AssembledBatch& batch) {
     pool_.WaitIdle();
 
     // MoE sub-block, whole batch: one routing plan covers every sequence's
-    // tokens, so each expert runs once per iteration over its SEL slice.
+    // tokens, so each expert runs once per iteration over its tile-split
+    // SEL slices.
     MatrixF normed = RmsNorm(h1, w.moe_norm_gamma);
     RoundMatrixToBf16(normed);
     const RoutingPlan plan = Route(normed, w.moe.router_gate, config_.top_k);
     metrics_.OnRoutingPlan(plan);
-    const MatrixF moe_out = ParallelMoeForwardSamoyeds(pool_, normed, w.moe, plan,
-                                                       config_.activation);
-    for (int64_t i = 0; i < h1.size(); ++i) {
-      h1.flat()[static_cast<size_t>(i)] += moe_out.flat()[static_cast<size_t>(i)];
+    if (config_.autotune) {
+      ResolveTileConfig(w.moe, plan);
     }
+    ParallelMoeForwardSamoyeds(pool_, normed, w.moe, plan, config_.activation, moe_ws_,
+                               moe_out_);
+    MatrixAxpy(1.0f, moe_out_, h1);
     h = std::move(h1);
   }
   return h;
+}
+
+void ServingEngine::ResolveTileConfig(const SamoyedsMoeLayerWeights& moe,
+                                      const RoutingPlan& plan) {
+  assert(!moe.experts.empty());
+  // This layer's SSMM shape: every expert projection is (intermediate x
+  // hidden) against this batch's token panel; the SEL length that drives
+  // tile efficiency is the hottest expert's token count.
+  const SamoyedsMatrix& gate = moe.experts.front().gate;
+  const int64_t selected = std::max<int64_t>(1, plan.MaxTokensPerExpert());
+  const std::array<int64_t, 4> key{gate.rows, gate.cols, plan.tokens, selected};
+  auto it = autotune_cache_.find(key);
+  const bool cache_hit = it != autotune_cache_.end();
+  if (!cache_hit) {
+    const GemmShape shape{gate.rows, gate.cols, plan.tokens};
+    it = autotune_cache_
+             .emplace(key, AutotuneSsmm(shape, selected, gate.config, DefaultDevice()))
+             .first;
+  }
+  metrics_.OnAutotune(it->second.default_ms, it->second.simulated_ms, cache_hit);
 }
 
 bool ServingEngine::Step() {

@@ -29,12 +29,14 @@
 #ifndef SAMOYEDS_SRC_SERVING_ENGINE_H_
 #define SAMOYEDS_SRC_SERVING_ENGINE_H_
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "src/core/autotune.h"
 #include "src/moe/decoder_layer.h"
 #include "src/serving/batch_assembler.h"
 #include "src/serving/expert_pool.h"
@@ -52,6 +54,11 @@ struct EngineConfig {
   int top_k = 2;
   Activation activation = Activation::kSilu;
   int threads = 4;  // expert pool size; <= 1 runs experts inline
+  // Resolve the SSMM tile configuration per batch shape via AutotuneSsmm,
+  // memoized per (batch rows, max tokens per expert) — the ROADMAP's
+  // "autotuned serving". Purely an analytic-model resolution: functional
+  // outputs are unchanged (asserted by ServingTest.AutotuneDoesNotChangeOutputs).
+  bool autotune = false;
   SchedulerConfig scheduler;
 };
 
@@ -94,6 +101,8 @@ class ServingEngine {
 
   const PagedKvCache& kv_cache() const { return cache_; }
   const EngineMetrics& metrics() const { return metrics_; }
+  // Distinct batch shapes the autotuner has resolved (0 with autotune off).
+  int64_t autotune_cache_size() const { return static_cast<int64_t>(autotune_cache_.size()); }
   ServingReport Report() const {
     return metrics_.Summarize(config_.scheduler.token_budget, config_.scheduler.max_pages);
   }
@@ -116,6 +125,10 @@ class ServingEngine {
   void Preempt(int64_t id);
   // Forwards the assembled batch through all layers; returns final hidden rows.
   MatrixF ForwardBatch(const AssembledBatch& batch);
+  // Resolves (and caches) the tuned SSMM tile config for one layer's expert
+  // shape under this plan's batch shape; records simulated default-vs-tuned
+  // time in the metrics.
+  void ResolveTileConfig(const SamoyedsMoeLayerWeights& moe, const RoutingPlan& plan);
 
   const std::vector<SamoyedsDecoderLayerWeights> layers_;
   const EngineConfig config_;
@@ -126,6 +139,14 @@ class ServingEngine {
   PagedKvCache cache_;
   ExpertPool pool_;
   EngineMetrics metrics_;
+  // Persistent forward scratch: steady-state Step() iterations reuse these
+  // instead of allocating per call (see bench/micro_kernel_wallclock).
+  ParallelMoeWorkspace moe_ws_;
+  MatrixF moe_out_;
+  // Tuned SSMM config per (expert rows, expert cols, batch rows, max tokens
+  // per expert) — the expert shape participates so heterogeneous layers
+  // never share entries.
+  std::map<std::array<int64_t, 4>, AutotuneResult> autotune_cache_;
 
   int64_t step_ = 0;
   int64_t admit_counter_ = 0;     // total admissions ever (eviction ordering)

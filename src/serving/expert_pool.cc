@@ -1,6 +1,8 @@
 #include "src/serving/expert_pool.h"
 
+#include <algorithm>
 #include <cassert>
+#include <numeric>
 #include <utility>
 
 #include "src/moe/expert.h"
@@ -8,13 +10,36 @@
 namespace samoyeds {
 namespace serving {
 
+namespace {
+
+thread_local int t_slot = 0;
+
+// Number of contiguous token tiles one expert's work splits into: enough to
+// spread a hot (skewed) expert across the pool, but never so many that tiny
+// slices drown in scheduling overhead. The split never changes results —
+// per-token outputs are independent of tile grouping — only load balance.
+int64_t NumTiles(int64_t tokens, int threads) {
+  constexpr int64_t kMinTileTokens = 16;
+  if (tokens <= 0) {
+    return 0;
+  }
+  if (threads <= 1) {
+    return 1;
+  }
+  return std::min<int64_t>(threads, (tokens + kMinTileTokens - 1) / kMinTileTokens);
+}
+
+}  // namespace
+
+int ExpertPool::CurrentSlot() { return t_slot; }
+
 ExpertPool::ExpertPool(int threads) {
   if (threads <= 1) {
     return;  // inline mode
   }
   workers_.reserve(static_cast<size_t>(threads));
   for (int i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, slot = i + 1] { WorkerLoop(slot); });
   }
 }
 
@@ -29,19 +54,6 @@ ExpertPool::~ExpertPool() {
   }
 }
 
-void ExpertPool::Submit(std::function<void()> task) {
-  if (workers_.empty()) {
-    task();
-    return;
-  }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    tasks_.push_back(std::move(task));
-    ++in_flight_;
-  }
-  work_ready_.notify_one();
-}
-
 void ExpertPool::WaitIdle() {
   if (workers_.empty()) {
     return;
@@ -50,7 +62,8 @@ void ExpertPool::WaitIdle() {
   idle_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
-void ExpertPool::WorkerLoop() {
+void ExpertPool::WorkerLoop(int slot) {
+  t_slot = slot;
   for (;;) {
     std::function<void()> task;
     {
@@ -72,52 +85,101 @@ void ExpertPool::WorkerLoop() {
   }
 }
 
-MatrixF ParallelMoeForwardSamoyeds(ExpertPool& pool, const MatrixF& x,
-                                   const SamoyedsMoeLayerWeights& w, const RoutingPlan& plan,
-                                   Activation act) {
+void ParallelMoeForwardSamoyeds(ExpertPool& pool, const MatrixF& x,
+                                const SamoyedsMoeLayerWeights& w, const RoutingPlan& plan,
+                                Activation act, ParallelMoeWorkspace& ws, MatrixF& out) {
   assert(plan.tokens == x.rows());
+  const int threads = std::max(1, pool.threads());
   const size_t num_experts = w.experts.size();
   const size_t num_shared = w.shared_experts.size();
+  const int64_t hidden = x.cols();
+  const int64_t all_tokens = x.rows();
 
-  // Each task writes only its own slot; no synchronization beyond WaitIdle.
-  std::vector<MatrixF> expert_out(num_experts);
-  std::vector<Selection> expert_sel(num_experts);
-  std::vector<MatrixF> shared_out(num_shared);
+  ws.slot_ws.resize(static_cast<size_t>(pool.slots()));
+  ws.expert_out.resize(num_experts);
+  ws.shared_out.resize(num_shared);
 
+  // Size the tile array up front: tasks hold references into it, so it must
+  // not reallocate while any task is in flight.
+  size_t total_tiles = 0;
   for (size_t e = 0; e < num_experts; ++e) {
-    const Selection sel = plan.SelectionForExpert(static_cast<int>(e));
-    if (sel.selected() == 0) {
+    total_tiles += static_cast<size_t>(NumTiles(plan.TokensForExpert(static_cast<int>(e)),
+                                                threads));
+  }
+  const int64_t shared_tiles = NumTiles(all_tokens, threads);
+  total_tiles += num_shared * static_cast<size_t>(shared_tiles);
+  if (ws.tile_sel.size() < total_tiles) {
+    ws.tile_sel.resize(total_tiles);
+  }
+
+  // Fan out: each tile runs the full expert pipeline over a contiguous slice
+  // of that expert's token list and writes disjoint rows of its per-expert
+  // output buffer. A zero-token expert submits no tasks at all.
+  size_t tile = 0;
+  for (size_t e = 0; e < num_experts; ++e) {
+    const auto& tokens = plan.expert_tokens[e];
+    const int64_t count = static_cast<int64_t>(tokens.size());
+    if (count == 0) {
       continue;
     }
-    expert_sel[e] = sel;
-    pool.Submit([&x, &w, &expert_out, &expert_sel, act, e] {
-      expert_out[e] =
-          ExpertForwardSamoyeds(x, w.experts[e], expert_sel[e], act);
-    });
+    MatrixF& expert_out = ws.expert_out[e];
+    expert_out.Reshape(count, hidden);
+    const int64_t tiles = NumTiles(count, threads);
+    for (int64_t t = 0; t < tiles; ++t) {
+      const int64_t t0 = t * count / tiles;
+      const int64_t t1 = (t + 1) * count / tiles;
+      Selection& sel = ws.tile_sel[tile++];
+      sel.full_size = all_tokens;
+      sel.indices.assign(tokens.begin() + t0, tokens.begin() + t1);
+      const SamoyedsExpertWeights& weights = w.experts[e];
+      pool.Submit([&x, &weights, &sel, act, &ws, &expert_out, t0] {
+        ExpertForwardSamoyeds(x, weights, sel, act,
+                              ws.slot_ws[static_cast<size_t>(ExpertPool::CurrentSlot())],
+                              expert_out, t0);
+      });
+    }
   }
-  const Selection all = Selection::All(x.rows());
   for (size_t s = 0; s < num_shared; ++s) {
-    pool.Submit([&x, &w, &shared_out, &all, act, s] {
-      shared_out[s] = ExpertForwardSamoyeds(x, w.shared_experts[s], all, act);
-    });
+    MatrixF& shared_out = ws.shared_out[s];
+    shared_out.Reshape(all_tokens, hidden);
+    for (int64_t t = 0; t < shared_tiles; ++t) {
+      const int64_t t0 = t * all_tokens / shared_tiles;
+      const int64_t t1 = (t + 1) * all_tokens / shared_tiles;
+      Selection& sel = ws.tile_sel[tile++];
+      sel.full_size = all_tokens;
+      sel.indices.resize(static_cast<size_t>(t1 - t0));
+      std::iota(sel.indices.begin(), sel.indices.end(), static_cast<int32_t>(t0));
+      const SamoyedsExpertWeights& weights = w.shared_experts[s];
+      pool.Submit([&x, &weights, &sel, act, &ws, &shared_out, t0] {
+        ExpertForwardSamoyeds(x, weights, sel, act,
+                              ws.slot_ws[static_cast<size_t>(ExpertPool::CurrentSlot())],
+                              shared_out, t0);
+      });
+    }
   }
   pool.WaitIdle();
 
-  // Fixed-order accumulation keeps the result independent of thread timing.
-  MatrixF out(x.rows(), x.cols());
+  // Fixed-order accumulation keeps the result independent of thread timing
+  // and of the tile split.
+  out.Reshape(all_tokens, hidden);
+  out.Fill(0.0f);
   for (size_t e = 0; e < num_experts; ++e) {
-    if (expert_out[e].empty()) {
+    if (plan.TokensForExpert(static_cast<int>(e)) == 0) {
       continue;
     }
-    MoeScatterAdd(expert_out[e], expert_sel[e], plan, static_cast<int>(e), out);
+    MoeScatterAdd(ws.expert_out[e], plan, static_cast<int>(e), out);
   }
   for (size_t s = 0; s < num_shared; ++s) {
-    for (int64_t r = 0; r < out.rows(); ++r) {
-      for (int64_t c = 0; c < out.cols(); ++c) {
-        out(r, c) += shared_out[s](r, c);
-      }
-    }
+    MatrixAxpy(1.0f, ws.shared_out[s], out);
   }
+}
+
+MatrixF ParallelMoeForwardSamoyeds(ExpertPool& pool, const MatrixF& x,
+                                   const SamoyedsMoeLayerWeights& w, const RoutingPlan& plan,
+                                   Activation act) {
+  ParallelMoeWorkspace ws;
+  MatrixF out;
+  ParallelMoeForwardSamoyeds(pool, x, w, plan, act, ws, out);
   return out;
 }
 

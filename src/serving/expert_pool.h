@@ -1,16 +1,26 @@
-// Multi-threaded expert execution pool.
+// Multi-threaded expert execution pool with tile-granular scheduling.
 //
 // Independent experts in one MoE layer share no state: each reads its own
 // Samoyeds-encoded weights and a disjoint SEL-selected slice of the
-// activation matrix. ParallelMoeForwardSamoyeds exploits that by fanning the
-// per-expert SamoyedsKernel::RunLinear pipelines out over a fixed worker
-// pool, then folding the per-expert outputs back in a fixed expert order —
-// so results are bit-identical regardless of thread count or completion
-// order (see ServingTest.ThreadPoolDeterminism).
+// activation matrix. Within one expert, every *token* is independent too
+// (output columns of the SSMM chain depend only on their own input column),
+// so ParallelMoeForwardSamoyeds fans work out at tile granularity: a hot
+// expert's token set splits into up to `threads` contiguous tiles, each a
+// full gate/up/act/down pipeline over its slice, writing disjoint rows of
+// the per-expert output. One skewed expert therefore no longer serializes
+// the step behind a single worker. Per-expert outputs fold back on the
+// submitting thread in fixed expert order, so results are bit-identical to
+// the sequential MoeForwardSamoyeds regardless of thread count, tile split,
+// or completion order (see ExpertPoolTilingTest).
+//
+// Each execution slot (worker threads 1..N, submitting thread 0) owns a
+// persistent SsmmWorkspace, so steady-state forwards allocate nothing on
+// the kernel path.
 
 #ifndef SAMOYEDS_SRC_SERVING_EXPERT_POOL_H_
 #define SAMOYEDS_SRC_SERVING_EXPERT_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -19,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/core/ssmm_workspace.h"
 #include "src/moe/moe_layer.h"
 
 namespace samoyeds {
@@ -33,15 +44,44 @@ class ExpertPool {
   ExpertPool(const ExpertPool&) = delete;
   ExpertPool& operator=(const ExpertPool&) = delete;
 
-  void Submit(std::function<void()> task);
+  // Runs `task` on a worker, or immediately on the caller in inline mode.
+  // Templated so inline execution never pays the std::function type-erasure
+  // allocation — the single-threaded engine hot path stays allocation-free.
+  template <typename Fn>
+  void Submit(Fn&& task) {
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    if (workers_.empty()) {
+      task();
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      tasks_.emplace_back(std::forward<Fn>(task));
+      ++in_flight_;
+    }
+    work_ready_.notify_one();
+  }
 
   // Blocks until every submitted task has finished. Tasks must not Submit.
   void WaitIdle();
 
   int threads() const { return static_cast<int>(workers_.size()); }
 
+  // Distinct execution slots: one per worker plus slot 0 for the submitting
+  // thread (inline mode). Index per-slot workspaces with CurrentSlot().
+  int slots() const { return static_cast<int>(workers_.size()) + 1; }
+
+  // Slot of the calling thread: this pool's workers occupy 1..threads();
+  // any other thread (inline execution, the engine thread) is slot 0.
+  static int CurrentSlot();
+
+  // Tasks ever submitted, including inline-mode ones — the regression hook
+  // tile-scheduling tests assert on (e.g. a zero-token expert must submit
+  // nothing).
+  int64_t submitted_total() const { return submitted_.load(std::memory_order_relaxed); }
+
  private:
-  void WorkerLoop();
+  void WorkerLoop(int slot);
 
   std::mutex mu_;
   std::condition_variable work_ready_;
@@ -49,14 +89,31 @@ class ExpertPool {
   std::deque<std::function<void()>> tasks_;
   int64_t in_flight_ = 0;
   bool stopping_ = false;
+  std::atomic<int64_t> submitted_{0};
   std::vector<std::thread> workers_;
 };
 
-// MoeForwardSamoyeds with per-expert execution fanned out over `pool`.
-// Bit-identical to the sequential MoeForwardSamoyeds.
+// Persistent scratch for ParallelMoeForwardSamoyeds: per-expert output
+// buffers, per-tile selections, and one SsmmWorkspace per execution slot.
+// Reused across calls; steady-state iterations at a fixed shape do not
+// allocate.
+struct ParallelMoeWorkspace {
+  std::vector<MatrixF> expert_out;     // routed experts, tokens_e x hidden
+  std::vector<MatrixF> shared_out;     // shared experts, tokens x hidden
+  std::vector<Selection> tile_sel;     // one per in-flight tile
+  std::vector<SsmmWorkspace> slot_ws;  // one per pool slot
+};
+
+// MoeForwardSamoyeds with tile-granular execution fanned out over `pool`.
+// Bit-identical to the sequential MoeForwardSamoyeds at any thread count.
 MatrixF ParallelMoeForwardSamoyeds(ExpertPool& pool, const MatrixF& x,
                                    const SamoyedsMoeLayerWeights& w, const RoutingPlan& plan,
                                    Activation act);
+
+// Zero-allocation variant writing into `out` (reshaped to tokens x hidden).
+void ParallelMoeForwardSamoyeds(ExpertPool& pool, const MatrixF& x,
+                                const SamoyedsMoeLayerWeights& w, const RoutingPlan& plan,
+                                Activation act, ParallelMoeWorkspace& ws, MatrixF& out);
 
 }  // namespace serving
 }  // namespace samoyeds

@@ -66,9 +66,22 @@ void EngineMetrics::OnRoutingPlan(const RoutingPlan& plan) {
   }
 }
 
+void EngineMetrics::OnAutotune(double default_ms, double tuned_ms, bool cache_hit) {
+  ++autotune_lookups_;
+  autotune_cache_hits_ += cache_hit ? 1 : 0;
+  autotune_default_ms_ += default_ms;
+  autotune_tuned_ms_ += tuned_ms;
+}
+
 ServingReport EngineMetrics::Summarize(int64_t token_budget, int64_t max_pages) const {
   ServingReport rep;
   rep.requests_rejected = rejected_;
+  rep.autotune_lookups = autotune_lookups_;
+  rep.autotune_cache_hits = autotune_cache_hits_;
+  rep.autotune_default_ms = autotune_default_ms_;
+  rep.autotune_tuned_ms = autotune_tuned_ms_;
+  rep.autotune_speedup =
+      autotune_tuned_ms_ > 0.0 ? autotune_default_ms_ / autotune_tuned_ms_ : 1.0;
   rep.steps = static_cast<int64_t>(steps_.size());
   rep.preemptions = static_cast<int64_t>(preemption_log_.size());
   rep.expert_tokens = expert_tokens_;
@@ -169,6 +182,14 @@ void EngineMetrics::Print(const ServingReport& rep, std::FILE* out) {
                static_cast<long long>(rep.preemptions),
                static_cast<long long>(rep.peak_used_pages), 100.0 * rep.mean_page_utilization,
                rep.mean_frag_tokens);
+  if (rep.autotune_lookups > 0) {
+    std::fprintf(out,
+                 "autotune: %lld lookups (%lld cache hits), simulated SSMM %.3f ms tuned vs "
+                 "%.3f ms default (%.2fx)\n",
+                 static_cast<long long>(rep.autotune_lookups),
+                 static_cast<long long>(rep.autotune_cache_hits), rep.autotune_tuned_ms,
+                 rep.autotune_default_ms, rep.autotune_speedup);
+  }
   std::fprintf(out, "expert load (tokens/expert, imbalance %.2fx):", rep.expert_imbalance);
   for (int64_t t : rep.expert_tokens) {
     std::fprintf(out, " %lld", static_cast<long long>(t));

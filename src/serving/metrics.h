@@ -69,6 +69,14 @@ struct ServingReport {
   double mean_frag_tokens = 0.0;        // fragmentation waste per step
   std::vector<int64_t> expert_tokens;   // routed tokens per expert, all layers
   double expert_imbalance = 0.0;        // max / mean of expert_tokens
+
+  // SSMM autotuner activity (zero when --autotune is off).
+  int64_t autotune_lookups = 0;      // per-layer tile-config resolutions
+  int64_t autotune_cache_hits = 0;   // resolved from the per-shape cache
+  double autotune_default_ms = 0.0;  // simulated kernel time, default config
+  double autotune_tuned_ms = 0.0;    // simulated kernel time, tuned configs
+  // default / tuned simulated time; 1.0 when autotuning never ran.
+  double autotune_speedup = 0.0;
 };
 
 class EngineMetrics {
@@ -84,6 +92,9 @@ class EngineMetrics {
   void OnStep(const StepMetrics& step);
   // Accumulates one routed layer's per-expert token counts.
   void OnRoutingPlan(const RoutingPlan& plan);
+  // Records one autotune resolution: simulated default-config vs tuned time
+  // for this layer's SSMM shape, and whether the per-shape cache hit.
+  void OnAutotune(double default_ms, double tuned_ms, bool cache_hit);
 
   const std::vector<StepMetrics>& steps() const { return steps_; }
   const std::map<int64_t, RequestMetrics>& requests() const { return requests_; }
@@ -109,6 +120,10 @@ class EngineMetrics {
   std::vector<std::pair<int64_t, int64_t>> preemption_log_;
   std::vector<int64_t> expert_tokens_;
   int64_t rejected_ = 0;
+  int64_t autotune_lookups_ = 0;
+  int64_t autotune_cache_hits_ = 0;
+  double autotune_default_ms_ = 0.0;
+  double autotune_tuned_ms_ = 0.0;
 };
 
 }  // namespace serving

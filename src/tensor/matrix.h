@@ -67,6 +67,18 @@ class Matrix {
 
   void Fill(T value) { std::fill(data_.begin(), data_.end(), value); }
 
+  // Reshapes to rows x cols reusing the existing storage; contents are
+  // unspecified afterwards. The backing vector only reallocates when the new
+  // size exceeds its capacity, so a buffer cycled through its maximum shape
+  // never allocates again — the contract the serving workspaces rely on for
+  // zero steady-state heap traffic.
+  void Reshape(int64_t rows, int64_t cols) {
+    assert(rows >= 0 && cols >= 0);
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(static_cast<size_t>(rows * cols));
+  }
+
   // Returns the transpose as a new matrix (used when staging operands into
   // the layouts the kernels expect).
   Matrix Transposed() const {

@@ -45,10 +45,11 @@ void PrintUsage(std::FILE* out) {
       "        [--preempt=0|1] [--threads=N] [--layers=N] [--hidden=N]\n"
       "        [--inter=N] [--experts=N] [--top-k=N] [--heads=N] [--rate=R]\n"
       "        [--prompt-min=N] [--prompt-max=N] [--decode-min=N] [--decode-max=N]\n"
-      "        [--seed=N]\n"
+      "        [--seed=N] [--autotune=0|1]\n"
       "        --max-pages bounds the paged KV cache (admission switches to page\n"
       "        accounting; 'auto' derives the budget from the Table-3 memory model);\n"
-      "        --preempt=1 evicts lowest-priority/youngest residents under pressure\n",
+      "        --preempt=1 evicts lowest-priority/youngest residents under pressure;\n"
+      "        --autotune=1 resolves SSMM tile configs per batch shape (cached)\n",
       out);
 }
 
@@ -241,6 +242,7 @@ struct ServeOptions {
   int64_t max_pages = 0;      // 0 = monolithic token accounting
   bool auto_pages = false;    // --max-pages=auto: derive from TokenCapacity()
   bool preempt = false;
+  bool autotune = false;
   int threads = 4;
   int layers = 2;
   int hidden = 64;
@@ -293,6 +295,13 @@ bool ParseServeFlag(const std::string& arg, ServeOptions& opt) {
       std::exit(2);
     }
     opt.preempt = v == 1;
+  } else if (key == "--autotune") {
+    const int64_t v = ParseI64(value, "autotune");
+    if (v != 0 && v != 1) {
+      std::fprintf(stderr, "invalid autotune: '%s' (expected 0 or 1)\n", value);
+      std::exit(2);
+    }
+    opt.autotune = v == 1;
   } else if (key == "--threads") {
     opt.threads = ParseInt(value, "threads");
   } else if (key == "--layers") {
@@ -454,6 +463,7 @@ int CmdServe(int argc, char** argv) {
   engine_cfg.top_k = opt.top_k;
   engine_cfg.activation = opt.activation;
   engine_cfg.threads = opt.threads;
+  engine_cfg.autotune = opt.autotune;
   engine_cfg.scheduler.policy = opt.policy;
   engine_cfg.scheduler.token_budget = opt.budget;
   engine_cfg.scheduler.max_resident_tokens = opt.max_resident;

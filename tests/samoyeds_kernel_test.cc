@@ -79,6 +79,75 @@ TEST(SamoyedsKernelTest, RunLinearMatchesXWt) {
   EXPECT_LE(MaxAbsDiff(got, expect), 2e-3f);
 }
 
+// ----------------------------------------------- bit-identity (optimized path)
+
+// The optimized packed-panel Run must be *bit-identical* to the fragment-
+// model RunReference: same bf16 roundings, same zero-skip, same fp32
+// accumulation association (per-window partials folded in window order).
+TEST(SamoyedsKernelBitIdentityTest, RandomizedRunMatchesReferenceExactly) {
+  Rng rng(771);
+  const SamoyedsConfig fmts[] = {{1, 2, 32}, {2, 4, 32}, {4, 8, 32},
+                                 {8, 16, 32}, {1, 2, 64}, {1, 4, 32}};
+  // One workspace reused across every shape: stale packed data or wrongly
+  // sized buffers from a previous call must never leak into the next.
+  SsmmWorkspace ws;
+  MatrixF out;
+  for (int trial = 0; trial < 72; ++trial) {
+    const SamoyedsConfig fmt = fmts[trial % 6];
+    // Shapes only need m % M == 0 and k % V == 0 — deliberately including
+    // compressed row counts that are not multiples of the 16-row mma tile
+    // and ragged selection widths (the peeled-edge cases).
+    const int64_t m = fmt.m * (1 + rng.NextIndex(12));
+    const int64_t k = fmt.v * (1 + rng.NextIndex(4));
+    const int64_t n = 1 + rng.NextIndex(40);
+    const int64_t selected = rng.NextIndex(n + 1);
+    const MatrixF w = rng.GaussianMatrix(m, k);
+    const MatrixF b = rng.GaussianMatrix(k, n);
+    const Selection sel = RandomSelection(rng, n, selected);
+    const SamoyedsMatrix enc = SamoyedsMatrix::Encode(w, fmt);
+
+    const MatrixF expect = SamoyedsKernel::RunReference(enc, b, sel);
+    SamoyedsKernel::Run(enc, b, sel, ws, out);
+    ASSERT_TRUE(out == expect)
+        << "workspace Run diverged at trial " << trial << " (m=" << m << " k=" << k
+        << " n=" << n << " selected=" << selected << " fmt=" << fmt.n << "," << fmt.m << ","
+        << fmt.v << ")";
+    ASSERT_TRUE(SamoyedsKernel::Run(enc, b, sel) == expect)
+        << "allocating Run diverged at trial " << trial;
+  }
+}
+
+TEST(SamoyedsKernelBitIdentityTest, RunLinearMatchesReferenceComposition) {
+  Rng rng(772);
+  for (int trial = 0; trial < 12; ++trial) {
+    const int64_t tokens = 1 + rng.NextIndex(30);
+    const int64_t hidden = 32 * (1 + rng.NextIndex(3));
+    const int64_t out_f = 16 * (1 + rng.NextIndex(4));
+    const MatrixF x = rng.GaussianMatrix(tokens, hidden);
+    const MatrixF w = rng.GaussianMatrix(out_f, hidden);
+    const SamoyedsMatrix enc = SamoyedsMatrix::Encode(w, SamoyedsConfig{1, 2, 32});
+    const Selection sel = RandomSelection(rng, tokens, rng.NextIndex(tokens + 1));
+
+    // The pre-optimization RunLinear: materialized x^T, fragment-path Run,
+    // transposed result.
+    const MatrixF expect = SamoyedsKernel::RunReference(enc, x.Transposed(), sel).Transposed();
+    ASSERT_TRUE(SamoyedsKernel::RunLinear(x, enc, sel) == expect) << "trial " << trial;
+  }
+}
+
+TEST(SamoyedsKernelBitIdentityTest, EmptyAndFullSelectionsAgree) {
+  Rng rng(773);
+  const MatrixF w = rng.GaussianMatrix(48, 64);
+  const MatrixF b = rng.GaussianMatrix(64, 24);
+  const SamoyedsMatrix enc = SamoyedsMatrix::Encode(w, SamoyedsConfig{1, 2, 32});
+  Selection empty;
+  empty.full_size = 24;
+  EXPECT_TRUE(SamoyedsKernel::Run(enc, b, empty) ==
+              SamoyedsKernel::RunReference(enc, b, empty));
+  const Selection all = Selection::All(24);
+  EXPECT_TRUE(SamoyedsKernel::Run(enc, b, all) == SamoyedsKernel::RunReference(enc, b, all));
+}
+
 // ---------------------------------------------------------------- Analyze
 
 GemmShape TestShape() { return GemmShape{2048, 2048, 4096}; }

@@ -434,6 +434,61 @@ TEST(ServingEngineTest, ThreadPoolCountDoesNotChangeOutputs) {
   EXPECT_TRUE(outputs_by_threads[0] == outputs_by_threads[1]);
 }
 
+TEST(ServingEngineTest, AutotuneDoesNotChangeOutputsAndCachesShapes) {
+  Rng seed_rng(43);
+  const MoeModelConfig cfg = TinyConfig();
+  const TinyModel model = BuildTinyModel(seed_rng, 2, cfg);
+
+  std::vector<MatrixF> outputs_by_mode;
+  int64_t cache_size = 0;
+  ServingReport tuned_report;
+  for (const bool autotune : {false, true}) {
+    Rng rng(44);  // identical workload per run
+    EngineConfig engine_cfg = TinyEngineConfig(/*threads=*/2);
+    engine_cfg.autotune = autotune;
+    ServingEngine engine(model.sparse, engine_cfg);
+    for (int64_t i = 0; i < 4; ++i) {
+      ASSERT_TRUE(engine.Submit(MakeTestRequest(rng, i, i, 4 + i, 3, cfg.hidden)));
+    }
+    engine.RunUntilDrained(1000);
+    MatrixF all(0, 0);
+    for (int64_t i = 0; i < 4; ++i) {
+      const RequestResult* result = engine.Result(i);
+      ASSERT_NE(result, nullptr);
+      ASSERT_EQ(result->status, RequestStatus::kFinished);
+      MatrixF merged(all.rows() + result->outputs.rows(), result->outputs.cols());
+      for (int64_t r = 0; r < all.rows(); ++r) {
+        for (int64_t c = 0; c < all.cols(); ++c) {
+          merged(r, c) = all(r, c);
+        }
+      }
+      for (int64_t r = 0; r < result->outputs.rows(); ++r) {
+        for (int64_t c = 0; c < merged.cols(); ++c) {
+          merged(all.rows() + r, c) = result->outputs(r, c);
+        }
+      }
+      all = std::move(merged);
+    }
+    outputs_by_mode.push_back(std::move(all));
+    if (autotune) {
+      cache_size = engine.autotune_cache_size();
+      tuned_report = engine.Report();
+    } else {
+      EXPECT_EQ(engine.autotune_cache_size(), 0);
+      EXPECT_EQ(engine.Report().autotune_lookups, 0);
+    }
+  }
+  // Autotuning resolves tile configs for the analytic model only — the
+  // functional outputs are bit-identical with it on or off.
+  EXPECT_TRUE(outputs_by_mode[0] == outputs_by_mode[1]);
+  // Every (rows, max-tokens) shape was resolved once and then served from
+  // the cache: one lookup per layer per step, strictly fewer misses.
+  EXPECT_GT(cache_size, 0);
+  EXPECT_GT(tuned_report.autotune_lookups, cache_size);
+  EXPECT_EQ(tuned_report.autotune_lookups - tuned_report.autotune_cache_hits, cache_size);
+  EXPECT_GE(tuned_report.autotune_speedup, 1.0);
+}
+
 TEST(ServingEngineTest, RejectsOversizedAndMalformedRequests) {
   Rng rng(51);
   const MoeModelConfig cfg = TinyConfig();
