@@ -1,5 +1,9 @@
-// Serving engine sweep: offered load (arrival rate) x routing skew, plus a
-// scheduler-policy comparison at fixed load.
+// Serving engine sweep: offered load (arrival rate) x routing skew, a
+// scheduler-policy comparison at fixed load, the paged-KV-cache admission
+// comparison, and an expert-parallel shard sweep (shard count x routing
+// skew x placement) that doubles as the CI gate for sharded-vs-unsharded
+// bit identity (`--smoke` runs a reduced sweep; any bit divergence exits
+// non-zero).
 //
 // Routing skew is induced physically: router gate rows are rescaled with a
 // Zipf profile, so high-gain experts win top-k more often (larger logit
@@ -7,6 +11,7 @@
 // measured from the engine's own expert-load histogram, not assumed.
 
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -111,12 +116,62 @@ serving::ServingReport RunKvCell(uint64_t seed, int64_t max_pages, bool preempt)
   return engine.Report();
 }
 
+// One cell of the expert-parallel shard sweep: same model, trace and
+// thread count at every shard count, so outputs must be bit-identical and
+// only the analytic cluster estimate (max-over-shards compute + all-to-all)
+// and the shard-load histogram may move.
+struct ShardRun {
+  serving::ServingReport report;
+  std::vector<MatrixF> outputs;  // per request, submission order
+};
+
+ShardRun RunShardCell(uint64_t seed, double skew, int shards,
+                      serving::ShardPlacement placement, int requests) {
+  Rng rng(seed);
+  serving::EngineConfig cfg;
+  cfg.heads = kHeads;
+  cfg.top_k = kTopK;
+  cfg.threads = 4;
+  cfg.shards = shards;
+  cfg.placement = placement;
+  cfg.scheduler.policy = serving::SchedulerPolicy::kTokenBudget;
+  cfg.scheduler.token_budget = 48;
+  cfg.scheduler.max_resident_tokens = 512;
+  serving::ServingEngine engine(BuildModel(rng, skew), cfg);
+
+  const auto entries = serving::SyntheticTrace(rng, requests, /*rate=*/4.0, /*prompt_lo=*/4,
+                                               /*prompt_hi=*/16, /*decode_lo=*/2,
+                                               /*decode_hi=*/8);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    engine.Submit(serving::MakeRequest(rng, static_cast<int64_t>(i), entries[i], kHidden));
+  }
+  engine.RunUntilDrained(/*max_steps=*/100000);
+
+  ShardRun run;
+  run.report = engine.Report();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const serving::RequestResult* result = engine.Result(static_cast<int64_t>(i));
+    run.outputs.push_back(result != nullptr ? result->outputs : MatrixF(0, 0));
+  }
+  return run;
+}
+
 }  // namespace
 }  // namespace samoyeds
 
-int main() {
+int main(int argc, char** argv) {
   using namespace samoyeds;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s (supported: --smoke)\n", argv[i]);
+      return 2;
+    }
+  }
 
+  if (!smoke) {
   PrintHeader("Serving throughput sweep: arrival rate x routing skew "
               "(token-budget policy, 24 requests, 1 decoder layer)");
   std::printf("%8s %6s %12s %12s %11s %11s %10s\n", "rate", "skew", "TTFT steps", "tokens/s",
@@ -159,6 +214,47 @@ int main() {
                 rep.mean_ttft_steps, rep.p95_ttft_steps, rep.p95_turnaround_steps,
                 rep.tokens_per_second, static_cast<long long>(rep.preemptions),
                 100.0 * rep.mean_page_utilization, rep.mean_frag_tokens);
+  }
+  }  // !smoke
+
+  // ---- Expert-parallel shard sweep (also the CI bit-identity gate) ---------
+  const int shard_requests = smoke ? 12 : 24;
+  const std::vector<double> shard_skews = smoke ? std::vector<double>{8.0}
+                                                : std::vector<double>{0.0, 8.0};
+  PrintHeader("Expert-parallel shard sweep: shard count x routing skew x placement "
+              "(4 threads; outputs must be bit-identical to 1 shard)");
+  std::printf("%7s %6s %12s %11s %11s %10s %11s %10s\n", "shards", "skew", "placement",
+              "est cmp ms", "est a2a ms", "a2a share", "shard imbal", "identical");
+  int divergences = 0;
+  for (double skew : shard_skews) {
+    const ShardRun baseline = RunShardCell(/*seed=*/7, skew, /*shards=*/1,
+                                           serving::ShardPlacement::kRoundRobin,
+                                           shard_requests);
+    std::printf("%7d %6.1f %12s %11.3f %11.3f %9.0f%% %10.2fx %10s\n", 1, skew, "-",
+                baseline.report.est_compute_ms, baseline.report.est_alltoall_ms,
+                100.0 * baseline.report.est_alltoall_share, baseline.report.shard_imbalance,
+                "base");
+    for (int shards : {2, 4}) {
+      for (serving::ShardPlacement placement :
+           {serving::ShardPlacement::kRoundRobin, serving::ShardPlacement::kGateStats}) {
+        const ShardRun run = RunShardCell(7, skew, shards, placement, shard_requests);
+        bool identical = run.outputs.size() == baseline.outputs.size();
+        for (size_t i = 0; identical && i < run.outputs.size(); ++i) {
+          identical = run.outputs[i] == baseline.outputs[i];
+        }
+        divergences += identical ? 0 : 1;
+        std::printf("%7d %6.1f %12s %11.3f %11.3f %9.0f%% %10.2fx %10s\n", shards, skew,
+                    serving::ShardPlacementName(placement), run.report.est_compute_ms,
+                    run.report.est_alltoall_ms, 100.0 * run.report.est_alltoall_share,
+                    run.report.shard_imbalance, identical ? "yes" : "NO");
+      }
+    }
+  }
+  if (divergences > 0) {
+    std::fprintf(stderr,
+                 "FAIL: %d sharded run(s) diverged bit-wise from the unsharded baseline\n",
+                 divergences);
+    return 1;
   }
   return 0;
 }

@@ -39,6 +39,23 @@ int64_t RoutingPlan::MaxTokensPerExpert() const {
   return max_tokens;
 }
 
+void RoutingPlan::AccumulateTokensPerBucket(const std::vector<int>& bucket_of,
+                                            std::vector<int64_t>& totals) const {
+  assert(static_cast<int>(bucket_of.size()) == num_experts);
+  for (int e = 0; e < num_experts; ++e) {
+    const int bucket = bucket_of[static_cast<size_t>(e)];
+    assert(bucket >= 0 && bucket < static_cast<int>(totals.size()));
+    totals[static_cast<size_t>(bucket)] += TokensForExpert(e);
+  }
+}
+
+std::vector<int64_t> RoutingPlan::TokensPerBucket(const std::vector<int>& bucket_of,
+                                                  int num_buckets) const {
+  std::vector<int64_t> totals(static_cast<size_t>(num_buckets), 0);
+  AccumulateTokensPerBucket(bucket_of, totals);
+  return totals;
+}
+
 bool RoutingPlan::IsConsistent() const {
   if (static_cast<int>(expert_tokens.size()) != num_experts ||
       static_cast<int64_t>(token_assignments.size()) != tokens) {

@@ -45,6 +45,14 @@ struct RoutingPlan {
   float GateWeight(int e, int64_t i) const;
   // Largest per-expert token count (drives padding overheads).
   int64_t MaxTokensPerExpert() const;
+  // Routed-token totals per bucket under an expert -> bucket map (the
+  // serving engine's expert-shard accounting: bucket = simulated device).
+  // `bucket_of[e]` must lie in [0, totals.size()); totals is accumulated
+  // into, not cleared, so per-step counts can fold across layers.
+  void AccumulateTokensPerBucket(const std::vector<int>& bucket_of,
+                                 std::vector<int64_t>& totals) const;
+  std::vector<int64_t> TokensPerBucket(const std::vector<int>& bucket_of,
+                                       int num_buckets) const;
   bool IsConsistent() const;
 };
 

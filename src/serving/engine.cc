@@ -3,12 +3,25 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cmath>
 #include <utility>
 
+#include "src/core/samoyeds_kernel.h"
+#include "src/simgpu/timing_model.h"
 #include "src/tensor/bf16.h"
 
 namespace samoyeds {
 namespace serving {
+
+const char* RoutingAlgoName(RoutingAlgo r) {
+  switch (r) {
+    case RoutingAlgo::kTopK:
+      return "top-k";
+    case RoutingAlgo::kExpertChoice:
+      return "expert-choice";
+  }
+  return "?";
+}
 
 const char* RequestStatusName(RequestStatus s) {
   switch (s) {
@@ -32,10 +45,61 @@ ServingEngine::ServingEngine(std::vector<SamoyedsDecoderLayerWeights> layers,
       scheduler_(config.scheduler),
       cache_(KvCacheConfig{config.scheduler.page_tokens, config.scheduler.max_pages},
              static_cast<int64_t>(layers_.size()), hidden_),
-      pool_(config.threads) {
+      pool_(config.threads, std::max(1, config.shards)) {
   assert(!layers_.empty());
   assert(hidden_ % config_.heads == 0);
   assert(config_.scheduler.page_tokens >= 1);
+  assert(config_.shards >= 1);
+  // Simulated serving cluster: one DefaultDevice per shard, with the CLI's
+  // interconnect overrides applied uniformly.
+  cluster_ = SimCluster::Homogeneous(DefaultDevice(), std::max(1, config_.shards));
+  for (DeviceSpec& d : cluster_.devices) {
+    if (config_.link_bandwidth_gbps > 0.0) {
+      d.link_bandwidth_gbps = config_.link_bandwidth_gbps;
+    }
+    if (config_.link_latency_us >= 0.0) {
+      d.link_latency_us = config_.link_latency_us;
+    }
+  }
+  shard_plan_ = BuildShardPlan();
+  assert(shard_plan_.IsValid());
+}
+
+ExpertShardPlan ServingEngine::BuildShardPlan() const {
+  const int shards = std::max(1, config_.shards);
+  const int experts = static_cast<int>(layers_.front().moe.experts.size());
+  switch (config_.placement) {
+    case ShardPlacement::kRoundRobin:
+      break;
+    case ShardPlacement::kCapacityBalanced: {
+      // Bin-pack each expert index's total weight storage across the stack
+      // (heterogeneous layers make expert indices differ in bytes).
+      std::vector<int64_t> bytes(static_cast<size_t>(experts), 0);
+      for (const SamoyedsDecoderLayerWeights& layer : layers_) {
+        assert(static_cast<int>(layer.moe.experts.size()) == experts);
+        for (int e = 0; e < experts; ++e) {
+          const SamoyedsExpertWeights& w = layer.moe.experts[static_cast<size_t>(e)];
+          bytes[static_cast<size_t>(e)] +=
+              w.gate.StorageBytes() + w.up.StorageBytes() + w.down.StorageBytes();
+        }
+      }
+      return ExpertShardPlan::CapacityBalanced(bytes, shards);
+    }
+    case ShardPlacement::kGateStats: {
+      // Expected-load proxy: each expert index's router-gate row norm summed
+      // across layers (larger rows win top-k more often).
+      std::vector<double> loads(static_cast<size_t>(experts), 0.0);
+      for (const SamoyedsDecoderLayerWeights& layer : layers_) {
+        const std::vector<double> norms = GateRowNorms(layer.moe.router_gate);
+        assert(static_cast<int>(norms.size()) == experts);
+        for (int e = 0; e < experts; ++e) {
+          loads[static_cast<size_t>(e)] += norms[static_cast<size_t>(e)];
+        }
+      }
+      return ExpertShardPlan::FromLoads(loads, shards);
+    }
+  }
+  return ExpertShardPlan::RoundRobin(experts, shards);
 }
 
 bool ServingEngine::Submit(Request request) {
@@ -87,6 +151,13 @@ void ServingEngine::Preempt(int64_t id) {
 }
 
 MatrixF ServingEngine::ForwardBatch(const AssembledBatch& batch) {
+  const int num_shards = cluster_.num_shards();
+  step_shard_ms_.assign(static_cast<size_t>(num_shards), 0.0);
+  step_shard_tokens_.assign(static_cast<size_t>(num_shards), 0);
+  step_alltoall_ms_ = 0.0;
+  step_account_ms_ = 0.0;
+  step_traffic_ = TrafficReport{};
+
   MatrixF h = batch.rows;
   for (size_t layer = 0; layer < layers_.size(); ++layer) {
     const SamoyedsDecoderLayerWeights& w = layers_[layer];
@@ -95,10 +166,14 @@ MatrixF ServingEngine::ForwardBatch(const AssembledBatch& batch) {
     // cached prefix (gathered through the page table); causal attention over
     // the full prefix yields the new rows' outputs. Sequences are
     // independent — and own disjoint pages — so they fan out over the pool.
+    // Each slice runs on the home shard of its batch rows — the same
+    // contiguous data-parallel split the all-to-all model and the shared
+    // experts use, so the simulation has one notion of where a token lives.
     MatrixF h1 = h;  // residual base
     for (size_t s = 0; s < batch.slices.size(); ++s) {
       const BatchSlice& slice = batch.slices[s];
-      pool_.Submit([this, &h, &h1, &w, slice, layer] {
+      pool_.SubmitToShard(TokenHomeShard(slice.row_begin, h.rows(), num_shards),
+                          [this, &h, &h1, &w, slice, layer] {
         MatrixF x_new(slice.row_count, hidden_);
         for (int64_t r = 0; r < slice.row_count; ++r) {
           for (int64_t c = 0; c < hidden_; ++c) {
@@ -127,24 +202,97 @@ MatrixF ServingEngine::ForwardBatch(const AssembledBatch& batch) {
 
     // MoE sub-block, whole batch: one routing plan covers every sequence's
     // tokens, so each expert runs once per iteration over its tile-split
-    // SEL slices.
+    // SEL slices, on its placement shard's queue.
     MatrixF normed = RmsNorm(h1, w.moe_norm_gamma);
     RoundMatrixToBf16(normed);
-    const RoutingPlan plan = Route(normed, w.moe.router_gate, config_.top_k);
+    const RoutingPlan plan = config_.routing == RoutingAlgo::kExpertChoice
+                                 ? RouteExpertChoice(normed, w.moe.router_gate, config_.top_k)
+                                 : Route(normed, w.moe.router_gate, config_.top_k);
     metrics_.OnRoutingPlan(plan);
+    SsmmConfig tile_cfg = SsmmConfig::Default();
     if (config_.autotune) {
-      ResolveTileConfig(w.moe, plan);
+      tile_cfg = ResolveTileConfig(w.moe, plan);
     }
-    ParallelMoeForwardSamoyeds(pool_, normed, w.moe, plan, config_.activation, moe_ws_,
-                               moe_out_);
+    AccountMoeLayer(w.moe, plan, tile_cfg);
+    ParallelMoeForwardSamoyeds(pool_, normed, w.moe, plan, config_.activation, shard_plan_,
+                               moe_ws_, moe_out_);
     MatrixAxpy(1.0f, moe_out_, h1);
     h = std::move(h1);
   }
   return h;
 }
 
-void ServingEngine::ResolveTileConfig(const SamoyedsMoeLayerWeights& moe,
-                                      const RoutingPlan& plan) {
+void ServingEngine::AccountMoeLayer(const SamoyedsMoeLayerWeights& moe, const RoutingPlan& plan,
+                                    const SsmmConfig& tile_cfg) {
+  const auto account_t0 = std::chrono::steady_clock::now();
+  const int num_shards = cluster_.num_shards();
+  // Each routed expert's gate/up/down SSMM chain is charged to its shard;
+  // the tuned tile configuration (autotuned serving) shapes every per-kernel
+  // estimate. gate/up select this expert's tokens out of the whole batch
+  // panel; down consumes the already-compressed intermediate.
+  for (int e = 0; e < static_cast<int>(moe.experts.size()); ++e) {
+    const int64_t count = plan.TokensForExpert(e);
+    if (count == 0) {
+      continue;
+    }
+    const int s = shard_plan_.shard_of(e);
+    const DeviceSpec& device = cluster_.device(s);
+    const TimingModel model(device);
+    const SamoyedsExpertWeights& w = moe.experts[static_cast<size_t>(e)];
+    for (const SamoyedsMatrix* proj : {&w.gate, &w.up}) {
+      const GemmShape shape{proj->rows, proj->cols, plan.tokens};
+      step_shard_ms_[static_cast<size_t>(s)] +=
+          model.Estimate(SamoyedsKernel::Analyze(shape, count, proj->config, tile_cfg, device)
+                             .traffic)
+              .total_ms;
+    }
+    const GemmShape down{w.down.rows, w.down.cols, count};
+    step_shard_ms_[static_cast<size_t>(s)] +=
+        model.Estimate(
+                 SamoyedsKernel::Analyze(down, count, w.down.config, tile_cfg, device).traffic)
+            .total_ms;
+  }
+  // Shared experts are replicated: each shard runs them over its home token
+  // slice (the data-parallel split the execution path uses too).
+  for (const SamoyedsExpertWeights& w : moe.shared_experts) {
+    for (int s = 0; s < num_shards; ++s) {
+      const int64_t range = ShardHomeBegin(s + 1, plan.tokens, num_shards) -
+                            ShardHomeBegin(s, plan.tokens, num_shards);
+      if (range == 0) {
+        continue;
+      }
+      const DeviceSpec& device = cluster_.device(s);
+      const TimingModel model(device);
+      for (const SamoyedsMatrix* proj : {&w.gate, &w.up}) {
+        const GemmShape shape{proj->rows, proj->cols, plan.tokens};
+        step_shard_ms_[static_cast<size_t>(s)] +=
+            model.Estimate(SamoyedsKernel::Analyze(shape, range, proj->config, tile_cfg, device)
+                               .traffic)
+                .total_ms;
+      }
+      const GemmShape down{w.down.rows, w.down.cols, range};
+      step_shard_ms_[static_cast<size_t>(s)] +=
+          model.Estimate(
+                   SamoyedsKernel::Analyze(down, range, w.down.config, tile_cfg, device).traffic)
+              .total_ms;
+    }
+  }
+  plan.AccumulateTokensPerBucket(shard_plan_.shard_of_expert(), step_shard_tokens_);
+  // All-to-all: exact per-shard send/receive volumes feed the busiest-link
+  // interconnect roofline (both phases pay link latency + serialization).
+  const AllToAllTraffic traffic =
+      ComputeAllToAllTraffic(plan, shard_plan_, hidden_, /*bytes_per_value=*/2, a2a_scratch_);
+  const TimingModel model(cluster_.device(0));
+  step_alltoall_ms_ += model.InterconnectPhaseMs(traffic.max_shard_dispatch_bytes) +
+                       model.InterconnectPhaseMs(traffic.max_shard_combine_bytes);
+  traffic.AddTo(step_traffic_);
+  step_account_ms_ += std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - account_t0)
+                          .count();
+}
+
+SsmmConfig ServingEngine::ResolveTileConfig(const SamoyedsMoeLayerWeights& moe,
+                                            const RoutingPlan& plan) {
   assert(!moe.experts.empty());
   // This layer's SSMM shape: every expert projection is (intermediate x
   // hidden) against this batch's token panel; the SEL length that drives
@@ -161,6 +309,7 @@ void ServingEngine::ResolveTileConfig(const SamoyedsMoeLayerWeights& moe,
              .first;
   }
   metrics_.OnAutotune(it->second.default_ms, it->second.simulated_ms, cache_hit);
+  return it->second.config;
 }
 
 bool ServingEngine::Step() {
@@ -251,6 +400,20 @@ bool ServingEngine::Step() {
 
   const AssembledBatch batch = BatchAssembler::Assemble(parts, hidden_);
 
+  // KV-page traffic this iteration: attention gathers every sequence's
+  // cached prefix rows through its page table and appends the new normed
+  // rows, once per layer (the ROADMAP's "charge cache gather/append traffic
+  // in the analytic timing model").
+  const double layer_count = static_cast<double>(layers_.size());
+  double kv_read_bytes = 0.0;
+  double kv_write_bytes = 0.0;
+  for (const BatchSlice& slice : batch.slices) {
+    kv_read_bytes += static_cast<double>(slice.position_begin * hidden_) * sizeof(float) *
+                     layer_count;
+    kv_write_bytes += static_cast<double>(slice.row_count * hidden_) * sizeof(float) *
+                      layer_count;
+  }
+
   // 5. One forward over the whole batch.
   const auto t0 = std::chrono::steady_clock::now();
   const MatrixF out = ForwardBatch(batch);
@@ -264,7 +427,37 @@ bool ServingEngine::Step() {
   sm.running_sequences = static_cast<int64_t>(running_.size());
   sm.kv_used_pages = cache_.allocator().used_pages();
   sm.kv_frag_tokens = cache_.allocator().FragmentationWaste();
-  sm.wall_ms = forward_ms;
+  // Measured forward time, minus the host time the analytic accounting
+  // itself spent inside ForwardBatch — simulation bookkeeping must not
+  // contaminate the throughput metrics.
+  sm.wall_ms = std::max(0.0, forward_ms - step_account_ms_);
+
+  // Analytic step estimate: the per-shard MoE device times accumulated by
+  // ForwardBatch, plus the step's KV-page traffic as a bandwidth-roofline
+  // stream split data-parallel across shards, plus the interconnect
+  // all-to-all. The slowest shard gates the iteration.
+  sm.kv_read_bytes = kv_read_bytes;
+  sm.kv_write_bytes = kv_write_bytes;
+  sm.alltoall_dispatch_bytes = step_traffic_.alltoall_dispatch_bytes;
+  sm.alltoall_combine_bytes = step_traffic_.alltoall_combine_bytes;
+  sm.est_alltoall_ms = step_alltoall_ms_;
+  double max_shard_ms = 0.0;
+  for (double ms : step_shard_ms_) {
+    max_shard_ms = std::max(max_shard_ms, ms);
+  }
+  const double shard_count = static_cast<double>(cluster_.num_shards());
+  TrafficReport kv;
+  kv.gmem_read_bytes = kv_read_bytes / shard_count;
+  kv.gmem_write_bytes = kv_write_bytes / shard_count;
+  kv.gmem_unique_bytes = (kv_read_bytes + kv_write_bytes) / shard_count;
+  // Page-granular gathers stream whole pages — coalesced, bandwidth-bound;
+  // give the stand-in kernel a launch shape wide enough to saturate.
+  kv.thread_blocks = 1 + static_cast<int64_t>(kv.gmem_unique_bytes) / (128 << 10);
+  kv.warps_per_block = 8;
+  kv.efficiency = 0.8;
+  sm.est_compute_ms =
+      max_shard_ms + TimingModel(cluster_.device(0)).Estimate(kv).total_ms;
+  metrics_.OnShardTokens(step_shard_tokens_);
 
   std::vector<int64_t> still_running;
   for (size_t s = 0; s < batch.slices.size(); ++s) {

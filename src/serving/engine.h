@@ -45,9 +45,24 @@
 #include "src/serving/request.h"
 #include "src/serving/request_queue.h"
 #include "src/serving/scheduler.h"
+#include "src/serving/shard_plan.h"
 
 namespace samoyeds {
 namespace serving {
+
+// Which router the engine drives each layer's MoE sub-block with. Top-k is
+// the default (tokens pick experts; per-row outputs are independent of
+// batch composition, which is what the engine's incremental-equals-full
+// property and preemption recompute rely on). Expert-choice inverts the
+// selection (experts pick tokens, perfectly balanced per layer) — note its
+// outputs legitimately depend on batch composition, so it trades the
+// full-sequence-reference equivalence for load balance.
+enum class RoutingAlgo {
+  kTopK,
+  kExpertChoice,
+};
+
+const char* RoutingAlgoName(RoutingAlgo r);
 
 struct EngineConfig {
   int heads = 4;
@@ -57,8 +72,20 @@ struct EngineConfig {
   // Resolve the SSMM tile configuration per batch shape via AutotuneSsmm,
   // memoized per (batch rows, max tokens per expert) — the ROADMAP's
   // "autotuned serving". Purely an analytic-model resolution: functional
-  // outputs are unchanged (asserted by ServingTest.AutotuneDoesNotChangeOutputs).
+  // outputs are unchanged (asserted by ServingTest.AutotuneDoesNotChangeOutputs);
+  // the resolved config also feeds the per-step analytic wall-clock estimate.
   bool autotune = false;
+  RoutingAlgo routing = RoutingAlgo::kTopK;
+  // Expert-parallel sharding: experts partition across `shards` simulated
+  // devices (per-shard expert-pool queues + per-shard analytic timing).
+  // Outputs are bit-identical at any shard count.
+  int shards = 1;
+  ShardPlacement placement = ShardPlacement::kRoundRobin;
+  // Interconnect overrides applied to every device of the simulated
+  // cluster; link_bandwidth_gbps <= 0 and link_latency_us < 0 keep the
+  // DeviceSpec defaults.
+  double link_bandwidth_gbps = 0.0;
+  double link_latency_us = -1.0;
   SchedulerConfig scheduler;
 };
 
@@ -100,6 +127,8 @@ class ServingEngine {
   int64_t queued() const { return queue_.size() + scheduler_.pending(); }
 
   const PagedKvCache& kv_cache() const { return cache_; }
+  const ExpertShardPlan& shard_plan() const { return shard_plan_; }
+  const SimCluster& cluster() const { return cluster_; }
   const EngineMetrics& metrics() const { return metrics_; }
   // Distinct batch shapes the autotuner has resolved (0 with autotune off).
   int64_t autotune_cache_size() const { return static_cast<int64_t>(autotune_cache_.size()); }
@@ -127,8 +156,16 @@ class ServingEngine {
   MatrixF ForwardBatch(const AssembledBatch& batch);
   // Resolves (and caches) the tuned SSMM tile config for one layer's expert
   // shape under this plan's batch shape; records simulated default-vs-tuned
-  // time in the metrics.
-  void ResolveTileConfig(const SamoyedsMoeLayerWeights& moe, const RoutingPlan& plan);
+  // time in the metrics and returns the config the analytic estimate runs
+  // with (SsmmConfig::Default() when autotuning is off).
+  SsmmConfig ResolveTileConfig(const SamoyedsMoeLayerWeights& moe, const RoutingPlan& plan);
+  // Expert->shard map for this engine's layers under config_.placement.
+  ExpertShardPlan BuildShardPlan() const;
+  // Folds one routed layer into the step's analytic estimate: each expert's
+  // three SSMM projections charged to its shard, shared experts
+  // data-parallel, plus the layer's cross-shard all-to-all.
+  void AccountMoeLayer(const SamoyedsMoeLayerWeights& moe, const RoutingPlan& plan,
+                       const SsmmConfig& tile_cfg);
 
   const std::vector<SamoyedsDecoderLayerWeights> layers_;
   const EngineConfig config_;
@@ -137,8 +174,23 @@ class ServingEngine {
   RequestQueue queue_;
   Scheduler scheduler_;
   PagedKvCache cache_;
+  SimCluster cluster_;
+  ExpertShardPlan shard_plan_;
   ExpertPool pool_;
   EngineMetrics metrics_;
+  // Per-step analytic-estimate accumulators, reset at the top of each
+  // forward (scratch members so steady-state steps stay allocation-quiet).
+  // step_traffic_ aggregates the step's cross-shard all-to-all volumes as a
+  // TrafficReport (AllToAllTraffic::AddTo across layers); step_account_ms_
+  // is host time spent on the accounting itself, deducted from the measured
+  // forward wall-clock so analytic bookkeeping never contaminates the
+  // throughput metrics.
+  std::vector<double> step_shard_ms_;
+  std::vector<int64_t> step_shard_tokens_;
+  double step_alltoall_ms_ = 0.0;
+  double step_account_ms_ = 0.0;
+  TrafficReport step_traffic_;
+  AllToAllScratch a2a_scratch_;
   // Persistent forward scratch: steady-state Step() iterations reuse these
   // instead of allocating per call (see bench/micro_kernel_wallclock).
   ParallelMoeWorkspace moe_ws_;

@@ -15,9 +15,10 @@ namespace {
 thread_local int t_slot = 0;
 
 // Number of contiguous token tiles one expert's work splits into: enough to
-// spread a hot (skewed) expert across the pool, but never so many that tiny
-// slices drown in scheduling overhead. The split never changes results —
-// per-token outputs are independent of tile grouping — only load balance.
+// spread a hot (skewed) expert across its shard's workers, but never so
+// many that tiny slices drown in scheduling overhead. The split never
+// changes results — per-token outputs are independent of tile grouping —
+// only load balance.
 int64_t NumTiles(int64_t tokens, int threads) {
   constexpr int64_t kMinTileTokens = 16;
   if (tokens <= 0) {
@@ -33,13 +34,31 @@ int64_t NumTiles(int64_t tokens, int threads) {
 
 int ExpertPool::CurrentSlot() { return t_slot; }
 
-ExpertPool::ExpertPool(int threads) {
+bool ExpertPool::Serves(int worker, int shard, int threads, int shards) {
+  // threads >= shards: workers pin round-robin, one shard each. Otherwise
+  // each worker serves the shards that hash to it, so no queue is orphaned.
+  return threads >= shards ? worker % shards == shard : shard % threads == worker;
+}
+
+ExpertPool::ExpertPool(int threads, int shards)
+    : queues_(static_cast<size_t>(std::max(1, shards))),
+      shard_submitted_(static_cast<size_t>(std::max(1, shards)), 0) {
+  assert(shards >= 1);
   if (threads <= 1) {
     return;  // inline mode
   }
+  group_cvs_ = std::vector<std::condition_variable>(
+      static_cast<size_t>(std::min(threads, this->shards())));
   workers_.reserve(static_cast<size_t>(threads));
   for (int i = 0; i < threads; ++i) {
-    workers_.emplace_back([this, slot = i + 1] { WorkerLoop(slot); });
+    std::vector<int> served;
+    for (int s = 0; s < this->shards(); ++s) {
+      if (Serves(i, s, threads, this->shards())) {
+        served.push_back(s);
+      }
+    }
+    workers_.emplace_back(
+        [this, slot = i + 1, served = std::move(served)] { WorkerLoop(slot, served); });
   }
 }
 
@@ -48,7 +67,9 @@ ExpertPool::~ExpertPool() {
     std::lock_guard<std::mutex> lock(mu_);
     stopping_ = true;
   }
-  work_ready_.notify_all();
+  for (auto& cv : group_cvs_) {
+    cv.notify_all();
+  }
   for (auto& w : workers_) {
     w.join();
   }
@@ -62,18 +83,51 @@ void ExpertPool::WaitIdle() {
   idle_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
-void ExpertPool::WorkerLoop(int slot) {
+int ExpertPool::ShardWorkers(int shard) const {
+  const int threads = this->threads();
+  if (threads <= 1) {
+    return 1;  // inline mode: the submitting thread serves every shard
+  }
+  int count = 0;
+  for (int w = 0; w < threads; ++w) {
+    count += Serves(w, shard, threads, shards()) ? 1 : 0;
+  }
+  return std::max(1, count);
+}
+
+int64_t ExpertPool::submitted_to_shard(int shard) const {
+  assert(shard >= 0 && shard < shards());
+  return shard_submitted_[static_cast<size_t>(shard)];
+}
+
+void ExpertPool::WorkerLoop(int slot, std::vector<int> served) {
   t_slot = slot;
+  // Every shard this worker serves maps to the same wakeup group (see
+  // GroupOf), so waiting on that one condition variable covers them all.
+  std::condition_variable& cv = group_cvs_[static_cast<size_t>((slot - 1) %
+                                                              static_cast<int>(group_cvs_.size()))];
+  auto next_queue = [this, &served]() -> std::deque<std::function<void()>>* {
+    for (int s : served) {
+      if (!queues_[static_cast<size_t>(s)].empty()) {
+        return &queues_[static_cast<size_t>(s)];
+      }
+    }
+    return nullptr;
+  };
   for (;;) {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
-      if (tasks_.empty()) {
-        return;  // stopping and drained
+      std::deque<std::function<void()>>* queue = nullptr;
+      cv.wait(lock, [this, &next_queue, &queue] {
+        queue = next_queue();
+        return stopping_ || queue != nullptr;
+      });
+      if (queue == nullptr) {
+        return;  // stopping and this worker's shards are drained
       }
-      task = std::move(tasks_.front());
-      tasks_.pop_front();
+      task = std::move(queue->front());
+      queue->pop_front();
     }
     task();
     {
@@ -85,36 +139,58 @@ void ExpertPool::WorkerLoop(int slot) {
   }
 }
 
-void ParallelMoeForwardSamoyeds(ExpertPool& pool, const MatrixF& x,
-                                const SamoyedsMoeLayerWeights& w, const RoutingPlan& plan,
-                                Activation act, ParallelMoeWorkspace& ws, MatrixF& out) {
+namespace {
+
+// Shared implementation: `placement == nullptr` is the unsharded path
+// (everything on queue 0, tile split against the whole pool) and stays
+// allocation-identical to the pre-sharding code.
+void ForwardImpl(ExpertPool& pool, const MatrixF& x, const SamoyedsMoeLayerWeights& w,
+                 const RoutingPlan& plan, Activation act, const ExpertShardPlan* placement,
+                 ParallelMoeWorkspace& ws, MatrixF& out) {
   assert(plan.tokens == x.rows());
-  const int threads = std::max(1, pool.threads());
   const size_t num_experts = w.experts.size();
   const size_t num_shared = w.shared_experts.size();
   const int64_t hidden = x.cols();
   const int64_t all_tokens = x.rows();
+  const int num_shards = placement != nullptr ? placement->num_shards() : 1;
+  assert(placement == nullptr || placement->num_experts() == static_cast<int>(num_experts));
+  assert(placement != nullptr || pool.shards() == 1);
+  assert(placement == nullptr || placement->num_shards() == pool.shards());
 
   ws.slot_ws.resize(static_cast<size_t>(pool.slots()));
   ws.expert_out.resize(num_experts);
   ws.shared_out.resize(num_shared);
+
+  const auto shard_of = [placement](size_t e) {
+    return placement != nullptr ? placement->shard_of(static_cast<int>(e)) : 0;
+  };
+  const auto shard_threads = [&pool, placement](int shard) {
+    return placement != nullptr ? pool.ShardWorkers(shard) : std::max(1, pool.threads());
+  };
 
   // Size the tile array up front: tasks hold references into it, so it must
   // not reallocate while any task is in flight.
   size_t total_tiles = 0;
   for (size_t e = 0; e < num_experts; ++e) {
     total_tiles += static_cast<size_t>(NumTiles(plan.TokensForExpert(static_cast<int>(e)),
-                                                threads));
+                                                shard_threads(shard_of(e))));
   }
-  const int64_t shared_tiles = NumTiles(all_tokens, threads);
-  total_tiles += num_shared * static_cast<size_t>(shared_tiles);
+  size_t shared_tiles = 0;
+  for (int s = 0; s < num_shards; ++s) {
+    const int64_t range = ShardHomeBegin(s + 1, all_tokens, num_shards) -
+                          ShardHomeBegin(s, all_tokens, num_shards);
+    shared_tiles += static_cast<size_t>(NumTiles(range, shard_threads(s)));
+  }
+  total_tiles += num_shared * shared_tiles;
   if (ws.tile_sel.size() < total_tiles) {
     ws.tile_sel.resize(total_tiles);
   }
 
   // Fan out: each tile runs the full expert pipeline over a contiguous slice
-  // of that expert's token list and writes disjoint rows of its per-expert
-  // output buffer. A zero-token expert submits no tasks at all.
+  // of that expert's token list, on that expert's shard queue, and writes
+  // disjoint rows of its per-expert output buffer. A zero-token expert
+  // submits no tasks at all — so a shard whose experts are all idle stays
+  // silent.
   size_t tile = 0;
   for (size_t e = 0; e < num_experts; ++e) {
     const auto& tokens = plan.expert_tokens[e];
@@ -122,9 +198,10 @@ void ParallelMoeForwardSamoyeds(ExpertPool& pool, const MatrixF& x,
     if (count == 0) {
       continue;
     }
+    const int shard = shard_of(e);
     MatrixF& expert_out = ws.expert_out[e];
     expert_out.Reshape(count, hidden);
-    const int64_t tiles = NumTiles(count, threads);
+    const int64_t tiles = NumTiles(count, shard_threads(shard));
     for (int64_t t = 0; t < tiles; ++t) {
       const int64_t t0 = t * count / tiles;
       const int64_t t1 = (t + 1) * count / tiles;
@@ -132,35 +209,44 @@ void ParallelMoeForwardSamoyeds(ExpertPool& pool, const MatrixF& x,
       sel.full_size = all_tokens;
       sel.indices.assign(tokens.begin() + t0, tokens.begin() + t1);
       const SamoyedsExpertWeights& weights = w.experts[e];
-      pool.Submit([&x, &weights, &sel, act, &ws, &expert_out, t0] {
+      pool.SubmitToShard(shard, [&x, &weights, &sel, act, &ws, &expert_out, t0] {
         ExpertForwardSamoyeds(x, weights, sel, act,
                               ws.slot_ws[static_cast<size_t>(ExpertPool::CurrentSlot())],
                               expert_out, t0);
       });
     }
   }
+  // Shared experts process every token; under sharding they run
+  // data-parallel, each shard covering its home token range.
   for (size_t s = 0; s < num_shared; ++s) {
     MatrixF& shared_out = ws.shared_out[s];
     shared_out.Reshape(all_tokens, hidden);
-    for (int64_t t = 0; t < shared_tiles; ++t) {
-      const int64_t t0 = t * all_tokens / shared_tiles;
-      const int64_t t1 = (t + 1) * all_tokens / shared_tiles;
-      Selection& sel = ws.tile_sel[tile++];
-      sel.full_size = all_tokens;
-      sel.indices.resize(static_cast<size_t>(t1 - t0));
-      std::iota(sel.indices.begin(), sel.indices.end(), static_cast<int32_t>(t0));
-      const SamoyedsExpertWeights& weights = w.shared_experts[s];
-      pool.Submit([&x, &weights, &sel, act, &ws, &shared_out, t0] {
-        ExpertForwardSamoyeds(x, weights, sel, act,
-                              ws.slot_ws[static_cast<size_t>(ExpertPool::CurrentSlot())],
-                              shared_out, t0);
-      });
+    for (int shard = 0; shard < num_shards; ++shard) {
+      const int64_t begin = ShardHomeBegin(shard, all_tokens, num_shards);
+      const int64_t end = ShardHomeBegin(shard + 1, all_tokens, num_shards);
+      const int64_t range = end - begin;
+      const int64_t tiles = NumTiles(range, shard_threads(shard));
+      for (int64_t t = 0; t < tiles; ++t) {
+        const int64_t t0 = begin + t * range / tiles;
+        const int64_t t1 = begin + (t + 1) * range / tiles;
+        Selection& sel = ws.tile_sel[tile++];
+        sel.full_size = all_tokens;
+        sel.indices.resize(static_cast<size_t>(t1 - t0));
+        std::iota(sel.indices.begin(), sel.indices.end(), static_cast<int32_t>(t0));
+        const SamoyedsExpertWeights& weights = w.shared_experts[s];
+        pool.SubmitToShard(shard, [&x, &weights, &sel, act, &ws, &shared_out, t0] {
+          ExpertForwardSamoyeds(x, weights, sel, act,
+                                ws.slot_ws[static_cast<size_t>(ExpertPool::CurrentSlot())],
+                                shared_out, t0);
+        });
+      }
     }
   }
   pool.WaitIdle();
 
-  // Fixed-order accumulation keeps the result independent of thread timing
-  // and of the tile split.
+  // Fixed-order accumulation — ascending global expert id, independent of
+  // shard placement — keeps the result identical to the sequential path
+  // regardless of thread timing, tile split, or shard count.
   out.Reshape(all_tokens, hidden);
   out.Fill(0.0f);
   for (size_t e = 0; e < num_experts; ++e) {
@@ -172,6 +258,21 @@ void ParallelMoeForwardSamoyeds(ExpertPool& pool, const MatrixF& x,
   for (size_t s = 0; s < num_shared; ++s) {
     MatrixAxpy(1.0f, ws.shared_out[s], out);
   }
+}
+
+}  // namespace
+
+void ParallelMoeForwardSamoyeds(ExpertPool& pool, const MatrixF& x,
+                                const SamoyedsMoeLayerWeights& w, const RoutingPlan& plan,
+                                Activation act, ParallelMoeWorkspace& ws, MatrixF& out) {
+  ForwardImpl(pool, x, w, plan, act, /*placement=*/nullptr, ws, out);
+}
+
+void ParallelMoeForwardSamoyeds(ExpertPool& pool, const MatrixF& x,
+                                const SamoyedsMoeLayerWeights& w, const RoutingPlan& plan,
+                                Activation act, const ExpertShardPlan& placement,
+                                ParallelMoeWorkspace& ws, MatrixF& out) {
+  ForwardImpl(pool, x, w, plan, act, &placement, ws, out);
 }
 
 MatrixF ParallelMoeForwardSamoyeds(ExpertPool& pool, const MatrixF& x,

@@ -1,26 +1,44 @@
-// Multi-threaded expert execution pool with tile-granular scheduling.
+// Multi-threaded expert execution pool with per-shard work queues and
+// tile-granular scheduling.
 //
 // Independent experts in one MoE layer share no state: each reads its own
 // Samoyeds-encoded weights and a disjoint SEL-selected slice of the
 // activation matrix. Within one expert, every *token* is independent too
 // (output columns of the SSMM chain depend only on their own input column),
 // so ParallelMoeForwardSamoyeds fans work out at tile granularity: a hot
-// expert's token set splits into up to `threads` contiguous tiles, each a
-// full gate/up/act/down pipeline over its slice, writing disjoint rows of
-// the per-expert output. One skewed expert therefore no longer serializes
-// the step behind a single worker. Per-expert outputs fold back on the
-// submitting thread in fixed expert order, so results are bit-identical to
-// the sequential MoeForwardSamoyeds regardless of thread count, tile split,
-// or completion order (see ExpertPoolTilingTest).
+// expert's token set splits into contiguous tiles, each a full
+// gate/up/act/down pipeline over its slice, writing disjoint rows of the
+// per-expert output. One skewed expert therefore no longer serializes the
+// step behind a single worker.
+//
+// Expert-parallel sharding partitions the pool into per-shard work queues
+// — one simulated device per shard. Workers are pinned to shards (worker w
+// homes on shard w % shards; with fewer workers than shards, worker w
+// serves every shard s with s % threads == w, so every queue always has a
+// server), and a worker only ever executes tasks of the shards it serves:
+// a simulated device never runs another device's experts, so host
+// wall-clock shows shard imbalance the same way the analytic
+// max-over-shards estimate does. A shard whose experts received no tokens
+// gets no tasks at all.
+//
+// Per-expert outputs fold back on the submitting thread in ascending
+// *global* expert order — a fixed order independent of shard placement,
+// tile split, thread count, and completion timing — so results are
+// bit-identical to the sequential MoeForwardSamoyeds at any shard/thread
+// count (see ExpertPoolTilingTest and ShardedMoeForwardTest).
 //
 // Each execution slot (worker threads 1..N, submitting thread 0) owns a
 // persistent SsmmWorkspace, so steady-state forwards allocate nothing on
-// the kernel path.
+// the kernel path. Workers are shard-pinned, so slots — and their
+// workspaces — partition by shard exactly like device-local scratch would
+// (threads < shards degrades gracefully: a worker serving several shards
+// reuses one workspace across them).
 
 #ifndef SAMOYEDS_SRC_SERVING_EXPERT_POOL_H_
 #define SAMOYEDS_SRC_SERVING_EXPERT_POOL_H_
 
 #include <atomic>
+#include <cassert>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -31,41 +49,64 @@
 
 #include "src/core/ssmm_workspace.h"
 #include "src/moe/moe_layer.h"
+#include "src/serving/shard_plan.h"
 
 namespace samoyeds {
 namespace serving {
 
 class ExpertPool {
  public:
-  // threads <= 1 runs every task inline on the caller (no workers spawned).
-  explicit ExpertPool(int threads);
+  // threads <= 1 runs every task inline on the caller (no workers spawned,
+  // any shard id executes immediately — the one-device degenerate case).
+  // shards >= 1 partitions the queues as described above.
+  explicit ExpertPool(int threads, int shards = 1);
   ~ExpertPool();
 
   ExpertPool(const ExpertPool&) = delete;
   ExpertPool& operator=(const ExpertPool&) = delete;
 
-  // Runs `task` on a worker, or immediately on the caller in inline mode.
-  // Templated so inline execution never pays the std::function type-erasure
-  // allocation — the single-threaded engine hot path stays allocation-free.
+  // Runs `task` on a worker serving `shard`, or immediately on the caller
+  // in inline mode. Templated so inline execution never pays the
+  // std::function type-erasure allocation — the single-threaded engine hot
+  // path stays allocation-free.
   template <typename Fn>
-  void Submit(Fn&& task) {
+  void SubmitToShard(int shard, Fn&& task) {
+    assert(shard >= 0 && shard < shards());
     submitted_.fetch_add(1, std::memory_order_relaxed);
     if (workers_.empty()) {
+      ++shard_submitted_[static_cast<size_t>(shard)];
       task();
       return;
     }
     {
       std::lock_guard<std::mutex> lock(mu_);
-      tasks_.emplace_back(std::forward<Fn>(task));
+      ++shard_submitted_[static_cast<size_t>(shard)];
+      queues_[static_cast<size_t>(shard)].emplace_back(std::forward<Fn>(task));
       ++in_flight_;
     }
-    work_ready_.notify_one();
+    // One wakeup, on the condition variable of the worker group serving this
+    // shard. Workers in a group serve exactly the same shard set (see
+    // GroupOf), so any woken waiter can take the task — no lost wakeups, no
+    // thundering herd across unrelated shards.
+    group_cvs_[static_cast<size_t>(GroupOf(shard))].notify_one();
+  }
+
+  // Shard-agnostic submission (queue 0) for work that is not expert-bound.
+  template <typename Fn>
+  void Submit(Fn&& task) {
+    SubmitToShard(0, std::forward<Fn>(task));
   }
 
   // Blocks until every submitted task has finished. Tasks must not Submit.
   void WaitIdle();
 
   int threads() const { return static_cast<int>(workers_.size()); }
+  int shards() const { return static_cast<int>(queues_.size()); }
+
+  // Workers dedicated to `shard` (1 in inline mode; with threads < shards a
+  // server shared between shards still counts as 1). This is the thread
+  // complement tile splitting targets per shard.
+  int ShardWorkers(int shard) const;
 
   // Distinct execution slots: one per worker plus slot 0 for the submitting
   // thread (inline mode). Index per-slot workspaces with CurrentSlot().
@@ -79,14 +120,28 @@ class ExpertPool {
   // tile-scheduling tests assert on (e.g. a zero-token expert must submit
   // nothing).
   int64_t submitted_total() const { return submitted_.load(std::memory_order_relaxed); }
+  // Per-shard-queue task counts (read after WaitIdle, or from the
+  // submitting thread in inline mode). A shard with no routed tokens must
+  // stay at zero.
+  int64_t submitted_to_shard(int shard) const;
 
  private:
-  void WorkerLoop(int slot);
+  // True when worker `worker` serves `shard` under the pinning rule above.
+  static bool Serves(int worker, int shard, int threads, int shards);
+  // Wakeup group of a shard (and, symmetrically, of worker w via
+  // w % num_groups): with min(threads, shards) groups, workers sharing a
+  // group serve exactly the same shard set, making single-notify sound.
+  int GroupOf(int shard) const {
+    return shard % static_cast<int>(group_cvs_.size());
+  }
+  void WorkerLoop(int slot, std::vector<int> served);
 
   std::mutex mu_;
-  std::condition_variable work_ready_;
+  // One condition variable per worker group (empty in inline mode).
+  std::vector<std::condition_variable> group_cvs_;
   std::condition_variable idle_;
-  std::deque<std::function<void()>> tasks_;
+  std::vector<std::deque<std::function<void()>>> queues_;  // one per shard
+  std::vector<int64_t> shard_submitted_;
   int64_t in_flight_ = 0;
   bool stopping_ = false;
   std::atomic<int64_t> submitted_{0};
@@ -114,6 +169,17 @@ MatrixF ParallelMoeForwardSamoyeds(ExpertPool& pool, const MatrixF& x,
 void ParallelMoeForwardSamoyeds(ExpertPool& pool, const MatrixF& x,
                                 const SamoyedsMoeLayerWeights& w, const RoutingPlan& plan,
                                 Activation act, ParallelMoeWorkspace& ws, MatrixF& out);
+
+// Expert-parallel sharded execution: each routed expert's tiles go to its
+// placement shard's queue (tile split against that shard's worker
+// complement); shared experts run data-parallel, each shard processing its
+// home token range. The fold still walks experts in ascending global id —
+// a fixed order independent of placement — so outputs are bit-identical to
+// the unsharded overloads at any shard/thread count.
+void ParallelMoeForwardSamoyeds(ExpertPool& pool, const MatrixF& x,
+                                const SamoyedsMoeLayerWeights& w, const RoutingPlan& plan,
+                                Activation act, const ExpertShardPlan& placement,
+                                ParallelMoeWorkspace& ws, MatrixF& out);
 
 }  // namespace serving
 }  // namespace samoyeds

@@ -66,6 +66,15 @@ void EngineMetrics::OnRoutingPlan(const RoutingPlan& plan) {
   }
 }
 
+void EngineMetrics::OnShardTokens(const std::vector<int64_t>& shard_tokens) {
+  if (shard_tokens_.size() < shard_tokens.size()) {
+    shard_tokens_.resize(shard_tokens.size());
+  }
+  for (size_t s = 0; s < shard_tokens.size(); ++s) {
+    shard_tokens_[s] += shard_tokens[s];
+  }
+}
+
 void EngineMetrics::OnAutotune(double default_ms, double tuned_ms, bool cache_hit) {
   ++autotune_lookups_;
   autotune_cache_hits_ += cache_hit ? 1 : 0;
@@ -85,6 +94,7 @@ ServingReport EngineMetrics::Summarize(int64_t token_budget, int64_t max_pages) 
   rep.steps = static_cast<int64_t>(steps_.size());
   rep.preemptions = static_cast<int64_t>(preemption_log_.size());
   rep.expert_tokens = expert_tokens_;
+  rep.shard_tokens = shard_tokens_;
 
   double ttft_steps = 0.0;
   double ttft_ms = 0.0;
@@ -125,6 +135,13 @@ ServingReport EngineMetrics::Summarize(int64_t token_budget, int64_t max_pages) 
     used_pages += s.kv_used_pages;
     frag_tokens += s.kv_frag_tokens;
     rep.wall_ms += s.wall_ms;
+    rep.est_compute_ms += s.est_compute_ms;
+    rep.est_alltoall_ms += s.est_alltoall_ms;
+    rep.alltoall_bytes += s.alltoall_dispatch_bytes + s.alltoall_combine_bytes;
+    rep.kv_traffic_bytes += s.kv_read_bytes + s.kv_write_bytes;
+  }
+  if (rep.est_compute_ms + rep.est_alltoall_ms > 0.0) {
+    rep.est_alltoall_share = rep.est_alltoall_ms / (rep.est_compute_ms + rep.est_alltoall_ms);
   }
   if (rep.steps > 0) {
     rep.mean_step_ms = rep.wall_ms / static_cast<double>(rep.steps);
@@ -143,17 +160,21 @@ ServingReport EngineMetrics::Summarize(int64_t token_budget, int64_t max_pages) 
     rep.tokens_per_second = static_cast<double>(rows) / (rep.wall_ms * 1e-3);
   }
 
-  int64_t expert_sum = 0;
-  int64_t expert_max = 0;
-  for (int64_t t : expert_tokens_) {
-    expert_sum += t;
-    expert_max = std::max(expert_max, t);
-  }
-  if (expert_sum > 0 && !expert_tokens_.empty()) {
-    const double mean =
-        static_cast<double>(expert_sum) / static_cast<double>(expert_tokens_.size());
-    rep.expert_imbalance = static_cast<double>(expert_max) / mean;
-  }
+  const auto imbalance = [](const std::vector<int64_t>& tokens) {
+    int64_t sum = 0;
+    int64_t max = 0;
+    for (int64_t t : tokens) {
+      sum += t;
+      max = std::max(max, t);
+    }
+    if (sum <= 0 || tokens.empty()) {
+      return 0.0;
+    }
+    return static_cast<double>(max) /
+           (static_cast<double>(sum) / static_cast<double>(tokens.size()));
+  };
+  rep.expert_imbalance = imbalance(expert_tokens_);
+  rep.shard_imbalance = imbalance(shard_tokens_);
   return rep;
 }
 
@@ -189,6 +210,22 @@ void EngineMetrics::Print(const ServingReport& rep, std::FILE* out) {
                  static_cast<long long>(rep.autotune_lookups),
                  static_cast<long long>(rep.autotune_cache_hits), rep.autotune_tuned_ms,
                  rep.autotune_default_ms, rep.autotune_speedup);
+  }
+  if (rep.est_compute_ms + rep.est_alltoall_ms > 0.0) {
+    std::fprintf(out,
+                 "analytic: est forward %.3f ms (compute %.3f + all-to-all %.3f, %.0f%% "
+                 "all-to-all), kv-page traffic %.2f MiB, all-to-all volume %.2f MiB\n",
+                 rep.est_compute_ms + rep.est_alltoall_ms, rep.est_compute_ms,
+                 rep.est_alltoall_ms, 100.0 * rep.est_alltoall_share,
+                 rep.kv_traffic_bytes / (1024.0 * 1024.0),
+                 rep.alltoall_bytes / (1024.0 * 1024.0));
+  }
+  if (rep.shard_tokens.size() > 1) {
+    std::fprintf(out, "shard load (tokens/shard, imbalance %.2fx):", rep.shard_imbalance);
+    for (int64_t t : rep.shard_tokens) {
+      std::fprintf(out, " %lld", static_cast<long long>(t));
+    }
+    std::fprintf(out, "\n");
   }
   std::fprintf(out, "expert load (tokens/expert, imbalance %.2fx):", rep.expert_imbalance);
   for (int64_t t : rep.expert_tokens) {

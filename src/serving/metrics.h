@@ -41,7 +41,21 @@ struct StepMetrics {
   int64_t running_sequences = 0;
   int64_t kv_used_pages = 0;   // pages held right after the forward
   int64_t kv_frag_tokens = 0;  // allocated-but-unused token slots (tail pages)
-  double wall_ms = 0.0;        // forward duration
+  double wall_ms = 0.0;        // forward duration (measured)
+
+  // Analytic estimate of the same forward on the simulated cluster:
+  // max-over-shards device time (MoE SSMM chains + the step's KV-page
+  // traffic) plus interconnect all-to-all time, and the volumes that fed
+  // the model. Single-shard runs keep est_alltoall_ms and the all-to-all
+  // bytes at zero.
+  double est_compute_ms = 0.0;
+  double est_alltoall_ms = 0.0;
+  double alltoall_dispatch_bytes = 0.0;
+  double alltoall_combine_bytes = 0.0;
+  double kv_read_bytes = 0.0;   // paged-KV gather traffic charged this step
+  double kv_write_bytes = 0.0;  // appended cache rows
+
+  double est_total_ms() const { return est_compute_ms + est_alltoall_ms; }
 };
 
 // Aggregates over one engine run.
@@ -70,6 +84,15 @@ struct ServingReport {
   std::vector<int64_t> expert_tokens;   // routed tokens per expert, all layers
   double expert_imbalance = 0.0;        // max / mean of expert_tokens
 
+  // Expert-parallel sharding (single-shard runs leave these trivial).
+  std::vector<int64_t> shard_tokens;    // routed tokens per shard, all layers
+  double shard_imbalance = 0.0;         // max / mean of shard_tokens
+  double est_compute_ms = 0.0;          // Σ per-step max-over-shards estimates
+  double est_alltoall_ms = 0.0;         // Σ per-step interconnect estimates
+  double est_alltoall_share = 0.0;      // alltoall / (compute + alltoall)
+  double alltoall_bytes = 0.0;          // Σ dispatch + combine volume
+  double kv_traffic_bytes = 0.0;        // Σ KV-page gather + append volume
+
   // SSMM autotuner activity (zero when --autotune is off).
   int64_t autotune_lookups = 0;      // per-layer tile-config resolutions
   int64_t autotune_cache_hits = 0;   // resolved from the per-shape cache
@@ -92,6 +115,8 @@ class EngineMetrics {
   void OnStep(const StepMetrics& step);
   // Accumulates one routed layer's per-expert token counts.
   void OnRoutingPlan(const RoutingPlan& plan);
+  // Accumulates one step's per-shard routed token counts (all layers).
+  void OnShardTokens(const std::vector<int64_t>& shard_tokens);
   // Records one autotune resolution: simulated default-config vs tuned time
   // for this layer's SSMM shape, and whether the per-shape cache hit.
   void OnAutotune(double default_ms, double tuned_ms, bool cache_hit);
@@ -119,6 +144,7 @@ class EngineMetrics {
   std::vector<StepMetrics> steps_;
   std::vector<std::pair<int64_t, int64_t>> preemption_log_;
   std::vector<int64_t> expert_tokens_;
+  std::vector<int64_t> shard_tokens_;
   int64_t rejected_ = 0;
   int64_t autotune_lookups_ = 0;
   int64_t autotune_cache_hits_ = 0;

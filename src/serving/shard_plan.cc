@@ -1,0 +1,205 @@
+#include "src/serving/shard_plan.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+
+namespace samoyeds {
+namespace serving {
+
+const char* ShardPlacementName(ShardPlacement p) {
+  switch (p) {
+    case ShardPlacement::kRoundRobin:
+      return "round-robin";
+    case ShardPlacement::kCapacityBalanced:
+      return "capacity";
+    case ShardPlacement::kGateStats:
+      return "gate-stats";
+  }
+  return "?";
+}
+
+bool ParseShardPlacement(const char* name, ShardPlacement* out) {
+  if (std::strcmp(name, "round-robin") == 0) {
+    *out = ShardPlacement::kRoundRobin;
+  } else if (std::strcmp(name, "capacity") == 0) {
+    *out = ShardPlacement::kCapacityBalanced;
+  } else if (std::strcmp(name, "gate-stats") == 0) {
+    *out = ShardPlacement::kGateStats;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+ExpertShardPlan::ExpertShardPlan(std::vector<int> shard_of, int num_shards)
+    : shard_of_(std::move(shard_of)), experts_on_(static_cast<size_t>(num_shards)) {
+  for (size_t e = 0; e < shard_of_.size(); ++e) {
+    experts_on_[static_cast<size_t>(shard_of_[e])].push_back(static_cast<int>(e));
+  }
+}
+
+ExpertShardPlan ExpertShardPlan::RoundRobin(int num_experts, int num_shards) {
+  assert(num_experts >= 0 && num_shards >= 1);
+  std::vector<int> shard_of(static_cast<size_t>(num_experts));
+  for (int e = 0; e < num_experts; ++e) {
+    shard_of[static_cast<size_t>(e)] = e % num_shards;
+  }
+  return ExpertShardPlan(std::move(shard_of), num_shards);
+}
+
+ExpertShardPlan ExpertShardPlan::FromLoads(const std::vector<double>& loads, int num_shards) {
+  assert(num_shards >= 1);
+  const int num_experts = static_cast<int>(loads.size());
+  // LPT greedy: heaviest expert first onto the least-loaded shard. Both
+  // orderings break ties deterministically (lower expert id / lower shard
+  // id), so the plan is a pure function of the loads.
+  std::vector<int> order(static_cast<size_t>(num_experts));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&loads](int a, int b) {
+    return loads[static_cast<size_t>(a)] > loads[static_cast<size_t>(b)];
+  });
+  std::vector<double> shard_load(static_cast<size_t>(num_shards), 0.0);
+  std::vector<int> shard_of(static_cast<size_t>(num_experts), 0);
+  for (int e : order) {
+    int best = 0;
+    for (int s = 1; s < num_shards; ++s) {
+      if (shard_load[static_cast<size_t>(s)] < shard_load[static_cast<size_t>(best)]) {
+        best = s;
+      }
+    }
+    shard_of[static_cast<size_t>(e)] = best;
+    shard_load[static_cast<size_t>(best)] += loads[static_cast<size_t>(e)];
+  }
+  return ExpertShardPlan(std::move(shard_of), num_shards);
+}
+
+ExpertShardPlan ExpertShardPlan::CapacityBalanced(const std::vector<int64_t>& expert_bytes,
+                                                  int num_shards) {
+  std::vector<double> loads(expert_bytes.size());
+  for (size_t e = 0; e < expert_bytes.size(); ++e) {
+    loads[e] = static_cast<double>(expert_bytes[e]);
+  }
+  return FromLoads(loads, num_shards);
+}
+
+std::vector<double> GateRowNorms(const MatrixF& router_gate) {
+  std::vector<double> norms(static_cast<size_t>(router_gate.rows()), 0.0);
+  for (int64_t e = 0; e < router_gate.rows(); ++e) {
+    double sq = 0.0;
+    for (int64_t c = 0; c < router_gate.cols(); ++c) {
+      const double v = router_gate(e, c);
+      sq += v * v;
+    }
+    norms[static_cast<size_t>(e)] = std::sqrt(sq);
+  }
+  return norms;
+}
+
+ExpertShardPlan ExpertShardPlan::GateStatsAware(const MatrixF& router_gate, int num_shards) {
+  return FromLoads(GateRowNorms(router_gate), num_shards);
+}
+
+bool ExpertShardPlan::IsValid() const {
+  if (experts_on_.empty()) {
+    return false;
+  }
+  size_t placed = 0;
+  std::vector<bool> seen(shard_of_.size(), false);
+  for (size_t s = 0; s < experts_on_.size(); ++s) {
+    for (int e : experts_on_[s]) {
+      if (e < 0 || e >= num_experts() || seen[static_cast<size_t>(e)] ||
+          shard_of_[static_cast<size_t>(e)] != static_cast<int>(s)) {
+        return false;
+      }
+      seen[static_cast<size_t>(e)] = true;
+      ++placed;
+    }
+  }
+  return placed == shard_of_.size();
+}
+
+int64_t ShardHomeBegin(int shard, int64_t tokens, int num_shards) {
+  assert(num_shards >= 1 && shard >= 0 && shard <= num_shards);
+  return static_cast<int64_t>(shard) * tokens / num_shards;
+}
+
+int TokenHomeShard(int64_t token, int64_t tokens, int num_shards) {
+  assert(token >= 0 && token < tokens);
+  for (int s = num_shards - 1; s > 0; --s) {
+    if (token >= ShardHomeBegin(s, tokens, num_shards)) {
+      return s;
+    }
+  }
+  return 0;
+}
+
+void FillTokenHomeShards(int64_t tokens, int num_shards, std::vector<int>& home) {
+  home.resize(static_cast<size_t>(tokens));
+  for (int s = 0; s < num_shards; ++s) {
+    const int64_t begin = ShardHomeBegin(s, tokens, num_shards);
+    const int64_t end = ShardHomeBegin(s + 1, tokens, num_shards);
+    for (int64_t t = begin; t < end; ++t) {
+      home[static_cast<size_t>(t)] = s;
+    }
+  }
+}
+
+SimCluster SimCluster::Homogeneous(const DeviceSpec& device, int num_shards) {
+  assert(num_shards >= 1);
+  SimCluster cluster;
+  cluster.devices.assign(static_cast<size_t>(num_shards), device);
+  return cluster;
+}
+
+AllToAllTraffic ComputeAllToAllTraffic(const RoutingPlan& plan,
+                                       const ExpertShardPlan& placement, int64_t hidden,
+                                       int64_t bytes_per_value, AllToAllScratch& scratch) {
+  assert(placement.num_experts() == plan.num_experts);
+  AllToAllTraffic traffic;
+  const int shards = placement.num_shards();
+  if (shards <= 1) {
+    return traffic;  // everything is shard-local
+  }
+  const double row_bytes = static_cast<double>(hidden * bytes_per_value);
+  FillTokenHomeShards(plan.tokens, shards, scratch.home);
+  scratch.sent.assign(static_cast<size_t>(shards), 0.0);
+  scratch.received.assign(static_cast<size_t>(shards), 0.0);
+
+  for (int e = 0; e < plan.num_experts; ++e) {
+    const int dst = placement.shard_of(e);
+    for (int32_t t : plan.expert_tokens[static_cast<size_t>(e)]) {
+      const int src = scratch.home[static_cast<size_t>(t)];
+      if (src == dst) {
+        continue;  // shard-local dispatch is free
+      }
+      traffic.dispatch_bytes += row_bytes;
+      scratch.sent[static_cast<size_t>(src)] += row_bytes;
+      scratch.received[static_cast<size_t>(dst)] += row_bytes;
+    }
+  }
+  for (int s = 0; s < shards; ++s) {
+    traffic.max_shard_dispatch_bytes =
+        std::max(traffic.max_shard_dispatch_bytes,
+                 std::max(scratch.sent[static_cast<size_t>(s)],
+                          scratch.received[static_cast<size_t>(s)]));
+  }
+  // Combine mirrors dispatch: every cross-shard (token, expert) pair sends
+  // one weighted output row back, so volumes — and the busiest link — are
+  // identical with send/receive swapped.
+  traffic.combine_bytes = traffic.dispatch_bytes;
+  traffic.max_shard_combine_bytes = traffic.max_shard_dispatch_bytes;
+  return traffic;
+}
+
+AllToAllTraffic ComputeAllToAllTraffic(const RoutingPlan& plan,
+                                       const ExpertShardPlan& placement, int64_t hidden,
+                                       int64_t bytes_per_value) {
+  AllToAllScratch scratch;
+  return ComputeAllToAllTraffic(plan, placement, hidden, bytes_per_value, scratch);
+}
+
+}  // namespace serving
+}  // namespace samoyeds

@@ -21,6 +21,8 @@ DeviceSpec MakeRtx4070Super() {
   d.sparse_alu_speedup = 2.0;
   d.simd_tflops = 35.5;
   d.smem_bandwidth_gbps = 17000.0;
+  d.link_bandwidth_gbps = 25.0;  // PCIe 4.0 x16, per direction
+  d.link_latency_us = 5.0;
   return d;
 }
 
@@ -38,6 +40,8 @@ DeviceSpec MakeRtx3090() {
   d.sparse_alu_speedup = 2.0;
   d.simd_tflops = 35.6;
   d.smem_bandwidth_gbps = 19000.0;
+  d.link_bandwidth_gbps = 25.0;  // PCIe 4.0 x16, per direction
+  d.link_latency_us = 5.0;
   return d;
 }
 
@@ -55,6 +59,8 @@ DeviceSpec MakeRtx3070() {
   d.sparse_alu_speedup = 2.0;
   d.simd_tflops = 20.3;
   d.smem_bandwidth_gbps = 10500.0;
+  d.link_bandwidth_gbps = 25.0;  // PCIe 4.0 x16, per direction
+  d.link_latency_us = 5.0;
   return d;
 }
 
@@ -72,6 +78,8 @@ DeviceSpec MakeRtx4090() {
   d.sparse_alu_speedup = 2.0;
   d.simd_tflops = 82.6;
   d.smem_bandwidth_gbps = 40000.0;
+  d.link_bandwidth_gbps = 25.0;  // PCIe 4.0 x16, per direction
+  d.link_latency_us = 5.0;
   return d;
 }
 
@@ -89,6 +97,8 @@ DeviceSpec MakeA100_40G() {
   d.sparse_alu_speedup = 2.0;
   d.simd_tflops = 19.5;
   d.smem_bandwidth_gbps = 35000.0;
+  d.link_bandwidth_gbps = 300.0;  // NVLink 3, per direction
+  d.link_latency_us = 2.0;
   return d;
 }
 
@@ -106,6 +116,8 @@ DeviceSpec MakeH100() {
   d.sparse_alu_speedup = 2.0;
   d.simd_tflops = 67.0;
   d.smem_bandwidth_gbps = 55000.0;
+  d.link_bandwidth_gbps = 450.0;  // NVLink 4, per direction
+  d.link_latency_us = 1.8;
   return d;
 }
 

@@ -37,7 +37,17 @@ struct DeviceSpec {
   // 128 bytes/clk/SM; precision does not matter, only cross-device ratios.
   double smem_bandwidth_gbps = 0.0;
 
+  // -- Interconnect (expert-parallel sharding) ------------------------------
+  // Per-link, per-direction bandwidth to a peer device in the same
+  // SimCluster (NVLink for datacenter parts, PCIe for consumer cards) and
+  // the fixed per-transfer latency. link_bandwidth_gbps == 0 means the
+  // device has no peer interconnect (single-device serving only); the
+  // timing model then charges no all-to-all time.
+  double link_bandwidth_gbps = 0.0;
+  double link_latency_us = 0.0;
+
   bool has_sparse_alu() const { return sparse_alu_speedup > 1.0; }
+  bool has_interconnect() const { return link_bandwidth_gbps > 0.0; }
 };
 
 // Devices used in the paper's evaluation (§6, §6.6).

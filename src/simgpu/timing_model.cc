@@ -123,6 +123,22 @@ TimingEstimate TimingModel::Estimate(const TrafficReport& r) const {
   return e;
 }
 
+double TimingModel::InterconnectPhaseMs(double bytes) const {
+  if (bytes <= 0.0 || !device_.has_interconnect()) {
+    return 0.0;
+  }
+  return device_.link_latency_us * 1e-3 + bytes / (device_.link_bandwidth_gbps * 1e9) * 1e3;
+}
+
+double TimingModel::AllToAllMs(const TrafficReport& report, int num_shards) const {
+  if (num_shards <= 1) {
+    return 0.0;
+  }
+  const double shards = static_cast<double>(num_shards);
+  return InterconnectPhaseMs(report.alltoall_dispatch_bytes / shards) +
+         InterconnectPhaseMs(report.alltoall_combine_bytes / shards);
+}
+
 double TimingModel::ThroughputTflops(double useful_flops, const TrafficReport& report) const {
   const TimingEstimate e = Estimate(report);
   if (e.total_ms <= 0.0) {

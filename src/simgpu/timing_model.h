@@ -43,6 +43,20 @@ class TimingModel {
   // work of the operation; this is how the paper reports Fig. 12/13.
   double ThroughputTflops(double useful_flops, const TrafficReport& report) const;
 
+  // Interconnect roofline for expert-parallel sharding. One all-to-all
+  // phase over this device's peer link: fixed link latency plus
+  // serialization at the per-link bandwidth. `bytes` is the busiest shard's
+  // volume for the phase (max over shards of max(sent, received) — links
+  // are full duplex). Returns 0 when nothing crosses a link or the device
+  // has no interconnect.
+  double InterconnectPhaseMs(double bytes) const;
+
+  // Both all-to-all phases (dispatch + combine) of `report`, assuming the
+  // cross-shard volume spreads evenly over `num_shards` links. Callers that
+  // know the exact per-shard volumes (the serving engine does) should use
+  // InterconnectPhaseMs with the busiest shard's bytes instead.
+  double AllToAllMs(const TrafficReport& report, int num_shards) const;
+
   const DeviceSpec& device() const { return device_; }
 
   // Warps per SM needed to reach peak issue rate; the ramp below this is

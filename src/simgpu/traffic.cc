@@ -16,6 +16,8 @@ TrafficReport& TrafficReport::operator+=(const TrafficReport& other) {
   gmem_write_bytes += other.gmem_write_bytes;
   gmem_unique_bytes += other.gmem_unique_bytes;
   gmem_uncoalesced_bytes += other.gmem_uncoalesced_bytes;
+  alltoall_dispatch_bytes += other.alltoall_dispatch_bytes;
+  alltoall_combine_bytes += other.alltoall_combine_bytes;
   smem_bytes += other.smem_bytes;
   mma_flops += other.mma_flops;
   simd_flops += other.simd_flops;

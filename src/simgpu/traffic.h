@@ -29,6 +29,16 @@ struct TrafficReport {
   double smem_bytes = 0.0;             // total SMEM read+write volume
   double bank_conflict_factor = 1.0;   // >= 1, multiplies SMEM time
 
+  // -- Interconnect (expert-parallel all-to-all) ----------------------------
+  // Bytes that cross shard boundaries when routed tokens are dispatched to
+  // remote experts and the expert outputs are combined back — only
+  // (token-home, expert-shard) pairs on *different* shards are charged.
+  // Zero for single-device execution. These bytes ride the inter-device
+  // links, not HBM, so Estimate() ignores them; TimingModel::AllToAllMs /
+  // InterconnectPhaseMs convert them to time.
+  double alltoall_dispatch_bytes = 0.0;
+  double alltoall_combine_bytes = 0.0;
+
   // -- Arithmetic -----------------------------------------------------------
   // FLOPs actually executed on (sparse) tensor cores: multiply-adds x 2.
   double mma_flops = 0.0;

@@ -45,11 +45,19 @@ void PrintUsage(std::FILE* out) {
       "        [--preempt=0|1] [--threads=N] [--layers=N] [--hidden=N]\n"
       "        [--inter=N] [--experts=N] [--top-k=N] [--heads=N] [--rate=R]\n"
       "        [--prompt-min=N] [--prompt-max=N] [--decode-min=N] [--decode-max=N]\n"
-      "        [--seed=N] [--autotune=0|1]\n"
+      "        [--seed=N] [--autotune=0|1] [--routing=top-k|expert-choice]\n"
+      "        [--shards=N] [--placement=round-robin|capacity|gate-stats]\n"
+      "        [--link-gbps=R] [--link-us=R]\n"
       "        --max-pages bounds the paged KV cache (admission switches to page\n"
       "        accounting; 'auto' derives the budget from the Table-3 memory model);\n"
       "        --preempt=1 evicts lowest-priority/youngest residents under pressure;\n"
-      "        --autotune=1 resolves SSMM tile configs per batch shape (cached)\n",
+      "        --autotune=1 resolves SSMM tile configs per batch shape (cached);\n"
+      "        --shards=N partitions experts across N simulated devices (outputs are\n"
+      "        bit-identical at any shard count) with --placement choosing the\n"
+      "        expert layout and --link-gbps/--link-us overriding the per-link\n"
+      "        interconnect of the simulated cluster;\n"
+      "        --routing=expert-choice serves with expert-choice routing (perfect\n"
+      "        per-layer expert balance; outputs depend on batch composition)\n",
       out);
 }
 
@@ -243,6 +251,11 @@ struct ServeOptions {
   bool auto_pages = false;    // --max-pages=auto: derive from TokenCapacity()
   bool preempt = false;
   bool autotune = false;
+  serving::RoutingAlgo routing = serving::RoutingAlgo::kTopK;
+  int shards = 1;
+  serving::ShardPlacement placement = serving::ShardPlacement::kRoundRobin;
+  double link_gbps = 0.0;   // 0 = device default
+  double link_us = -1.0;    // < 0 = device default
   int threads = 4;
   int layers = 2;
   int hidden = 64;
@@ -302,6 +315,27 @@ bool ParseServeFlag(const std::string& arg, ServeOptions& opt) {
       std::exit(2);
     }
     opt.autotune = v == 1;
+  } else if (key == "--routing") {
+    if (std::strcmp(value, "top-k") == 0) {
+      opt.routing = serving::RoutingAlgo::kTopK;
+    } else if (std::strcmp(value, "expert-choice") == 0) {
+      opt.routing = serving::RoutingAlgo::kExpertChoice;
+    } else {
+      std::fprintf(stderr, "unknown routing: %s (top-k | expert-choice)\n", value);
+      std::exit(2);
+    }
+  } else if (key == "--shards") {
+    opt.shards = ParseInt(value, "shards");
+  } else if (key == "--placement") {
+    if (!serving::ParseShardPlacement(value, &opt.placement)) {
+      std::fprintf(stderr, "unknown placement: %s (round-robin | capacity | gate-stats)\n",
+                   value);
+      std::exit(2);
+    }
+  } else if (key == "--link-gbps") {
+    opt.link_gbps = ParseDouble(value, "link-gbps");
+  } else if (key == "--link-us") {
+    opt.link_us = ParseDouble(value, "link-us");
   } else if (key == "--threads") {
     opt.threads = ParseInt(value, "threads");
   } else if (key == "--layers") {
@@ -397,6 +431,10 @@ int CmdServe(int argc, char** argv) {
     std::fprintf(stderr, "need page-tokens >= 1 and max-pages >= 0\n");
     return 2;
   }
+  if (opt.shards < 1) {
+    std::fprintf(stderr, "need shards >= 1\n");
+    return 2;
+  }
   if (opt.preempt && opt.max_pages == 0 && !opt.auto_pages) {
     std::fprintf(stderr, "--preempt=1 requires a bounded page pool (--max-pages)\n");
     return 2;
@@ -464,6 +502,11 @@ int CmdServe(int argc, char** argv) {
   engine_cfg.activation = opt.activation;
   engine_cfg.threads = opt.threads;
   engine_cfg.autotune = opt.autotune;
+  engine_cfg.routing = opt.routing;
+  engine_cfg.shards = opt.shards;
+  engine_cfg.placement = opt.placement;
+  engine_cfg.link_bandwidth_gbps = opt.link_gbps;
+  engine_cfg.link_latency_us = opt.link_us;
   engine_cfg.scheduler.policy = opt.policy;
   engine_cfg.scheduler.token_budget = opt.budget;
   engine_cfg.scheduler.max_resident_tokens = opt.max_resident;
@@ -478,6 +521,13 @@ int CmdServe(int argc, char** argv) {
   std::printf("scheduler: %s, token budget %lld, max resident tokens %lld, %d expert threads\n",
               serving::SchedulerPolicyName(opt.policy), static_cast<long long>(opt.budget),
               static_cast<long long>(opt.max_resident), opt.threads);
+  std::printf("routing: %s\n", serving::RoutingAlgoName(opt.routing));
+  if (opt.shards > 1) {
+    const DeviceSpec& dev = engine.cluster().device(0);
+    std::printf("sharding: %d shards, %s placement, link %.0f GB/s + %.1f us (%s)\n",
+                opt.shards, serving::ShardPlacementName(opt.placement),
+                dev.link_bandwidth_gbps, dev.link_latency_us, dev.name.c_str());
+  }
   if (opt.max_pages > 0) {
     std::printf("kv-cache: %lld pages x %lld tokens (page-accounting admission), preemption %s\n",
                 static_cast<long long>(opt.max_pages), static_cast<long long>(opt.page_tokens),

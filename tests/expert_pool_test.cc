@@ -1,7 +1,8 @@
-// Tile-granular expert scheduling: bit-determinism across thread counts and
-// tile splits (including pathologically skewed routing), workspace reuse,
-// and the task-accounting invariants (a hot expert splits, a zero-token
-// expert submits nothing).
+// Tile-granular expert scheduling: bit-determinism across thread counts,
+// tile splits, and expert-parallel shard counts (including pathologically
+// skewed routing), workspace reuse, and the task-accounting invariants (a
+// hot expert splits, a zero-token expert submits nothing, a shard whose
+// experts are all idle receives no tasks).
 
 #include <gtest/gtest.h>
 
@@ -11,6 +12,7 @@
 #include "src/moe/moe_layer.h"
 #include "src/moe/router.h"
 #include "src/serving/expert_pool.h"
+#include "src/serving/shard_plan.h"
 #include "src/tensor/rng.h"
 #include "tests/test_util.h"
 
@@ -141,6 +143,150 @@ TEST(ExpertPoolTilingTest, WorkspaceForwardMatchesAllocatingForward) {
   ExpertPool pool(3);
   const MatrixF parallel = ParallelMoeForwardSamoyeds(pool, x, sw, plan, Activation::kSilu);
   EXPECT_TRUE(parallel == baseline);
+}
+
+// ---- Expert-parallel sharding ----------------------------------------------
+
+TEST(ShardedMoeForwardTest, BitIdenticalAcrossShardAndThreadCounts) {
+  Rng rng(905);
+  const MoeModelConfig cfg = SmallConfig(8, 1);
+  const MoeLayerWeights dense = MoeLayerWeights::Random(rng, cfg);
+  const SamoyedsMoeLayerWeights sw =
+      SamoyedsMoeLayerWeights::Encode(dense, SamoyedsConfig{1, 2, 32});
+  const MatrixF x = RandomBf16Matrix(rng, 96, cfg.hidden);
+  const RoutingPlan plan = Route(x, sw.router_gate, /*top_k=*/2);
+  const MatrixF sequential = MoeForwardSamoyeds(x, sw, plan, Activation::kSilu);
+
+  for (int shards : {1, 2, 4}) {
+    for (int threads : {1, 2, 8}) {
+      const ExpertShardPlan placements[] = {
+          ExpertShardPlan::RoundRobin(cfg.num_experts, shards),
+          ExpertShardPlan::GateStatsAware(sw.router_gate, shards),
+      };
+      for (const ExpertShardPlan& placement : placements) {
+        ExpertPool pool(threads, shards);
+        ParallelMoeWorkspace ws;
+        MatrixF out;
+        // Twice through the same workspace: reuse must not perturb results.
+        for (int round = 0; round < 2; ++round) {
+          ParallelMoeForwardSamoyeds(pool, x, sw, plan, Activation::kSilu, placement, ws, out);
+          ASSERT_TRUE(out == sequential)
+              << "shards=" << shards << " threads=" << threads << " round=" << round;
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardedMoeForwardTest, SkewedRoutingStaysBitIdenticalWhenSharded) {
+  Rng rng(906);
+  const MoeModelConfig cfg = SmallConfig(4, 0);
+  const MoeLayerWeights dense = MoeLayerWeights::Random(rng, cfg);
+  const SamoyedsMoeLayerWeights sw =
+      SamoyedsMoeLayerWeights::Encode(dense, SamoyedsConfig{1, 2, 32});
+  const MatrixF x = RandomBf16Matrix(rng, 128, cfg.hidden);
+  // Everything on expert 1 — one shard does all the work, the rest idle.
+  const RoutingPlan plan = SkewedPlan(128, cfg.num_experts, /*hot=*/1, true);
+  const MatrixF sequential = MoeForwardSamoyeds(x, sw, plan, Activation::kSilu);
+
+  for (int shards : {2, 4}) {
+    ExpertPool pool(4, shards);
+    const ExpertShardPlan placement = ExpertShardPlan::RoundRobin(cfg.num_experts, shards);
+    ParallelMoeWorkspace ws;
+    MatrixF out;
+    ParallelMoeForwardSamoyeds(pool, x, sw, plan, Activation::kSilu, placement, ws, out);
+    EXPECT_TRUE(out == sequential) << "shards=" << shards;
+  }
+}
+
+TEST(ShardedMoeForwardTest, ZeroTokenShardReceivesNoTasks) {
+  Rng rng(907);
+  const MoeModelConfig cfg = SmallConfig(4, 0);  // no shared experts
+  const MoeLayerWeights dense = MoeLayerWeights::Random(rng, cfg);
+  const SamoyedsMoeLayerWeights sw =
+      SamoyedsMoeLayerWeights::Encode(dense, SamoyedsConfig{1, 2, 32});
+  const MatrixF x = RandomBf16Matrix(rng, 64, cfg.hidden);
+  // All tokens to expert 1, which round-robin places on shard 1 of 2: shard
+  // 0 (experts 0 and 2) must see zero submissions.
+  const RoutingPlan plan = SkewedPlan(64, cfg.num_experts, /*hot=*/1, true);
+
+  ExpertPool pool(4, /*shards=*/2);
+  const ExpertShardPlan placement = ExpertShardPlan::RoundRobin(cfg.num_experts, 2);
+  ParallelMoeWorkspace ws;
+  MatrixF out;
+  ParallelMoeForwardSamoyeds(pool, x, sw, plan, Activation::kSilu, placement, ws, out);
+  EXPECT_EQ(pool.submitted_to_shard(0), 0);
+  EXPECT_GT(pool.submitted_to_shard(1), 0);
+  EXPECT_EQ(pool.submitted_total(), pool.submitted_to_shard(0) + pool.submitted_to_shard(1));
+}
+
+TEST(ShardedMoeForwardTest, SharedExpertsSplitAcrossShardHomeRanges) {
+  Rng rng(908);
+  const MoeModelConfig cfg = SmallConfig(2, 1);  // one shared expert
+  const MoeLayerWeights dense = MoeLayerWeights::Random(rng, cfg);
+  const SamoyedsMoeLayerWeights sw =
+      SamoyedsMoeLayerWeights::Encode(dense, SamoyedsConfig{1, 2, 32});
+  const MatrixF x = RandomBf16Matrix(rng, 64, cfg.hidden);
+  const RoutingPlan plan = SkewedPlan(64, cfg.num_experts, /*hot=*/0, true);
+  const MatrixF sequential = MoeForwardSamoyeds(x, sw, plan, Activation::kSilu);
+
+  // The shared expert covers every token, so with 2 shards *both* queues
+  // receive work even though all routed tokens sit on shard 0.
+  ExpertPool pool(2, /*shards=*/2);
+  const ExpertShardPlan placement = ExpertShardPlan::RoundRobin(cfg.num_experts, 2);
+  ParallelMoeWorkspace ws;
+  MatrixF out;
+  ParallelMoeForwardSamoyeds(pool, x, sw, plan, Activation::kSilu, placement, ws, out);
+  EXPECT_TRUE(out == sequential);
+  EXPECT_GT(pool.submitted_to_shard(0), 0);
+  EXPECT_GT(pool.submitted_to_shard(1), 0);
+}
+
+TEST(ExpertPoolShardingTest, ShardWorkersCoverEveryQueue) {
+  // threads >= shards: dedicated workers, split as evenly as possible.
+  {
+    ExpertPool pool(5, 2);
+    EXPECT_EQ(pool.ShardWorkers(0) + pool.ShardWorkers(1), 5);
+    EXPECT_GE(pool.ShardWorkers(0), 2);
+    EXPECT_GE(pool.ShardWorkers(1), 2);
+  }
+  // threads < shards: every shard still has a (shared) server.
+  {
+    ExpertPool pool(2, 4);
+    for (int s = 0; s < 4; ++s) {
+      EXPECT_GE(pool.ShardWorkers(s), 1);
+    }
+  }
+  // Inline mode: the submitting thread serves everything.
+  {
+    ExpertPool pool(1, 4);
+    EXPECT_EQ(pool.threads(), 0);
+    for (int s = 0; s < 4; ++s) {
+      EXPECT_EQ(pool.ShardWorkers(s), 1);
+    }
+  }
+}
+
+TEST(ExpertPoolShardingTest, TasksRunOnEveryShardQueue) {
+  for (int threads : {1, 2, 8}) {
+    ExpertPool pool(threads, /*shards=*/3);
+    std::vector<int> counts(3 * 64, 0);
+    for (int round = 0; round < 4; ++round) {
+      for (int s = 0; s < 3; ++s) {
+        for (int i = 0; i < 64; ++i) {
+          pool.SubmitToShard(s, [&counts, s, i] { counts[static_cast<size_t>(s * 64 + i)]++; });
+        }
+      }
+      pool.WaitIdle();
+    }
+    for (int v : counts) {
+      EXPECT_EQ(v, 4) << "threads=" << threads;
+    }
+    for (int s = 0; s < 3; ++s) {
+      EXPECT_EQ(pool.submitted_to_shard(s), 4 * 64);
+    }
+    EXPECT_EQ(pool.submitted_total(), 3 * 4 * 64);
+  }
 }
 
 }  // namespace
