@@ -1,17 +1,25 @@
 // Serving engine sweep: offered load (arrival rate) x routing skew, a
 // scheduler-policy comparison at fixed load, the paged-KV-cache admission
-// comparison, and an expert-parallel shard sweep (shard count x routing
-// skew x placement) that doubles as the CI gate for sharded-vs-unsharded
-// bit identity (`--smoke` runs a reduced sweep; any bit divergence exits
-// non-zero).
+// comparison, a chunked-prefill sweep over a long-prompt trace (chunk size
+// vs TTFT/turnaround, gated on bit-identity with one-shot prefill), and an
+// expert-parallel shard sweep (shard count x routing skew x placement) that
+// doubles as the CI gate for sharded-vs-unsharded bit identity (`--smoke`
+// runs a reduced sweep; any bit divergence exits non-zero).
+//
+// `--json=PATH` emits every sweep cell as machine-readable JSON (the
+// committed BENCH_serving.json is a pinned-seed full run), so the serving
+// perf trajectory is tracked the same way BENCH_kernel.json tracks the
+// kernel.
 //
 // Routing skew is induced physically: router gate rows are rescaled with a
 // Zipf profile, so high-gain experts win top-k more often (larger logit
 // variance -> heavier right tail). The achieved per-expert imbalance is
 // measured from the engine's own expert-load histogram, not assumed.
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -125,6 +133,109 @@ struct ShardRun {
   std::vector<MatrixF> outputs;  // per request, submission order
 };
 
+// One cell of the chunked-prefill sweep: a long-prompt trace (every prompt
+// far above the serving budget) served with chunk size `chunk_tokens` under
+// `budget`. Outputs are recorded so every chunked cell can be gated
+// bit-identical against the one-shot baseline (served under a budget large
+// enough to prefill in one iteration).
+struct ChunkRun {
+  serving::ServingReport report;
+  std::vector<MatrixF> outputs;  // per request, submission order
+  int64_t finished = 0;
+};
+
+ChunkRun RunChunkCell(uint64_t seed, int64_t budget, int64_t chunk_tokens, int requests) {
+  Rng rng(seed);
+  serving::EngineConfig cfg;
+  cfg.heads = kHeads;
+  cfg.top_k = kTopK;
+  cfg.threads = 2;
+  cfg.scheduler.policy = serving::SchedulerPolicy::kTokenBudget;
+  cfg.scheduler.token_budget = budget;
+  cfg.scheduler.chunk_tokens = chunk_tokens;
+  cfg.scheduler.max_resident_tokens = 4096;
+  serving::ServingEngine engine(BuildModel(rng, /*skew=*/2.0), cfg);
+
+  auto entries = serving::SyntheticTrace(rng, requests, /*rate=*/1.0, /*prompt_lo=*/48,
+                                         /*prompt_hi=*/96, /*decode_lo=*/4, /*decode_hi=*/12);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    engine.Submit(serving::MakeRequest(rng, static_cast<int64_t>(i), entries[i], kHidden));
+  }
+  engine.RunUntilDrained(/*max_steps=*/100000);
+
+  ChunkRun run;
+  run.report = engine.Report();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const serving::RequestResult* result = engine.Result(static_cast<int64_t>(i));
+    const bool done = result != nullptr &&
+                      result->status == serving::RequestStatus::kFinished;
+    run.finished += done ? 1 : 0;
+    run.outputs.push_back(done ? result->outputs : MatrixF(0, 0));
+  }
+  return run;
+}
+
+// Accumulates sweep cells as JSON objects (one per line) for --json=PATH.
+class JsonCells {
+ public:
+  // `identical`: 1/0 for cells a bit-identity gate actually compared, -1 for
+  // ungated cells (the field is omitted — absence means "not checked", so a
+  // JSON consumer can tell verified cells from merely-emitted ones).
+  void Add(const char* section, const std::string& params,
+           const serving::ServingReport& rep, int identical = -1) {
+    char gate[40] = "";
+    if (identical >= 0) {
+      std::snprintf(gate, sizeof(gate), ", \"bit_identical\": %s",
+                    identical > 0 ? "true" : "false");
+    }
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"section\": \"%s\", %s, \"ttft_steps\": %.2f, "
+                  "\"p95_ttft_steps\": %.2f, \"p95_turnaround_steps\": %.2f, "
+                  "\"tokens_per_second\": %.1f, \"occupancy\": %.3f, \"steps\": %lld, "
+                  "\"preemptions\": %lld, \"prefill_chunk_slices\": %lld, "
+                  "\"est_compute_ms\": %.3f, \"est_alltoall_ms\": %.3f, "
+                  "\"shard_imbalance\": %.3f%s}",
+                  section, params.c_str(), rep.mean_ttft_steps, rep.p95_ttft_steps,
+                  rep.p95_turnaround_steps, rep.tokens_per_second, rep.mean_occupancy,
+                  static_cast<long long>(rep.steps), static_cast<long long>(rep.preemptions),
+                  static_cast<long long>(rep.prefill_chunk_slices), rep.est_compute_ms,
+                  rep.est_alltoall_ms, rep.shard_imbalance, gate);
+    if (!cells_.empty()) {
+      cells_ += ",\n";
+    }
+    cells_ += buf;
+  }
+
+  // Wraps the cells in the bench-level envelope and writes them.
+  bool Write(const std::string& path, bool smoke) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"serving_throughput\",\n  \"mode\": \"%s\",\n"
+                 "  \"seed\": 7,\n  \"cells\": [\n%s\n  ]\n}\n",
+                 smoke ? "smoke" : "full", cells_.c_str());
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string cells_;
+};
+
+std::string Params(const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return buf;
+}
+
 ShardRun RunShardCell(uint64_t seed, double skew, int shards,
                       serving::ShardPlacement placement, int requests) {
   Rng rng(seed);
@@ -162,14 +273,18 @@ ShardRun RunShardCell(uint64_t seed, double skew, int shards,
 int main(int argc, char** argv) {
   using namespace samoyeds;
   bool smoke = false;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
     } else {
-      std::fprintf(stderr, "unknown argument: %s (supported: --smoke)\n", argv[i]);
+      std::fprintf(stderr, "unknown argument: %s (supported: --smoke --json=PATH)\n", argv[i]);
       return 2;
     }
   }
+  JsonCells cells;
 
   if (!smoke) {
   PrintHeader("Serving throughput sweep: arrival rate x routing skew "
@@ -179,6 +294,7 @@ int main(int argc, char** argv) {
   for (double rate : {0.25, 1.0, 4.0}) {
     for (double skew : {0.0, 2.0, 8.0}) {
       const auto rep = RunCell(/*seed=*/7, rate, skew, serving::SchedulerPolicy::kTokenBudget);
+      cells.Add("throughput_sweep", Params("\"rate\": %.2f, \"skew\": %.1f", rate, skew), rep);
       std::printf("%8.2f %6.1f %12.1f %12.1f %10.0f%% %10.2fx %10lld\n", rate, skew,
                   rep.mean_ttft_steps, rep.tokens_per_second, 100.0 * rep.mean_occupancy,
                   rep.expert_imbalance, static_cast<long long>(rep.steps));
@@ -192,6 +308,8 @@ int main(int argc, char** argv) {
        {serving::SchedulerPolicy::kFcfs, serving::SchedulerPolicy::kSmallestFirst,
         serving::SchedulerPolicy::kTokenBudget}) {
     const auto rep = RunCell(7, 4.0, 2.0, policy);
+    cells.Add("policy_comparison",
+              Params("\"policy\": \"%s\"", serving::SchedulerPolicyName(policy)), rep);
     std::printf("%16s %12.1f %12.1f %10.0f%% %12lld\n", serving::SchedulerPolicyName(policy),
                 rep.mean_ttft_steps, rep.tokens_per_second, 100.0 * rep.mean_occupancy,
                 static_cast<long long>(rep.peak_sequences));
@@ -210,12 +328,52 @@ int main(int argc, char** argv) {
                              KvMode{"paged", 16, false},
                              KvMode{"paged+preempt", 16, true}}) {
     const auto rep = RunKvCell(/*seed=*/7, mode.max_pages, mode.preempt);
+    cells.Add("kv_modes", Params("\"mode\": \"%s\"", mode.name), rep);
     std::printf("%20s %10.1f %10.1f %10.1f %10.1f %9lld %8.0f%% %9.1f\n", mode.name,
                 rep.mean_ttft_steps, rep.p95_ttft_steps, rep.p95_turnaround_steps,
                 rep.tokens_per_second, static_cast<long long>(rep.preemptions),
                 100.0 * rep.mean_page_utilization, rep.mean_frag_tokens);
   }
   }  // !smoke
+
+  // ---- Chunked prefill sweep (also a CI bit-identity gate) -----------------
+  // Long-prompt trace: every prompt (48..96 rows) is far above the 32-row
+  // serving budget, so without chunking all of them are rejected. The
+  // one-shot baseline serves the same trace under a 128-row budget; every
+  // chunked cell must reproduce it bit for bit.
+  const int chunk_requests = smoke ? 6 : 16;
+  int chunk_divergences = 0;
+  PrintHeader("Chunked prefill: chunk size under a 32-row budget, 48..96-row prompts "
+              "(one-shot baseline at budget 128; outputs must be bit-identical)");
+  std::printf("%12s %9s %12s %12s %12s %12s %10s\n", "chunk", "finished", "TTFT steps",
+              "turn p95", "tokens/s", "chunk slices", "identical");
+  const ChunkRun baseline = RunChunkCell(/*seed=*/7, /*budget=*/128, /*chunk_tokens=*/0,
+                                         chunk_requests);
+  cells.Add("chunked_prefill", Params("\"budget\": 128, \"chunk_tokens\": 0"),
+            baseline.report);
+  std::printf("%12s %9lld %12.1f %12.1f %12.1f %12lld %10s\n", "one-shot",
+              static_cast<long long>(baseline.finished), baseline.report.mean_ttft_steps,
+              baseline.report.p95_turnaround_steps, baseline.report.tokens_per_second,
+              static_cast<long long>(baseline.report.prefill_chunk_slices), "base");
+  for (int64_t chunk : {int64_t{4}, int64_t{8}, int64_t{16}, int64_t{32}}) {
+    const ChunkRun run = RunChunkCell(7, /*budget=*/32, chunk, chunk_requests);
+    bool identical = run.finished == chunk_requests &&
+                     baseline.finished == chunk_requests &&
+                     run.outputs.size() == baseline.outputs.size();
+    for (size_t i = 0; identical && i < run.outputs.size(); ++i) {
+      identical = run.outputs[i] == baseline.outputs[i];
+    }
+    chunk_divergences += identical ? 0 : 1;
+    cells.Add("chunked_prefill",
+              Params("\"budget\": 32, \"chunk_tokens\": %lld", static_cast<long long>(chunk)),
+              run.report, identical ? 1 : 0);
+    std::printf("%12lld %9lld %12.1f %12.1f %12.1f %12lld %10s\n",
+                static_cast<long long>(chunk), static_cast<long long>(run.finished),
+                run.report.mean_ttft_steps, run.report.p95_turnaround_steps,
+                run.report.tokens_per_second,
+                static_cast<long long>(run.report.prefill_chunk_slices),
+                identical ? "yes" : "NO");
+  }
 
   // ---- Expert-parallel shard sweep (also the CI bit-identity gate) ---------
   const int shard_requests = smoke ? 12 : 24;
@@ -230,6 +388,9 @@ int main(int argc, char** argv) {
     const ShardRun baseline = RunShardCell(/*seed=*/7, skew, /*shards=*/1,
                                            serving::ShardPlacement::kRoundRobin,
                                            shard_requests);
+    cells.Add("shard_sweep",
+              Params("\"shards\": 1, \"skew\": %.1f, \"placement\": \"-\"", skew),
+              baseline.report);
     std::printf("%7d %6.1f %12s %11.3f %11.3f %9.0f%% %10.2fx %10s\n", 1, skew, "-",
                 baseline.report.est_compute_ms, baseline.report.est_alltoall_ms,
                 100.0 * baseline.report.est_alltoall_share, baseline.report.shard_imbalance,
@@ -243,6 +404,10 @@ int main(int argc, char** argv) {
           identical = run.outputs[i] == baseline.outputs[i];
         }
         divergences += identical ? 0 : 1;
+        cells.Add("shard_sweep",
+                  Params("\"shards\": %d, \"skew\": %.1f, \"placement\": \"%s\"", shards, skew,
+                         serving::ShardPlacementName(placement)),
+                  run.report, identical ? 1 : 0);
         std::printf("%7d %6.1f %12s %11.3f %11.3f %9.0f%% %10.2fx %10s\n", shards, skew,
                     serving::ShardPlacementName(placement), run.report.est_compute_ms,
                     run.report.est_alltoall_ms, 100.0 * run.report.est_alltoall_share,
@@ -250,11 +415,19 @@ int main(int argc, char** argv) {
       }
     }
   }
+
+  if (!json_path.empty() && !cells.Write(json_path, smoke)) {
+    return 2;
+  }
+  if (chunk_divergences > 0) {
+    std::fprintf(stderr,
+                 "FAIL: %d chunked-prefill run(s) diverged bit-wise from one-shot prefill\n",
+                 chunk_divergences);
+  }
   if (divergences > 0) {
     std::fprintf(stderr,
                  "FAIL: %d sharded run(s) diverged bit-wise from the unsharded baseline\n",
                  divergences);
-    return 1;
   }
-  return 0;
+  return (divergences > 0 || chunk_divergences > 0) ? 1 : 0;
 }

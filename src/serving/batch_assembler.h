@@ -17,13 +17,19 @@
 namespace samoyeds {
 namespace serving {
 
-// Where one request's rows landed in the assembled batch.
+// Where one request's rows landed in the assembled batch. Under chunked
+// prefill a prompt contributes several prefill slices across iterations
+// (position_begin > 0 for every chunk after the first); decode slices are
+// always a single row.
 struct BatchSlice {
   int64_t request_id = 0;
   int64_t row_begin = 0;       // first row in the batch matrix
   int64_t row_count = 0;
   int64_t position_begin = 0;  // sequence position of the first row
-  bool is_prefill = false;
+  bool is_prefill = false;     // rows are prompt rows (whole prompt or a chunk)
+
+  // Sequence position one past this slice's last row.
+  int64_t position_end() const { return position_begin + row_count; }
 };
 
 struct AssembledBatch {

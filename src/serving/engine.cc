@@ -33,9 +33,34 @@ const char* RequestStatusName(RequestStatus s) {
       return "finished";
     case RequestStatus::kRejected:
       return "rejected";
+    case RequestStatus::kCancelled:
+      return "cancelled";
   }
   return "?";
 }
+
+bool IsTerminal(RequestStatus s) {
+  return s == RequestStatus::kFinished || s == RequestStatus::kRejected ||
+         s == RequestStatus::kCancelled;
+}
+
+RequestStatus SessionHandle::status() const {
+  return engine_ == nullptr ? RequestStatus::kRejected : engine_->Status(id_);
+}
+
+MatrixF SessionHandle::NewRows() {
+  return engine_ == nullptr ? MatrixF(0, 0) : engine_->NewRows(id_);
+}
+
+int64_t SessionHandle::available_rows() const {
+  return engine_ == nullptr ? 0 : engine_->AvailableRows(id_);
+}
+
+int64_t SessionHandle::delivered_rows() const {
+  return engine_ == nullptr ? 0 : engine_->DeliveredRows(id_);
+}
+
+bool SessionHandle::Cancel() { return engine_ != nullptr && engine_->Cancel(id_); }
 
 ServingEngine::ServingEngine(std::vector<SamoyedsDecoderLayerWeights> layers,
                              const EngineConfig& config)
@@ -102,18 +127,130 @@ ExpertShardPlan ServingEngine::BuildShardPlan() const {
   return ExpertShardPlan::RoundRobin(experts, shards);
 }
 
-bool ServingEngine::Submit(Request request) {
+SessionHandle ServingEngine::Submit(Request request, OnRowsCallback on_rows) {
   if (!known_ids_.insert(request.id).second) {
-    return false;  // duplicate id: leave the original request's state alone
+    return SessionHandle();  // duplicate id: leave the original session alone
   }
+  const int64_t id = request.id;
   if (!request.ShapeValid(hidden_)) {
-    RequestResult& result = results_[request.id];
+    RequestResult& result = results_[id];
     result.status = RequestStatus::kRejected;
     result.reason = "malformed request (bad prompt/decode/input shape)";
-    metrics_.OnReject(request.id);
-    return false;
+    metrics_.OnReject(id);
+    return SessionHandle(this, id, /*accepted=*/false);
   }
+  SessionState session;
+  session.on_rows = std::move(on_rows);
+  sessions_.emplace(id, std::move(session));
   queue_.Push(std::move(request));
+  return SessionHandle(this, id, /*accepted=*/true);
+}
+
+int64_t ServingEngine::ProducedRows(int64_t id) const {
+  if (const auto it = sequences_.find(id); it != sequences_.end()) {
+    return static_cast<int64_t>(it->second.out_rows.size()) / hidden_;
+  }
+  if (const auto it = results_.find(id); it != results_.end()) {
+    return it->second.outputs.rows();
+  }
+  return 0;
+}
+
+int64_t ServingEngine::AvailableRows(int64_t id) const {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return 0;
+  }
+  // A preempted sequence's recompute can briefly trail the delivery cursor;
+  // those rows were already streamed and are never re-delivered.
+  return std::max<int64_t>(0, ProducedRows(id) - it->second.delivered);
+}
+
+int64_t ServingEngine::DeliveredRows(int64_t id) const {
+  const auto it = sessions_.find(id);
+  return it == sessions_.end() ? 0 : it->second.delivered;
+}
+
+MatrixF ServingEngine::DrainRows(int64_t id, SessionState& session) {
+  const int64_t begin = session.delivered;
+  const int64_t produced = ProducedRows(id);
+  if (produced <= begin) {
+    // A preempted sequence's recompute can briefly trail the cursor; those
+    // rows were already streamed and are never re-delivered.
+    return MatrixF(0, 0);
+  }
+  MatrixF rows(produced - begin, hidden_);
+  const float* src = nullptr;
+  if (const auto seq = sequences_.find(id); seq != sequences_.end()) {
+    src = seq->second.out_rows.data() + begin * hidden_;
+  } else {
+    src = results_.at(id).outputs.data() + begin * hidden_;
+  }
+  std::copy(src, src + rows.size(), rows.data());
+  session.delivered = produced;
+  metrics_.OnRowsDelivered(id, rows.rows());
+  return rows;
+}
+
+MatrixF ServingEngine::NewRows(int64_t id) {
+  const auto it = sessions_.find(id);
+  return it == sessions_.end() ? MatrixF(0, 0) : DrainRows(id, it->second);
+}
+
+void ServingEngine::StreamToCallback(int64_t id, bool finished) {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end() || !it->second.on_rows) {
+    return;
+  }
+  SessionState& session = it->second;
+  const int64_t begin = session.delivered;
+  const MatrixF rows = DrainRows(id, session);
+  if (rows.rows() == 0 && !finished) {
+    return;  // nothing new; the terminal delta always fires, even if empty
+  }
+  const StreamDelta delta{id, begin, rows, finished};
+  session.on_rows(delta);
+}
+
+bool ServingEngine::Cancel(int64_t id) {
+  if (sessions_.count(id) == 0 || IsTerminal(Status(id))) {
+    return false;  // unknown, rejected at submit, or already terminal
+  }
+  SessionState& session = sessions_.at(id);
+  if (const auto it = sequences_.find(id); it != sequences_.end()) {
+    // Resident (possibly mid-prefill): retire with the rows produced so far
+    // and return every page to the allocator's free list. After a
+    // preemption the recompute may not have caught back up to the rows
+    // already streamed — the stashed prefix is the longer record then.
+    Sequence& seq = it->second;
+    RequestResult& result = results_[id];
+    result.status = RequestStatus::kCancelled;
+    result.reason = "cancelled by client";
+    std::vector<float> rows = session.retained.size() > seq.out_rows.size()
+                                  ? std::move(session.retained)
+                                  : std::move(seq.out_rows);
+    const int64_t produced = static_cast<int64_t>(rows.size()) / hidden_;
+    result.outputs = MatrixF::FromRowMajor(produced, hidden_, std::move(rows));
+    cache_.Free(id);
+    running_.erase(std::find(running_.begin(), running_.end(), id));
+    sequences_.erase(it);
+    metrics_.OnCancel(id, step_);
+    StreamToCallback(id, /*finished=*/true);  // unblock push-mode consumers
+    return true;
+  }
+  // Still queued: in the ingress queue (not yet arrived) or awaiting
+  // admission in the scheduler backlog — which includes sessions requeued
+  // by preemption, whose already-streamed rows live in the stash.
+  const bool removed = queue_.Remove(id) || scheduler_.Cancel(id);
+  assert(removed);
+  (void)removed;
+  RequestResult& result = results_[id];
+  result.status = RequestStatus::kCancelled;
+  result.reason = "cancelled by client";
+  const int64_t retained_rows = static_cast<int64_t>(session.retained.size()) / hidden_;
+  result.outputs = MatrixF::FromRowMajor(retained_rows, hidden_, std::move(session.retained));
+  metrics_.OnCancel(id, step_);
+  StreamToCallback(id, /*finished=*/true);
   return true;
 }
 
@@ -129,24 +266,63 @@ ResidentSnapshot ServingEngine::Resident(int64_t growth_pages) const {
   return snap;
 }
 
-int64_t ServingEngine::DecodeGrowthPages() const {
+std::vector<int64_t> ServingEngine::PlanResidentRows() const {
+  const SchedulerConfig& cfg = config_.scheduler;
+  std::vector<int64_t> plan(running_.size(), 0);
+  int64_t budget_left = cfg.token_budget;
+  // Decode rows first: one per decode-phase resident. Admission charges
+  // every sequence at least one row, so these always fit the budget.
+  for (size_t i = 0; i < running_.size(); ++i) {
+    const Sequence& seq = sequences_.at(running_[i]);
+    if (seq.consumed >= seq.request.prompt_len) {
+      plan[i] = 1;
+      budget_left -= 1;
+    }
+  }
+  // Then the next prompt chunk of each mid-prefill resident, admission
+  // order, out of the leftover budget — resident prefills outrank new
+  // admissions, so a chunked prompt can never be starved by later arrivals.
+  // A plan of 0 rows (budget exhausted) sits the iteration out.
+  for (size_t i = 0; i < running_.size(); ++i) {
+    const Sequence& seq = sequences_.at(running_[i]);
+    if (seq.consumed < seq.request.prompt_len) {
+      plan[i] = PrefillChunkRows(seq.request.prompt_len - seq.consumed, budget_left, cfg);
+      budget_left -= plan[i];
+    }
+  }
+  assert(budget_left >= 0);
+  return plan;
+}
+
+int64_t ServingEngine::PlannedGrowthPages(const std::vector<int64_t>& plan) const {
   int64_t pages = 0;
-  for (int64_t id : running_) {
-    pages += cache_.allocator().PagesToExtend(id, 1);
+  for (size_t i = 0; i < running_.size(); ++i) {
+    pages += cache_.allocator().PagesToExtend(running_[i], plan[i]);
   }
   return pages;
 }
 
 void ServingEngine::Preempt(int64_t id) {
   Sequence& seq = sequences_.at(id);
+  // Rows already streamed to the client are frozen: stash that prefix so a
+  // Cancel() racing the recompute can still materialize them in the
+  // terminal result. (Monotone: an earlier preemption may have retained
+  // more than this recompute had re-produced.)
+  SessionState& session = sessions_.at(id);
+  const size_t keep = std::min(static_cast<size_t>(session.delivered * hidden_),
+                               seq.out_rows.size());
+  if (keep > session.retained.size()) {
+    session.retained.assign(seq.out_rows.begin(),
+                            seq.out_rows.begin() + static_cast<int64_t>(keep));
+  }
   cache_.Free(id);
   Request request = std::move(seq.request);
   sequences_.erase(id);
   running_.erase(std::find(running_.begin(), running_.end(), id));
   metrics_.OnPreempt(id, step_);
-  // Partial outputs are discarded with the Sequence: readmission recomputes
-  // the whole prefix, which reproduces the same rows (per-row compute is
-  // independent of batch composition).
+  // Undelivered partial outputs are discarded with the Sequence:
+  // readmission recomputes the whole prefix, which reproduces the same rows
+  // (per-row compute is independent of batch composition).
   scheduler_.Requeue(std::move(request));
 }
 
@@ -321,13 +497,16 @@ bool ServingEngine::Step() {
     scheduler_.Enqueue(std::move(r));
   }
 
-  // 2. Preemption: under a bounded page pool with eviction enabled, make sure
-  // every resident can append this iteration's decode row. Victims are
-  // lowest-priority, then youngest — and may be the grower itself, in which
-  // case it simply sits out this batch from the queue head. A lone resident
-  // always fits (admission rejects lifetimes beyond the pool), so this
-  // terminates with at least one survivor.
-  int64_t growth_pages = DecodeGrowthPages();
+  // 2. Plan this iteration's resident rows (decode rows + prefill chunks),
+  // then — under a bounded page pool with eviction enabled — make sure the
+  // planned rows can get pages. Victims are lowest-priority, then youngest —
+  // and may be a grower itself, in which case it simply sits out this batch
+  // from the queue head. A lone resident always fits (admission rejects
+  // lifetimes beyond the pool), so this terminates with at least one
+  // survivor. Evicting re-plans: freed budget can enlarge another
+  // resident's prefill chunk.
+  std::vector<int64_t> plan = PlanResidentRows();
+  int64_t growth_pages = PlannedGrowthPages(plan);
   if (sched_cfg.max_pages > 0 && sched_cfg.preempt) {
     while (!running_.empty() &&
            cache_.allocator().used_pages() + growth_pages > sched_cfg.max_pages) {
@@ -338,14 +517,19 @@ bool ServingEngine::Step() {
         candidates.push_back(VictimCandidate{id, seq.request.priority, seq.admit_seq});
       }
       Preempt(candidates[Scheduler::PickVictim(candidates)].id);
-      growth_pages = DecodeGrowthPages();
+      plan = PlanResidentRows();
+      growth_pages = PlannedGrowthPages(plan);
     }
   }
 
   // 3. Admission under the iteration token budget and the resident-token or
-  // page-accounting cap.
-  const int64_t decode_rows = static_cast<int64_t>(running_.size());
-  AdmissionDecision decision = scheduler_.Admit(decode_rows, Resident(growth_pages));
+  // page-accounting cap. The committed rows are everything the residents
+  // planned; an admitted prompt is charged its first chunk.
+  int64_t committed_rows = 0;
+  for (int64_t rows : plan) {
+    committed_rows += rows;
+  }
+  AdmissionDecision decision = scheduler_.Admit(committed_rows, Resident(growth_pages));
   for (Rejection& rejection : decision.rejected) {
     RequestResult& result = results_[rejection.request.id];
     result.status = RequestStatus::kRejected;
@@ -357,27 +541,38 @@ bool ServingEngine::Step() {
     Sequence seq;
     seq.request = std::move(r);
     seq.admit_seq = admit_counter_++;
+    const int64_t prompt_len = seq.request.prompt_len;
     sequences_.emplace(id, std::move(seq));
     running_.push_back(id);
     metrics_.OnAdmit(id, step_);
+    // First prefill chunk, sized exactly as the scheduler charged it (the
+    // shared PrefillChunkRows keeps the two row accountings in lockstep).
+    const int64_t chunk =
+        PrefillChunkRows(prompt_len, sched_cfg.token_budget - committed_rows, sched_cfg);
+    assert(chunk == FirstChunkRows(prompt_len, sched_cfg));
+    plan.push_back(chunk);
+    committed_rows += chunk;
   }
+  assert(committed_rows <= sched_cfg.token_budget || sched_cfg.chunk_tokens <= 0);
 
-  // 4. Assemble the iteration batch: decode rows first, then prefills; every
-  // sequence's page table is extended to cover its new rows up front so the
-  // forward's parallel tasks never mutate allocator state.
+  // 4. Assemble the iteration batch from the plan: every sequence's page
+  // table is extended to cover its new rows up front (prefill chunks target
+  // KV pages directly) so the forward's parallel tasks never mutate
+  // allocator state. A 0-row plan (budget-starved prefill) sits out but
+  // stays resident.
   std::vector<BatchAssembler::Contribution> parts;
-  std::vector<Sequence*> seq_of_slice;
-  for (int64_t id : running_) {
-    Sequence& seq = sequences_.at(id);
-    const bool is_prefill = seq.consumed == 0;
+  for (size_t i = 0; i < running_.size(); ++i) {
+    Sequence& seq = sequences_.at(running_[i]);
+    if (plan[i] == 0) {
+      continue;
+    }
     BatchAssembler::Contribution p;
-    p.request_id = id;
+    p.request_id = running_[i];
     p.source = &seq.request.inputs;
     p.row_begin = seq.consumed;
-    p.row_count = is_prefill ? seq.request.prompt_len : 1;
-    p.is_prefill = is_prefill;
+    p.row_count = plan[i];
+    p.is_prefill = seq.consumed < seq.request.prompt_len;
     parts.push_back(p);
-    seq_of_slice.push_back(&seq);
   }
 
   if (parts.empty()) {
@@ -459,10 +654,17 @@ bool ServingEngine::Step() {
       max_shard_ms + TimingModel(cluster_.device(0)).Estimate(kv).total_ms;
   metrics_.OnShardTokens(step_shard_tokens_);
 
-  std::vector<int64_t> still_running;
   for (size_t s = 0; s < batch.slices.size(); ++s) {
     const BatchSlice& slice = batch.slices[s];
-    Sequence& seq = *seq_of_slice[s];
+    // Re-resolved per slice rather than cached across the loop: an OnRows
+    // callback fired below may reentrantly Cancel() *another* session whose
+    // slice is still pending, erasing its Sequence — its rows from this
+    // forward are simply dropped (the cancel wins).
+    const auto seq_it = sequences_.find(slice.request_id);
+    if (seq_it == sequences_.end()) {
+      continue;
+    }
+    Sequence& seq = seq_it->second;
     (slice.is_prefill ? sm.prefill_rows : sm.decode_rows) += slice.row_count;
     for (int64_t r = 0; r < slice.row_count; ++r) {
       const auto row = out.row(slice.row_begin + r);
@@ -470,7 +672,15 @@ bool ServingEngine::Step() {
     }
     seq.consumed += slice.row_count;
     if (slice.is_prefill) {
-      metrics_.OnFirstOutput(slice.request_id, step_);
+      metrics_.OnPrefillSlice(slice.request_id);
+      if (slice.position_begin != 0 || slice.position_end() != seq.request.prompt_len) {
+        ++sm.prefill_chunk_slices;  // a partial prompt: chunked prefill in flight
+      }
+      if (seq.consumed >= seq.request.prompt_len) {
+        // The chunk containing row prompt_len - 1 finalized: the session's
+        // first token just streamed.
+        metrics_.OnFirstOutput(slice.request_id, step_);
+      }
     }
     if (seq.consumed == seq.request.total_tokens()) {
       RequestResult& result = results_[slice.request_id];
@@ -480,8 +690,20 @@ bool ServingEngine::Step() {
       metrics_.OnFinish(slice.request_id, step_);
       cache_.Free(slice.request_id);
       sequences_.erase(slice.request_id);
+      sessions_.at(slice.request_id).retained.clear();  // full outputs exist now
+      StreamToCallback(slice.request_id, /*finished=*/true);
     } else {
-      still_running.push_back(slice.request_id);
+      StreamToCallback(slice.request_id, /*finished=*/false);
+    }
+  }
+  // Keep admission order; drop the sequences retired this step. Residents
+  // whose plan was 0 rows (budget-starved prefills) never entered the batch
+  // but stay resident.
+  std::vector<int64_t> still_running;
+  still_running.reserve(running_.size());
+  for (int64_t id : running_) {
+    if (sequences_.count(id) != 0) {
+      still_running.push_back(id);
     }
   }
   running_ = std::move(still_running);

@@ -1,30 +1,48 @@
-// Continuous-batching serving engine over the Samoyeds decoder path.
+// Continuous-batching serving engine over the Samoyeds decoder path, with a
+// streaming session API and chunked prefill.
+//
+// Submit() returns a SessionHandle: output rows finalize iteration by
+// iteration and are delivered incrementally — polled through the session's
+// cursor (NewRows) or pushed through an optional OnRows callback fired
+// inside Step() — instead of materializing as one matrix at drain time.
+// Sessions are first-class: Cancel() tears one down at any point in its
+// lifecycle (ingress queue, scheduler backlog, or resident mid-prefill/
+// mid-decode), freeing its KV pages and recording a kCancelled terminal
+// status.
 //
 // One Step() is one iteration of Orca-style iteration-level scheduling:
 //
 //   1. Drain arrived requests from the ingress RequestQueue into the
 //      Scheduler.
-//   2. Under page pressure (paged KV cache + preemption enabled), evict the
+//   2. Plan each resident's rows for this iteration: one decode row per
+//      decode-phase sequence, then — under chunked prefill — the next
+//      prompt chunk of each mid-prefill sequence, sized to the leftover
+//      token budget (Sarathi-style prefill/decode interleaving).
+//   3. Under page pressure (paged KV cache + preemption enabled), evict the
 //      lowest-priority / youngest resident sequences until this iteration's
-//      decode rows can get pages; evictees free their pages and are requeued
-//      for recompute on readmission.
-//   3. The Scheduler admits new sequences under the token budget and either
-//      resident-token or KV-page accounting.
-//   4. Assemble one batch: one decode row per resident sequence plus the
-//      full prompt of each newly admitted sequence (prefill), and extend each
-//      sequence's KV page table to cover the new rows.
-//   5. Forward the batch through the decoder stack. Attention runs
+//      planned rows can get pages; evictees free their pages and are
+//      requeued for recompute on readmission.
+//   4. The Scheduler admits new sequences under the token budget and either
+//      resident-token or KV-page accounting; with chunking on, admission
+//      charges a prompt's *first chunk*, so prompts longer than the token
+//      budget are served instead of rejected.
+//   5. Assemble one batch from the planned rows and extend each sequence's
+//      KV page table to cover them (chunks target pages directly).
+//   6. Forward the batch through the decoder stack. Attention runs
 //      per-sequence against the paged per-layer cache of that sequence's
 //      normed prefix rows (causal, so cached rows never change), gathered
 //      through its page table; the MoE sub-block routes the *whole* batch in
 //      one RoutingPlan and executes experts on the multi-threaded ExpertPool.
-//   6. Split outputs back per sequence, retire finished ones (freeing pages).
+//   7. Split outputs back per sequence, stream newly finalized rows to
+//      OnRows callbacks, retire finished ones (freeing pages).
 //
 // The incremental path computes exactly the rows a full-sequence
 // DecoderStackForwardSamoyeds would: causality guarantees earlier positions'
-// hidden states never change, so caching them is lossless — and a preempted
-// sequence recomputes from row 0, reproducing the same rows bit-for-bit.
-// Tests compare against DecoderStackForwardReference at bf16 tolerance.
+// hidden states never change, so caching them is lossless — chunked prefill
+// therefore produces outputs bit-identical to one-shot prefill, and a
+// preempted sequence recomputes from row 0, reproducing the same rows
+// bit-for-bit. Tests compare against DecoderStackForwardReference at bf16
+// tolerance and assert chunked == unchunked exactly.
 
 #ifndef SAMOYEDS_SRC_SERVING_ENGINE_H_
 #define SAMOYEDS_SRC_SERVING_ENGINE_H_
@@ -89,13 +107,57 @@ struct EngineConfig {
   SchedulerConfig scheduler;
 };
 
+// Terminal record of a session, kept after it leaves the engine. The
+// streaming session surface (SessionHandle::NewRows / OnRows) is the primary
+// delivery path; `outputs` is the materialized compatibility view — for a
+// finished session it is bit-identical to the concatenation of every
+// streamed delta.
 struct RequestResult {
   RequestStatus status = RequestStatus::kQueued;
   std::string reason;  // why a request was rejected; empty otherwise
   // One output row per consumed input position (total_tokens x hidden for a
-  // finished request). Row prompt_len - 1 is the "first token" hidden state;
-  // later rows are the decode outputs.
+  // finished request; the rows produced before termination for a cancelled
+  // one). Row prompt_len - 1 is the "first token" hidden state; later rows
+  // are the decode outputs.
   MatrixF outputs;
+};
+
+class ServingEngine;
+
+// Caller-side view of one submitted session. A default-constructed or
+// rejected handle is !ok(); the bool conversion keeps the legacy
+// `if (engine.Submit(r))` submission check working. All methods proxy to the
+// owning engine and must run on the engine thread.
+class SessionHandle {
+ public:
+  SessionHandle() = default;
+
+  int64_t id() const { return id_; }
+  // Accepted at submit (well-formed, not a duplicate id).
+  bool ok() const { return accepted_; }
+  explicit operator bool() const { return accepted_; }
+
+  // Handles for submissions rejected at Submit still reach the engine, so
+  // status() reports kRejected and Result() is reachable through the id.
+  RequestStatus status() const;
+  // Finalized-but-undelivered output rows: returns them and advances the
+  // session's delivery cursor (empty matrix when nothing new finalized).
+  MatrixF NewRows();
+  // Rows NewRows() would return right now, without consuming them.
+  int64_t available_rows() const;
+  // Rows delivered so far through NewRows() or the OnRows callback.
+  int64_t delivered_rows() const;
+  // Terminates the session (see ServingEngine::Cancel).
+  bool Cancel();
+
+ private:
+  friend class ServingEngine;
+  SessionHandle(ServingEngine* engine, int64_t id, bool accepted)
+      : engine_(engine), id_(id), accepted_(accepted) {}
+
+  ServingEngine* engine_ = nullptr;
+  int64_t id_ = -1;
+  bool accepted_ = false;
 };
 
 class ServingEngine {
@@ -105,10 +167,13 @@ class ServingEngine {
   int64_t hidden() const { return hidden_; }
   const EngineConfig& config() const { return config_; }
 
-  // Validates and enqueues; returns false (and records a rejection) on a
-  // malformed request, or false with no state change on a duplicate id.
-  // Not thread-safe: call from the engine thread only.
-  bool Submit(Request request);
+  // Validates and opens a session; the returned handle is !ok() (and a
+  // rejection is recorded) on a malformed request, or !ok() with no state
+  // change on a duplicate id. `on_rows`, when set, is invoked inside Step()
+  // each time rows finalize for this session; rows it receives count as
+  // delivered (the polling cursor advances past them). Not thread-safe:
+  // call from the engine thread only.
+  SessionHandle Submit(Request request, OnRowsCallback on_rows = nullptr);
 
   // Runs one iteration. Returns false when there was nothing to do and
   // nothing is pending (engine fully drained).
@@ -119,8 +184,23 @@ class ServingEngine {
   int64_t RunUntilDrained(int64_t max_steps = 0);
 
   RequestStatus Status(int64_t id) const;
-  // Result for a finished or rejected request; nullptr otherwise.
+  // Result for a terminal (finished / rejected / cancelled) request;
+  // nullptr otherwise.
   const RequestResult* Result(int64_t id) const;
+
+  // Streaming cursor (see SessionHandle::NewRows): rows of session `id` that
+  // finalized since the last delivery. Works while the session runs and
+  // after it finishes; an unknown id yields an empty matrix.
+  MatrixF NewRows(int64_t id);
+  int64_t AvailableRows(int64_t id) const;
+  int64_t DeliveredRows(int64_t id) const;
+
+  // Terminates session `id` wherever it is in its lifecycle: drops it from
+  // the ingress queue or scheduler backlog, or — when resident — frees its
+  // KV pages (the allocator's free list returns to its pre-submit state) and
+  // retires it with the rows produced so far. Records a kCancelled terminal
+  // status. False when `id` is unknown or already terminal.
+  bool Cancel(int64_t id);
 
   int64_t current_step() const { return step_; }
   int64_t resident_sequences() const { return static_cast<int64_t>(running_.size()); }
@@ -144,14 +224,43 @@ class ServingEngine {
     std::vector<float> out_rows;  // produced output rows, row-major
   };
 
-  // Snapshot for admission; `growth_pages` is what this iteration's decode
+  // Per-session delivery state. Lives outside Sequence because it must
+  // survive preemption: a preemptee's recompute re-produces bit-identical
+  // rows, and rows already streamed to the caller are never re-delivered.
+  struct SessionState {
+    OnRowsCallback on_rows;  // empty = polling only
+    int64_t delivered = 0;   // output rows handed to the caller so far
+    // Delivered rows stashed at preemption (row-major): Preempt discards the
+    // Sequence's partial outputs for recompute, but rows already streamed
+    // are part of the client-visible record — if the session is cancelled
+    // before the recompute catches back up, the terminal result still
+    // materializes them. Cleared when the session finishes.
+    std::vector<float> retained;
+  };
+
+  // Snapshot for admission; `growth_pages` is what this iteration's planned
   // rows are about to claim (already guaranteed by the preemption pass).
   ResidentSnapshot Resident(int64_t growth_pages) const;
-  // Pages needed for every resident to append one decode row this step.
-  int64_t DecodeGrowthPages() const;
+  // Rows each resident (by running_ index) contributes this iteration: one
+  // decode row per decode-phase sequence, then prompt chunks for mid-prefill
+  // sequences out of the leftover token budget (possibly 0 — the sequence
+  // sits the iteration out). Chunking off degenerates to the legacy
+  // one-decode-row-or-whole-prompt plan.
+  std::vector<int64_t> PlanResidentRows() const;
+  // Pages the planned rows would claim across all residents.
+  int64_t PlannedGrowthPages(const std::vector<int64_t>& plan) const;
   // Evicts `id`: frees its pages, drops its partial outputs, and requeues the
   // request at the head of the scheduler queue for full recompute.
   void Preempt(int64_t id);
+  // Rows finalized for session `id` so far (running: produced rows;
+  // terminal: the materialized result).
+  int64_t ProducedRows(int64_t id) const;
+  // Copies the finalized-but-undelivered rows out and advances the cursor
+  // (the shared delivery path under NewRows and the OnRows callbacks).
+  MatrixF DrainRows(int64_t id, SessionState& session);
+  // Fires the session's OnRows callback with every finalized-but-undelivered
+  // row (no-op without a callback); `finished` tags the terminal delta.
+  void StreamToCallback(int64_t id, bool finished);
   // Forwards the assembled batch through all layers; returns final hidden rows.
   MatrixF ForwardBatch(const AssembledBatch& batch);
   // Resolves (and caches) the tuned SSMM tile config for one layer's expert
@@ -205,6 +314,7 @@ class ServingEngine {
   std::set<int64_t> known_ids_;   // every id ever submitted (duplicate guard)
   std::vector<int64_t> running_;  // resident sequence ids, admission order
   std::map<int64_t, Sequence> sequences_;
+  std::map<int64_t, SessionState> sessions_;  // accepted ids, incl. terminal
   std::map<int64_t, RequestResult> results_;
 };
 

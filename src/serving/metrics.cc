@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 namespace samoyeds {
 namespace serving {
@@ -50,6 +51,17 @@ void EngineMetrics::OnFinish(int64_t id, int64_t step) {
   r.finish_ms = NowMs();
 }
 
+void EngineMetrics::OnCancel(int64_t id, int64_t step) {
+  requests_[id].cancel_step = step;
+  ++cancelled_;
+}
+
+void EngineMetrics::OnPrefillSlice(int64_t id) { ++requests_[id].prefill_chunks; }
+
+void EngineMetrics::OnRowsDelivered(int64_t id, int64_t rows) {
+  requests_[id].streamed_rows += rows;
+}
+
 void EngineMetrics::OnPreempt(int64_t id, int64_t step) {
   ++requests_[id].preemptions;
   preemption_log_.emplace_back(id, step);
@@ -85,6 +97,7 @@ void EngineMetrics::OnAutotune(double default_ms, double tuned_ms, bool cache_hi
 ServingReport EngineMetrics::Summarize(int64_t token_budget, int64_t max_pages) const {
   ServingReport rep;
   rep.requests_rejected = rejected_;
+  rep.requests_cancelled = cancelled_;
   rep.autotune_lookups = autotune_lookups_;
   rep.autotune_cache_hits = autotune_cache_hits_;
   rep.autotune_default_ms = autotune_default_ms_;
@@ -102,8 +115,12 @@ ServingReport EngineMetrics::Summarize(int64_t token_budget, int64_t max_pages) 
   std::vector<double> ttft_samples;
   std::vector<double> turnaround_samples;
   for (const auto& [id, r] : requests_) {
+    rep.streamed_rows += r.streamed_rows;
+    if (r.finish_step >= 0 && r.prefill_chunks > 1) {
+      ++rep.chunked_prefill_requests;
+    }
     if (r.finish_step < 0) {
-      continue;  // still in flight (or never admitted)
+      continue;  // still in flight, cancelled, or never admitted
     }
     ++rep.requests_finished;
     const double ttft = static_cast<double>(r.first_output_step - r.arrival_step + 1);
@@ -128,6 +145,7 @@ ServingReport EngineMetrics::Summarize(int64_t token_budget, int64_t max_pages) 
   for (const auto& s : steps_) {
     rep.prefill_rows += s.prefill_rows;
     rep.decode_rows += s.decode_rows;
+    rep.prefill_chunk_slices += s.prefill_chunk_slices;
     rows += s.batch_rows;
     rep.peak_batch_rows = std::max(rep.peak_batch_rows, s.batch_rows);
     rep.peak_sequences = std::max(rep.peak_sequences, s.running_sequences);
@@ -178,13 +196,98 @@ ServingReport EngineMetrics::Summarize(int64_t token_budget, int64_t max_pages) 
   return rep;
 }
 
+namespace {
+
+void AppendField(std::string& out, const char* key, double value, bool last = false) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "  \"%s\": %.6f%s\n", key, value, last ? "" : ",");
+  out += buf;
+}
+
+void AppendField(std::string& out, const char* key, int64_t value, bool last = false) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "  \"%s\": %lld%s\n", key, static_cast<long long>(value),
+                last ? "" : ",");
+  out += buf;
+}
+
+void AppendField(std::string& out, const char* key, const std::vector<int64_t>& values,
+                 bool last = false) {
+  out += "  \"";
+  out += key;
+  out += "\": [";
+  for (size_t i = 0; i < values.size(); ++i) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%s%lld", i == 0 ? "" : ", ",
+                  static_cast<long long>(values[i]));
+    out += buf;
+  }
+  out += last ? "]\n" : "],\n";
+}
+
+}  // namespace
+
+std::string ServingReport::ToJson() const {
+  std::string out = "{\n";
+  AppendField(out, "requests_finished", requests_finished);
+  AppendField(out, "requests_rejected", requests_rejected);
+  AppendField(out, "requests_cancelled", requests_cancelled);
+  AppendField(out, "steps", steps);
+  AppendField(out, "prefill_rows", prefill_rows);
+  AppendField(out, "decode_rows", decode_rows);
+  AppendField(out, "prefill_chunk_slices", prefill_chunk_slices);
+  AppendField(out, "chunked_prefill_requests", chunked_prefill_requests);
+  AppendField(out, "streamed_rows", streamed_rows);
+  AppendField(out, "wall_ms", wall_ms);
+  AppendField(out, "mean_ttft_steps", mean_ttft_steps);
+  AppendField(out, "p95_ttft_steps", p95_ttft_steps);
+  AppendField(out, "mean_turnaround_steps", mean_turnaround_steps);
+  AppendField(out, "p95_turnaround_steps", p95_turnaround_steps);
+  AppendField(out, "mean_ttft_ms", mean_ttft_ms);
+  AppendField(out, "mean_step_ms", mean_step_ms);
+  AppendField(out, "tokens_per_second", tokens_per_second);
+  AppendField(out, "mean_batch_rows", mean_batch_rows);
+  AppendField(out, "mean_occupancy", mean_occupancy);
+  AppendField(out, "peak_batch_rows", peak_batch_rows);
+  AppendField(out, "peak_sequences", peak_sequences);
+  AppendField(out, "preemptions", preemptions);
+  AppendField(out, "peak_used_pages", peak_used_pages);
+  AppendField(out, "mean_page_utilization", mean_page_utilization);
+  AppendField(out, "mean_frag_tokens", mean_frag_tokens);
+  AppendField(out, "expert_tokens", expert_tokens);
+  AppendField(out, "expert_imbalance", expert_imbalance);
+  AppendField(out, "shard_tokens", shard_tokens);
+  AppendField(out, "shard_imbalance", shard_imbalance);
+  AppendField(out, "est_compute_ms", est_compute_ms);
+  AppendField(out, "est_alltoall_ms", est_alltoall_ms);
+  AppendField(out, "est_alltoall_share", est_alltoall_share);
+  AppendField(out, "alltoall_bytes", alltoall_bytes);
+  AppendField(out, "kv_traffic_bytes", kv_traffic_bytes);
+  AppendField(out, "autotune_lookups", autotune_lookups);
+  AppendField(out, "autotune_cache_hits", autotune_cache_hits);
+  AppendField(out, "autotune_default_ms", autotune_default_ms);
+  AppendField(out, "autotune_tuned_ms", autotune_tuned_ms);
+  AppendField(out, "autotune_speedup", autotune_speedup, /*last=*/true);
+  out += "}\n";
+  return out;
+}
+
 void EngineMetrics::Print(const ServingReport& rep, std::FILE* out) {
-  std::fprintf(out, "requests: %lld finished, %lld rejected\n",
+  std::fprintf(out, "requests: %lld finished, %lld rejected, %lld cancelled\n",
                static_cast<long long>(rep.requests_finished),
-               static_cast<long long>(rep.requests_rejected));
+               static_cast<long long>(rep.requests_rejected),
+               static_cast<long long>(rep.requests_cancelled));
   std::fprintf(out, "steps: %lld (%lld prefill rows, %lld decode rows)\n",
                static_cast<long long>(rep.steps), static_cast<long long>(rep.prefill_rows),
                static_cast<long long>(rep.decode_rows));
+  if (rep.prefill_chunk_slices > 0 || rep.streamed_rows > 0) {
+    std::fprintf(out,
+                 "streaming: %lld rows delivered incrementally; chunked prefill: %lld partial "
+                 "slices across %lld requests\n",
+                 static_cast<long long>(rep.streamed_rows),
+                 static_cast<long long>(rep.prefill_chunk_slices),
+                 static_cast<long long>(rep.chunked_prefill_requests));
+  }
   std::fprintf(out,
                "latency: TTFT %.1f steps (p95 %.1f) / %.2f ms, turnaround %.1f steps "
                "(p95 %.1f), %.3f ms per step\n",

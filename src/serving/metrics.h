@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <map>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -25,9 +26,12 @@ struct RequestMetrics {
   int64_t new_tokens = 0;
   int64_t arrival_step = -1;
   int64_t admit_step = -1;         // latest admission (readmissions overwrite)
-  int64_t first_output_step = -1;  // prefill completed: first token ready
+  int64_t first_output_step = -1;  // prefill completed: first token streamed
   int64_t finish_step = -1;
+  int64_t cancel_step = -1;        // Cancel() terminated the session
   int64_t preemptions = 0;         // times evicted and recomputed
+  int64_t prefill_chunks = 0;      // prefill slices consumed (1 = one-shot)
+  int64_t streamed_rows = 0;       // rows delivered incrementally (cursor/callback)
   double arrival_ms = 0.0;
   double first_output_ms = 0.0;
   double finish_ms = 0.0;
@@ -38,6 +42,9 @@ struct StepMetrics {
   int64_t batch_rows = 0;
   int64_t prefill_rows = 0;
   int64_t decode_rows = 0;
+  // Prefill slices this iteration that were *partial* prompts — a chunked
+  // prefill in flight (0 for every step of an unchunked run).
+  int64_t prefill_chunk_slices = 0;
   int64_t running_sequences = 0;
   int64_t kv_used_pages = 0;   // pages held right after the forward
   int64_t kv_frag_tokens = 0;  // allocated-but-unused token slots (tail pages)
@@ -62,9 +69,16 @@ struct StepMetrics {
 struct ServingReport {
   int64_t requests_finished = 0;
   int64_t requests_rejected = 0;
+  int64_t requests_cancelled = 0;
   int64_t steps = 0;
   int64_t prefill_rows = 0;
   int64_t decode_rows = 0;
+  // Chunked prefill activity: partial-prompt prefill slices across the run,
+  // requests whose prefill spanned more than one iteration, and rows
+  // delivered through the streaming session surface (cursor or callback).
+  int64_t prefill_chunk_slices = 0;
+  int64_t chunked_prefill_requests = 0;
+  int64_t streamed_rows = 0;
   double wall_ms = 0.0;
   double mean_ttft_steps = 0.0;
   double p95_ttft_steps = 0.0;
@@ -100,6 +114,11 @@ struct ServingReport {
   double autotune_tuned_ms = 0.0;    // simulated kernel time, tuned configs
   // default / tuned simulated time; 1.0 when autotuning never ran.
   double autotune_speedup = 0.0;
+
+  // Machine-readable form of the whole report (one JSON object; arrays for
+  // the per-expert/per-shard histograms) — what `samoyeds_cli serve
+  // --report-json=FILE` writes so sweeps never scrape the printed summary.
+  std::string ToJson() const;
 };
 
 class EngineMetrics {
@@ -111,7 +130,12 @@ class EngineMetrics {
   void OnReject(int64_t id);
   void OnFirstOutput(int64_t id, int64_t step);
   void OnFinish(int64_t id, int64_t step);
+  void OnCancel(int64_t id, int64_t step);
   void OnPreempt(int64_t id, int64_t step);
+  // One prefill slice consumed for `id` (chunked prefills record several).
+  void OnPrefillSlice(int64_t id);
+  // `rows` output rows delivered to the session (cursor drain or callback).
+  void OnRowsDelivered(int64_t id, int64_t rows);
   void OnStep(const StepMetrics& step);
   // Accumulates one routed layer's per-expert token counts.
   void OnRoutingPlan(const RoutingPlan& plan);
@@ -146,6 +170,7 @@ class EngineMetrics {
   std::vector<int64_t> expert_tokens_;
   std::vector<int64_t> shard_tokens_;
   int64_t rejected_ = 0;
+  int64_t cancelled_ = 0;
   int64_t autotune_lookups_ = 0;
   int64_t autotune_cache_hits_ = 0;
   double autotune_default_ms_ = 0.0;

@@ -1,15 +1,23 @@
-// Inference request and sequence lifecycle types for the serving engine.
+// Inference request and session lifecycle types for the serving engine.
 //
 // The reproduction has no tokenizer/vocabulary: a request carries its input
 // token *embeddings* directly (prompt rows plus the rows consumed one per
 // decode step — a teacher-forced synthetic workload). This keeps generation
 // deterministic and lets tests compare the engine's incremental, batched
 // execution against a single full-sequence DecoderStackForward* call.
+//
+// A Request is an immutable submission. ServingEngine::Submit returns a
+// SessionHandle (see engine.h) through which the caller observes the
+// session's lifecycle incrementally: output rows finalize per iteration and
+// are delivered through a pollable cursor (NewRows) or an OnRows callback
+// fired inside Step() — the request/response surface is a stream, not a
+// matrix that materializes at drain time.
 
 #ifndef SAMOYEDS_SRC_SERVING_REQUEST_H_
 #define SAMOYEDS_SRC_SERVING_REQUEST_H_
 
 #include <cstdint>
+#include <functional>
 
 #include "src/tensor/matrix.h"
 
@@ -21,31 +29,61 @@ struct Request {
   // Engine step at which the request becomes visible to the scheduler.
   int64_t arrival_step = 0;
   int64_t prompt_len = 0;
+  // Stop condition: the session finishes after exactly `max_new_tokens`
+  // decode rows, even when `inputs` carries more rows than the session will
+  // consume (the surplus is ignored).
   int64_t max_new_tokens = 0;
   // Eviction priority under preemptive scheduling: when the paged KV cache
   // runs out of pages, the lowest-priority (then youngest) resident is
   // evicted first. Higher values survive longer; 0 is the default class.
   int priority = 0;
-  // (prompt_len + max_new_tokens) x hidden input rows; the prompt is consumed
-  // in one prefill iteration, then one row per decode iteration.
+  // At least (prompt_len + max_new_tokens) x hidden input rows; the prompt is
+  // consumed across one or more prefill chunks (see SchedulerConfig::
+  // chunk_tokens), then one row per decode iteration until the stop
+  // condition is reached.
   MatrixF inputs;
 
   int64_t total_tokens() const { return prompt_len + max_new_tokens; }
   bool ShapeValid(int64_t hidden) const {
     return prompt_len >= 1 && max_new_tokens >= 0 && inputs.cols() == hidden &&
-           inputs.rows() == total_tokens();
+           inputs.rows() >= total_tokens();
   }
 };
 
 enum class RequestStatus {
-  kQueued,    // accepted, waiting for scheduler admission (also: preempted
-              // residents awaiting readmission + recompute)
-  kRunning,   // resident in the batch
-  kFinished,  // all tokens produced
-  kRejected,  // can never fit (admission control)
+  kQueued,     // accepted, waiting for scheduler admission (also: preempted
+               // residents awaiting readmission + recompute)
+  kRunning,    // resident in the batch
+  kFinished,   // all tokens produced
+  kRejected,   // can never fit (admission control)
+  kCancelled,  // terminated by SessionHandle::Cancel / ServingEngine::Cancel
 };
 
 const char* RequestStatusName(RequestStatus s);
+
+// True for states a session can never leave (kFinished / kRejected /
+// kCancelled): results are frozen and Cancel() is a no-op.
+bool IsTerminal(RequestStatus s);
+
+// One batch of rows finalized for a session inside Step(): rows
+// [position_begin, position_begin + rows.rows()) of the session's output
+// stream, in sequence order. `finished` marks the delta that completes the
+// session (its last row is the final decode row).
+struct StreamDelta {
+  int64_t session_id = 0;
+  int64_t position_begin = 0;
+  const MatrixF& rows;
+  bool finished = false;
+};
+
+// Optional per-session delivery callback, invoked synchronously inside
+// Step() as rows finalize (engine thread). Rows handed to the callback are
+// considered delivered: the session's polling cursor advances past them.
+// The terminal delta (finished or cancelled session) always fires, even
+// when it carries no new rows. A callback may reenter the engine's session
+// surface (Submit / Cancel / NewRows) but must not call Step() or
+// RunUntilDrained().
+using OnRowsCallback = std::function<void(const StreamDelta&)>;
 
 }  // namespace serving
 }  // namespace samoyeds

@@ -26,6 +26,17 @@ std::vector<Request> RequestQueue::DrainArrived(int64_t step) {
   return arrived;
 }
 
+bool RequestQueue::Remove(int64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->id == id) {
+      queue_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
 int64_t RequestQueue::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return static_cast<int64_t>(queue_.size());

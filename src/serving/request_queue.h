@@ -30,6 +30,10 @@ class RequestQueue {
   // arrival_step <= step.
   std::vector<Request> DrainArrived(int64_t step);
 
+  // Removes the queued request with `id` (session cancellation before the
+  // request ever reached the scheduler). False when no such request queues.
+  bool Remove(int64_t id);
+
   int64_t size() const;
   bool empty() const { return size() == 0; }
 

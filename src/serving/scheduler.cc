@@ -37,13 +37,47 @@ int64_t PageCapacity(const MoeModelConfig& model, MoeFramework framework,
   return TokenCapacity(model, framework, sparse_format, device) / page_tokens;
 }
 
+int64_t PrefillChunkRows(int64_t remaining_prompt, int64_t budget_left,
+                         const SchedulerConfig& config) {
+  assert(remaining_prompt >= 0);
+  if (config.chunk_tokens <= 0) {
+    return remaining_prompt;  // legacy: the whole prompt in one iteration
+  }
+  return std::max<int64_t>(
+      0, std::min({remaining_prompt, config.chunk_tokens, budget_left}));
+}
+
+int64_t FirstChunkRows(int64_t prompt_len, const SchedulerConfig& config) {
+  if (config.chunk_tokens <= 0) {
+    return prompt_len;
+  }
+  // Capped by the whole iteration budget so a chunk_tokens larger than the
+  // budget still admits (into an empty iteration) instead of livelocking.
+  return std::min({prompt_len, config.chunk_tokens, config.token_budget});
+}
+
 void Scheduler::Enqueue(Request request) { pending_.push_back(std::move(request)); }
 
 void Scheduler::Requeue(Request request) { pending_.push_front(std::move(request)); }
 
+bool Scheduler::Cancel(int64_t id) {
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->id == id) {
+      pending_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
 const char* Scheduler::RejectReason(const Request& r) const {
-  if (r.prompt_len > config_.token_budget) {
-    return "prompt exceeds the iteration token budget";
+  // With chunked prefill enabled a prompt of any length is served chunk by
+  // chunk, so "prompt exceeds budget" can no longer happen; the remaining
+  // rejections are memory-capacity conditions, and their reasons are kept
+  // distinct so operators can tell a batch-shape problem from a page-pool
+  // problem.
+  if (config_.chunk_tokens <= 0 && r.prompt_len > config_.token_budget) {
+    return "prompt exceeds the iteration token budget (enable chunked prefill to serve it)";
   }
   if (r.total_tokens() > config_.max_resident_tokens) {
     return "total tokens exceed resident capacity";
@@ -53,12 +87,12 @@ const char* Scheduler::RejectReason(const Request& r) const {
     // Even alone on an empty pool the sequence could never hold its full
     // prompt+decode KV footprint, so with recompute-on-readmission preemption
     // it would thrash forever.
-    return "total tokens exceed the KV page budget";
+    return "KV page capacity: total tokens exceed the page budget";
   }
   return nullptr;
 }
 
-AdmissionDecision Scheduler::Admit(int64_t decode_rows, const ResidentSnapshot& resident) {
+AdmissionDecision Scheduler::Admit(int64_t committed_rows, const ResidentSnapshot& resident) {
   AdmissionDecision decision;
 
   // Infeasible requests are filtered first so they never block a queue scan.
@@ -82,23 +116,31 @@ AdmissionDecision Scheduler::Admit(int64_t decode_rows, const ResidentSnapshot& 
     });
   }
 
-  int64_t batch_rows = decode_rows;
+  int64_t batch_rows = committed_rows;
   int64_t tokens = resident.tokens;
   int64_t sequences = resident.sequences;
-  // Page accounting basis: with preemption the admitted prompt only has to
-  // fit next to what is in use right now (decode growth evicts later); without
-  // it the whole lifetime must be coverable so decode can never strand.
+  // Page accounting basis: with preemption the admitted rows only have to
+  // fit next to what is in use right now (later growth evicts residents);
+  // without it the whole lifetime must be coverable so the sequence can
+  // never strand. Chunked prefill narrows the optimistic charge further —
+  // only the first chunk's pages are claimed this iteration; later chunks
+  // are iteration growth exactly like decode rows.
   int64_t pages = config_.preempt ? resident.used_pages : resident.reserved_pages;
   std::vector<bool> taken(pending_.size(), false);
   for (size_t idx : order) {
     const Request& r = pending_[idx];
+    // Batch-row charge: the first prefill chunk (whole prompt when chunking
+    // is off). Chunks are never trimmed below chunk_tokens at admission —
+    // a request waits rather than start with a sliver.
+    const int64_t need_rows = FirstChunkRows(r.prompt_len, config_);
+    const int64_t optimistic_tokens = config_.chunk_tokens > 0 ? need_rows : r.prompt_len;
     const int64_t need_pages =
         config_.max_pages <= 0
             ? 0
-            : PagesForTokens(config_.preempt ? r.prompt_len : r.total_tokens(),
+            : PagesForTokens(config_.preempt ? optimistic_tokens : r.total_tokens(),
                              config_.page_tokens);
     const bool fits =
-        batch_rows + r.prompt_len <= config_.token_budget &&
+        batch_rows + need_rows <= config_.token_budget &&
         tokens + r.total_tokens() <= config_.max_resident_tokens &&
         (config_.max_pages <= 0 || pages + need_pages <= config_.max_pages) &&
         (config_.max_resident_sequences == 0 ||
@@ -109,7 +151,7 @@ AdmissionDecision Scheduler::Admit(int64_t decode_rows, const ResidentSnapshot& 
       }
       continue;  // smallest-first / token-budget: try the next candidate
     }
-    batch_rows += r.prompt_len;
+    batch_rows += need_rows;
     tokens += r.total_tokens();
     pages += need_pages;
     ++sequences;

@@ -45,9 +45,18 @@ const char* SchedulerPolicyName(SchedulerPolicy p);
 
 struct SchedulerConfig {
   SchedulerPolicy policy = SchedulerPolicy::kFcfs;
-  // Max rows per iteration (prefill + decode). Prompts longer than this are
-  // rejected (chunked prefill is follow-on work, see ROADMAP).
+  // Max rows per iteration (prefill + decode). With chunked prefill off
+  // (chunk_tokens == 0) prompts longer than this are rejected outright.
   int64_t token_budget = 256;
+  // Sarathi-style chunked prefill: when > 0, a prompt is consumed across
+  // iterations in chunks of at most `chunk_tokens` rows (each chunk further
+  // capped by the iteration's leftover token budget), interleaved with the
+  // resident decode rows — so prompts longer than the token budget are
+  // served instead of rejected, and admission charges the first chunk
+  // rather than the whole prompt. Chunking is lossless: causal prefix
+  // caching makes the chunked outputs bit-identical to one-shot prefill.
+  // 0 disables chunking (legacy whole-prompt prefill).
+  int64_t chunk_tokens = 0;
   // Max resident prompt+generation tokens across all running sequences.
   int64_t max_resident_tokens = 1 << 20;
   // 0 = unlimited.
@@ -72,6 +81,20 @@ int64_t TokenCapacity(const MoeModelConfig& model, MoeFramework framework,
 int64_t PageCapacity(const MoeModelConfig& model, MoeFramework framework,
                      const SamoyedsConfig& sparse_format, const DeviceSpec& device,
                      int64_t page_tokens);
+
+// Rows the next prefill slice of a sequence with `remaining_prompt` rows
+// still unconsumed takes under `config`, given `budget_left` uncommitted
+// batch rows this iteration. Chunking off: the whole remaining prompt (the
+// caller guaranteed it fits — admission rejected longer prompts). Chunking
+// on: min(remaining, chunk_tokens, budget_left), which may be 0 — the
+// sequence sits the iteration out. Shared by Scheduler::Admit and the
+// engine's batch planning so the two can never disagree on row accounting.
+int64_t PrefillChunkRows(int64_t remaining_prompt, int64_t budget_left,
+                         const SchedulerConfig& config);
+
+// The batch rows admission charges a not-yet-started prompt: its first
+// prefill chunk (the whole prompt with chunking off).
+int64_t FirstChunkRows(int64_t prompt_len, const SchedulerConfig& config);
 
 // Current engine occupancy, input to the admission decision.
 struct ResidentSnapshot {
@@ -110,10 +133,17 @@ class Scheduler {
   // (and recomputed from scratch) as soon as pages free up.
   void Requeue(Request request);
 
-  // Decides admissions for the iteration whose resident sequences will
-  // contribute `decode_rows` rows. Admitted requests are removed from the
-  // pending list; infeasible ones are returned as rejected.
-  AdmissionDecision Admit(int64_t decode_rows, const ResidentSnapshot& resident);
+  // Removes the pending request with `id` (session cancellation while
+  // awaiting admission). False when `id` is not pending.
+  bool Cancel(int64_t id);
+
+  // Decides admissions for the iteration whose resident sequences already
+  // committed `committed_rows` batch rows (one decode row per decode-phase
+  // resident plus the prefill chunks of residents still mid-prompt).
+  // Admitted requests are removed from the pending list; infeasible ones are
+  // returned as rejected. An admitted prompt is charged its *first chunk*
+  // against the token budget (the whole prompt with chunking off).
+  AdmissionDecision Admit(int64_t committed_rows, const ResidentSnapshot& resident);
 
   // Eviction policy: index of the resident to preempt — lowest priority
   // first, then the youngest (largest admit_seq), then the largest id.

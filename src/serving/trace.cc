@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <sstream>
 
 #include "src/tensor/bf16.h"
@@ -18,6 +19,7 @@ std::vector<TraceEntry> ParseTraceFile(const std::string& path, std::string* err
     return {};
   }
   std::vector<TraceEntry> entries;
+  std::set<int64_t> pinned_ids;
   std::string line;
   int64_t line_no = 0;
   while (std::getline(in, line)) {
@@ -35,11 +37,18 @@ std::vector<TraceEntry> ParseTraceFile(const std::string& path, std::string* err
     bool ok = static_cast<bool>(fields >> e.arrival_step >> e.prompt_len >> e.max_new_tokens);
     if (ok && !(fields >> e.priority)) {
       fields.clear();  // fourth column (priority) is optional
+    } else if (ok && !(fields >> e.id)) {
+      fields.clear();  // fifth column (pinned id) is optional too
     }
     if (!ok || (fields >> trailing) || e.arrival_step < 0 || e.prompt_len < 1 ||
-        e.max_new_tokens < 0) {
+        e.max_new_tokens < 0 || (e.id < 0 && e.id != -1)) {
       *error = path + ":" + std::to_string(line_no) +
-               ": expected '<arrival_step> <prompt_len> <max_new_tokens> [priority]'";
+               ": expected '<arrival_step> <prompt_len> <max_new_tokens> [priority [id]]'";
+      return {};
+    }
+    if (e.id >= 0 && !pinned_ids.insert(e.id).second) {
+      *error = path + ":" + std::to_string(line_no) + ": duplicate request id " +
+               std::to_string(e.id);
       return {};
     }
     entries.push_back(e);
@@ -48,6 +57,29 @@ std::vector<TraceEntry> ParseTraceFile(const std::string& path, std::string* err
     *error = "trace file has no requests: " + path;
   }
   return entries;
+}
+
+std::vector<int64_t> AssignTraceIds(const std::vector<TraceEntry>& entries) {
+  std::set<int64_t> pinned;
+  for (const TraceEntry& e : entries) {
+    if (e.id >= 0) {
+      pinned.insert(e.id);
+    }
+  }
+  std::vector<int64_t> ids;
+  ids.reserve(entries.size());
+  int64_t next = 0;
+  for (const TraceEntry& e : entries) {
+    if (e.id >= 0) {
+      ids.push_back(e.id);
+      continue;
+    }
+    while (pinned.count(next) != 0) {
+      ++next;
+    }
+    ids.push_back(next++);
+  }
+  return ids;
 }
 
 std::vector<TraceEntry> SyntheticTrace(Rng& rng, int count, double arrivals_per_step,

@@ -2,9 +2,12 @@
 // generation (Poisson-ish arrivals, uniform prompt/decode lengths).
 //
 // Trace file format, one request per line, '#' comments:
-//   <arrival_step> <prompt_len> <max_new_tokens> [priority]
+//   <arrival_step> <prompt_len> <max_new_tokens> [priority [id]]
 // The optional priority feeds the preemption policy (higher survives longer;
-// omitted = 0).
+// omitted = 0). The optional id pins the request's session id (so a client
+// can cancel or poll it by a stable name across trace edits); omitted ids
+// are assigned sequentially, skipping pinned ones. Duplicate pinned ids are
+// a parse error — the engine would refuse the second submission.
 
 #ifndef SAMOYEDS_SRC_SERVING_TRACE_H_
 #define SAMOYEDS_SRC_SERVING_TRACE_H_
@@ -24,10 +27,18 @@ struct TraceEntry {
   int64_t prompt_len = 0;
   int64_t max_new_tokens = 0;
   int priority = 0;
+  int64_t id = -1;  // pinned session id; -1 = assign sequentially
 };
 
 // Parses a trace file; on failure returns an empty vector and sets *error.
+// Tolerates CRLF line endings, arbitrary inter-field whitespace, blank
+// lines and '#' comments; rejects malformed fields, wrong column counts,
+// negative values and duplicate pinned ids, with a file:line error.
 std::vector<TraceEntry> ParseTraceFile(const std::string& path, std::string* error);
+
+// Session ids for a parsed trace, in entry order: pinned ids verbatim,
+// unpinned entries numbered sequentially from 0 skipping every pinned id.
+std::vector<int64_t> AssignTraceIds(const std::vector<TraceEntry>& entries);
 
 // `arrivals_per_step` > 0 spaces requests with geometric inter-arrival gaps
 // of mean 1/arrivals_per_step; lengths are uniform in the given ranges.

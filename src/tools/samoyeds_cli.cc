@@ -41,6 +41,7 @@ void PrintUsage(std::FILE* out) {
       "  encode <rows> <cols> <N> <M> <V>           random-matrix encoding demo\n"
       "  serve <model|tiny> <trace|synthetic:N>     continuous-batching serving engine\n"
       "        [--policy=fcfs|smallest-first|token-budget] [--budget=N]\n"
+      "        [--chunk-tokens=N] [--stream[=0|1]] [--report-json=FILE]\n"
       "        [--max-resident=N] [--page-tokens=N] [--max-pages=N|auto]\n"
       "        [--preempt=0|1] [--threads=N] [--layers=N] [--hidden=N]\n"
       "        [--inter=N] [--experts=N] [--top-k=N] [--heads=N] [--rate=R]\n"
@@ -48,6 +49,12 @@ void PrintUsage(std::FILE* out) {
       "        [--seed=N] [--autotune=0|1] [--routing=top-k|expert-choice]\n"
       "        [--shards=N] [--placement=round-robin|capacity|gate-stats]\n"
       "        [--link-gbps=R] [--link-us=R]\n"
+      "        --chunk-tokens=N serves prompts longer than the token budget by\n"
+      "        splitting prefill into <=N-row chunks interleaved with decode rows\n"
+      "        (outputs bit-identical to one-shot prefill; 0 = off);\n"
+      "        --stream prints each session's rows as they finalize per iteration\n"
+      "        (the OnRows streaming callback); --report-json=FILE writes the\n"
+      "        machine-readable ServingReport;\n"
       "        --max-pages bounds the paged KV cache (admission switches to page\n"
       "        accounting; 'auto' derives the budget from the Table-3 memory model);\n"
       "        --preempt=1 evicts lowest-priority/youngest residents under pressure;\n"
@@ -245,6 +252,9 @@ struct ServeOptions {
   std::string trace;
   serving::SchedulerPolicy policy = serving::SchedulerPolicy::kTokenBudget;
   int64_t budget = 128;
+  int64_t chunk_tokens = 0;   // 0 = chunked prefill off
+  bool stream = false;        // print per-iteration streamed rows
+  std::string report_json;    // write ServingReport::ToJson here
   int64_t max_resident = 4096;
   int64_t page_tokens = 16;
   int64_t max_pages = 0;      // 0 = monolithic token accounting
@@ -272,6 +282,10 @@ struct ServeOptions {
 };
 
 bool ParseServeFlag(const std::string& arg, ServeOptions& opt) {
+  if (arg == "--stream") {  // bare form; --stream=0|1 also accepted below
+    opt.stream = true;
+    return true;
+  }
   const size_t eq = arg.find('=');
   if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
     return false;
@@ -291,6 +305,19 @@ bool ParseServeFlag(const std::string& arg, ServeOptions& opt) {
     }
   } else if (key == "--budget") {
     opt.budget = ParseI64(value, "budget");
+  } else if (key == "--chunk-tokens") {
+    // Shared strict parser (no raw atoi): garbage or trailing junk exits
+    // with a diagnostic instead of silently serving with chunking off.
+    opt.chunk_tokens = ParseI64(value, "chunk-tokens");
+  } else if (key == "--stream") {
+    const int64_t v = ParseI64(value, "stream");
+    if (v != 0 && v != 1) {
+      std::fprintf(stderr, "invalid stream: '%s' (expected 0 or 1)\n", value);
+      std::exit(2);
+    }
+    opt.stream = v == 1;
+  } else if (key == "--report-json") {
+    opt.report_json = value;
   } else if (key == "--max-resident") {
     opt.max_resident = ParseI64(value, "max-resident");
   } else if (key == "--page-tokens") {
@@ -431,6 +458,10 @@ int CmdServe(int argc, char** argv) {
     std::fprintf(stderr, "need page-tokens >= 1 and max-pages >= 0\n");
     return 2;
   }
+  if (opt.chunk_tokens < 0) {
+    std::fprintf(stderr, "need chunk-tokens >= 0 (0 disables chunked prefill)\n");
+    return 2;
+  }
   if (opt.shards < 1) {
     std::fprintf(stderr, "need shards >= 1\n");
     return 2;
@@ -509,6 +540,7 @@ int CmdServe(int argc, char** argv) {
   engine_cfg.link_latency_us = opt.link_us;
   engine_cfg.scheduler.policy = opt.policy;
   engine_cfg.scheduler.token_budget = opt.budget;
+  engine_cfg.scheduler.chunk_tokens = opt.chunk_tokens;
   engine_cfg.scheduler.max_resident_tokens = opt.max_resident;
   engine_cfg.scheduler.page_tokens = opt.page_tokens;
   engine_cfg.scheduler.max_pages = opt.max_pages;
@@ -521,6 +553,11 @@ int CmdServe(int argc, char** argv) {
   std::printf("scheduler: %s, token budget %lld, max resident tokens %lld, %d expert threads\n",
               serving::SchedulerPolicyName(opt.policy), static_cast<long long>(opt.budget),
               static_cast<long long>(opt.max_resident), opt.threads);
+  if (opt.chunk_tokens > 0) {
+    std::printf("chunked prefill: <= %lld rows per chunk (long prompts interleave with "
+                "decode; outputs identical to one-shot prefill)\n",
+                static_cast<long long>(opt.chunk_tokens));
+  }
   std::printf("routing: %s\n", serving::RoutingAlgoName(opt.routing));
   if (opt.shards > 1) {
     const DeviceSpec& dev = engine.cluster().device(0);
@@ -538,13 +575,41 @@ int CmdServe(int argc, char** argv) {
   }
   std::printf("trace: %zu requests\n\n", entries.size());
 
+  // Streaming delivery: rows print as they finalize inside Step(), tagged
+  // with the session and sequence positions — the client-visible view of
+  // iteration-level scheduling (chunked prefills surface as several partial
+  // deliveries before the first decode row).
+  serving::OnRowsCallback on_rows;
+  if (opt.stream) {
+    on_rows = [&engine](const serving::StreamDelta& delta) {
+      std::printf("[step %5lld] session %lld: rows [%lld, %lld)%s\n",
+                  static_cast<long long>(engine.current_step()),
+                  static_cast<long long>(delta.session_id),
+                  static_cast<long long>(delta.position_begin),
+                  static_cast<long long>(delta.position_begin + delta.rows.rows()),
+                  delta.finished ? " [finished]" : "");
+    };
+  }
+
+  const std::vector<int64_t> ids = serving::AssignTraceIds(entries);
   for (size_t i = 0; i < entries.size(); ++i) {
-    engine.Submit(
-        serving::MakeRequest(rng, static_cast<int64_t>(i), entries[i], opt.hidden));
+    engine.Submit(serving::MakeRequest(rng, ids[i], entries[i], opt.hidden), on_rows);
   }
   const int64_t iterations = engine.RunUntilDrained(/*max_steps=*/1000000);
 
-  serving::EngineMetrics::Print(engine.Report(), stdout);
+  const serving::ServingReport report = engine.Report();
+  serving::EngineMetrics::Print(report, stdout);
+  if (!opt.report_json.empty()) {
+    std::FILE* f = std::fopen(opt.report_json.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", opt.report_json.c_str());
+      return 2;
+    }
+    const std::string json = report.ToJson();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", opt.report_json.c_str());
+  }
   if (engine.queued() > 0 || engine.resident_sequences() > 0) {
     std::fprintf(stderr,
                  "warning: undrained after %lld iterations (%lld queued, %lld resident) — "

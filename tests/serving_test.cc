@@ -275,6 +275,86 @@ TEST(SchedulerTest, PreemptiveAdmissionOnlyChargesThePrompt) {
   EXPECT_TRUE(conservative.Admit(1, resident).admitted.empty());
 }
 
+// ---- Scheduler: chunked prefill ---------------------------------------------
+
+TEST(SchedulerTest, ChunkedAdmissionChargesTheFirstChunkNotTheWholePrompt) {
+  SchedulerConfig cfg;
+  cfg.policy = SchedulerPolicy::kFcfs;
+  cfg.token_budget = 16;
+  cfg.chunk_tokens = 4;
+  Scheduler sched(cfg);
+  // 40-row prompt: rejected outright without chunking, admitted with it —
+  // only its 4-row first chunk counts against the iteration budget.
+  sched.Enqueue(Sized(1, 40, 4));
+  sched.Enqueue(Sized(2, 8, 2));
+
+  const auto decision = sched.Admit(0, ResidentSnapshot{});
+  EXPECT_TRUE(decision.rejected.empty());
+  ASSERT_EQ(decision.admitted.size(), 2u);
+  EXPECT_EQ(decision.admitted[0].id, 1);
+  EXPECT_EQ(decision.admitted[1].id, 2);
+
+  Scheduler unchunked(SchedulerConfig{.policy = SchedulerPolicy::kFcfs, .token_budget = 16});
+  unchunked.Enqueue(Sized(1, 40, 4));
+  const auto rejected = unchunked.Admit(0, ResidentSnapshot{});
+  ASSERT_EQ(rejected.rejected.size(), 1u);
+  EXPECT_NE(std::strstr(rejected.rejected[0].reason, "token budget"), nullptr);
+}
+
+TEST(SchedulerTest, ChunkSizingHelpersRespectBudgetAndRemainder) {
+  SchedulerConfig cfg;
+  cfg.token_budget = 16;
+  cfg.chunk_tokens = 6;
+  EXPECT_EQ(FirstChunkRows(40, cfg), 6);   // full chunk
+  EXPECT_EQ(FirstChunkRows(4, cfg), 4);    // short prompt: one whole chunk
+  EXPECT_EQ(PrefillChunkRows(40, 16, cfg), 6);
+  EXPECT_EQ(PrefillChunkRows(40, 3, cfg), 3);   // trimmed to leftover budget
+  EXPECT_EQ(PrefillChunkRows(5, 16, cfg), 5);   // final partial chunk
+  EXPECT_EQ(PrefillChunkRows(40, 0, cfg), 0);   // starved: sits out
+  cfg.chunk_tokens = 64;  // cap larger than the budget still admits
+  EXPECT_EQ(FirstChunkRows(100, cfg), 16);
+  cfg.chunk_tokens = 0;   // chunking off: the whole remaining prompt
+  EXPECT_EQ(PrefillChunkRows(12, 3, cfg), 12);
+  EXPECT_EQ(FirstChunkRows(12, cfg), 12);
+}
+
+TEST(SchedulerTest, ChunkedPagedAdmissionChargesOnlyTheFirstChunkWhenPreemptive) {
+  // Optimistic paged accounting + chunking: only the first chunk's pages
+  // must fit right now; later chunks are iteration growth handled by the
+  // eviction loop. Conservative accounting still reserves the full lifetime.
+  SchedulerConfig cfg = PagedConfig(/*page_tokens=*/4, /*max_pages=*/8, /*preempt=*/true);
+  cfg.chunk_tokens = 4;
+  Scheduler sched(cfg);
+  sched.Enqueue(Sized(1, 16, 8));  // lifetime 24 tokens = 6 pages, chunk = 1 page
+
+  ResidentSnapshot resident;
+  resident.sequences = 1;
+  resident.used_pages = 7;      // room for exactly one more page
+  resident.reserved_pages = 8;
+  const auto decision = sched.Admit(1, resident);
+  ASSERT_EQ(decision.admitted.size(), 1u);
+
+  SchedulerConfig conservative_cfg = PagedConfig(4, 8, /*preempt=*/false);
+  conservative_cfg.chunk_tokens = 4;
+  Scheduler conservative(conservative_cfg);
+  conservative.Enqueue(Sized(1, 16, 8));
+  EXPECT_TRUE(conservative.Admit(1, resident).admitted.empty());
+}
+
+TEST(SchedulerTest, CancelRemovesAPendingRequest) {
+  SchedulerConfig cfg;
+  cfg.token_budget = 16;
+  Scheduler sched(cfg);
+  sched.Enqueue(Sized(1, 4, 4));
+  sched.Enqueue(Sized(2, 4, 4));
+  EXPECT_TRUE(sched.Cancel(1));
+  EXPECT_FALSE(sched.Cancel(1));  // already gone
+  EXPECT_FALSE(sched.Cancel(7));  // never enqueued
+  const auto decision = sched.Admit(0, ResidentSnapshot{});
+  ASSERT_EQ(decision.admitted.size(), 1u);
+  EXPECT_EQ(decision.admitted[0].id, 2);
+}
+
 TEST(SchedulerTest, PickVictimPrefersLowPriorityThenYoungest) {
   const std::vector<VictimCandidate> residents = {
       {10, /*priority=*/1, /*admit_seq=*/0},
@@ -913,65 +993,6 @@ TEST(ExpertChoiceServingTest, SkewedTraceBalancesExpertsAndTailLatency) {
   // tile-quantized shapes the two may tie, never invert).
   EXPECT_LE(expert_choice.p95_turnaround_steps, topk.p95_turnaround_steps);
   EXPECT_LE(expert_choice.est_compute_ms, topk.est_compute_ms * (1.0 + 1e-9));
-}
-
-// ---- Trace ------------------------------------------------------------------
-
-TEST(TraceTest, SyntheticTraceShapesAndArrivalMonotonicity) {
-  Rng rng(81);
-  const auto entries = SyntheticTrace(rng, 40, 0.5, 4, 16, 1, 8);
-  ASSERT_EQ(entries.size(), 40u);
-  int64_t prev = 0;
-  for (const auto& e : entries) {
-    EXPECT_GE(e.arrival_step, prev);
-    EXPECT_GE(e.prompt_len, 4);
-    EXPECT_LE(e.prompt_len, 16);
-    EXPECT_GE(e.max_new_tokens, 1);
-    EXPECT_LE(e.max_new_tokens, 8);
-    prev = e.arrival_step;
-  }
-}
-
-TEST(TraceTest, ParseTraceFileRoundTrip) {
-  const std::string path = ::testing::TempDir() + "/serving_trace_test.txt";
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  ASSERT_NE(f, nullptr);
-  std::fputs("# step prompt decode [priority]\n0 8 4\n2 16 8  # inline comment\n\n5 4 0\n"
-             "6 4 2 3\n",
-             f);
-  std::fclose(f);
-
-  std::string error;
-  const auto entries = ParseTraceFile(path, &error);
-  EXPECT_TRUE(error.empty()) << error;
-  ASSERT_EQ(entries.size(), 4u);
-  EXPECT_EQ(entries[1].arrival_step, 2);
-  EXPECT_EQ(entries[1].prompt_len, 16);
-  EXPECT_EQ(entries[2].max_new_tokens, 0);
-  EXPECT_EQ(entries[2].priority, 0);  // omitted priority defaults to 0
-  EXPECT_EQ(entries[3].priority, 3);  // optional fourth column
-
-  std::FILE* bad = std::fopen(path.c_str(), "w");
-  std::fputs("0 8\n", bad);  // missing field
-  std::fclose(bad);
-  EXPECT_TRUE(ParseTraceFile(path, &error).empty());
-  EXPECT_FALSE(error.empty());
-
-  // A garbage line must be an error, not silently skipped as a comment.
-  std::FILE* garbage = std::fopen(path.c_str(), "w");
-  std::fputs("0 8 4\nnot a line\n", garbage);
-  std::fclose(garbage);
-  error.clear();
-  EXPECT_TRUE(ParseTraceFile(path, &error).empty());
-  EXPECT_FALSE(error.empty());
-
-  // Five fields (anything after the optional priority) is also an error.
-  std::FILE* extra = std::fopen(path.c_str(), "w");
-  std::fputs("0 8 4 1 9\n", extra);
-  std::fclose(extra);
-  error.clear();
-  EXPECT_TRUE(ParseTraceFile(path, &error).empty());
-  EXPECT_FALSE(error.empty());
 }
 
 }  // namespace
