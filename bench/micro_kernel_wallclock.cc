@@ -386,12 +386,14 @@ int RunBench(int argc, char** argv) {
     }
     char head[512];
     std::snprintf(head, sizeof(head),
-                  "{\n  \"bench\": \"micro_kernel_wallclock\",\n  \"mode\": \"%s\",\n"
+                  "{\n  \"bench\": \"micro_kernel_wallclock\",\n  \"schema_version\": 1,\n"
+                  "  \"mode\": \"%s\",\n"
+                  "  \"config\": {\"threads\": %d, \"seconds\": %.3f},\n"
                   "  \"shape\": {\"hidden\": %lld, \"intermediate\": %lld, \"tokens\": %lld, "
                   "\"experts\": %d, \"top_k\": %d, \"format\": [1, 2, 32]},\n"
                   "  \"kernel_speedup\": %.3f,\n  \"bit_identical\": %s,\n"
                   "  \"moe_workspace_steady_allocs\": %.2f,\n  \"results\": [\n",
-                  smoke ? "smoke" : "full", static_cast<long long>(hidden),
+                  smoke ? "smoke" : "full", threads, seconds, static_cast<long long>(hidden),
                   static_cast<long long>(inter), static_cast<long long>(tokens), num_experts,
                   top_k, kernel_speedup, bit_identical ? "true" : "false", moe_steady_allocs);
     std::FILE* f = std::fopen(json_path.c_str(), "w");

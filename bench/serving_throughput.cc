@@ -4,7 +4,9 @@
 // vs TTFT/turnaround, gated on bit-identity with one-shot prefill), and an
 // expert-parallel shard sweep (shard count x routing skew x placement) that
 // doubles as the CI gate for sharded-vs-unsharded bit identity (`--smoke`
-// runs a reduced sweep; any bit divergence exits non-zero).
+// runs a reduced sweep; any bit divergence exits non-zero), plus a tracing
+// overhead gate: the chunked cell re-run with the flight recorder at full
+// detail must stay within 5% tokens/s of untraced and bit-identical.
 //
 // `--json=PATH` emits every sweep cell as machine-readable JSON (the
 // committed BENCH_serving.json is a pinned-seed full run), so the serving
@@ -24,6 +26,7 @@
 
 #include "bench/bench_util.h"
 #include "src/moe/decoder_layer.h"
+#include "src/obs/tracer.h"
 #include "src/serving/engine.h"
 #include "src/serving/trace.h"
 #include "src/tensor/rng.h"
@@ -207,7 +210,9 @@ class JsonCells {
     cells_ += buf;
   }
 
-  // Wraps the cells in the bench-level envelope and writes them.
+  // Wraps the cells in the bench-level envelope and writes them. The
+  // envelope carries a schema version and the fixed bench configuration so
+  // an archived artifact is self-describing.
   bool Write(const std::string& path, bool smoke) const {
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
@@ -215,9 +220,13 @@ class JsonCells {
       return false;
     }
     std::fprintf(f,
-                 "{\n  \"bench\": \"serving_throughput\",\n  \"mode\": \"%s\",\n"
-                 "  \"seed\": 7,\n  \"cells\": [\n%s\n  ]\n}\n",
-                 smoke ? "smoke" : "full", cells_.c_str());
+                 "{\n  \"bench\": \"serving_throughput\",\n  \"schema_version\": 1,\n"
+                 "  \"mode\": \"%s\",\n  \"seed\": 7,\n"
+                 "  \"config\": {\"hidden\": %d, \"intermediate\": %d, \"experts\": %d, "
+                 "\"top_k\": %d, \"heads\": %d, \"requests\": %d},\n"
+                 "  \"cells\": [\n%s\n  ]\n}\n",
+                 smoke ? "smoke" : "full", kHidden, kInter, kExperts, kTopK, kHeads,
+                 kRequests, cells_.c_str());
     std::fclose(f);
     std::printf("wrote %s\n", path.c_str());
     return true;
@@ -416,6 +425,82 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ---- Tracing overhead gate (also a CI gate) ------------------------------
+  // The chunked cell (budget 32, chunk 8) is re-run untraced and traced at
+  // full detail (every span and counter live, default per-thread rings).
+  // Best-of-3 wall-clock tokens/s on each side absorbs scheduler noise; the
+  // gate demands traced >= 95% of untraced AND bit-identical outputs, so the
+  // instrumentation can never silently become a perf or correctness tax.
+  const int trace_requests = smoke ? 6 : 16;
+  PrintHeader("Tracing overhead: chunked serving (budget 32, chunk 8) untraced vs "
+              "traced at full detail (best of 3; outputs must be bit-identical)");
+  std::printf("%10s %12s %12s %12s %10s\n", "tracing", "tokens/s", "TTFT steps",
+              "events", "identical");
+  ChunkRun untraced;
+  for (int rep = 0; rep < 3; ++rep) {
+    ChunkRun run = RunChunkCell(/*seed=*/7, /*budget=*/32, /*chunk_tokens=*/8,
+                                trace_requests);
+    if (rep == 0 || run.report.tokens_per_second > untraced.report.tokens_per_second) {
+      untraced = std::move(run);
+    }
+  }
+  ChunkRun traced;
+  int64_t trace_events = 0;
+  int64_t trace_dropped = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    // Ring sized to the workload (verified: nothing is overwritten) so the
+    // gate measures the steady-state emit path. The default 256K-slot rings
+    // are one-time warmup allocation, which on a millisecond-scale cell
+    // would swamp the per-event cost being gated here.
+    obs::Tracer::Get().Start(obs::TraceDetail::kFull, /*ring_capacity=*/1 << 12);
+    ChunkRun run = RunChunkCell(/*seed=*/7, /*budget=*/32, /*chunk_tokens=*/8,
+                                trace_requests);
+    obs::Tracer::Get().Stop();
+    if (rep == 0 || run.report.tokens_per_second > traced.report.tokens_per_second) {
+      traced = std::move(run);
+      trace_events = obs::Tracer::Get().total_events();
+    }
+    trace_dropped += obs::Tracer::Get().dropped_events();
+  }
+  bool trace_identical = untraced.outputs.size() == traced.outputs.size();
+  for (size_t i = 0; trace_identical && i < traced.outputs.size(); ++i) {
+    trace_identical = traced.outputs[i] == untraced.outputs[i];
+  }
+  const double overhead_ratio =
+      untraced.report.tokens_per_second > 0.0
+          ? traced.report.tokens_per_second / untraced.report.tokens_per_second
+          : 0.0;
+  cells.Add("tracing_overhead", Params("\"tracing\": \"off\""), untraced.report);
+  cells.Add("tracing_overhead",
+            Params("\"tracing\": \"full\", \"overhead_ratio\": %.4f", overhead_ratio),
+            traced.report, trace_identical ? 1 : 0);
+  std::printf("%10s %12.1f %12.1f %12s %10s\n", "off",
+              untraced.report.tokens_per_second, untraced.report.mean_ttft_steps, "-",
+              "base");
+  std::printf("%10s %12.1f %12.1f %12lld %10s\n", "full",
+              traced.report.tokens_per_second, traced.report.mean_ttft_steps,
+              static_cast<long long>(trace_events), trace_identical ? "yes" : "NO");
+  std::printf("tracing overhead: traced runs at %.1f%% of untraced tokens/s "
+              "(gate: >= 95%%)\n", 100.0 * overhead_ratio);
+  int trace_failures = 0;
+  if (trace_dropped > 0) {
+    std::fprintf(stderr,
+                 "FAIL: %lld event(s) overwritten — ring too small for the gate cell, "
+                 "Start cost would leak into the measurement\n",
+                 static_cast<long long>(trace_dropped));
+    ++trace_failures;
+  }
+  if (!trace_identical) {
+    std::fprintf(stderr, "FAIL: traced run diverged bit-wise from the untraced run\n");
+    ++trace_failures;
+  }
+  if (overhead_ratio < 0.95) {
+    std::fprintf(stderr,
+                 "FAIL: full-detail tracing costs %.1f%% tokens/s (budget: 5%%)\n",
+                 100.0 * (1.0 - overhead_ratio));
+    ++trace_failures;
+  }
+
   if (!json_path.empty() && !cells.Write(json_path, smoke)) {
     return 2;
   }
@@ -429,5 +514,5 @@ int main(int argc, char** argv) {
                  "FAIL: %d sharded run(s) diverged bit-wise from the unsharded baseline\n",
                  divergences);
   }
-  return (divergences > 0 || chunk_divergences > 0) ? 1 : 0;
+  return (divergences > 0 || chunk_divergences > 0 || trace_failures > 0) ? 1 : 0;
 }

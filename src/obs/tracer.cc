@@ -1,0 +1,275 @@
+#include "src/obs/tracer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace samoyeds {
+namespace obs {
+
+namespace {
+
+// Name applied when this thread's buffer registers; survives Start/Stop
+// cycles so pool workers name themselves once at spawn.
+thread_local std::string t_thread_name;
+
+// Per-thread buffer cache: valid while the epoch matches, so a Start() (new
+// capture) forces re-registration and a fresh ring.
+struct ThreadCache {
+  uint64_t epoch = 0;
+  void* buffer = nullptr;  // Tracer::ThreadBuffer*, opaque here
+};
+thread_local ThreadCache t_cache;
+
+}  // namespace
+
+const char* TraceDetailName(TraceDetail d) {
+  switch (d) {
+    case TraceDetail::kStep:
+      return "step";
+    case TraceDetail::kRequest:
+      return "request";
+    case TraceDetail::kFull:
+      return "full";
+  }
+  return "?";
+}
+
+bool ParseTraceDetail(const char* s, TraceDetail* out) {
+  if (std::strcmp(s, "step") == 0) {
+    *out = TraceDetail::kStep;
+  } else if (std::strcmp(s, "request") == 0) {
+    *out = TraceDetail::kRequest;
+  } else if (std::strcmp(s, "full") == 0) {
+    *out = TraceDetail::kFull;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void SetThreadName(const std::string& name) { t_thread_name = name; }
+
+Tracer& Tracer::Get() {
+  static Tracer* tracer = new Tracer();  // leaked: emitters may outlive main
+  return *tracer;
+}
+
+void Tracer::Start(TraceDetail detail, int64_t ring_capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_.store(false, std::memory_order_relaxed);
+  buffers_.clear();
+  detail_ = detail;
+  ring_capacity_ = std::max<int64_t>(16, ring_capacity);
+  start_tp_ = std::chrono::steady_clock::now();
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::Stop() { enabled_.store(false, std::memory_order_relaxed); }
+
+int64_t Tracer::NowNs() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - start_tp_)
+      .count();
+}
+
+Tracer::ThreadBuffer* Tracer::RegisterThread() {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto buffer = std::make_unique<ThreadBuffer>();
+  buffer->ring.resize(static_cast<size_t>(ring_capacity_));
+  buffer->tid = static_cast<int>(buffers_.size()) + 1;
+  if (!t_thread_name.empty()) {
+    buffer->name = t_thread_name;
+  } else {
+    char fallback[32];
+    std::snprintf(fallback, sizeof(fallback), "thread-%d", buffer->tid);
+    buffer->name = fallback;
+  }
+  ThreadBuffer* raw = buffer.get();
+  buffers_.push_back(std::move(buffer));
+  t_cache.epoch = epoch_.load(std::memory_order_relaxed);
+  t_cache.buffer = raw;
+  return raw;
+}
+
+void Tracer::Emit(const char* category, const char* name, EventType type, TraceDetail level,
+                  int64_t id, int64_t value) {
+  if (!enabled(level)) {
+    return;
+  }
+  ThreadBuffer* buffer = t_cache.epoch == epoch_.load(std::memory_order_relaxed)
+                             ? static_cast<ThreadBuffer*>(t_cache.buffer)
+                             : RegisterThread();
+  TraceEvent& slot =
+      buffer->ring[static_cast<size_t>(buffer->head % static_cast<int64_t>(buffer->ring.size()))];
+  slot.category = category;
+  slot.name = name;
+  slot.type = type;
+  slot.ts_ns = NowNs();
+  slot.id = id;
+  slot.value = value;
+  ++buffer->head;
+}
+
+std::vector<TraceThread> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceThread> threads;
+  threads.reserve(buffers_.size());
+  for (const auto& buffer : buffers_) {
+    TraceThread t;
+    t.name = buffer->name;
+    t.tid = buffer->tid;
+    const int64_t capacity = static_cast<int64_t>(buffer->ring.size());
+    const int64_t kept = std::min(buffer->head, capacity);
+    t.dropped = buffer->head - kept;
+    t.events.reserve(static_cast<size_t>(kept));
+    for (int64_t i = buffer->head - kept; i < buffer->head; ++i) {
+      t.events.push_back(buffer->ring[static_cast<size_t>(i % capacity)]);
+    }
+    threads.push_back(std::move(t));
+  }
+  return threads;
+}
+
+int64_t Tracer::total_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& buffer : buffers_) {
+    total += buffer->head;
+  }
+  return total;
+}
+
+int64_t Tracer::dropped_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t dropped = 0;
+  for (const auto& buffer : buffers_) {
+    dropped += std::max<int64_t>(0, buffer->head - static_cast<int64_t>(buffer->ring.size()));
+  }
+  return dropped;
+}
+
+namespace {
+
+void AppendEscaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+
+// One trace event as a Chrome trace-event object. Timestamps are
+// microseconds (Chrome's unit) with nanosecond precision kept as decimals.
+void AppendEvent(std::string& out, const TraceEvent& e, int tid) {
+  const char* ph = "i";
+  switch (e.type) {
+    case EventType::kBegin:
+      ph = "B";
+      break;
+    case EventType::kEnd:
+      ph = "E";
+      break;
+    case EventType::kInstant:
+      ph = "i";
+      break;
+    case EventType::kCounter:
+      ph = "C";
+      break;
+    case EventType::kAsyncBegin:
+      ph = "b";
+      break;
+    case EventType::kAsyncInstant:
+      ph = "n";
+      break;
+    case EventType::kAsyncEnd:
+      ph = "e";
+      break;
+  }
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "{\"ph\":\"%s\",\"pid\":1,\"tid\":%d,\"ts\":%.3f", ph, tid,
+                static_cast<double>(e.ts_ns) / 1000.0);
+  out += buf;
+  out += ",\"cat\":\"";
+  AppendEscaped(out, e.category);
+  out += "\",\"name\":\"";
+  AppendEscaped(out, e.name);
+  out += '"';
+  if (e.type == EventType::kAsyncBegin || e.type == EventType::kAsyncInstant ||
+      e.type == EventType::kAsyncEnd) {
+    std::snprintf(buf, sizeof(buf), ",\"id\":\"0x%llx\"",
+                  static_cast<unsigned long long>(e.id));
+    out += buf;
+    // Instants render inside the enclosing async span.
+    if (e.type == EventType::kAsyncInstant) {
+      out += ",\"s\":\"t\"";
+    }
+  } else if (e.type == EventType::kInstant) {
+    out += ",\"s\":\"t\"";  // thread-scoped instant
+  }
+  if (e.type == EventType::kCounter) {
+    std::snprintf(buf, sizeof(buf), ",\"args\":{\"value\":%lld}",
+                  static_cast<long long>(e.value));
+    out += buf;
+  } else if (e.type != EventType::kEnd) {
+    std::snprintf(buf, sizeof(buf), ",\"args\":{\"v\":%lld}", static_cast<long long>(e.value));
+    out += buf;
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::string Tracer::ToChromeJson() const {
+  const std::vector<TraceThread> threads = Snapshot();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  char buf[128];
+  for (const TraceThread& t : threads) {
+    // Thread metadata: name + stable sort order (registration order).
+    if (!first) {
+      out += ",\n";
+    }
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\","
+                  "\"args\":{\"name\":\"",
+                  t.tid);
+    out += buf;
+    AppendEscaped(out, t.name.c_str());
+    out += "\"}}";
+    std::snprintf(buf, sizeof(buf),
+                  ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_sort_index\","
+                  "\"args\":{\"sort_index\":%d}}",
+                  t.tid, t.tid);
+    out += buf;
+    for (const TraceEvent& e : t.events) {
+      out += ",\n";
+      AppendEvent(out, e, t.tid);
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool Tracer::WriteChromeJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const std::string json = ToChromeJson();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace obs
+}  // namespace samoyeds

@@ -1,0 +1,204 @@
+// Flight-recorder event tracer: always compiled in, near-free when disabled.
+//
+// The serving stack emits *events* — step-phase spans on the engine thread,
+// per-tile spans on shard-pinned expert workers, per-request lifecycle
+// markers keyed by session id, and counter samples (KV pages, backlog depth,
+// batch rows). Each thread records into its own fixed-capacity ring buffer:
+//
+//   * one relaxed atomic load decides "tracing off" (the steady-state cost
+//     when no trace is being captured — no locks, no branches beyond the
+//     predicate, nothing written);
+//   * enabled, an event is a ~48-byte struct write into a preallocated
+//     per-thread ring — no locking on the hot path, no allocation after the
+//     thread's first event (the warmup registration), preserving the PR 3
+//     zero-steady-state-allocation invariant;
+//   * the ring wraps (flight-recorder mode): a bounded capture of the most
+//     recent `ring_capacity` events per thread, so a week-long serve can
+//     still dump the last seconds of timeline on demand.
+//
+// Export is Chrome trace-event JSON ("traceEvents"), loadable in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing. Request lifecycle events use
+// async phases ("b"/"n"/"e") keyed by session id so every request gets its
+// own timeline row; counters use "C" phases and render as counter tracks.
+//
+// Detail levels nest: kStep (engine step phases + counters) < kRequest
+// (+ per-request lifecycle) < kFull (+ per-layer and per-tile worker spans).
+// An event tagged with level L is recorded only when the tracer runs at
+// detail >= L.
+//
+// Concurrency contract: Emit is safe from any thread at any time. Start /
+// Stop / Snapshot / ToChromeJson must run while no other thread is emitting
+// (the engine guarantees this: the expert pool only emits inside tasks, and
+// traces are started before Submit and exported after RunUntilDrained).
+
+#ifndef SAMOYEDS_SRC_OBS_TRACER_H_
+#define SAMOYEDS_SRC_OBS_TRACER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace samoyeds {
+namespace obs {
+
+enum class TraceDetail : uint8_t {
+  kStep = 0,     // engine step phases + counter tracks
+  kRequest = 1,  // + per-request lifecycle (async spans keyed by session id)
+  kFull = 2,     // + per-layer spans and per-tile expert-worker spans
+};
+
+const char* TraceDetailName(TraceDetail d);
+// "step" | "request" | "full"; false on anything else.
+bool ParseTraceDetail(const char* s, TraceDetail* out);
+
+enum class EventType : uint8_t {
+  kBegin,         // ph "B": open a nested span on this thread
+  kEnd,           // ph "E": close the innermost open span
+  kInstant,       // ph "i": a point event on this thread
+  kCounter,       // ph "C": sample of a named counter track (value field)
+  kAsyncBegin,    // ph "b": open an async span keyed by (category, id)
+  kAsyncInstant,  // ph "n": a point event on that async track
+  kAsyncEnd,      // ph "e": close the async span
+};
+
+struct TraceEvent {
+  const char* category = nullptr;  // static-lifetime string
+  const char* name = nullptr;      // static-lifetime string
+  EventType type = EventType::kInstant;
+  int64_t ts_ns = 0;  // monotonic, relative to Tracer::Start
+  int64_t id = 0;     // async track key (session id); 0 for thread events
+  int64_t value = 0;  // counter sample / span argument (e.g. step number)
+};
+
+// One thread's recorded timeline, ring-unrolled oldest-first.
+struct TraceThread {
+  std::string name;
+  int tid = 0;
+  int64_t dropped = 0;  // events overwritten by the ring (flight recorder)
+  std::vector<TraceEvent> events;
+};
+
+class Tracer {
+ public:
+  static constexpr int64_t kDefaultRingCapacity = 1 << 18;  // events per thread
+
+  // The process-wide tracer every instrumentation site emits to.
+  static Tracer& Get();
+
+  // Begins a fresh capture (prior buffers are discarded). `ring_capacity`
+  // bounds the per-thread event count; older events are overwritten.
+  void Start(TraceDetail detail, int64_t ring_capacity = kDefaultRingCapacity);
+  // Disables recording; captured buffers stay readable until the next Start.
+  void Stop();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  bool enabled(TraceDetail level) const {
+    return enabled_.load(std::memory_order_relaxed) && level <= detail_;
+  }
+  TraceDetail detail() const { return detail_; }
+
+  // Records one event on the calling thread's ring. No-op when disabled or
+  // when `level` exceeds the capture detail. `category` and `name` must be
+  // string literals (the tracer stores the pointers).
+  void Emit(const char* category, const char* name, EventType type, TraceDetail level,
+            int64_t id, int64_t value);
+
+  // Captured timelines, one per thread that emitted, registration order.
+  std::vector<TraceThread> Snapshot() const;
+  int64_t total_events() const;    // emitted (including overwritten)
+  int64_t dropped_events() const;  // overwritten by ring wrap, all threads
+
+  // Chrome trace-event JSON (the whole capture, threads interleaved).
+  std::string ToChromeJson() const;
+  bool WriteChromeJson(const std::string& path) const;
+
+ private:
+  struct ThreadBuffer {
+    std::vector<TraceEvent> ring;
+    int64_t head = 0;  // events ever written; slot = head % ring.size()
+    std::string name;
+    int tid = 0;
+  };
+
+  Tracer() = default;
+  ThreadBuffer* RegisterThread();
+  int64_t NowNs() const;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> epoch_{0};  // bumped by Start: invalidates caches
+  TraceDetail detail_ = TraceDetail::kStep;
+  int64_t ring_capacity_ = kDefaultRingCapacity;
+  std::chrono::steady_clock::time_point start_tp_{};
+
+  mutable std::mutex mu_;  // guards buffers_ (registration + snapshot)
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+// Names the calling thread in trace exports ("engine", "shard0.worker2", …).
+// Takes effect when the thread's buffer registers (its first event after a
+// Start); may be called before any tracer exists.
+void SetThreadName(const std::string& name);
+
+// ---- Emission helpers (the instrumentation API) ----------------------------
+
+inline void TraceInstant(const char* category, const char* name, TraceDetail level,
+                         int64_t value = 0) {
+  Tracer::Get().Emit(category, name, EventType::kInstant, level, 0, value);
+}
+
+inline void TraceCounter(const char* category, const char* name, TraceDetail level,
+                         int64_t value) {
+  Tracer::Get().Emit(category, name, EventType::kCounter, level, 0, value);
+}
+
+inline void TraceAsyncBegin(const char* category, const char* name, TraceDetail level,
+                            int64_t id, int64_t value = 0) {
+  Tracer::Get().Emit(category, name, EventType::kAsyncBegin, level, id, value);
+}
+
+inline void TraceAsyncInstant(const char* category, const char* name, TraceDetail level,
+                              int64_t id, int64_t value = 0) {
+  Tracer::Get().Emit(category, name, EventType::kAsyncInstant, level, id, value);
+}
+
+inline void TraceAsyncEnd(const char* category, const char* name, TraceDetail level,
+                          int64_t id, int64_t value = 0) {
+  Tracer::Get().Emit(category, name, EventType::kAsyncEnd, level, id, value);
+}
+
+// RAII span: Begin at construction, End at destruction. One enabled-check at
+// construction; a disabled tracer costs a relaxed load and a branch.
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* category, const char* name, TraceDetail level, int64_t value = 0)
+      : category_(category), name_(name), level_(level) {
+    Tracer& tracer = Tracer::Get();
+    if (tracer.enabled(level)) {
+      active_ = true;
+      tracer.Emit(category, name, EventType::kBegin, level, 0, value);
+    }
+  }
+  ~ScopedSpan() {
+    if (active_) {
+      Tracer::Get().Emit(category_, name_, EventType::kEnd, level_, 0, 0);
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* category_;
+  const char* name_;
+  TraceDetail level_;
+  bool active_ = false;
+};
+
+}  // namespace obs
+}  // namespace samoyeds
+
+#endif  // SAMOYEDS_SRC_OBS_TRACER_H_

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "src/core/samoyeds_kernel.h"
+#include "src/obs/tracer.h"
 #include "src/simgpu/timing_model.h"
 #include "src/tensor/bf16.h"
 
@@ -337,6 +338,8 @@ MatrixF ServingEngine::ForwardBatch(const AssembledBatch& batch) {
   MatrixF h = batch.rows;
   for (size_t layer = 0; layer < layers_.size(); ++layer) {
     const SamoyedsDecoderLayerWeights& w = layers_[layer];
+    obs::ScopedSpan layer_span("engine", "layer", obs::TraceDetail::kFull,
+                               static_cast<int64_t>(layer));
 
     // Attention sub-block, per sequence: normed new rows extend the paged
     // cached prefix (gathered through the page table); causal attention over
@@ -346,39 +349,45 @@ MatrixF ServingEngine::ForwardBatch(const AssembledBatch& batch) {
     // contiguous data-parallel split the all-to-all model and the shared
     // experts use, so the simulation has one notion of where a token lives.
     MatrixF h1 = h;  // residual base
-    for (size_t s = 0; s < batch.slices.size(); ++s) {
-      const BatchSlice& slice = batch.slices[s];
-      pool_.SubmitToShard(TokenHomeShard(slice.row_begin, h.rows(), num_shards),
-                          [this, &h, &h1, &w, slice, layer] {
-        MatrixF x_new(slice.row_count, hidden_);
-        for (int64_t r = 0; r < slice.row_count; ++r) {
-          for (int64_t c = 0; c < hidden_; ++c) {
-            x_new(r, c) = h(slice.row_begin + r, c);
+    {
+      obs::ScopedSpan attn_span("engine", "attn", obs::TraceDetail::kFull);
+      for (size_t s = 0; s < batch.slices.size(); ++s) {
+        const BatchSlice& slice = batch.slices[s];
+        pool_.SubmitToShard(TokenHomeShard(slice.row_begin, h.rows(), num_shards),
+                            [this, &h, &h1, &w, slice, layer] {
+          obs::ScopedSpan slice_span("attn", "slice", obs::TraceDetail::kFull,
+                                     slice.request_id);
+          MatrixF x_new(slice.row_count, hidden_);
+          for (int64_t r = 0; r < slice.row_count; ++r) {
+            for (int64_t c = 0; c < hidden_; ++c) {
+              x_new(r, c) = h(slice.row_begin + r, c);
+            }
           }
-        }
-        const MatrixF normed_new = RmsNorm(x_new, w.attn_norm_gamma);
+          const MatrixF normed_new = RmsNorm(x_new, w.attn_norm_gamma);
 
-        const int64_t prefix = slice.position_begin;
-        MatrixF full(prefix + slice.row_count, hidden_);
-        cache_.GatherRows(slice.request_id, static_cast<int64_t>(layer), prefix, full.data());
-        std::copy(normed_new.data(), normed_new.data() + normed_new.size(),
-                  full.data() + prefix * hidden_);
+          const int64_t prefix = slice.position_begin;
+          MatrixF full(prefix + slice.row_count, hidden_);
+          cache_.GatherRows(slice.request_id, static_cast<int64_t>(layer), prefix, full.data());
+          std::copy(normed_new.data(), normed_new.data() + normed_new.size(),
+                    full.data() + prefix * hidden_);
 
-        const MatrixF attn = AttentionForward(full, w.attention, config_.heads);
-        for (int64_t r = 0; r < slice.row_count; ++r) {
-          for (int64_t c = 0; c < hidden_; ++c) {
-            h1(slice.row_begin + r, c) += attn(prefix + r, c);
+          const MatrixF attn = AttentionForward(full, w.attention, config_.heads);
+          for (int64_t r = 0; r < slice.row_count; ++r) {
+            for (int64_t c = 0; c < hidden_; ++c) {
+              h1(slice.row_begin + r, c) += attn(prefix + r, c);
+            }
+            std::copy(normed_new.row(r).begin(), normed_new.row(r).end(),
+                      cache_.Row(slice.request_id, static_cast<int64_t>(layer), prefix + r));
           }
-          std::copy(normed_new.row(r).begin(), normed_new.row(r).end(),
-                    cache_.Row(slice.request_id, static_cast<int64_t>(layer), prefix + r));
-        }
-      });
+        });
+      }
+      pool_.WaitIdle();
     }
-    pool_.WaitIdle();
 
     // MoE sub-block, whole batch: one routing plan covers every sequence's
     // tokens, so each expert runs once per iteration over its tile-split
     // SEL slices, on its placement shard's queue.
+    obs::ScopedSpan moe_span("engine", "moe", obs::TraceDetail::kFull);
     MatrixF normed = RmsNorm(h1, w.moe_norm_gamma);
     RoundMatrixToBf16(normed);
     const RoutingPlan plan = config_.routing == RoutingAlgo::kExpertChoice
@@ -490,6 +499,7 @@ SsmmConfig ServingEngine::ResolveTileConfig(const SamoyedsMoeLayerWeights& moe,
 
 bool ServingEngine::Step() {
   const SchedulerConfig& sched_cfg = config_.scheduler;
+  obs::ScopedSpan step_span("engine", "step", obs::TraceDetail::kStep, step_);
 
   // 1. Ingress: requests whose arrival step has come due join the scheduler.
   for (Request& r : queue_.DrainArrived(step_)) {
@@ -505,9 +515,15 @@ bool ServingEngine::Step() {
   // lifetimes beyond the pool), so this terminates with at least one
   // survivor. Evicting re-plans: freed budget can enlarge another
   // resident's prefill chunk.
-  std::vector<int64_t> plan = PlanResidentRows();
-  int64_t growth_pages = PlannedGrowthPages(plan);
+  std::vector<int64_t> plan;
+  int64_t growth_pages = 0;
+  {
+    obs::ScopedSpan plan_span("engine", "plan", obs::TraceDetail::kStep);
+    plan = PlanResidentRows();
+    growth_pages = PlannedGrowthPages(plan);
+  }
   if (sched_cfg.max_pages > 0 && sched_cfg.preempt) {
+    obs::ScopedSpan evict_span("engine", "evict", obs::TraceDetail::kStep);
     while (!running_.empty() &&
            cache_.allocator().used_pages() + growth_pages > sched_cfg.max_pages) {
       std::vector<VictimCandidate> candidates;
@@ -526,32 +542,35 @@ bool ServingEngine::Step() {
   // page-accounting cap. The committed rows are everything the residents
   // planned; an admitted prompt is charged its first chunk.
   int64_t committed_rows = 0;
-  for (int64_t rows : plan) {
-    committed_rows += rows;
-  }
-  AdmissionDecision decision = scheduler_.Admit(committed_rows, Resident(growth_pages));
-  for (Rejection& rejection : decision.rejected) {
-    RequestResult& result = results_[rejection.request.id];
-    result.status = RequestStatus::kRejected;
-    result.reason = rejection.reason;
-    metrics_.OnReject(rejection.request.id);
-  }
-  for (Request& r : decision.admitted) {
-    const int64_t id = r.id;
-    Sequence seq;
-    seq.request = std::move(r);
-    seq.admit_seq = admit_counter_++;
-    const int64_t prompt_len = seq.request.prompt_len;
-    sequences_.emplace(id, std::move(seq));
-    running_.push_back(id);
-    metrics_.OnAdmit(id, step_);
-    // First prefill chunk, sized exactly as the scheduler charged it (the
-    // shared PrefillChunkRows keeps the two row accountings in lockstep).
-    const int64_t chunk =
-        PrefillChunkRows(prompt_len, sched_cfg.token_budget - committed_rows, sched_cfg);
-    assert(chunk == FirstChunkRows(prompt_len, sched_cfg));
-    plan.push_back(chunk);
-    committed_rows += chunk;
+  {
+    obs::ScopedSpan admit_span("engine", "admit", obs::TraceDetail::kStep);
+    for (int64_t rows : plan) {
+      committed_rows += rows;
+    }
+    AdmissionDecision decision = scheduler_.Admit(committed_rows, Resident(growth_pages));
+    for (Rejection& rejection : decision.rejected) {
+      RequestResult& result = results_[rejection.request.id];
+      result.status = RequestStatus::kRejected;
+      result.reason = rejection.reason;
+      metrics_.OnReject(rejection.request.id);
+    }
+    for (Request& r : decision.admitted) {
+      const int64_t id = r.id;
+      Sequence seq;
+      seq.request = std::move(r);
+      seq.admit_seq = admit_counter_++;
+      const int64_t prompt_len = seq.request.prompt_len;
+      sequences_.emplace(id, std::move(seq));
+      running_.push_back(id);
+      metrics_.OnAdmit(id, step_);
+      // First prefill chunk, sized exactly as the scheduler charged it (the
+      // shared PrefillChunkRows keeps the two row accountings in lockstep).
+      const int64_t chunk =
+          PrefillChunkRows(prompt_len, sched_cfg.token_budget - committed_rows, sched_cfg);
+      assert(chunk == FirstChunkRows(prompt_len, sched_cfg));
+      plan.push_back(chunk);
+      committed_rows += chunk;
+    }
   }
   assert(committed_rows <= sched_cfg.token_budget || sched_cfg.chunk_tokens <= 0);
 
@@ -560,40 +579,44 @@ bool ServingEngine::Step() {
   // KV pages directly) so the forward's parallel tasks never mutate
   // allocator state. A 0-row plan (budget-starved prefill) sits out but
   // stays resident.
-  std::vector<BatchAssembler::Contribution> parts;
-  for (size_t i = 0; i < running_.size(); ++i) {
-    Sequence& seq = sequences_.at(running_[i]);
-    if (plan[i] == 0) {
-      continue;
+  AssembledBatch batch;
+  {
+    obs::ScopedSpan assemble_span("engine", "assemble", obs::TraceDetail::kStep);
+    std::vector<BatchAssembler::Contribution> parts;
+    for (size_t i = 0; i < running_.size(); ++i) {
+      Sequence& seq = sequences_.at(running_[i]);
+      if (plan[i] == 0) {
+        continue;
+      }
+      BatchAssembler::Contribution p;
+      p.request_id = running_[i];
+      p.source = &seq.request.inputs;
+      p.row_begin = seq.consumed;
+      p.row_count = plan[i];
+      p.is_prefill = seq.consumed < seq.request.prompt_len;
+      parts.push_back(p);
     }
-    BatchAssembler::Contribution p;
-    p.request_id = running_[i];
-    p.source = &seq.request.inputs;
-    p.row_begin = seq.consumed;
-    p.row_count = plan[i];
-    p.is_prefill = seq.consumed < seq.request.prompt_len;
-    parts.push_back(p);
-  }
 
-  if (parts.empty()) {
-    // Idle: fast-forward to the next trace arrival, or report drained.
-    const int64_t next = queue_.NextArrivalStep();
-    if (next < 0) {
-      return false;
+    if (parts.empty()) {
+      // Idle: fast-forward to the next trace arrival, or report drained.
+      const int64_t next = queue_.NextArrivalStep();
+      if (next < 0) {
+        return false;
+      }
+      step_ = next;
+      return true;
     }
-    step_ = next;
-    return true;
-  }
 
-  for (const BatchAssembler::Contribution& p : parts) {
-    // Cannot fail: decode growth was reserved by the preemption pass and
-    // admitted prompts were checked against the page budget.
-    const bool ok = cache_.Extend(p.request_id, p.row_count);
-    assert(ok);
-    (void)ok;
-  }
+    for (const BatchAssembler::Contribution& p : parts) {
+      // Cannot fail: decode growth was reserved by the preemption pass and
+      // admitted prompts were checked against the page budget.
+      const bool ok = cache_.Extend(p.request_id, p.row_count);
+      assert(ok);
+      (void)ok;
+    }
 
-  const AssembledBatch batch = BatchAssembler::Assemble(parts, hidden_);
+    batch = BatchAssembler::Assemble(parts, hidden_);
+  }
 
   // KV-page traffic this iteration: attention gathers every sequence's
   // cached prefix rows through its page table and appends the new normed
@@ -611,7 +634,12 @@ bool ServingEngine::Step() {
 
   // 5. One forward over the whole batch.
   const auto t0 = std::chrono::steady_clock::now();
-  const MatrixF out = ForwardBatch(batch);
+  MatrixF out;
+  {
+    obs::ScopedSpan forward_span("engine", "forward", obs::TraceDetail::kStep,
+                                 batch.total_rows());
+    out = ForwardBatch(batch);
+  }
   const double forward_ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
 
@@ -654,6 +682,7 @@ bool ServingEngine::Step() {
       max_shard_ms + TimingModel(cluster_.device(0)).Estimate(kv).total_ms;
   metrics_.OnShardTokens(step_shard_tokens_);
 
+  obs::ScopedSpan retire_span("engine", "retire", obs::TraceDetail::kStep);
   for (size_t s = 0; s < batch.slices.size(); ++s) {
     const BatchSlice& slice = batch.slices[s];
     // Re-resolved per slice rather than cached across the loop: an OnRows
@@ -708,6 +737,18 @@ bool ServingEngine::Step() {
   }
   running_ = std::move(still_running);
 
+  // Counter tracks: one sample per step, after the batch's rows resolved
+  // into prefill/decode and retirements freed their pages.
+  obs::TraceCounter("engine", "batch_rows", obs::TraceDetail::kStep, sm.batch_rows);
+  obs::TraceCounter("engine", "prefill_rows", obs::TraceDetail::kStep, sm.prefill_rows);
+  obs::TraceCounter("engine", "decode_rows", obs::TraceDetail::kStep, sm.decode_rows);
+  obs::TraceCounter("engine", "resident_sequences", obs::TraceDetail::kStep,
+                    static_cast<int64_t>(running_.size()));
+  obs::TraceCounter("engine", "backlog", obs::TraceDetail::kStep,
+                    queue_.size() + scheduler_.pending());
+  obs::TraceCounter("kv", "used_pages", obs::TraceDetail::kStep,
+                    cache_.allocator().used_pages());
+
   metrics_.OnStep(sm);
   ++step_;
   return true;
@@ -722,6 +763,21 @@ int64_t ServingEngine::RunUntilDrained(int64_t max_steps) {
     }
   }
   return iterations;
+}
+
+ServingReport ServingEngine::Report() const {
+  ServingReport rep =
+      metrics_.Summarize(config_.scheduler.token_budget, config_.scheduler.max_pages);
+  rep.provenance.shards = config_.shards;
+  rep.provenance.placement = ShardPlacementName(config_.placement);
+  rep.provenance.routing = RoutingAlgoName(config_.routing);
+  rep.provenance.policy = SchedulerPolicyName(config_.scheduler.policy);
+  rep.provenance.threads = config_.threads;
+  rep.provenance.token_budget = config_.scheduler.token_budget;
+  rep.provenance.chunk_tokens = config_.scheduler.chunk_tokens;
+  rep.provenance.page_tokens = config_.scheduler.page_tokens;
+  rep.provenance.max_pages = config_.scheduler.max_pages;
+  return rep;
 }
 
 RequestStatus ServingEngine::Status(int64_t id) const {

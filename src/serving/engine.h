@@ -212,9 +212,10 @@ class ServingEngine {
   const EngineMetrics& metrics() const { return metrics_; }
   // Distinct batch shapes the autotuner has resolved (0 with autotune off).
   int64_t autotune_cache_size() const { return static_cast<int64_t>(autotune_cache_.size()); }
-  ServingReport Report() const {
-    return metrics_.Summarize(config_.scheduler.token_budget, config_.scheduler.max_pages);
-  }
+  // Summarized metrics with the engine-known provenance fields (shards,
+  // placement, routing, policy, threads, budgets) filled in; the CLI layers
+  // the workload-level fields (model, trace, seed) on top before export.
+  ServingReport Report() const;
 
  private:
   struct Sequence {

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <numeric>
 #include <utility>
 
 #include "src/moe/expert.h"
+#include "src/obs/tracer.h"
 
 namespace samoyeds {
 namespace serving {
@@ -102,6 +104,16 @@ int64_t ExpertPool::submitted_to_shard(int shard) const {
 
 void ExpertPool::WorkerLoop(int slot, std::vector<int> served) {
   t_slot = slot;
+  // Name this worker's trace lane after its shard pinning, once at spawn
+  // (threads >= shards pins one shard per worker; otherwise it serves
+  // several and the shard tag would lie).
+  char lane[48];
+  if (served.size() == 1) {
+    std::snprintf(lane, sizeof(lane), "shard%d.worker%d", served.front(), slot);
+  } else {
+    std::snprintf(lane, sizeof(lane), "worker%d", slot);
+  }
+  obs::SetThreadName(lane);
   // Every shard this worker serves maps to the same wakeup group (see
   // GroupOf), so waiting on that one condition variable covers them all.
   std::condition_variable& cv = group_cvs_[static_cast<size_t>((slot - 1) %
@@ -192,61 +204,73 @@ void ForwardImpl(ExpertPool& pool, const MatrixF& x, const SamoyedsMoeLayerWeigh
   // submits no tasks at all — so a shard whose experts are all idle stays
   // silent.
   size_t tile = 0;
-  for (size_t e = 0; e < num_experts; ++e) {
-    const auto& tokens = plan.expert_tokens[e];
-    const int64_t count = static_cast<int64_t>(tokens.size());
-    if (count == 0) {
-      continue;
-    }
-    const int shard = shard_of(e);
-    MatrixF& expert_out = ws.expert_out[e];
-    expert_out.Reshape(count, hidden);
-    const int64_t tiles = NumTiles(count, shard_threads(shard));
-    for (int64_t t = 0; t < tiles; ++t) {
-      const int64_t t0 = t * count / tiles;
-      const int64_t t1 = (t + 1) * count / tiles;
-      Selection& sel = ws.tile_sel[tile++];
-      sel.full_size = all_tokens;
-      sel.indices.assign(tokens.begin() + t0, tokens.begin() + t1);
-      const SamoyedsExpertWeights& weights = w.experts[e];
-      pool.SubmitToShard(shard, [&x, &weights, &sel, act, &ws, &expert_out, t0] {
-        ExpertForwardSamoyeds(x, weights, sel, act,
-                              ws.slot_ws[static_cast<size_t>(ExpertPool::CurrentSlot())],
-                              expert_out, t0);
-      });
-    }
-  }
-  // Shared experts process every token; under sharding they run
-  // data-parallel, each shard covering its home token range.
-  for (size_t s = 0; s < num_shared; ++s) {
-    MatrixF& shared_out = ws.shared_out[s];
-    shared_out.Reshape(all_tokens, hidden);
-    for (int shard = 0; shard < num_shards; ++shard) {
-      const int64_t begin = ShardHomeBegin(shard, all_tokens, num_shards);
-      const int64_t end = ShardHomeBegin(shard + 1, all_tokens, num_shards);
-      const int64_t range = end - begin;
-      const int64_t tiles = NumTiles(range, shard_threads(shard));
+  {
+    obs::ScopedSpan dispatch("pool", "dispatch", obs::TraceDetail::kFull,
+                             static_cast<int64_t>(all_tokens));
+    for (size_t e = 0; e < num_experts; ++e) {
+      const auto& tokens = plan.expert_tokens[e];
+      const int64_t count = static_cast<int64_t>(tokens.size());
+      if (count == 0) {
+        continue;
+      }
+      const int shard = shard_of(e);
+      MatrixF& expert_out = ws.expert_out[e];
+      expert_out.Reshape(count, hidden);
+      const int64_t tiles = NumTiles(count, shard_threads(shard));
       for (int64_t t = 0; t < tiles; ++t) {
-        const int64_t t0 = begin + t * range / tiles;
-        const int64_t t1 = begin + (t + 1) * range / tiles;
+        const int64_t t0 = t * count / tiles;
+        const int64_t t1 = (t + 1) * count / tiles;
         Selection& sel = ws.tile_sel[tile++];
         sel.full_size = all_tokens;
-        sel.indices.resize(static_cast<size_t>(t1 - t0));
-        std::iota(sel.indices.begin(), sel.indices.end(), static_cast<int32_t>(t0));
-        const SamoyedsExpertWeights& weights = w.shared_experts[s];
-        pool.SubmitToShard(shard, [&x, &weights, &sel, act, &ws, &shared_out, t0] {
+        sel.indices.assign(tokens.begin() + t0, tokens.begin() + t1);
+        const SamoyedsExpertWeights& weights = w.experts[e];
+        const int64_t expert_id = static_cast<int64_t>(e);
+        pool.SubmitToShard(shard, [&x, &weights, &sel, act, &ws, &expert_out, t0, expert_id] {
+          obs::ScopedSpan span("expert", "tile", obs::TraceDetail::kFull, expert_id);
           ExpertForwardSamoyeds(x, weights, sel, act,
                                 ws.slot_ws[static_cast<size_t>(ExpertPool::CurrentSlot())],
-                                shared_out, t0);
+                                expert_out, t0);
         });
       }
     }
+    // Shared experts process every token; under sharding they run
+    // data-parallel, each shard covering its home token range.
+    for (size_t s = 0; s < num_shared; ++s) {
+      MatrixF& shared_out = ws.shared_out[s];
+      shared_out.Reshape(all_tokens, hidden);
+      for (int shard = 0; shard < num_shards; ++shard) {
+        const int64_t begin = ShardHomeBegin(shard, all_tokens, num_shards);
+        const int64_t end = ShardHomeBegin(shard + 1, all_tokens, num_shards);
+        const int64_t range = end - begin;
+        const int64_t tiles = NumTiles(range, shard_threads(shard));
+        for (int64_t t = 0; t < tiles; ++t) {
+          const int64_t t0 = begin + t * range / tiles;
+          const int64_t t1 = begin + (t + 1) * range / tiles;
+          Selection& sel = ws.tile_sel[tile++];
+          sel.full_size = all_tokens;
+          sel.indices.resize(static_cast<size_t>(t1 - t0));
+          std::iota(sel.indices.begin(), sel.indices.end(), static_cast<int32_t>(t0));
+          const SamoyedsExpertWeights& weights = w.shared_experts[s];
+          const int64_t shared_id = static_cast<int64_t>(s);
+          pool.SubmitToShard(shard, [&x, &weights, &sel, act, &ws, &shared_out, t0, shared_id] {
+            obs::ScopedSpan span("expert", "shared_tile", obs::TraceDetail::kFull, shared_id);
+            ExpertForwardSamoyeds(x, weights, sel, act,
+                                  ws.slot_ws[static_cast<size_t>(ExpertPool::CurrentSlot())],
+                                  shared_out, t0);
+          });
+        }
+      }
+    }
   }
-  pool.WaitIdle();
+  {
+    obs::ScopedSpan barrier("pool", "barrier", obs::TraceDetail::kFull);
+    pool.WaitIdle();
+  }
 
   // Fixed-order accumulation — ascending global expert id, independent of
   // shard placement — keeps the result identical to the sequential path
   // regardless of thread timing, tile split, or shard count.
+  obs::ScopedSpan fold("pool", "fold", obs::TraceDetail::kFull);
   out.Reshape(all_tokens, hidden);
   out.Fill(0.0f);
   for (size_t e = 0; e < num_experts; ++e) {

@@ -33,6 +33,15 @@
 // workspaces — partition by shard exactly like device-local scratch would
 // (threads < shards degrades gracefully: a worker serving several shards
 // reuses one workspace across them).
+//
+// Observability: each worker registers a named trace lane at spawn
+// ("shard2.worker3" when pinned to one shard), and — at --trace-detail=full
+// — every tile executes inside an obs::ScopedSpan tagged with its expert
+// id, so a Perfetto timeline shows per-shard worker occupancy, tile-level
+// load balance, and the dispatch/barrier/fold phases of each MoE layer.
+// Tracing emits into per-thread ring buffers and never synchronizes
+// workers, so it cannot perturb completion order (outputs stay
+// bit-identical with tracing on or off).
 
 #ifndef SAMOYEDS_SRC_SERVING_EXPERT_POOL_H_
 #define SAMOYEDS_SRC_SERVING_EXPERT_POOL_H_

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "src/obs/tracer.h"
+
 namespace samoyeds {
 namespace serving {
 
@@ -50,6 +52,11 @@ bool KvPageAllocator::Extend(int64_t seq_id, int64_t tokens) {
   seq.tokens += tokens;
   used_pages_ += need;
   cached_tokens_ += tokens;
+  // Allocation-grain sample (the engine also samples once per step): at
+  // full detail the counter track shows every page-table mutation.
+  if (need > 0) {
+    obs::TraceCounter("kv", "allocator_pages", obs::TraceDetail::kFull, used_pages_);
+  }
   return true;
 }
 
@@ -64,6 +71,7 @@ void KvPageAllocator::Free(int64_t seq_id) {
   used_pages_ -= static_cast<int64_t>(it->second.pages.size());
   cached_tokens_ -= it->second.tokens;
   seqs_.erase(it);
+  obs::TraceCounter("kv", "allocator_pages", obs::TraceDetail::kFull, used_pages_);
 }
 
 void KvPageAllocator::Reset() {

@@ -4,22 +4,16 @@
 #include <cmath>
 #include <cstring>
 
+#include "src/obs/tracer.h"
+
 namespace samoyeds {
 namespace serving {
-namespace {
 
-// Nearest-rank p95 over an unsorted sample; 0 when empty.
-double Percentile95(std::vector<double> values) {
-  if (values.empty()) {
-    return 0.0;
-  }
-  std::sort(values.begin(), values.end());
-  const size_t rank = static_cast<size_t>(
-      std::ceil(0.95 * static_cast<double>(values.size())));
-  return values[rank - 1];
-}
-
-}  // namespace
+// Request-lifecycle hooks double as trace emitters: each session becomes an
+// async span keyed by its id (its own Perfetto timeline row), with admission,
+// first output, preemptions, and termination as instants on that row. The
+// instants carry the engine step as their argument, so a trace reconciles
+// event-for-event with the RequestMetrics the same hooks record.
 
 void EngineMetrics::OnArrival(int64_t id, int64_t step, int64_t prompt_len, int64_t new_tokens) {
   RequestMetrics& r = requests_[id];
@@ -27,13 +21,19 @@ void EngineMetrics::OnArrival(int64_t id, int64_t step, int64_t prompt_len, int6
   r.new_tokens = new_tokens;
   r.arrival_step = step;
   r.arrival_ms = NowMs();
+  obs::TraceAsyncBegin("request", "session", obs::TraceDetail::kRequest, id, step);
 }
 
-void EngineMetrics::OnAdmit(int64_t id, int64_t step) { requests_[id].admit_step = step; }
+void EngineMetrics::OnAdmit(int64_t id, int64_t step) {
+  requests_[id].admit_step = step;
+  obs::TraceAsyncInstant("request", "admit", obs::TraceDetail::kRequest, id, step);
+}
 
 void EngineMetrics::OnReject(int64_t id) {
   requests_.erase(id);
   ++rejected_;
+  obs::TraceAsyncInstant("request", "reject", obs::TraceDetail::kRequest, id);
+  obs::TraceAsyncEnd("request", "session", obs::TraceDetail::kRequest, id);
 }
 
 void EngineMetrics::OnFirstOutput(int64_t id, int64_t step) {
@@ -43,20 +43,33 @@ void EngineMetrics::OnFirstOutput(int64_t id, int64_t step) {
   }
   r.first_output_step = step;
   r.first_output_ms = NowMs();
+  obs::TraceAsyncInstant("request", "first_output", obs::TraceDetail::kRequest, id, step);
 }
 
 void EngineMetrics::OnFinish(int64_t id, int64_t step) {
   RequestMetrics& r = requests_[id];
   r.finish_step = step;
   r.finish_ms = NowMs();
+  ttft_steps_hist_.Record(static_cast<double>(r.first_output_step - r.arrival_step + 1));
+  turnaround_steps_hist_.Record(static_cast<double>(r.finish_step - r.arrival_step + 1));
+  ttft_ms_hist_.Record(r.first_output_ms - r.arrival_ms);
+  turnaround_ms_hist_.Record(r.finish_ms - r.arrival_ms);
+  obs::TraceAsyncEnd("request", "session", obs::TraceDetail::kRequest, id, step);
 }
 
 void EngineMetrics::OnCancel(int64_t id, int64_t step) {
   requests_[id].cancel_step = step;
   ++cancelled_;
+  obs::TraceAsyncInstant("request", "cancel", obs::TraceDetail::kRequest, id, step);
+  obs::TraceAsyncEnd("request", "session", obs::TraceDetail::kRequest, id, step);
 }
 
-void EngineMetrics::OnPrefillSlice(int64_t id) { ++requests_[id].prefill_chunks; }
+void EngineMetrics::OnPrefillSlice(int64_t id) {
+  RequestMetrics& r = requests_[id];
+  ++r.prefill_chunks;
+  obs::TraceAsyncInstant("request", "prefill_chunk", obs::TraceDetail::kRequest, id,
+                         r.prefill_chunks);
+}
 
 void EngineMetrics::OnRowsDelivered(int64_t id, int64_t rows) {
   requests_[id].streamed_rows += rows;
@@ -65,6 +78,7 @@ void EngineMetrics::OnRowsDelivered(int64_t id, int64_t rows) {
 void EngineMetrics::OnPreempt(int64_t id, int64_t step) {
   ++requests_[id].preemptions;
   preemption_log_.emplace_back(id, step);
+  obs::TraceAsyncInstant("request", "preempt", obs::TraceDetail::kRequest, id, step);
 }
 
 void EngineMetrics::OnStep(const StepMetrics& step) { steps_.push_back(step); }
@@ -109,34 +123,49 @@ ServingReport EngineMetrics::Summarize(int64_t token_budget, int64_t max_pages) 
   rep.expert_tokens = expert_tokens_;
   rep.shard_tokens = shard_tokens_;
 
-  double ttft_steps = 0.0;
-  double ttft_ms = 0.0;
-  double turnaround_steps = 0.0;
-  std::vector<double> ttft_samples;
-  std::vector<double> turnaround_samples;
+  rep.request_timelines.reserve(requests_.size());
   for (const auto& [id, r] : requests_) {
     rep.streamed_rows += r.streamed_rows;
     if (r.finish_step >= 0 && r.prefill_chunks > 1) {
       ++rep.chunked_prefill_requests;
     }
+    // Per-request timeline summary — the report-side mirror of the trace's
+    // async "request" track (map iteration keeps ids ascending).
+    RequestTimeline tl;
+    tl.id = id;
+    tl.prompt_len = r.prompt_len;
+    tl.arrival_step = r.arrival_step;
+    tl.admit_step = r.admit_step;
+    tl.first_output_step = r.first_output_step;
+    tl.finish_step = r.finish_step;
+    tl.cancel_step = r.cancel_step;
+    tl.prefill_chunks = r.prefill_chunks;
+    tl.preemptions = r.preemptions;
+    if (r.first_output_step >= 0) {
+      tl.ttft_ms = r.first_output_ms - r.arrival_ms;
+    }
+    if (r.finish_step >= 0) {
+      tl.turnaround_ms = r.finish_ms - r.arrival_ms;
+    }
+    rep.request_timelines.push_back(tl);
     if (r.finish_step < 0) {
       continue;  // still in flight, cancelled, or never admitted
     }
     ++rep.requests_finished;
-    const double ttft = static_cast<double>(r.first_output_step - r.arrival_step + 1);
-    const double turnaround = static_cast<double>(r.finish_step - r.arrival_step + 1);
-    ttft_steps += ttft;
-    turnaround_steps += turnaround;
-    ttft_ms += r.first_output_ms - r.arrival_ms;
-    ttft_samples.push_back(ttft);
-    turnaround_samples.push_back(turnaround);
   }
+  // Latency stats come from the histograms OnFinish fed — the step-count
+  // pairs live entirely in the exact linear region, so means and
+  // nearest-rank percentiles match the old sort-the-samples path digit for
+  // digit, while the ms pairs give wall-clock p95s no sample vector kept.
   if (rep.requests_finished > 0) {
-    rep.mean_ttft_steps = ttft_steps / static_cast<double>(rep.requests_finished);
-    rep.mean_ttft_ms = ttft_ms / static_cast<double>(rep.requests_finished);
-    rep.mean_turnaround_steps = turnaround_steps / static_cast<double>(rep.requests_finished);
-    rep.p95_ttft_steps = Percentile95(std::move(ttft_samples));
-    rep.p95_turnaround_steps = Percentile95(std::move(turnaround_samples));
+    rep.mean_ttft_steps = ttft_steps_hist_.mean();
+    rep.p95_ttft_steps = ttft_steps_hist_.Percentile(0.95);
+    rep.mean_turnaround_steps = turnaround_steps_hist_.mean();
+    rep.p95_turnaround_steps = turnaround_steps_hist_.Percentile(0.95);
+    rep.mean_ttft_ms = ttft_ms_hist_.mean();
+    rep.p95_ttft_ms = ttft_ms_hist_.Percentile(0.95);
+    rep.mean_turnaround_ms = turnaround_ms_hist_.mean();
+    rep.p95_turnaround_ms = turnaround_ms_hist_.Percentile(0.95);
   }
 
   int64_t rows = 0;
@@ -225,10 +254,58 @@ void AppendField(std::string& out, const char* key, const std::vector<int64_t>& 
   out += last ? "]\n" : "],\n";
 }
 
+void AppendJsonString(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+void AppendConfigField(std::string& out, const char* key, const std::string& value,
+                       bool last = false) {
+  out += "    \"";
+  out += key;
+  out += "\": ";
+  AppendJsonString(out, value);
+  out += last ? "\n" : ",\n";
+}
+
+void AppendConfigField(std::string& out, const char* key, int64_t value, bool last = false) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "    \"%s\": %lld%s\n", key, static_cast<long long>(value),
+                last ? "" : ",");
+  out += buf;
+}
+
 }  // namespace
 
 std::string ServingReport::ToJson() const {
   std::string out = "{\n";
+  AppendField(out, "schema_version", provenance.schema_version);
+  out += "  \"config\": {\n";
+  AppendConfigField(out, "model", provenance.model);
+  AppendConfigField(out, "trace", provenance.trace);
+  AppendConfigField(out, "seed", provenance.seed);
+  AppendConfigField(out, "shards", provenance.shards);
+  AppendConfigField(out, "placement", provenance.placement);
+  AppendConfigField(out, "routing", provenance.routing);
+  AppendConfigField(out, "policy", provenance.policy);
+  AppendConfigField(out, "threads", provenance.threads);
+  AppendConfigField(out, "token_budget", provenance.token_budget);
+  AppendConfigField(out, "chunk_tokens", provenance.chunk_tokens);
+  AppendConfigField(out, "page_tokens", provenance.page_tokens);
+  AppendConfigField(out, "max_pages", provenance.max_pages, /*last=*/true);
+  out += "  },\n";
   AppendField(out, "requests_finished", requests_finished);
   AppendField(out, "requests_rejected", requests_rejected);
   AppendField(out, "requests_cancelled", requests_cancelled);
@@ -244,6 +321,9 @@ std::string ServingReport::ToJson() const {
   AppendField(out, "mean_turnaround_steps", mean_turnaround_steps);
   AppendField(out, "p95_turnaround_steps", p95_turnaround_steps);
   AppendField(out, "mean_ttft_ms", mean_ttft_ms);
+  AppendField(out, "p95_ttft_ms", p95_ttft_ms);
+  AppendField(out, "mean_turnaround_ms", mean_turnaround_ms);
+  AppendField(out, "p95_turnaround_ms", p95_turnaround_ms);
   AppendField(out, "mean_step_ms", mean_step_ms);
   AppendField(out, "tokens_per_second", tokens_per_second);
   AppendField(out, "mean_batch_rows", mean_batch_rows);
@@ -267,7 +347,28 @@ std::string ServingReport::ToJson() const {
   AppendField(out, "autotune_cache_hits", autotune_cache_hits);
   AppendField(out, "autotune_default_ms", autotune_default_ms);
   AppendField(out, "autotune_tuned_ms", autotune_tuned_ms);
-  AppendField(out, "autotune_speedup", autotune_speedup, /*last=*/true);
+  AppendField(out, "autotune_speedup", autotune_speedup);
+  out += "  \"request_timelines\": [";
+  for (size_t i = 0; i < request_timelines.size(); ++i) {
+    const RequestTimeline& tl = request_timelines[i];
+    char buf[384];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n    {\"id\": %lld, \"prompt_len\": %lld, \"arrival_step\": %lld, "
+                  "\"admit_step\": %lld, \"first_output_step\": %lld, \"finish_step\": %lld, "
+                  "\"cancel_step\": %lld, \"prefill_chunks\": %lld, \"preemptions\": %lld, "
+                  "\"ttft_ms\": %.6f, \"turnaround_ms\": %.6f}",
+                  i == 0 ? "" : ",", static_cast<long long>(tl.id),
+                  static_cast<long long>(tl.prompt_len),
+                  static_cast<long long>(tl.arrival_step),
+                  static_cast<long long>(tl.admit_step),
+                  static_cast<long long>(tl.first_output_step),
+                  static_cast<long long>(tl.finish_step),
+                  static_cast<long long>(tl.cancel_step),
+                  static_cast<long long>(tl.prefill_chunks),
+                  static_cast<long long>(tl.preemptions), tl.ttft_ms, tl.turnaround_ms);
+    out += buf;
+  }
+  out += request_timelines.empty() ? "]\n" : "\n  ]\n";
   out += "}\n";
   return out;
 }
@@ -289,10 +390,11 @@ void EngineMetrics::Print(const ServingReport& rep, std::FILE* out) {
                  static_cast<long long>(rep.chunked_prefill_requests));
   }
   std::fprintf(out,
-               "latency: TTFT %.1f steps (p95 %.1f) / %.2f ms, turnaround %.1f steps "
-               "(p95 %.1f), %.3f ms per step\n",
-               rep.mean_ttft_steps, rep.p95_ttft_steps, rep.mean_ttft_ms,
-               rep.mean_turnaround_steps, rep.p95_turnaround_steps, rep.mean_step_ms);
+               "latency: TTFT %.1f steps (p95 %.1f) / %.2f ms (p95 %.2f), turnaround %.1f "
+               "steps (p95 %.1f) / %.2f ms (p95 %.2f), %.3f ms per step\n",
+               rep.mean_ttft_steps, rep.p95_ttft_steps, rep.mean_ttft_ms, rep.p95_ttft_ms,
+               rep.mean_turnaround_steps, rep.p95_turnaround_steps, rep.mean_turnaround_ms,
+               rep.p95_turnaround_ms, rep.mean_step_ms);
   std::fprintf(out, "throughput: %.1f tokens/s over %.2f ms of forward time\n",
                rep.tokens_per_second, rep.wall_ms);
   std::fprintf(out, "batch: mean %.1f rows (%.0f%% of budget), peak %lld rows, "

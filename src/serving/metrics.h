@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/moe/router.h"
+#include "src/obs/metrics.h"
 
 namespace samoyeds {
 namespace serving {
@@ -65,6 +66,45 @@ struct StepMetrics {
   double est_total_ms() const { return est_compute_ms + est_alltoall_ms; }
 };
 
+// Where a report came from: schema version plus the run configuration, so a
+// `BENCH_*.json` or `--report-json` artifact is self-describing long after
+// the flags that produced it are forgotten. Emitted as the leading
+// "schema_version" / "config" keys of `ServingReport::ToJson`.
+struct ReportProvenance {
+  int64_t schema_version = 1;
+  std::string model;  // model-shape echo ("layers=2 experts=8 hidden=32 ...")
+  std::string trace;  // workload description ("poisson n=24" / trace file)
+  int64_t seed = 0;
+  int64_t shards = 1;
+  std::string placement;  // shard placement policy name
+  std::string routing;    // routing algorithm name
+  std::string policy;     // scheduler admission policy name
+  int64_t threads = 0;
+  int64_t token_budget = 0;
+  int64_t chunk_tokens = 0;  // 0 = prefill never chunked
+  int64_t page_tokens = 0;
+  int64_t max_pages = 0;
+};
+
+// One request's lifecycle in engine steps plus its wall-clock latency pair —
+// the JSON mirror of the trace's per-request async span (same steps the
+// "request" track instants carry), emitted as the "request_timelines" array
+// of `ServingReport::ToJson`. Unset step markers stay -1 (e.g. a cancelled
+// session's finish_step).
+struct RequestTimeline {
+  int64_t id = 0;
+  int64_t prompt_len = 0;
+  int64_t arrival_step = -1;
+  int64_t admit_step = -1;
+  int64_t first_output_step = -1;
+  int64_t finish_step = -1;
+  int64_t cancel_step = -1;
+  int64_t prefill_chunks = 0;
+  int64_t preemptions = 0;
+  double ttft_ms = 0.0;        // 0 when no first output was produced
+  double turnaround_ms = 0.0;  // 0 unless the request finished
+};
+
 // Aggregates over one engine run.
 struct ServingReport {
   int64_t requests_finished = 0;
@@ -85,6 +125,9 @@ struct ServingReport {
   double mean_turnaround_steps = 0.0;  // arrival -> finish, inclusive
   double p95_turnaround_steps = 0.0;
   double mean_ttft_ms = 0.0;
+  double p95_ttft_ms = 0.0;  // wall-clock, from the log-bucketed histogram
+  double mean_turnaround_ms = 0.0;
+  double p95_turnaround_ms = 0.0;
   double mean_step_ms = 0.0;
   double tokens_per_second = 0.0;       // (prefill + decode rows) / wall time
   double mean_batch_rows = 0.0;
@@ -97,6 +140,10 @@ struct ServingReport {
   double mean_frag_tokens = 0.0;        // fragmentation waste per step
   std::vector<int64_t> expert_tokens;   // routed tokens per expert, all layers
   double expert_imbalance = 0.0;        // max / mean of expert_tokens
+
+  // Per-request lifecycle summaries, ascending id (rejected requests are
+  // dropped at rejection time and do not appear).
+  std::vector<RequestTimeline> request_timelines;
 
   // Expert-parallel sharding (single-shard runs leave these trivial).
   std::vector<int64_t> shard_tokens;    // routed tokens per shard, all layers
@@ -114,6 +161,10 @@ struct ServingReport {
   double autotune_tuned_ms = 0.0;    // simulated kernel time, tuned configs
   // default / tuned simulated time; 1.0 when autotuning never ran.
   double autotune_speedup = 0.0;
+
+  // Run provenance, emitted first in ToJson. Summarize leaves the config
+  // fields default; ServingEngine::Report and the CLI fill them in.
+  ReportProvenance provenance;
 
   // Machine-readable form of the whole report (one JSON object; arrays for
   // the per-expert/per-shard histograms) — what `samoyeds_cli serve
@@ -165,6 +216,12 @@ class EngineMetrics {
 
   Clock::time_point start_;
   std::map<int64_t, RequestMetrics> requests_;
+  // Latency sketches, fed at OnFinish/OnStep: the step-count pairs stay
+  // exact (linear histogram region), the ms pairs record at 1 µs resolution.
+  obs::Histogram ttft_steps_hist_{1.0};
+  obs::Histogram turnaround_steps_hist_{1.0};
+  obs::Histogram ttft_ms_hist_{1000.0};
+  obs::Histogram turnaround_ms_hist_{1000.0};
   std::vector<StepMetrics> steps_;
   std::vector<std::pair<int64_t, int64_t>> preemption_log_;
   std::vector<int64_t> expert_tokens_;

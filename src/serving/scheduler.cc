@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/obs/tracer.h"
 #include "src/serving/kv_cache.h"
 
 namespace samoyeds {
@@ -56,9 +57,21 @@ int64_t FirstChunkRows(int64_t prompt_len, const SchedulerConfig& config) {
   return std::min({prompt_len, config.chunk_tokens, config.token_budget});
 }
 
-void Scheduler::Enqueue(Request request) { pending_.push_back(std::move(request)); }
+// Backlog-depth samples fire on every transition (enqueue, requeue, the
+// admission sweep) so the counter track shows queue pressure between the
+// engine's per-step samples too.
 
-void Scheduler::Requeue(Request request) { pending_.push_front(std::move(request)); }
+void Scheduler::Enqueue(Request request) {
+  pending_.push_back(std::move(request));
+  obs::TraceCounter("scheduler", "backlog", obs::TraceDetail::kStep,
+                    static_cast<int64_t>(pending_.size()));
+}
+
+void Scheduler::Requeue(Request request) {
+  pending_.push_front(std::move(request));
+  obs::TraceCounter("scheduler", "backlog", obs::TraceDetail::kStep,
+                    static_cast<int64_t>(pending_.size()));
+}
 
 bool Scheduler::Cancel(int64_t id) {
   for (auto it = pending_.begin(); it != pending_.end(); ++it) {
@@ -168,6 +181,8 @@ AdmissionDecision Scheduler::Admit(int64_t committed_rows, const ResidentSnapsho
     }
   }
   pending_ = std::move(remaining);
+  obs::TraceCounter("scheduler", "backlog", obs::TraceDetail::kStep,
+                    static_cast<int64_t>(pending_.size()));
   return decision;
 }
 

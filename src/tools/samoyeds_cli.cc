@@ -20,6 +20,7 @@
 #include "src/kernels/venom_spmm.h"
 #include "src/moe/memory_model.h"
 #include "src/moe/model_configs.h"
+#include "src/obs/tracer.h"
 #include "src/serving/engine.h"
 #include "src/serving/trace.h"
 #include "src/simgpu/timing_model.h"
@@ -48,7 +49,8 @@ void PrintUsage(std::FILE* out) {
       "        [--prompt-min=N] [--prompt-max=N] [--decode-min=N] [--decode-max=N]\n"
       "        [--seed=N] [--autotune=0|1] [--routing=top-k|expert-choice]\n"
       "        [--shards=N] [--placement=round-robin|capacity|gate-stats]\n"
-      "        [--link-gbps=R] [--link-us=R]\n"
+      "        [--link-gbps=R] [--link-us=R] [--trace-out=FILE]\n"
+      "        [--trace-detail=step|request|full] [--trace-ring=N]\n"
       "        --chunk-tokens=N serves prompts longer than the token budget by\n"
       "        splitting prefill into <=N-row chunks interleaved with decode rows\n"
       "        (outputs bit-identical to one-shot prefill; 0 = off);\n"
@@ -64,7 +66,13 @@ void PrintUsage(std::FILE* out) {
       "        expert layout and --link-gbps/--link-us overriding the per-link\n"
       "        interconnect of the simulated cluster;\n"
       "        --routing=expert-choice serves with expert-choice routing (perfect\n"
-      "        per-layer expert balance; outputs depend on batch composition)\n",
+      "        per-layer expert balance; outputs depend on batch composition);\n"
+      "        --trace-out=FILE captures a Chrome trace-event timeline of the run\n"
+      "        (open in https://ui.perfetto.dev or chrome://tracing) with\n"
+      "        --trace-detail choosing step phases+counters (step), + per-request\n"
+      "        lifecycle rows (request), or + per-layer/per-tile worker spans\n"
+      "        (full, default) and --trace-ring=N bounding the flight-recorder\n"
+      "        ring to the most recent N events per thread\n",
       out);
 }
 
@@ -279,6 +287,9 @@ struct ServeOptions {
   int64_t prompt_min = 4, prompt_max = 16;
   int64_t decode_min = 2, decode_max = 8;
   uint64_t seed = 1234;
+  std::string trace_out;  // write Chrome trace-event JSON here; empty = off
+  obs::TraceDetail trace_detail = obs::TraceDetail::kFull;
+  int64_t trace_ring = obs::Tracer::kDefaultRingCapacity;
 };
 
 bool ParseServeFlag(const std::string& arg, ServeOptions& opt) {
@@ -389,6 +400,19 @@ bool ParseServeFlag(const std::string& arg, ServeOptions& opt) {
     opt.decode_max = ParseI64(value, "decode-max");
   } else if (key == "--seed") {
     opt.seed = static_cast<uint64_t>(ParseI64(value, "seed"));
+  } else if (key == "--trace-out") {
+    opt.trace_out = value;
+  } else if (key == "--trace-detail") {
+    if (!obs::ParseTraceDetail(value, &opt.trace_detail)) {
+      std::fprintf(stderr, "unknown trace-detail: %s (step | request | full)\n", value);
+      std::exit(2);
+    }
+  } else if (key == "--trace-ring") {
+    opt.trace_ring = ParseI64(value, "trace-ring");
+    if (opt.trace_ring < 1) {
+      std::fprintf(stderr, "need trace-ring >= 1\n");
+      std::exit(2);
+    }
   } else {
     std::fprintf(stderr, "unknown serve flag: %s\n", key.c_str());
     std::exit(2);
@@ -591,13 +615,44 @@ int CmdServe(int argc, char** argv) {
     };
   }
 
+  // Tracing starts before the first Submit so arrival events land in the
+  // capture, and stops before export (Snapshot requires emitter quiescence,
+  // which RunUntilDrained guarantees on return).
+  if (!opt.trace_out.empty()) {
+    obs::SetThreadName("engine");
+    obs::Tracer::Get().Start(opt.trace_detail, opt.trace_ring);
+    std::printf("tracing: %s detail, ring %lld events/thread -> %s\n",
+                obs::TraceDetailName(opt.trace_detail),
+                static_cast<long long>(opt.trace_ring), opt.trace_out.c_str());
+  }
+
   const std::vector<int64_t> ids = serving::AssignTraceIds(entries);
   for (size_t i = 0; i < entries.size(); ++i) {
     engine.Submit(serving::MakeRequest(rng, ids[i], entries[i], opt.hidden), on_rows);
   }
   const int64_t iterations = engine.RunUntilDrained(/*max_steps=*/1000000);
 
-  const serving::ServingReport report = engine.Report();
+  if (!opt.trace_out.empty()) {
+    obs::Tracer& tracer = obs::Tracer::Get();
+    tracer.Stop();
+    if (!tracer.WriteChromeJson(opt.trace_out)) {
+      std::fprintf(stderr, "cannot write %s\n", opt.trace_out.c_str());
+      return 2;
+    }
+    std::printf("wrote %s (%lld events, %lld overwritten by the flight-recorder ring)\n",
+                opt.trace_out.c_str(), static_cast<long long>(tracer.total_events()),
+                static_cast<long long>(tracer.dropped_events()));
+  }
+
+  serving::ServingReport report = engine.Report();
+  char model_echo[128];
+  std::snprintf(model_echo, sizeof(model_echo),
+                "%s layers=%d hidden=%d inter=%d experts=%d top_k=%d heads=%d shared=%d",
+                opt.model.c_str(), opt.layers, opt.hidden, opt.inter, opt.experts, opt.top_k,
+                opt.heads, opt.shared);
+  report.provenance.model = model_echo;
+  report.provenance.trace = opt.trace;
+  report.provenance.seed = static_cast<int64_t>(opt.seed);
   serving::EngineMetrics::Print(report, stdout);
   if (!opt.report_json.empty()) {
     std::FILE* f = std::fopen(opt.report_json.c_str(), "w");

@@ -1,0 +1,169 @@
+// ServingReport::ToJson: the machine-readable report artifact --report-json
+// and the bench emitters build on. Pins down —
+//
+//   * well-formedness and key coverage (provenance header first, every
+//     latency/throughput/expert field present) on a real engine run;
+//   * numeric round-trip: values read back out of the JSON equal the struct
+//     fields that went in;
+//   * the empty-run edge: a freshly-constructed EngineMetrics summarizes and
+//     serializes to valid JSON full of zeros, not NaNs ("nan" is not JSON);
+//   * provenance strings are escaped, so a hostile trace path ("ba\"d.txt")
+//     cannot corrupt the artifact.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/moe/decoder_layer.h"
+#include "src/serving/engine.h"
+#include "src/serving/metrics.h"
+#include "src/serving/scheduler.h"
+#include "src/serving/trace.h"
+#include "src/tensor/rng.h"
+#include "tests/test_util.h"
+
+namespace samoyeds {
+namespace serving {
+namespace {
+
+MoeModelConfig TinyConfig() {
+  MoeModelConfig cfg;
+  cfg.name = "tiny";
+  cfg.num_experts = 4;
+  cfg.hidden = 32;
+  cfg.intermediate = 64;
+  cfg.top_k = 2;
+  cfg.shared_experts = 0;
+  return cfg;
+}
+
+ServingReport RunTinyWorkload() {
+  Rng rng(201);
+  const MoeModelConfig cfg = TinyConfig();
+  const SamoyedsConfig fmt{1, 2, 32};
+  std::vector<SamoyedsDecoderLayerWeights> model{
+      SamoyedsDecoderLayerWeights::Encode(DecoderLayerWeights::Random(rng, cfg), fmt)};
+  EngineConfig engine_cfg;
+  engine_cfg.heads = 4;
+  engine_cfg.top_k = 2;
+  engine_cfg.threads = 2;
+  engine_cfg.scheduler.policy = SchedulerPolicy::kTokenBudget;
+  engine_cfg.scheduler.token_budget = 16;
+  engine_cfg.scheduler.max_resident_tokens = 1 << 20;
+  ServingEngine engine(model, engine_cfg);
+  for (int64_t i = 0; i < 3; ++i) {
+    TraceEntry e{/*arrival_step=*/0, /*prompt_len=*/5, /*max_new_tokens=*/3};
+    EXPECT_TRUE(engine.Submit(MakeRequest(rng, i, e, cfg.hidden)));
+  }
+  engine.RunUntilDrained(1000);
+  return engine.Report();
+}
+
+TEST(ReportJsonTest, KeyCoverageOnARealRun) {
+  const ServingReport rep = RunTinyWorkload();
+  const std::string json = rep.ToJson();
+  ASSERT_TRUE(JsonParses(json)) << json;
+
+  // The provenance header leads the object so artifacts are self-describing
+  // from the first lines.
+  EXPECT_LT(json.find("\"schema_version\""), json.find("\"requests_finished\""));
+  EXPECT_LT(json.find("\"config\""), json.find("\"requests_finished\""));
+
+  for (const char* key :
+       {"schema_version", "config", "placement", "routing", "policy", "token_budget",
+        "requests_finished", "requests_rejected", "requests_cancelled", "steps",
+        "prefill_rows", "decode_rows", "prefill_chunk_slices", "streamed_rows",
+        "wall_ms", "mean_ttft_steps", "p95_ttft_steps", "mean_turnaround_steps",
+        "p95_turnaround_steps", "mean_ttft_ms", "p95_ttft_ms", "mean_turnaround_ms",
+        "p95_turnaround_ms", "mean_step_ms", "tokens_per_second", "mean_occupancy",
+        "peak_sequences", "preemptions", "expert_tokens", "expert_imbalance",
+        "shard_tokens", "est_compute_ms", "est_alltoall_ms", "request_timelines"}) {
+    EXPECT_TRUE(HasJsonKey(json, key)) << "missing key: " << key;
+  }
+}
+
+TEST(ReportJsonTest, RequestTimelinesMirrorTheRun) {
+  const ServingReport rep = RunTinyWorkload();
+  ASSERT_EQ(rep.request_timelines.size(), 3u);
+  int64_t prev_id = -1;
+  for (const RequestTimeline& tl : rep.request_timelines) {
+    EXPECT_GT(tl.id, prev_id);  // ascending id
+    prev_id = tl.id;
+    EXPECT_EQ(tl.prompt_len, 5);
+    EXPECT_GE(tl.admit_step, tl.arrival_step);
+    EXPECT_GE(tl.first_output_step, tl.admit_step);
+    EXPECT_GE(tl.finish_step, tl.first_output_step);
+    EXPECT_EQ(tl.cancel_step, -1);
+    EXPECT_GT(tl.ttft_ms, 0.0);
+    EXPECT_GE(tl.turnaround_ms, tl.ttft_ms);
+  }
+  const std::string json = rep.ToJson();
+  ASSERT_TRUE(JsonParses(json)) << json;
+  for (const char* key : {"arrival_step", "admit_step", "first_output_step",
+                          "finish_step", "prefill_chunks", "turnaround_ms"}) {
+    EXPECT_TRUE(HasJsonKey(json, key)) << "missing timeline key: " << key;
+  }
+}
+
+TEST(ReportJsonTest, NumbersRoundTrip) {
+  const ServingReport rep = RunTinyWorkload();
+  const std::string json = rep.ToJson();
+  ASSERT_TRUE(JsonParses(json));
+
+  double v = 0.0;
+  ASSERT_TRUE(FindJsonNumber(json, "requests_finished", &v));
+  EXPECT_EQ(static_cast<int64_t>(v), rep.requests_finished);
+  EXPECT_EQ(rep.requests_finished, 3);
+  ASSERT_TRUE(FindJsonNumber(json, "steps", &v));
+  EXPECT_EQ(static_cast<int64_t>(v), rep.steps);
+  ASSERT_TRUE(FindJsonNumber(json, "schema_version", &v));
+  EXPECT_EQ(static_cast<int64_t>(v), rep.provenance.schema_version);
+  ASSERT_TRUE(FindJsonNumber(json, "token_budget", &v));
+  EXPECT_EQ(static_cast<int64_t>(v), 16);
+  // Doubles are printed with enough digits to survive a parse round-trip at
+  // report precision.
+  ASSERT_TRUE(FindJsonNumber(json, "mean_ttft_steps", &v));
+  EXPECT_NEAR(v, rep.mean_ttft_steps, 1e-4);
+  ASSERT_TRUE(FindJsonNumber(json, "p95_turnaround_ms", &v));
+  EXPECT_NEAR(v, rep.p95_turnaround_ms, 1e-4);
+  EXPECT_GT(rep.p95_turnaround_ms, 0.0);  // wall-clock p95s actually populate
+  ASSERT_TRUE(FindJsonNumber(json, "tokens_per_second", &v));
+  EXPECT_NEAR(v, rep.tokens_per_second, rep.tokens_per_second * 1e-5 + 1e-4);
+}
+
+TEST(ReportJsonTest, EmptyRunSerializesToZeros) {
+  EngineMetrics metrics;
+  const ServingReport rep = metrics.Summarize(/*token_budget=*/0);
+  const std::string json = rep.ToJson();
+  ASSERT_TRUE(JsonParses(json)) << json;  // rejects "nan" / "inf" spellings
+
+  double v = 1.0;
+  ASSERT_TRUE(FindJsonNumber(json, "requests_finished", &v));
+  EXPECT_EQ(v, 0.0);
+  ASSERT_TRUE(FindJsonNumber(json, "mean_ttft_steps", &v));
+  EXPECT_EQ(v, 0.0);
+  ASSERT_TRUE(FindJsonNumber(json, "p95_ttft_ms", &v));
+  EXPECT_EQ(v, 0.0);
+  ASSERT_TRUE(FindJsonNumber(json, "tokens_per_second", &v));
+  EXPECT_EQ(v, 0.0);
+  ASSERT_TRUE(FindJsonNumber(json, "mean_occupancy", &v));
+  EXPECT_EQ(v, 0.0);
+}
+
+TEST(ReportJsonTest, ProvenanceStringsAreEscaped) {
+  ServingReport rep;
+  rep.provenance.model = "tiny \"quoted\" model";
+  rep.provenance.trace = "path\\with\\backslashes\nand a newline";
+  rep.provenance.placement = "round-robin";
+  const std::string json = rep.ToJson();
+  ASSERT_TRUE(JsonParses(json)) << json;
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\u000a"), std::string::npos);  // control chars as \uXXXX
+  EXPECT_EQ(json.find("backslashes\nand"), std::string::npos);  // never raw
+}
+
+}  // namespace
+}  // namespace serving
+}  // namespace samoyeds

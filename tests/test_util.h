@@ -3,7 +3,10 @@
 #ifndef SAMOYEDS_TESTS_TEST_UTIL_H_
 #define SAMOYEDS_TESTS_TEST_UTIL_H_
 
+#include <cctype>
 #include <cstdint>
+#include <cstdlib>
+#include <string>
 
 #include "src/formats/samoyeds_format.h"
 #include "src/formats/sel.h"
@@ -34,6 +37,210 @@ inline Selection RandomSelection(Rng& rng, int64_t full, int64_t count) {
   std::sort(all.begin(), all.end());
   sel.indices = std::move(all);
   return sel;
+}
+
+// ---- Minimal JSON checks for emitted artifacts ------------------------------
+// Strict recursive-descent validation of the JSON this repo writes (reports,
+// bench envelopes, traces): objects, arrays, escaped strings, RFC-8259
+// numbers, true/false/null. Deliberately rejects NaN/Infinity — a printf'd
+// "nan" in a report is exactly the corruption these checks exist to catch.
+
+namespace json_detail {
+
+inline void SkipWs(const std::string& s, size_t& i) {
+  while (i < s.size() &&
+         (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r')) {
+    ++i;
+  }
+}
+
+inline bool ParseString(const std::string& s, size_t& i) {
+  if (i >= s.size() || s[i] != '"') {
+    return false;
+  }
+  for (++i; i < s.size(); ++i) {
+    if (s[i] == '\\') {
+      ++i;  // escape: skip the escaped character blindly
+    } else if (s[i] == '"') {
+      ++i;
+      return true;
+    }
+  }
+  return false;  // unterminated
+}
+
+inline bool ParseNumber(const std::string& s, size_t& i) {
+  if (i < s.size() && s[i] == '-') {
+    ++i;
+  }
+  size_t digits = 0;
+  while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) {
+    ++i;
+    ++digits;
+  }
+  if (digits == 0) {
+    return false;
+  }
+  if (i < s.size() && s[i] == '.') {
+    ++i;
+    size_t frac = 0;
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) {
+      ++i;
+      ++frac;
+    }
+    if (frac == 0) {
+      return false;
+    }
+  }
+  if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+    ++i;
+    if (i < s.size() && (s[i] == '+' || s[i] == '-')) {
+      ++i;
+    }
+    size_t exp = 0;
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) {
+      ++i;
+      ++exp;
+    }
+    if (exp == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+inline bool ParseValue(const std::string& s, size_t& i);
+
+inline bool ParseObject(const std::string& s, size_t& i) {
+  ++i;  // '{'
+  SkipWs(s, i);
+  if (i < s.size() && s[i] == '}') {
+    ++i;
+    return true;
+  }
+  while (true) {
+    SkipWs(s, i);
+    if (!ParseString(s, i)) {
+      return false;
+    }
+    SkipWs(s, i);
+    if (i >= s.size() || s[i] != ':') {
+      return false;
+    }
+    ++i;
+    if (!ParseValue(s, i)) {
+      return false;
+    }
+    SkipWs(s, i);
+    if (i < s.size() && s[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (i < s.size() && s[i] == '}') {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+}
+
+inline bool ParseArray(const std::string& s, size_t& i) {
+  ++i;  // '['
+  SkipWs(s, i);
+  if (i < s.size() && s[i] == ']') {
+    ++i;
+    return true;
+  }
+  while (true) {
+    if (!ParseValue(s, i)) {
+      return false;
+    }
+    SkipWs(s, i);
+    if (i < s.size() && s[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (i < s.size() && s[i] == ']') {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+}
+
+inline bool ParseValue(const std::string& s, size_t& i) {
+  SkipWs(s, i);
+  if (i >= s.size()) {
+    return false;
+  }
+  switch (s[i]) {
+    case '{':
+      return ParseObject(s, i);
+    case '[':
+      return ParseArray(s, i);
+    case '"':
+      return ParseString(s, i);
+    case 't':
+      if (s.compare(i, 4, "true") != 0) return false;
+      i += 4;
+      return true;
+    case 'f':
+      if (s.compare(i, 5, "false") != 0) return false;
+      i += 5;
+      return true;
+    case 'n':
+      if (s.compare(i, 4, "null") != 0) return false;
+      i += 4;
+      return true;
+    default:
+      return ParseNumber(s, i);
+  }
+}
+
+}  // namespace json_detail
+
+// True iff `text` is one complete well-formed JSON value.
+inline bool JsonParses(const std::string& text) {
+  size_t i = 0;
+  if (!json_detail::ParseValue(text, i)) {
+    return false;
+  }
+  json_detail::SkipWs(text, i);
+  return i == text.size();
+}
+
+inline bool HasJsonKey(const std::string& json, const std::string& key) {
+  return json.find("\"" + key + "\"") != std::string::npos;
+}
+
+// First numeric value following `"key":` anywhere in `json`. False when the
+// key is absent or its value is not a number — the numeric round-trip check.
+inline bool FindJsonNumber(const std::string& json, const std::string& key, double* out) {
+  const std::string needle = "\"" + key + "\"";
+  size_t pos = json.find(needle);
+  if (pos == std::string::npos) {
+    return false;
+  }
+  pos += needle.size();
+  json_detail::SkipWs(json, pos);
+  if (pos >= json.size() || json[pos] != ':') {
+    return false;
+  }
+  ++pos;
+  json_detail::SkipWs(json, pos);
+  // Reject non-JSON spellings strtod would happily accept ("nan", "inf").
+  if (pos >= json.size() ||
+      (json[pos] != '-' && !std::isdigit(static_cast<unsigned char>(json[pos])))) {
+    return false;
+  }
+  const char* begin = json.c_str() + pos;
+  char* end = nullptr;
+  const double value = std::strtod(begin, &end);
+  if (end == begin) {
+    return false;
+  }
+  *out = value;
+  return true;
 }
 
 }  // namespace samoyeds
