@@ -178,6 +178,96 @@ ChunkRun RunChunkCell(uint64_t seed, int64_t budget, int64_t chunk_tokens, int r
   return run;
 }
 
+// One cell of the prefix-sharing comparison: a multi-tenant trace where every
+// request opens with the same 16-row "system prompt" block (stamped from the
+// first request's inputs), so a radix prefix cache can serve that block from
+// shared pages for every tenant after the first. The same trace is run with
+// sharing off and on (and, under a tight page pool, with swap preemption),
+// gated on bit-identity plus an actual hit rate and TTFT win.
+struct PrefixRun {
+  serving::ServingReport report;
+  std::vector<MatrixF> outputs;  // per request, submission order
+  int64_t finished = 0;
+  // TTFT split by whether the admission reused cached prompt tokens.
+  double hit_ttft_steps = 0.0;
+  double miss_ttft_steps = 0.0;
+  int64_t hit_sessions = 0;
+};
+
+PrefixRun RunPrefixCell(uint64_t seed, bool prefix_cache, bool preempt, bool swap,
+                        int64_t max_pages, int requests) {
+  constexpr int64_t kSystemRows = 16;
+  Rng rng(seed);
+  serving::EngineConfig cfg;
+  cfg.heads = kHeads;
+  cfg.top_k = kTopK;
+  cfg.threads = 2;
+  cfg.scheduler.policy = serving::SchedulerPolicy::kTokenBudget;
+  cfg.scheduler.token_budget = 48;
+  cfg.scheduler.chunk_tokens = 16;
+  cfg.scheduler.max_resident_tokens = 4096;
+  cfg.scheduler.page_tokens = 8;
+  cfg.scheduler.max_pages = max_pages;
+  cfg.scheduler.preempt = preempt;
+  cfg.prefix_cache = prefix_cache;
+  cfg.swap = swap;
+  cfg.host_pages = 64;
+  serving::ServingEngine engine(BuildModel(rng, /*skew=*/2.0), cfg);
+
+  // Arrivals are spread out (mean gap 10 steps) so early tenants retire — and
+  // donate their prefix — before later ones are admitted; a back-to-back
+  // burst would admit everyone cold before the first donation exists.
+  const auto entries = serving::SyntheticTrace(rng, requests, /*rate=*/0.1,
+                                               /*prompt_lo=*/20, /*prompt_hi=*/32,
+                                               /*decode_lo=*/4, /*decode_hi=*/8);
+  std::vector<serving::Request> reqs;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    reqs.push_back(serving::MakeRequest(rng, static_cast<int64_t>(i), entries[i], kHidden));
+  }
+  for (size_t i = 1; i < reqs.size(); ++i) {
+    for (int64_t r = 0; r < kSystemRows; ++r) {
+      for (int64_t c = 0; c < kHidden; ++c) {
+        reqs[i].inputs(r, c) = reqs[0].inputs(r, c);
+      }
+    }
+  }
+  for (auto& r : reqs) {
+    engine.Submit(std::move(r));
+  }
+  engine.RunUntilDrained(/*max_steps=*/100000);
+
+  PrefixRun run;
+  run.report = engine.Report();
+  int64_t misses = 0;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const serving::RequestResult* result = engine.Result(static_cast<int64_t>(i));
+    const bool done = result != nullptr &&
+                      result->status == serving::RequestStatus::kFinished;
+    run.finished += done ? 1 : 0;
+    run.outputs.push_back(done ? result->outputs : MatrixF(0, 0));
+  }
+  for (const auto& [id, m] : engine.metrics().requests()) {
+    if (m.first_output_step < 0) {
+      continue;
+    }
+    const double ttft = static_cast<double>(m.first_output_step - m.arrival_step);
+    if (m.cached_prompt_tokens > 0) {
+      run.hit_ttft_steps += ttft;
+      ++run.hit_sessions;
+    } else {
+      run.miss_ttft_steps += ttft;
+      ++misses;
+    }
+  }
+  if (run.hit_sessions > 0) {
+    run.hit_ttft_steps /= static_cast<double>(run.hit_sessions);
+  }
+  if (misses > 0) {
+    run.miss_ttft_steps /= static_cast<double>(misses);
+  }
+  return run;
+}
+
 // Accumulates sweep cells as JSON objects (one per line) for --json=PATH.
 class JsonCells {
  public:
@@ -384,6 +474,87 @@ int main(int argc, char** argv) {
                 identical ? "yes" : "NO");
   }
 
+  // ---- Prefix sharing: shared-system-prompt multi-tenant trace -------------
+  // Every tenant opens with the same 16-row system prompt; the cache must buy
+  // an actual hit rate and a TTFT win while staying bit-identical to the
+  // sharing-off run. A second pair re-runs the trace under a tight page pool
+  // with preemption, where sharing-on also swaps victims instead of
+  // recomputing them — still gated bit-identical.
+  const int prefix_requests = smoke ? 8 : 20;
+  int prefix_failures = 0;
+  PrintHeader("Prefix sharing: 16-row shared system prompt, 20..32-row prompts "
+              "(sharing on vs off must be bit-identical; hits must beat misses)");
+  std::printf("%16s %9s %10s %9s %9s %9s %6s %7s %10s\n", "mode", "finished",
+              "TTFT mean", "hit TTFT", "miss TTFT", "hit rate", "cow", "swaps",
+              "identical");
+  struct PrefixMode {
+    const char* name;
+    bool prefix;
+    bool swap;
+    int64_t max_pages;
+    int baseline;  // index into runs[] to compare outputs against; -1 = is a baseline
+  };
+  const PrefixMode prefix_modes[] = {
+      {"off", false, false, 64, -1},
+      {"on", true, false, 64, 0},
+      {"off+preempt", false, false /*recompute*/, 8, -1},
+      {"on+swap", true, true, 8, 2},
+  };
+  std::vector<PrefixRun> prefix_runs;
+  for (const PrefixMode& mode : prefix_modes) {
+    // The tight-pool pair runs with preemption on either way; only the
+    // readmission strategy differs (recompute vs swap restore).
+    PrefixRun run = RunPrefixCell(/*seed=*/7, mode.prefix, /*preempt=*/mode.max_pages == 8,
+                                  mode.swap, mode.max_pages, prefix_requests);
+    int identical = -1;
+    if (mode.baseline >= 0) {
+      const PrefixRun& base = prefix_runs[static_cast<size_t>(mode.baseline)];
+      bool same = run.finished == prefix_requests && base.finished == prefix_requests &&
+                  run.outputs.size() == base.outputs.size();
+      for (size_t i = 0; same && i < run.outputs.size(); ++i) {
+        same = run.outputs[i] == base.outputs[i];
+      }
+      identical = same ? 1 : 0;
+      prefix_failures += same ? 0 : 1;
+      if (!same) {
+        std::fprintf(stderr, "FAIL: prefix mode '%s' diverged bit-wise from '%s'\n",
+                     mode.name, prefix_modes[mode.baseline].name);
+      }
+    }
+    cells.Add("prefix_sharing",
+              Params("\"mode\": \"%s\", \"hit_rate\": %.3f, \"hit_tokens\": %lld, "
+                     "\"cow_splits\": %lld, \"swap_outs\": %lld",
+                     mode.name, run.report.prefix_hit_rate,
+                     static_cast<long long>(run.report.prefix_hit_tokens),
+                     static_cast<long long>(run.report.cow_splits),
+                     static_cast<long long>(run.report.swap_outs)),
+              run.report, identical);
+    std::printf("%16s %9lld %10.1f %9.1f %9.1f %8.0f%% %6lld %7lld %10s\n", mode.name,
+                static_cast<long long>(run.finished), run.report.mean_ttft_steps,
+                run.hit_ttft_steps, run.miss_ttft_steps, 100.0 * run.report.prefix_hit_rate,
+                static_cast<long long>(run.report.cow_splits),
+                static_cast<long long>(run.report.swap_outs),
+                identical < 0 ? "base" : identical > 0 ? "yes" : "NO");
+    prefix_runs.push_back(std::move(run));
+  }
+  {
+    const PrefixRun& off = prefix_runs[0];
+    const PrefixRun& on = prefix_runs[1];
+    if (on.report.prefix_hit_tokens <= 0 || on.hit_sessions <= 0) {
+      std::fprintf(stderr, "FAIL: sharing-on run produced no prefix hits\n");
+      ++prefix_failures;
+    }
+    if (on.report.mean_ttft_steps >= off.report.mean_ttft_steps) {
+      std::fprintf(stderr,
+                   "FAIL: prefix sharing did not improve mean TTFT (%.2f vs %.2f steps)\n",
+                   on.report.mean_ttft_steps, off.report.mean_ttft_steps);
+      ++prefix_failures;
+    }
+    std::printf("prefix sharing: mean TTFT %.1f -> %.1f steps, hit rate %.0f%%\n",
+                off.report.mean_ttft_steps, on.report.mean_ttft_steps,
+                100.0 * on.report.prefix_hit_rate);
+  }
+
   // ---- Expert-parallel shard sweep (also the CI bit-identity gate) ---------
   const int shard_requests = smoke ? 12 : 24;
   const std::vector<double> shard_skews = smoke ? std::vector<double>{8.0}
@@ -514,5 +685,8 @@ int main(int argc, char** argv) {
                  "FAIL: %d sharded run(s) diverged bit-wise from the unsharded baseline\n",
                  divergences);
   }
-  return (divergences > 0 || chunk_divergences > 0 || trace_failures > 0) ? 1 : 0;
+  return (divergences > 0 || chunk_divergences > 0 || trace_failures > 0 ||
+          prefix_failures > 0)
+             ? 1
+             : 0;
 }

@@ -71,6 +71,8 @@ ServingEngine::ServingEngine(std::vector<SamoyedsDecoderLayerWeights> layers,
       scheduler_(config.scheduler),
       cache_(KvCacheConfig{config.scheduler.page_tokens, config.scheduler.max_pages},
              static_cast<int64_t>(layers_.size()), hidden_),
+      swap_tier_(static_cast<int64_t>(layers_.size()), hidden_,
+                 config.scheduler.page_tokens, config.host_pages),
       pool_(config.threads, std::max(1, config.shards)) {
   assert(!layers_.empty());
   assert(hidden_ % config_.heads == 0);
@@ -89,6 +91,16 @@ ServingEngine::ServingEngine(std::vector<SamoyedsDecoderLayerWeights> layers,
   }
   shard_plan_ = BuildShardPlan();
   assert(shard_plan_.IsValid());
+  // Prefix sharing relies on per-row outputs being independent of batch
+  // composition; expert-choice routing breaks that, so the cache is silently
+  // suppressed there (replaying another batch's rows would not be
+  // bit-lossless). Swap preemption needs an eviction path (preempt + bounded
+  // pool) and a modeled host link to charge transfers against.
+  if (config_.prefix_cache && config_.routing != RoutingAlgo::kExpertChoice) {
+    prefix_cache_ = std::make_unique<PrefixCache>(config_.scheduler.page_tokens, hidden_);
+  }
+  swap_enabled_ = config_.swap && config_.scheduler.preempt &&
+                  config_.scheduler.max_pages > 0 && cluster_.device(0).has_host_link();
 }
 
 ExpertShardPlan ServingEngine::BuildShardPlan() const {
@@ -224,6 +236,12 @@ bool ServingEngine::Cancel(int64_t id) {
     // preemption the recompute may not have caught back up to the rows
     // already streamed — the stashed prefix is the longer record then.
     Sequence& seq = it->second;
+    if (prefix_cache_ != nullptr) {
+      // The rows computed so far are still bit-exact prefix state — donate
+      // them before the page table goes away.
+      prefix_cache_->Donate(id, seq.request.inputs, seq.consumed, seq.out_rows,
+                            cache_.mutable_allocator());
+    }
     RequestResult& result = results_[id];
     result.status = RequestStatus::kCancelled;
     result.reason = "cancelled by client";
@@ -245,6 +263,19 @@ bool ServingEngine::Cancel(int64_t id) {
   const bool removed = queue_.Remove(id) || scheduler_.Cancel(id);
   assert(removed);
   (void)removed;
+  // A victim cancelled at the evicted-but-requeued stage may hold a host-tier
+  // shadow: drop it exactly once so readmission can never resurrect the
+  // session, and prefer its rows when they extend past the streamed stash
+  // (the swap shadow holds *all* rows produced, not just the delivered ones).
+  if (const auto sw = swapped_.find(id); sw != swapped_.end()) {
+    const bool dropped = swap_tier_.Drop(id);
+    assert(dropped);
+    (void)dropped;
+    if (sw->second.out_rows.size() > session.retained.size()) {
+      session.retained = std::move(sw->second.out_rows);
+    }
+    swapped_.erase(sw);
+  }
   RequestResult& result = results_[id];
   result.status = RequestStatus::kCancelled;
   result.reason = "cancelled by client";
@@ -258,7 +289,11 @@ bool ServingEngine::Cancel(int64_t id) {
 ResidentSnapshot ServingEngine::Resident(int64_t growth_pages) const {
   ResidentSnapshot snap;
   snap.sequences = static_cast<int64_t>(running_.size());
-  snap.used_pages = cache_.allocator().used_pages() + growth_pages;
+  // Cold prefix-cache pages (held by the tree alone) are handed back on
+  // demand by ReclaimFor, so for admission purposes they are free.
+  snap.used_pages =
+      cache_.allocator().used_pages() + growth_pages -
+      (prefix_cache_ != nullptr ? prefix_cache_->reclaimable_pages(cache_.allocator()) : 0);
   for (int64_t id : running_) {
     const int64_t total = sequences_.at(id).request.total_tokens();
     snap.tokens += total;
@@ -298,7 +333,10 @@ std::vector<int64_t> ServingEngine::PlanResidentRows() const {
 int64_t ServingEngine::PlannedGrowthPages(const std::vector<int64_t>& plan) const {
   int64_t pages = 0;
   for (size_t i = 0; i < running_.size(); ++i) {
-    pages += cache_.allocator().PagesToExtend(running_[i], plan[i]);
+    // PagesToPrepareWrite, not PagesToExtend: a sequence about to append to a
+    // still-shared partial tail page needs one extra page for the
+    // copy-on-write split.
+    pages += cache_.allocator().PagesToPrepareWrite(running_[i], plan[i]);
   }
   return pages;
 }
@@ -316,15 +354,99 @@ void ServingEngine::Preempt(int64_t id) {
     session.retained.assign(seq.out_rows.begin(),
                             seq.out_rows.begin() + static_cast<int64_t>(keep));
   }
+  const int64_t tokens = seq.consumed;
+  if (swap_enabled_ && tokens > 0 && swap_tier_.CanHold(tokens)) {
+    // Swap path: KV rows and the produced outputs move to the host tier and
+    // are restored bit-exactly at readmission — no recompute. The transfer is
+    // charged against the device's host link for the bytes actually moved.
+    swap_tier_.SwapOut(id, cache_, tokens);
+    SwappedSeq& shadow = swapped_[id];
+    shadow.out_rows = std::move(seq.out_rows);
+    shadow.consumed = tokens;
+    const int64_t bytes = swap_tier_.BytesForTokens(tokens);
+    const double ms = SwapTransferMs(bytes);
+    step_swap_out_bytes_ += static_cast<double>(bytes);
+    step_swap_ms_ += ms;
+    metrics_.OnSwapOut(id, step_, static_cast<double>(bytes), ms);
+  } else if (prefix_cache_ != nullptr) {
+    // Recompute fallback: at least donate the computed prefix to the radix
+    // tree, so the readmission (or anyone sharing the prompt) skips it.
+    prefix_cache_->Donate(id, seq.request.inputs, tokens, seq.out_rows,
+                          cache_.mutable_allocator());
+  }
   cache_.Free(id);
   Request request = std::move(seq.request);
   sequences_.erase(id);
   running_.erase(std::find(running_.begin(), running_.end(), id));
   metrics_.OnPreempt(id, step_);
-  // Undelivered partial outputs are discarded with the Sequence:
-  // readmission recomputes the whole prefix, which reproduces the same rows
-  // (per-row compute is independent of batch composition).
+  // Without a swap shadow, undelivered partial outputs are discarded with
+  // the Sequence: readmission recomputes the whole prefix, which reproduces
+  // the same rows (per-row compute is independent of batch composition).
   scheduler_.Requeue(std::move(request));
+}
+
+AdmitHint ServingEngine::AdmitHintFor(const Request& r) const {
+  AdmitHint hint;
+  if (const auto it = swapped_.find(r.id); it != swapped_.end()) {
+    // A swapped victim restores its full progress; its pages come out of the
+    // free pool, so there is no resident-page discount.
+    hint.ready_tokens = it->second.consumed;
+    return hint;
+  }
+  if (prefix_cache_ != nullptr) {
+    int64_t shared_path_pages = 0;
+    hint.ready_tokens = prefix_cache_->ProbeTokens(
+        r.inputs, r.total_tokens(), &cache_.allocator(), &shared_path_pages);
+    // Only path pages live sequences already map are discounted; pinning a
+    // tree-only page costs the pool like a fresh allocation, and a shared
+    // partial tail additionally owes its copy-on-write page (hence the
+    // possible -1).
+    hint.resident_pages =
+        shared_path_pages -
+        (hint.ready_tokens % config_.scheduler.page_tokens != 0 ? 1 : 0);
+  }
+  return hint;
+}
+
+void ServingEngine::ReclaimFor(int64_t pages) {
+  if (prefix_cache_ == nullptr || !cache_.allocator().bounded()) {
+    return;
+  }
+  while (cache_.allocator().free_pages() < pages &&
+         prefix_cache_->ReclaimOne(cache_.mutable_allocator())) {
+  }
+}
+
+double ServingEngine::SwapTransferMs(int64_t bytes) const {
+  const DeviceSpec& device = cluster_.device(0);
+  if (!device.has_host_link()) {
+    return 0.0;
+  }
+  // GB/s over the host attach: bytes / (gbps * 1e9) seconds, plus latency.
+  return device.host_latency_us * 1e-3 +
+         static_cast<double>(bytes) / (device.host_bandwidth_gbps * 1e6);
+}
+
+void ServingEngine::RetireFinished(int64_t id) {
+  Sequence& seq = sequences_.at(id);
+  if (prefix_cache_ != nullptr) {
+    // Donation covers every consumed row — decode rows are teacher-forced
+    // inputs too, so a future identical prompt can skip past them as well.
+    prefix_cache_->Donate(id, seq.request.inputs, seq.consumed, seq.out_rows,
+                          cache_.mutable_allocator());
+  }
+  RequestResult& result = results_[id];
+  result.status = RequestStatus::kFinished;
+  result.outputs = MatrixF::FromRowMajor(seq.consumed, hidden_, std::move(seq.out_rows));
+  metrics_.OnFinish(id, step_);
+  cache_.Free(id);
+  sequences_.erase(id);
+  if (const auto pos = std::find(running_.begin(), running_.end(), id);
+      pos != running_.end()) {
+    running_.erase(pos);
+  }
+  sessions_.at(id).retained.clear();  // full outputs exist now
+  StreamToCallback(id, /*finished=*/true);
 }
 
 MatrixF ServingEngine::ForwardBatch(const AssembledBatch& batch) {
@@ -522,10 +644,17 @@ bool ServingEngine::Step() {
     plan = PlanResidentRows();
     growth_pages = PlannedGrowthPages(plan);
   }
-  if (sched_cfg.max_pages > 0 && sched_cfg.preempt) {
+  if (sched_cfg.max_pages > 0 && (sched_cfg.preempt || prefix_cache_ != nullptr)) {
     obs::ScopedSpan evict_span("engine", "evict", obs::TraceDetail::kStep);
-    while (!running_.empty() &&
-           cache_.allocator().used_pages() + growth_pages > sched_cfg.max_pages) {
+    while (cache_.allocator().used_pages() + growth_pages > sched_cfg.max_pages) {
+      // Dropping a cold prefix-cache entry is strictly cheaper than evicting
+      // a live sequence, so the tree yields first.
+      if (prefix_cache_ != nullptr && prefix_cache_->ReclaimOne(cache_.mutable_allocator())) {
+        continue;
+      }
+      if (!sched_cfg.preempt || running_.empty()) {
+        break;
+      }
       std::vector<VictimCandidate> candidates;
       candidates.reserve(running_.size());
       for (int64_t id : running_) {
@@ -542,37 +671,122 @@ bool ServingEngine::Step() {
   // page-accounting cap. The committed rows are everything the residents
   // planned; an admitted prompt is charged its first chunk.
   int64_t committed_rows = 0;
+  std::vector<int64_t> finished_at_admit;
   {
     obs::ScopedSpan admit_span("engine", "admit", obs::TraceDetail::kStep);
     for (int64_t rows : plan) {
       committed_rows += rows;
     }
-    AdmissionDecision decision = scheduler_.Admit(committed_rows, Resident(growth_pages));
+    AdmitProbe probe;
+    if (prefix_cache_ != nullptr || swap_enabled_) {
+      probe = [this](const Request& r) { return AdmitHintFor(r); };
+    }
+    AdmissionDecision decision = scheduler_.Admit(committed_rows, Resident(growth_pages), probe);
     for (Rejection& rejection : decision.rejected) {
       RequestResult& result = results_[rejection.request.id];
       result.status = RequestStatus::kRejected;
       result.reason = rejection.reason;
       metrics_.OnReject(rejection.request.id);
     }
+    // Pass 1: create every admitted sequence and map its cached prefix. All
+    // matched paths are pinned (CreateMapped references their pages) before
+    // any swap-in below can trigger reclaim, so a path probed at admission
+    // can never be evicted out from under its own mapping.
+    const size_t first_new = running_.size();
     for (Request& r : decision.admitted) {
       const int64_t id = r.id;
       Sequence seq;
       seq.request = std::move(r);
       seq.admit_seq = admit_counter_++;
-      const int64_t prompt_len = seq.request.prompt_len;
-      sequences_.emplace(id, std::move(seq));
+      auto [it, inserted] = sequences_.emplace(id, std::move(seq));
+      assert(inserted);
+      (void)inserted;
       running_.push_back(id);
       metrics_.OnAdmit(id, step_);
-      // First prefill chunk, sized exactly as the scheduler charged it (the
-      // shared PrefillChunkRows keeps the two row accountings in lockstep).
-      const int64_t chunk =
-          PrefillChunkRows(prompt_len, sched_cfg.token_budget - committed_rows, sched_cfg);
-      assert(chunk == FirstChunkRows(prompt_len, sched_cfg));
+      Sequence& s = it->second;
+      if (prefix_cache_ != nullptr && swapped_.count(id) == 0) {
+        PrefixCache::Match match =
+            prefix_cache_->Acquire(s.request.inputs, s.request.total_tokens());
+        if (match.tokens > 0) {
+          const bool mapped = cache_.CreateMapped(id, match.pages, match.tokens);
+          assert(mapped);
+          (void)mapped;
+          s.consumed = match.tokens;
+          s.out_rows = std::move(match.out_rows);
+          step_prefix_hit_tokens_ += match.tokens;
+          metrics_.OnPrefixHit(id, step_, match.tokens);
+        }
+      }
+    }
+    // Pass 2: restore swapped-out victims and charge each admission's first
+    // prefill chunk, in admission order. A fully cached prompt+decode
+    // lifetime retires below — every client-visible row replays from the
+    // cache without touching the batch.
+    for (size_t i = first_new; i < running_.size(); ++i) {
+      const int64_t id = running_[i];
+      Sequence& seq = sequences_.at(id);
+      if (const auto sw = swapped_.find(id); sw != swapped_.end()) {
+        const int64_t tokens = sw->second.consumed;
+        ReclaimFor(cache_.allocator().PagesToExtend(id, tokens));
+        const bool ok = cache_.Extend(id, tokens);
+        assert(ok);
+        (void)ok;
+        swap_tier_.SwapIn(id, cache_);
+        seq.consumed = tokens;
+        seq.out_rows = std::move(sw->second.out_rows);
+        swapped_.erase(sw);
+        const int64_t bytes = swap_tier_.BytesForTokens(tokens);
+        const double ms = SwapTransferMs(bytes);
+        step_swap_in_bytes_ += static_cast<double>(bytes);
+        step_swap_ms_ += ms;
+        metrics_.OnSwapIn(id, step_, static_cast<double>(bytes), ms);
+      }
+      // First prefill chunk of the *remaining* prompt, sized exactly as the
+      // scheduler charged it (the shared PrefillChunkRows and the engine's
+      // AdmitHint keep the two row accountings in lockstep). A prompt fully
+      // covered by the cache or swap shadow decodes its first row instead:
+      // every (re)admission makes forward progress in its own iteration.
+      const int64_t remaining =
+          std::max<int64_t>(0, seq.request.prompt_len - seq.consumed);
+      int64_t chunk = 0;
+      if (remaining > 0) {
+        chunk = PrefillChunkRows(remaining, sched_cfg.token_budget - committed_rows,
+                                 sched_cfg);
+        assert(chunk == FirstChunkRows(remaining, sched_cfg));
+      } else if (seq.consumed < seq.request.total_tokens()) {
+        chunk = 1;
+      }
       plan.push_back(chunk);
       committed_rows += chunk;
+      if (seq.consumed >= seq.request.prompt_len) {
+        // The cache (or swap shadow) already covers row prompt_len - 1: the
+        // session's first token is available at admission.
+        metrics_.OnFirstOutput(id, step_);
+      }
+      if (seq.consumed == seq.request.total_tokens()) {
+        finished_at_admit.push_back(id);
+      }
     }
   }
   assert(committed_rows <= sched_cfg.token_budget || sched_cfg.chunk_tokens <= 0);
+
+  // The positional plan is resolved into id-keyed pairs before anything below
+  // can fire a session callback: a reentrant Cancel() erases running_ entries
+  // and would desynchronize plan indices, but the pairs stay valid (cancelled
+  // ids simply stop resolving).
+  std::vector<std::pair<int64_t, int64_t>> planned;
+  planned.reserve(running_.size());
+  for (size_t i = 0; i < running_.size(); ++i) {
+    planned.emplace_back(running_[i], plan[i]);
+  }
+  // Retire fully-cached admissions (their planned rows are 0); their terminal
+  // deltas fire here, before the batch assembles.
+  for (int64_t id : finished_at_admit) {
+    if (sequences_.count(id) == 0) {
+      continue;  // a reentrant Cancel from an earlier terminal delta won
+    }
+    RetireFinished(id);
+  }
 
   // 4. Assemble the iteration batch from the plan: every sequence's page
   // table is extended to cover its new rows up front (prefill chunks target
@@ -583,21 +797,29 @@ bool ServingEngine::Step() {
   {
     obs::ScopedSpan assemble_span("engine", "assemble", obs::TraceDetail::kStep);
     std::vector<BatchAssembler::Contribution> parts;
-    for (size_t i = 0; i < running_.size(); ++i) {
-      Sequence& seq = sequences_.at(running_[i]);
-      if (plan[i] == 0) {
-        continue;
+    for (const auto& [id, rows] : planned) {
+      const auto seq_it = sequences_.find(id);
+      if (seq_it == sequences_.end() || rows == 0) {
+        continue;  // retired at admission, cancelled reentrantly, or sits out
       }
+      Sequence& seq = seq_it->second;
       BatchAssembler::Contribution p;
-      p.request_id = running_[i];
+      p.request_id = id;
       p.source = &seq.request.inputs;
       p.row_begin = seq.consumed;
-      p.row_count = plan[i];
+      p.row_count = rows;
       p.is_prefill = seq.consumed < seq.request.prompt_len;
       parts.push_back(p);
     }
 
     if (parts.empty()) {
+      if (!running_.empty()) {
+        // Every resident sat this iteration out (possible only transiently —
+        // e.g. a budget-starved prefill next to retirements). Never report
+        // drained while sessions are live.
+        ++step_;
+        return true;
+      }
       // Idle: fast-forward to the next trace arrival, or report drained.
       const int64_t next = queue_.NextArrivalStep();
       if (next < 0) {
@@ -608,8 +830,10 @@ bool ServingEngine::Step() {
     }
 
     for (const BatchAssembler::Contribution& p : parts) {
-      // Cannot fail: decode growth was reserved by the preemption pass and
-      // admitted prompts were checked against the page budget.
+      // Cold prefix-cache pages yield first; then the extend cannot fail —
+      // decode growth was reserved by the preemption pass and admitted
+      // prompts were checked against the page budget.
+      ReclaimFor(cache_.allocator().PagesToPrepareWrite(p.request_id, p.row_count));
       const bool ok = cache_.Extend(p.request_id, p.row_count);
       assert(ok);
       (void)ok;
@@ -712,15 +936,7 @@ bool ServingEngine::Step() {
       }
     }
     if (seq.consumed == seq.request.total_tokens()) {
-      RequestResult& result = results_[slice.request_id];
-      result.status = RequestStatus::kFinished;
-      result.outputs =
-          MatrixF::FromRowMajor(seq.consumed, hidden_, std::move(seq.out_rows));
-      metrics_.OnFinish(slice.request_id, step_);
-      cache_.Free(slice.request_id);
-      sequences_.erase(slice.request_id);
-      sessions_.at(slice.request_id).retained.clear();  // full outputs exist now
-      StreamToCallback(slice.request_id, /*finished=*/true);
+      RetireFinished(slice.request_id);
     } else {
       StreamToCallback(slice.request_id, /*finished=*/false);
     }
@@ -748,6 +964,29 @@ bool ServingEngine::Step() {
                     queue_.size() + scheduler_.pending());
   obs::TraceCounter("kv", "used_pages", obs::TraceDetail::kStep,
                     cache_.allocator().used_pages());
+  if (prefix_cache_ != nullptr) {
+    obs::TraceCounter("kv", "shared_pages", obs::TraceDetail::kStep,
+                      cache_.allocator().shared_pages());
+  }
+  if (swap_enabled_) {
+    obs::TraceCounter("kv", "host_pages", obs::TraceDetail::kStep,
+                      swap_tier_.used_pages());
+  }
+
+  // Prefix-sharing / swap activity folded into this step (including anything
+  // accumulated during idle fast-forward steps, which record no StepMetrics).
+  sm.prefix_hit_tokens = step_prefix_hit_tokens_;
+  sm.cow_splits = cache_.cow_splits() - last_cow_splits_;
+  sm.shared_pages = cache_.allocator().shared_pages();
+  sm.host_pages = swap_tier_.used_pages();
+  sm.swap_out_bytes = step_swap_out_bytes_;
+  sm.swap_in_bytes = step_swap_in_bytes_;
+  sm.est_swap_ms = step_swap_ms_;
+  last_cow_splits_ = cache_.cow_splits();
+  step_prefix_hit_tokens_ = 0;
+  step_swap_out_bytes_ = 0.0;
+  step_swap_in_bytes_ = 0.0;
+  step_swap_ms_ = 0.0;
 
   metrics_.OnStep(sm);
   ++step_;
@@ -777,6 +1016,9 @@ ServingReport ServingEngine::Report() const {
   rep.provenance.chunk_tokens = config_.scheduler.chunk_tokens;
   rep.provenance.page_tokens = config_.scheduler.page_tokens;
   rep.provenance.max_pages = config_.scheduler.max_pages;
+  rep.provenance.prefix_cache = prefix_cache_ != nullptr ? 1 : 0;
+  rep.provenance.swap = swap_enabled_ ? 1 : 0;
+  rep.provenance.host_pages = config_.host_pages;
   return rep;
 }
 

@@ -50,6 +50,7 @@
 #include <array>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -60,6 +61,7 @@
 #include "src/serving/expert_pool.h"
 #include "src/serving/kv_cache.h"
 #include "src/serving/metrics.h"
+#include "src/serving/prefix_cache.h"
 #include "src/serving/request.h"
 #include "src/serving/request_queue.h"
 #include "src/serving/scheduler.h"
@@ -104,6 +106,22 @@ struct EngineConfig {
   // DeviceSpec defaults.
   double link_bandwidth_gbps = 0.0;
   double link_latency_us = -1.0;
+  // Prefix-sharing radix KV cache: an admission whose prompt rows bit-match a
+  // previously served prefix maps the cached pages (refcounted,
+  // copy-on-write on the first divergent write) and replays the cached
+  // output rows instead of re-prefilling them. Silently disabled under
+  // expert-choice routing, whose outputs depend on batch composition, so
+  // replaying another batch's rows would not be bit-lossless.
+  bool prefix_cache = false;
+  // Swap-style preemption: a victim's KV pages move to a simulated host tier
+  // (transfer time charged against the device's host link for the bytes
+  // actually moved) and are restored bit-exactly on readmission instead of
+  // recomputed. Requires scheduler.preempt and a bounded page pool;
+  // recompute stays the fallback whenever the host tier cannot hold the
+  // victim.
+  bool swap = false;
+  // Host-tier capacity in KV pages for --swap (0 = unbounded).
+  int64_t host_pages = 0;
   SchedulerConfig scheduler;
 };
 
@@ -207,6 +225,12 @@ class ServingEngine {
   int64_t queued() const { return queue_.size() + scheduler_.pending(); }
 
   const PagedKvCache& kv_cache() const { return cache_; }
+  // nullptr when prefix sharing is off (or suppressed by expert-choice).
+  const PrefixCache* prefix_cache() const { return prefix_cache_.get(); }
+  const HostSwapTier& swap_tier() const { return swap_tier_; }
+  // Swap preemption actually in effect (config.swap gated on preempt, a
+  // bounded page pool, and a modeled host link).
+  bool swap_enabled() const { return swap_enabled_; }
   const ExpertShardPlan& shard_plan() const { return shard_plan_; }
   const SimCluster& cluster() const { return cluster_; }
   const EngineMetrics& metrics() const { return metrics_; }
@@ -250,9 +274,24 @@ class ServingEngine {
   std::vector<int64_t> PlanResidentRows() const;
   // Pages the planned rows would claim across all residents.
   int64_t PlannedGrowthPages(const std::vector<int64_t>& plan) const;
-  // Evicts `id`: frees its pages, drops its partial outputs, and requeues the
-  // request at the head of the scheduler queue for full recompute.
+  // Evicts `id` and requeues it at the head of the scheduler queue. With
+  // swap enabled (and host-tier room) its KV rows and partial outputs move
+  // to the host tier for bit-exact restoration at readmission; otherwise its
+  // pages are donated to the prefix cache (when on) and the request recomputes
+  // from row 0.
   void Preempt(int64_t id);
+  // Admission discount for a candidate: a swapped victim's restorable
+  // progress, or the prefix-cache match for its prompt (see AdmitHint).
+  AdmitHint AdmitHintFor(const Request& r) const;
+  // Evicts cold prefix-cache entries until `pages` are free (or nothing
+  // reclaimable is left). No-op with an unbounded pool or no prefix cache.
+  void ReclaimFor(int64_t pages);
+  // Terminal bookkeeping for a sequence that consumed its full lifetime:
+  // donates its pages to the prefix cache, materializes the result, frees
+  // the page table and fires the terminal stream delta.
+  void RetireFinished(int64_t id);
+  // Modeled one-way host-link transfer time for `bytes` (0 without a link).
+  double SwapTransferMs(int64_t bytes) const;
   // Rows finalized for session `id` so far (running: produced rows;
   // terminal: the materialized result).
   int64_t ProducedRows(int64_t id) const;
@@ -284,6 +323,9 @@ class ServingEngine {
   RequestQueue queue_;
   Scheduler scheduler_;
   PagedKvCache cache_;
+  HostSwapTier swap_tier_;
+  // Radix prefix cache over the allocator's pages; null when disabled.
+  std::unique_ptr<PrefixCache> prefix_cache_;
   SimCluster cluster_;
   ExpertShardPlan shard_plan_;
   ExpertPool pool_;
@@ -309,6 +351,24 @@ class ServingEngine {
   // per expert) — the expert shape participates so heterogeneous layers
   // never share entries.
   std::map<std::array<int64_t, 4>, AutotuneResult> autotune_cache_;
+
+  // A swapped-out victim's host-side shadow: the rows it had produced and
+  // how many input rows those cover. Restored (and erased) at readmission;
+  // dropped exactly once if the session is cancelled while evicted.
+  struct SwappedSeq {
+    std::vector<float> out_rows;
+    int64_t consumed = 0;
+  };
+  std::map<int64_t, SwappedSeq> swapped_;
+  bool swap_enabled_ = false;
+  // Step-scoped accumulators for StepMetrics; zeroed after each OnStep (not
+  // at Step entry, so activity in an idle-fast-forward step folds into the
+  // next recorded one instead of vanishing).
+  int64_t step_prefix_hit_tokens_ = 0;
+  double step_swap_out_bytes_ = 0.0;
+  double step_swap_in_bytes_ = 0.0;
+  double step_swap_ms_ = 0.0;
+  int64_t last_cow_splits_ = 0;  // cache_.cow_splits() at the last OnStep
 
   int64_t step_ = 0;
   int64_t admit_counter_ = 0;     // total admissions ever (eviction ordering)

@@ -29,14 +29,56 @@ int64_t KvPageAllocator::PagesToExtend(int64_t seq_id, int64_t tokens) const {
          PagesForTokens(have, config_.page_tokens);
 }
 
-int32_t KvPageAllocator::AcquirePage() {
-  if (!free_list_.empty()) {
-    const int32_t page = free_list_.back();
-    free_list_.pop_back();
-    return page;
+int64_t KvPageAllocator::PagesToPrepareWrite(int64_t seq_id, int64_t tokens) const {
+  int64_t need = PagesToExtend(seq_id, tokens);
+  const auto it = seqs_.find(seq_id);
+  if (tokens > 0 && it != seqs_.end() && it->second.tokens % config_.page_tokens != 0 &&
+      refcount(it->second.pages.back()) > 1) {
+    ++need;  // partially filled shared tail page: COW copy before the append
   }
-  assert(!bounded() || minted_ < config_.total_pages);
-  return static_cast<int32_t>(minted_++);
+  return need;
+}
+
+int32_t KvPageAllocator::AcquirePage() {
+  int32_t page;
+  if (!free_list_.empty()) {
+    page = free_list_.back();
+    free_list_.pop_back();
+  } else {
+    assert(!bounded() || minted_ < config_.total_pages);
+    page = static_cast<int32_t>(minted_++);
+    ref_.resize(static_cast<size_t>(minted_), 0);
+  }
+  assert(ref_[static_cast<size_t>(page)] == 0);
+  ref_[static_cast<size_t>(page)] = 1;
+  ++used_pages_;
+  return page;
+}
+
+void KvPageAllocator::ReleasePage(int32_t page) {
+  int32_t& ref = ref_[static_cast<size_t>(page)];
+  assert(ref > 0);
+  if (ref == 2) {
+    --shared_pages_;
+  }
+  if (--ref == 0) {
+    --used_pages_;
+    free_list_.push_back(page);
+  }
+}
+
+void KvPageAllocator::Retain(int32_t page) {
+  int32_t& ref = ref_[static_cast<size_t>(page)];
+  assert(ref > 0);
+  if (++ref == 2) {
+    ++shared_pages_;
+  }
+}
+
+void KvPageAllocator::Release(int32_t page) { ReleasePage(page); }
+
+int32_t KvPageAllocator::refcount(int32_t page) const {
+  return ref_[static_cast<size_t>(page)];
 }
 
 bool KvPageAllocator::Extend(int64_t seq_id, int64_t tokens) {
@@ -50,7 +92,6 @@ bool KvPageAllocator::Extend(int64_t seq_id, int64_t tokens) {
     seq.pages.push_back(AcquirePage());
   }
   seq.tokens += tokens;
-  used_pages_ += need;
   cached_tokens_ += tokens;
   // Allocation-grain sample (the engine also samples once per step): at
   // full detail the counter track shows every page-table mutation.
@@ -60,25 +101,59 @@ bool KvPageAllocator::Extend(int64_t seq_id, int64_t tokens) {
   return true;
 }
 
-void KvPageAllocator::Free(int64_t seq_id) {
+bool KvPageAllocator::CreateMapped(int64_t seq_id, const std::vector<int32_t>& pages,
+                                   int64_t tokens) {
+  if (seqs_.count(seq_id) != 0) {
+    return false;
+  }
+  assert(static_cast<int64_t>(pages.size()) == PagesForTokens(tokens, config_.page_tokens));
+  SequenceState& seq = seqs_[seq_id];
+  seq.pages = pages;
+  seq.tokens = tokens;
+  for (const int32_t page : pages) {
+    Retain(page);
+  }
+  cached_tokens_ += tokens;
+  return true;
+}
+
+int32_t KvPageAllocator::CowSplit(int64_t seq_id, size_t page_index) {
+  SequenceState& seq = seqs_.at(seq_id);
+  assert(page_index < seq.pages.size());
+  const int32_t old_page = seq.pages[page_index];
+  assert(refcount(old_page) > 1);
+  if (bounded() && free_pages() < 1) {
+    return -1;
+  }
+  const int32_t new_page = AcquirePage();
+  ReleasePage(old_page);  // refcount > 1, so the old page stays live
+  seq.pages[page_index] = new_page;
+  return new_page;
+}
+
+bool KvPageAllocator::Free(int64_t seq_id) {
   const auto it = seqs_.find(seq_id);
   if (it == seqs_.end()) {
-    return;
+    return false;  // unknown or already freed: defined, idempotent no-op
   }
-  // Pages return in reverse acquisition order so a LIFO free list hands the
+  // References drop in reverse acquisition order so a LIFO free list hands the
   // same ids back to the next sequence — deterministic replay across runs.
-  free_list_.insert(free_list_.end(), it->second.pages.rbegin(), it->second.pages.rend());
-  used_pages_ -= static_cast<int64_t>(it->second.pages.size());
+  for (auto page = it->second.pages.rbegin(); page != it->second.pages.rend(); ++page) {
+    ReleasePage(*page);
+  }
   cached_tokens_ -= it->second.tokens;
   seqs_.erase(it);
   obs::TraceCounter("kv", "allocator_pages", obs::TraceDetail::kFull, used_pages_);
+  return true;
 }
 
 void KvPageAllocator::Reset() {
   seqs_.clear();
   free_list_.clear();
+  ref_.clear();
   minted_ = 0;
   used_pages_ = 0;
+  shared_pages_ = 0;
   cached_tokens_ = 0;
 }
 
@@ -103,10 +178,7 @@ PagedKvCache::PagedKvCache(const KvCacheConfig& config, int64_t layers, int64_t 
   assert(layers >= 1 && hidden >= 1);
 }
 
-bool PagedKvCache::Extend(int64_t seq_id, int64_t tokens) {
-  if (!alloc_.Extend(seq_id, tokens)) {
-    return false;
-  }
+void PagedKvCache::GrowArena() {
   // Arenas track pages actually minted, not the configured bound — a large
   // --max-pages budget must not preallocate gigabytes up front.
   const size_t slots =
@@ -116,6 +188,40 @@ bool PagedKvCache::Extend(int64_t seq_id, int64_t tokens) {
       layer.resize(slots);
     }
   }
+}
+
+bool PagedKvCache::Extend(int64_t seq_id, int64_t tokens) {
+  const int64_t page_tokens = alloc_.page_tokens();
+  const int64_t have = alloc_.SequenceTokens(seq_id);
+  const bool cow = tokens > 0 && alloc_.Has(seq_id) && have % page_tokens != 0 &&
+                   alloc_.refcount(alloc_.SequencePages(seq_id).back()) > 1;
+  // All-or-nothing across the COW copy and the growth pages together, so a
+  // failed Extend leaves the page table untouched.
+  if (alloc_.bounded() &&
+      alloc_.PagesToExtend(seq_id, tokens) + (cow ? 1 : 0) > alloc_.free_pages()) {
+    return false;
+  }
+  if (cow) {
+    const size_t tail = alloc_.SequencePages(seq_id).size() - 1;
+    const int32_t old_page = alloc_.SequencePages(seq_id)[tail];
+    const int32_t new_page = alloc_.CowSplit(seq_id, tail);
+    assert(new_page >= 0);
+    GrowArena();
+    const int64_t valid = have % page_tokens;  // filled rows of the tail page
+    for (auto& layer : arena_) {
+      std::memcpy(layer.data() + new_page * page_tokens * hidden_,
+                  layer.data() + old_page * page_tokens * hidden_,
+                  static_cast<size_t>(valid * hidden_) * sizeof(float));
+    }
+    ++cow_splits_;
+    obs::TraceAsyncInstant("request", "cow_split", obs::TraceDetail::kRequest, seq_id,
+                           valid);
+  }
+  if (!alloc_.Extend(seq_id, tokens)) {
+    assert(false && "capacity was checked above");
+    return false;
+  }
+  GrowArena();
   return true;
 }
 
@@ -137,6 +243,71 @@ void PagedKvCache::GatherRows(int64_t seq_id, int64_t layer, int64_t count, floa
                 static_cast<size_t>(run * hidden_) * sizeof(float));
     t += run;
   }
+}
+
+void PagedKvCache::ScatterRows(int64_t seq_id, int64_t layer, int64_t count,
+                               const float* src) {
+  const int64_t page_tokens = alloc_.page_tokens();
+  for (int64_t t = 0; t < count;) {
+    const int64_t run = std::min(count - t, page_tokens - t % page_tokens);
+    std::memcpy(Row(seq_id, layer, t), src + t * hidden_,
+                static_cast<size_t>(run * hidden_) * sizeof(float));
+    t += run;
+  }
+}
+
+HostSwapTier::HostSwapTier(int64_t layers, int64_t hidden, int64_t page_tokens,
+                           int64_t max_host_pages)
+    : layers_(layers), hidden_(hidden), page_tokens_(page_tokens),
+      max_pages_(max_host_pages) {
+  assert(layers_ >= 1 && hidden_ >= 1 && page_tokens_ >= 1 && max_pages_ >= 0);
+}
+
+bool HostSwapTier::CanHold(int64_t tokens) const {
+  if (max_pages_ <= 0) {
+    return true;
+  }
+  return used_pages_ + PagesForTokens(tokens, page_tokens_) <= max_pages_;
+}
+
+void HostSwapTier::SwapOut(int64_t seq_id, const PagedKvCache& cache, int64_t tokens) {
+  assert(tokens > 0);
+  assert(entries_.count(seq_id) == 0);
+  Entry& entry = entries_[seq_id];
+  entry.tokens = tokens;
+  entry.rows.resize(static_cast<size_t>(layers_));
+  for (int64_t layer = 0; layer < layers_; ++layer) {
+    auto& rows = entry.rows[static_cast<size_t>(layer)];
+    rows.resize(static_cast<size_t>(tokens * hidden_));
+    cache.GatherRows(seq_id, layer, tokens, rows.data());
+  }
+  used_pages_ += PagesForTokens(tokens, page_tokens_);
+}
+
+void HostSwapTier::SwapIn(int64_t seq_id, PagedKvCache& cache) {
+  const auto it = entries_.find(seq_id);
+  assert(it != entries_.end());
+  for (int64_t layer = 0; layer < layers_; ++layer) {
+    cache.ScatterRows(seq_id, layer, it->second.tokens,
+                      it->second.rows[static_cast<size_t>(layer)].data());
+  }
+  used_pages_ -= PagesForTokens(it->second.tokens, page_tokens_);
+  entries_.erase(it);
+}
+
+bool HostSwapTier::Drop(int64_t seq_id) {
+  const auto it = entries_.find(seq_id);
+  if (it == entries_.end()) {
+    return false;
+  }
+  used_pages_ -= PagesForTokens(it->second.tokens, page_tokens_);
+  entries_.erase(it);
+  return true;
+}
+
+int64_t HostSwapTier::Tokens(int64_t seq_id) const {
+  const auto it = entries_.find(seq_id);
+  return it == entries_.end() ? 0 : it->second.tokens;
 }
 
 }  // namespace serving

@@ -81,6 +81,28 @@ void EngineMetrics::OnPreempt(int64_t id, int64_t step) {
   obs::TraceAsyncInstant("request", "preempt", obs::TraceDetail::kRequest, id, step);
 }
 
+void EngineMetrics::OnPrefixHit(int64_t id, int64_t step, int64_t tokens) {
+  requests_[id].cached_prompt_tokens = tokens;  // latest admission overwrites
+  ++prefix_hit_requests_;
+  prefix_hit_tokens_ += tokens;
+  obs::TraceAsyncInstant("request", "prefix_hit", obs::TraceDetail::kRequest, id, tokens);
+  (void)step;
+}
+
+void EngineMetrics::OnSwapOut(int64_t id, int64_t step, double bytes, double est_ms) {
+  ++swap_outs_;
+  swap_out_bytes_ += bytes;
+  est_swap_ms_ += est_ms;
+  obs::TraceAsyncInstant("request", "swap_out", obs::TraceDetail::kRequest, id, step);
+}
+
+void EngineMetrics::OnSwapIn(int64_t id, int64_t step, double bytes, double est_ms) {
+  ++swap_ins_;
+  swap_in_bytes_ += bytes;
+  est_swap_ms_ += est_ms;
+  obs::TraceAsyncInstant("request", "swap_in", obs::TraceDetail::kRequest, id, step);
+}
+
 void EngineMetrics::OnStep(const StepMetrics& step) { steps_.push_back(step); }
 
 void EngineMetrics::OnRoutingPlan(const RoutingPlan& plan) {
@@ -120,6 +142,13 @@ ServingReport EngineMetrics::Summarize(int64_t token_budget, int64_t max_pages) 
       autotune_tuned_ms_ > 0.0 ? autotune_default_ms_ / autotune_tuned_ms_ : 1.0;
   rep.steps = static_cast<int64_t>(steps_.size());
   rep.preemptions = static_cast<int64_t>(preemption_log_.size());
+  rep.prefix_hit_requests = prefix_hit_requests_;
+  rep.prefix_hit_tokens = prefix_hit_tokens_;
+  rep.swap_outs = swap_outs_;
+  rep.swap_ins = swap_ins_;
+  rep.swap_out_bytes = swap_out_bytes_;
+  rep.swap_in_bytes = swap_in_bytes_;
+  rep.est_swap_ms = est_swap_ms_;
   rep.expert_tokens = expert_tokens_;
   rep.shard_tokens = shard_tokens_;
 
@@ -141,6 +170,7 @@ ServingReport EngineMetrics::Summarize(int64_t token_budget, int64_t max_pages) 
     tl.cancel_step = r.cancel_step;
     tl.prefill_chunks = r.prefill_chunks;
     tl.preemptions = r.preemptions;
+    tl.cached_prompt_tokens = r.cached_prompt_tokens;
     if (r.first_output_step >= 0) {
       tl.ttft_ms = r.first_output_ms - r.arrival_ms;
     }
@@ -179,6 +209,9 @@ ServingReport EngineMetrics::Summarize(int64_t token_budget, int64_t max_pages) 
     rep.peak_batch_rows = std::max(rep.peak_batch_rows, s.batch_rows);
     rep.peak_sequences = std::max(rep.peak_sequences, s.running_sequences);
     rep.peak_used_pages = std::max(rep.peak_used_pages, s.kv_used_pages);
+    rep.peak_shared_pages = std::max(rep.peak_shared_pages, s.shared_pages);
+    rep.peak_host_pages = std::max(rep.peak_host_pages, s.host_pages);
+    rep.cow_splits += s.cow_splits;
     used_pages += s.kv_used_pages;
     frag_tokens += s.kv_frag_tokens;
     rep.wall_ms += s.wall_ms;
@@ -189,6 +222,10 @@ ServingReport EngineMetrics::Summarize(int64_t token_budget, int64_t max_pages) 
   }
   if (rep.est_compute_ms + rep.est_alltoall_ms > 0.0) {
     rep.est_alltoall_share = rep.est_alltoall_ms / (rep.est_compute_ms + rep.est_alltoall_ms);
+  }
+  if (rep.prefix_hit_tokens + rep.prefill_rows > 0) {
+    rep.prefix_hit_rate = static_cast<double>(rep.prefix_hit_tokens) /
+                          static_cast<double>(rep.prefix_hit_tokens + rep.prefill_rows);
   }
   if (rep.steps > 0) {
     rep.mean_step_ms = rep.wall_ms / static_cast<double>(rep.steps);
@@ -304,7 +341,10 @@ std::string ServingReport::ToJson() const {
   AppendConfigField(out, "token_budget", provenance.token_budget);
   AppendConfigField(out, "chunk_tokens", provenance.chunk_tokens);
   AppendConfigField(out, "page_tokens", provenance.page_tokens);
-  AppendConfigField(out, "max_pages", provenance.max_pages, /*last=*/true);
+  AppendConfigField(out, "max_pages", provenance.max_pages);
+  AppendConfigField(out, "prefix_cache", provenance.prefix_cache);
+  AppendConfigField(out, "swap", provenance.swap);
+  AppendConfigField(out, "host_pages", provenance.host_pages, /*last=*/true);
   out += "  },\n";
   AppendField(out, "requests_finished", requests_finished);
   AppendField(out, "requests_rejected", requests_rejected);
@@ -334,6 +374,17 @@ std::string ServingReport::ToJson() const {
   AppendField(out, "peak_used_pages", peak_used_pages);
   AppendField(out, "mean_page_utilization", mean_page_utilization);
   AppendField(out, "mean_frag_tokens", mean_frag_tokens);
+  AppendField(out, "prefix_hit_requests", prefix_hit_requests);
+  AppendField(out, "prefix_hit_tokens", prefix_hit_tokens);
+  AppendField(out, "prefix_hit_rate", prefix_hit_rate);
+  AppendField(out, "cow_splits", cow_splits);
+  AppendField(out, "peak_shared_pages", peak_shared_pages);
+  AppendField(out, "swap_outs", swap_outs);
+  AppendField(out, "swap_ins", swap_ins);
+  AppendField(out, "swap_out_bytes", swap_out_bytes);
+  AppendField(out, "swap_in_bytes", swap_in_bytes);
+  AppendField(out, "est_swap_ms", est_swap_ms);
+  AppendField(out, "peak_host_pages", peak_host_pages);
   AppendField(out, "expert_tokens", expert_tokens);
   AppendField(out, "expert_imbalance", expert_imbalance);
   AppendField(out, "shard_tokens", shard_tokens);
@@ -356,7 +407,7 @@ std::string ServingReport::ToJson() const {
                   "%s\n    {\"id\": %lld, \"prompt_len\": %lld, \"arrival_step\": %lld, "
                   "\"admit_step\": %lld, \"first_output_step\": %lld, \"finish_step\": %lld, "
                   "\"cancel_step\": %lld, \"prefill_chunks\": %lld, \"preemptions\": %lld, "
-                  "\"ttft_ms\": %.6f, \"turnaround_ms\": %.6f}",
+                  "\"cached_prompt_tokens\": %lld, \"ttft_ms\": %.6f, \"turnaround_ms\": %.6f}",
                   i == 0 ? "" : ",", static_cast<long long>(tl.id),
                   static_cast<long long>(tl.prompt_len),
                   static_cast<long long>(tl.arrival_step),
@@ -365,7 +416,9 @@ std::string ServingReport::ToJson() const {
                   static_cast<long long>(tl.finish_step),
                   static_cast<long long>(tl.cancel_step),
                   static_cast<long long>(tl.prefill_chunks),
-                  static_cast<long long>(tl.preemptions), tl.ttft_ms, tl.turnaround_ms);
+                  static_cast<long long>(tl.preemptions),
+                  static_cast<long long>(tl.cached_prompt_tokens), tl.ttft_ms,
+                  tl.turnaround_ms);
     out += buf;
   }
   out += request_timelines.empty() ? "]\n" : "\n  ]\n";
@@ -408,6 +461,23 @@ void EngineMetrics::Print(const ServingReport& rep, std::FILE* out) {
                static_cast<long long>(rep.preemptions),
                static_cast<long long>(rep.peak_used_pages), 100.0 * rep.mean_page_utilization,
                rep.mean_frag_tokens);
+  if (rep.prefix_hit_requests > 0 || rep.cow_splits > 0) {
+    std::fprintf(out,
+                 "prefix-cache: %lld hit admissions, %lld cached prompt tokens "
+                 "(hit rate %.0f%%), %lld cow splits, peak %lld shared pages\n",
+                 static_cast<long long>(rep.prefix_hit_requests),
+                 static_cast<long long>(rep.prefix_hit_tokens), 100.0 * rep.prefix_hit_rate,
+                 static_cast<long long>(rep.cow_splits),
+                 static_cast<long long>(rep.peak_shared_pages));
+  }
+  if (rep.swap_outs > 0) {
+    std::fprintf(out,
+                 "swap: %lld out / %lld in, %.2f MiB out / %.2f MiB in, est %.3f ms on the "
+                 "host link, peak %lld host pages\n",
+                 static_cast<long long>(rep.swap_outs), static_cast<long long>(rep.swap_ins),
+                 rep.swap_out_bytes / (1024.0 * 1024.0), rep.swap_in_bytes / (1024.0 * 1024.0),
+                 rep.est_swap_ms, static_cast<long long>(rep.peak_host_pages));
+  }
   if (rep.autotune_lookups > 0) {
     std::fprintf(out,
                  "autotune: %lld lookups (%lld cache hits), simulated SSMM %.3f ms tuned vs "

@@ -30,9 +30,10 @@ struct RequestMetrics {
   int64_t first_output_step = -1;  // prefill completed: first token streamed
   int64_t finish_step = -1;
   int64_t cancel_step = -1;        // Cancel() terminated the session
-  int64_t preemptions = 0;         // times evicted and recomputed
+  int64_t preemptions = 0;         // times evicted (swapped out or recomputed)
   int64_t prefill_chunks = 0;      // prefill slices consumed (1 = one-shot)
   int64_t streamed_rows = 0;       // rows delivered incrementally (cursor/callback)
+  int64_t cached_prompt_tokens = 0;  // prefix-cache tokens skipped at admission
   double arrival_ms = 0.0;
   double first_output_ms = 0.0;
   double finish_ms = 0.0;
@@ -63,6 +64,15 @@ struct StepMetrics {
   double kv_read_bytes = 0.0;   // paged-KV gather traffic charged this step
   double kv_write_bytes = 0.0;  // appended cache rows
 
+  // Prefix-cache / swap activity this step (all zero with both features off).
+  int64_t prefix_hit_tokens = 0;  // prompt tokens skipped by admissions
+  int64_t cow_splits = 0;         // copy-on-write page splits
+  int64_t shared_pages = 0;       // pages with refcount >= 2 after the step
+  int64_t host_pages = 0;         // pages parked in the host swap tier
+  double swap_out_bytes = 0.0;    // KV bytes moved device -> host
+  double swap_in_bytes = 0.0;     // KV bytes restored host -> device
+  double est_swap_ms = 0.0;       // host-link transfer time for both
+
   double est_total_ms() const { return est_compute_ms + est_alltoall_ms; }
 };
 
@@ -84,6 +94,9 @@ struct ReportProvenance {
   int64_t chunk_tokens = 0;  // 0 = prefill never chunked
   int64_t page_tokens = 0;
   int64_t max_pages = 0;
+  int64_t prefix_cache = 0;  // 1 = radix prefix sharing enabled
+  int64_t swap = 0;          // 1 = swap-style preemption enabled
+  int64_t host_pages = 0;    // host swap tier budget (0 = unbounded)
 };
 
 // One request's lifecycle in engine steps plus its wall-clock latency pair —
@@ -101,6 +114,7 @@ struct RequestTimeline {
   int64_t cancel_step = -1;
   int64_t prefill_chunks = 0;
   int64_t preemptions = 0;
+  int64_t cached_prompt_tokens = 0;  // prefix-cache tokens skipped at admission
   double ttft_ms = 0.0;        // 0 when no first output was produced
   double turnaround_ms = 0.0;  // 0 unless the request finished
 };
@@ -138,6 +152,22 @@ struct ServingReport {
   int64_t peak_used_pages = 0;
   double mean_page_utilization = 0.0;   // used pages / page budget (paged only)
   double mean_frag_tokens = 0.0;        // fragmentation waste per step
+
+  // Prefix-sharing radix cache (zero with --prefix-cache off).
+  int64_t prefix_hit_requests = 0;  // admissions that reused a cached prefix
+  int64_t prefix_hit_tokens = 0;    // prompt tokens served from the cache
+  // hit tokens / (hit tokens + prefill rows actually computed).
+  double prefix_hit_rate = 0.0;
+  int64_t cow_splits = 0;           // copy-on-write page splits across the run
+  int64_t peak_shared_pages = 0;    // max pages mapped by >1 holder
+
+  // Swap-style preemption (zero with --swap off; evictions then recompute).
+  int64_t swap_outs = 0;
+  int64_t swap_ins = 0;
+  double swap_out_bytes = 0.0;
+  double swap_in_bytes = 0.0;
+  double est_swap_ms = 0.0;         // modeled host-link transfer time, both ways
+  int64_t peak_host_pages = 0;      // max pages parked in the host tier
   std::vector<int64_t> expert_tokens;   // routed tokens per expert, all layers
   double expert_imbalance = 0.0;        // max / mean of expert_tokens
 
@@ -183,6 +213,12 @@ class EngineMetrics {
   void OnFinish(int64_t id, int64_t step);
   void OnCancel(int64_t id, int64_t step);
   void OnPreempt(int64_t id, int64_t step);
+  // Admission mapped `tokens` cached prefix tokens instead of prefilling them.
+  void OnPrefixHit(int64_t id, int64_t step, int64_t tokens);
+  // A preemption moved `bytes` of KV to the host tier (est_ms of link time)
+  // instead of discarding it; OnSwapIn is the restore on re-admission.
+  void OnSwapOut(int64_t id, int64_t step, double bytes, double est_ms);
+  void OnSwapIn(int64_t id, int64_t step, double bytes, double est_ms);
   // One prefill slice consumed for `id` (chunked prefills record several).
   void OnPrefillSlice(int64_t id);
   // `rows` output rows delivered to the session (cursor drain or callback).
@@ -228,6 +264,13 @@ class EngineMetrics {
   std::vector<int64_t> shard_tokens_;
   int64_t rejected_ = 0;
   int64_t cancelled_ = 0;
+  int64_t prefix_hit_requests_ = 0;
+  int64_t prefix_hit_tokens_ = 0;
+  int64_t swap_outs_ = 0;
+  int64_t swap_ins_ = 0;
+  double swap_out_bytes_ = 0.0;
+  double swap_in_bytes_ = 0.0;
+  double est_swap_ms_ = 0.0;
   int64_t autotune_lookups_ = 0;
   int64_t autotune_cache_hits_ = 0;
   double autotune_default_ms_ = 0.0;

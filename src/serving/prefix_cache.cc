@@ -1,0 +1,223 @@
+#include "src/serving/prefix_cache.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace samoyeds {
+namespace serving {
+
+std::vector<uint64_t> ChainedRowHashes(const MatrixF& inputs, int64_t rows) {
+  assert(rows >= 0 && rows <= inputs.rows());
+  std::vector<uint64_t> hashes(static_cast<size_t>(rows));
+  uint64_t h = 1469598103934665603ull;         // FNV-1a 64 offset basis
+  constexpr uint64_t kPrime = 1099511628211ull;  // FNV-1a 64 prime
+  for (int64_t r = 0; r < rows; ++r) {
+    const auto row = inputs.row(r);
+    const auto* bytes = reinterpret_cast<const unsigned char*>(row.data());
+    const size_t n = row.size() * sizeof(float);
+    for (size_t i = 0; i < n; ++i) {
+      h = (h ^ bytes[i]) * kPrime;
+    }
+    hashes[static_cast<size_t>(r)] = h;
+  }
+  return hashes;
+}
+
+PrefixCache::PrefixCache(int64_t page_tokens, int64_t hidden)
+    : page_tokens_(page_tokens), hidden_(hidden), root_(std::make_unique<Node>()) {
+  assert(page_tokens_ >= 1 && hidden_ >= 1);
+}
+
+int64_t PrefixCache::Walk(const std::vector<uint64_t>& query,
+                          std::vector<Node*>* path) const {
+  const int64_t limit = static_cast<int64_t>(query.size());
+  Node* node = root_.get();
+  int64_t matched = 0;
+  while (matched < limit) {
+    // Children may overlap in content (a short partial donation next to a
+    // longer one); take the longest-matching child, first wins ties.
+    Node* best = nullptr;
+    int64_t best_r = 0;
+    for (const auto& child : node->children) {
+      int64_t r = 0;
+      while (r < child->valid && matched + r < limit &&
+             child->hashes[static_cast<size_t>(r)] == query[static_cast<size_t>(matched + r)]) {
+        ++r;
+      }
+      if (r > best_r) {
+        best_r = r;
+        best = child.get();
+      }
+    }
+    if (best_r == 0) {
+      break;
+    }
+    if (path != nullptr) {
+      path->push_back(best);
+    }
+    matched += best_r;
+    if (best_r == best->valid && best->valid == page_tokens_) {
+      node = best;  // exactly-full, fully matched page: keep descending
+    } else {
+      break;  // partial match terminates the walk
+    }
+  }
+  return matched;
+}
+
+int64_t PrefixCache::ProbeTokens(const MatrixF& inputs, int64_t max_tokens,
+                                 const KvPageAllocator* alloc,
+                                 int64_t* shared_path_pages) const {
+  if (shared_path_pages != nullptr) {
+    *shared_path_pages = 0;
+  }
+  const int64_t rows = std::min(max_tokens, inputs.rows());
+  if (rows <= 0 || root_->children.empty()) {
+    return 0;
+  }
+  std::vector<Node*> path;
+  const int64_t matched =
+      Walk(ChainedRowHashes(inputs, rows), shared_path_pages != nullptr ? &path : nullptr);
+  if (shared_path_pages != nullptr && alloc != nullptr) {
+    for (const Node* n : path) {
+      if (n->begin < matched && alloc->refcount(n->page) >= 2) {
+        ++*shared_path_pages;
+      }
+    }
+  }
+  return matched;
+}
+
+PrefixCache::Match PrefixCache::Acquire(const MatrixF& inputs, int64_t max_tokens) {
+  Match m;
+  const int64_t rows = std::min(max_tokens, inputs.rows());
+  if (rows <= 0 || root_->children.empty()) {
+    return m;
+  }
+  const std::vector<uint64_t> query = ChainedRowHashes(inputs, rows);
+  std::vector<Node*> path;
+  m.tokens = Walk(query, &path);
+  if (m.tokens == 0) {
+    return m;
+  }
+  ++clock_;
+  m.pages.reserve(path.size());
+  m.out_rows.reserve(static_cast<size_t>(m.tokens * hidden_));
+  for (Node* n : path) {
+    n->lru = clock_;
+    m.pages.push_back(n->page);
+    const int64_t take = std::min(n->valid, m.tokens - n->begin);
+    m.out_rows.insert(m.out_rows.end(), n->out_rows.begin(),
+                      n->out_rows.begin() + take * hidden_);
+  }
+  assert(static_cast<int64_t>(m.pages.size()) == PagesForTokens(m.tokens, page_tokens_));
+  ++hits_;
+  hit_tokens_ += m.tokens;
+  return m;
+}
+
+void PrefixCache::Donate(int64_t seq_id, const MatrixF& inputs, int64_t tokens,
+                         const std::vector<float>& out_rows, KvPageAllocator& alloc) {
+  if (tokens <= 0 || !alloc.Has(seq_id)) {
+    return;
+  }
+  assert(tokens <= inputs.rows());
+  assert(static_cast<int64_t>(out_rows.size()) >= tokens * hidden_);
+  assert(alloc.SequenceTokens(seq_id) >= tokens);
+  const std::vector<uint64_t> query = ChainedRowHashes(inputs, tokens);
+  std::vector<Node*> path;
+  const int64_t matched = Walk(query, &path);
+  // The attach point is the deepest fully-descended full node; everything the
+  // donor adds starts at the page boundary below it. A trailing partial match
+  // stays where it is — the new, longer chain becomes an overlapping sibling
+  // and the longest-match walk prefers it from now on.
+  Node* attach = root_.get();
+  int64_t aligned = 0;
+  for (Node* n : path) {
+    if (n->valid == page_tokens_ && n->begin + page_tokens_ <= matched) {
+      attach = n;
+      aligned = n->begin + page_tokens_;
+    } else {
+      break;
+    }
+  }
+  if (matched >= tokens || tokens <= aligned) {
+    return;  // nothing beyond what the tree already holds
+  }
+  // Pages at index >= aligned/page_tokens are private to the donor: the donor
+  // wrote past `matched` (tokens > matched), which copy-on-write split any
+  // still-shared partial page first. Adopting them never aliases a tree node.
+  const std::vector<int32_t>& seq_pages = alloc.SequencePages(seq_id);
+  ++clock_;
+  for (int64_t d = aligned; d < tokens; d += page_tokens_) {
+    const int64_t valid = std::min(page_tokens_, tokens - d);
+    auto node = std::make_unique<Node>();
+    node->page = seq_pages[static_cast<size_t>(d / page_tokens_)];
+    node->begin = d;
+    node->valid = valid;
+    node->lru = clock_;
+    node->hashes.assign(query.begin() + d, query.begin() + d + valid);
+    node->out_rows.assign(out_rows.begin() + d * hidden_,
+                          out_rows.begin() + (d + valid) * hidden_);
+    alloc.Retain(node->page);
+    Node* raw = node.get();
+    attach->children.push_back(std::move(node));
+    attach = raw;
+    ++nodes_;
+  }
+}
+
+bool PrefixCache::ReclaimOne(KvPageAllocator& alloc) {
+  // Least-recently-used leaf whose page has no holder besides the tree.
+  // DFS order breaks LRU ties deterministically (strictly-older wins).
+  Node* victim_parent = nullptr;
+  size_t victim_index = 0;
+  int64_t victim_lru = 0;
+  bool found = false;
+  std::vector<Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    Node* node = stack.back();
+    stack.pop_back();
+    for (size_t i = 0; i < node->children.size(); ++i) {
+      Node* child = node->children[i].get();
+      if (child->children.empty()) {
+        if (alloc.refcount(child->page) == 1 && (!found || child->lru < victim_lru)) {
+          victim_parent = node;
+          victim_index = i;
+          victim_lru = child->lru;
+          found = true;
+        }
+      } else {
+        stack.push_back(child);
+      }
+    }
+  }
+  if (!found) {
+    return false;
+  }
+  alloc.Release(victim_parent->children[victim_index]->page);
+  victim_parent->children.erase(victim_parent->children.begin() +
+                                static_cast<std::ptrdiff_t>(victim_index));
+  --nodes_;
+  ++evictions_;
+  return true;
+}
+
+int64_t PrefixCache::reclaimable_pages(const KvPageAllocator& alloc) const {
+  int64_t count = 0;
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    for (const auto& child : node->children) {
+      if (alloc.refcount(child->page) == 1) {
+        ++count;
+      }
+      stack.push_back(child.get());
+    }
+  }
+  return count;
+}
+
+}  // namespace serving
+}  // namespace samoyeds

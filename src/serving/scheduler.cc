@@ -88,13 +88,10 @@ const char* Scheduler::RejectReason(const Request& r) const {
   // chunk, so "prompt exceeds budget" can no longer happen; the remaining
   // rejections are memory-capacity conditions, and their reasons are kept
   // distinct so operators can tell a batch-shape problem from a page-pool
-  // problem.
-  if (config_.chunk_tokens <= 0 && r.prompt_len > config_.token_budget) {
-    return "prompt exceeds the iteration token budget (enable chunked prefill to serve it)";
-  }
-  if (r.total_tokens() > config_.max_resident_tokens) {
-    return "total tokens exceed resident capacity";
-  }
+  // problem. The page check runs first: a request that overflows both the
+  // page pool and the token budget dies of the memory condition either way,
+  // and the "enable chunked prefill" hint would be a lie — chunking cannot
+  // shrink the KV footprint.
   if (config_.max_pages > 0 &&
       PagesForTokens(r.total_tokens(), config_.page_tokens) > config_.max_pages) {
     // Even alone on an empty pool the sequence could never hold its full
@@ -102,10 +99,17 @@ const char* Scheduler::RejectReason(const Request& r) const {
     // it would thrash forever.
     return "KV page capacity: total tokens exceed the page budget";
   }
+  if (config_.chunk_tokens <= 0 && r.prompt_len > config_.token_budget) {
+    return "prompt exceeds the iteration token budget (enable chunked prefill to serve it)";
+  }
+  if (r.total_tokens() > config_.max_resident_tokens) {
+    return "total tokens exceed resident capacity";
+  }
   return nullptr;
 }
 
-AdmissionDecision Scheduler::Admit(int64_t committed_rows, const ResidentSnapshot& resident) {
+AdmissionDecision Scheduler::Admit(int64_t committed_rows, const ResidentSnapshot& resident,
+                                   const AdmitProbe& probe) {
   AdmissionDecision decision;
 
   // Infeasible requests are filtered first so they never block a queue scan.
@@ -142,16 +146,33 @@ AdmissionDecision Scheduler::Admit(int64_t committed_rows, const ResidentSnapsho
   std::vector<bool> taken(pending_.size(), false);
   for (size_t idx : order) {
     const Request& r = pending_[idx];
-    // Batch-row charge: the first prefill chunk (whole prompt when chunking
-    // is off). Chunks are never trimmed below chunk_tokens at admission —
-    // a request waits rather than start with a sliver.
-    const int64_t need_rows = FirstChunkRows(r.prompt_len, config_);
-    const int64_t optimistic_tokens = config_.chunk_tokens > 0 ? need_rows : r.prompt_len;
+    // Batch-row charge: the first prefill chunk of the rows the engine will
+    // actually prefill (whole remaining prompt when chunking is off; the
+    // engine's hint removes cached-prefix / swap-restorable tokens first).
+    // Chunks are never trimmed below chunk_tokens at admission — a request
+    // waits rather than start with a sliver.
+    const AdmitHint hint = probe ? probe(r) : AdmitHint{};
+    const int64_t remaining_prompt = std::max<int64_t>(0, r.prompt_len - hint.ready_tokens);
+    // A session whose whole prompt is already ready (full prefix hit, or a
+    // swap-in restored mid-decode) computes its first decode row in the
+    // admission iteration, so that row is the charge. Without it the session
+    // would contribute zero rows at admission — and a readmitted swap victim
+    // could be re-evicted before ever decoding, making no progress.
+    const int64_t need_rows =
+        remaining_prompt > 0 ? FirstChunkRows(remaining_prompt, config_)
+                             : (hint.ready_tokens < r.total_tokens() ? 1 : 0);
+    const int64_t optimistic_tokens =
+        hint.ready_tokens +
+        (config_.chunk_tokens > 0 || remaining_prompt == 0 ? need_rows : remaining_prompt);
+    // Page charge nets out the shared pages already resident under the hinted
+    // prefix — mapping them again must not be double-billed against the pool.
     const int64_t need_pages =
         config_.max_pages <= 0
             ? 0
-            : PagesForTokens(config_.preempt ? optimistic_tokens : r.total_tokens(),
-                             config_.page_tokens);
+            : std::max<int64_t>(
+                  0, PagesForTokens(config_.preempt ? optimistic_tokens : r.total_tokens(),
+                                    config_.page_tokens) -
+                         hint.resident_pages);
     const bool fits =
         batch_rows + need_rows <= config_.token_budget &&
         tokens + r.total_tokens() <= config_.max_resident_tokens &&

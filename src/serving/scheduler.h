@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <vector>
 
 #include "src/moe/memory_model.h"
@@ -107,6 +108,17 @@ struct ResidentSnapshot {
   int64_t reserved_pages = 0;
 };
 
+// Per-request admission discount supplied by the engine: tokens the request
+// does not have to prefill (a prefix-cache hit, or a swapped-out victim's
+// restorable progress) and the pages already resident that cover them (shared
+// prefix pages admission must not double-charge; 0 for a swap-in, whose pages
+// come out of the free pool). Admission subtracts both before the fit test.
+struct AdmitHint {
+  int64_t ready_tokens = 0;
+  int64_t resident_pages = 0;
+};
+using AdmitProbe = std::function<AdmitHint(const Request&)>;
+
 struct Rejection {
   Request request;
   const char* reason = nullptr;  // static string, why it can never fit
@@ -142,8 +154,11 @@ class Scheduler {
   // resident plus the prefill chunks of residents still mid-prompt).
   // Admitted requests are removed from the pending list; infeasible ones are
   // returned as rejected. An admitted prompt is charged its *first chunk*
-  // against the token budget (the whole prompt with chunking off).
-  AdmissionDecision Admit(int64_t committed_rows, const ResidentSnapshot& resident);
+  // against the token budget (the whole prompt with chunking off). `probe`,
+  // when set, is consulted per candidate for prefix-cache / swap-in
+  // discounts (see AdmitHint).
+  AdmissionDecision Admit(int64_t committed_rows, const ResidentSnapshot& resident,
+                          const AdmitProbe& probe = nullptr);
 
   // Eviction policy: index of the resident to preempt — lowest priority
   // first, then the youngest (largest admit_seq), then the largest id.

@@ -23,6 +23,8 @@ DeviceSpec MakeRtx4070Super() {
   d.smem_bandwidth_gbps = 17000.0;
   d.link_bandwidth_gbps = 25.0;  // PCIe 4.0 x16, per direction
   d.link_latency_us = 5.0;
+  d.host_bandwidth_gbps = 25.0;  // host attach is the same PCIe 4.0 x16 link
+  d.host_latency_us = 5.0;
   return d;
 }
 
@@ -42,6 +44,8 @@ DeviceSpec MakeRtx3090() {
   d.smem_bandwidth_gbps = 19000.0;
   d.link_bandwidth_gbps = 25.0;  // PCIe 4.0 x16, per direction
   d.link_latency_us = 5.0;
+  d.host_bandwidth_gbps = 25.0;  // host attach is the same PCIe 4.0 x16 link
+  d.host_latency_us = 5.0;
   return d;
 }
 
@@ -61,6 +65,8 @@ DeviceSpec MakeRtx3070() {
   d.smem_bandwidth_gbps = 10500.0;
   d.link_bandwidth_gbps = 25.0;  // PCIe 4.0 x16, per direction
   d.link_latency_us = 5.0;
+  d.host_bandwidth_gbps = 25.0;  // host attach is the same PCIe 4.0 x16 link
+  d.host_latency_us = 5.0;
   return d;
 }
 
@@ -80,6 +86,8 @@ DeviceSpec MakeRtx4090() {
   d.smem_bandwidth_gbps = 40000.0;
   d.link_bandwidth_gbps = 25.0;  // PCIe 4.0 x16, per direction
   d.link_latency_us = 5.0;
+  d.host_bandwidth_gbps = 25.0;  // host attach is the same PCIe 4.0 x16 link
+  d.host_latency_us = 5.0;
   return d;
 }
 
@@ -99,6 +107,8 @@ DeviceSpec MakeA100_40G() {
   d.smem_bandwidth_gbps = 35000.0;
   d.link_bandwidth_gbps = 300.0;  // NVLink 3, per direction
   d.link_latency_us = 2.0;
+  d.host_bandwidth_gbps = 25.0;  // host attach stays PCIe 4.0 x16
+  d.host_latency_us = 5.0;
   return d;
 }
 
@@ -118,6 +128,8 @@ DeviceSpec MakeH100() {
   d.smem_bandwidth_gbps = 55000.0;
   d.link_bandwidth_gbps = 450.0;  // NVLink 4, per direction
   d.link_latency_us = 1.8;
+  d.host_bandwidth_gbps = 50.0;  // host attach is PCIe 5.0 x16
+  d.host_latency_us = 4.0;
   return d;
 }
 

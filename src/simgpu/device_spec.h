@@ -46,8 +46,19 @@ struct DeviceSpec {
   double link_bandwidth_gbps = 0.0;
   double link_latency_us = 0.0;
 
+  // -- Host link (KV-page swap tier) ----------------------------------------
+  // Device <-> host-memory path (PCIe for every part, including NVLink-mesh
+  // datacenter boards whose host attach is still PCIe): per-direction
+  // bandwidth and fixed per-transfer latency. Swap-style preemption charges
+  // transfers against this link, sized from the bytes actually moved.
+  // host_bandwidth_gbps == 0 means no modeled host tier (swap falls back to
+  // recompute).
+  double host_bandwidth_gbps = 0.0;
+  double host_latency_us = 0.0;
+
   bool has_sparse_alu() const { return sparse_alu_speedup > 1.0; }
   bool has_interconnect() const { return link_bandwidth_gbps > 0.0; }
+  bool has_host_link() const { return host_bandwidth_gbps > 0.0; }
 };
 
 // Devices used in the paper's evaluation (§6, §6.6).

@@ -44,7 +44,8 @@ void PrintUsage(std::FILE* out) {
       "        [--policy=fcfs|smallest-first|token-budget] [--budget=N]\n"
       "        [--chunk-tokens=N] [--stream[=0|1]] [--report-json=FILE]\n"
       "        [--max-resident=N] [--page-tokens=N] [--max-pages=N|auto]\n"
-      "        [--preempt=0|1] [--threads=N] [--layers=N] [--hidden=N]\n"
+      "        [--preempt=0|1] [--prefix-cache=0|1] [--swap=0|1] [--host-pages=N]\n"
+      "        [--threads=N] [--layers=N] [--hidden=N]\n"
       "        [--inter=N] [--experts=N] [--top-k=N] [--heads=N] [--rate=R]\n"
       "        [--prompt-min=N] [--prompt-max=N] [--decode-min=N] [--decode-max=N]\n"
       "        [--seed=N] [--autotune=0|1] [--routing=top-k|expert-choice]\n"
@@ -60,6 +61,13 @@ void PrintUsage(std::FILE* out) {
       "        --max-pages bounds the paged KV cache (admission switches to page\n"
       "        accounting; 'auto' derives the budget from the Table-3 memory model);\n"
       "        --preempt=1 evicts lowest-priority/youngest residents under pressure;\n"
+      "        --prefix-cache=1 shares KV pages between sessions whose prompts\n"
+      "        bit-match a cached prefix (radix tree, copy-on-write pages; outputs\n"
+      "        identical to sharing off; ignored under expert-choice routing);\n"
+      "        --swap=1 moves preemption victims' KV pages to a simulated host\n"
+      "        tier and restores them bit-exactly on readmission (needs --preempt=1\n"
+      "        and a bounded page pool) with --host-pages bounding the tier\n"
+      "        (0 = unbounded; recompute is the fallback when it fills);\n"
       "        --autotune=1 resolves SSMM tile configs per batch shape (cached);\n"
       "        --shards=N partitions experts across N simulated devices (outputs are\n"
       "        bit-identical at any shard count) with --placement choosing the\n"
@@ -268,6 +276,9 @@ struct ServeOptions {
   int64_t max_pages = 0;      // 0 = monolithic token accounting
   bool auto_pages = false;    // --max-pages=auto: derive from TokenCapacity()
   bool preempt = false;
+  bool prefix_cache = false;  // radix prefix sharing with COW pages
+  bool swap = false;          // swap-style preemption to the host tier
+  int64_t host_pages = 0;     // host-tier capacity in pages (0 = unbounded)
   bool autotune = false;
   serving::RoutingAlgo routing = serving::RoutingAlgo::kTopK;
   int shards = 1;
@@ -346,6 +357,22 @@ bool ParseServeFlag(const std::string& arg, ServeOptions& opt) {
       std::exit(2);
     }
     opt.preempt = v == 1;
+  } else if (key == "--prefix-cache") {
+    const int64_t v = ParseI64(value, "prefix-cache");
+    if (v != 0 && v != 1) {
+      std::fprintf(stderr, "invalid prefix-cache: '%s' (expected 0 or 1)\n", value);
+      std::exit(2);
+    }
+    opt.prefix_cache = v == 1;
+  } else if (key == "--swap") {
+    const int64_t v = ParseI64(value, "swap");
+    if (v != 0 && v != 1) {
+      std::fprintf(stderr, "invalid swap: '%s' (expected 0 or 1)\n", value);
+      std::exit(2);
+    }
+    opt.swap = v == 1;
+  } else if (key == "--host-pages") {
+    opt.host_pages = ParseI64(value, "host-pages");
   } else if (key == "--autotune") {
     const int64_t v = ParseI64(value, "autotune");
     if (v != 0 && v != 1) {
@@ -494,6 +521,14 @@ int CmdServe(int argc, char** argv) {
     std::fprintf(stderr, "--preempt=1 requires a bounded page pool (--max-pages)\n");
     return 2;
   }
+  if (opt.swap && (!opt.preempt || (opt.max_pages == 0 && !opt.auto_pages))) {
+    std::fprintf(stderr, "--swap=1 requires --preempt=1 and a bounded page pool (--max-pages)\n");
+    return 2;
+  }
+  if (opt.host_pages < 0) {
+    std::fprintf(stderr, "need host-pages >= 0 (0 = unbounded host tier)\n");
+    return 2;
+  }
   if (opt.prompt_min < 1 || opt.prompt_max < opt.prompt_min || opt.decode_min < 0 ||
       opt.decode_max < opt.decode_min) {
     std::fprintf(stderr,
@@ -569,6 +604,9 @@ int CmdServe(int argc, char** argv) {
   engine_cfg.scheduler.page_tokens = opt.page_tokens;
   engine_cfg.scheduler.max_pages = opt.max_pages;
   engine_cfg.scheduler.preempt = opt.preempt;
+  engine_cfg.prefix_cache = opt.prefix_cache;
+  engine_cfg.swap = opt.swap;
+  engine_cfg.host_pages = opt.host_pages;
   serving::ServingEngine engine(std::move(layers), engine_cfg);
 
   std::printf("serving %s: %d layers, hidden %d, %d experts (top-%d), %s activation\n",
@@ -596,6 +634,17 @@ int CmdServe(int argc, char** argv) {
   } else {
     std::printf("kv-cache: paged storage (%lld-token pages), monolithic token admission\n",
                 static_cast<long long>(opt.page_tokens));
+  }
+  if (engine.prefix_cache() != nullptr) {
+    std::printf("prefix-cache: on (radix sharing, copy-on-write pages)\n");
+  } else if (opt.prefix_cache) {
+    std::printf("prefix-cache: suppressed (expert-choice routing is batch-dependent)\n");
+  }
+  if (engine.swap_enabled()) {
+    const DeviceSpec& dev = engine.cluster().device(0);
+    std::printf("swap: host tier %s pages over %.0f GB/s + %.1f us host link\n",
+                opt.host_pages > 0 ? std::to_string(opt.host_pages).c_str() : "unbounded",
+                dev.host_bandwidth_gbps, dev.host_latency_us);
   }
   std::printf("trace: %zu requests\n\n", entries.size());
 

@@ -68,11 +68,11 @@ TEST(KvPageAllocatorTest, FreeIsIdempotentAndReusesPagesDeterministically) {
   KvPageAllocator alloc(KvCacheConfig{4, 4});
   ASSERT_TRUE(alloc.Extend(1, 8));
   const std::vector<int32_t> first_pages = alloc.SequencePages(1);
-  alloc.Free(1);
+  EXPECT_TRUE(alloc.Free(1));
   EXPECT_EQ(alloc.used_pages(), 0);
   EXPECT_EQ(alloc.free_pages(), 4);
-  alloc.Free(1);  // double free: no-op, conservation holds
-  alloc.Free(99);  // unknown id: no-op
+  EXPECT_FALSE(alloc.Free(1));   // double free: defined no-op, reported
+  EXPECT_FALSE(alloc.Free(99));  // unknown id: defined no-op, reported
   EXPECT_EQ(alloc.used_pages() + alloc.free_pages(), alloc.total_pages());
 
   // LIFO free list: the next sequence gets the same page ids back in order.
@@ -209,11 +209,13 @@ TEST(KvPageAllocatorTest, RandomizedLifecycleKeepsInvariants) {
       }
     } else if (dice < 97) {  // free a random live sequence (or a bogus id)
       if (shadow.tokens.empty() || rng.NextBounded(8) == 0) {
-        alloc.Free(next_id + 1000);  // unknown id: must be a no-op
+        ASSERT_FALSE(alloc.Free(next_id + 1000));  // unknown id: reported no-op
       } else {
         auto it = shadow.tokens.begin();
         std::advance(it, static_cast<int64_t>(rng.NextBounded(shadow.tokens.size())));
-        alloc.Free(it->first);
+        const int64_t id = it->first;
+        ASSERT_TRUE(alloc.Free(id));
+        ASSERT_FALSE(alloc.Free(id));  // double-free injection: reported no-op
         shadow.tokens.erase(it);
       }
     } else {  // reset: allocator must come back fully reusable
@@ -229,6 +231,186 @@ TEST(KvPageAllocatorTest, RandomizedLifecycleKeepsInvariants) {
   EXPECT_GT(failed_extends, 0);
   EXPECT_GT(resets, 0);
   EXPECT_GT(next_id, 100);
+}
+
+// ---- Sharing / refcount property test ---------------------------------------
+//
+// Drives Extend / CreateMapped / CowSplit / Retain / Release / Free against a
+// shadow that tracks every holder of every page (sequence page tables plus
+// tree-style bare retains) and asserts after each op:
+//   * every page's refcount equals the shadow's holder count,
+//   * used == pages with holders, shared == pages with >= 2 holders,
+//   * conservation: used + free == total,
+//   * CowSplit rebinds exactly the split sequence and never disturbs others.
+struct SharingShadow {
+  std::map<int64_t, std::vector<int32_t>> seq_pages;
+  std::map<int64_t, int64_t> seq_tokens;
+  std::vector<int32_t> bare_retains;  // radix-node-style extra references
+
+  std::map<int32_t, int> Refs() const {
+    std::map<int32_t, int> refs;
+    for (const auto& [id, pages] : seq_pages) {
+      for (int32_t p : pages) {
+        ++refs[p];
+      }
+    }
+    for (int32_t p : bare_retains) {
+      ++refs[p];
+    }
+    return refs;
+  }
+};
+
+void CheckSharingInvariants(const KvPageAllocator& alloc, const SharingShadow& shadow) {
+  ASSERT_EQ(alloc.used_pages() + alloc.free_pages(), alloc.total_pages());
+  const std::map<int32_t, int> refs = shadow.Refs();
+  int64_t shared = 0;
+  for (const auto& [page, count] : refs) {
+    ASSERT_EQ(alloc.refcount(page), count) << "page " << page;
+    if (count >= 2) {
+      ++shared;
+    }
+  }
+  ASSERT_EQ(alloc.used_pages(), static_cast<int64_t>(refs.size()));
+  ASSERT_EQ(alloc.shared_pages(), shared);
+  for (const auto& [id, tokens] : shadow.seq_tokens) {
+    ASSERT_EQ(alloc.SequenceTokens(id), tokens);
+    ASSERT_EQ(alloc.SequencePages(id), shadow.seq_pages.at(id));
+  }
+}
+
+TEST(KvPageAllocatorTest, RandomizedSharingKeepsRefcountsConserved) {
+  const KvCacheConfig cfg{4, 24};
+  KvPageAllocator alloc(cfg);
+  SharingShadow shadow;
+  Rng rng(99);
+  int64_t next_id = 0;
+  int64_t mapped = 0, cow_splits = 0, cow_denied = 0;
+
+  const auto random_seq = [&](uint64_t bias) -> int64_t {
+    if (shadow.seq_tokens.empty() || rng.NextBounded(bias) == 0) {
+      return next_id++;
+    }
+    auto it = shadow.seq_tokens.begin();
+    std::advance(it, static_cast<int64_t>(rng.NextBounded(shadow.seq_tokens.size())));
+    return it->first;
+  };
+
+  for (int op = 0; op < 4000; ++op) {
+    const uint64_t dice = rng.NextBounded(100);
+    if (dice < 30) {  // grow (allocator-level Extend never COWs)
+      const int64_t id = random_seq(4);
+      const int64_t grow = static_cast<int64_t>(rng.NextBounded(7));
+      const int64_t need = alloc.PagesToExtend(id, grow);
+      const bool expect_ok = need <= alloc.free_pages();
+      ASSERT_EQ(alloc.Extend(id, grow), expect_ok);
+      if (expect_ok) {
+        shadow.seq_tokens[id] += grow;
+        const std::vector<int32_t>& pages = alloc.SequencePages(id);
+        shadow.seq_pages[id] = pages;
+        ASSERT_EQ(static_cast<int64_t>(pages.size()),
+                  PagesForTokens(shadow.seq_tokens[id], cfg.page_tokens));
+      }
+    } else if (dice < 55 && !shadow.seq_tokens.empty()) {  // map a shared prefix
+      auto it = shadow.seq_tokens.begin();
+      std::advance(it, static_cast<int64_t>(rng.NextBounded(shadow.seq_tokens.size())));
+      const int64_t donor = it->first;
+      if (it->second > 0) {
+        const int64_t tokens = 1 + static_cast<int64_t>(rng.NextBounded(
+                                       static_cast<uint64_t>(it->second)));
+        const int64_t pages = PagesForTokens(tokens, cfg.page_tokens);
+        const std::vector<int32_t>& donor_pages = shadow.seq_pages.at(donor);
+        const std::vector<int32_t> prefix(donor_pages.begin(), donor_pages.begin() + pages);
+        const int64_t id = next_id++;
+        ASSERT_TRUE(alloc.CreateMapped(id, prefix, tokens));
+        ASSERT_FALSE(alloc.CreateMapped(id, prefix, tokens));  // id exists now
+        shadow.seq_pages[id] = prefix;
+        shadow.seq_tokens[id] = tokens;
+        ++mapped;
+      }
+    } else if (dice < 70) {  // copy-on-write split of a shared page
+      // Find a (seq, index) whose page is shared, deterministically.
+      bool done = false;
+      for (const auto& [id, pages] : shadow.seq_pages) {
+        for (size_t i = 0; i < pages.size() && !done; ++i) {
+          if (alloc.refcount(pages[i]) >= 2) {
+            const int32_t old_page = pages[i];
+            const int32_t new_page = alloc.CowSplit(id, i);
+            if (alloc.free_pages() > 0 || new_page >= 0) {
+              ASSERT_GE(new_page, 0);
+              ASSERT_NE(new_page, old_page);
+              shadow.seq_pages[id][i] = new_page;
+              ++cow_splits;
+            } else {
+              ASSERT_EQ(new_page, -1);  // bounded pool exhausted: no change
+              ++cow_denied;
+            }
+            done = true;
+          }
+        }
+        if (done) {
+          break;
+        }
+      }
+    } else if (dice < 80 && alloc.used_pages() > 0) {  // tree-style bare retain
+      // Retain a random live page (as a radix node would).
+      const std::map<int32_t, int> refs = shadow.Refs();
+      auto it = refs.begin();
+      std::advance(it, static_cast<int64_t>(rng.NextBounded(refs.size())));
+      alloc.Retain(it->first);
+      shadow.bare_retains.push_back(it->first);
+    } else if (dice < 88 && !shadow.bare_retains.empty()) {  // release a retain
+      const size_t i = static_cast<size_t>(rng.NextBounded(shadow.bare_retains.size()));
+      alloc.Release(shadow.bare_retains[i]);
+      shadow.bare_retains.erase(shadow.bare_retains.begin() +
+                                static_cast<std::ptrdiff_t>(i));
+    } else {  // free a sequence (or inject double/unknown frees)
+      if (shadow.seq_tokens.empty() || rng.NextBounded(8) == 0) {
+        ASSERT_FALSE(alloc.Free(next_id + 1000));
+      } else {
+        auto it = shadow.seq_tokens.begin();
+        std::advance(it, static_cast<int64_t>(rng.NextBounded(shadow.seq_tokens.size())));
+        const int64_t id = it->first;
+        ASSERT_TRUE(alloc.Free(id));
+        ASSERT_FALSE(alloc.Free(id));
+        shadow.seq_tokens.erase(id);
+        shadow.seq_pages.erase(id);
+      }
+    }
+    CheckSharingInvariants(alloc, shadow);
+  }
+  EXPECT_GT(mapped, 50);      // sharing actually happened
+  EXPECT_GT(cow_splits, 20);  // and diverged
+}
+
+TEST(PagedKvCacheTest, CowSplitPreservesContentAndUnshares) {
+  const int64_t kHidden = 4;
+  PagedKvCache cache(KvCacheConfig{4, 8}, /*layers=*/2, kHidden);
+  // Donor writes 6 tokens (2 pages, second partially filled).
+  ASSERT_TRUE(cache.Extend(1, 6));
+  for (int64_t layer = 0; layer < 2; ++layer) {
+    for (int64_t t = 0; t < 6; ++t) {
+      for (int64_t c = 0; c < kHidden; ++c) {
+        cache.Row(1, layer, t)[c] = static_cast<float>(100 * layer + 10 * t + c);
+      }
+    }
+  }
+  // A second sequence maps the same 6 tokens (both pages shared), then grows:
+  // the partial tail page must copy-on-write before the first new row lands.
+  ASSERT_TRUE(cache.CreateMapped(2, cache.allocator().SequencePages(1), 6));
+  EXPECT_EQ(cache.allocator().shared_pages(), 2);
+  ASSERT_TRUE(cache.Extend(2, 1));
+  EXPECT_EQ(cache.cow_splits(), 1);
+  EXPECT_EQ(cache.allocator().shared_pages(), 1);  // tail diverged, head still shared
+  EXPECT_NE(cache.allocator().SequencePages(1)[1], cache.allocator().SequencePages(2)[1]);
+  cache.Row(2, 0, 6)[0] = -1.0f;
+  for (int64_t layer = 0; layer < 2; ++layer) {
+    cache.Row(2, layer, 5)[0] = 999.0f;  // write into the copied page
+    EXPECT_EQ(cache.Row(1, layer, 5)[0], static_cast<float>(100 * layer + 50))
+        << "donor row disturbed by a post-split write";
+    // The copy carried the pre-split rows over bit-exactly.
+    EXPECT_EQ(cache.Row(2, layer, 4)[1], static_cast<float>(100 * layer + 40 + 1));
+  }
 }
 
 }  // namespace

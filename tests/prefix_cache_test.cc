@@ -1,0 +1,309 @@
+// Radix-tree prefix cache: randomized property coverage against a naive
+// shadow, plus host-swap round trips.
+//
+//   * Matching is exact: with no evictions, ProbeTokens/Acquire return the
+//     maximum common prefix between the query and any donated chain; with
+//     evictions the match can only shrink, never exceed the shadow.
+//   * Reference counts are conserved: with no live sequences every used page
+//     is held by exactly one tree node, and reclaimable_pages is exact.
+//   * Copy-on-write never aliases: KV rows gathered through a matched path
+//     and the replayed output rows are always the pure function of the prefix
+//     they were donated as, no matter how many sequences diverged since.
+//   * HostSwapTier round-trips are bit-exact even after the device pages are
+//     recycled by other sequences in between.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/serving/kv_cache.h"
+#include "src/serving/prefix_cache.h"
+#include "src/tensor/matrix.h"
+#include "src/tensor/rng.h"
+
+namespace samoyeds {
+namespace serving {
+namespace {
+
+TEST(ChainedRowHashesTest, CommitsToTheWholePrefix) {
+  Rng rng(7);
+  MatrixF a(6, 3);
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    for (int64_t c = 0; c < a.cols(); ++c) {
+      a(r, c) = rng.NextGaussian();
+    }
+  }
+  MatrixF b = a;
+  const auto ha = ChainedRowHashes(a, 6);
+  ASSERT_EQ(ha.size(), 6u);
+  EXPECT_EQ(ChainedRowHashes(b, 6), ha);  // bit-equal inputs, equal chain
+  b(2, 1) += 1.0f;                        // early divergence poisons the rest
+  const auto hb = ChainedRowHashes(b, 6);
+  EXPECT_EQ(hb[0], ha[0]);
+  EXPECT_EQ(hb[1], ha[1]);
+  for (size_t i = 2; i < 6; ++i) {
+    EXPECT_NE(hb[i], ha[i]) << "row " << i;
+  }
+}
+
+// Pure functions of the prefix (via the chained hash, which commits to every
+// earlier row): what a correct cache must reproduce bit-exactly on any hit.
+float ExpectedKv(uint64_t prefix_hash, int64_t col) {
+  return static_cast<float>((prefix_hash >> (8 * (col % 8))) & 0xff);
+}
+float ExpectedOut(uint64_t prefix_hash, int64_t col) {
+  return static_cast<float>(((prefix_hash * 31) >> (8 * (col % 8))) & 0xff);
+}
+
+int64_t CommonPrefix(const std::vector<uint64_t>& a, const std::vector<uint64_t>& b) {
+  const size_t n = std::min(a.size(), b.size());
+  size_t i = 0;
+  while (i < n && a[i] == b[i]) {
+    ++i;
+  }
+  return static_cast<int64_t>(i);
+}
+
+TEST(PrefixCacheTest, RandomizedMatchesShadowAndNeverAliases) {
+  constexpr int64_t kPageTokens = 4;
+  constexpr int64_t kHidden = 3;
+  constexpr int64_t kPool = 48;  // small enough that eviction really happens
+  PagedKvCache cache(KvCacheConfig{kPageTokens, kPool}, /*layers=*/1, kHidden);
+  KvPageAllocator& alloc = cache.mutable_allocator();
+  PrefixCache pc(kPageTokens, kHidden);
+  Rng rng(4242);
+
+  // Prompt pool grown by forking prefixes, so prompts genuinely share.
+  // Lengths are capped at 40 rows (10 pages) so a prompt always fits the pool
+  // once tree-only pages are reclaimed.
+  std::vector<MatrixF> prompts;
+  std::vector<std::vector<uint64_t>> donated;  // shadow: full donated chains
+  const auto make_prompt = [&]() {
+    int64_t keep = 0;
+    const MatrixF* base = nullptr;
+    if (!prompts.empty() && rng.NextBounded(4) != 0) {
+      base = &prompts[static_cast<size_t>(rng.NextIndex(
+          static_cast<int64_t>(prompts.size())))];
+      keep = rng.NextIndex(std::min<int64_t>(base->rows(), 28) + 1);
+    }
+    const int64_t extra = 1 + rng.NextIndex(12);
+    MatrixF m(keep + extra, kHidden);
+    for (int64_t r = 0; r < keep; ++r) {
+      for (int64_t c = 0; c < kHidden; ++c) {
+        m(r, c) = (*base)(r, c);
+      }
+    }
+    for (int64_t r = keep; r < keep + extra; ++r) {
+      for (int64_t c = 0; c < kHidden; ++c) {
+        m(r, c) = rng.NextGaussian();
+      }
+    }
+    prompts.push_back(std::move(m));
+    return static_cast<int64_t>(prompts.size()) - 1;
+  };
+
+  int64_t next_seq = 1;
+  int64_t full_hits = 0, partial_hits = 0, skipped = 0;
+  for (int iter = 0; iter < 400; ++iter) {
+    // Mostly fresh forks; sometimes resubmit an old prompt verbatim (the
+    // shared-system-prompt case, which should fully hit unless evicted).
+    const size_t index = (!prompts.empty() && rng.NextBounded(3) == 0)
+                             ? static_cast<size_t>(rng.NextIndex(
+                                   static_cast<int64_t>(prompts.size())))
+                             : static_cast<size_t>(make_prompt());
+    const MatrixF& inputs = prompts[index];
+    const int64_t tokens = inputs.rows();
+    const std::vector<uint64_t> hashes = ChainedRowHashes(inputs, tokens);
+
+    int64_t expected = 0;
+    for (const auto& chain : donated) {
+      expected = std::max(expected, CommonPrefix(hashes, chain));
+    }
+    const int64_t probed = pc.ProbeTokens(inputs, tokens);
+    ASSERT_LE(probed, expected);  // never invent a prefix
+    if (pc.evictions() == 0) {
+      ASSERT_EQ(probed, expected);  // exact while nothing was evicted
+    }
+
+    PrefixCache::Match match = pc.Acquire(inputs, tokens);
+    ASSERT_EQ(match.tokens, probed);  // Probe and Acquire agree
+    const int64_t seq = next_seq++;
+    if (match.tokens > 0) {
+      ASSERT_TRUE(cache.CreateMapped(seq, match.pages, match.tokens));
+      // Replayed output rows are the pure function of the prefix — a COW or
+      // eviction bug that aliased pages would surface as foreign bytes here.
+      for (int64_t t = 0; t < match.tokens; ++t) {
+        for (int64_t c = 0; c < kHidden; ++c) {
+          ASSERT_EQ(match.out_rows[static_cast<size_t>(t * kHidden + c)],
+                    ExpectedOut(hashes[static_cast<size_t>(t)], c))
+              << "iter " << iter << " token " << t;
+        }
+      }
+      std::vector<float> kv(static_cast<size_t>(match.tokens * kHidden));
+      cache.GatherRows(seq, 0, match.tokens, kv.data());
+      for (int64_t t = 0; t < match.tokens; ++t) {
+        for (int64_t c = 0; c < kHidden; ++c) {
+          ASSERT_EQ(kv[static_cast<size_t>(t * kHidden + c)],
+                    ExpectedKv(hashes[static_cast<size_t>(t)], c))
+              << "iter " << iter << " token " << t;
+        }
+      }
+      ++(match.tokens == tokens ? full_hits : partial_hits);
+    }
+    // Grow to the full prompt (copy-on-write splits a shared tail page under
+    // the hood), reclaiming tree-only pages under pressure like the engine.
+    bool fits = true;
+    while (!cache.Extend(seq, tokens - match.tokens)) {
+      if (!pc.ReclaimOne(alloc)) {
+        fits = false;
+        break;
+      }
+    }
+    if (!fits) {
+      if (match.tokens > 0) {
+        ASSERT_TRUE(cache.Free(seq));
+      }
+      ++skipped;
+      continue;
+    }
+    for (int64_t t = match.tokens; t < tokens; ++t) {
+      for (int64_t c = 0; c < kHidden; ++c) {
+        cache.Row(seq, 0, t)[c] = ExpectedKv(hashes[static_cast<size_t>(t)], c);
+      }
+    }
+    std::vector<float> out(static_cast<size_t>(tokens * kHidden));
+    for (int64_t t = 0; t < tokens; ++t) {
+      for (int64_t c = 0; c < kHidden; ++c) {
+        out[static_cast<size_t>(t * kHidden + c)] =
+            ExpectedOut(hashes[static_cast<size_t>(t)], c);
+      }
+    }
+    pc.Donate(seq, inputs, tokens, out, alloc);
+    donated.push_back(hashes);
+    ASSERT_TRUE(cache.Free(seq));
+
+    // No sequence is live: every used page is held by exactly one tree node,
+    // and all of them are reclaimable.
+    ASSERT_EQ(alloc.used_pages(), pc.nodes());
+    ASSERT_EQ(alloc.shared_pages(), 0);
+    ASSERT_EQ(pc.reclaimable_pages(alloc), pc.nodes());
+    // The chain just donated matches end to end.
+    ASSERT_EQ(pc.ProbeTokens(inputs, tokens), tokens);
+  }
+  // The schedule exercised every interesting regime.
+  EXPECT_GT(full_hits, 20);
+  EXPECT_GT(partial_hits, 20);
+  EXPECT_GT(pc.evictions(), 0);
+  EXPECT_GT(cache.cow_splits(), 0);
+  EXPECT_EQ(skipped, 0);  // reclaim always made room in this schedule
+
+  // Drain the whole tree through ReclaimOne: every page comes back.
+  while (pc.ReclaimOne(alloc)) {
+  }
+  EXPECT_EQ(pc.nodes(), 0);
+  EXPECT_EQ(alloc.used_pages(), 0);
+  EXPECT_EQ(alloc.free_pages(), kPool);
+  EXPECT_EQ(pc.ProbeTokens(prompts[0], prompts[0].rows()), 0);
+}
+
+TEST(PrefixCacheTest, SharedPathPagesCountsOnlyLiveMappings) {
+  constexpr int64_t kPageTokens = 4;
+  constexpr int64_t kHidden = 2;
+  PagedKvCache cache(KvCacheConfig{kPageTokens, 16}, /*layers=*/1, kHidden);
+  KvPageAllocator& alloc = cache.mutable_allocator();
+  PrefixCache pc(kPageTokens, kHidden);
+  Rng rng(11);
+  MatrixF inputs(10, kHidden);  // 2 full pages + a partial tail
+  for (int64_t r = 0; r < inputs.rows(); ++r) {
+    for (int64_t c = 0; c < kHidden; ++c) {
+      inputs(r, c) = rng.NextGaussian();
+    }
+  }
+  ASSERT_TRUE(cache.Extend(1, 10));
+  const std::vector<float> out(10 * kHidden, 0.5f);
+  pc.Donate(1, inputs, 10, out, alloc);
+  ASSERT_TRUE(cache.Free(1));
+
+  // Tree-only path: matching is full but no page is discountable — mapping
+  // would pin otherwise-reclaimable pages.
+  int64_t shared = -1;
+  EXPECT_EQ(pc.ProbeTokens(inputs, 10, &alloc, &shared), 10);
+  EXPECT_EQ(shared, 0);
+
+  // A live sequence mapping the path makes every page discountable.
+  PrefixCache::Match match = pc.Acquire(inputs, 10);
+  ASSERT_EQ(match.tokens, 10);
+  ASSERT_TRUE(cache.CreateMapped(2, match.pages, 10));
+  EXPECT_EQ(pc.ProbeTokens(inputs, 10, &alloc, &shared), 10);
+  EXPECT_EQ(shared, 3);
+  ASSERT_TRUE(cache.Free(2));
+  EXPECT_EQ(pc.ProbeTokens(inputs, 10, &alloc, &shared), 10);
+  EXPECT_EQ(shared, 0);
+}
+
+TEST(HostSwapTierTest, RoundTripIsBitExactAfterPageRecycling) {
+  constexpr int64_t kPageTokens = 4;
+  constexpr int64_t kHidden = 3;
+  constexpr int64_t kLayers = 2;
+  constexpr int64_t kTokens = 10;
+  PagedKvCache cache(KvCacheConfig{kPageTokens, 8}, kLayers, kHidden);
+  HostSwapTier tier(kLayers, kHidden, kPageTokens, /*max_host_pages=*/3);
+  Rng rng(99);
+
+  ASSERT_TRUE(cache.Extend(1, kTokens));
+  std::vector<float> golden(static_cast<size_t>(kLayers * kTokens * kHidden));
+  for (auto& v : golden) {
+    v = rng.NextGaussian();
+  }
+  for (int64_t layer = 0; layer < kLayers; ++layer) {
+    cache.ScatterRows(1, layer, kTokens, golden.data() + layer * kTokens * kHidden);
+  }
+
+  ASSERT_TRUE(tier.CanHold(kTokens));  // 3 pages, budget 3
+  tier.SwapOut(1, cache, kTokens);
+  EXPECT_EQ(tier.used_pages(), 3);
+  EXPECT_EQ(tier.Tokens(1), kTokens);
+  EXPECT_FALSE(tier.CanHold(1));  // budget full
+  EXPECT_EQ(tier.BytesForTokens(kTokens),
+            kTokens * kHidden * kLayers * static_cast<int64_t>(sizeof(float)));
+  ASSERT_TRUE(cache.Free(1));
+
+  // Recycle the freed pages through an unrelated sequence to scramble the
+  // arena, then drop it again.
+  ASSERT_TRUE(cache.Extend(7, 2 * kPageTokens));
+  for (int64_t layer = 0; layer < kLayers; ++layer) {
+    for (int64_t t = 0; t < 2 * kPageTokens; ++t) {
+      for (int64_t c = 0; c < kHidden; ++c) {
+        cache.Row(7, layer, t)[c] = -7.0f;
+      }
+    }
+  }
+  ASSERT_TRUE(cache.Free(7));
+
+  ASSERT_TRUE(cache.Extend(1, kTokens));
+  tier.SwapIn(1, cache);
+  EXPECT_EQ(tier.used_pages(), 0);
+  EXPECT_EQ(tier.entries(), 0);
+  EXPECT_FALSE(tier.Has(1));
+  for (int64_t layer = 0; layer < kLayers; ++layer) {
+    std::vector<float> got(static_cast<size_t>(kTokens * kHidden));
+    cache.GatherRows(1, layer, kTokens, got.data());
+    for (size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i], golden[static_cast<size_t>(layer * kTokens * kHidden) + i])
+          << "layer " << layer << " flat " << i;
+    }
+  }
+
+  // Drop is idempotent and Cancel-style discards release the budget.
+  EXPECT_FALSE(tier.Drop(1));
+  tier.SwapOut(1, cache, kTokens);
+  EXPECT_TRUE(tier.Drop(1));
+  EXPECT_FALSE(tier.Drop(1));
+  EXPECT_EQ(tier.used_pages(), 0);
+}
+
+}  // namespace
+}  // namespace serving
+}  // namespace samoyeds

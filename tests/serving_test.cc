@@ -341,6 +341,33 @@ TEST(SchedulerTest, ChunkedPagedAdmissionChargesOnlyTheFirstChunkWhenPreemptive)
   EXPECT_TRUE(conservative.Admit(1, resident).admitted.empty());
 }
 
+TEST(SchedulerTest, PageCapacityRejectionNeverBlamesTheTokenBudget) {
+  // A request that overflows BOTH the iteration token budget and the KV page
+  // pool is impossible to serve because of the pages — chunked prefill could
+  // fix the budget half, more pages could not be conjured. The reason string
+  // must say so, not mislead the operator into enabling chunking.
+  SchedulerConfig cfg = PagedConfig(/*page_tokens=*/4, /*max_pages=*/4, /*preempt=*/true);
+  cfg.token_budget = 16;
+  Scheduler sched(cfg);
+  sched.Enqueue(Sized(1, 20, 8));  // prompt 20 > budget 16, 28 tokens = 7 pages > 4
+
+  const auto decision = sched.Admit(0, ResidentSnapshot{});
+  ASSERT_EQ(decision.rejected.size(), 1u);
+  EXPECT_NE(std::strstr(decision.rejected[0].reason, "page budget"), nullptr)
+      << decision.rejected[0].reason;
+  EXPECT_EQ(std::strstr(decision.rejected[0].reason, "token budget"), nullptr)
+      << decision.rejected[0].reason;
+
+  // With chunking on, the token-budget half really is curable — the page
+  // verdict must be identical so the operator sees the incurable one.
+  cfg.chunk_tokens = 4;
+  Scheduler chunked(cfg);
+  chunked.Enqueue(Sized(1, 20, 8));
+  const auto chunked_decision = chunked.Admit(0, ResidentSnapshot{});
+  ASSERT_EQ(chunked_decision.rejected.size(), 1u);
+  EXPECT_NE(std::strstr(chunked_decision.rejected[0].reason, "page budget"), nullptr);
+}
+
 TEST(SchedulerTest, CancelRemovesAPendingRequest) {
   SchedulerConfig cfg;
   cfg.token_budget = 16;
@@ -942,6 +969,258 @@ TEST(ShardedEngineTest, AutotunedTileConfigFeedsTheAnalyticEstimate) {
   EXPECT_GT(est_by_mode[0], 0.0);
   EXPECT_GT(est_by_mode[1], 0.0);
   EXPECT_LE(est_by_mode[1], est_by_mode[0] * (1.0 + 1e-9));
+}
+
+// ---- Engine: prefix sharing + swap preemption -------------------------------
+
+// Multi-tenant workload with a genuinely shared prompt prefix: every tenant's
+// first `shared_rows` input rows are bit-copies of tenant 0's.
+std::vector<Request> SharedPrefixWorkload(Rng& rng, int64_t hidden, int64_t tenants,
+                                          int64_t shared_rows, int64_t prompt,
+                                          int64_t decode, int64_t arrival_gap) {
+  std::vector<Request> requests;
+  for (int64_t i = 0; i < tenants; ++i) {
+    Request r = MakeTestRequest(rng, i, i * arrival_gap, prompt, decode, hidden);
+    for (int64_t row = 0; i > 0 && row < shared_rows; ++row) {
+      for (int64_t c = 0; c < hidden; ++c) {
+        r.inputs(row, c) = requests[0].inputs(row, c);
+      }
+    }
+    requests.push_back(std::move(r));
+  }
+  return requests;
+}
+
+// Runs `requests` through an engine built from `cfg` and returns the outputs
+// in submission order, asserting every request finished.
+std::vector<MatrixF> RunToOutputs(const TinyModel& model, const EngineConfig& cfg,
+                                  const std::vector<Request>& requests,
+                                  ServingReport* report = nullptr) {
+  ServingEngine engine(model.sparse, cfg);
+  for (const Request& r : requests) {
+    EXPECT_TRUE(engine.Submit(r));
+  }
+  engine.RunUntilDrained(10000);
+  std::vector<MatrixF> outputs;
+  for (const Request& r : requests) {
+    const RequestResult* result = engine.Result(r.id);
+    EXPECT_NE(result, nullptr);
+    if (result != nullptr) {
+      EXPECT_EQ(result->status, RequestStatus::kFinished) << "request " << r.id;
+      outputs.push_back(result->outputs);
+    }
+  }
+  if (report != nullptr) {
+    *report = engine.Report();
+  }
+  return outputs;
+}
+
+TEST(PrefixCacheEngineTest, SharingIsBitIdenticalAcrossChunkShardsAndThreads) {
+  Rng seed_rng(121);
+  const MoeModelConfig cfg = TinyConfig();
+  const TinyModel model = BuildTinyModel(seed_rng, /*layers=*/2, cfg);
+  Rng req_rng(122);
+  // Tenants arrive far enough apart that earlier sessions have donated their
+  // prefixes by the time later ones are admitted.
+  const std::vector<Request> requests =
+      SharedPrefixWorkload(req_rng, cfg.hidden, /*tenants=*/4, /*shared_rows=*/6,
+                           /*prompt=*/8, /*decode=*/3, /*arrival_gap=*/8);
+
+  for (const int64_t chunk : {int64_t{0}, int64_t{1}, int64_t{8}}) {
+    for (const int shards : {1, 2}) {
+      for (const int threads : {1, 8}) {
+        EngineConfig engine_cfg = TinyEngineConfig(threads);
+        engine_cfg.shards = shards;
+        engine_cfg.scheduler.chunk_tokens = chunk;
+        engine_cfg.scheduler.page_tokens = 4;
+        engine_cfg.scheduler.max_pages = 64;
+        const std::vector<MatrixF> baseline = RunToOutputs(model, engine_cfg, requests);
+
+        engine_cfg.prefix_cache = true;
+        ServingReport report;
+        const std::vector<MatrixF> shared = RunToOutputs(model, engine_cfg, requests, &report);
+        ASSERT_EQ(shared.size(), baseline.size());
+        for (size_t i = 0; i < shared.size(); ++i) {
+          EXPECT_TRUE(shared[i] == baseline[i])
+              << "chunk=" << chunk << " shards=" << shards << " threads=" << threads
+              << " request " << i;
+        }
+        // Sharing really engaged: later tenants reused the common prefix, the
+        // partial shared tail page split on divergence, pages were co-mapped.
+        EXPECT_GT(report.prefix_hit_tokens, 0)
+            << "chunk=" << chunk << " shards=" << shards << " threads=" << threads;
+        EXPECT_GT(report.prefix_hit_requests, 0);
+        EXPECT_GT(report.prefix_hit_rate, 0.0);
+        EXPECT_GT(report.cow_splits, 0);
+        EXPECT_GT(report.peak_shared_pages, 0);
+      }
+    }
+  }
+}
+
+TEST(PrefixCacheEngineTest, SharingStaysBitIdenticalUnderPreemption) {
+  Rng seed_rng(123);
+  const MoeModelConfig cfg = TinyConfig();
+  const TinyModel model = BuildTinyModel(seed_rng, 2, cfg);
+  Rng req_rng(124);
+  // Four 8+8 tenants with a shared 6-row prefix against 32 KV slots: decode
+  // growth forces evictions while prefixes are being shared and re-matched.
+  const std::vector<Request> requests =
+      SharedPrefixWorkload(req_rng, cfg.hidden, 4, /*shared_rows=*/6, /*prompt=*/8,
+                           /*decode=*/8, /*arrival_gap=*/1);
+
+  EngineConfig engine_cfg = PagedEngineConfig(/*page_tokens=*/4, /*max_pages=*/8,
+                                              /*preempt=*/true);
+  engine_cfg.scheduler.token_budget = 40;
+  ServingReport baseline_report;
+  const std::vector<MatrixF> baseline =
+      RunToOutputs(model, engine_cfg, requests, &baseline_report);
+  EXPECT_GT(baseline_report.preemptions, 0);
+
+  engine_cfg.prefix_cache = true;
+  ServingReport report;
+  const std::vector<MatrixF> shared = RunToOutputs(model, engine_cfg, requests, &report);
+  ASSERT_EQ(shared.size(), baseline.size());
+  for (size_t i = 0; i < shared.size(); ++i) {
+    EXPECT_TRUE(shared[i] == baseline[i]) << "request " << i;
+  }
+  // Preempted victims donate their prefix and re-match it on readmission, so
+  // eviction pressure itself produces hits.
+  EXPECT_GT(report.prefix_hit_tokens, 0);
+}
+
+TEST(PrefixCacheEngineTest, FullPrefixHitSkipsPrefillAndImprovesTtft) {
+  Rng seed_rng(125);
+  const MoeModelConfig cfg = TinyConfig();
+  const TinyModel model = BuildTinyModel(seed_rng, 1, cfg);
+
+  EngineConfig engine_cfg = TinyEngineConfig(2);
+  engine_cfg.scheduler.chunk_tokens = 8;  // 20-row prompt prefills in 3 chunks
+  engine_cfg.scheduler.page_tokens = 4;
+  engine_cfg.scheduler.max_pages = 64;
+  engine_cfg.prefix_cache = true;
+  ServingEngine engine(model.sparse, engine_cfg);
+
+  Rng rng(126);
+  const Request a = MakeTestRequest(rng, 0, /*arrival=*/0, /*prompt=*/20, /*decode=*/3,
+                                    cfg.hidden);
+  Request b = MakeTestRequest(rng, 1, /*arrival=*/40, 20, 3, cfg.hidden);
+  for (int64_t row = 0; row < a.prompt_len; ++row) {  // identical prompt, own decode
+    for (int64_t c = 0; c < cfg.hidden; ++c) {
+      b.inputs(row, c) = a.inputs(row, c);
+    }
+  }
+  ASSERT_TRUE(engine.Submit(a));
+  ASSERT_TRUE(engine.Submit(b));
+  engine.RunUntilDrained(10000);
+
+  ASSERT_EQ(engine.Status(0), RequestStatus::kFinished);
+  ASSERT_EQ(engine.Status(1), RequestStatus::kFinished);
+  const RequestMetrics& ma = engine.metrics().requests().at(0);
+  const RequestMetrics& mb = engine.metrics().requests().at(1);
+  EXPECT_EQ(ma.cached_prompt_tokens, 0);
+  EXPECT_EQ(mb.cached_prompt_tokens, 20);  // the whole prompt came from the tree
+  const int64_t ttft_a = ma.first_output_step - ma.arrival_step;
+  const int64_t ttft_b = mb.first_output_step - mb.arrival_step;
+  EXPECT_GE(ttft_a, 2);  // three chunks: at least two extra steps
+  EXPECT_LT(ttft_b, ttft_a);
+  EXPECT_EQ(engine.metrics().requests().at(1).prefill_chunks, 0);
+
+  // The replayed prompt rows are bit-identical to the computed ones.
+  const MatrixF& oa = engine.Result(0)->outputs;
+  const MatrixF& ob = engine.Result(1)->outputs;
+  for (int64_t r = 0; r < a.prompt_len; ++r) {
+    for (int64_t c = 0; c < cfg.hidden; ++c) {
+      ASSERT_EQ(oa(r, c), ob(r, c)) << "row " << r;
+    }
+  }
+}
+
+TEST(PrefixCacheEngineTest, ExpertChoiceRoutingSuppressesTheCache) {
+  // Expert-choice routing is batch-composition-dependent, so replaying cached
+  // rows would not be bit-lossless; the engine must silently decline.
+  Rng seed_rng(127);
+  const MoeModelConfig cfg = TinyConfig();
+  const TinyModel model = BuildTinyModel(seed_rng, 1, cfg);
+  EngineConfig engine_cfg = TinyEngineConfig(2);
+  engine_cfg.prefix_cache = true;
+  engine_cfg.routing = RoutingAlgo::kExpertChoice;
+  ServingEngine engine(model.sparse, engine_cfg);
+  EXPECT_EQ(engine.prefix_cache(), nullptr);
+
+  Rng rng(128);
+  ASSERT_TRUE(engine.Submit(MakeTestRequest(rng, 0, 0, 6, 2, cfg.hidden)));
+  engine.RunUntilDrained(1000);
+  EXPECT_EQ(engine.Status(0), RequestStatus::kFinished);
+  EXPECT_EQ(engine.Report().prefix_hit_tokens, 0);
+  EXPECT_FALSE(engine.Report().provenance.prefix_cache);
+}
+
+TEST(SwapPreemptionEngineTest, SwapMatchesRecomputeBitExactly) {
+  Rng seed_rng(131);
+  const MoeModelConfig cfg = TinyConfig();
+  const TinyModel model = BuildTinyModel(seed_rng, /*layers=*/2, cfg);
+  Rng req_rng(132);
+  std::vector<Request> requests;
+  for (int64_t i = 0; i < 4; ++i) {
+    requests.push_back(MakeTestRequest(req_rng, i, 0, /*prompt=*/8, /*decode=*/8,
+                                       cfg.hidden));
+  }
+
+  EngineConfig engine_cfg = PagedEngineConfig(/*page_tokens=*/4, /*max_pages=*/8,
+                                              /*preempt=*/true);
+  engine_cfg.scheduler.token_budget = 40;
+  ServingReport recompute_report;
+  const std::vector<MatrixF> recompute =
+      RunToOutputs(model, engine_cfg, requests, &recompute_report);
+  EXPECT_GT(recompute_report.preemptions, 0);
+  EXPECT_EQ(recompute_report.swap_outs, 0);
+
+  engine_cfg.swap = true;
+  engine_cfg.host_pages = 64;
+  ServingReport swap_report;
+  const std::vector<MatrixF> swapped =
+      RunToOutputs(model, engine_cfg, requests, &swap_report);
+  ASSERT_EQ(swapped.size(), recompute.size());
+  for (size_t i = 0; i < swapped.size(); ++i) {
+    EXPECT_TRUE(swapped[i] == recompute[i]) << "request " << i;
+  }
+  // Victims really took the host-tier path, and the modeled transfer cost is
+  // tied to the bytes that moved.
+  EXPECT_GT(swap_report.preemptions, 0);
+  EXPECT_GT(swap_report.swap_outs, 0);
+  EXPECT_EQ(swap_report.swap_ins, swap_report.swap_outs);  // all drained back
+  EXPECT_GT(swap_report.swap_out_bytes, 0.0);
+  EXPECT_EQ(swap_report.swap_out_bytes, swap_report.swap_in_bytes);
+  EXPECT_GT(swap_report.est_swap_ms, 0.0);
+  EXPECT_TRUE(swap_report.provenance.swap);
+
+  // A swapped victim's resume costs no recomputed prefill rows, so the swap
+  // run prefills strictly less than the recompute run.
+  EXPECT_LT(swap_report.prefill_rows, recompute_report.prefill_rows);
+}
+
+TEST(SwapPreemptionEngineTest, CappedHostTierFallsBackToRecompute) {
+  Rng seed_rng(133);
+  const MoeModelConfig cfg = TinyConfig();
+  const TinyModel model = BuildTinyModel(seed_rng, 2, cfg);
+  Rng req_rng(134);
+  std::vector<Request> requests;
+  for (int64_t i = 0; i < 4; ++i) {
+    requests.push_back(MakeTestRequest(req_rng, i, 0, 8, 8, cfg.hidden));
+  }
+  EngineConfig engine_cfg = PagedEngineConfig(4, 8, /*preempt=*/true);
+  engine_cfg.scheduler.token_budget = 40;
+  engine_cfg.swap = true;
+  engine_cfg.host_pages = 1;  // one 4-token page: no 8+ token victim ever fits
+
+  ServingReport report;
+  const std::vector<MatrixF> outputs = RunToOutputs(model, engine_cfg, requests, &report);
+  ASSERT_EQ(outputs.size(), requests.size());
+  EXPECT_GT(report.preemptions, 0);
+  EXPECT_EQ(report.swap_outs, 0);  // every eviction fell back to recompute
+  EXPECT_EQ(report.peak_host_pages, 0);
 }
 
 // ---- Engine: expert-choice routing ------------------------------------------

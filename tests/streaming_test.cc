@@ -498,6 +498,83 @@ TEST(CancelTest, CancellingAPreemptedSessionKeepsItsStreamedRows) {
   EXPECT_EQ(engine.kv_cache().allocator().used_pages(), 0);
 }
 
+TEST(CancelTest, CancellingASwappedOutVictimFreesBothTiersExactlyOnce) {
+  // Swap-style preemption parks the victim's KV rows and outputs in the host
+  // tier. Cancelling at the evicted-but-requeued stage must drop that shadow
+  // exactly once, keep every already-streamed row in the terminal result
+  // (the shadow holds *all* produced rows, not just the delivered ones), and
+  // never resurrect the session at what would have been its readmission.
+  Rng seed_rng(327);
+  const MoeModelConfig cfg = TinyConfig();
+  const auto model = BuildTinyModel(seed_rng, 1, cfg);
+  EngineConfig engine_cfg = StreamEngineConfig(2, /*budget=*/24, /*chunk_tokens=*/0);
+  engine_cfg.scheduler.page_tokens = 4;
+  engine_cfg.scheduler.max_pages = 4;
+  engine_cfg.scheduler.preempt = true;
+  engine_cfg.swap = true;
+  engine_cfg.host_pages = 8;
+  ServingEngine engine(model, engine_cfg);
+  ASSERT_TRUE(engine.swap_enabled());
+
+  // Same shape as the recompute variant: the lower-priority session 1 is
+  // evicted at the 8-token boundary — but here its readmission needs all its
+  // 2 swapped pages plus a decode-row page next to the surviving session's 3,
+  // so it stays parked in the host tier until the survivor retires.
+  Rng rng(328);
+  Request important = MakeTestRequest(rng, 0, 0, 4, 8, cfg.hidden);
+  important.priority = 1;
+  SessionHandle survivor = engine.Submit(important);
+  SessionHandle victim = engine.Submit(MakeTestRequest(rng, 1, 0, 4, 8, cfg.hidden));
+  ASSERT_TRUE(survivor.ok());
+  ASSERT_TRUE(victim.ok());
+
+  std::vector<float> streamed;
+  while (engine.metrics().preemption_log().empty()) {
+    ASSERT_TRUE(engine.Step());
+    const MatrixF rows = victim.NewRows();
+    streamed.insert(streamed.end(), rows.data(), rows.data() + rows.size());
+  }
+  const int64_t delivered = victim.delivered_rows();
+  ASSERT_GT(delivered, 0);
+  // The victim is parked in the host tier, awaiting readmission.
+  ASSERT_TRUE(engine.swap_tier().Has(1));
+  EXPECT_GT(engine.swap_tier().used_pages(), 0);
+  EXPECT_EQ(victim.status(), RequestStatus::kQueued);
+
+  ASSERT_TRUE(victim.Cancel());
+  EXPECT_FALSE(victim.Cancel());  // terminal: the second cancel refuses
+  const RequestResult* result = engine.Result(1);
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->status, RequestStatus::kCancelled);
+  // Host tier drained exactly once, device pages were already freed at the
+  // eviction: nothing holds victim state anywhere.
+  EXPECT_FALSE(engine.swap_tier().Has(1));
+  EXPECT_EQ(engine.swap_tier().entries(), 0);
+  EXPECT_EQ(engine.swap_tier().used_pages(), 0);
+
+  // The shadow carried every produced row (the full 8-token prefix at the
+  // eviction boundary), which can only extend the streamed record.
+  ASSERT_GE(result->outputs.rows(), delivered);
+  const int64_t hidden = engine.hidden();
+  for (int64_t r = 0; r < delivered; ++r) {
+    for (int64_t c = 0; c < hidden; ++c) {
+      ASSERT_EQ(result->outputs(r, c), streamed[static_cast<size_t>(r * hidden + c)]);
+    }
+  }
+
+  // No resurrection: the drain completes the survivor only, and the one
+  // swap-out never got its swap-in.
+  engine.RunUntilDrained(1000);
+  EXPECT_EQ(survivor.status(), RequestStatus::kFinished);
+  EXPECT_EQ(victim.status(), RequestStatus::kCancelled);
+  EXPECT_EQ(engine.kv_cache().allocator().used_pages(), 0);
+  const ServingReport report = engine.Report();
+  EXPECT_EQ(report.requests_cancelled, 1);
+  EXPECT_EQ(report.requests_finished, 1);
+  EXPECT_EQ(report.swap_outs, 1);
+  EXPECT_EQ(report.swap_ins, 0);
+}
+
 // ---- Session handle & stop conditions ---------------------------------------
 
 TEST(SessionApiTest, RejectedAndDuplicateSubmissionsYieldNotOkHandles) {
