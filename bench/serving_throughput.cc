@@ -4,9 +4,12 @@
 // vs TTFT/turnaround, gated on bit-identity with one-shot prefill), and an
 // expert-parallel shard sweep (shard count x routing skew x placement) that
 // doubles as the CI gate for sharded-vs-unsharded bit identity (`--smoke`
-// runs a reduced sweep; any bit divergence exits non-zero), plus a tracing
-// overhead gate: the chunked cell re-run with the flight recorder at full
-// detail must stay within 5% tokens/s of untraced and bit-identical.
+// runs a reduced sweep; any bit divergence exits non-zero), a degraded-mode
+// family (4 shards with one dying mid-run: every request must still finish,
+// outputs must stay bit-identical to the healthy run, and the analytic
+// compute cost must degrade gracefully), plus a tracing overhead gate: the
+// chunked cell re-run with the flight recorder at full detail must stay
+// within 5% tokens/s of untraced and bit-identical.
 //
 // `--json=PATH` emits every sweep cell as machine-readable JSON (the
 // committed BENCH_serving.json is a pinned-seed full run), so the serving
@@ -335,6 +338,58 @@ std::string Params(const char* fmt, ...) {
   return buf;
 }
 
+// One cell of the degraded-mode family: the shard-sweep workload served
+// either healthy or under a fault schedule (e.g. one shard dying mid-run).
+// Outputs are recorded so the degraded run can be gated bit-identical
+// against the healthy one — failover re-places the dead shard's experts but
+// must never change what any request computes.
+struct DegradedRun {
+  serving::ServingReport report;
+  std::vector<MatrixF> outputs;  // per request, submission order
+  int64_t finished = 0;
+};
+
+DegradedRun RunDegradedCell(uint64_t seed, int shards, const std::string& fault_spec,
+                            int requests) {
+  Rng rng(seed);
+  serving::EngineConfig cfg;
+  cfg.heads = kHeads;
+  cfg.top_k = kTopK;
+  cfg.threads = 4;
+  cfg.shards = shards;
+  cfg.scheduler.policy = serving::SchedulerPolicy::kTokenBudget;
+  cfg.scheduler.token_budget = 48;
+  cfg.scheduler.max_resident_tokens = 512;
+  if (!fault_spec.empty()) {
+    std::string err;
+    if (!serving::ParseFaultSchedule(fault_spec, &cfg.faults, &err)) {
+      std::fprintf(stderr, "bad fault schedule '%s': %s\n", fault_spec.c_str(), err.c_str());
+      std::exit(2);
+    }
+    cfg.fault_seed = 7;
+  }
+  serving::ServingEngine engine(BuildModel(rng, /*skew=*/2.0), cfg);
+
+  const auto entries = serving::SyntheticTrace(rng, requests, /*rate=*/4.0, /*prompt_lo=*/4,
+                                               /*prompt_hi=*/16, /*decode_lo=*/2,
+                                               /*decode_hi=*/8);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    engine.Submit(serving::MakeRequest(rng, static_cast<int64_t>(i), entries[i], kHidden));
+  }
+  engine.RunUntilDrained(/*max_steps=*/100000);
+
+  DegradedRun run;
+  run.report = engine.Report();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const serving::RequestResult* result = engine.Result(static_cast<int64_t>(i));
+    const bool done = result != nullptr &&
+                      result->status == serving::RequestStatus::kFinished;
+    run.finished += done ? 1 : 0;
+    run.outputs.push_back(done ? result->outputs : MatrixF(0, 0));
+  }
+  return run;
+}
+
 ShardRun RunShardCell(uint64_t seed, double skew, int shards,
                       serving::ShardPlacement placement, int requests) {
   Rng rng(seed);
@@ -596,6 +651,76 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ---- Degraded mode: mid-run shard death (also a CI gate) -----------------
+  // The same trace is served on 4 healthy shards and again with shard 1
+  // dying at step 6 (its experts fail over to the 3 survivors). Gates: the
+  // degraded run drains with every request finished, outputs bit-identical
+  // to the healthy run, exactly one failover absorbed, and the throughput
+  // cost stays graceful — the analytic max-over-shards compute may grow
+  // (3 survivors carry 4 shards' experts) but must stay within 2x healthy,
+  // i.e. degradation is proportional to the lost capacity, not a collapse.
+  const int degraded_requests = smoke ? 12 : 24;
+  int degraded_failures = 0;
+  PrintHeader("Degraded mode: 4 shards, shard 1 dies at step 6 "
+              "(all requests must finish; outputs must be bit-identical to healthy)");
+  std::printf("%12s %9s %11s %11s %10s %8s %10s\n", "mode", "finished", "est cmp ms",
+              "est a2a ms", "failovers", "steps", "identical");
+  const DegradedRun healthy =
+      RunDegradedCell(/*seed=*/7, /*shards=*/4, /*fault_spec=*/"", degraded_requests);
+  cells.Add("degraded_mode",
+            Params("\"mode\": \"healthy\", \"shards\": 4, \"failovers\": 0"),
+            healthy.report);
+  std::printf("%12s %9lld %11.3f %11.3f %10lld %8lld %10s\n", "healthy",
+              static_cast<long long>(healthy.finished), healthy.report.est_compute_ms,
+              healthy.report.est_alltoall_ms,
+              static_cast<long long>(healthy.report.shard_failovers),
+              static_cast<long long>(healthy.report.steps), "base");
+  const DegradedRun degraded =
+      RunDegradedCell(/*seed=*/7, /*shards=*/4, "shard-die@6:1", degraded_requests);
+  bool degraded_identical = degraded.finished == degraded_requests &&
+                            healthy.finished == degraded_requests &&
+                            degraded.outputs.size() == healthy.outputs.size();
+  for (size_t i = 0; degraded_identical && i < degraded.outputs.size(); ++i) {
+    degraded_identical = degraded.outputs[i] == healthy.outputs[i];
+  }
+  cells.Add("degraded_mode",
+            Params("\"mode\": \"one-dead-shard\", \"shards\": 4, \"failovers\": %lld",
+                   static_cast<long long>(degraded.report.shard_failovers)),
+            degraded.report, degraded_identical ? 1 : 0);
+  std::printf("%12s %9lld %11.3f %11.3f %10lld %8lld %10s\n", "shard-die@6",
+              static_cast<long long>(degraded.finished), degraded.report.est_compute_ms,
+              degraded.report.est_alltoall_ms,
+              static_cast<long long>(degraded.report.shard_failovers),
+              static_cast<long long>(degraded.report.steps),
+              degraded_identical ? "yes" : "NO");
+  if (!degraded_identical) {
+    std::fprintf(stderr,
+                 "FAIL: degraded run (one dead shard) diverged from healthy or did not "
+                 "finish every request (%lld/%d finished)\n",
+                 static_cast<long long>(degraded.finished), degraded_requests);
+    ++degraded_failures;
+  }
+  if (degraded.report.shard_failovers != 1) {
+    std::fprintf(stderr, "FAIL: expected exactly 1 shard failover, saw %lld\n",
+                 static_cast<long long>(degraded.report.shard_failovers));
+    ++degraded_failures;
+  }
+  const double degradation =
+      healthy.report.est_compute_ms > 0.0
+          ? degraded.report.est_compute_ms / healthy.report.est_compute_ms
+          : 0.0;
+  if (degradation > 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: losing 1 of 4 shards cost %.2fx est compute (graceful bound: 2x)\n",
+                 degradation);
+    ++degraded_failures;
+  }
+  std::printf("degraded mode: est compute %.3f -> %.3f ms (%.2fx), failovers %lld, "
+              "bit-identity %s\n",
+              healthy.report.est_compute_ms, degraded.report.est_compute_ms, degradation,
+              static_cast<long long>(degraded.report.shard_failovers),
+              degraded_identical ? "holds" : "BROKEN");
+
   // ---- Tracing overhead gate (also a CI gate) ------------------------------
   // The chunked cell (budget 32, chunk 8) is re-run untraced and traced at
   // full detail (every span and counter live, default per-thread rings).
@@ -686,7 +811,7 @@ int main(int argc, char** argv) {
                  divergences);
   }
   return (divergences > 0 || chunk_divergences > 0 || trace_failures > 0 ||
-          prefix_failures > 0)
+          prefix_failures > 0 || degraded_failures > 0)
              ? 1
              : 0;
 }

@@ -36,13 +36,18 @@ const char* RequestStatusName(RequestStatus s) {
       return "rejected";
     case RequestStatus::kCancelled:
       return "cancelled";
+    case RequestStatus::kTimedOut:
+      return "timed-out";
+    case RequestStatus::kShedded:
+      return "shedded";
   }
   return "?";
 }
 
 bool IsTerminal(RequestStatus s) {
   return s == RequestStatus::kFinished || s == RequestStatus::kRejected ||
-         s == RequestStatus::kCancelled;
+         s == RequestStatus::kCancelled || s == RequestStatus::kTimedOut ||
+         s == RequestStatus::kShedded;
 }
 
 RequestStatus SessionHandle::status() const {
@@ -91,6 +96,11 @@ ServingEngine::ServingEngine(std::vector<SamoyedsDecoderLayerWeights> layers,
   }
   shard_plan_ = BuildShardPlan();
   assert(shard_plan_.IsValid());
+  live_shards_.resize(static_cast<size_t>(cluster_.num_shards()));
+  for (size_t s = 0; s < live_shards_.size(); ++s) {
+    live_shards_[s] = static_cast<int>(s);
+  }
+  injector_.Configure(config_.faults, config_.fault_seed);
   // Prefix sharing relies on per-row outputs being independent of batch
   // composition; expert-choice routing breaks that, so the cache is silently
   // suppressed there (replaying another batch's rows would not be
@@ -146,17 +156,62 @@ SessionHandle ServingEngine::Submit(Request request, OnRowsCallback on_rows) {
   }
   const int64_t id = request.id;
   if (!request.ShapeValid(hidden_)) {
-    RequestResult& result = results_[id];
-    result.status = RequestStatus::kRejected;
-    result.reason = "malformed request (bad prompt/decode/input shape)";
-    metrics_.OnReject(id);
+    Finalize(id, RequestStatus::kRejected, "malformed request (bad prompt/decode/input shape)");
     return SessionHandle(this, id, /*accepted=*/false);
+  }
+  // Overload control: a bounded ingress queue sheds the lowest-priority
+  // entry strictly below the arrival's class to make room — or, when the
+  // arrival itself is the lowest class offered, the arrival.
+  if (config_.ingress_capacity > 0 && queue_.size() >= config_.ingress_capacity) {
+    const int64_t victim = queue_.ShedVictim(request.priority);
+    if (victim < 0) {
+      Finalize(id, RequestStatus::kShedded, "shed: ingress queue full (overload)");
+      return SessionHandle(this, id, /*accepted=*/false);
+    }
+    const bool shed = Terminate(victim, RequestStatus::kShedded,
+                                "shed: displaced by a higher-priority arrival "
+                                "(ingress queue full)");
+    assert(shed);
+    (void)shed;
   }
   SessionState session;
   session.on_rows = std::move(on_rows);
+  session.last_progress_step = step_;
   sessions_.emplace(id, std::move(session));
   queue_.Push(std::move(request));
   return SessionHandle(this, id, /*accepted=*/true);
+}
+
+RequestResult& ServingEngine::Finalize(int64_t id, RequestStatus status, std::string reason) {
+  RequestResult& result = results_[id];
+  // Exactly one terminal transition per session, and exactly one reason:
+  // non-empty for every terminal status except kFinished (whose "reason" is
+  // the full output matrix), empty for kFinished.
+  assert(!IsTerminal(result.status));
+  assert(IsTerminal(status));
+  assert((status == RequestStatus::kFinished) == reason.empty());
+  result.status = status;
+  result.reason = std::move(reason);
+  switch (status) {
+    case RequestStatus::kFinished:
+      metrics_.OnFinish(id, step_);
+      break;
+    case RequestStatus::kRejected:
+      metrics_.OnReject(id);
+      break;
+    case RequestStatus::kCancelled:
+      metrics_.OnCancel(id, step_);
+      break;
+    case RequestStatus::kTimedOut:
+      metrics_.OnTimeout(id, step_);
+      break;
+    case RequestStatus::kShedded:
+      metrics_.OnShed(id, step_);
+      break;
+    default:
+      break;
+  }
+  return result;
 }
 
 int64_t ServingEngine::ProducedRows(int64_t id) const {
@@ -226,8 +281,12 @@ void ServingEngine::StreamToCallback(int64_t id, bool finished) {
 }
 
 bool ServingEngine::Cancel(int64_t id) {
+  return Terminate(id, RequestStatus::kCancelled, "cancelled by client");
+}
+
+bool ServingEngine::Terminate(int64_t id, RequestStatus status, std::string reason) {
   if (sessions_.count(id) == 0 || IsTerminal(Status(id))) {
-    return false;  // unknown, rejected at submit, or already terminal
+    return false;  // unknown, rejected/shed at submit, or already terminal
   }
   SessionState& session = sessions_.at(id);
   if (const auto it = sequences_.find(id); it != sequences_.end()) {
@@ -242,18 +301,15 @@ bool ServingEngine::Cancel(int64_t id) {
       prefix_cache_->Donate(id, seq.request.inputs, seq.consumed, seq.out_rows,
                             cache_.mutable_allocator());
     }
-    RequestResult& result = results_[id];
-    result.status = RequestStatus::kCancelled;
-    result.reason = "cancelled by client";
     std::vector<float> rows = session.retained.size() > seq.out_rows.size()
                                   ? std::move(session.retained)
                                   : std::move(seq.out_rows);
     const int64_t produced = static_cast<int64_t>(rows.size()) / hidden_;
+    RequestResult& result = Finalize(id, status, std::move(reason));
     result.outputs = MatrixF::FromRowMajor(produced, hidden_, std::move(rows));
     cache_.Free(id);
     running_.erase(std::find(running_.begin(), running_.end(), id));
     sequences_.erase(it);
-    metrics_.OnCancel(id, step_);
     StreamToCallback(id, /*finished=*/true);  // unblock push-mode consumers
     return true;
   }
@@ -263,10 +319,11 @@ bool ServingEngine::Cancel(int64_t id) {
   const bool removed = queue_.Remove(id) || scheduler_.Cancel(id);
   assert(removed);
   (void)removed;
-  // A victim cancelled at the evicted-but-requeued stage may hold a host-tier
-  // shadow: drop it exactly once so readmission can never resurrect the
-  // session, and prefer its rows when they extend past the streamed stash
-  // (the swap shadow holds *all* rows produced, not just the delivered ones).
+  // A victim terminated at the evicted-but-requeued stage may hold a
+  // host-tier shadow: drop it exactly once so readmission can never
+  // resurrect the session, and prefer its rows when they extend past the
+  // streamed stash (the swap shadow holds *all* rows produced, not just the
+  // delivered ones).
   if (const auto sw = swapped_.find(id); sw != swapped_.end()) {
     const bool dropped = swap_tier_.Drop(id);
     assert(dropped);
@@ -276,13 +333,99 @@ bool ServingEngine::Cancel(int64_t id) {
     }
     swapped_.erase(sw);
   }
-  RequestResult& result = results_[id];
-  result.status = RequestStatus::kCancelled;
-  result.reason = "cancelled by client";
   const int64_t retained_rows = static_cast<int64_t>(session.retained.size()) / hidden_;
+  RequestResult& result = Finalize(id, status, std::move(reason));
   result.outputs = MatrixF::FromRowMajor(retained_rows, hidden_, std::move(session.retained));
-  metrics_.OnCancel(id, step_);
   StreamToCallback(id, /*finished=*/true);
+  return true;
+}
+
+void ServingEngine::SweepDeadlines() {
+  // Snapshot the expired ids first: Terminate mutates running_ and the
+  // scheduler backlog (and may fire reentrant session callbacks).
+  std::vector<std::pair<int64_t, int64_t>> expired;  // (id, deadline_steps)
+  for (int64_t id : running_) {
+    const Request& r = sequences_.at(id).request;
+    if (r.deadline_steps > 0 && step_ >= r.arrival_step + r.deadline_steps) {
+      expired.emplace_back(id, r.deadline_steps);
+    }
+  }
+  for (const Request& r : scheduler_.pending_requests()) {
+    if (r.deadline_steps > 0 && step_ >= r.arrival_step + r.deadline_steps) {
+      expired.emplace_back(r.id, r.deadline_steps);
+    }
+  }
+  for (const auto& [id, deadline] : expired) {
+    Terminate(id, RequestStatus::kTimedOut,
+              "deadline exceeded (" + std::to_string(deadline) + " steps)");
+  }
+}
+
+int64_t ServingEngine::ProgressMark(int64_t id) const {
+  // Residency itself counts as progress (admission moved the session), and
+  // every consumed row advances the mark; queued/evicted sessions hold at 0,
+  // so backlog starvation is visible to the watchdog — by design.
+  const auto it = sequences_.find(id);
+  return it == sequences_.end() ? 0 : 1 + it->second.consumed;
+}
+
+void ServingEngine::WatchdogSweep() {
+  if (config_.watchdog_steps <= 0) {
+    return;
+  }
+  for (auto& [id, session] : sessions_) {
+    if (session.last_progress_mark < 0 || IsTerminal(Status(id))) {
+      continue;  // not yet arrived (its clock starts at arrival), or done
+    }
+    const int64_t mark = ProgressMark(id);
+    if (mark != session.last_progress_mark) {
+      session.last_progress_mark = mark;
+      session.last_progress_step = step_;
+      session.watchdog_tripped = false;  // re-arm for the next stall episode
+      continue;
+    }
+    if (!session.watchdog_tripped &&
+        step_ - session.last_progress_step >= config_.watchdog_steps) {
+      session.watchdog_tripped = true;
+      ++watchdog_trips_;
+      obs::TraceAsyncInstant("request", "watchdog_trip", obs::TraceDetail::kRequest, id, step_);
+      if (config_.watchdog_hook) {
+        config_.watchdog_hook(id, step_);
+      }
+    }
+  }
+}
+
+void ServingEngine::ChargeRetry(int attempt) {
+  assert(attempt >= 1);
+  ++fault_retries_total_;
+  // Exponential backoff, capped so a pathological schedule cannot overflow.
+  fault_backoff_ms_total_ +=
+      config_.fault_backoff_ms * static_cast<double>(1ll << std::min(attempt - 1, 20));
+}
+
+bool ServingEngine::FailShard(int shard) {
+  if (live_shards_.size() <= 1) {
+    return false;  // the last shard standing keeps serving
+  }
+  const auto pos = std::find(live_shards_.begin(), live_shards_.end(), shard);
+  if (pos == live_shards_.end()) {
+    return false;  // unknown or already dead
+  }
+  const int logical = static_cast<int>(pos - live_shards_.begin());
+  // Re-place the dead shard's experts using the loads actually observed so
+  // far; before any routing happened the rebalance falls back to uniform.
+  const std::vector<int64_t>& tokens = metrics_.expert_tokens();
+  shard_plan_ = FailoverPlan(shard_plan_, logical,
+                             std::vector<double>(tokens.begin(), tokens.end()));
+  assert(shard_plan_.IsValid());
+  live_shards_.erase(pos);
+  if (stalled_shard_ == logical) {
+    stalled_shard_ = -1;  // a dead shard cannot also stall
+  } else if (stalled_shard_ > logical) {
+    --stalled_shard_;  // logical ids above the dead shard compact down
+  }
+  ++shard_failovers_;
   return true;
 }
 
@@ -355,20 +498,45 @@ void ServingEngine::Preempt(int64_t id) {
                             seq.out_rows.begin() + static_cast<int64_t>(keep));
   }
   const int64_t tokens = seq.consumed;
+  bool swapped_out = false;
   if (swap_enabled_ && tokens > 0 && swap_tier_.CanHold(tokens)) {
     // Swap path: KV rows and the produced outputs move to the host tier and
     // are restored bit-exactly at readmission — no recompute. The transfer is
     // charged against the device's host link for the bytes actually moved.
-    swap_tier_.SwapOut(id, cache_, tokens);
-    SwappedSeq& shadow = swapped_[id];
-    shadow.out_rows = std::move(seq.out_rows);
-    shadow.consumed = tokens;
-    const int64_t bytes = swap_tier_.BytesForTokens(tokens);
-    const double ms = SwapTransferMs(bytes);
-    step_swap_out_bytes_ += static_cast<double>(bytes);
-    step_swap_ms_ += ms;
-    metrics_.OnSwapOut(id, step_, static_cast<double>(bytes), ms);
-  } else if (prefix_cache_ != nullptr) {
+    // An injected transfer failure is retried with exponential backoff; past
+    // the retry limit the victim falls through to the recompute path below.
+    bool transfer_ok = true;
+    for (int attempt = 1; injector_.ShouldFail(FaultPoint::kSwapOut); ++attempt) {
+      ChargeRetry(attempt);
+      if (attempt > config_.fault_retry_limit) {
+        transfer_ok = false;
+        break;
+      }
+    }
+    if (transfer_ok) {
+      swap_tier_.SwapOut(id, cache_, tokens);
+      if (const FaultDecision d = injector_.Probe(FaultPoint::kSwapCorrupt); d.fire) {
+        // Deterministic bit flip in the parked pages; the per-page checksum
+        // catches it at swap-in and forces a recompute instead of serving
+        // corrupted KV state.
+        const uint64_t salt =
+            d.arg != 0 ? static_cast<uint64_t>(d.arg)
+                       : static_cast<uint64_t>(id) * 0x9e3779b97f4a7c15ull ^
+                             static_cast<uint64_t>(step_);
+        swap_tier_.CorruptEntry(id, salt);
+      }
+      SwappedSeq& shadow = swapped_[id];
+      shadow.out_rows = std::move(seq.out_rows);
+      shadow.consumed = tokens;
+      const int64_t bytes = swap_tier_.BytesForTokens(tokens);
+      const double ms = SwapTransferMs(bytes);
+      step_swap_out_bytes_ += static_cast<double>(bytes);
+      step_swap_ms_ += ms;
+      metrics_.OnSwapOut(id, step_, static_cast<double>(bytes), ms);
+      swapped_out = true;
+    }
+  }
+  if (!swapped_out && prefix_cache_ != nullptr) {
     // Recompute fallback: at least donate the computed prefix to the radix
     // tree, so the readmission (or anyone sharing the prompt) skips it.
     prefix_cache_->Donate(id, seq.request.inputs, tokens, seq.out_rows,
@@ -418,7 +586,7 @@ void ServingEngine::ReclaimFor(int64_t pages) {
 }
 
 double ServingEngine::SwapTransferMs(int64_t bytes) const {
-  const DeviceSpec& device = cluster_.device(0);
+  const DeviceSpec& device = cluster_.device(live_shards_.front());
   if (!device.has_host_link()) {
     return 0.0;
   }
@@ -435,10 +603,8 @@ void ServingEngine::RetireFinished(int64_t id) {
     prefix_cache_->Donate(id, seq.request.inputs, seq.consumed, seq.out_rows,
                           cache_.mutable_allocator());
   }
-  RequestResult& result = results_[id];
-  result.status = RequestStatus::kFinished;
+  RequestResult& result = Finalize(id, RequestStatus::kFinished, "");
   result.outputs = MatrixF::FromRowMajor(seq.consumed, hidden_, std::move(seq.out_rows));
-  metrics_.OnFinish(id, step_);
   cache_.Free(id);
   sequences_.erase(id);
   if (const auto pos = std::find(running_.begin(), running_.end(), id);
@@ -450,7 +616,12 @@ void ServingEngine::RetireFinished(int64_t id) {
 }
 
 MatrixF ServingEngine::ForwardBatch(const AssembledBatch& batch) {
-  const int num_shards = cluster_.num_shards();
+  // Everything below runs over *logical* shards — the survivors after any
+  // failover. Logical shard s executes on physical device live_shards_[s];
+  // the shard plan spans exactly the logical count, so outputs stay
+  // bit-identical across a mid-run failover (the global fold order over
+  // experts never changes).
+  const int num_shards = static_cast<int>(live_shards_.size());
   step_shard_ms_.assign(static_cast<size_t>(num_shards), 0.0);
   step_shard_tokens_.assign(static_cast<size_t>(num_shards), 0);
   step_alltoall_ms_ = 0.0;
@@ -532,7 +703,7 @@ MatrixF ServingEngine::ForwardBatch(const AssembledBatch& batch) {
 void ServingEngine::AccountMoeLayer(const SamoyedsMoeLayerWeights& moe, const RoutingPlan& plan,
                                     const SsmmConfig& tile_cfg) {
   const auto account_t0 = std::chrono::steady_clock::now();
-  const int num_shards = cluster_.num_shards();
+  const int num_shards = static_cast<int>(live_shards_.size());
   // Each routed expert's gate/up/down SSMM chain is charged to its shard;
   // the tuned tile configuration (autotuned serving) shapes every per-kernel
   // estimate. gate/up select this expert's tokens out of the whole batch
@@ -543,7 +714,7 @@ void ServingEngine::AccountMoeLayer(const SamoyedsMoeLayerWeights& moe, const Ro
       continue;
     }
     const int s = shard_plan_.shard_of(e);
-    const DeviceSpec& device = cluster_.device(s);
+    const DeviceSpec& device = cluster_.device(live_shards_[static_cast<size_t>(s)]);
     const TimingModel model(device);
     const SamoyedsExpertWeights& w = moe.experts[static_cast<size_t>(e)];
     for (const SamoyedsMatrix* proj : {&w.gate, &w.up}) {
@@ -568,7 +739,7 @@ void ServingEngine::AccountMoeLayer(const SamoyedsMoeLayerWeights& moe, const Ro
       if (range == 0) {
         continue;
       }
-      const DeviceSpec& device = cluster_.device(s);
+      const DeviceSpec& device = cluster_.device(live_shards_[static_cast<size_t>(s)]);
       const TimingModel model(device);
       for (const SamoyedsMatrix* proj : {&w.gate, &w.up}) {
         const GemmShape shape{proj->rows, proj->cols, plan.tokens};
@@ -589,7 +760,7 @@ void ServingEngine::AccountMoeLayer(const SamoyedsMoeLayerWeights& moe, const Ro
   // interconnect roofline (both phases pay link latency + serialization).
   const AllToAllTraffic traffic =
       ComputeAllToAllTraffic(plan, shard_plan_, hidden_, /*bytes_per_value=*/2, a2a_scratch_);
-  const TimingModel model(cluster_.device(0));
+  const TimingModel model(cluster_.device(live_shards_.front()));
   step_alltoall_ms_ += model.InterconnectPhaseMs(traffic.max_shard_dispatch_bytes) +
                        model.InterconnectPhaseMs(traffic.max_shard_combine_bytes);
   traffic.AddTo(step_traffic_);
@@ -626,8 +797,43 @@ bool ServingEngine::Step() {
   // 1. Ingress: requests whose arrival step has come due join the scheduler.
   for (Request& r : queue_.DrainArrived(step_)) {
     metrics_.OnArrival(r.id, step_, r.prompt_len, r.max_new_tokens);
+    // Arm the liveness watchdog: the session's stall clock starts now (a
+    // request parked in the ingress queue for a future arrival step is not
+    // stalled, it just has not arrived yet).
+    SessionState& session = sessions_.at(r.id);
+    session.last_progress_mark = 0;
+    session.last_progress_step = step_;
     scheduler_.Enqueue(std::move(r));
   }
+
+  // Shard-level fault probes fire once per step, before any planning, so a
+  // failover's compacted plan governs the whole iteration.
+  injector_.BeginStep(step_);
+  if (injector_.enabled()) {
+    if (const FaultDecision d = injector_.Probe(FaultPoint::kShardDeath); d.fire) {
+      FailShard(static_cast<int>(d.arg));
+    }
+    if (const FaultDecision d = injector_.Probe(FaultPoint::kShardStall); d.fire) {
+      const auto pos = std::find(live_shards_.begin(), live_shards_.end(),
+                                 static_cast<int>(d.arg));
+      if (pos != live_shards_.end()) {
+        stalled_shard_ = static_cast<int>(pos - live_shards_.begin());
+      }
+    }
+    if (const FaultDecision d = injector_.Probe(FaultPoint::kLinkDegrade); d.fire) {
+      // Persistent interconnect degradation: every link's bandwidth divides
+      // by the rule's factor (the analytic all-to-all model slows down; the
+      // functional outputs are untouched).
+      const double factor = static_cast<double>(std::max<int64_t>(2, d.arg));
+      for (DeviceSpec& dev : cluster_.devices) {
+        dev.link_bandwidth_gbps /= factor;
+      }
+    }
+  }
+
+  // Expire overdue sessions before planning so a timed-out resident never
+  // occupies batch rows or pages this iteration.
+  SweepDeadlines();
 
   // 2. Plan this iteration's resident rows (decode rows + prefill chunks),
   // then — under a bounded page pool with eviction enabled — make sure the
@@ -659,7 +865,11 @@ bool ServingEngine::Step() {
       candidates.reserve(running_.size());
       for (int64_t id : running_) {
         const Sequence& seq = sequences_.at(id);
-        candidates.push_back(VictimCandidate{id, seq.request.priority, seq.admit_seq});
+        const Request& r = seq.request;
+        const int64_t slack = r.deadline_steps > 0
+                                  ? r.arrival_step + r.deadline_steps - step_
+                                  : INT64_MAX;
+        candidates.push_back(VictimCandidate{id, r.priority, seq.admit_seq, slack});
       }
       Preempt(candidates[Scheduler::PickVictim(candidates)].id);
       plan = PlanResidentRows();
@@ -683,10 +893,7 @@ bool ServingEngine::Step() {
     }
     AdmissionDecision decision = scheduler_.Admit(committed_rows, Resident(growth_pages), probe);
     for (Rejection& rejection : decision.rejected) {
-      RequestResult& result = results_[rejection.request.id];
-      result.status = RequestStatus::kRejected;
-      result.reason = rejection.reason;
-      metrics_.OnReject(rejection.request.id);
+      Finalize(rejection.request.id, RequestStatus::kRejected, rejection.reason);
     }
     // Pass 1: create every admitted sequence and map its cached prefix. All
     // matched paths are pinned (CreateMapped references their pages) before
@@ -727,11 +934,43 @@ bool ServingEngine::Step() {
       Sequence& seq = sequences_.at(id);
       if (const auto sw = swapped_.find(id); sw != swapped_.end()) {
         const int64_t tokens = sw->second.consumed;
+        // Transient transfer failure: bounded retries with backoff, then the
+        // shadow is dropped and the session preempts straight back to the
+        // queue head for a full recompute. Its produced rows move into the
+        // sequence first so the delivered prefix survives in the stash.
+        bool transfer_ok = true;
+        for (int attempt = 1; injector_.ShouldFail(FaultPoint::kSwapIn); ++attempt) {
+          ChargeRetry(attempt);
+          if (attempt > config_.fault_retry_limit) {
+            transfer_ok = false;
+            break;
+          }
+        }
+        if (!transfer_ok) {
+          const bool dropped = swap_tier_.Drop(id);
+          assert(dropped);
+          (void)dropped;
+          seq.out_rows = std::move(sw->second.out_rows);
+          swapped_.erase(sw);
+          Preempt(id);  // consumed == 0: recompute from row 0 at readmission
+          --i;  // running_ compacted over this slot; re-visit the index
+          continue;
+        }
         ReclaimFor(cache_.allocator().PagesToExtend(id, tokens));
         const bool ok = cache_.Extend(id, tokens);
         assert(ok);
         (void)ok;
-        swap_tier_.SwapIn(id, cache_);
+        if (!swap_tier_.SwapIn(id, cache_)) {
+          // A parked page failed its checksum: the tier dropped the whole
+          // entry (never a partial restore). Free the just-extended pages
+          // and recompute — corrupted KV state must not reach attention.
+          cache_.Free(id);
+          seq.out_rows = std::move(sw->second.out_rows);
+          swapped_.erase(sw);
+          Preempt(id);
+          --i;
+          continue;
+        }
         seq.consumed = tokens;
         seq.out_rows = std::move(sw->second.out_rows);
         swapped_.erase(sw);
@@ -813,10 +1052,13 @@ bool ServingEngine::Step() {
     }
 
     if (parts.empty()) {
-      if (!running_.empty()) {
+      if (!running_.empty() || scheduler_.pending() > 0) {
         // Every resident sat this iteration out (possible only transiently —
-        // e.g. a budget-starved prefill next to retirements). Never report
-        // drained while sessions are live.
+        // e.g. a budget-starved prefill next to retirements), or a swap-in
+        // failure requeued a session *after* this step's admission pass
+        // emptied the backlog into running_. Never report drained while
+        // sessions are live; the backlog readmits next step.
+        WatchdogSweep();
         ++step_;
         return true;
       }
@@ -829,14 +1071,43 @@ bool ServingEngine::Step() {
       return true;
     }
 
-    for (const BatchAssembler::Contribution& p : parts) {
-      // Cold prefix-cache pages yield first; then the extend cannot fail —
-      // decode growth was reserved by the preemption pass and admitted
-      // prompts were checked against the page budget.
-      ReclaimFor(cache_.allocator().PagesToPrepareWrite(p.request_id, p.row_count));
-      const bool ok = cache_.Extend(p.request_id, p.row_count);
+    // An injected allocation failure drops the part from this iteration's
+    // batch (the sequence sits the step out) and charges one backoff retry;
+    // past the retry limit the sequence is preempted for recompute instead
+    // of stalling forever. Kept parts extend as before: cold prefix-cache
+    // pages yield first, then the extend cannot fail — decode growth was
+    // reserved by the preemption pass and admitted prompts were checked
+    // against the page budget.
+    std::vector<int64_t> alloc_exhausted;
+    for (auto it = parts.begin(); it != parts.end();) {
+      if (injector_.ShouldFail(FaultPoint::kKvAlloc)) {
+        Sequence& seq = sequences_.at(it->request_id);
+        ++seq.fault_retries;
+        ChargeRetry(seq.fault_retries);
+        if (seq.fault_retries > config_.fault_retry_limit) {
+          alloc_exhausted.push_back(it->request_id);
+        }
+        it = parts.erase(it);
+        continue;
+      }
+      ReclaimFor(cache_.allocator().PagesToPrepareWrite(it->request_id, it->row_count));
+      const bool ok = cache_.Extend(it->request_id, it->row_count);
       assert(ok);
       (void)ok;
+      sequences_.at(it->request_id).fault_retries = 0;
+      ++it;
+    }
+    for (int64_t id : alloc_exhausted) {
+      if (sequences_.count(id) != 0) {
+        Preempt(id);
+      }
+    }
+    if (parts.empty()) {
+      // Every planned part was dropped by injected faults: the iteration
+      // still counts (sessions remain live, retrying next step).
+      WatchdogSweep();
+      ++step_;
+      return true;
     }
 
     batch = BatchAssembler::Assemble(parts, hidden_);
@@ -888,11 +1159,17 @@ bool ServingEngine::Step() {
   sm.alltoall_dispatch_bytes = step_traffic_.alltoall_dispatch_bytes;
   sm.alltoall_combine_bytes = step_traffic_.alltoall_combine_bytes;
   sm.est_alltoall_ms = step_alltoall_ms_;
+  // A stalled shard (injected fault) runs this one step at half speed; the
+  // slowest-shard gate below then charges the stall to the whole iteration.
+  if (stalled_shard_ >= 0 && stalled_shard_ < static_cast<int>(step_shard_ms_.size())) {
+    step_shard_ms_[static_cast<size_t>(stalled_shard_)] *= 2.0;
+  }
+  stalled_shard_ = -1;
   double max_shard_ms = 0.0;
   for (double ms : step_shard_ms_) {
     max_shard_ms = std::max(max_shard_ms, ms);
   }
-  const double shard_count = static_cast<double>(cluster_.num_shards());
+  const double shard_count = static_cast<double>(live_shards_.size());
   TrafficReport kv;
   kv.gmem_read_bytes = kv_read_bytes / shard_count;
   kv.gmem_write_bytes = kv_write_bytes / shard_count;
@@ -903,8 +1180,14 @@ bool ServingEngine::Step() {
   kv.warps_per_block = 8;
   kv.efficiency = 0.8;
   sm.est_compute_ms =
-      max_shard_ms + TimingModel(cluster_.device(0)).Estimate(kv).total_ms;
-  metrics_.OnShardTokens(step_shard_tokens_);
+      max_shard_ms + TimingModel(cluster_.device(live_shards_.front())).Estimate(kv).total_ms;
+  // The metrics' per-shard token tracks keep physical device identity, so a
+  // dead shard's track simply flatlines after its failover.
+  physical_shard_tokens_.assign(static_cast<size_t>(cluster_.num_shards()), 0);
+  for (size_t s = 0; s < step_shard_tokens_.size(); ++s) {
+    physical_shard_tokens_[static_cast<size_t>(live_shards_[s])] += step_shard_tokens_[s];
+  }
+  metrics_.OnShardTokens(physical_shard_tokens_);
 
   obs::ScopedSpan retire_span("engine", "retire", obs::TraceDetail::kStep);
   for (size_t s = 0; s < batch.slices.size(); ++s) {
@@ -989,6 +1272,7 @@ bool ServingEngine::Step() {
   step_swap_ms_ = 0.0;
 
   metrics_.OnStep(sm);
+  WatchdogSweep();
   ++step_;
   return true;
 }
@@ -1019,6 +1303,12 @@ ServingReport ServingEngine::Report() const {
   rep.provenance.prefix_cache = prefix_cache_ != nullptr ? 1 : 0;
   rep.provenance.swap = swap_enabled_ ? 1 : 0;
   rep.provenance.host_pages = config_.host_pages;
+  rep.injected_faults = injector_.total_fires();
+  rep.fault_retries = fault_retries_total_;
+  rep.fault_backoff_ms = fault_backoff_ms_total_;
+  rep.swap_corruptions = swap_tier_.corruptions_detected();
+  rep.shard_failovers = shard_failovers_;
+  rep.watchdog_trips = watchdog_trips_;
   return rep;
 }
 

@@ -55,10 +55,13 @@
 #include <string>
 #include <vector>
 
+#include <functional>
+
 #include "src/core/autotune.h"
 #include "src/moe/decoder_layer.h"
 #include "src/serving/batch_assembler.h"
 #include "src/serving/expert_pool.h"
+#include "src/serving/faults.h"
 #include "src/serving/kv_cache.h"
 #include "src/serving/metrics.h"
 #include "src/serving/prefix_cache.h"
@@ -122,6 +125,27 @@ struct EngineConfig {
   bool swap = false;
   // Host-tier capacity in KV pages for --swap (0 = unbounded).
   int64_t host_pages = 0;
+  // Deterministic fault-injection schedule (see faults.h); empty = fault-free.
+  // `fault_seed` drives the probability rules, so schedule + seed replay
+  // bit-exactly.
+  std::vector<FaultRule> faults;
+  uint64_t fault_seed = 0;
+  // Transient-fault handling: a failed KV allocation or swap transfer is
+  // retried up to `fault_retry_limit` times (each retry charging
+  // exponentially growing modeled backoff, base `fault_backoff_ms`) before
+  // the engine falls back to evict-and-recompute.
+  int fault_retry_limit = 3;
+  double fault_backoff_ms = 0.05;
+  // Overload control: > 0 bounds the ingress queue. A Submit that finds the
+  // queue full sheds the lowest-priority queued request below the arrival's
+  // class (or the arrival itself) with a kShedded terminal status.
+  int64_t ingress_capacity = 0;
+  // Liveness watchdog: > 0 trips when any live session makes no progress
+  // (admission, prefill, decode, or termination) for this many steps.
+  // `watchdog_hook` fires once per stall episode — the CLI uses it to dump
+  // the obs flight-recorder ring.
+  int64_t watchdog_steps = 0;
+  std::function<void(int64_t /*session_id*/, int64_t /*step*/)> watchdog_hook;
   SchedulerConfig scheduler;
 };
 
@@ -132,7 +156,11 @@ struct EngineConfig {
 // streamed delta.
 struct RequestResult {
   RequestStatus status = RequestStatus::kQueued;
-  std::string reason;  // why a request was rejected; empty otherwise
+  // Why the session ended short of finishing (rejection, cancellation,
+  // timeout, shedding). Exactly one terminal transition ever runs (enforced
+  // by ServingEngine::Finalize), and it sets this: non-empty for every
+  // terminal status except kFinished, empty for kFinished.
+  std::string reason;
   // One output row per consumed input position (total_tokens x hidden for a
   // finished request; the rows produced before termination for a cancelled
   // one). Row prompt_len - 1 is the "first token" hidden state; later rows
@@ -234,6 +262,20 @@ class ServingEngine {
   const ExpertShardPlan& shard_plan() const { return shard_plan_; }
   const SimCluster& cluster() const { return cluster_; }
   const EngineMetrics& metrics() const { return metrics_; }
+  const FaultInjector& fault_injector() const { return injector_; }
+  // Physical shard ids still alive, ascending. shard_plan() is a plan over
+  // live_shards().size() *logical* shards; logical shard s executes on
+  // physical device live_shards()[s].
+  const std::vector<int>& live_shards() const { return live_shards_; }
+  // Kills physical shard `shard` and re-places its experts onto the
+  // survivors (LPT over observed expert loads; see FailoverPlan). The fault
+  // injector's shard-die point routes here; tests may call it directly.
+  // False (no state change) for an unknown/already-dead shard or when it is
+  // the last one standing. Outputs stay bit-identical across failover.
+  bool FailShard(int shard);
+  int64_t shard_failovers() const { return shard_failovers_; }
+  int64_t watchdog_trips() const { return watchdog_trips_; }
+  int64_t fault_retries() const { return fault_retries_total_; }
   // Distinct batch shapes the autotuner has resolved (0 with autotune off).
   int64_t autotune_cache_size() const { return static_cast<int64_t>(autotune_cache_.size()); }
   // Summarized metrics with the engine-known provenance fields (shards,
@@ -247,6 +289,9 @@ class ServingEngine {
     int64_t consumed = 0;   // input rows consumed so far
     int64_t admit_seq = 0;  // engine-wide admission counter; larger = younger
     std::vector<float> out_rows;  // produced output rows, row-major
+    // Consecutive transient KV-allocation failures absorbed without progress;
+    // reset on a successful extend, escalated to Preempt past the retry limit.
+    int fault_retries = 0;
   };
 
   // Per-session delivery state. Lives outside Sequence because it must
@@ -261,6 +306,12 @@ class ServingEngine {
     // before the recompute catches back up, the terminal result still
     // materializes them. Cleared when the session finishes.
     std::vector<float> retained;
+    // Liveness-watchdog bookkeeping: the last step at which this session's
+    // progress mark changed, the mark itself, and whether the watchdog has
+    // already fired for the current stall episode (it re-arms on progress).
+    int64_t last_progress_step = 0;
+    int64_t last_progress_mark = -1;
+    bool watchdog_tripped = false;
   };
 
   // Snapshot for admission; `growth_pages` is what this iteration's planned
@@ -315,6 +366,30 @@ class ServingEngine {
   // data-parallel, plus the layer's cross-shard all-to-all.
   void AccountMoeLayer(const SamoyedsMoeLayerWeights& moe, const RoutingPlan& plan,
                        const SsmmConfig& tile_cfg);
+  // The session's single terminal transition: asserts `id` is not already
+  // terminal, sets status + reason, runs the terminal metrics dispatch for
+  // kCancelled / kTimedOut / kShedded, and returns the result record for the
+  // caller to materialize outputs into. Every terminal path funnels here.
+  RequestResult& Finalize(int64_t id, RequestStatus status, std::string reason);
+  // Tears a live session down wherever it is (ingress queue, scheduler
+  // backlog, swapped out, or resident) and finalizes it with `status` —
+  // the shared body behind Cancel (kCancelled), the deadline sweep
+  // (kTimedOut) and overload shedding (kShedded). False when `id` is
+  // unknown or already terminal.
+  bool Terminate(int64_t id, RequestStatus status, std::string reason);
+  // Expires every live session whose deadline_steps elapsed (arrival_step +
+  // deadline_steps <= current step), wherever it sits.
+  void SweepDeadlines();
+  // Trips the watchdog (once per stall episode) for any live session whose
+  // progress mark has not moved for config_.watchdog_steps steps.
+  void WatchdogSweep();
+  // Monotone per-session progress value: admission and every consumed row
+  // advance it; a queued/evicted session holds at 0 (so backlog starvation
+  // is visible to the watchdog, by design).
+  int64_t ProgressMark(int64_t id) const;
+  // Charges one exponential-backoff retry (base config_.fault_backoff_ms,
+  // doubling per consecutive attempt) to the fault counters.
+  void ChargeRetry(int attempt);
 
   const std::vector<SamoyedsDecoderLayerWeights> layers_;
   const EngineConfig config_;
@@ -369,6 +444,25 @@ class ServingEngine {
   double step_swap_in_bytes_ = 0.0;
   double step_swap_ms_ = 0.0;
   int64_t last_cow_splits_ = 0;  // cache_.cow_splits() at the last OnStep
+
+  // Deterministic fault injection (probed only from the engine thread, so a
+  // schedule + seed replays bit-exactly) and the hardening counters Report()
+  // exports.
+  FaultInjector injector_;
+  // Physical device ids still serving, ascending; shrinks on FailShard.
+  // shard_plan_ always spans exactly live_shards_.size() logical shards.
+  std::vector<int> live_shards_;
+  int64_t fault_retries_total_ = 0;
+  double fault_backoff_ms_total_ = 0.0;
+  int64_t shard_failovers_ = 0;
+  int64_t watchdog_trips_ = 0;
+  // Logical shard whose modeled step time is doubled for the current step
+  // (a shard-stall fault); -1 when none. Cleared after each forward.
+  int stalled_shard_ = -1;
+  // Physical-indexed scatter buffer for OnShardTokens: step_shard_tokens_ is
+  // logical (compacted after failover), but the per-shard metrics tracks
+  // keep physical device identity.
+  std::vector<int64_t> physical_shard_tokens_;
 
   int64_t step_ = 0;
   int64_t admit_counter_ = 0;     // total admissions ever (eviction ordering)

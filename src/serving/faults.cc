@@ -1,0 +1,192 @@
+#include "src/serving/faults.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace samoyeds {
+namespace serving {
+namespace {
+
+// splitmix64: tiny, seedable, and statistically fine for fire/no-fire draws.
+// Each rule owns one state so adding or removing a rule never perturbs the
+// draw sequence of the others.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+double UnitUniform(uint64_t* state) {
+  return static_cast<double>(SplitMix64(state) >> 11) * 0x1.0p-53;
+}
+
+struct PointNameEntry {
+  const char* name;
+  FaultPoint point;
+};
+
+constexpr PointNameEntry kPointNames[] = {
+    {"kv-alloc", FaultPoint::kKvAlloc},
+    {"swap-out", FaultPoint::kSwapOut},
+    {"swap-in", FaultPoint::kSwapIn},
+    {"swap-corrupt", FaultPoint::kSwapCorrupt},
+    {"shard-die", FaultPoint::kShardDeath},
+    {"shard-stall", FaultPoint::kShardStall},
+    {"link-degrade", FaultPoint::kLinkDegrade},
+};
+
+}  // namespace
+
+const char* FaultPointName(FaultPoint p) {
+  for (const auto& e : kPointNames) {
+    if (e.point == p) return e.name;
+  }
+  return "?";
+}
+
+bool ParseFaultPoint(const char* name, FaultPoint* out) {
+  for (const auto& e : kPointNames) {
+    if (std::strcmp(e.name, name) == 0) {
+      *out = e.point;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseFaultSchedule(const std::string& spec, std::vector<FaultRule>* rules,
+                        std::string* error) {
+  std::vector<FaultRule> parsed;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) {
+      if (spec.empty()) break;  // empty spec = empty schedule
+      if (error) *error = "empty fault rule in schedule";
+      return false;
+    }
+
+    FaultRule rule;
+    size_t trig = item.find_first_of("@~");
+    if (trig == std::string::npos) {
+      if (error) *error = "fault rule '" + item + "' lacks '@step' or '~prob'";
+      return false;
+    }
+    std::string name = item.substr(0, trig);
+    if (!ParseFaultPoint(name.c_str(), &rule.point)) {
+      if (error) *error = "unknown fault point '" + name + "'";
+      return false;
+    }
+
+    // Tail: number, then optional ":arg", then optional "xN".
+    std::string tail = item.substr(trig + 1);
+    std::string num = tail, arg_str, fires_str;
+    size_t colon = num.find(':');
+    if (colon != std::string::npos) {
+      arg_str = num.substr(colon + 1);
+      num = num.substr(0, colon);
+    }
+    // "x" binds to whichever segment is last (arg if present, else the
+    // trigger number).
+    std::string* last = arg_str.empty() && colon == std::string::npos
+                            ? &num
+                            : &arg_str;
+    size_t x = last->find('x');
+    if (x != std::string::npos) {
+      fires_str = last->substr(x + 1);
+      *last = last->substr(0, x);
+    }
+
+    char* end = nullptr;
+    if (item[trig] == '@') {
+      rule.at_step = std::strtoll(num.c_str(), &end, 10);
+      if (num.empty() || *end != '\0' || rule.at_step < 0) {
+        if (error) *error = "bad step in fault rule '" + item + "'";
+        return false;
+      }
+    } else {
+      rule.probability = std::strtod(num.c_str(), &end);
+      if (num.empty() || *end != '\0' || rule.probability < 0.0 ||
+          rule.probability > 1.0) {
+        if (error) *error = "bad probability in fault rule '" + item + "'";
+        return false;
+      }
+    }
+    if (!arg_str.empty()) {
+      rule.arg = std::strtoll(arg_str.c_str(), &end, 10);
+      if (*end != '\0') {
+        if (error) *error = "bad arg in fault rule '" + item + "'";
+        return false;
+      }
+    }
+    if (!fires_str.empty()) {
+      rule.max_fires = std::strtoll(fires_str.c_str(), &end, 10);
+      if (*end != '\0' || rule.max_fires <= 0) {
+        if (error) *error = "bad fire budget in fault rule '" + item + "'";
+        return false;
+      }
+    }
+    // shard-die / shard-stall / link-degrade with a step trigger but no
+    // explicit budget should fire once, not on every probe of that step.
+    if (rule.max_fires < 0 && rule.at_step >= 0 &&
+        (rule.point == FaultPoint::kShardDeath ||
+         rule.point == FaultPoint::kShardStall ||
+         rule.point == FaultPoint::kLinkDegrade)) {
+      rule.max_fires = 1;
+    }
+    if (rule.point == FaultPoint::kLinkDegrade && rule.arg <= 0) {
+      rule.arg = 2;  // default: halve the bandwidth
+    }
+    parsed.push_back(rule);
+    if (comma == spec.size()) break;
+  }
+  *rules = std::move(parsed);
+  return true;
+}
+
+void FaultInjector::Configure(std::vector<FaultRule> rules, uint64_t seed) {
+  rules_.clear();
+  fires_.fill(0);
+  for (size_t i = 0; i < rules.size(); ++i) {
+    RuleState st;
+    st.rule = rules[i];
+    // Seed each rule independently of the others so schedules compose: the
+    // point id and position pin the stream, the golden-ratio stir decorrelates
+    // adjacent seeds.
+    st.rng = seed ^ (0x9e3779b97f4a7c15ull * (i + 1)) ^
+             (static_cast<uint64_t>(st.rule.point) << 32);
+    rules_.push_back(st);
+  }
+}
+
+FaultDecision FaultInjector::Probe(FaultPoint point) {
+  for (auto& st : rules_) {
+    if (st.rule.point != point) continue;
+    if (st.rule.max_fires >= 0 && st.fires >= st.rule.max_fires) continue;
+    bool fire = false;
+    if (st.rule.at_step >= 0) {
+      fire = step_ == st.rule.at_step;
+    } else if (st.rule.probability > 0.0) {
+      fire = UnitUniform(&st.rng) < st.rule.probability;
+    }
+    if (!fire) continue;
+    ++st.fires;
+    ++fires_[static_cast<size_t>(point)];
+    return {true, st.rule.arg};
+  }
+  return {false, 0};
+}
+
+int64_t FaultInjector::total_fires() const {
+  int64_t total = 0;
+  for (int64_t f : fires_) total += f;
+  return total;
+}
+
+}  // namespace serving
+}  // namespace samoyeds

@@ -270,29 +270,94 @@ bool HostSwapTier::CanHold(int64_t tokens) const {
   return used_pages_ + PagesForTokens(tokens, page_tokens_) <= max_pages_;
 }
 
+namespace {
+
+// FNV-1a over the raw bytes of [begin, end) floats. Cheap, deterministic,
+// and sensitive to any single flipped bit — all this tier needs to tell
+// "restored bit-exactly" from "rotted at rest".
+uint64_t ChecksumSpan(const float* data, size_t count) {
+  const unsigned char* bytes = reinterpret_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < count * sizeof(float); ++i) {
+    h = (h ^ bytes[i]) * 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
 void HostSwapTier::SwapOut(int64_t seq_id, const PagedKvCache& cache, int64_t tokens) {
   assert(tokens > 0);
   assert(entries_.count(seq_id) == 0);
   Entry& entry = entries_[seq_id];
   entry.tokens = tokens;
   entry.rows.resize(static_cast<size_t>(layers_));
+  entry.checksums.resize(static_cast<size_t>(layers_));
+  const int64_t pages = PagesForTokens(tokens, page_tokens_);
   for (int64_t layer = 0; layer < layers_; ++layer) {
     auto& rows = entry.rows[static_cast<size_t>(layer)];
     rows.resize(static_cast<size_t>(tokens * hidden_));
     cache.GatherRows(seq_id, layer, tokens, rows.data());
+    auto& sums = entry.checksums[static_cast<size_t>(layer)];
+    sums.resize(static_cast<size_t>(pages));
+    for (int64_t p = 0; p < pages; ++p) {
+      const int64_t begin = p * page_tokens_;
+      const int64_t span = std::min(page_tokens_, tokens - begin) * hidden_;
+      sums[static_cast<size_t>(p)] =
+          ChecksumSpan(rows.data() + begin * hidden_, static_cast<size_t>(span));
+    }
   }
-  used_pages_ += PagesForTokens(tokens, page_tokens_);
+  used_pages_ += pages;
 }
 
-void HostSwapTier::SwapIn(int64_t seq_id, PagedKvCache& cache) {
+bool HostSwapTier::SwapIn(int64_t seq_id, PagedKvCache& cache) {
   const auto it = entries_.find(seq_id);
   assert(it != entries_.end());
+  const Entry& entry = it->second;
+  const int64_t pages = PagesForTokens(entry.tokens, page_tokens_);
   for (int64_t layer = 0; layer < layers_; ++layer) {
-    cache.ScatterRows(seq_id, layer, it->second.tokens,
-                      it->second.rows[static_cast<size_t>(layer)].data());
+    const auto& rows = entry.rows[static_cast<size_t>(layer)];
+    const auto& sums = entry.checksums[static_cast<size_t>(layer)];
+    for (int64_t p = 0; p < pages; ++p) {
+      const int64_t begin = p * page_tokens_;
+      const int64_t span = std::min(page_tokens_, entry.tokens - begin) * hidden_;
+      if (ChecksumSpan(rows.data() + begin * hidden_,
+                       static_cast<size_t>(span)) != sums[static_cast<size_t>(p)]) {
+        // Corrupt at rest: restore nothing, drop the entry, let the engine
+        // recompute. Verification happens before any ScatterRows so the
+        // device cache never sees a partial restore.
+        ++corruptions_detected_;
+        used_pages_ -= pages;
+        entries_.erase(it);
+        return false;
+      }
+    }
   }
-  used_pages_ -= PagesForTokens(it->second.tokens, page_tokens_);
+  for (int64_t layer = 0; layer < layers_; ++layer) {
+    cache.ScatterRows(seq_id, layer, entry.tokens,
+                      entry.rows[static_cast<size_t>(layer)].data());
+  }
+  used_pages_ -= pages;
   entries_.erase(it);
+  return true;
+}
+
+bool HostSwapTier::CorruptEntry(int64_t seq_id, uint64_t salt) {
+  const auto it = entries_.find(seq_id);
+  if (it == entries_.end()) {
+    return false;
+  }
+  Entry& entry = it->second;
+  // Deterministic target: layer, float, and bit all derived from the salt.
+  const size_t layer = static_cast<size_t>(salt % static_cast<uint64_t>(layers_));
+  auto& rows = entry.rows[layer];
+  const size_t idx = static_cast<size_t>((salt >> 8) % rows.size());
+  const int bit = static_cast<int>((salt >> 40) % 32);
+  uint32_t raw;
+  std::memcpy(&raw, &rows[idx], sizeof(raw));
+  raw ^= 1u << bit;
+  std::memcpy(&rows[idx], &raw, sizeof(raw));
+  return true;
 }
 
 bool HostSwapTier::Drop(int64_t seq_id) {

@@ -192,6 +192,12 @@ class PagedKvCache {
 // `page_tokens` granularity as the device pool; `max_host_pages == 0` leaves
 // the tier unbounded. The engine charges transfer time against the device's
 // host link from the bytes() actually moved.
+//
+// Every swapped (layer, page)-sized span carries an FNV-1a checksum computed
+// at SwapOut. SwapIn re-verifies before restoring: a mismatch (bit rot in
+// host memory, a torn transfer) restores nothing, drops the entry, and
+// returns false so the engine can fall back to recompute instead of serving
+// corrupt KV state.
 class HostSwapTier {
  public:
   HostSwapTier(int64_t layers, int64_t hidden, int64_t page_tokens,
@@ -200,17 +206,28 @@ class HostSwapTier {
   // Whether a swap-out of `tokens` more slots fits the host budget.
   bool CanHold(int64_t tokens) const;
 
-  // Copies rows [0, tokens) of every layer out of the cache. The caller still
-  // owns (and typically frees) the device pages afterwards.
+  // Copies rows [0, tokens) of every layer out of the cache, checksumming
+  // each page-sized span. The caller still owns (and typically frees) the
+  // device pages afterwards.
   void SwapOut(int64_t seq_id, const PagedKvCache& cache, int64_t tokens);
 
   // Restores the stashed rows into `cache` (the caller Extended `seq_id` to
-  // at least Tokens(seq_id) slots first) and drops the host copy.
-  void SwapIn(int64_t seq_id, PagedKvCache& cache);
+  // at least Tokens(seq_id) slots first) and drops the host copy. Returns
+  // false — restoring nothing, entry dropped, corruption counted — when any
+  // span fails its checksum; the sequence must then be recomputed.
+  bool SwapIn(int64_t seq_id, PagedKvCache& cache);
 
   // Discards the stashed entry (cancel of a swapped-out victim). Returns
   // false when no entry exists (idempotent).
   bool Drop(int64_t seq_id);
+
+  // Fault injection: flips one bit of the stashed payload (position chosen
+  // deterministically from `salt`) *without* updating the checksums — the
+  // next SwapIn must detect it. False when no entry exists.
+  bool CorruptEntry(int64_t seq_id, uint64_t salt);
+
+  // Checksum mismatches detected across all SwapIn calls (monotone).
+  int64_t corruptions_detected() const { return corruptions_detected_; }
 
   bool Has(int64_t seq_id) const { return entries_.count(seq_id) != 0; }
   int64_t Tokens(int64_t seq_id) const;
@@ -226,6 +243,8 @@ class HostSwapTier {
   struct Entry {
     int64_t tokens = 0;
     std::vector<std::vector<float>> rows;  // per layer: tokens * hidden
+    // checksums[layer][page]: FNV-1a over that page-sized span of rows.
+    std::vector<std::vector<uint64_t>> checksums;
   };
 
   int64_t layers_ = 0;
@@ -233,6 +252,7 @@ class HostSwapTier {
   int64_t page_tokens_ = 16;
   int64_t max_pages_ = 0;  // 0 = unbounded
   int64_t used_pages_ = 0;
+  int64_t corruptions_detected_ = 0;
   std::map<int64_t, Entry> entries_;
 };
 

@@ -64,6 +64,25 @@ void EngineMetrics::OnCancel(int64_t id, int64_t step) {
   obs::TraceAsyncEnd("request", "session", obs::TraceDetail::kRequest, id, step);
 }
 
+void EngineMetrics::OnTimeout(int64_t id, int64_t step) {
+  requests_[id].timeout_step = step;
+  ++timed_out_;
+  obs::TraceAsyncInstant("request", "timeout", obs::TraceDetail::kRequest, id, step);
+  obs::TraceAsyncEnd("request", "session", obs::TraceDetail::kRequest, id, step);
+}
+
+void EngineMetrics::OnShed(int64_t id, int64_t step) {
+  ++shed_;
+  // A request shed at Submit never reached OnArrival; don't let the map
+  // lookup create a ghost timeline entry for it.
+  const auto it = requests_.find(id);
+  if (it != requests_.end()) {
+    it->second.cancel_step = step;
+    obs::TraceAsyncInstant("request", "shed", obs::TraceDetail::kRequest, id, step);
+    obs::TraceAsyncEnd("request", "session", obs::TraceDetail::kRequest, id, step);
+  }
+}
+
 void EngineMetrics::OnPrefillSlice(int64_t id) {
   RequestMetrics& r = requests_[id];
   ++r.prefill_chunks;
@@ -134,6 +153,8 @@ ServingReport EngineMetrics::Summarize(int64_t token_budget, int64_t max_pages) 
   ServingReport rep;
   rep.requests_rejected = rejected_;
   rep.requests_cancelled = cancelled_;
+  rep.requests_timed_out = timed_out_;
+  rep.requests_shed = shed_;
   rep.autotune_lookups = autotune_lookups_;
   rep.autotune_cache_hits = autotune_cache_hits_;
   rep.autotune_default_ms = autotune_default_ms_;
@@ -168,6 +189,7 @@ ServingReport EngineMetrics::Summarize(int64_t token_budget, int64_t max_pages) 
     tl.first_output_step = r.first_output_step;
     tl.finish_step = r.finish_step;
     tl.cancel_step = r.cancel_step;
+    tl.timeout_step = r.timeout_step;
     tl.prefill_chunks = r.prefill_chunks;
     tl.preemptions = r.preemptions;
     tl.cached_prompt_tokens = r.cached_prompt_tokens;
@@ -349,6 +371,8 @@ std::string ServingReport::ToJson() const {
   AppendField(out, "requests_finished", requests_finished);
   AppendField(out, "requests_rejected", requests_rejected);
   AppendField(out, "requests_cancelled", requests_cancelled);
+  AppendField(out, "requests_timed_out", requests_timed_out);
+  AppendField(out, "requests_shed", requests_shed);
   AppendField(out, "steps", steps);
   AppendField(out, "prefill_rows", prefill_rows);
   AppendField(out, "decode_rows", decode_rows);
@@ -394,6 +418,12 @@ std::string ServingReport::ToJson() const {
   AppendField(out, "est_alltoall_share", est_alltoall_share);
   AppendField(out, "alltoall_bytes", alltoall_bytes);
   AppendField(out, "kv_traffic_bytes", kv_traffic_bytes);
+  AppendField(out, "injected_faults", injected_faults);
+  AppendField(out, "fault_retries", fault_retries);
+  AppendField(out, "fault_backoff_ms", fault_backoff_ms);
+  AppendField(out, "swap_corruptions", swap_corruptions);
+  AppendField(out, "shard_failovers", shard_failovers);
+  AppendField(out, "watchdog_trips", watchdog_trips);
   AppendField(out, "autotune_lookups", autotune_lookups);
   AppendField(out, "autotune_cache_hits", autotune_cache_hits);
   AppendField(out, "autotune_default_ms", autotune_default_ms);
@@ -402,12 +432,13 @@ std::string ServingReport::ToJson() const {
   out += "  \"request_timelines\": [";
   for (size_t i = 0; i < request_timelines.size(); ++i) {
     const RequestTimeline& tl = request_timelines[i];
-    char buf[384];
+    char buf[448];
     std::snprintf(buf, sizeof(buf),
                   "%s\n    {\"id\": %lld, \"prompt_len\": %lld, \"arrival_step\": %lld, "
                   "\"admit_step\": %lld, \"first_output_step\": %lld, \"finish_step\": %lld, "
-                  "\"cancel_step\": %lld, \"prefill_chunks\": %lld, \"preemptions\": %lld, "
-                  "\"cached_prompt_tokens\": %lld, \"ttft_ms\": %.6f, \"turnaround_ms\": %.6f}",
+                  "\"cancel_step\": %lld, \"timeout_step\": %lld, \"prefill_chunks\": %lld, "
+                  "\"preemptions\": %lld, \"cached_prompt_tokens\": %lld, \"ttft_ms\": %.6f, "
+                  "\"turnaround_ms\": %.6f}",
                   i == 0 ? "" : ",", static_cast<long long>(tl.id),
                   static_cast<long long>(tl.prompt_len),
                   static_cast<long long>(tl.arrival_step),
@@ -415,6 +446,7 @@ std::string ServingReport::ToJson() const {
                   static_cast<long long>(tl.first_output_step),
                   static_cast<long long>(tl.finish_step),
                   static_cast<long long>(tl.cancel_step),
+                  static_cast<long long>(tl.timeout_step),
                   static_cast<long long>(tl.prefill_chunks),
                   static_cast<long long>(tl.preemptions),
                   static_cast<long long>(tl.cached_prompt_tokens), tl.ttft_ms,
@@ -426,11 +458,40 @@ std::string ServingReport::ToJson() const {
   return out;
 }
 
+void ServingReport::StripWallClock() {
+  wall_ms = 0.0;
+  mean_step_ms = 0.0;
+  tokens_per_second = 0.0;
+  mean_ttft_ms = 0.0;
+  p95_ttft_ms = 0.0;
+  mean_turnaround_ms = 0.0;
+  p95_turnaround_ms = 0.0;
+  for (RequestTimeline& tl : request_timelines) {
+    tl.ttft_ms = 0.0;
+    tl.turnaround_ms = 0.0;
+  }
+}
+
 void EngineMetrics::Print(const ServingReport& rep, std::FILE* out) {
   std::fprintf(out, "requests: %lld finished, %lld rejected, %lld cancelled\n",
                static_cast<long long>(rep.requests_finished),
                static_cast<long long>(rep.requests_rejected),
                static_cast<long long>(rep.requests_cancelled));
+  if (rep.requests_timed_out > 0 || rep.requests_shed > 0) {
+    std::fprintf(out, "degraded: %lld timed out (deadline), %lld shed (overload)\n",
+                 static_cast<long long>(rep.requests_timed_out),
+                 static_cast<long long>(rep.requests_shed));
+  }
+  if (rep.injected_faults > 0 || rep.watchdog_trips > 0) {
+    std::fprintf(out,
+                 "faults: %lld injected, %lld retried (%.3f ms backoff), %lld corrupt "
+                 "swap pages caught, %lld shard failovers, %lld watchdog trips\n",
+                 static_cast<long long>(rep.injected_faults),
+                 static_cast<long long>(rep.fault_retries), rep.fault_backoff_ms,
+                 static_cast<long long>(rep.swap_corruptions),
+                 static_cast<long long>(rep.shard_failovers),
+                 static_cast<long long>(rep.watchdog_trips));
+  }
   std::fprintf(out, "steps: %lld (%lld prefill rows, %lld decode rows)\n",
                static_cast<long long>(rep.steps), static_cast<long long>(rep.prefill_rows),
                static_cast<long long>(rep.decode_rows));

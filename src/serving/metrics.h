@@ -30,6 +30,7 @@ struct RequestMetrics {
   int64_t first_output_step = -1;  // prefill completed: first token streamed
   int64_t finish_step = -1;
   int64_t cancel_step = -1;        // Cancel() terminated the session
+  int64_t timeout_step = -1;       // deadline expiry terminated the session
   int64_t preemptions = 0;         // times evicted (swapped out or recomputed)
   int64_t prefill_chunks = 0;      // prefill slices consumed (1 = one-shot)
   int64_t streamed_rows = 0;       // rows delivered incrementally (cursor/callback)
@@ -112,6 +113,7 @@ struct RequestTimeline {
   int64_t first_output_step = -1;
   int64_t finish_step = -1;
   int64_t cancel_step = -1;
+  int64_t timeout_step = -1;
   int64_t prefill_chunks = 0;
   int64_t preemptions = 0;
   int64_t cached_prompt_tokens = 0;  // prefix-cache tokens skipped at admission
@@ -124,6 +126,8 @@ struct ServingReport {
   int64_t requests_finished = 0;
   int64_t requests_rejected = 0;
   int64_t requests_cancelled = 0;
+  int64_t requests_timed_out = 0;  // deadline expiries (kTimedOut)
+  int64_t requests_shed = 0;       // overload-control drops (kShedded)
   int64_t steps = 0;
   int64_t prefill_rows = 0;
   int64_t decode_rows = 0;
@@ -184,6 +188,14 @@ struct ServingReport {
   double alltoall_bytes = 0.0;          // Σ dispatch + combine volume
   double kv_traffic_bytes = 0.0;        // Σ KV-page gather + append volume
 
+  // Fault injection + degradation activity (all zero on fault-free runs).
+  int64_t injected_faults = 0;    // FaultInjector fires across the run
+  int64_t fault_retries = 0;      // transient KV/swap failures retried
+  double fault_backoff_ms = 0.0;  // modeled backoff time charged to retries
+  int64_t swap_corruptions = 0;   // checksum mismatches caught at swap-in
+  int64_t shard_failovers = 0;    // shard deaths absorbed by re-placement
+  int64_t watchdog_trips = 0;     // liveness watchdog stall detections
+
   // SSMM autotuner activity (zero when --autotune is off).
   int64_t autotune_lookups = 0;      // per-layer tile-config resolutions
   int64_t autotune_cache_hits = 0;   // resolved from the per-shape cache
@@ -200,6 +212,13 @@ struct ServingReport {
   // the per-expert/per-shard histograms) — what `samoyeds_cli serve
   // --report-json=FILE` writes so sweeps never scrape the printed summary.
   std::string ToJson() const;
+
+  // Zeroes every wall-clock-derived field (wall_ms, tokens/s, the ms latency
+  // stats, per-timeline ms pairs), leaving only deterministic step counts and
+  // analytic estimates — after which two runs of the same trace + seed +
+  // fault schedule must produce byte-identical ToJson() output. The chaos
+  // reproducibility gate diffs exactly this.
+  void StripWallClock();
 };
 
 class EngineMetrics {
@@ -212,6 +231,11 @@ class EngineMetrics {
   void OnFirstOutput(int64_t id, int64_t step);
   void OnFinish(int64_t id, int64_t step);
   void OnCancel(int64_t id, int64_t step);
+  // Deadline expiry terminated the session at `step`.
+  void OnTimeout(int64_t id, int64_t step);
+  // Overload control dropped the request (which may never have reached
+  // OnArrival — shed-at-submit keeps no timeline entry).
+  void OnShed(int64_t id, int64_t step);
   void OnPreempt(int64_t id, int64_t step);
   // Admission mapped `tokens` cached prefix tokens instead of prefilling them.
   void OnPrefixHit(int64_t id, int64_t step, int64_t tokens);
@@ -234,6 +258,9 @@ class EngineMetrics {
 
   const std::vector<StepMetrics>& steps() const { return steps_; }
   const std::map<int64_t, RequestMetrics>& requests() const { return requests_; }
+  // Routed tokens per expert so far (all layers) — the observed loads shard
+  // failover re-balances orphaned experts against.
+  const std::vector<int64_t>& expert_tokens() const { return expert_tokens_; }
   // Every eviction as (request id, step), in order — the record tests replay
   // to assert eviction-order determinism.
   const std::vector<std::pair<int64_t, int64_t>>& preemption_log() const {
@@ -264,6 +291,8 @@ class EngineMetrics {
   std::vector<int64_t> shard_tokens_;
   int64_t rejected_ = 0;
   int64_t cancelled_ = 0;
+  int64_t timed_out_ = 0;
+  int64_t shed_ = 0;
   int64_t prefix_hit_requests_ = 0;
   int64_t prefix_hit_tokens_ = 0;
   int64_t swap_outs_ = 0;

@@ -36,7 +36,15 @@ struct Request {
   // Eviction priority under preemptive scheduling: when the paged KV cache
   // runs out of pages, the lowest-priority (then youngest) resident is
   // evicted first. Higher values survive longer; 0 is the default class.
+  // Also the shedding class: under ingress overload, lower-priority queued
+  // requests are dropped to make room for higher-priority arrivals.
   int priority = 0;
+  // Deadline in engine steps from arrival: a request still unfinished at
+  // step >= arrival_step + deadline_steps is terminated with kTimedOut.
+  // 0 disables the deadline. Near-deadline residents also become preferred
+  // eviction victims last (most slack goes first) — evicting a session
+  // about to miss its deadline would guarantee the miss.
+  int64_t deadline_steps = 0;
   // At least (prompt_len + max_new_tokens) x hidden input rows; the prompt is
   // consumed across one or more prefill chunks (see SchedulerConfig::
   // chunk_tokens), then one row per decode iteration until the stop
@@ -57,12 +65,15 @@ enum class RequestStatus {
   kFinished,   // all tokens produced
   kRejected,   // can never fit (admission control)
   kCancelled,  // terminated by SessionHandle::Cancel / ServingEngine::Cancel
+  kTimedOut,   // deadline_steps elapsed before the session finished
+  kShedded,    // dropped by overload control (bounded ingress queue)
 };
 
 const char* RequestStatusName(RequestStatus s);
 
 // True for states a session can never leave (kFinished / kRejected /
-// kCancelled): results are frozen and Cancel() is a no-op.
+// kCancelled / kTimedOut / kShedded): results are frozen and Cancel() is a
+// no-op.
 bool IsTerminal(RequestStatus s);
 
 // One batch of rows finalized for a session inside Step(): rows

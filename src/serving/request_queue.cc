@@ -47,5 +47,19 @@ int64_t RequestQueue::NextArrivalStep() const {
   return queue_.empty() ? -1 : queue_.front().arrival_step;
 }
 
+int64_t RequestQueue::ShedVictim(int incoming_priority) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t victim = -1;
+  int victim_priority = incoming_priority;
+  for (const Request& r : queue_) {
+    if (r.priority < victim_priority ||
+        (victim >= 0 && r.priority == victim_priority && r.id > victim)) {
+      victim = r.id;
+      victim_priority = r.priority;
+    }
+  }
+  return victim;
+}
+
 }  // namespace serving
 }  // namespace samoyeds

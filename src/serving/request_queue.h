@@ -41,6 +41,13 @@ class RequestQueue {
   // fast-forward idle steps during trace replay.
   int64_t NextArrivalStep() const;
 
+  // Overload control: id of the queued request to shed so a priority-
+  // `incoming_priority` arrival can take its slot — the lowest-priority
+  // entry strictly below the incoming class (ties: largest id, i.e. the
+  // newest submission). -1 when nothing queued is lower priority (the
+  // arrival itself must then be shed).
+  int64_t ShedVictim(int incoming_priority) const;
+
  private:
   mutable std::mutex mu_;
   std::deque<Request> queue_;

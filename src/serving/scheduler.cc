@@ -213,7 +213,8 @@ size_t Scheduler::PickVictim(const std::vector<VictimCandidate>& residents) {
   for (size_t i = 1; i < residents.size(); ++i) {
     const VictimCandidate& a = residents[i];
     const VictimCandidate& b = residents[victim];
-    if (a.priority != b.priority ? a.priority < b.priority
+    if (a.priority != b.priority     ? a.priority < b.priority
+        : a.slack != b.slack         ? a.slack > b.slack
         : a.admit_seq != b.admit_seq ? a.admit_seq > b.admit_seq
                                      : a.id > b.id) {
       victim = i;

@@ -134,6 +134,11 @@ struct VictimCandidate {
   int64_t id = 0;
   int priority = 0;       // Request::priority — higher survives longer
   int64_t admit_seq = 0;  // monotone admission counter — larger is younger
+  // Steps until the request's deadline (arrival + deadline - now); INT64_MAX
+  // for requests without a deadline. Within a priority class the most-slack
+  // resident is evicted first: evicting a near-deadline session guarantees
+  // the miss, while a slack-rich one can absorb the recompute.
+  int64_t slack = INT64_MAX;
 };
 
 class Scheduler {
@@ -161,11 +166,17 @@ class Scheduler {
                           const AdmitProbe& probe = nullptr);
 
   // Eviction policy: index of the resident to preempt — lowest priority
-  // first, then the youngest (largest admit_seq), then the largest id.
-  // Deterministic for a deterministic candidate list.
+  // first, then the most deadline slack (largest slack), then the youngest
+  // (largest admit_seq), then the largest id. Deterministic for a
+  // deterministic candidate list; with no deadlines in play (all slack
+  // defaulted) this is exactly the pre-deadline policy.
   static size_t PickVictim(const std::vector<VictimCandidate>& residents);
 
   int64_t pending() const { return static_cast<int64_t>(pending_.size()); }
+  // The pending list itself — the engine's deadline sweep walks it to expire
+  // requests that timed out while waiting for admission (including requeued
+  // preemptees). Mutation stays behind Enqueue/Cancel/Admit.
+  const std::deque<Request>& pending_requests() const { return pending_; }
   const SchedulerConfig& config() const { return config_; }
 
  private:

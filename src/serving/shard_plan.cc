@@ -121,6 +121,51 @@ bool ExpertShardPlan::IsValid() const {
   return placed == shard_of_.size();
 }
 
+ExpertShardPlan FailoverPlan(const ExpertShardPlan& plan, int dead_shard,
+                             const std::vector<double>& expert_loads) {
+  const int shards = plan.num_shards();
+  assert(shards >= 2 && dead_shard >= 0 && dead_shard < shards);
+  const int num_experts = plan.num_experts();
+  const bool have_loads =
+      static_cast<int>(expert_loads.size()) == num_experts &&
+      std::any_of(expert_loads.begin(), expert_loads.end(),
+                  [](double l) { return l > 0.0; });
+
+  // Survivors keep their placement (shard ids above the dead one compact
+  // down); their current load seeds the LPT bins so orphans land where
+  // capacity actually remains.
+  std::vector<int> shard_of(static_cast<size_t>(num_experts), -1);
+  std::vector<double> shard_load(static_cast<size_t>(shards - 1), 0.0);
+  std::vector<int> orphans;
+  for (int e = 0; e < num_experts; ++e) {
+    const int s = plan.shard_of(e);
+    if (s == dead_shard) {
+      orphans.push_back(e);
+      continue;
+    }
+    const int ns = s > dead_shard ? s - 1 : s;
+    shard_of[static_cast<size_t>(e)] = ns;
+    shard_load[static_cast<size_t>(ns)] +=
+        have_loads ? expert_loads[static_cast<size_t>(e)] : 1.0;
+  }
+  std::stable_sort(orphans.begin(), orphans.end(), [&](int a, int b) {
+    if (!have_loads) return false;  // keep ascending expert-id order
+    return expert_loads[static_cast<size_t>(a)] > expert_loads[static_cast<size_t>(b)];
+  });
+  for (int e : orphans) {
+    int best = 0;
+    for (int s = 1; s < shards - 1; ++s) {
+      if (shard_load[static_cast<size_t>(s)] < shard_load[static_cast<size_t>(best)]) {
+        best = s;
+      }
+    }
+    shard_of[static_cast<size_t>(e)] = best;
+    shard_load[static_cast<size_t>(best)] +=
+        have_loads ? expert_loads[static_cast<size_t>(e)] : 1.0;
+  }
+  return ExpertShardPlan(std::move(shard_of), shards - 1);
+}
+
 int64_t ShardHomeBegin(int shard, int64_t tokens, int num_shards) {
   assert(num_shards >= 1 && shard >= 0 && shard <= num_shards);
   return static_cast<int64_t>(shard) * tokens / num_shards;

@@ -90,10 +90,24 @@ class ExpertShardPlan {
 
  private:
   ExpertShardPlan(std::vector<int> shard_of, int num_shards);
+  friend ExpertShardPlan FailoverPlan(const ExpertShardPlan& plan, int dead_shard,
+                                      const std::vector<double>& expert_loads);
 
   std::vector<int> shard_of_;
   std::vector<std::vector<int>> experts_on_;
 };
+
+// Shard-failure re-placement: a plan over `plan.num_shards() - 1` shards in
+// which every surviving shard keeps its experts (ids above `dead_shard`
+// shift down by one) and only the dead shard's orphans move — LPT greedy
+// over `expert_loads` (observed per-expert token counts; uniform when empty
+// or all-zero) against the survivors' existing loads. Minimal-movement by
+// construction: re-placing everything from scratch would imply reshuffling
+// live experts' (simulated) weights mid-run. Correctness is placement-
+// independent (fixed global fold order), so the failover plan is still
+// bit-identical to unsharded execution.
+ExpertShardPlan FailoverPlan(const ExpertShardPlan& plan, int dead_shard,
+                             const std::vector<double>& expert_loads);
 
 // Data-parallel home shard of the batch: shard s owns the contiguous token
 // range [ShardHomeBegin(s), ShardHomeBegin(s + 1)); ranges partition

@@ -52,6 +52,9 @@ void PrintUsage(std::FILE* out) {
       "        [--shards=N] [--placement=round-robin|capacity|gate-stats]\n"
       "        [--link-gbps=R] [--link-us=R] [--trace-out=FILE]\n"
       "        [--trace-detail=step|request|full] [--trace-ring=N]\n"
+      "        [--faults=SPEC] [--fault-seed=N] [--fault-retries=N]\n"
+      "        [--deadline-steps=N] [--ingress-cap=N]\n"
+      "        [--watchdog-steps=N] [--watchdog-dump=FILE]\n"
       "        --chunk-tokens=N serves prompts longer than the token budget by\n"
       "        splitting prefill into <=N-row chunks interleaved with decode rows\n"
       "        (outputs bit-identical to one-shot prefill; 0 = off);\n"
@@ -80,7 +83,24 @@ void PrintUsage(std::FILE* out) {
       "        --trace-detail choosing step phases+counters (step), + per-request\n"
       "        lifecycle rows (request), or + per-layer/per-tile worker spans\n"
       "        (full, default) and --trace-ring=N bounding the flight-recorder\n"
-      "        ring to the most recent N events per thread\n",
+      "        ring to the most recent N events per thread;\n"
+      "        --faults=SPEC injects a deterministic fault schedule — comma-\n"
+      "        separated rules of the form point@step[:arg][xN] (fire at a step)\n"
+      "        or point~prob[:arg][xN] (seeded per-probe probability) over the\n"
+      "        points kv-alloc, swap-out, swap-in, swap-corrupt, shard-die,\n"
+      "        shard-stall, link-degrade (e.g. 'kv-alloc~0.05,shard-die@6:1');\n"
+      "        --fault-seed drives the probability draws (same schedule + seed\n"
+      "        replays bit-exactly) and --fault-retries bounds transient-fault\n"
+      "        retries before evict-and-recompute;\n"
+      "        --deadline-steps=N terminates sessions still unfinished N steps\n"
+      "        after arrival (timed-out, 0 = off); --ingress-cap=N bounds the\n"
+      "        ingress queue, shedding the lowest-priority entry on overflow;\n"
+      "        --watchdog-steps=K trips a liveness watchdog when a session makes\n"
+      "        no progress for K steps, dumping the flight-recorder ring to\n"
+      "        --watchdog-dump=FILE\n"
+      "\n"
+      "exit codes: 0 success; 1 runtime failure (output write failed, engine\n"
+      "left undrained); 2 usage error (unknown command/flag or bad value)\n",
       out);
 }
 
@@ -301,6 +321,13 @@ struct ServeOptions {
   std::string trace_out;  // write Chrome trace-event JSON here; empty = off
   obs::TraceDetail trace_detail = obs::TraceDetail::kFull;
   int64_t trace_ring = obs::Tracer::kDefaultRingCapacity;
+  std::vector<serving::FaultRule> faults;  // --faults schedule; empty = off
+  uint64_t fault_seed = 0;
+  int fault_retries = 3;
+  int64_t deadline_steps = 0;   // per-request deadline (0 = off)
+  int64_t ingress_cap = 0;      // bounded ingress queue (0 = unbounded)
+  int64_t watchdog_steps = 0;   // liveness watchdog (0 = off)
+  std::string watchdog_dump;    // flight-recorder dump target on a trip
 };
 
 bool ParseServeFlag(const std::string& arg, ServeOptions& opt) {
@@ -326,13 +353,13 @@ bool ParseServeFlag(const std::string& arg, ServeOptions& opt) {
       std::exit(2);
     }
   } else if (key == "--budget") {
-    opt.budget = ParseI64(value, "budget");
+    opt.budget = ParseI64(value, key.c_str());
   } else if (key == "--chunk-tokens") {
     // Shared strict parser (no raw atoi): garbage or trailing junk exits
     // with a diagnostic instead of silently serving with chunking off.
-    opt.chunk_tokens = ParseI64(value, "chunk-tokens");
+    opt.chunk_tokens = ParseI64(value, key.c_str());
   } else if (key == "--stream") {
-    const int64_t v = ParseI64(value, "stream");
+    const int64_t v = ParseI64(value, key.c_str());
     if (v != 0 && v != 1) {
       std::fprintf(stderr, "invalid stream: '%s' (expected 0 or 1)\n", value);
       std::exit(2);
@@ -341,40 +368,40 @@ bool ParseServeFlag(const std::string& arg, ServeOptions& opt) {
   } else if (key == "--report-json") {
     opt.report_json = value;
   } else if (key == "--max-resident") {
-    opt.max_resident = ParseI64(value, "max-resident");
+    opt.max_resident = ParseI64(value, key.c_str());
   } else if (key == "--page-tokens") {
-    opt.page_tokens = ParseI64(value, "page-tokens");
+    opt.page_tokens = ParseI64(value, key.c_str());
   } else if (key == "--max-pages") {
     if (std::strcmp(value, "auto") == 0) {
       opt.auto_pages = true;
     } else {
-      opt.max_pages = ParseI64(value, "max-pages");
+      opt.max_pages = ParseI64(value, key.c_str());
     }
   } else if (key == "--preempt") {
-    const int64_t v = ParseI64(value, "preempt");
+    const int64_t v = ParseI64(value, key.c_str());
     if (v != 0 && v != 1) {
       std::fprintf(stderr, "invalid preempt: '%s' (expected 0 or 1)\n", value);
       std::exit(2);
     }
     opt.preempt = v == 1;
   } else if (key == "--prefix-cache") {
-    const int64_t v = ParseI64(value, "prefix-cache");
+    const int64_t v = ParseI64(value, key.c_str());
     if (v != 0 && v != 1) {
       std::fprintf(stderr, "invalid prefix-cache: '%s' (expected 0 or 1)\n", value);
       std::exit(2);
     }
     opt.prefix_cache = v == 1;
   } else if (key == "--swap") {
-    const int64_t v = ParseI64(value, "swap");
+    const int64_t v = ParseI64(value, key.c_str());
     if (v != 0 && v != 1) {
       std::fprintf(stderr, "invalid swap: '%s' (expected 0 or 1)\n", value);
       std::exit(2);
     }
     opt.swap = v == 1;
   } else if (key == "--host-pages") {
-    opt.host_pages = ParseI64(value, "host-pages");
+    opt.host_pages = ParseI64(value, key.c_str());
   } else if (key == "--autotune") {
-    const int64_t v = ParseI64(value, "autotune");
+    const int64_t v = ParseI64(value, key.c_str());
     if (v != 0 && v != 1) {
       std::fprintf(stderr, "invalid autotune: '%s' (expected 0 or 1)\n", value);
       std::exit(2);
@@ -390,7 +417,7 @@ bool ParseServeFlag(const std::string& arg, ServeOptions& opt) {
       std::exit(2);
     }
   } else if (key == "--shards") {
-    opt.shards = ParseInt(value, "shards");
+    opt.shards = ParseInt(value, key.c_str());
   } else if (key == "--placement") {
     if (!serving::ParseShardPlacement(value, &opt.placement)) {
       std::fprintf(stderr, "unknown placement: %s (round-robin | capacity | gate-stats)\n",
@@ -398,35 +425,35 @@ bool ParseServeFlag(const std::string& arg, ServeOptions& opt) {
       std::exit(2);
     }
   } else if (key == "--link-gbps") {
-    opt.link_gbps = ParseDouble(value, "link-gbps");
+    opt.link_gbps = ParseDouble(value, key.c_str());
   } else if (key == "--link-us") {
-    opt.link_us = ParseDouble(value, "link-us");
+    opt.link_us = ParseDouble(value, key.c_str());
   } else if (key == "--threads") {
-    opt.threads = ParseInt(value, "threads");
+    opt.threads = ParseInt(value, key.c_str());
   } else if (key == "--layers") {
-    opt.layers = ParseInt(value, "layers");
+    opt.layers = ParseInt(value, key.c_str());
   } else if (key == "--hidden") {
-    opt.hidden = ParseInt(value, "hidden");
+    opt.hidden = ParseInt(value, key.c_str());
   } else if (key == "--inter") {
-    opt.inter = ParseInt(value, "inter");
+    opt.inter = ParseInt(value, key.c_str());
   } else if (key == "--experts") {
-    opt.experts = ParseInt(value, "experts");
+    opt.experts = ParseInt(value, key.c_str());
   } else if (key == "--top-k") {
-    opt.top_k = ParseInt(value, "top-k");
+    opt.top_k = ParseInt(value, key.c_str());
   } else if (key == "--heads") {
-    opt.heads = ParseInt(value, "heads");
+    opt.heads = ParseInt(value, key.c_str());
   } else if (key == "--rate") {
-    opt.rate = ParseDouble(value, "rate");
+    opt.rate = ParseDouble(value, key.c_str());
   } else if (key == "--prompt-min") {
-    opt.prompt_min = ParseI64(value, "prompt-min");
+    opt.prompt_min = ParseI64(value, key.c_str());
   } else if (key == "--prompt-max") {
-    opt.prompt_max = ParseI64(value, "prompt-max");
+    opt.prompt_max = ParseI64(value, key.c_str());
   } else if (key == "--decode-min") {
-    opt.decode_min = ParseI64(value, "decode-min");
+    opt.decode_min = ParseI64(value, key.c_str());
   } else if (key == "--decode-max") {
-    opt.decode_max = ParseI64(value, "decode-max");
+    opt.decode_max = ParseI64(value, key.c_str());
   } else if (key == "--seed") {
-    opt.seed = static_cast<uint64_t>(ParseI64(value, "seed"));
+    opt.seed = static_cast<uint64_t>(ParseI64(value, key.c_str()));
   } else if (key == "--trace-out") {
     opt.trace_out = value;
   } else if (key == "--trace-detail") {
@@ -435,11 +462,45 @@ bool ParseServeFlag(const std::string& arg, ServeOptions& opt) {
       std::exit(2);
     }
   } else if (key == "--trace-ring") {
-    opt.trace_ring = ParseI64(value, "trace-ring");
+    opt.trace_ring = ParseI64(value, key.c_str());
     if (opt.trace_ring < 1) {
       std::fprintf(stderr, "need trace-ring >= 1\n");
       std::exit(2);
     }
+  } else if (key == "--faults") {
+    std::string error;
+    if (!serving::ParseFaultSchedule(value, &opt.faults, &error)) {
+      std::fprintf(stderr, "invalid --faults: %s\n", error.c_str());
+      std::exit(2);
+    }
+  } else if (key == "--fault-seed") {
+    opt.fault_seed = static_cast<uint64_t>(ParseI64(value, key.c_str()));
+  } else if (key == "--fault-retries") {
+    opt.fault_retries = ParseInt(value, key.c_str());
+    if (opt.fault_retries < 0) {
+      std::fprintf(stderr, "need fault-retries >= 0\n");
+      std::exit(2);
+    }
+  } else if (key == "--deadline-steps") {
+    opt.deadline_steps = ParseI64(value, key.c_str());
+    if (opt.deadline_steps < 0) {
+      std::fprintf(stderr, "need deadline-steps >= 0 (0 disables deadlines)\n");
+      std::exit(2);
+    }
+  } else if (key == "--ingress-cap") {
+    opt.ingress_cap = ParseI64(value, key.c_str());
+    if (opt.ingress_cap < 0) {
+      std::fprintf(stderr, "need ingress-cap >= 0 (0 = unbounded)\n");
+      std::exit(2);
+    }
+  } else if (key == "--watchdog-steps") {
+    opt.watchdog_steps = ParseI64(value, key.c_str());
+    if (opt.watchdog_steps < 0) {
+      std::fprintf(stderr, "need watchdog-steps >= 0 (0 disables the watchdog)\n");
+      std::exit(2);
+    }
+  } else if (key == "--watchdog-dump") {
+    opt.watchdog_dump = value;
   } else {
     std::fprintf(stderr, "unknown serve flag: %s\n", key.c_str());
     std::exit(2);
@@ -607,6 +668,26 @@ int CmdServe(int argc, char** argv) {
   engine_cfg.prefix_cache = opt.prefix_cache;
   engine_cfg.swap = opt.swap;
   engine_cfg.host_pages = opt.host_pages;
+  engine_cfg.faults = opt.faults;
+  engine_cfg.fault_seed = opt.fault_seed;
+  engine_cfg.fault_retry_limit = opt.fault_retries;
+  engine_cfg.ingress_capacity = opt.ingress_cap;
+  engine_cfg.watchdog_steps = opt.watchdog_steps;
+  // On a liveness trip, dump the flight-recorder ring: the most recent
+  // events per thread leading up to the stall, ready for Perfetto.
+  const std::string watchdog_dump = opt.watchdog_dump;
+  if (!watchdog_dump.empty()) {
+    engine_cfg.watchdog_hook = [watchdog_dump](int64_t session_id, int64_t step) {
+      std::fprintf(stderr,
+                   "watchdog: session %lld made no progress through step %lld — "
+                   "dumping flight recorder to %s\n",
+                   static_cast<long long>(session_id), static_cast<long long>(step),
+                   watchdog_dump.c_str());
+      if (!obs::Tracer::Get().WriteChromeJson(watchdog_dump)) {
+        std::fprintf(stderr, "cannot write %s\n", watchdog_dump.c_str());
+      }
+    };
+  }
   serving::ServingEngine engine(std::move(layers), engine_cfg);
 
   std::printf("serving %s: %d layers, hidden %d, %d experts (top-%d), %s activation\n",
@@ -646,6 +727,24 @@ int CmdServe(int argc, char** argv) {
                 opt.host_pages > 0 ? std::to_string(opt.host_pages).c_str() : "unbounded",
                 dev.host_bandwidth_gbps, dev.host_latency_us);
   }
+  if (!opt.faults.empty()) {
+    std::printf("faults: %zu rules, seed %llu (deterministic replay)\n", opt.faults.size(),
+                static_cast<unsigned long long>(opt.fault_seed));
+  }
+  if (opt.deadline_steps > 0) {
+    std::printf("deadlines: %lld steps from arrival (overdue sessions time out)\n",
+                static_cast<long long>(opt.deadline_steps));
+  }
+  if (opt.ingress_cap > 0) {
+    std::printf("overload: ingress queue capped at %lld (lowest-priority shed)\n",
+                static_cast<long long>(opt.ingress_cap));
+  }
+  if (opt.watchdog_steps > 0) {
+    std::printf("watchdog: trips after %lld steps without progress%s%s\n",
+                static_cast<long long>(opt.watchdog_steps),
+                opt.watchdog_dump.empty() ? "" : ", flight recorder -> ",
+                opt.watchdog_dump.c_str());
+  }
   std::printf("trace: %zu requests\n\n", entries.size());
 
   // Streaming delivery: rows print as they finalize inside Step(), tagged
@@ -666,18 +765,22 @@ int CmdServe(int argc, char** argv) {
 
   // Tracing starts before the first Submit so arrival events land in the
   // capture, and stops before export (Snapshot requires emitter quiescence,
-  // which RunUntilDrained guarantees on return).
-  if (!opt.trace_out.empty()) {
+  // which RunUntilDrained guarantees on return). A watchdog dump target also
+  // needs the recorder running — there is nothing to dump otherwise.
+  if (!opt.trace_out.empty() || !opt.watchdog_dump.empty()) {
     obs::SetThreadName("engine");
     obs::Tracer::Get().Start(opt.trace_detail, opt.trace_ring);
     std::printf("tracing: %s detail, ring %lld events/thread -> %s\n",
                 obs::TraceDetailName(opt.trace_detail),
-                static_cast<long long>(opt.trace_ring), opt.trace_out.c_str());
+                static_cast<long long>(opt.trace_ring),
+                !opt.trace_out.empty() ? opt.trace_out.c_str() : opt.watchdog_dump.c_str());
   }
 
   const std::vector<int64_t> ids = serving::AssignTraceIds(entries);
   for (size_t i = 0; i < entries.size(); ++i) {
-    engine.Submit(serving::MakeRequest(rng, ids[i], entries[i], opt.hidden), on_rows);
+    serving::Request request = serving::MakeRequest(rng, ids[i], entries[i], opt.hidden);
+    request.deadline_steps = opt.deadline_steps;
+    engine.Submit(std::move(request), on_rows);
   }
   const int64_t iterations = engine.RunUntilDrained(/*max_steps=*/1000000);
 
@@ -685,8 +788,10 @@ int CmdServe(int argc, char** argv) {
     obs::Tracer& tracer = obs::Tracer::Get();
     tracer.Stop();
     if (!tracer.WriteChromeJson(opt.trace_out)) {
+      // Runtime failure, not a usage error: the flags were fine, the
+      // filesystem was not.
       std::fprintf(stderr, "cannot write %s\n", opt.trace_out.c_str());
-      return 2;
+      return 1;
     }
     std::printf("wrote %s (%lld events, %lld overwritten by the flight-recorder ring)\n",
                 opt.trace_out.c_str(), static_cast<long long>(tracer.total_events()),
@@ -707,7 +812,7 @@ int CmdServe(int argc, char** argv) {
     std::FILE* f = std::fopen(opt.report_json.c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "cannot write %s\n", opt.report_json.c_str());
-      return 2;
+      return 1;
     }
     const std::string json = report.ToJson();
     std::fwrite(json.data(), 1, json.size(), f);

@@ -1,0 +1,147 @@
+// samoyeds_cli exit-code contract: 0 success, 1 runtime failure (filesystem,
+// undrained engine), 2 usage error (unknown command/flag or bad value) — and
+// usage errors name the offending flag on stderr.
+//
+// The binary path arrives via SAMOYEDS_CLI_PATH (set by CMake to the
+// samoyeds_cli target's output file).
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "tests/test_util.h"
+
+#ifndef SAMOYEDS_CLI_PATH
+#define SAMOYEDS_CLI_PATH ""
+#endif
+
+namespace samoyeds {
+namespace {
+
+struct CliResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr, interleaved
+};
+
+CliResult RunCli(const std::string& args) {
+  CliResult result;
+  const std::string cmd = std::string("\"") + SAMOYEDS_CLI_PATH + "\" " + args + " 2>&1";
+  std::FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) {
+    ADD_FAILURE() << "popen failed for: " << cmd;
+    return result;
+  }
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), pipe)) > 0) {
+    result.output.append(buf, n);
+  }
+  const int rc = pclose(pipe);
+  result.exit_code = WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+  return result;
+}
+
+bool CliAvailable() {
+  const std::string path = SAMOYEDS_CLI_PATH;
+  if (path.empty()) {
+    return false;
+  }
+  std::ifstream f(path);
+  return f.good();
+}
+
+#define REQUIRE_CLI()                                              \
+  if (!CliAvailable()) {                                           \
+    GTEST_SKIP() << "samoyeds_cli binary not found at '"           \
+                 << SAMOYEDS_CLI_PATH << "'";                      \
+  }
+
+TEST(CliTest, UsageErrorsExitTwoAndNameTheOffendingFlag) {
+  REQUIRE_CLI();
+
+  const CliResult unknown_flag = RunCli("serve tiny synthetic:2 --bogus=3");
+  EXPECT_EQ(unknown_flag.exit_code, 2) << unknown_flag.output;
+  EXPECT_NE(unknown_flag.output.find("--bogus"), std::string::npos) << unknown_flag.output;
+
+  const CliResult bad_value = RunCli("serve tiny synthetic:2 --deadline-steps=abc");
+  EXPECT_EQ(bad_value.exit_code, 2) << bad_value.output;
+  EXPECT_NE(bad_value.output.find("--deadline-steps"), std::string::npos) << bad_value.output;
+
+  const CliResult bad_schedule = RunCli("serve tiny synthetic:2 --faults=bogus~0.5");
+  EXPECT_EQ(bad_schedule.exit_code, 2) << bad_schedule.output;
+  EXPECT_NE(bad_schedule.output.find("--faults"), std::string::npos) << bad_schedule.output;
+  EXPECT_NE(bad_schedule.output.find("unknown fault point"), std::string::npos)
+      << bad_schedule.output;
+
+  const CliResult missing_args = RunCli("serve");
+  EXPECT_EQ(missing_args.exit_code, 2) << missing_args.output;
+  EXPECT_NE(missing_args.output.find("usage"), std::string::npos) << missing_args.output;
+
+  const CliResult unknown_cmd = RunCli("frobnicate");
+  EXPECT_EQ(unknown_cmd.exit_code, 2) << unknown_cmd.output;
+  EXPECT_NE(unknown_cmd.output.find("unknown command"), std::string::npos)
+      << unknown_cmd.output;
+}
+
+TEST(CliTest, RuntimeFailuresExitOneNotTwo) {
+  REQUIRE_CLI();
+  // The flags are all valid; the filesystem is not. Exit 1, not 2.
+  const CliResult result = RunCli(
+      "serve tiny synthetic:2 --rate=2 --budget=16 "
+      "--report-json=/nonexistent-dir-samoyeds-test/report.json");
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("cannot write"), std::string::npos) << result.output;
+}
+
+TEST(CliTest, SuccessfulServeExitsZeroAndWritesWellFormedReport) {
+  REQUIRE_CLI();
+  const std::string report_path = ::testing::TempDir() + "samoyeds_cli_test_report.json";
+  std::remove(report_path.c_str());
+
+  const CliResult result =
+      RunCli("serve tiny synthetic:3 --rate=2 --budget=16 --report-json=" + report_path);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("wrote " + report_path), std::string::npos) << result.output;
+
+  std::ifstream f(report_path);
+  ASSERT_TRUE(f.good()) << "report not written to " << report_path;
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::string json = ss.str();
+  EXPECT_TRUE(JsonParses(json));
+  EXPECT_TRUE(HasJsonKey(json, "requests_finished"));
+  EXPECT_TRUE(HasJsonKey(json, "injected_faults"));
+  std::remove(report_path.c_str());
+}
+
+TEST(CliTest, ChaosFlagsRunEndToEnd) {
+  REQUIRE_CLI();
+  const std::string report_path = ::testing::TempDir() + "samoyeds_cli_chaos_report.json";
+  std::remove(report_path.c_str());
+
+  const CliResult result = RunCli(
+      "serve tiny synthetic:8 --rate=4 --budget=24 --page-tokens=4 --max-pages=12 "
+      "--preempt=1 --swap=1 --host-pages=32 "
+      "--faults=kv-alloc~0.2,swap-corrupt~0.5 --fault-seed=5 "
+      "--deadline-steps=200 --ingress-cap=16 --report-json=" + report_path);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+
+  std::ifstream f(report_path);
+  ASSERT_TRUE(f.good()) << "report not written to " << report_path;
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::string json = ss.str();
+  EXPECT_TRUE(JsonParses(json));
+  double injected = 0.0;
+  ASSERT_TRUE(FindJsonNumber(json, "injected_faults", &injected));
+  EXPECT_GT(injected, 0.0);
+  std::remove(report_path.c_str());
+}
+
+}  // namespace
+}  // namespace samoyeds
