@@ -15,8 +15,10 @@
 //     counts) so the perf trajectory is tracked from PR 3 onward;
 //   * --smoke shrinks every measurement for fast CI sanity runs.
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <climits>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -170,6 +172,39 @@ BenchResult Measure(const std::string& name, double min_seconds, int64_t tokens,
   return r;
 }
 
+// ULP distance between an fp32 result and the fp64 oracle value, measured
+// after rounding the oracle to fp32 (ordered-integer trick: monotone map of
+// the IEEE bit patterns, so adjacent floats differ by 1).
+int64_t UlpDistance(float a, float b) {
+  if (a == b) {
+    return 0;  // covers +0 vs -0
+  }
+  auto ordered = [](float f) {
+    int32_t i;
+    std::memcpy(&i, &f, sizeof(i));
+    return i < 0 ? static_cast<int64_t>(INT32_MIN) - i : static_cast<int64_t>(i);
+  };
+  return std::llabs(ordered(a) - ordered(b));
+}
+
+int64_t MaxUlpVsFp64(const MatrixF& out, const std::vector<double>& oracle) {
+  int64_t max_ulp = 0;
+  const float* p = out.data();
+  for (size_t i = 0; i < oracle.size(); ++i) {
+    max_ulp = std::max(max_ulp, UlpDistance(p[i], static_cast<float>(oracle[i])));
+  }
+  return max_ulp;
+}
+
+// Fused accumulation keeps the scalar association, so divergence from the
+// fp64 oracle is fp32 rounding noise over ~k/2 summands — but cancellation
+// among Gaussian terms leaves some outputs near zero, where a few absolute
+// ULPs of noise is a triple-digit ULP distance (measured: ~128 at this
+// shape, identically for scalar and SIMD since bf16 products are exact in
+// fp32). The bound gives that headroom while still catching real bugs —
+// a mis-gathered column or wrong output row lands millions of ULPs out.
+constexpr int64_t kMaxUlpVsFp64 = 512;
+
 void PrintResult(const BenchResult& r) {
   std::printf("%-28s %10.4f ms/iter %12.0f tokens/s %8.3f GFLOP/s %10.1f allocs/iter\n",
               r.name.c_str(), r.ms_per_iter, r.tokens_per_s, r.gflops, r.allocs_per_iter);
@@ -286,6 +321,113 @@ int RunBench(int argc, char** argv) {
   std::printf("kernel speedup: %.2fx (optimized vs reference), bit-identical: %s\n",
               kernel_speedup, bit_identical ? "yes" : "NO");
 
+  // --- kernel backend sweep -------------------------------------------------
+  // Every backend this binary compiled AND this CPU can run, including in
+  // --smoke mode (dispatch bugs should fail CI, not a weekly full run).
+  // fp64 oracle: the packed-representation accumulation recomputed in
+  // double — the ULP yardstick the SIMD accumulation contract is stated
+  // against (kernel_backend.h).
+  std::vector<double> fp64_oracle;
+  {
+    SsmmPackedA packed;
+    SamoyedsKernel::PackWeights(enc, packed);
+    MatrixF panel;
+    SamoyedsKernel::PackSelectedColumns(b, sel, panel);
+    const int64_t n_out = panel.cols();
+    fp64_oracle.assign(static_cast<size_t>(enc.rows * n_out), 0.0);
+    for (size_t g = 0; g < packed.rows.size(); ++g) {
+      double* orow = fp64_oracle.data() + static_cast<int64_t>(packed.rows[g]) * n_out;
+      for (int64_t e = packed.off[g]; e < packed.off[g + 1]; ++e) {
+        const double av = packed.vals[static_cast<size_t>(e)];
+        const float* brow =
+            panel.data() + static_cast<int64_t>(packed.cols[static_cast<size_t>(e)]) * n_out;
+        for (int64_t j = 0; j < n_out; ++j) {
+          orow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+
+  struct BackendRow {
+    KernelBackend backend;
+    BenchResult bench;
+    double speedup_vs_scalar = 0.0;
+    int64_t max_ulp = 0;
+    bool bit_identical_to_ref = false;
+  };
+  std::vector<BackendRow> backend_rows;
+  double scalar_backend_tokens_per_s = 0.0;
+  for (KernelBackend backend : {KernelBackend::kScalar, KernelBackend::kAvx2,
+                                KernelBackend::kAvx512, KernelBackend::kNeon}) {
+    if (!KernelBackendCompiled(backend)) {
+      continue;
+    }
+    if (!KernelBackendSupported(backend)) {
+      std::printf("kernel_backend_%-14s compiled but not runnable on this CPU, skipped\n",
+                  KernelBackendName(backend));
+      continue;
+    }
+    BackendRow row;
+    row.backend = backend;
+    MatrixF out;
+    row.bench = Measure(std::string("kernel_backend_") + KernelBackendName(backend), seconds,
+                        selected, kernel_flops,
+                        [&] { SamoyedsKernel::Run(enc, b, sel, kernel_ws, out, backend); });
+    row.bit_identical_to_ref = out == ref_out;
+    row.max_ulp = MaxUlpVsFp64(out, fp64_oracle);
+    if (backend == KernelBackend::kScalar) {
+      scalar_backend_tokens_per_s = row.bench.tokens_per_s;
+    }
+    row.speedup_vs_scalar = scalar_backend_tokens_per_s > 0.0
+                                ? row.bench.tokens_per_s / scalar_backend_tokens_per_s
+                                : 0.0;
+    results.push_back(row.bench);
+    PrintResult(row.bench);
+    std::printf("  %s: %.2fx vs scalar, max ULP vs fp64 %lld, bit-identical to ref: %s\n",
+                KernelBackendName(backend), row.speedup_vs_scalar,
+                static_cast<long long>(row.max_ulp), row.bit_identical_to_ref ? "yes" : "no");
+
+    // Gates. Scalar is the oracle: any numeric drift is a regression. Every
+    // backend runs out of the shared workspace, so steady state must not
+    // touch the heap. SIMD stays within the fused-accumulation ULP bound.
+    if (backend == KernelBackend::kScalar && !row.bit_identical_to_ref) {
+      std::fprintf(stderr, "FAIL: scalar backend is not bit-identical to the reference\n");
+      failed = true;
+    }
+    if (row.bench.allocs_per_iter > 0.0) {
+      std::fprintf(stderr, "FAIL: %s backend allocated %.2f times/iter in steady state\n",
+                   KernelBackendName(backend), row.bench.allocs_per_iter);
+      failed = true;
+    }
+    if (row.max_ulp > kMaxUlpVsFp64) {
+      std::fprintf(stderr, "FAIL: %s backend max ULP vs fp64 oracle is %lld (bound %lld)\n",
+                   KernelBackendName(backend), static_cast<long long>(row.max_ulp),
+                   static_cast<long long>(kMaxUlpVsFp64));
+      failed = true;
+    }
+    backend_rows.push_back(std::move(row));
+  }
+  // Scalar-path perf regression gate: the explicit-scalar row and the
+  // default-path kernel_optimized row run the same loop (when no env force
+  // redirects the default), so a large gap means dispatch overhead crept
+  // into the hot path.
+  if (ActiveKernelBackend() == KernelBackend::kScalar && scalar_backend_tokens_per_s > 0.0 &&
+      opt_tokens_per_s > 0.0 && scalar_backend_tokens_per_s < 0.5 * opt_tokens_per_s) {
+    std::fprintf(stderr,
+                 "FAIL: scalar backend regressed to %.0f tokens/s vs %.0f on the default path\n",
+                 scalar_backend_tokens_per_s, opt_tokens_per_s);
+    failed = true;
+  }
+  // The acceptance floor for the SIMD work: on an AVX2-capable machine the
+  // avx2 backend must beat scalar by >= 1.5x.
+  for (const BackendRow& row : backend_rows) {
+    if (row.backend == KernelBackend::kAvx2 && row.speedup_vs_scalar < 1.5) {
+      std::fprintf(stderr, "FAIL: avx2 backend speedup %.2fx vs scalar is below the 1.5x floor\n",
+                   row.speedup_vs_scalar);
+      failed = true;
+    }
+  }
+
   // --- MoE forward through the workspace API ------------------------------
   MoeModelConfig cfg;
   cfg.name = "bench";
@@ -384,15 +526,32 @@ int RunBench(int argc, char** argv) {
     for (const auto& r : results) {
       AppendJson(items, r);
     }
+    // Per-backend sweep rows: throughput plus the accumulation-contract
+    // telemetry (speedup vs scalar, max ULP against the fp64 oracle).
+    std::string backend_items;
+    for (const BackendRow& row : backend_rows) {
+      char buf[512];
+      std::snprintf(buf, sizeof(buf),
+                    "    {\"backend\": \"%s\", \"tokens_per_s\": %.1f, \"gflops\": %.4f, "
+                    "\"speedup_vs_scalar\": %.3f, \"max_ulp_vs_fp64\": %lld, "
+                    "\"allocs_per_iter\": %.2f, \"bit_identical_to_ref\": %s}",
+                    KernelBackendName(row.backend), row.bench.tokens_per_s, row.bench.gflops,
+                    row.speedup_vs_scalar, static_cast<long long>(row.max_ulp),
+                    row.bench.allocs_per_iter, row.bit_identical_to_ref ? "true" : "false");
+      if (!backend_items.empty()) {
+        backend_items += ",\n";
+      }
+      backend_items += buf;
+    }
     char head[512];
     std::snprintf(head, sizeof(head),
-                  "{\n  \"bench\": \"micro_kernel_wallclock\",\n  \"schema_version\": 1,\n"
+                  "{\n  \"bench\": \"micro_kernel_wallclock\",\n  \"schema_version\": 2,\n"
                   "  \"mode\": \"%s\",\n"
                   "  \"config\": {\"threads\": %d, \"seconds\": %.3f},\n"
                   "  \"shape\": {\"hidden\": %lld, \"intermediate\": %lld, \"tokens\": %lld, "
                   "\"experts\": %d, \"top_k\": %d, \"format\": [1, 2, 32]},\n"
                   "  \"kernel_speedup\": %.3f,\n  \"bit_identical\": %s,\n"
-                  "  \"moe_workspace_steady_allocs\": %.2f,\n  \"results\": [\n",
+                  "  \"moe_workspace_steady_allocs\": %.2f,\n",
                   smoke ? "smoke" : "full", threads, seconds, static_cast<long long>(hidden),
                   static_cast<long long>(inter), static_cast<long long>(tokens), num_experts,
                   top_k, kernel_speedup, bit_identical ? "true" : "false", moe_steady_allocs);
@@ -402,6 +561,9 @@ int RunBench(int argc, char** argv) {
       return 2;
     }
     std::fputs(head, f);
+    std::fputs("  \"backends\": [\n", f);
+    std::fputs(backend_items.c_str(), f);
+    std::fputs("\n  ],\n  \"results\": [\n", f);
     std::fputs(items.c_str(), f);
     std::fputs("\n  ]\n}\n", f);
     std::fclose(f);

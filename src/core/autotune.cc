@@ -1,5 +1,6 @@
 #include "src/core/autotune.h"
 
+#include <algorithm>
 #include <limits>
 
 #include "src/core/samoyeds_kernel.h"
@@ -39,26 +40,96 @@ std::vector<SsmmConfig> EnumerateSsmmConfigs(const DeviceSpec& device,
   return configs;
 }
 
+double SsmmActiveWorkingSetBytes(const GemmShape& shape, int64_t selected,
+                                 const SamoyedsConfig& format, const SsmmConfig& cfg,
+                                 const DeviceSpec& device) {
+  const KernelProfile prof = SamoyedsKernel::Analyze(shape, selected, format, cfg, device);
+  const TrafficReport& t = prof.traffic;
+  // Per-block footprint: the staged panels (already stages x (A + B) bf16
+  // bytes plus the SEL slice, from Analyze) and the fp32 output tile the
+  // block accumulates into.
+  const double per_block = static_cast<double>(t.smem_bytes_per_block) +
+                           static_cast<double>(cfg.mb) * cfg.nb * 4.0;
+  const double concurrent =
+      std::min(static_cast<double>(std::max<int64_t>(1, t.thread_blocks)),
+               static_cast<double>(TimingModel::ResidentBlocksPerSm(device, t)) * device.sm_count);
+  return per_block * concurrent;
+}
+
+namespace {
+
+// Per-candidate scorecard for the lexicographic (fits-LLC, cost) ranking.
+struct Scored {
+  double cost_ms = std::numeric_limits<double>::infinity();
+  double simulated_ms = 0.0;
+  double working_set_bytes = 0.0;
+  double residency_ms = 0.0;
+  bool fits_llc = false;
+};
+
+Scored ScoreConfig(const TimingModel& model, const GemmShape& shape, int64_t sel_eff,
+                   const SamoyedsConfig& format, const SsmmConfig& cfg) {
+  const DeviceSpec& device = model.device();
+  const KernelProfile prof = SamoyedsKernel::Analyze(shape, sel_eff, format, cfg, device);
+  Scored s;
+  s.simulated_ms = model.Estimate(prof.traffic).total_ms;
+  s.working_set_bytes = SsmmActiveWorkingSetBytes(shape, sel_eff, format, cfg, device);
+  s.fits_llc = model.FitsLlc(s.working_set_bytes);
+  // Repeat traffic: everything beyond the compulsory footprint — the A-panel
+  // re-reads across column tiles and B-panel re-reads across row tiles.
+  const double repeat = std::max(
+      0.0, prof.traffic.gmem_read_bytes + prof.traffic.gmem_write_bytes -
+               prof.traffic.gmem_unique_bytes);
+  s.residency_ms = model.ResidencyMs(s.working_set_bytes, repeat);
+  s.cost_ms = s.simulated_ms + s.residency_ms;
+  return s;
+}
+
+}  // namespace
+
 AutotuneResult AutotuneSsmm(const GemmShape& shape, int64_t selected,
-                            const SamoyedsConfig& format, const DeviceSpec& device) {
+                            const SamoyedsConfig& format, const DeviceSpec& device,
+                            KernelBackend backend) {
   const TimingModel model(device);
+  // Lane padding: SIMD backends occupy RoundUp(selected, width) lanes per
+  // pass — tail lanes do the work but their results are dropped, so the
+  // tuner models the padded width. Scalar sees the true width.
+  const int64_t width = KernelBackendVectorWidth(backend);
+  const int64_t sel_eff = RoundUp(std::max<int64_t>(selected, 1), width);
+
   AutotuneResult result;
+  result.backend = backend;
   result.default_ms =
       model
-          .Estimate(SamoyedsKernel::Analyze(shape, selected, format, SsmmConfig::Default(), device)
+          .Estimate(SamoyedsKernel::Analyze(shape, sel_eff, format, SsmmConfig::Default(), device)
                         .traffic)
           .total_ms;
   result.simulated_ms = std::numeric_limits<double>::infinity();
+
+  Scored best;
+  bool first = true;
   for (const SsmmConfig& candidate : EnumerateSsmmConfigs(device, format)) {
-    const double ms =
-        model.Estimate(SamoyedsKernel::Analyze(shape, selected, format, candidate, device).traffic)
-            .total_ms;
-    if (ms < result.simulated_ms) {
-      result.simulated_ms = ms;
+    const Scored s = ScoreConfig(model, shape, sel_eff, format, candidate);
+    // Lexicographic: an LLC-resident working set beats any spilling one; a
+    // config that spills is never picked while a fitting candidate exists.
+    const bool better = first || (s.fits_llc && !best.fits_llc) ||
+                        (s.fits_llc == best.fits_llc && s.cost_ms < best.cost_ms);
+    if (better) {
+      best = s;
       result.config = candidate;
+      first = false;
     }
   }
+  result.simulated_ms = best.simulated_ms;
+  result.working_set_bytes = best.working_set_bytes;
+  result.fits_llc = best.fits_llc;
+  result.residency_ms = best.residency_ms;
   return result;
+}
+
+AutotuneResult AutotuneSsmm(const GemmShape& shape, int64_t selected,
+                            const SamoyedsConfig& format, const DeviceSpec& device) {
+  return AutotuneSsmm(shape, selected, format, device, KernelBackend::kScalar);
 }
 
 }  // namespace samoyeds

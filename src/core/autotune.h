@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "src/core/kernel_backend.h"
 #include "src/core/ssmm_config.h"
 #include "src/formats/samoyeds_format.h"
 #include "src/kernels/kernel_report.h"
@@ -24,6 +25,22 @@ struct AutotuneResult {
   // Simulated time of the default configuration, for speedup reporting.
   double default_ms = 0.0;
 
+  // -- Cache model (see SsmmActiveWorkingSetBytes) --------------------------
+  // Modeled active working set of the chosen config — the per-block staged
+  // panels plus output tile, times the blocks concurrently resident — and
+  // whether it fits the device's LLC. The tuner prefers LLC-resident
+  // configs lexicographically: a config whose working set spills is never
+  // chosen while a fitting candidate exists.
+  double working_set_bytes = 0.0;
+  bool fits_llc = true;
+  // Modeled cost of serving the config's repeat traffic from the level the
+  // working set resides in (TimingModel::ResidencyMs); part of the ranking
+  // objective, reported for provenance.
+  double residency_ms = 0.0;
+  // Backend the search was run for (lane padding makes it shape the
+  // ranking; it is also part of the serving engine's memo key).
+  KernelBackend backend = KernelBackend::kScalar;
+
   double speedup_over_default() const {
     return simulated_ms > 0.0 ? default_ms / simulated_ms : 0.0;
   }
@@ -35,7 +52,26 @@ struct AutotuneResult {
 std::vector<SsmmConfig> EnumerateSsmmConfigs(const DeviceSpec& device,
                                              const SamoyedsConfig& format);
 
-// Exhaustive search over EnumerateSsmmConfigs under the timing model.
+// Modeled active working set of one tile configuration at a given problem
+// shape: the multi-stage packed-A and gathered-B panels plus the fp32
+// output tile per thread block, times the number of blocks concurrently
+// resident on the device (capped by the grid). This is the footprint the
+// LLC must hold for the config's repeat traffic to be cache-served.
+double SsmmActiveWorkingSetBytes(const GemmShape& shape, int64_t selected,
+                                 const SamoyedsConfig& format, const SsmmConfig& cfg,
+                                 const DeviceSpec& device);
+
+// Exhaustive search over EnumerateSsmmConfigs under the timing model plus
+// the cache-residency term. `backend` shapes the search two ways: SEL
+// widths are padded to the backend's vector width (tail lanes are occupied
+// but wasted, so wider backends see wider effective tiles), and the result
+// is stamped with the backend so memo caches can key on it. Configs whose
+// modeled working set fits the LLC are preferred lexicographically over
+// ones that spill; ties rank by simulated time + residency cost.
+AutotuneResult AutotuneSsmm(const GemmShape& shape, int64_t selected,
+                            const SamoyedsConfig& format, const DeviceSpec& device,
+                            KernelBackend backend);
+// Back-compat overload: scalar backend.
 AutotuneResult AutotuneSsmm(const GemmShape& shape, int64_t selected,
                             const SamoyedsConfig& format, const DeviceSpec& device);
 

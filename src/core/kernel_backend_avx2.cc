@@ -1,0 +1,80 @@
+// AVX2+FMA variant of the SSMM panel-group kernel. Compiled with
+// -mavx2 -mfma on x86 builds (see CMakeLists); on other targets this unit
+// compiles to a stub and the dispatcher reports the backend as absent.
+//
+// Vectorization is across the panel-column (token) dimension: each output
+// element still accumulates its packed entries in exactly the scalar order,
+// but through fused multiply-adds (products are not rounded before the
+// add), so the backend is ULP-gated against an fp64 reference rather than
+// bit-gated against RunReference. The scalar tail uses std::fmaf so every
+// lane of this backend — vector or remainder — obeys the same fused
+// contract.
+
+#include "src/core/kernel_backend.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <cmath>
+
+namespace samoyeds {
+
+extern const bool kPanelKernelAvx2Compiled = true;
+
+void PanelKernelAvx2(const PanelGroupTask& t) {
+  const int64_t n_out = t.n_out;
+  for (int64_t g = 0; g < t.n_groups; ++g) {
+    const int64_t begin = t.a_off[g];
+    const int64_t end = t.a_off[g + 1];
+    if (begin == end) {
+      continue;  // all-zero group contributes an exact +0
+    }
+    float* const orow = t.out + static_cast<int64_t>(t.group_rows[g]) * n_out;
+    int64_t j = 0;
+    // Two 8-lane accumulators per pass amortize the per-entry broadcast and
+    // column load across 16 output columns.
+    for (; j + 16 <= n_out; j += 16) {
+      __m256 acc0 = _mm256_setzero_ps();
+      __m256 acc1 = _mm256_setzero_ps();
+      for (int64_t e = begin; e < end; ++e) {
+        const __m256 av = _mm256_set1_ps(t.a_vals[e]);
+        const float* brow = t.panel + static_cast<int64_t>(t.a_cols[e]) * n_out + j;
+        acc0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow), acc0);
+        acc1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow + 8), acc1);
+      }
+      _mm256_storeu_ps(orow + j, _mm256_add_ps(_mm256_loadu_ps(orow + j), acc0));
+      _mm256_storeu_ps(orow + j + 8, _mm256_add_ps(_mm256_loadu_ps(orow + j + 8), acc1));
+    }
+    for (; j + 8 <= n_out; j += 8) {
+      __m256 acc = _mm256_setzero_ps();
+      for (int64_t e = begin; e < end; ++e) {
+        const float* brow = t.panel + static_cast<int64_t>(t.a_cols[e]) * n_out + j;
+        acc = _mm256_fmadd_ps(_mm256_set1_ps(t.a_vals[e]), _mm256_loadu_ps(brow), acc);
+      }
+      _mm256_storeu_ps(orow + j, _mm256_add_ps(_mm256_loadu_ps(orow + j), acc));
+    }
+    for (; j < n_out; ++j) {
+      float acc = 0.0f;
+      for (int64_t e = begin; e < end; ++e) {
+        acc = std::fmaf(t.a_vals[e], t.panel[static_cast<int64_t>(t.a_cols[e]) * n_out + j],
+                        acc);
+      }
+      orow[j] += acc;
+    }
+  }
+}
+
+}  // namespace samoyeds
+
+#else  // !(__AVX2__ && __FMA__)
+
+namespace samoyeds {
+
+extern const bool kPanelKernelAvx2Compiled = false;
+
+void PanelKernelAvx2(const PanelGroupTask&) {}  // unreachable: dispatch guards
+
+}  // namespace samoyeds
+
+#endif

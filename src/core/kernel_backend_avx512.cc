@@ -1,0 +1,57 @@
+// AVX-512F variant of the SSMM panel-group kernel. Compiled with -mavx512f
+// on x86 builds (see CMakeLists); elsewhere this unit is a stub.
+//
+// Same accumulation contract as the AVX2 variant (fused multiply-adds,
+// scalar order per output element, ULP-gated against fp64). Ragged edges
+// are handled with opmask loads/stores, so the tail columns go through the
+// identical fused path as the full vectors.
+
+#include "src/core/kernel_backend.h"
+
+#if defined(__AVX512F__)
+
+#include <immintrin.h>
+
+namespace samoyeds {
+
+extern const bool kPanelKernelAvx512Compiled = true;
+
+void PanelKernelAvx512(const PanelGroupTask& t) {
+  const int64_t n_out = t.n_out;
+  for (int64_t g = 0; g < t.n_groups; ++g) {
+    const int64_t begin = t.a_off[g];
+    const int64_t end = t.a_off[g + 1];
+    if (begin == end) {
+      continue;  // all-zero group contributes an exact +0
+    }
+    float* const orow = t.out + static_cast<int64_t>(t.group_rows[g]) * n_out;
+    for (int64_t j = 0; j < n_out; j += 16) {
+      const int64_t remaining = n_out - j;
+      const __mmask16 mask =
+          remaining >= 16 ? static_cast<__mmask16>(0xFFFF)
+                          : static_cast<__mmask16>((1u << remaining) - 1u);
+      __m512 acc = _mm512_setzero_ps();
+      for (int64_t e = begin; e < end; ++e) {
+        const float* brow = t.panel + static_cast<int64_t>(t.a_cols[e]) * n_out + j;
+        acc = _mm512_fmadd_ps(_mm512_set1_ps(t.a_vals[e]),
+                              _mm512_maskz_loadu_ps(mask, brow), acc);
+      }
+      _mm512_mask_storeu_ps(orow + j, mask,
+                            _mm512_add_ps(_mm512_maskz_loadu_ps(mask, orow + j), acc));
+    }
+  }
+}
+
+}  // namespace samoyeds
+
+#else  // !__AVX512F__
+
+namespace samoyeds {
+
+extern const bool kPanelKernelAvx512Compiled = false;
+
+void PanelKernelAvx512(const PanelGroupTask&) {}  // unreachable: dispatch guards
+
+}  // namespace samoyeds
+
+#endif

@@ -213,14 +213,18 @@ namespace {
 // the order (and the zero-skip) of the fragment path's expanded iteration.
 // Zero-valued entries are dropped at pack time: MmaSp skips them, and a
 // rounded zero can never flip the sign of an fp32 partial that starts at +0.
+// Each group's output row (the C_IR shuffle target) is resolved here too,
+// so the inner loops — scalar or SIMD — never touch the indices matrix.
 void PackAInto(const SamoyedsMatrix& a, std::vector<float>& out_vals,
-               std::vector<int32_t>& out_cols, std::vector<int64_t>& out_off) {
+               std::vector<int32_t>& out_cols, std::vector<int64_t>& out_off,
+               std::vector<int32_t>& out_rows) {
   const int64_t c_rows = a.compressed_rows();
   const int64_t c_cols = a.compressed_cols();
   const int64_t n_windows = a.cols / a.config.v;
   const int64_t packed_per_window = a.config.v / 2;
 
   out_off.resize(static_cast<size_t>(n_windows * c_rows + 1));
+  out_rows.resize(static_cast<size_t>(n_windows * c_rows));
   out_vals.resize(static_cast<size_t>(c_rows * c_cols));  // nnz upper bound
   out_cols.resize(static_cast<size_t>(c_rows * c_cols));
   float* const vals = out_vals.data();
@@ -245,6 +249,8 @@ void PackAInto(const SamoyedsMatrix& a, std::vector<float>& out_vals,
         cols[cursor] = static_cast<int32_t>((pc / 2) * 4 + mrow[pc]);
         ++cursor;
       }
+      out_rows[static_cast<size_t>(group)] =
+          static_cast<int32_t>((cr / a.config.n) * a.config.m + a.indices(cr, w));
       out_off[static_cast<size_t>(++group)] = cursor;
     }
   }
@@ -253,13 +259,32 @@ void PackAInto(const SamoyedsMatrix& a, std::vector<float>& out_vals,
 // Window-major traversal, same as the fragment path: each (window, row)
 // group accumulates its fp32 partial over ascending columns, then folds
 // into the output row named by the per-window sub-row index — the C_IR
-// shuffle of §4.3, with identical floating-point association.
+// shuffle of §4.3, with identical floating-point association. SIMD backends
+// run the same group order through their ISA's panel kernel (see
+// kernel_backend.h for the per-backend accumulation contract); an
+// unavailable backend falls back to the scalar oracle loop.
 void RunPanelImpl(const SamoyedsMatrix& a, const float* a_vals, const int32_t* a_cols,
-                  const int64_t* a_off, const MatrixF& panel, SsmmWorkspace& ws,
-                  MatrixF& out) {
+                  const int64_t* a_off, const int32_t* a_rows, const MatrixF& panel,
+                  SsmmWorkspace& ws, MatrixF& out, KernelBackend backend) {
   const int64_t c_rows = a.compressed_rows();
   const int64_t n_out = panel.cols();
   const int64_t n_windows = a.cols / a.config.v;
+
+  if (backend != KernelBackend::kScalar) {
+    if (PanelKernelFn fn = GetPanelKernel(backend)) {
+      PanelGroupTask task;
+      task.a_vals = a_vals;
+      task.a_cols = a_cols;
+      task.a_off = a_off;
+      task.group_rows = a_rows;
+      task.n_groups = n_windows * c_rows;
+      task.panel = panel.data();
+      task.n_out = n_out;
+      task.out = out.data();
+      fn(task);
+      return;
+    }
+  }
 
   ws.partial.resize(static_cast<size_t>(n_out));
   float* const partial = ws.partial.data();
@@ -281,9 +306,7 @@ void RunPanelImpl(const SamoyedsMatrix& a, const float* a_vals, const int32_t* a
           partial[j] += av * brow[j];
         }
       }
-      const int64_t orig_row =
-          (cr / a.config.n) * a.config.m + a.indices(cr, w);
-      float* orow = out.data() + orig_row * n_out;
+      float* orow = out.data() + static_cast<int64_t>(a_rows[group]) * n_out;
       for (int64_t j = 0; j < n_out; ++j) {
         orow[j] += partial[j];
       }
@@ -294,11 +317,11 @@ void RunPanelImpl(const SamoyedsMatrix& a, const float* a_vals, const int32_t* a
 }  // namespace
 
 void SamoyedsKernel::PackWeights(const SamoyedsMatrix& a, SsmmPackedA& packed) {
-  PackAInto(a, packed.vals, packed.cols, packed.off);
+  PackAInto(a, packed.vals, packed.cols, packed.off, packed.rows);
 }
 
 void SamoyedsKernel::RunPanel(const SamoyedsMatrix& a, const MatrixF& panel, SsmmWorkspace& ws,
-                              MatrixF& out) {
+                              MatrixF& out, KernelBackend backend) {
   assert(a.cols == panel.rows());
   assert(a.config.v % kMmaK == 0 && "one mma.sp step must not straddle a sub-row window");
 
@@ -307,24 +330,29 @@ void SamoyedsKernel::RunPanel(const SamoyedsMatrix& a, const MatrixF& panel, Ssm
   if (panel.cols() == 0 || a.compressed_rows() == 0) {
     return;
   }
-  PackAInto(a, ws.a_vals, ws.a_cols, ws.a_off);
-  RunPanelImpl(a, ws.a_vals.data(), ws.a_cols.data(), ws.a_off.data(), panel, ws, out);
+  PackAInto(a, ws.a_vals, ws.a_cols, ws.a_off, ws.a_rows);
+  RunPanelImpl(a, ws.a_vals.data(), ws.a_cols.data(), ws.a_off.data(), ws.a_rows.data(),
+               panel, ws, out, backend);
 }
 
 void SamoyedsKernel::RunPanel(const SamoyedsMatrix& a, const SsmmPackedA& packed,
-                              const MatrixF& panel, SsmmWorkspace& ws, MatrixF& out) {
+                              const MatrixF& panel, SsmmWorkspace& ws, MatrixF& out,
+                              KernelBackend backend) {
   assert(a.cols == panel.rows());
   assert(a.config.v % kMmaK == 0 && "one mma.sp step must not straddle a sub-row window");
   assert(!packed.empty());
   assert(static_cast<int64_t>(packed.off.size()) ==
          (a.cols / a.config.v) * a.compressed_rows() + 1);
+  assert(static_cast<int64_t>(packed.rows.size()) ==
+         (a.cols / a.config.v) * a.compressed_rows());
 
   out.Reshape(a.rows, panel.cols());
   out.Fill(0.0f);
   if (panel.cols() == 0 || a.compressed_rows() == 0) {
     return;
   }
-  RunPanelImpl(a, packed.vals.data(), packed.cols.data(), packed.off.data(), panel, ws, out);
+  RunPanelImpl(a, packed.vals.data(), packed.cols.data(), packed.off.data(),
+               packed.rows.data(), panel, ws, out, backend);
 }
 
 void SamoyedsKernel::PackSelectedColumns(const MatrixF& b, const Selection& sel,
@@ -359,16 +387,17 @@ void SamoyedsKernel::PackSelectedTokens(const MatrixF& x, const Selection& sel,
 }
 
 void SamoyedsKernel::Run(const SamoyedsMatrix& a, const MatrixF& b, const Selection& sel,
-                         SsmmWorkspace& ws, MatrixF& out) {
+                         SsmmWorkspace& ws, MatrixF& out, KernelBackend backend) {
   assert(a.cols == b.rows());
   PackSelectedColumns(b, sel, ws.panel);
-  RunPanel(a, ws.panel, ws, out);
+  RunPanel(a, ws.panel, ws, out, backend);
 }
 
-MatrixF SamoyedsKernel::Run(const SamoyedsMatrix& a, const MatrixF& b, const Selection& sel) {
+MatrixF SamoyedsKernel::Run(const SamoyedsMatrix& a, const MatrixF& b, const Selection& sel,
+                            KernelBackend backend) {
   SsmmWorkspace ws;
   MatrixF out;
-  Run(a, b, sel, ws, out);
+  Run(a, b, sel, ws, out, backend);
   return out;
 }
 

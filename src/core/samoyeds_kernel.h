@@ -28,6 +28,7 @@
 #ifndef SAMOYEDS_SRC_CORE_SAMOYEDS_KERNEL_H_
 #define SAMOYEDS_SRC_CORE_SAMOYEDS_KERNEL_H_
 
+#include "src/core/kernel_backend.h"
 #include "src/core/ssmm_config.h"
 #include "src/core/ssmm_workspace.h"
 #include "src/formats/samoyeds_format.h"
@@ -47,7 +48,8 @@ namespace samoyeds {
 struct SsmmPackedA {
   std::vector<float> vals;
   std::vector<int32_t> cols;
-  std::vector<int64_t> off;  // group start offsets, n_windows * c_rows + 1
+  std::vector<int64_t> off;   // group start offsets, n_windows * c_rows + 1
+  std::vector<int32_t> rows;  // output row per group (the C_IR shuffle target)
 
   bool empty() const { return off.empty(); }
 };
@@ -67,13 +69,20 @@ class SamoyedsKernel {
   // (rows() x sel.selected()); use ScatterColumns for the full-width layout.
   // Requires format.v % 32 == 0 (one mma.sp step never straddles a sub-row
   // window).
-  static MatrixF Run(const SamoyedsMatrix& a, const MatrixF& b, const Selection& sel);
+  //
+  // Every execution entry point takes a KernelBackend selecting the inner-
+  // loop implementation (default: the process-wide active backend, itself
+  // defaulting to the bit-exact scalar path — see kernel_backend.h for the
+  // per-backend accumulation contract).
+  static MatrixF Run(const SamoyedsMatrix& a, const MatrixF& b, const Selection& sel,
+                     KernelBackend backend = ActiveKernelBackend());
 
   // Zero-allocation variant: stages operands in `ws` and writes the result
   // into `out` (reshaped in place). Steady-state calls at a fixed shape do
   // not touch the heap.
   static void Run(const SamoyedsMatrix& a, const MatrixF& b, const Selection& sel,
-                  SsmmWorkspace& ws, MatrixF& out);
+                  SsmmWorkspace& ws, MatrixF& out,
+                  KernelBackend backend = ActiveKernelBackend());
 
   // The original scalar fragment-by-fragment loop, kept as the bit-exact
   // oracle for the optimized path (see SamoyedsKernelBitIdentityTest).
@@ -91,9 +100,10 @@ class SamoyedsKernel {
   // prebuilt pack (the steady-state serving path — weights are immutable,
   // so experts pack once at Encode time).
   static void RunPanel(const SamoyedsMatrix& a, const MatrixF& panel, SsmmWorkspace& ws,
-                       MatrixF& out);
+                       MatrixF& out, KernelBackend backend = ActiveKernelBackend());
   static void RunPanel(const SamoyedsMatrix& a, const SsmmPackedA& packed,
-                       const MatrixF& panel, SsmmWorkspace& ws, MatrixF& out);
+                       const MatrixF& panel, SsmmWorkspace& ws, MatrixF& out,
+                       KernelBackend backend = ActiveKernelBackend());
 
   // Panel staging helpers (the fused transpose + SEL gather + rounding).
   // PackSelectedColumns: panel(k, j) = bf16(b(k, sel[j])) from a (k x n) B.

@@ -25,7 +25,8 @@ struct SsmmWorkspace {
   // ascending column order (the order the SpTC reference accumulates in).
   std::vector<float> a_vals;
   std::vector<int32_t> a_cols;
-  std::vector<int64_t> a_off;  // group start offsets, n_windows * c_rows + 1
+  std::vector<int64_t> a_off;   // group start offsets, n_windows * c_rows + 1
+  std::vector<int32_t> a_rows;  // output row per group (C_IR shuffle target)
   // Per-window accumulator row (the register-resident C fragment analogue).
   std::vector<float> partial;
 

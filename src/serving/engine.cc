@@ -100,6 +100,10 @@ ServingEngine::ServingEngine(std::vector<SamoyedsDecoderLayerWeights> layers,
   for (size_t s = 0; s < live_shards_.size(); ++s) {
     live_shards_[s] = static_cast<int>(s);
   }
+  // Install the SSMM inner-loop backend process-wide: the expert forward
+  // chain picks it up through RunPanel's default backend argument.
+  // SetKernelBackend resolves kAuto and applies SAMOYEDS_FORCE_BACKEND.
+  effective_backend_ = SetKernelBackend(config_.kernel_backend);
   injector_.Configure(config_.faults, config_.fault_seed);
   // Prefix sharing relies on per-row outputs being independent of batch
   // composition; expert-choice routing breaks that, so the cache is silently
@@ -777,13 +781,15 @@ SsmmConfig ServingEngine::ResolveTileConfig(const SamoyedsMoeLayerWeights& moe,
   // tile efficiency is the hottest expert's token count.
   const SamoyedsMatrix& gate = moe.experts.front().gate;
   const int64_t selected = std::max<int64_t>(1, plan.MaxTokensPerExpert());
-  const std::array<int64_t, 4> key{gate.rows, gate.cols, plan.tokens, selected};
+  const std::array<int64_t, 5> key{gate.rows, gate.cols, plan.tokens, selected,
+                                   static_cast<int64_t>(effective_backend_)};
   auto it = autotune_cache_.find(key);
   const bool cache_hit = it != autotune_cache_.end();
   if (!cache_hit) {
     const GemmShape shape{gate.rows, gate.cols, plan.tokens};
     it = autotune_cache_
-             .emplace(key, AutotuneSsmm(shape, selected, gate.config, DefaultDevice()))
+             .emplace(key, AutotuneSsmm(shape, selected, gate.config, DefaultDevice(),
+                                        effective_backend_))
              .first;
   }
   metrics_.OnAutotune(it->second.default_ms, it->second.simulated_ms, cache_hit);
@@ -1303,6 +1309,13 @@ ServingReport ServingEngine::Report() const {
   rep.provenance.prefix_cache = prefix_cache_ != nullptr ? 1 : 0;
   rep.provenance.swap = swap_enabled_ ? 1 : 0;
   rep.provenance.host_pages = config_.host_pages;
+  rep.provenance.kernel_backend = KernelBackendName(effective_backend_);
+  {
+    const DeviceSpec& dev = DefaultDevice();  // the autotuner's model target
+    rep.provenance.llc_bytes = dev.l2_bytes;
+    rep.provenance.llc_bandwidth_gbps = TimingModel(dev).LlcBandwidthBytesPerS() / 1e9;
+    rep.provenance.dram_bandwidth_gbps = dev.dram_bandwidth_gbps;
+  }
   rep.injected_faults = injector_.total_fires();
   rep.fault_retries = fault_retries_total_;
   rep.fault_backoff_ms = fault_backoff_ms_total_;

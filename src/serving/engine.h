@@ -146,6 +146,14 @@ struct EngineConfig {
   // the obs flight-recorder ring.
   int64_t watchdog_steps = 0;
   std::function<void(int64_t /*session_id*/, int64_t /*step*/)> watchdog_hook;
+  // SSMM inner-loop backend for every expert projection this engine runs
+  // (see kernel_backend.h for the per-backend accumulation contract).
+  // Installed process-wide at engine construction; kAuto resolves to the
+  // widest ISA the CPU supports, and an unsupported specific request falls
+  // back to scalar (the CLI rejects it before getting here). The default,
+  // scalar, is the bit-exact oracle path every serving bit-identity
+  // invariant is stated against.
+  KernelBackend kernel_backend = KernelBackend::kScalar;
   SchedulerConfig scheduler;
 };
 
@@ -423,9 +431,12 @@ class ServingEngine {
   ParallelMoeWorkspace moe_ws_;
   MatrixF moe_out_;
   // Tuned SSMM config per (expert rows, expert cols, batch rows, max tokens
-  // per expert) — the expert shape participates so heterogeneous layers
-  // never share entries.
-  std::map<std::array<int64_t, 4>, AutotuneResult> autotune_cache_;
+  // per expert, kernel backend) — the expert shape participates so
+  // heterogeneous layers never share entries, and the backend participates
+  // because lane padding gives each backend its own tile ranking.
+  std::map<std::array<int64_t, 5>, AutotuneResult> autotune_cache_;
+  // The backend actually installed (kAuto resolved, fallbacks applied).
+  KernelBackend effective_backend_ = KernelBackend::kScalar;
 
   // A swapped-out victim's host-side shadow: the rows it had produced and
   // how many input rows those cover. Restored (and erased) at readmission;

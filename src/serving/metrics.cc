@@ -346,6 +346,12 @@ void AppendConfigField(std::string& out, const char* key, int64_t value, bool la
   out += buf;
 }
 
+void AppendConfigField(std::string& out, const char* key, double value, bool last = false) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "    \"%s\": %.6g%s\n", key, value, last ? "" : ",");
+  out += buf;
+}
+
 }  // namespace
 
 std::string ServingReport::ToJson() const {
@@ -366,7 +372,11 @@ std::string ServingReport::ToJson() const {
   AppendConfigField(out, "max_pages", provenance.max_pages);
   AppendConfigField(out, "prefix_cache", provenance.prefix_cache);
   AppendConfigField(out, "swap", provenance.swap);
-  AppendConfigField(out, "host_pages", provenance.host_pages, /*last=*/true);
+  AppendConfigField(out, "host_pages", provenance.host_pages);
+  AppendConfigField(out, "kernel_backend", provenance.kernel_backend);
+  AppendConfigField(out, "llc_bytes", provenance.llc_bytes);
+  AppendConfigField(out, "llc_bandwidth_gbps", provenance.llc_bandwidth_gbps);
+  AppendConfigField(out, "dram_bandwidth_gbps", provenance.dram_bandwidth_gbps, /*last=*/true);
   out += "  },\n";
   AppendField(out, "requests_finished", requests_finished);
   AppendField(out, "requests_rejected", requests_rejected);

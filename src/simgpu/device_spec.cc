@@ -17,6 +17,9 @@ DeviceSpec MakeRtx4070Super() {
   d.l2_bytes = 48 * kMiB;
   d.dram_bandwidth_gbps = 504.0;
   d.dram_capacity_bytes = 12 * kGiB;
+  d.llc_bandwidth_gbps = 10.0 * d.dram_bandwidth_gbps;  // kL2BandwidthRatio, kept exact
+  d.llc_latency_us = 0.25;
+  d.dram_latency_us = 0.47;
   d.tc_dense_tflops = 92.0;
   d.sparse_alu_speedup = 2.0;
   d.simd_tflops = 35.5;
@@ -38,6 +41,9 @@ DeviceSpec MakeRtx3090() {
   d.l2_bytes = 6 * kMiB;
   d.dram_bandwidth_gbps = 936.0;
   d.dram_capacity_bytes = 24 * kGiB;
+  d.llc_bandwidth_gbps = 10.0 * d.dram_bandwidth_gbps;  // kL2BandwidthRatio, kept exact
+  d.llc_latency_us = 0.25;
+  d.dram_latency_us = 0.47;
   d.tc_dense_tflops = 71.0;  // slower tensor cores than Ada (§6.6)
   d.sparse_alu_speedup = 2.0;
   d.simd_tflops = 35.6;
@@ -59,6 +65,9 @@ DeviceSpec MakeRtx3070() {
   d.l2_bytes = 4 * kMiB;
   d.dram_bandwidth_gbps = 448.0;
   d.dram_capacity_bytes = 8 * kGiB;
+  d.llc_bandwidth_gbps = 10.0 * d.dram_bandwidth_gbps;  // kL2BandwidthRatio, kept exact
+  d.llc_latency_us = 0.25;
+  d.dram_latency_us = 0.47;
   d.tc_dense_tflops = 40.0;
   d.sparse_alu_speedup = 2.0;
   d.simd_tflops = 20.3;
@@ -80,6 +89,9 @@ DeviceSpec MakeRtx4090() {
   d.l2_bytes = 72 * kMiB;
   d.dram_bandwidth_gbps = 1008.0;
   d.dram_capacity_bytes = 24 * kGiB;
+  d.llc_bandwidth_gbps = 10.0 * d.dram_bandwidth_gbps;  // kL2BandwidthRatio, kept exact
+  d.llc_latency_us = 0.25;
+  d.dram_latency_us = 0.47;
   d.tc_dense_tflops = 165.0;
   d.sparse_alu_speedup = 2.0;
   d.simd_tflops = 82.6;
@@ -101,6 +113,9 @@ DeviceSpec MakeA100_40G() {
   d.l2_bytes = 40 * kMiB;  // smaller L2 than the 4070S (Table 6)
   d.dram_bandwidth_gbps = 1555.0;
   d.dram_capacity_bytes = 40 * kGiB;
+  d.llc_bandwidth_gbps = 10.0 * d.dram_bandwidth_gbps;  // kL2BandwidthRatio, kept exact
+  d.llc_latency_us = 0.2;
+  d.dram_latency_us = 0.4;
   d.tc_dense_tflops = 312.0;
   d.sparse_alu_speedup = 2.0;
   d.simd_tflops = 19.5;
@@ -122,6 +137,9 @@ DeviceSpec MakeH100() {
   d.l2_bytes = 50 * kMiB;
   d.dram_bandwidth_gbps = 3350.0;
   d.dram_capacity_bytes = 80 * kGiB;
+  d.llc_bandwidth_gbps = 10.0 * d.dram_bandwidth_gbps;  // kL2BandwidthRatio, kept exact
+  d.llc_latency_us = 0.18;
+  d.dram_latency_us = 0.35;
   d.tc_dense_tflops = 756.0;
   d.sparse_alu_speedup = 2.0;
   d.simd_tflops = 67.0;

@@ -30,6 +30,19 @@ struct DeviceSpec {
   int64_t l2_bytes = 0;
   double dram_bandwidth_gbps = 0.0;       // GB/s
   int64_t dram_capacity_bytes = 0;
+
+  // -- Explicit memory hierarchy (LLC + DRAM levels) ------------------------
+  // The last-level cache (the device L2; `l2_bytes` is its capacity) as a
+  // bandwidth/latency level of its own, consumed by the timing model's
+  // repeat-traffic roofline and the cache-aware autotuner's residency term.
+  // llc_bandwidth_gbps == 0 falls back to the historical
+  // TimingModel::kL2BandwidthRatio multiple of DRAM bandwidth (every
+  // built-in device sets it to exactly that multiple, so Estimate output is
+  // unchanged; custom specs can diverge). Latencies are fixed per-pass
+  // charges for the residency model only — they do not feed Estimate.
+  double llc_bandwidth_gbps = 0.0;
+  double llc_latency_us = 0.0;
+  double dram_latency_us = 0.0;
   double tc_dense_tflops = 0.0;           // bf16 FMA on tensor cores, fp32 acc
   double sparse_alu_speedup = 2.0;        // SpTC peak vs dense TC (1.0 = none)
   double simd_tflops = 0.0;               // fp32 CUDA-core throughput

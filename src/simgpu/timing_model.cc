@@ -6,10 +6,7 @@
 
 namespace samoyeds {
 
-namespace {
-
-// Resident blocks per SM given the block's resource appetite.
-int BlocksPerSm(const DeviceSpec& d, const TrafficReport& r) {
+int TimingModel::ResidentBlocksPerSm(const DeviceSpec& d, const TrafficReport& r) {
   int blocks = d.max_blocks_per_sm;
   if (r.smem_bytes_per_block > 0) {
     blocks = std::min<int64_t>(blocks, d.smem_per_sm_bytes / std::max<int64_t>(1, r.smem_bytes_per_block));
@@ -23,7 +20,33 @@ int BlocksPerSm(const DeviceSpec& d, const TrafficReport& r) {
   return std::max(1, blocks);
 }
 
+namespace {
+
+// Resident blocks per SM given the block's resource appetite.
+int BlocksPerSm(const DeviceSpec& d, const TrafficReport& r) {
+  return TimingModel::ResidentBlocksPerSm(d, r);
+}
+
 }  // namespace
+
+double TimingModel::LlcBandwidthBytesPerS() const {
+  const double gbps = device_.llc_bandwidth_gbps > 0.0
+                          ? device_.llc_bandwidth_gbps
+                          : device_.dram_bandwidth_gbps * kL2BandwidthRatio;
+  return gbps * 1e9;
+}
+
+double TimingModel::MemoryLevelMs(double bytes, bool from_llc) const {
+  if (bytes <= 0.0) {
+    return 0.0;
+  }
+  const double bw = from_llc ? LlcBandwidthBytesPerS() : device_.dram_bandwidth_gbps * 1e9;
+  const double latency_us = from_llc ? device_.llc_latency_us : device_.dram_latency_us;
+  if (bw <= 0.0) {
+    return 0.0;
+  }
+  return latency_us * 1e-3 + bytes / bw * 1e3;
+}
 
 TimingEstimate TimingModel::Estimate(const TrafficReport& r) const {
   TimingEstimate e;
@@ -84,7 +107,7 @@ TimingEstimate TimingModel::Estimate(const TrafficReport& r) const {
       l2_traffic,
       std::max(unique + (l2_traffic - unique) * (1.0 - l2_hit), r.gmem_write_bytes));
   const double dram_bw = d.dram_bandwidth_gbps * 1e9 * mlp_eff;
-  const double l2_bw = d.dram_bandwidth_gbps * kL2BandwidthRatio * 1e9 * mlp_eff;
+  const double l2_bw = LlcBandwidthBytesPerS() * mlp_eff;
   const double t_dram = std::max(dram_traffic / dram_bw, l2_traffic / l2_bw);
 
   // ---- Shared memory ------------------------------------------------------

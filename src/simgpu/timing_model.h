@@ -39,6 +39,38 @@ class TimingModel {
 
   TimingEstimate Estimate(const TrafficReport& report) const;
 
+  // ---- Explicit memory hierarchy (LLC + DRAM levels) ----------------------
+  // The device's last-level-cache bandwidth in bytes/s: the explicit
+  // DeviceSpec::llc_bandwidth_gbps when set, else the historical
+  // kL2BandwidthRatio multiple of DRAM bandwidth (identical for every
+  // built-in device, so Estimate's numbers do not move).
+  double LlcBandwidthBytesPerS() const;
+
+  // Whether a modeled working set is resident in the LLC.
+  bool FitsLlc(double working_set_bytes) const {
+    return working_set_bytes <= static_cast<double>(device_.l2_bytes);
+  }
+
+  // Time to serve `bytes` from one level of the hierarchy: the level's fixed
+  // access latency plus serialization at its bandwidth. `from_llc` selects
+  // the LLC level; otherwise DRAM.
+  double MemoryLevelMs(double bytes, bool from_llc) const;
+
+  // Residency cost of a tile configuration: `repeat_bytes` (traffic beyond
+  // the compulsory footprint — the re-reads of A panels across column tiles
+  // and B panels across row tiles) is served by the LLC when
+  // `working_set_bytes` fits it, and spills to DRAM when it does not. This
+  // is the term the cache-aware autotuner ranks tile configs by; it is
+  // intentionally *not* part of Estimate (whose L2-hit model covers the
+  // average case) so existing simulated timings are unchanged.
+  double ResidencyMs(double working_set_bytes, double repeat_bytes) const {
+    return MemoryLevelMs(repeat_bytes, FitsLlc(working_set_bytes));
+  }
+
+  // Resident blocks per SM given a block's resource appetite (SMEM, warps,
+  // registers). Exposed for the autotuner's active-working-set model.
+  static int ResidentBlocksPerSm(const DeviceSpec& device, const TrafficReport& report);
+
   // Simulated throughput in TFLOP/s given the *useful* (dense-equivalent)
   // work of the operation; this is how the paper reports Fig. 12/13.
   double ThroughputTflops(double useful_flops, const TrafficReport& report) const;

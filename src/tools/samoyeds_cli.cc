@@ -55,6 +55,7 @@ void PrintUsage(std::FILE* out) {
       "        [--faults=SPEC] [--fault-seed=N] [--fault-retries=N]\n"
       "        [--deadline-steps=N] [--ingress-cap=N]\n"
       "        [--watchdog-steps=N] [--watchdog-dump=FILE]\n"
+      "        [--kernel-backend=auto|scalar|avx2|avx512|neon]\n"
       "        --chunk-tokens=N serves prompts longer than the token budget by\n"
       "        splitting prefill into <=N-row chunks interleaved with decode rows\n"
       "        (outputs bit-identical to one-shot prefill; 0 = off);\n"
@@ -97,7 +98,12 @@ void PrintUsage(std::FILE* out) {
       "        ingress queue, shedding the lowest-priority entry on overflow;\n"
       "        --watchdog-steps=K trips a liveness watchdog when a session makes\n"
       "        no progress for K steps, dumping the flight-recorder ring to\n"
-      "        --watchdog-dump=FILE\n"
+      "        --watchdog-dump=FILE;\n"
+      "        --kernel-backend selects the SSMM inner-loop implementation\n"
+      "        (scalar is the bit-exact oracle and the default; avx2/avx512/neon\n"
+      "        use runtime-dispatched FMA loops, ULP-bounded vs an fp64 oracle;\n"
+      "        auto picks the widest ISA this CPU supports; requesting an ISA the\n"
+      "        CPU lacks is a runtime failure)\n"
       "\n"
       "exit codes: 0 success; 1 runtime failure (output write failed, engine\n"
       "left undrained); 2 usage error (unknown command/flag or bad value)\n",
@@ -328,6 +334,7 @@ struct ServeOptions {
   int64_t ingress_cap = 0;      // bounded ingress queue (0 = unbounded)
   int64_t watchdog_steps = 0;   // liveness watchdog (0 = off)
   std::string watchdog_dump;    // flight-recorder dump target on a trip
+  KernelBackend kernel_backend = KernelBackend::kScalar;  // SSMM inner loops
 };
 
 bool ParseServeFlag(const std::string& arg, ServeOptions& opt) {
@@ -501,6 +508,13 @@ bool ParseServeFlag(const std::string& arg, ServeOptions& opt) {
     }
   } else if (key == "--watchdog-dump") {
     opt.watchdog_dump = value;
+  } else if (key == "--kernel-backend") {
+    if (!ParseKernelBackend(value, &opt.kernel_backend)) {
+      std::fprintf(stderr,
+                   "bad value for --kernel-backend: %s (auto | scalar | avx2 | avx512 | neon)\n",
+                   value);
+      std::exit(2);
+    }
   } else {
     std::fprintf(stderr, "unknown serve flag: %s\n", key.c_str());
     std::exit(2);
@@ -596,6 +610,14 @@ int CmdServe(int argc, char** argv) {
                  "need 1 <= prompt-min <= prompt-max and 0 <= decode-min <= decode-max\n");
     return 2;
   }
+  // Flag value was well-formed (parse errors already exited 2); a backend
+  // this machine cannot run is a runtime failure, not a usage error.
+  KernelBackend resolved_backend = KernelBackend::kScalar;
+  if (!ResolveKernelBackend(opt.kernel_backend, &resolved_backend)) {
+    std::fprintf(stderr, "kernel-backend %s is not runnable on this CPU\n",
+                 KernelBackendName(opt.kernel_backend));
+    return 1;
+  }
 
   MoeModelConfig cfg;
   cfg.name = opt.model;
@@ -673,6 +695,7 @@ int CmdServe(int argc, char** argv) {
   engine_cfg.fault_retry_limit = opt.fault_retries;
   engine_cfg.ingress_capacity = opt.ingress_cap;
   engine_cfg.watchdog_steps = opt.watchdog_steps;
+  engine_cfg.kernel_backend = resolved_backend;
   // On a liveness trip, dump the flight-recorder ring: the most recent
   // events per thread leading up to the stall, ready for Perfetto.
   const std::string watchdog_dump = opt.watchdog_dump;
@@ -702,6 +725,10 @@ int CmdServe(int argc, char** argv) {
                 static_cast<long long>(opt.chunk_tokens));
   }
   std::printf("routing: %s\n", serving::RoutingAlgoName(opt.routing));
+  std::printf("kernel backend: %s (%s)\n", KernelBackendName(resolved_backend),
+              resolved_backend == KernelBackend::kScalar
+                  ? "bit-exact scalar oracle"
+                  : "FMA SIMD, ULP-bounded vs fp64 oracle");
   if (opt.shards > 1) {
     const DeviceSpec& dev = engine.cluster().device(0);
     std::printf("sharding: %d shards, %s placement, link %.0f GB/s + %.1f us (%s)\n",

@@ -88,6 +88,32 @@ TEST(CliTest, UsageErrorsExitTwoAndNameTheOffendingFlag) {
       << unknown_cmd.output;
 }
 
+TEST(CliTest, KernelBackendFlagIsStrictlyParsed) {
+  REQUIRE_CLI();
+
+  const CliResult bad = RunCli("serve tiny synthetic:2 --kernel-backend=bogus");
+  EXPECT_EQ(bad.exit_code, 2) << bad.output;
+  EXPECT_NE(bad.output.find("--kernel-backend"), std::string::npos) << bad.output;
+
+  // Case-sensitive on purpose: "AVX2" is not a backend name.
+  const CliResult bad_case = RunCli("serve tiny synthetic:2 --kernel-backend=AVX2");
+  EXPECT_EQ(bad_case.exit_code, 2) << bad_case.output;
+
+  // scalar and auto are runnable everywhere; the run must succeed and the
+  // report provenance must name the backend that actually executed.
+  const CliResult scalar =
+      RunCli("serve tiny synthetic:2 --rate=2 --budget=16 --kernel-backend=scalar");
+  EXPECT_EQ(scalar.exit_code, 0) << scalar.output;
+  EXPECT_NE(scalar.output.find("kernel backend: scalar"), std::string::npos)
+      << scalar.output;
+
+  const CliResult auto_backend =
+      RunCli("serve tiny synthetic:2 --rate=2 --budget=16 --kernel-backend=auto");
+  EXPECT_EQ(auto_backend.exit_code, 0) << auto_backend.output;
+  EXPECT_NE(auto_backend.output.find("kernel backend: "), std::string::npos)
+      << auto_backend.output;
+}
+
 TEST(CliTest, RuntimeFailuresExitOneNotTwo) {
   REQUIRE_CLI();
   // The flags are all valid; the filesystem is not. Exit 1, not 2.

@@ -1,0 +1,391 @@
+// Kernel backend dispatch and equivalence: cpuid-consistent feature
+// detection, flag parsing, randomized SIMD-vs-reference agreement across
+// formats and ragged shapes, the cache-aware autotuner's LLC-fitting
+// preference, and the engine-level guarantee that switching backends does
+// not change serving behavior.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/core/autotune.h"
+#include "src/core/kernel_backend.h"
+#include "src/core/samoyeds_kernel.h"
+#include "src/core/ssmm_workspace.h"
+#include "src/moe/decoder_layer.h"
+#include "src/serving/engine.h"
+#include "src/serving/trace.h"
+#include "src/simgpu/device_spec.h"
+#include "src/tensor/gemm_ref.h"
+#include "src/tensor/rng.h"
+#include "tests/test_util.h"
+
+namespace samoyeds {
+namespace {
+
+// Ordered-int ULP distance between two finite floats (0 when bit-equal).
+int64_t UlpDistance(float a, float b) {
+  if (a == b) {
+    return 0;
+  }
+  int32_t ia;
+  int32_t ib;
+  std::memcpy(&ia, &a, sizeof(ia));
+  std::memcpy(&ib, &b, sizeof(ib));
+  if (ia < 0) {
+    ia = std::numeric_limits<int32_t>::min() - ia;
+  }
+  if (ib < 0) {
+    ib = std::numeric_limits<int32_t>::min() - ib;
+  }
+  const int64_t d = static_cast<int64_t>(ia) - static_cast<int64_t>(ib);
+  return d < 0 ? -d : d;
+}
+
+int64_t MaxUlp(const MatrixF& got, const MatrixF& want) {
+  EXPECT_EQ(got.rows(), want.rows());
+  EXPECT_EQ(got.cols(), want.cols());
+  int64_t max_ulp = 0;
+  for (int64_t r = 0; r < got.rows(); ++r) {
+    for (int64_t c = 0; c < got.cols(); ++c) {
+      max_ulp = std::max(max_ulp, UlpDistance(got(r, c), want(r, c)));
+    }
+  }
+  return max_ulp;
+}
+
+const KernelBackend kAllRunnable[] = {KernelBackend::kScalar, KernelBackend::kAvx2,
+                                      KernelBackend::kAvx512, KernelBackend::kNeon};
+
+// ---- Parsing ----------------------------------------------------------------
+
+TEST(KernelBackendTest, ParseRoundTripsEveryName) {
+  const KernelBackend all[] = {KernelBackend::kScalar, KernelBackend::kAvx2,
+                               KernelBackend::kAvx512, KernelBackend::kNeon,
+                               KernelBackend::kAuto};
+  for (KernelBackend b : all) {
+    KernelBackend parsed = KernelBackend::kAuto;
+    ASSERT_TRUE(ParseKernelBackend(KernelBackendName(b), &parsed))
+        << KernelBackendName(b);
+    EXPECT_EQ(parsed, b) << KernelBackendName(b);
+  }
+}
+
+TEST(KernelBackendTest, ParseRejectsGarbageAndLeavesOutUntouched) {
+  for (const char* bad : {"", "AVX2", "avx", "sse42", "scalar ", "auto2", "neon64"}) {
+    KernelBackend out = KernelBackend::kAvx512;  // sentinel
+    EXPECT_FALSE(ParseKernelBackend(bad, &out)) << "'" << bad << "'";
+    EXPECT_EQ(out, KernelBackend::kAvx512) << "'" << bad << "'";
+  }
+}
+
+// ---- Dispatch agrees with cpuid --------------------------------------------
+
+TEST(KernelBackendTest, SupportMatchesCpuFeatures) {
+  EXPECT_TRUE(KernelBackendSupported(KernelBackend::kScalar));
+  EXPECT_FALSE(KernelBackendSupported(KernelBackend::kAuto));
+  EXPECT_EQ(KernelBackendSupported(KernelBackend::kAvx2),
+            KernelBackendCompiled(KernelBackend::kAvx2) && CpuHasAvx2());
+  EXPECT_EQ(KernelBackendSupported(KernelBackend::kAvx512),
+            KernelBackendCompiled(KernelBackend::kAvx512) && CpuHasAvx512());
+  EXPECT_EQ(KernelBackendSupported(KernelBackend::kNeon),
+            KernelBackendCompiled(KernelBackend::kNeon) && CpuHasNeon());
+}
+
+TEST(KernelBackendTest, AutoResolvesToWidestSupportedBackend) {
+  KernelBackend expected = KernelBackend::kScalar;
+  if (KernelBackendSupported(KernelBackend::kNeon)) {
+    expected = KernelBackend::kNeon;
+  }
+  if (KernelBackendSupported(KernelBackend::kAvx2)) {
+    expected = KernelBackend::kAvx2;
+  }
+  if (KernelBackendSupported(KernelBackend::kAvx512)) {
+    expected = KernelBackend::kAvx512;
+  }
+  KernelBackend resolved = KernelBackend::kAuto;
+  ASSERT_TRUE(ResolveKernelBackend(KernelBackend::kAuto, &resolved));
+  EXPECT_EQ(resolved, expected);
+}
+
+TEST(KernelBackendTest, ResolveSpecificBackendMatchesSupport) {
+  for (KernelBackend b : kAllRunnable) {
+    KernelBackend resolved = KernelBackend::kAuto;
+    const bool ok = ResolveKernelBackend(b, &resolved);
+    EXPECT_EQ(ok, KernelBackendSupported(b)) << KernelBackendName(b);
+    if (ok) {
+      EXPECT_EQ(resolved, b) << KernelBackendName(b);
+    }
+  }
+}
+
+TEST(KernelBackendTest, PanelKernelPresenceMatchesCompilation) {
+  // Scalar and auto use the built-in loop, never a function pointer.
+  EXPECT_EQ(GetPanelKernel(KernelBackend::kScalar), nullptr);
+  EXPECT_EQ(GetPanelKernel(KernelBackend::kAuto), nullptr);
+  for (KernelBackend b :
+       {KernelBackend::kAvx2, KernelBackend::kAvx512, KernelBackend::kNeon}) {
+    EXPECT_EQ(GetPanelKernel(b) != nullptr, KernelBackendCompiled(b))
+        << KernelBackendName(b);
+  }
+}
+
+TEST(KernelBackendTest, VectorWidthsFeedLanePadding) {
+  EXPECT_EQ(KernelBackendVectorWidth(KernelBackend::kScalar), 1);
+  EXPECT_EQ(KernelBackendVectorWidth(KernelBackend::kAvx2), 8);
+  EXPECT_EQ(KernelBackendVectorWidth(KernelBackend::kAvx512), 16);
+  EXPECT_EQ(KernelBackendVectorWidth(KernelBackend::kNeon), 4);
+}
+
+TEST(KernelBackendTest, SetInstallsProcessWideDefault) {
+  const KernelBackend prior = ActiveKernelBackend();
+  // SAMOYEDS_FORCE_BACKEND (the CI sanitizer pin) overrides Set requests,
+  // so assert only the Set/Active agreement, not the requested value.
+  const KernelBackend installed = SetKernelBackend(KernelBackend::kScalar);
+  EXPECT_TRUE(KernelBackendSupported(installed));
+  EXPECT_EQ(ActiveKernelBackend(), installed);
+  SetKernelBackend(prior);
+}
+
+// ---- Randomized backend-vs-reference equivalence ---------------------------
+
+TEST(KernelBackendEquivalenceTest, RandomizedBackendsMatchReference) {
+  Rng rng(911);
+  const SamoyedsConfig fmts[] = {{1, 2, 32}, {2, 4, 32}, {4, 8, 32},
+                                 {8, 16, 32}, {1, 2, 64}, {1, 4, 32}};
+  // One workspace reused across every backend and shape: stale packed data
+  // must never leak between dispatch paths.
+  SsmmWorkspace ws;
+  MatrixF out;
+  for (int trial = 0; trial < 48; ++trial) {
+    const SamoyedsConfig fmt = fmts[trial % 6];
+    const int64_t m = fmt.m * (1 + rng.NextIndex(12));
+    const int64_t k = fmt.v * (1 + rng.NextIndex(4));
+    // Ragged panel widths on purpose: n is rarely a multiple of any vector
+    // width, so the masked/peeled tails of every SIMD variant get hit.
+    const int64_t n = 1 + rng.NextIndex(40);
+    // Every third trial is a zero-token expert (empty selection).
+    const int64_t selected = (trial % 3 == 0) ? 0 : rng.NextIndex(n + 1);
+    // bf16-grid operands: bf16 x bf16 products are exact in fp32, so the
+    // fused multiply-adds of the SIMD paths introduce no rounding and all
+    // backends should land within a couple ULP of the scalar oracle.
+    const MatrixF w = RandomBf16Matrix(rng, m, k);
+    const MatrixF b = RandomBf16Matrix(rng, k, n);
+    const Selection sel = RandomSelection(rng, n, selected);
+    const SamoyedsMatrix enc = SamoyedsMatrix::Encode(w, fmt);
+
+    const MatrixF expect = SamoyedsKernel::RunReference(enc, b, sel);
+    for (KernelBackend backend : kAllRunnable) {
+      if (!KernelBackendSupported(backend)) {
+        continue;
+      }
+      SamoyedsKernel::Run(enc, b, sel, ws, out, backend);
+      if (backend == KernelBackend::kScalar) {
+        // Contract: the scalar backend is the bit-exact oracle.
+        ASSERT_TRUE(out == expect)
+            << "scalar diverged at trial " << trial << " (m=" << m << " k=" << k
+            << " n=" << n << " selected=" << selected << ")";
+      } else {
+        // Contract: SIMD backends are ULP-bounded, not bit-exact. The bound
+        // here is deliberately tight (bf16 operands make FMA exact); a real
+        // dispatch or tail bug lands thousands of ULPs out.
+        const int64_t ulp = MaxUlp(out, expect);
+        ASSERT_LE(ulp, 4) << KernelBackendName(backend) << " diverged at trial "
+                          << trial << " (m=" << m << " k=" << k << " n=" << n
+                          << " selected=" << selected << ")";
+      }
+      // Allocating overload takes the same dispatch path.
+      const MatrixF direct = SamoyedsKernel::Run(enc, b, sel, backend);
+      ASSERT_TRUE(direct == out)
+          << KernelBackendName(backend) << " allocating overload diverged at trial "
+          << trial;
+    }
+  }
+}
+
+TEST(KernelBackendEquivalenceTest, TinyTailWidthsAllBackends) {
+  // n_out in 1..3: narrower than every vector width, pure-tail execution.
+  Rng rng(913);
+  const SamoyedsConfig fmt{1, 2, 32};
+  const MatrixF w = RandomBf16Matrix(rng, 32, 64);
+  const SamoyedsMatrix enc = SamoyedsMatrix::Encode(w, fmt);
+  SsmmWorkspace ws;
+  MatrixF out;
+  for (int64_t n = 1; n <= 3; ++n) {
+    const MatrixF b = RandomBf16Matrix(rng, 64, n);
+    const Selection sel = Selection::All(n);
+    const MatrixF expect = SamoyedsKernel::RunReference(enc, b, sel);
+    for (KernelBackend backend : kAllRunnable) {
+      if (!KernelBackendSupported(backend)) {
+        continue;
+      }
+      SamoyedsKernel::Run(enc, b, sel, ws, out, backend);
+      EXPECT_LE(MaxUlp(out, expect), 4)
+          << KernelBackendName(backend) << " n_out=" << n;
+    }
+  }
+}
+
+// ---- Cache-aware autotuning -------------------------------------------------
+
+TEST(KernelBackendAutotuneTest, NeverPicksSpillingConfigWhenFitExists) {
+  const SamoyedsConfig fmt{1, 2, 32};
+  for (DeviceModel model : AllDeviceModels()) {
+    const DeviceSpec& dev = GetDevice(model);
+    for (const GemmShape shape :
+         {GemmShape{512, 1024, 256}, GemmShape{2048, 4096, 64}, GemmShape{128, 256, 16}}) {
+      const int64_t selected = shape.n / 2;
+      for (KernelBackend backend : {KernelBackend::kScalar, KernelBackend::kAvx512}) {
+        const AutotuneResult r = AutotuneSsmm(shape, selected, fmt, dev, backend);
+        EXPECT_GT(r.working_set_bytes, 0.0) << dev.name;
+        EXPECT_EQ(r.fits_llc, r.working_set_bytes <= static_cast<double>(dev.l2_bytes))
+            << dev.name;
+        // The acceptance property: if any legal config's modeled working set
+        // fits the LLC, the tuner must not return one that spills.
+        bool any_fits = false;
+        for (const SsmmConfig& cfg : EnumerateSsmmConfigs(dev, fmt)) {
+          any_fits = any_fits ||
+                     SsmmActiveWorkingSetBytes(shape, selected, fmt, cfg, dev) <=
+                         static_cast<double>(dev.l2_bytes);
+        }
+        if (any_fits) {
+          EXPECT_TRUE(r.fits_llc)
+              << dev.name << " backend=" << KernelBackendName(backend) << " m=" << shape.m;
+        }
+        EXPECT_EQ(r.backend, backend);
+        EXPECT_GE(r.residency_ms, 0.0);
+      }
+    }
+  }
+}
+
+TEST(KernelBackendAutotuneTest, BackCompatOverloadIsScalar) {
+  const GemmShape shape{512, 1024, 128};
+  const AutotuneResult r = AutotuneSsmm(shape, 64, SamoyedsConfig{1, 2, 32}, DefaultDevice());
+  EXPECT_EQ(r.backend, KernelBackend::kScalar);
+  const AutotuneResult explicit_scalar =
+      AutotuneSsmm(shape, 64, SamoyedsConfig{1, 2, 32}, DefaultDevice(),
+                   KernelBackend::kScalar);
+  EXPECT_EQ(r.config.mb, explicit_scalar.config.mb);
+  EXPECT_EQ(r.simulated_ms, explicit_scalar.simulated_ms);
+}
+
+// ---- Engine: backends do not change serving behavior ------------------------
+
+MoeModelConfig TinyConfig() {
+  MoeModelConfig cfg;
+  cfg.name = "tiny";
+  cfg.num_experts = 4;
+  cfg.hidden = 32;
+  cfg.intermediate = 64;
+  cfg.top_k = 2;
+  cfg.shared_experts = 0;
+  return cfg;
+}
+
+TEST(KernelBackendEngineTest, ScalarAndSimdServingAgree) {
+  if (std::getenv("SAMOYEDS_FORCE_BACKEND") != nullptr) {
+    // The force pin overrides EngineConfig-installed backends by design, so
+    // both engines here would run the same path and prove nothing.
+    GTEST_SKIP() << "SAMOYEDS_FORCE_BACKEND pins the engine's backend";
+  }
+  KernelBackend simd = KernelBackend::kScalar;
+  if (KernelBackendSupported(KernelBackend::kAvx512)) {
+    simd = KernelBackend::kAvx512;
+  } else if (KernelBackendSupported(KernelBackend::kAvx2)) {
+    simd = KernelBackend::kAvx2;
+  } else if (KernelBackendSupported(KernelBackend::kNeon)) {
+    simd = KernelBackend::kNeon;
+  }
+  if (simd == KernelBackend::kScalar) {
+    GTEST_SKIP() << "no SIMD backend runnable on this machine";
+  }
+  const KernelBackend prior = ActiveKernelBackend();
+
+  Rng seed_rng(77);
+  const MoeModelConfig cfg = TinyConfig();
+  std::vector<SamoyedsDecoderLayerWeights> sparse;
+  const SamoyedsConfig fmt{1, 2, 32};
+  for (int l = 0; l < 2; ++l) {
+    DecoderLayerWeights w = DecoderLayerWeights::Random(seed_rng, cfg);
+    sparse.push_back(SamoyedsDecoderLayerWeights::Encode(w, fmt));
+  }
+
+  // Identical workload against a scalar engine and a SIMD engine. The
+  // backend is process-global, so the engines run sequentially.
+  std::vector<std::vector<serving::RequestStatus>> statuses;
+  std::vector<MatrixF> outputs;
+  std::vector<std::string> provenance;
+  for (KernelBackend backend : {KernelBackend::kScalar, simd}) {
+    serving::EngineConfig engine_cfg;
+    engine_cfg.heads = 4;
+    engine_cfg.top_k = 2;
+    engine_cfg.threads = 2;
+    engine_cfg.scheduler.policy = serving::SchedulerPolicy::kTokenBudget;
+    engine_cfg.scheduler.token_budget = 24;
+    engine_cfg.scheduler.max_resident_tokens = 64;
+    engine_cfg.autotune = true;
+    engine_cfg.kernel_backend = backend;
+    serving::ServingEngine engine(sparse, engine_cfg);
+
+    Rng rng(78);  // identical requests per run
+    for (int64_t i = 0; i < 4; ++i) {
+      serving::TraceEntry e{i / 2, 5 + i, 3};
+      ASSERT_TRUE(engine.Submit(serving::MakeRequest(rng, i, e, cfg.hidden)));
+    }
+    engine.RunUntilDrained(1000);
+
+    std::vector<serving::RequestStatus> st;
+    MatrixF all(0, 0);
+    for (int64_t i = 0; i < 4; ++i) {
+      st.push_back(engine.Status(i));
+      const serving::RequestResult* result = engine.Result(i);
+      ASSERT_NE(result, nullptr);
+      if (all.empty()) {
+        all = result->outputs;
+      } else {
+        MatrixF merged(all.rows() + result->outputs.rows(), all.cols());
+        for (int64_t r = 0; r < all.rows(); ++r) {
+          for (int64_t c = 0; c < all.cols(); ++c) {
+            merged(r, c) = all(r, c);
+          }
+        }
+        for (int64_t r = 0; r < result->outputs.rows(); ++r) {
+          for (int64_t c = 0; c < all.cols(); ++c) {
+            merged(all.rows() + r, c) = result->outputs(r, c);
+          }
+        }
+        all = std::move(merged);
+      }
+    }
+    EXPECT_GT(engine.autotune_cache_size(), 0);
+    statuses.push_back(std::move(st));
+    outputs.push_back(std::move(all));
+    provenance.push_back(engine.Report().ToJson());
+  }
+  SetKernelBackend(prior);
+
+  // Same terminal status per request, tolerance-equal outputs.
+  ASSERT_EQ(statuses[0].size(), statuses[1].size());
+  for (size_t i = 0; i < statuses[0].size(); ++i) {
+    EXPECT_EQ(statuses[0][i], statuses[1][i]) << "request " << i;
+  }
+  EXPECT_LT(RelativeError(outputs[1], outputs[0]), 1e-4);
+  // Provenance records which backend produced each report.
+  EXPECT_NE(provenance[0].find("\"kernel_backend\": \"scalar\""), std::string::npos);
+  EXPECT_NE(provenance[1].find(std::string("\"kernel_backend\": \"") +
+                               KernelBackendName(simd) + "\""),
+            std::string::npos);
+  EXPECT_NE(provenance[0].find("\"llc_bytes\""), std::string::npos);
+  EXPECT_NE(provenance[0].find("\"llc_bandwidth_gbps\""), std::string::npos);
+  EXPECT_NE(provenance[0].find("\"dram_bandwidth_gbps\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace samoyeds
