@@ -51,6 +51,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -86,6 +87,18 @@ enum class RoutingAlgo {
 };
 
 const char* RoutingAlgoName(RoutingAlgo r);
+
+// What a cancellation attempt found (see ServingEngine::TryCancel). The
+// legacy bool Cancel() collapses this to outcome == kCancelled; the async
+// front end and the CLI surface the distinction (an unknown id is an operator
+// error, an already-terminal id is a benign race).
+enum class CancelOutcome {
+  kCancelled,        // live session torn down by this call
+  kUnknownId,        // id was never submitted to this engine
+  kAlreadyTerminal,  // session already reached a terminal status
+};
+
+const char* CancelOutcomeName(CancelOutcome o);
 
 struct EngineConfig {
   int heads = 4;
@@ -154,6 +167,21 @@ struct EngineConfig {
   // scalar, is the bit-exact oracle path every serving bit-identity
   // invariant is stated against.
   KernelBackend kernel_backend = KernelBackend::kScalar;
+  // Overlapped execution (the ROADMAP's "decode/prefill/all-to-all
+  // pipelining"): when a step carries both resident decode rows and a
+  // prefill chunk, the two sub-batches execute concurrently (decode on the
+  // expert pool, the prefill chunk inline on a helper thread), and the
+  // analytic step estimate overlaps decode compute with prefill compute and
+  // hides the all-to-all under compute at `overlap_efficiency`. Outputs stay
+  // bit-identical to the serial schedule (per-row outputs are independent of
+  // batch composition under top-k routing — the same property chunked
+  // prefill and preemption recompute rely on); execution overlap is
+  // therefore suppressed under expert-choice routing, where only the
+  // modeled all-to-all/compute overlap applies. The serial analytic fields
+  // (est_compute_ms, est_alltoall_ms) are unchanged by overlap; the savings
+  // land in StepMetrics::est_overlap_saved_ms.
+  bool overlap = false;
+  double overlap_efficiency = 0.85;
   SchedulerConfig scheduler;
 };
 
@@ -256,6 +284,13 @@ class ServingEngine {
   // status. False when `id` is unknown or already terminal.
   bool Cancel(int64_t id);
 
+  // Cancel with a distinguished outcome: kUnknownId when `id` was never
+  // submitted to this engine (the id is simply not a session), versus
+  // kAlreadyTerminal when the session exists but already finished, was
+  // rejected, shed, timed out, or cancelled. Cancel(id) above is exactly
+  // TryCancel(id) == kCancelled.
+  CancelOutcome TryCancel(int64_t id);
+
   int64_t current_step() const { return step_; }
   int64_t resident_sequences() const { return static_cast<int64_t>(running_.size()); }
   int64_t queued() const { return queue_.size() + scheduler_.pending(); }
@@ -285,7 +320,10 @@ class ServingEngine {
   int64_t watchdog_trips() const { return watchdog_trips_; }
   int64_t fault_retries() const { return fault_retries_total_; }
   // Distinct batch shapes the autotuner has resolved (0 with autotune off).
-  int64_t autotune_cache_size() const { return static_cast<int64_t>(autotune_cache_.size()); }
+  int64_t autotune_cache_size() const {
+    std::lock_guard<std::mutex> lock(autotune_mu_);
+    return static_cast<int64_t>(autotune_cache_.size());
+  }
   // Summarized metrics with the engine-known provenance fields (shards,
   // placement, routing, policy, threads, budgets) filled in; the CLI layers
   // the workload-level fields (model, trace, seed) on top before export.
@@ -360,8 +398,38 @@ class ServingEngine {
   // Fires the session's OnRows callback with every finalized-but-undelivered
   // row (no-op without a callback); `finished` tags the terminal delta.
   void StreamToCallback(int64_t id, bool finished);
-  // Forwards the assembled batch through all layers; returns final hidden rows.
-  MatrixF ForwardBatch(const AssembledBatch& batch);
+
+  // One forward pass's analytic-accounting state. A value per concurrent
+  // forward (the overlap path runs a decode and a prefill sub-batch on two
+  // threads) instead of engine members, so the two passes never race; the
+  // step folds them into the serial per-shard totals afterwards.
+  struct StepAccounting {
+    std::vector<double> shard_ms;     // per logical shard, this pass
+    std::vector<int64_t> shard_tokens;
+    double alltoall_ms = 0.0;
+    double account_ms = 0.0;  // host time the accounting itself consumed
+    TrafficReport traffic;
+    AllToAllScratch a2a_scratch;
+    // Persistent forward scratch (steady-state passes stay allocation-quiet).
+    ParallelMoeWorkspace pool_ws;  // pool-executed passes
+    MoeWorkspace inline_ws;        // inline (helper-thread) passes
+    MatrixF moe_out;
+
+    void Reset(int num_shards) {
+      shard_ms.assign(static_cast<size_t>(num_shards), 0.0);
+      shard_tokens.assign(static_cast<size_t>(num_shards), 0);
+      alltoall_ms = 0.0;
+      account_ms = 0.0;
+      traffic = TrafficReport{};
+    }
+  };
+
+  // Forwards the assembled batch through all layers; returns final hidden
+  // rows. `inline_exec` keeps every stage (attention slices, expert SSMMs)
+  // on the calling thread — the overlap path's prefill pass, which must not
+  // touch the expert pool while the decode pass owns it. Analytic estimates
+  // accumulate into `acct`.
+  MatrixF ForwardBatch(const AssembledBatch& batch, StepAccounting& acct, bool inline_exec);
   // Resolves (and caches) the tuned SSMM tile config for one layer's expert
   // shape under this plan's batch shape; records simulated default-vs-tuned
   // time in the metrics and returns the config the analytic estimate runs
@@ -369,11 +437,15 @@ class ServingEngine {
   SsmmConfig ResolveTileConfig(const SamoyedsMoeLayerWeights& moe, const RoutingPlan& plan);
   // Expert->shard map for this engine's layers under config_.placement.
   ExpertShardPlan BuildShardPlan() const;
-  // Folds one routed layer into the step's analytic estimate: each expert's
-  // three SSMM projections charged to its shard, shared experts
-  // data-parallel, plus the layer's cross-shard all-to-all.
+  // Folds one routed layer into `acct`: each expert's three SSMM projections
+  // charged to its shard, shared experts data-parallel, plus the layer's
+  // cross-shard all-to-all.
   void AccountMoeLayer(const SamoyedsMoeLayerWeights& moe, const RoutingPlan& plan,
-                       const SsmmConfig& tile_cfg);
+                       const SsmmConfig& tile_cfg, StepAccounting& acct);
+  // Decode-phase residents right now — the count PlanResidentRows will plan
+  // one decode row for, and the ResidentSnapshot::decode_rows the scheduler's
+  // decode-priority chunk sizing keys off.
+  int64_t DecodeResidentRows() const;
   // The session's single terminal transition: asserts `id` is not already
   // terminal, sets status + reason, runs the terminal metrics dispatch for
   // kCancelled / kTimedOut / kShedded, and returns the result record for the
@@ -413,28 +485,24 @@ class ServingEngine {
   ExpertShardPlan shard_plan_;
   ExpertPool pool_;
   EngineMetrics metrics_;
-  // Per-step analytic-estimate accumulators, reset at the top of each
-  // forward (scratch members so steady-state steps stay allocation-quiet).
-  // step_traffic_ aggregates the step's cross-shard all-to-all volumes as a
-  // TrafficReport (AllToAllTraffic::AddTo across layers); step_account_ms_
-  // is host time spent on the accounting itself, deducted from the measured
-  // forward wall-clock so analytic bookkeeping never contaminates the
-  // throughput metrics.
-  std::vector<double> step_shard_ms_;
-  std::vector<int64_t> step_shard_tokens_;
-  double step_alltoall_ms_ = 0.0;
-  double step_account_ms_ = 0.0;
-  TrafficReport step_traffic_;
-  AllToAllScratch a2a_scratch_;
-  // Persistent forward scratch: steady-state Step() iterations reuse these
-  // instead of allocating per call (see bench/micro_kernel_wallclock).
-  ParallelMoeWorkspace moe_ws_;
-  MatrixF moe_out_;
+  // Per-pass analytic-estimate accumulators + forward scratch (see
+  // StepAccounting). acct_ serves every pool-executed pass (the whole batch
+  // serially, or the decode sub-batch under overlap); prefill_acct_ serves
+  // the overlap path's inline prefill pass on the helper thread. Both reset
+  // at pass entry; Step() folds them into the serial per-shard totals —
+  // account_ms is host time spent on the accounting itself, deducted from
+  // the measured forward wall-clock so analytic bookkeeping never
+  // contaminates the throughput metrics.
+  StepAccounting acct_;
+  StepAccounting prefill_acct_;
   // Tuned SSMM config per (expert rows, expert cols, batch rows, max tokens
   // per expert, kernel backend) — the expert shape participates so
   // heterogeneous layers never share entries, and the backend participates
-  // because lane padding gives each backend its own tile ranking.
+  // because lane padding gives each backend its own tile ranking. Guarded by
+  // autotune_mu_: under overlap the decode and prefill passes resolve tile
+  // configs concurrently.
   std::map<std::array<int64_t, 5>, AutotuneResult> autotune_cache_;
+  mutable std::mutex autotune_mu_;
   // The backend actually installed (kAuto resolved, fallbacks applied).
   KernelBackend effective_backend_ = KernelBackend::kScalar;
 

@@ -167,7 +167,10 @@ void ForwardImpl(ExpertPool& pool, const MatrixF& x, const SamoyedsMoeLayerWeigh
   const int num_shards = placement != nullptr ? placement->num_shards() : 1;
   assert(placement == nullptr || placement->num_experts() == static_cast<int>(num_experts));
   assert(placement != nullptr || pool.shards() == 1);
-  assert(placement == nullptr || placement->num_shards() == pool.shards());
+  // After a shard failover the plan spans fewer logical shards than the pool
+  // has physical queues; logical shard s still submits to queue s and the
+  // queues past num_shards() simply idle.
+  assert(placement == nullptr || placement->num_shards() <= pool.shards());
 
   ws.slot_ws.resize(static_cast<size_t>(pool.slots()));
   ws.expert_out.resize(num_experts);

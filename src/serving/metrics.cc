@@ -16,6 +16,7 @@ namespace serving {
 // event-for-event with the RequestMetrics the same hooks record.
 
 void EngineMetrics::OnArrival(int64_t id, int64_t step, int64_t prompt_len, int64_t new_tokens) {
+  std::lock_guard<std::mutex> lock(mu_);
   RequestMetrics& r = requests_[id];
   r.prompt_len = prompt_len;
   r.new_tokens = new_tokens;
@@ -25,11 +26,13 @@ void EngineMetrics::OnArrival(int64_t id, int64_t step, int64_t prompt_len, int6
 }
 
 void EngineMetrics::OnAdmit(int64_t id, int64_t step) {
+  std::lock_guard<std::mutex> lock(mu_);
   requests_[id].admit_step = step;
   obs::TraceAsyncInstant("request", "admit", obs::TraceDetail::kRequest, id, step);
 }
 
 void EngineMetrics::OnReject(int64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
   requests_.erase(id);
   ++rejected_;
   obs::TraceAsyncInstant("request", "reject", obs::TraceDetail::kRequest, id);
@@ -37,6 +40,7 @@ void EngineMetrics::OnReject(int64_t id) {
 }
 
 void EngineMetrics::OnFirstOutput(int64_t id, int64_t step) {
+  std::lock_guard<std::mutex> lock(mu_);
   RequestMetrics& r = requests_[id];
   if (r.first_output_step >= 0) {
     return;  // re-prefill after preemption: TTFT keeps the original emission
@@ -47,6 +51,7 @@ void EngineMetrics::OnFirstOutput(int64_t id, int64_t step) {
 }
 
 void EngineMetrics::OnFinish(int64_t id, int64_t step) {
+  std::lock_guard<std::mutex> lock(mu_);
   RequestMetrics& r = requests_[id];
   r.finish_step = step;
   r.finish_ms = NowMs();
@@ -58,6 +63,7 @@ void EngineMetrics::OnFinish(int64_t id, int64_t step) {
 }
 
 void EngineMetrics::OnCancel(int64_t id, int64_t step) {
+  std::lock_guard<std::mutex> lock(mu_);
   requests_[id].cancel_step = step;
   ++cancelled_;
   obs::TraceAsyncInstant("request", "cancel", obs::TraceDetail::kRequest, id, step);
@@ -65,6 +71,7 @@ void EngineMetrics::OnCancel(int64_t id, int64_t step) {
 }
 
 void EngineMetrics::OnTimeout(int64_t id, int64_t step) {
+  std::lock_guard<std::mutex> lock(mu_);
   requests_[id].timeout_step = step;
   ++timed_out_;
   obs::TraceAsyncInstant("request", "timeout", obs::TraceDetail::kRequest, id, step);
@@ -72,6 +79,7 @@ void EngineMetrics::OnTimeout(int64_t id, int64_t step) {
 }
 
 void EngineMetrics::OnShed(int64_t id, int64_t step) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++shed_;
   // A request shed at Submit never reached OnArrival; don't let the map
   // lookup create a ghost timeline entry for it.
@@ -84,6 +92,7 @@ void EngineMetrics::OnShed(int64_t id, int64_t step) {
 }
 
 void EngineMetrics::OnPrefillSlice(int64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
   RequestMetrics& r = requests_[id];
   ++r.prefill_chunks;
   obs::TraceAsyncInstant("request", "prefill_chunk", obs::TraceDetail::kRequest, id,
@@ -91,16 +100,19 @@ void EngineMetrics::OnPrefillSlice(int64_t id) {
 }
 
 void EngineMetrics::OnRowsDelivered(int64_t id, int64_t rows) {
+  std::lock_guard<std::mutex> lock(mu_);
   requests_[id].streamed_rows += rows;
 }
 
 void EngineMetrics::OnPreempt(int64_t id, int64_t step) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++requests_[id].preemptions;
   preemption_log_.emplace_back(id, step);
   obs::TraceAsyncInstant("request", "preempt", obs::TraceDetail::kRequest, id, step);
 }
 
 void EngineMetrics::OnPrefixHit(int64_t id, int64_t step, int64_t tokens) {
+  std::lock_guard<std::mutex> lock(mu_);
   requests_[id].cached_prompt_tokens = tokens;  // latest admission overwrites
   ++prefix_hit_requests_;
   prefix_hit_tokens_ += tokens;
@@ -109,6 +121,7 @@ void EngineMetrics::OnPrefixHit(int64_t id, int64_t step, int64_t tokens) {
 }
 
 void EngineMetrics::OnSwapOut(int64_t id, int64_t step, double bytes, double est_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++swap_outs_;
   swap_out_bytes_ += bytes;
   est_swap_ms_ += est_ms;
@@ -116,15 +129,20 @@ void EngineMetrics::OnSwapOut(int64_t id, int64_t step, double bytes, double est
 }
 
 void EngineMetrics::OnSwapIn(int64_t id, int64_t step, double bytes, double est_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++swap_ins_;
   swap_in_bytes_ += bytes;
   est_swap_ms_ += est_ms;
   obs::TraceAsyncInstant("request", "swap_in", obs::TraceDetail::kRequest, id, step);
 }
 
-void EngineMetrics::OnStep(const StepMetrics& step) { steps_.push_back(step); }
+void EngineMetrics::OnStep(const StepMetrics& step) {
+  std::lock_guard<std::mutex> lock(mu_);
+  steps_.push_back(step);
+}
 
 void EngineMetrics::OnRoutingPlan(const RoutingPlan& plan) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (static_cast<int>(expert_tokens_.size()) < plan.num_experts) {
     expert_tokens_.resize(static_cast<size_t>(plan.num_experts));
   }
@@ -134,6 +152,7 @@ void EngineMetrics::OnRoutingPlan(const RoutingPlan& plan) {
 }
 
 void EngineMetrics::OnShardTokens(const std::vector<int64_t>& shard_tokens) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (shard_tokens_.size() < shard_tokens.size()) {
     shard_tokens_.resize(shard_tokens.size());
   }
@@ -143,6 +162,7 @@ void EngineMetrics::OnShardTokens(const std::vector<int64_t>& shard_tokens) {
 }
 
 void EngineMetrics::OnAutotune(double default_ms, double tuned_ms, bool cache_hit) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++autotune_lookups_;
   autotune_cache_hits_ += cache_hit ? 1 : 0;
   autotune_default_ms_ += default_ms;
@@ -150,6 +170,7 @@ void EngineMetrics::OnAutotune(double default_ms, double tuned_ms, bool cache_hi
 }
 
 ServingReport EngineMetrics::Summarize(int64_t token_budget, int64_t max_pages) const {
+  std::lock_guard<std::mutex> lock(mu_);
   ServingReport rep;
   rep.requests_rejected = rejected_;
   rep.requests_cancelled = cancelled_;
@@ -239,6 +260,7 @@ ServingReport EngineMetrics::Summarize(int64_t token_budget, int64_t max_pages) 
     rep.wall_ms += s.wall_ms;
     rep.est_compute_ms += s.est_compute_ms;
     rep.est_alltoall_ms += s.est_alltoall_ms;
+    rep.est_overlap_saved_ms += s.est_overlap_saved_ms;
     rep.alltoall_bytes += s.alltoall_dispatch_bytes + s.alltoall_combine_bytes;
     rep.kv_traffic_bytes += s.kv_read_bytes + s.kv_write_bytes;
   }
@@ -376,7 +398,9 @@ std::string ServingReport::ToJson() const {
   AppendConfigField(out, "kernel_backend", provenance.kernel_backend);
   AppendConfigField(out, "llc_bytes", provenance.llc_bytes);
   AppendConfigField(out, "llc_bandwidth_gbps", provenance.llc_bandwidth_gbps);
-  AppendConfigField(out, "dram_bandwidth_gbps", provenance.dram_bandwidth_gbps, /*last=*/true);
+  AppendConfigField(out, "dram_bandwidth_gbps", provenance.dram_bandwidth_gbps);
+  AppendConfigField(out, "overlap", provenance.overlap);
+  AppendConfigField(out, "chunk_policy", provenance.chunk_policy, /*last=*/true);
   out += "  },\n";
   AppendField(out, "requests_finished", requests_finished);
   AppendField(out, "requests_rejected", requests_rejected);
@@ -425,6 +449,7 @@ std::string ServingReport::ToJson() const {
   AppendField(out, "shard_imbalance", shard_imbalance);
   AppendField(out, "est_compute_ms", est_compute_ms);
   AppendField(out, "est_alltoall_ms", est_alltoall_ms);
+  AppendField(out, "est_overlap_saved_ms", est_overlap_saved_ms);
   AppendField(out, "est_alltoall_share", est_alltoall_share);
   AppendField(out, "alltoall_bytes", alltoall_bytes);
   AppendField(out, "kv_traffic_bytes", kv_traffic_bytes);
@@ -565,6 +590,14 @@ void EngineMetrics::Print(const ServingReport& rep, std::FILE* out) {
                  rep.est_alltoall_ms, 100.0 * rep.est_alltoall_share,
                  rep.kv_traffic_bytes / (1024.0 * 1024.0),
                  rep.alltoall_bytes / (1024.0 * 1024.0));
+  }
+  if (rep.est_overlap_saved_ms > 0.0) {
+    std::fprintf(out,
+                 "overlap: decode/prefill + all-to-all pipelining saved est %.3f ms "
+                 "(%.0f%% of the serial estimate)\n",
+                 rep.est_overlap_saved_ms,
+                 100.0 * rep.est_overlap_saved_ms /
+                     std::max(1e-12, rep.est_compute_ms + rep.est_alltoall_ms));
   }
   if (rep.shard_tokens.size() > 1) {
     std::fprintf(out, "shard load (tokens/shard, imbalance %.2fx):", rep.shard_imbalance);

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <map>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -74,7 +75,18 @@ struct StepMetrics {
   double swap_in_bytes = 0.0;     // KV bytes restored host -> device
   double est_swap_ms = 0.0;       // host-link transfer time for both
 
+  // Overlapped-execution savings in the analytic model: serial estimate
+  // minus the pipelined estimate where prefill-chunk compute runs alongside
+  // resident decode and all-to-all transfer hides under compute. Zero when
+  // overlap is off or the step had nothing to overlap; never negative (the
+  // pipelined schedule can only remove exposed time, not add it).
+  double est_overlap_saved_ms = 0.0;
+
+  // Serial (non-overlapped) estimate: the deterministic baseline every
+  // existing assertion and bench gate is written against.
   double est_total_ms() const { return est_compute_ms + est_alltoall_ms; }
+  // What the step costs with overlap applied.
+  double est_overlapped_total_ms() const { return est_total_ms() - est_overlap_saved_ms; }
 };
 
 // Where a report came from: schema version plus the run configuration, so a
@@ -107,6 +119,10 @@ struct ReportProvenance {
   int64_t llc_bytes = 0;            // modeled last-level-cache capacity
   double llc_bandwidth_gbps = 0.0;  // modeled LLC bandwidth
   double dram_bandwidth_gbps = 0.0; // modeled DRAM bandwidth
+  // Overlapped decode/prefill execution (1 = on) and the prefill chunk
+  // sizing policy ("fixed" | "decode-priority") the run scheduled with.
+  int64_t overlap = 0;
+  std::string chunk_policy;
 };
 
 // One request's lifecycle in engine steps plus its wall-clock latency pair —
@@ -193,6 +209,7 @@ struct ServingReport {
   double shard_imbalance = 0.0;         // max / mean of shard_tokens
   double est_compute_ms = 0.0;          // Σ per-step max-over-shards estimates
   double est_alltoall_ms = 0.0;         // Σ per-step interconnect estimates
+  double est_overlap_saved_ms = 0.0;    // Σ per-step pipelining savings
   double est_alltoall_share = 0.0;      // alltoall / (compute + alltoall)
   double alltoall_bytes = 0.0;          // Σ dispatch + combine volume
   double kv_traffic_bytes = 0.0;        // Σ KV-page gather + append volume
@@ -265,14 +282,29 @@ class EngineMetrics {
   // for this layer's SSMM shape, and whether the per-shape cache hit.
   void OnAutotune(double default_ms, double tuned_ms, bool cache_hit);
 
-  const std::vector<StepMetrics>& steps() const { return steps_; }
-  const std::map<int64_t, RequestMetrics>& requests() const { return requests_; }
+  // Accessors return snapshots taken under the collector lock: the async
+  // server's client threads read these (Poll paths, tests, the bench) while
+  // the driver thread is still mutating inside Step(). A by-reference view
+  // into live containers would be a data race the moment ingress went
+  // multi-threaded, so every reader pays for a copy instead.
+  std::vector<StepMetrics> steps() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return steps_;
+  }
+  std::map<int64_t, RequestMetrics> requests() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return requests_;
+  }
   // Routed tokens per expert so far (all layers) — the observed loads shard
   // failover re-balances orphaned experts against.
-  const std::vector<int64_t>& expert_tokens() const { return expert_tokens_; }
+  std::vector<int64_t> expert_tokens() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return expert_tokens_;
+  }
   // Every eviction as (request id, step), in order — the record tests replay
   // to assert eviction-order determinism.
-  const std::vector<std::pair<int64_t, int64_t>>& preemption_log() const {
+  std::vector<std::pair<int64_t, int64_t>> preemption_log() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return preemption_log_;
   }
 
@@ -287,6 +319,10 @@ class EngineMetrics {
   }
 
   Clock::time_point start_;
+  // Guards every container and counter below. On* hooks may fire from the
+  // engine driver thread and the overlap helper thread concurrently, and the
+  // snapshot accessors/Summarize read from arbitrary client threads.
+  mutable std::mutex mu_;
   std::map<int64_t, RequestMetrics> requests_;
   // Latency sketches, fed at OnFinish/OnStep: the step-count pairs stay
   // exact (linear histogram region), the ms pairs record at 1 µs resolution.

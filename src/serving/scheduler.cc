@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 
 #include "src/obs/tracer.h"
 #include "src/serving/kv_cache.h"
@@ -21,6 +22,28 @@ const char* SchedulerPolicyName(SchedulerPolicy p) {
   return "?";
 }
 
+const char* ChunkPolicyName(ChunkPolicy p) {
+  switch (p) {
+    case ChunkPolicy::kFixed:
+      return "fixed";
+    case ChunkPolicy::kDecodePriority:
+      return "decode-priority";
+  }
+  return "?";
+}
+
+bool ParseChunkPolicy(const char* text, ChunkPolicy* out) {
+  if (std::strcmp(text, "fixed") == 0) {
+    *out = ChunkPolicy::kFixed;
+    return true;
+  }
+  if (std::strcmp(text, "decode-priority") == 0) {
+    *out = ChunkPolicy::kDecodePriority;
+    return true;
+  }
+  return false;
+}
+
 int64_t TokenCapacity(const MoeModelConfig& model, MoeFramework framework,
                       const SamoyedsConfig& sparse_format, const DeviceSpec& device) {
   const MemoryFootprint fp = EstimateFootprint(model, framework, sparse_format, device);
@@ -38,23 +61,38 @@ int64_t PageCapacity(const MoeModelConfig& model, MoeFramework framework,
   return TokenCapacity(model, framework, sparse_format, device) / page_tokens;
 }
 
+namespace {
+
+// Effective per-chunk row cap: fixed at chunk_tokens, or shrunk by the
+// resident decode rows under decode-priority — never below 1, so prefill
+// always makes progress even in a decode-saturated iteration.
+int64_t ChunkCap(const SchedulerConfig& config, int64_t decode_rows) {
+  if (config.chunk_policy == ChunkPolicy::kDecodePriority) {
+    return std::max<int64_t>(1, config.chunk_tokens - decode_rows);
+  }
+  return config.chunk_tokens;
+}
+
+}  // namespace
+
 int64_t PrefillChunkRows(int64_t remaining_prompt, int64_t budget_left,
-                         const SchedulerConfig& config) {
+                         const SchedulerConfig& config, int64_t decode_rows) {
   assert(remaining_prompt >= 0);
   if (config.chunk_tokens <= 0) {
     return remaining_prompt;  // legacy: the whole prompt in one iteration
   }
   return std::max<int64_t>(
-      0, std::min({remaining_prompt, config.chunk_tokens, budget_left}));
+      0, std::min({remaining_prompt, ChunkCap(config, decode_rows), budget_left}));
 }
 
-int64_t FirstChunkRows(int64_t prompt_len, const SchedulerConfig& config) {
+int64_t FirstChunkRows(int64_t prompt_len, const SchedulerConfig& config,
+                       int64_t decode_rows) {
   if (config.chunk_tokens <= 0) {
     return prompt_len;
   }
   // Capped by the whole iteration budget so a chunk_tokens larger than the
   // budget still admits (into an empty iteration) instead of livelocking.
-  return std::min({prompt_len, config.chunk_tokens, config.token_budget});
+  return std::min({prompt_len, ChunkCap(config, decode_rows), config.token_budget});
 }
 
 // Backlog-depth samples fire on every transition (enqueue, requeue, the
@@ -159,7 +197,7 @@ AdmissionDecision Scheduler::Admit(int64_t committed_rows, const ResidentSnapsho
     // would contribute zero rows at admission — and a readmitted swap victim
     // could be re-evicted before ever decoding, making no progress.
     const int64_t need_rows =
-        remaining_prompt > 0 ? FirstChunkRows(remaining_prompt, config_)
+        remaining_prompt > 0 ? FirstChunkRows(remaining_prompt, config_, resident.decode_rows)
                              : (hint.ready_tokens < r.total_tokens() ? 1 : 0);
     const int64_t optimistic_tokens =
         hint.ready_tokens +

@@ -44,6 +44,20 @@ enum class SchedulerPolicy {
 
 const char* SchedulerPolicyName(SchedulerPolicy p);
 
+// How prefill chunks are sized when chunked prefill is on.
+enum class ChunkPolicy {
+  // Every chunk is capped at chunk_tokens regardless of batch composition.
+  kFixed,
+  // Decode-priority: when decode-phase residents hold rows in the iteration,
+  // the chunk cap shrinks to max(1, chunk_tokens - decode_rows) so prompt
+  // work yields batch slots to latency-sensitive decode instead of competing
+  // with it. With no decode rows resident this is exactly kFixed.
+  kDecodePriority,
+};
+
+const char* ChunkPolicyName(ChunkPolicy p);
+bool ParseChunkPolicy(const char* text, ChunkPolicy* out);
+
 struct SchedulerConfig {
   SchedulerPolicy policy = SchedulerPolicy::kFcfs;
   // Max rows per iteration (prefill + decode). With chunked prefill off
@@ -58,6 +72,8 @@ struct SchedulerConfig {
   // caching makes the chunked outputs bit-identical to one-shot prefill.
   // 0 disables chunking (legacy whole-prompt prefill).
   int64_t chunk_tokens = 0;
+  // Chunk sizing policy; only meaningful when chunk_tokens > 0.
+  ChunkPolicy chunk_policy = ChunkPolicy::kFixed;
   // Max resident prompt+generation tokens across all running sequences.
   int64_t max_resident_tokens = 1 << 20;
   // 0 = unlimited.
@@ -87,15 +103,20 @@ int64_t PageCapacity(const MoeModelConfig& model, MoeFramework framework,
 // still unconsumed takes under `config`, given `budget_left` uncommitted
 // batch rows this iteration. Chunking off: the whole remaining prompt (the
 // caller guaranteed it fits — admission rejected longer prompts). Chunking
-// on: min(remaining, chunk_tokens, budget_left), which may be 0 — the
-// sequence sits the iteration out. Shared by Scheduler::Admit and the
-// engine's batch planning so the two can never disagree on row accounting.
+// on: min(remaining, chunk cap, budget_left), which may be 0 — the
+// sequence sits the iteration out. The chunk cap is chunk_tokens under
+// kFixed, max(1, chunk_tokens - decode_rows) under kDecodePriority (where
+// `decode_rows` is the iteration's count of decode-phase residents — the
+// planner and admission must pass the same value so they can never disagree
+// on row accounting). Shared by Scheduler::Admit and the engine's batch
+// planner for exactly that lockstep.
 int64_t PrefillChunkRows(int64_t remaining_prompt, int64_t budget_left,
-                         const SchedulerConfig& config);
+                         const SchedulerConfig& config, int64_t decode_rows = 0);
 
 // The batch rows admission charges a not-yet-started prompt: its first
 // prefill chunk (the whole prompt with chunking off).
-int64_t FirstChunkRows(int64_t prompt_len, const SchedulerConfig& config);
+int64_t FirstChunkRows(int64_t prompt_len, const SchedulerConfig& config,
+                       int64_t decode_rows = 0);
 
 // Current engine occupancy, input to the admission decision.
 struct ResidentSnapshot {
@@ -106,6 +127,10 @@ struct ResidentSnapshot {
   int64_t used_pages = 0;
   // Sum of full-lifetime page needs of residents (the conservative basis).
   int64_t reserved_pages = 0;
+  // Decode-phase residents contributing one row each this iteration — the
+  // decode-priority chunk policy's input. Held constant through an admission
+  // pass (admitted prompts are prefill-phase, so they never change it).
+  int64_t decode_rows = 0;
 };
 
 // Per-request admission discount supplied by the engine: tokens the request

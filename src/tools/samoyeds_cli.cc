@@ -22,6 +22,7 @@
 #include "src/moe/model_configs.h"
 #include "src/obs/tracer.h"
 #include "src/serving/engine.h"
+#include "src/serving/server.h"
 #include "src/serving/trace.h"
 #include "src/simgpu/timing_model.h"
 #include "src/tensor/rng.h"
@@ -42,7 +43,10 @@ void PrintUsage(std::FILE* out) {
       "  encode <rows> <cols> <N> <M> <V>           random-matrix encoding demo\n"
       "  serve <model|tiny> <trace|synthetic:N>     continuous-batching serving engine\n"
       "        [--policy=fcfs|smallest-first|token-budget] [--budget=N]\n"
-      "        [--chunk-tokens=N] [--stream[=0|1]] [--report-json=FILE]\n"
+      "        [--chunk-tokens=N] [--chunk-policy=fixed|decode-priority]\n"
+      "        [--overlap=0|1] [--overlap-eff=R]\n"
+      "        [--async[=0|1]] [--server-clock=virtual|wall] [--mailbox-cap=N]\n"
+      "        [--cancel=ID[,ID...]] [--stream[=0|1]] [--report-json=FILE]\n"
       "        [--max-resident=N] [--page-tokens=N] [--max-pages=N|auto]\n"
       "        [--preempt=0|1] [--prefix-cache=0|1] [--swap=0|1] [--host-pages=N]\n"
       "        [--threads=N] [--layers=N] [--hidden=N]\n"
@@ -58,7 +62,25 @@ void PrintUsage(std::FILE* out) {
       "        [--kernel-backend=auto|scalar|avx2|avx512|neon]\n"
       "        --chunk-tokens=N serves prompts longer than the token budget by\n"
       "        splitting prefill into <=N-row chunks interleaved with decode rows\n"
-      "        (outputs bit-identical to one-shot prefill; 0 = off);\n"
+      "        (outputs bit-identical to one-shot prefill; 0 = off) with\n"
+      "        --chunk-policy=decode-priority shrinking the chunk cap to\n"
+      "        max(1, N - resident decode rows) so prompt work yields batch\n"
+      "        slots to latency-sensitive decode (still bit-identical);\n"
+      "        --overlap=1 overlaps the prefill-chunk forward pass with the\n"
+      "        resident-decode pass on a second thread and overlaps the modeled\n"
+      "        all-to-all with compute in the timing estimates (outputs stay\n"
+      "        bit-identical to serial execution; savings land in the report's\n"
+      "        est_overlap_saved_ms) with --overlap-eff=R in [0,1] setting the\n"
+      "        modeled transfer/compute overlap efficiency (default 0.85);\n"
+      "        --async=1 serves through the AsyncServer front-end: a driver\n"
+      "        thread runs Step() while submissions flow through a lock-\n"
+      "        protected mailbox drained at step boundaries; --server-clock\n"
+      "        picks virtual arrivals (deterministic, bit-identical to the\n"
+      "        synchronous engine) or wall arrivals (stamped at drain time);\n"
+      "        --mailbox-cap=N bounds the mailbox, shedding the lowest-priority\n"
+      "        pending submission below each overflowing arrival (0 = off);\n"
+      "        --cancel=ID[,ID...] cancels the listed sessions after submission\n"
+      "        (an id never submitted is a runtime failure, exit 1);\n"
       "        --stream prints each session's rows as they finalize per iteration\n"
       "        (the OnRows streaming callback); --report-json=FILE writes the\n"
       "        machine-readable ServingReport;\n"
@@ -106,7 +128,8 @@ void PrintUsage(std::FILE* out) {
       "        CPU lacks is a runtime failure)\n"
       "\n"
       "exit codes: 0 success; 1 runtime failure (output write failed, engine\n"
-      "left undrained); 2 usage error (unknown command/flag or bad value)\n",
+      "left undrained, --cancel id never submitted); 2 usage error (unknown\n"
+      "command/flag or bad value)\n",
       out);
 }
 
@@ -295,6 +318,13 @@ struct ServeOptions {
   serving::SchedulerPolicy policy = serving::SchedulerPolicy::kTokenBudget;
   int64_t budget = 128;
   int64_t chunk_tokens = 0;   // 0 = chunked prefill off
+  serving::ChunkPolicy chunk_policy = serving::ChunkPolicy::kFixed;
+  bool overlap = false;       // decode/prefill + transfer/compute overlap
+  double overlap_eff = 0.85;  // modeled transfer/compute overlap efficiency
+  bool async = false;         // serve through the AsyncServer front-end
+  serving::ServerClock server_clock = serving::ServerClock::kVirtual;
+  int64_t mailbox_cap = 0;    // AsyncServer mailbox bound (0 = unbounded)
+  std::vector<int64_t> cancel_ids;  // --cancel targets, in order
   bool stream = false;        // print per-iteration streamed rows
   std::string report_json;    // write ServingReport::ToJson here
   int64_t max_resident = 4096;
@@ -342,6 +372,10 @@ bool ParseServeFlag(const std::string& arg, ServeOptions& opt) {
     opt.stream = true;
     return true;
   }
+  if (arg == "--async") {  // bare form; --async=0|1 also accepted below
+    opt.async = true;
+    return true;
+  }
   const size_t eq = arg.find('=');
   if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
     return false;
@@ -365,6 +399,60 @@ bool ParseServeFlag(const std::string& arg, ServeOptions& opt) {
     // Shared strict parser (no raw atoi): garbage or trailing junk exits
     // with a diagnostic instead of silently serving with chunking off.
     opt.chunk_tokens = ParseI64(value, key.c_str());
+  } else if (key == "--chunk-policy") {
+    if (!serving::ParseChunkPolicy(value, &opt.chunk_policy)) {
+      std::fprintf(stderr, "unknown chunk-policy: %s (fixed | decode-priority)\n", value);
+      std::exit(2);
+    }
+  } else if (key == "--overlap") {
+    const int64_t v = ParseI64(value, key.c_str());
+    if (v != 0 && v != 1) {
+      std::fprintf(stderr, "invalid overlap: '%s' (expected 0 or 1)\n", value);
+      std::exit(2);
+    }
+    opt.overlap = v == 1;
+  } else if (key == "--overlap-eff") {
+    opt.overlap_eff = ParseDouble(value, key.c_str());
+    if (opt.overlap_eff < 0.0 || opt.overlap_eff > 1.0) {
+      std::fprintf(stderr, "need overlap-eff in [0, 1]\n");
+      std::exit(2);
+    }
+  } else if (key == "--async") {
+    const int64_t v = ParseI64(value, key.c_str());
+    if (v != 0 && v != 1) {
+      std::fprintf(stderr, "invalid async: '%s' (expected 0 or 1)\n", value);
+      std::exit(2);
+    }
+    opt.async = v == 1;
+  } else if (key == "--server-clock") {
+    if (!serving::ParseServerClock(value, &opt.server_clock)) {
+      std::fprintf(stderr, "unknown server-clock: %s (virtual | wall)\n", value);
+      std::exit(2);
+    }
+  } else if (key == "--mailbox-cap") {
+    opt.mailbox_cap = ParseI64(value, key.c_str());
+    if (opt.mailbox_cap < 0) {
+      std::fprintf(stderr, "need mailbox-cap >= 0 (0 = unbounded)\n");
+      std::exit(2);
+    }
+  } else if (key == "--cancel") {
+    // Comma-separated session ids; validated strictly like every number.
+    std::string list = value;
+    size_t start = 0;
+    if (list.empty()) {
+      std::fprintf(stderr, "need --cancel=ID[,ID...]\n");
+      std::exit(2);
+    }
+    while (start <= list.size()) {
+      const size_t comma = list.find(',', start);
+      const std::string tok =
+          list.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+      opt.cancel_ids.push_back(ParseI64(tok.c_str(), "cancel id"));
+      if (comma == std::string::npos) {
+        break;
+      }
+      start = comma + 1;
+    }
   } else if (key == "--stream") {
     const int64_t v = ParseI64(value, key.c_str());
     if (v != 0 && v != 1) {
@@ -680,9 +768,12 @@ int CmdServe(int argc, char** argv) {
   engine_cfg.placement = opt.placement;
   engine_cfg.link_bandwidth_gbps = opt.link_gbps;
   engine_cfg.link_latency_us = opt.link_us;
+  engine_cfg.overlap = opt.overlap;
+  engine_cfg.overlap_efficiency = opt.overlap_eff;
   engine_cfg.scheduler.policy = opt.policy;
   engine_cfg.scheduler.token_budget = opt.budget;
   engine_cfg.scheduler.chunk_tokens = opt.chunk_tokens;
+  engine_cfg.scheduler.chunk_policy = opt.chunk_policy;
   engine_cfg.scheduler.max_resident_tokens = opt.max_resident;
   engine_cfg.scheduler.page_tokens = opt.page_tokens;
   engine_cfg.scheduler.max_pages = opt.max_pages;
@@ -720,9 +811,20 @@ int CmdServe(int argc, char** argv) {
               serving::SchedulerPolicyName(opt.policy), static_cast<long long>(opt.budget),
               static_cast<long long>(opt.max_resident), opt.threads);
   if (opt.chunk_tokens > 0) {
-    std::printf("chunked prefill: <= %lld rows per chunk (long prompts interleave with "
-                "decode; outputs identical to one-shot prefill)\n",
-                static_cast<long long>(opt.chunk_tokens));
+    std::printf("chunked prefill: <= %lld rows per chunk, %s policy (long prompts interleave "
+                "with decode; outputs identical to one-shot prefill)\n",
+                static_cast<long long>(opt.chunk_tokens),
+                serving::ChunkPolicyName(opt.chunk_policy));
+  }
+  if (opt.overlap) {
+    std::printf("overlap: decode/prefill passes on two threads, transfer/compute overlap "
+                "eff %.2f (outputs identical to serial execution)\n",
+                opt.overlap_eff);
+  }
+  if (opt.async) {
+    std::printf("async server: %s clock, mailbox %s\n",
+                serving::ServerClockName(opt.server_clock),
+                opt.mailbox_cap > 0 ? std::to_string(opt.mailbox_cap).c_str() : "unbounded");
   }
   std::printf("routing: %s\n", serving::RoutingAlgoName(opt.routing));
   std::printf("kernel backend: %s (%s)\n", KernelBackendName(resolved_backend),
@@ -804,12 +906,66 @@ int CmdServe(int argc, char** argv) {
   }
 
   const std::vector<int64_t> ids = serving::AssignTraceIds(entries);
-  for (size_t i = 0; i < entries.size(); ++i) {
-    serving::Request request = serving::MakeRequest(rng, ids[i], entries[i], opt.hidden);
-    request.deadline_steps = opt.deadline_steps;
-    engine.Submit(std::move(request), on_rows);
+  int64_t iterations = 0;
+  if (opt.async) {
+    // Async front-end: the driver thread owns the engine; this (client)
+    // thread talks to it through the mailbox. With the virtual clock and all
+    // submissions enqueued before the first drain, the run is bit-identical
+    // to the synchronous path below.
+    serving::ServerConfig server_cfg;
+    server_cfg.clock = opt.server_clock;
+    server_cfg.mailbox_capacity = opt.mailbox_cap;
+    serving::AsyncServer server(engine, server_cfg);
+    // Submit the whole trace before Start so the driver drains it in one
+    // FIFO batch — under the virtual clock this pins the synchronous
+    // schedule exactly.
+    for (size_t i = 0; i < entries.size(); ++i) {
+      serving::Request request = serving::MakeRequest(rng, ids[i], entries[i], opt.hidden);
+      request.deadline_steps = opt.deadline_steps;
+      server.Submit(std::move(request));
+    }
+    server.Start();
+    for (const int64_t id : opt.cancel_ids) {
+      const serving::CancelOutcome outcome = server.Cancel(id);
+      if (outcome == serving::CancelOutcome::kUnknownId) {
+        std::fprintf(stderr, "cancel: unknown session id %lld\n", static_cast<long long>(id));
+        return 1;
+      }
+      std::printf("cancel %lld: %s\n", static_cast<long long>(id),
+                  serving::CancelOutcomeName(outcome));
+    }
+    server.Drain();
+    for (const int64_t id : ids) {
+      const serving::ServerPollResult result = server.WaitTerminal(id);
+      if (opt.stream) {
+        // Per-iteration streaming prints are a synchronous-mode feature (the
+        // callback fires on the driver thread); async mode summarizes.
+        std::printf("session %lld: %lld rows delivered, %s%s%s\n",
+                    static_cast<long long>(id),
+                    static_cast<long long>(result.delivered_rows),
+                    serving::RequestStatusName(result.status),
+                    result.reason.empty() ? "" : " — ", result.reason.c_str());
+      }
+    }
+    iterations = server.steps();
+    server.Stop();
+  } else {
+    for (size_t i = 0; i < entries.size(); ++i) {
+      serving::Request request = serving::MakeRequest(rng, ids[i], entries[i], opt.hidden);
+      request.deadline_steps = opt.deadline_steps;
+      engine.Submit(std::move(request), on_rows);
+    }
+    for (const int64_t id : opt.cancel_ids) {
+      const serving::CancelOutcome outcome = engine.TryCancel(id);
+      if (outcome == serving::CancelOutcome::kUnknownId) {
+        std::fprintf(stderr, "cancel: unknown session id %lld\n", static_cast<long long>(id));
+        return 1;
+      }
+      std::printf("cancel %lld: %s\n", static_cast<long long>(id),
+                  serving::CancelOutcomeName(outcome));
+    }
+    iterations = engine.RunUntilDrained(/*max_steps=*/1000000);
   }
-  const int64_t iterations = engine.RunUntilDrained(/*max_steps=*/1000000);
 
   if (!opt.trace_out.empty()) {
     obs::Tracer& tracer = obs::Tracer::Get();

@@ -1117,8 +1117,8 @@ TEST(PrefixCacheEngineTest, FullPrefixHitSkipsPrefillAndImprovesTtft) {
 
   ASSERT_EQ(engine.Status(0), RequestStatus::kFinished);
   ASSERT_EQ(engine.Status(1), RequestStatus::kFinished);
-  const RequestMetrics& ma = engine.metrics().requests().at(0);
-  const RequestMetrics& mb = engine.metrics().requests().at(1);
+  const RequestMetrics ma = engine.metrics().requests().at(0);
+  const RequestMetrics mb = engine.metrics().requests().at(1);
   EXPECT_EQ(ma.cached_prompt_tokens, 0);
   EXPECT_EQ(mb.cached_prompt_tokens, 20);  // the whole prompt came from the tree
   const int64_t ttft_a = ma.first_output_step - ma.arrival_step;

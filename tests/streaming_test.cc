@@ -170,7 +170,7 @@ TEST(ChunkedPrefillTest, ReportsChunkActivityAndPrefillSpansIterations) {
   const ServingReport report = engine.Report();
   EXPECT_GT(report.prefill_chunk_slices, 0);
   EXPECT_EQ(report.chunked_prefill_requests, 1);
-  const RequestMetrics& rm = engine.metrics().requests().at(0);
+  const RequestMetrics rm = engine.metrics().requests().at(0);
   // 30 prompt rows in 8-row chunks: 4 prefill slices (8+8+8+6).
   EXPECT_EQ(rm.prefill_chunks, 4);
   // The first token is not ready until the final chunk lands: TTFT counts
